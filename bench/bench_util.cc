@@ -1,0 +1,135 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sqe::bench {
+
+const synth::World& PaperWorld() {
+  static const synth::World& world =
+      *new synth::World(synth::World::Generate(synth::PaperWorldOptions()));
+  return world;
+}
+
+DatasetRuns ComputeAllRuns(const synth::World& world,
+                           const synth::DatasetSpec& spec) {
+  DatasetRuns out;
+  out.dataset = synth::BuildDataset(world, spec);
+  synth::Dataset& ds = out.dataset;
+
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = ds.retrieval_mu;
+  out.engine = std::make_unique<expansion::SqeEngine>(
+      &world.kb, &ds.index, ds.linker.get(), &ds.analyzer(), config);
+  expansion::SqeEngine& engine = *out.engine;
+
+  const size_t n = ds.NumQueries();
+  auto reserve_all = [&](auto&... lists) { (lists.reserve(n), ...); };
+  reserve_all(out.ql_q, out.ql_e_m, out.ql_e_a, out.ql_qe_m, out.ql_qe_a,
+              out.ql_x, out.sqe_t, out.sqe_ts, out.sqe_s, out.sqe_ub,
+              out.sqe_c_m, out.sqe_c_a, out.auto_nodes);
+
+  Timer pipeline_timer;
+  uint64_t features_t = 0, features_ts = 0, features_s = 0;
+
+  for (size_t qi = 0; qi < n; ++qi) {
+    const synth::GeneratedQuery& query = ds.query_set.queries[qi];
+    const std::vector<kb::ArticleId>& manual = query.true_entities;
+    std::vector<kb::ArticleId> automatic = engine.LinkQueryNodes(query.text);
+    out.auto_nodes.push_back(automatic);
+
+    using expansion::QueryParts;
+    out.ql_q.push_back(engine.RunBaseline(query.text, manual,
+                                          QueryParts::QOnly(),
+                                          kRetrievalDepth));
+    out.ql_e_m.push_back(engine.RunBaseline(query.text, manual,
+                                            QueryParts::EOnly(),
+                                            kRetrievalDepth));
+    out.ql_e_a.push_back(engine.RunBaseline(query.text, automatic,
+                                            QueryParts::EOnly(),
+                                            kRetrievalDepth));
+    out.ql_qe_m.push_back(engine.RunBaseline(query.text, manual,
+                                             QueryParts::QAndE(),
+                                             kRetrievalDepth));
+    out.ql_qe_a.push_back(engine.RunBaseline(query.text, automatic,
+                                             QueryParts::QAndE(),
+                                             kRetrievalDepth));
+
+    // QL_X: expansion features alone, from the T&S graph (manual nodes).
+    expansion::SqeRunResult ts = engine.RunSqe(
+        query.text, manual, expansion::MotifConfig::Both(), kRetrievalDepth);
+    {
+      retrieval::Query only_x =
+          expansion::ExpandedQueryBuilder(&world.kb, &ds.analyzer(),
+                                          config.query_builder)
+              .Build(query.text, ts.graph, QueryParts::XOnly());
+      out.ql_x.push_back(
+          engine.retriever().Retrieve(only_x, kRetrievalDepth));
+    }
+
+    expansion::SqeRunResult t =
+        engine.RunSqe(query.text, manual, expansion::MotifConfig::Triangular(),
+                      kRetrievalDepth);
+    expansion::SqeRunResult s = engine.RunSqe(
+        query.text, manual, expansion::MotifConfig::Square(), kRetrievalDepth);
+
+    out.motif_ms_t += t.graph_build_ms;
+    out.motif_ms_ts += ts.graph_build_ms;
+    out.motif_ms_s += s.graph_build_ms;
+    features_t += t.graph.expansion_nodes.size();
+    features_ts += ts.graph.expansion_nodes.size();
+    features_s += s.graph.expansion_nodes.size();
+
+    out.sqe_c_m.push_back(expansion::CombineSqeC(t.results, ts.results,
+                                                 s.results, kRetrievalDepth));
+    out.sqe_t.push_back(std::move(t.results));
+    out.sqe_ts.push_back(std::move(ts.results));
+    out.sqe_s.push_back(std::move(s.results));
+
+    // Upper bound: ground-truth optimal query graph.
+    out.sqe_ub.push_back(
+        engine.RunWithGraph(query.text, query.ground_truth_graph,
+                            kRetrievalDepth)
+            .results);
+
+    // Automatic SQE_C.
+    expansion::SqeCRunResult c_a =
+        engine.RunSqeC(query.text, automatic, kRetrievalDepth);
+    out.sqe_c_a.push_back(std::move(c_a.results));
+  }
+
+  out.total_pipeline_ms = pipeline_timer.ElapsedMillis();
+  if (n > 0) {
+    out.avg_features_t = static_cast<double>(features_t) / n;
+    out.avg_features_ts = static_cast<double>(features_ts) / n;
+    out.avg_features_s = static_cast<double>(features_s) / n;
+  }
+  LogInfo(StrFormat("%s: all systems run in %.1fs (avg features T=%.2f "
+                    "T&S=%.2f S=%.2f)",
+                    ds.name.c_str(), out.total_pipeline_ms / 1e3,
+                    out.avg_features_t, out.avg_features_ts,
+                    out.avg_features_s));
+  return out;
+}
+
+double AutoLinkingPrecision(const DatasetRuns& runs) {
+  size_t linked = 0, correct = 0;
+  for (size_t qi = 0; qi < runs.auto_nodes.size(); ++qi) {
+    const auto& nodes = runs.auto_nodes[qi];
+    if (nodes.empty()) continue;
+    ++linked;
+    kb::ArticleId truth =
+        runs.dataset.query_set.queries[qi].true_entities.front();
+    if (std::find(nodes.begin(), nodes.end(), truth) != nodes.end()) {
+      ++correct;
+    }
+  }
+  return linked == 0 ? 0.0
+                     : static_cast<double>(correct) /
+                           static_cast<double>(linked);
+}
+
+}  // namespace sqe::bench

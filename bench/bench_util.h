@@ -1,0 +1,74 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// Builds the paper's world + datasets once and runs every system the
+// evaluation section compares, producing named per-query result lists that
+// the individual bench binaries slice into their tables and figures.
+#ifndef SQE_BENCH_BENCH_UTIL_H_
+#define SQE_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe::bench {
+
+/// All per-query runs for one dataset, named as in the paper.
+struct DatasetRuns {
+  synth::Dataset dataset;
+  std::unique_ptr<expansion::SqeEngine> engine;
+
+  // Baselines (M = manual query nodes, A = automatic entity linking).
+  std::vector<retrieval::ResultList> ql_q;
+  std::vector<retrieval::ResultList> ql_e_m;
+  std::vector<retrieval::ResultList> ql_e_a;
+  std::vector<retrieval::ResultList> ql_qe_m;
+  std::vector<retrieval::ResultList> ql_qe_a;
+  std::vector<retrieval::ResultList> ql_x;
+
+  // Single motif configurations (manual query nodes).
+  std::vector<retrieval::ResultList> sqe_t;
+  std::vector<retrieval::ResultList> sqe_ts;
+  std::vector<retrieval::ResultList> sqe_s;
+  // Ground-truth upper bound.
+  std::vector<retrieval::ResultList> sqe_ub;
+
+  // Rank-range combined runs.
+  std::vector<retrieval::ResultList> sqe_c_m;
+  std::vector<retrieval::ResultList> sqe_c_a;
+
+  // Automatic query nodes per query (for linking-precision reporting).
+  std::vector<std::vector<kb::ArticleId>> auto_nodes;
+
+  // Table 4 timings: summed motif-traversal milliseconds across queries.
+  double motif_ms_t = 0.0;
+  double motif_ms_ts = 0.0;
+  double motif_ms_s = 0.0;
+  double total_pipeline_ms = 0.0;
+
+  // Average expansion features per query, per configuration (Sec. 4.1).
+  double avg_features_t = 0.0;
+  double avg_features_ts = 0.0;
+  double avg_features_s = 0.0;
+};
+
+/// Retrieval depth: everything is evaluated down to P@1000.
+inline constexpr size_t kRetrievalDepth = 1000;
+
+/// Builds the shared world (cached per process).
+const synth::World& PaperWorld();
+
+/// Runs every system on one dataset. Expensive (tens of seconds).
+DatasetRuns ComputeAllRuns(const synth::World& world,
+                           const synth::DatasetSpec& spec);
+
+/// Fraction of queries whose automatically linked nodes contain the true
+/// intent article (the linker-precision figure quoted in Section 3).
+double AutoLinkingPrecision(const DatasetRuns& runs);
+
+}  // namespace sqe::bench
+
+#endif  // SQE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,59 @@
+// Reproduces Figure 5: percentage improvement of SQE_T, SQE_T&S and SQE_S
+// over the best of {QL_Q, QL_E, QL_Q&E} at each precision cutoff, on the
+// ImageCLEF-like dataset — the three-range structure behind SQE_C's
+// configuration (T for the smallest tops, T&S in the middle, S deep).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace sqe;
+  const synth::World& world = bench::PaperWorld();
+  bench::DatasetRuns runs =
+      bench::ComputeAllRuns(world, synth::ImageClefSpec());
+
+  std::vector<eval::NamedRun> systems;
+  systems.push_back({"QL_Q", runs.ql_q, true, false});
+  systems.push_back({"QL_E", runs.ql_e_m, true, false});
+  systems.push_back({"QL_Q&E", runs.ql_qe_m, true, false});
+  systems.push_back({"SQE_T", runs.sqe_t, false, false});
+  systems.push_back({"SQE_T&S", runs.sqe_ts, false, false});
+  systems.push_back({"SQE_S", runs.sqe_s, false, false});
+
+  eval::PrecisionTable table =
+      eval::EvaluateTable(systems, runs.dataset.query_set.qrels);
+  const std::vector<size_t> baselines = {0, 1, 2};
+
+  std::printf("Figure 5 — %% improvement over best QL baseline "
+              "(ImageCLEF-like)\n%-10s", "");
+  for (size_t top : eval::kDefaultTops) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "P@%zu", top);
+    std::printf("%9s", buf);
+  }
+  std::printf("\n");
+
+  size_t best_rows[eval::kDefaultTops.size()] = {};
+  for (size_t row = 3; row <= 5; ++row) {
+    auto imp = eval::PercentImprovementOverBest(table, baselines, row);
+    std::printf("%-10s", table.row_names[row].c_str());
+    for (size_t t = 0; t < imp.size(); ++t) {
+      std::printf("%8.1f%%", imp[t]);
+      if (table.means[row][t] > table.means[3 + best_rows[t]][t]) {
+        best_rows[t] = row - 3;
+      }
+    }
+    std::printf("\n");
+  }
+
+  static const char* kNames[] = {"SQE_T", "SQE_T&S", "SQE_S"};
+  std::printf("\nbest configuration per range:\n");
+  for (size_t t = 0; t < eval::kDefaultTops.size(); ++t) {
+    std::printf("  P@%-5zu -> %s\n", eval::kDefaultTops[t],
+                kNames[best_rows[t]]);
+  }
+  std::printf("(paper: SQE_T up to P@5, SQE_T&S for P@5..P@100, SQE_S "
+              "beyond; SQE_C stitches ranks 1-5 / 6-200 / 201+)\n");
+  return 0;
+}

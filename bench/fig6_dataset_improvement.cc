@@ -1,0 +1,61 @@
+// Reproduces Figure 6 (a, b, c): percentage improvement of SQE_C (M),
+// SQE_C (A) and QL_X over the best QL baseline at each cutoff, for all
+// three datasets.
+//
+// Paper shapes: SQE_C (M) >= SQE_C (A) > 0 everywhere; QL_X mostly
+// negative (expansion features alone hurt); improvements consistent across
+// datasets.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+namespace {
+
+void RunDataset(const sqe::synth::World& world,
+                const sqe::synth::DatasetSpec& spec, char label) {
+  using namespace sqe;
+  bench::DatasetRuns runs = bench::ComputeAllRuns(world, spec);
+
+  std::vector<eval::NamedRun> systems;
+  systems.push_back({"QL_Q", runs.ql_q, true, false});
+  systems.push_back({"QL_E (M)", runs.ql_e_m, true, false});
+  systems.push_back({"QL_E (A)", runs.ql_e_a, true, false});
+  systems.push_back({"QL_Q&E (M)", runs.ql_qe_m, true, false});
+  systems.push_back({"QL_Q&E (A)", runs.ql_qe_a, true, false});
+  systems.push_back({"QL_X", runs.ql_x, false, false});
+  systems.push_back({"SQE_C (M)", runs.sqe_c_m, false, false});
+  systems.push_back({"SQE_C (A)", runs.sqe_c_a, false, false});
+
+  eval::PrecisionTable table =
+      eval::EvaluateTable(systems, runs.dataset.query_set.qrels);
+  const std::vector<size_t> baselines = {0, 1, 2, 3, 4};
+
+  std::printf("Figure 6%c — %s: %% improvement over best QL baseline\n",
+              label, runs.dataset.name.c_str());
+  std::printf("%-10s", "");
+  for (size_t top : eval::kDefaultTops) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "P@%zu", top);
+    std::printf("%9s", buf);
+  }
+  std::printf("\n");
+  for (size_t row : {6, 7, 5}) {  // SQE_C (M), SQE_C (A), QL_X
+    auto imp = eval::PercentImprovementOverBest(table, baselines, row);
+    std::printf("%-10s", table.row_names[row].c_str());
+    for (double v : imp) std::printf("%8.1f%%", v);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqe;
+  const synth::World& world = bench::PaperWorld();
+  RunDataset(world, synth::ImageClefSpec(), 'a');
+  RunDataset(world, synth::Chic2012Spec(), 'b');
+  RunDataset(world, synth::Chic2013Spec(), 'c');
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the core kernels: motif
+// matching, query-graph construction, retrieval, phrase matching, index
+// construction and snapshot round-trips. Not a paper table — an ablation
+// aid for the design choices DESIGN.md calls out (sorted-CSR membership
+// tests, doc-at-a-time scoring, rank-range fusion).
+#include <benchmark/benchmark.h>
+
+#include "kb/kb_builder.h"
+#include "retrieval/phrase_matcher.h"
+#include "sqe/combiner.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace {
+
+using namespace sqe;
+
+const synth::World& BenchWorld() {
+  static const synth::World& world = *new synth::World(
+      synth::World::Generate(synth::PaperWorldOptions()));
+  return world;
+}
+
+synth::Dataset& BenchDataset() {
+  static synth::Dataset& ds = *new synth::Dataset(
+      synth::BuildDataset(BenchWorld(), synth::ImageClefSpec()));
+  return ds;
+}
+
+expansion::SqeEngine& BenchEngine() {
+  static expansion::SqeEngine& engine = *[] {
+    synth::Dataset& ds = BenchDataset();
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = ds.retrieval_mu;
+    return new expansion::SqeEngine(&BenchWorld().kb, &ds.index,
+                                    ds.linker.get(), &ds.analyzer(), config);
+  }();
+  return engine;
+}
+
+void BM_TriangularMotif(benchmark::State& state) {
+  const expansion::MotifFinder& finder = BenchEngine().motif_finder();
+  const auto& queries = BenchDataset().query_set.queries;
+  size_t qi = 0;
+  for (auto _ : state) {
+    kb::ArticleId q = queries[qi++ % queries.size()].true_entities[0];
+    benchmark::DoNotOptimize(finder.FindTriangular(q));
+  }
+}
+BENCHMARK(BM_TriangularMotif);
+
+void BM_SquareMotif(benchmark::State& state) {
+  const expansion::MotifFinder& finder = BenchEngine().motif_finder();
+  const auto& queries = BenchDataset().query_set.queries;
+  size_t qi = 0;
+  for (auto _ : state) {
+    kb::ArticleId q = queries[qi++ % queries.size()].true_entities[0];
+    benchmark::DoNotOptimize(finder.FindSquare(q));
+  }
+}
+BENCHMARK(BM_SquareMotif);
+
+void BM_BuildQueryGraph(benchmark::State& state) {
+  const expansion::MotifFinder& finder = BenchEngine().motif_finder();
+  const auto& queries = BenchDataset().query_set.queries;
+  const expansion::MotifConfig config = expansion::MotifConfig::Both();
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto& nodes = queries[qi++ % queries.size()].true_entities;
+    benchmark::DoNotOptimize(finder.BuildQueryGraph(nodes, config));
+  }
+}
+BENCHMARK(BM_BuildQueryGraph);
+
+void BM_RetrieveExpanded(benchmark::State& state) {
+  expansion::SqeEngine& engine = BenchEngine();
+  const auto& queries = BenchDataset().query_set.queries;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto& query = queries[qi++ % queries.size()];
+    benchmark::DoNotOptimize(
+        engine.RunSqe(query.text, query.true_entities,
+                      expansion::MotifConfig::Both(),
+                      static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RetrieveExpanded)->Arg(10)->Arg(1000);
+
+void BM_PhraseMatch(benchmark::State& state) {
+  synth::Dataset& ds = BenchDataset();
+  const synth::World& world = BenchWorld();
+  // Pick a two-word title and match it as a phrase.
+  std::vector<text::TermId> ids;
+  for (const synth::Concept& cpt : world.concepts) {
+    if (cpt.name_terms.size() == 2) {
+      ids = {ds.index.LookupTerm(cpt.name_terms[0]),
+             ds.index.LookupTerm(cpt.name_terms[1])};
+      if (ids[0] != text::kInvalidTermId && ids[1] != text::kInvalidTermId) {
+        break;
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval::MatchPhrase(ds.index, ids));
+  }
+}
+BENCHMARK(BM_PhraseMatch);
+
+void BM_CombineSqeC(benchmark::State& state) {
+  expansion::SqeEngine& engine = BenchEngine();
+  const auto& query = BenchDataset().query_set.queries[0];
+  auto t = engine.RunSqe(query.text, query.true_entities,
+                         expansion::MotifConfig::Triangular(), 1000);
+  auto ts = engine.RunSqe(query.text, query.true_entities,
+                          expansion::MotifConfig::Both(), 1000);
+  auto s = engine.RunSqe(query.text, query.true_entities,
+                         expansion::MotifConfig::Square(), 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        expansion::CombineSqeC(t.results, ts.results, s.results, 1000));
+  }
+}
+BENCHMARK(BM_CombineSqeC);
+
+void BM_KbSnapshotRoundTrip(benchmark::State& state) {
+  const kb::KnowledgeBase& kb = BenchWorld().kb;
+  for (auto _ : state) {
+    std::string image = kb.SerializeToString();
+    auto loaded = kb::KnowledgeBase::FromSnapshotString(std::move(image));
+    benchmark::DoNotOptimize(loaded);
+  }
+}
+BENCHMARK(BM_KbSnapshotRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Reproduces Table 1: precision of the QL baselines, the three SQE motif
+// configurations and the ground-truth upper bound on the ImageCLEF-like
+// dataset, with paired-t-test significance daggers (rendered as '+').
+//
+// Paper shapes this harness should reproduce:
+//   * SQE_T / SQE_T&S / SQE_S significantly beat QL_Q, QL_E, QL_Q&E
+//     at every cutoff.
+//   * SQE_T leads at P@5; SQE_T&S leads the mid-range; SQE_S leads the
+//     large tops.
+//   * SQE^UB dominates everything (it uses the ground-truth graphs).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace sqe;
+  const synth::World& world = bench::PaperWorld();
+  bench::DatasetRuns runs =
+      bench::ComputeAllRuns(world, synth::ImageClefSpec());
+
+  std::vector<eval::NamedRun> systems;
+  systems.push_back({"QL_Q", runs.ql_q, /*is_baseline=*/true, false});
+  systems.push_back({"QL_E", runs.ql_e_m, /*is_baseline=*/true, false});
+  systems.push_back({"QL_Q&E", runs.ql_qe_m, /*is_baseline=*/true, false});
+  systems.push_back({"SQE_T", runs.sqe_t, false, false});
+  systems.push_back({"SQE_T&S", runs.sqe_ts, false, false});
+  systems.push_back({"SQE_S", runs.sqe_s, false, false});
+  systems.push_back({"SQE_UB", runs.sqe_ub, false, /*skip_significance=*/true});
+
+  eval::PrecisionTable table =
+      eval::EvaluateTable(systems, runs.dataset.query_set.qrels);
+  std::printf("%s\n", table.ToString(
+                          "Table 1 — ImageCLEF-like precision "
+                          "(+ marks p<0.05 vs all QL baselines)")
+                          .c_str());
+
+  // The paper's headline ratios: SQE vs upper bound.
+  double ratio_sum = 0.0;
+  size_t ratio_count = 0;
+  double worst_ratio = 1.0;
+  for (size_t row = 3; row <= 5; ++row) {  // the three SQE rows
+    for (size_t t = 0; t < eval::kDefaultTops.size(); ++t) {
+      double ub = table.means[6][t];
+      if (ub > 0.0) {
+        double ratio = table.means[row][t] / ub;
+        ratio_sum += ratio;
+        ++ratio_count;
+        worst_ratio = std::min(worst_ratio, ratio);
+      }
+    }
+  }
+  std::printf("SQE vs upper bound: average %.1f%% of SQE^UB "
+              "(worst case %.1f%%; paper: 85.9%% / 71.4%%)\n",
+              100.0 * ratio_sum / static_cast<double>(ratio_count),
+              100.0 * worst_ratio);
+  std::printf("avg expansion features/query: T=%.2f T&S=%.2f S=%.2f "
+              "(paper: 0.76 / 20.96 / 20.48)\n",
+              runs.avg_features_t, runs.avg_features_ts, runs.avg_features_s);
+  return 0;
+}

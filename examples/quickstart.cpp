@@ -1,0 +1,108 @@
+// Quickstart: the smallest end-to-end SQE run.
+//
+// Builds a tiny synthetic world (stand-in for Wikipedia), indexes a small
+// document collection, then expands and executes one query with each motif
+// configuration, printing the query graph and the top results.
+//
+// Usage: quickstart [query_index]
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/metrics.h"
+#include "prf/relevance_model.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace {
+
+void PrintResults(const char* label, const sqe::retrieval::ResultList& results,
+                  const sqe::synth::Dataset& dataset, size_t query_index,
+                  size_t show) {
+  double p10 = sqe::eval::PrecisionAtK(
+      results, dataset.query_set.qrels.RelevantDocs(query_index), 10);
+  std::printf("%-8s P@10=%.2f  top:", label, p10);
+  for (size_t i = 0; i < show && i < results.size(); ++i) {
+    bool relevant = dataset.query_set.qrels.IsRelevant(query_index,
+                                                       results[i].doc);
+    std::printf(" %s%s", dataset.index.ExternalId(results[i].doc).c_str(),
+                relevant ? "*" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t query_index =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 0;
+
+  // 1. Generate the world (KB graph) and a dataset over it.
+  sqe::synth::World world =
+      sqe::synth::World::Generate(sqe::synth::TinyWorldOptions());
+  sqe::synth::Dataset dataset =
+      sqe::synth::BuildDataset(world, sqe::synth::TinyDatasetSpec());
+  std::printf("world: %zu articles, %zu categories; collection: %zu docs\n",
+              world.kb.NumArticles(), world.kb.NumCategories(),
+              dataset.collection.docs.size());
+
+  // 2. Stand up the engine.
+  sqe::expansion::SqeEngineConfig config;
+  config.retriever.mu = dataset.retrieval_mu;
+  sqe::expansion::SqeEngine engine(&world.kb, &dataset.index,
+                                   dataset.linker.get(), &dataset.analyzer(),
+                                   config);
+
+  if (query_index >= dataset.NumQueries()) {
+    std::fprintf(stderr, "query index out of range (have %zu)\n",
+                 dataset.NumQueries());
+    return 1;
+  }
+  const sqe::synth::GeneratedQuery& query =
+      dataset.query_set.queries[query_index];
+  std::printf("\nquery #%zu: \"%s\"\n", query_index, query.text.c_str());
+  std::printf("intent article: %s\n",
+              world.kb.ArticleTitle(query.true_entities[0]).c_str());
+
+  // 3. Entity linking (automatic) vs the manual ground truth.
+  std::vector<sqe::kb::ArticleId> auto_nodes =
+      engine.LinkQueryNodes(query.text);
+  std::printf("auto-linked query nodes:");
+  for (sqe::kb::ArticleId a : auto_nodes) {
+    std::printf(" [%s]", world.kb.ArticleTitle(a).c_str());
+  }
+  std::printf("\n\n");
+
+  // 4. Expansion with each motif configuration (manual query nodes).
+  for (const auto& motifs : {sqe::expansion::MotifConfig::Triangular(),
+                             sqe::expansion::MotifConfig::Square(),
+                             sqe::expansion::MotifConfig::Both()}) {
+    sqe::expansion::SqeRunResult run =
+        engine.RunSqe(query.text, query.true_entities, motifs, 10);
+    std::printf("SQE_%s: %zu expansion features (%.2f ms motif matching)\n",
+                motifs.ToString().c_str(), run.graph.expansion_nodes.size(),
+                run.graph_build_ms);
+    for (size_t i = 0; i < run.graph.expansion_nodes.size() && i < 5; ++i) {
+      const auto& node = run.graph.expansion_nodes[i];
+      std::printf("   |m_a|=%u  %s\n", node.motif_count,
+                  world.kb.ArticleTitle(node.article).c_str());
+    }
+    PrintResults(motifs.ToString().c_str(), run.results, dataset, query_index,
+                 5);
+  }
+
+  // 5. Baselines and the combined SQE_C for comparison.
+  std::printf("\n");
+  PrintResults("QL_Q",
+               engine.RunBaseline(query.text, query.true_entities,
+                                  sqe::expansion::QueryParts::QOnly(), 10),
+               dataset, query_index, 5);
+  PrintResults("QL_Q&E",
+               engine.RunBaseline(query.text, query.true_entities,
+                                  sqe::expansion::QueryParts::QAndE(), 10),
+               dataset, query_index, 5);
+  sqe::expansion::SqeCRunResult combined =
+      engine.RunSqeC(query.text, query.true_entities, 10);
+  PrintResults("SQE_C", combined.results, dataset, query_index, 5);
+
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "analysis/cycle_enumerator.h"
+
+#include "common/macros.h"
+
+namespace sqe::analysis {
+
+namespace {
+uint8_t MultiplicityBetween(const kb::KnowledgeBase& kb,
+                            const kb::NodeRef& a, const kb::NodeRef& b) {
+  uint8_t m = 0;
+  if (a.is_article() && b.is_article()) {
+    if (kb.HasLink(a.id, b.id)) ++m;
+    if (kb.HasLink(b.id, a.id)) ++m;
+  } else if (a.is_article() && b.is_category()) {
+    if (kb.HasMembership(a.id, b.id)) ++m;
+  } else if (a.is_category() && b.is_article()) {
+    if (kb.HasMembership(b.id, a.id)) ++m;
+  } else {
+    if (kb.HasCategoryLink(a.id, b.id)) ++m;
+    if (kb.HasCategoryLink(b.id, a.id)) ++m;
+  }
+  return m;
+}
+}  // namespace
+
+InducedSubgraph::InducedSubgraph(const kb::KnowledgeBase& kb,
+                                 std::vector<kb::NodeRef> nodes)
+    : nodes_(std::move(nodes)) {
+  const size_t n = nodes_.size();
+  multiplicity_.assign(n * n, 0);
+  neighbors_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      uint8_t m = MultiplicityBetween(kb, nodes_[i], nodes_[j]);
+      if (m > 0) {
+        multiplicity_[i * n + j] = m;
+        multiplicity_[j * n + i] = m;
+        neighbors_[i].push_back(static_cast<uint32_t>(j));
+        neighbors_[j].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+}
+
+size_t InducedSubgraph::IndexOf(const kb::NodeRef& node) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == node) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+size_t Cycle::NumCategoryNodes() const {
+  size_t n = 0;
+  for (const kb::NodeRef& node : nodes) {
+    if (node.is_category()) ++n;
+  }
+  return n;
+}
+
+double Cycle::ExtraEdgeDensity() const {
+  if (nodes.empty()) return 0.0;
+  const double length = static_cast<double>(nodes.size());
+  return (static_cast<double>(total_edges) - length) / length;
+}
+
+namespace {
+// DFS over node-simple paths from `start` of exactly `length` hops
+// returning to start. Direction duplicates are suppressed by requiring the
+// second node's index to be smaller than the last node's index.
+void Dfs(const InducedSubgraph& graph, size_t start, size_t length,
+         std::vector<uint32_t>& path, std::vector<bool>& on_path,
+         std::vector<Cycle>& out) {
+  const size_t current = path.back();
+  if (path.size() == length) {
+    if (graph.EdgeMultiplicity(current, start) > 0 && path[1] < path.back()) {
+      Cycle cycle;
+      cycle.nodes.reserve(length);
+      uint32_t edges = 0;
+      for (size_t i = 0; i < path.size(); ++i) {
+        cycle.nodes.push_back(graph.node(path[i]));
+        edges += graph.EdgeMultiplicity(path[i],
+                                        path[(i + 1) % path.size()]);
+      }
+      cycle.total_edges = edges;
+      out.push_back(std::move(cycle));
+    }
+    return;
+  }
+  for (uint32_t next : graph.Neighbors(current)) {
+    if (on_path[next]) continue;
+    path.push_back(next);
+    on_path[next] = true;
+    Dfs(graph, start, length, path, on_path, out);
+    on_path[next] = false;
+    path.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<Cycle> EnumerateCyclesThrough(const InducedSubgraph& graph,
+                                          size_t start, size_t length) {
+  SQE_CHECK(length >= 3);
+  SQE_CHECK(start < graph.NumNodes());
+  std::vector<Cycle> out;
+  std::vector<uint32_t> path = {static_cast<uint32_t>(start)};
+  std::vector<bool> on_path(graph.NumNodes(), false);
+  on_path[start] = true;
+  Dfs(graph, start, length, path, on_path, out);
+  return out;
+}
+
+}  // namespace sqe::analysis

@@ -1,0 +1,69 @@
+// Cycle enumeration over the induced KB subgraph of a query graph —
+// the machinery behind the paper's Section 2.1 structural analysis.
+//
+// The paper treats the KB as a multigraph: consecutive cycle nodes may be
+// joined by up to two edges (both hyperlink directions, or both
+// subcategory directions). Cycles are node-simple closed walks through a
+// designated start node; each undirected cycle is reported once.
+#ifndef SQE_ANALYSIS_CYCLE_ENUMERATOR_H_
+#define SQE_ANALYSIS_CYCLE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "kb/types.h"
+
+namespace sqe::analysis {
+
+/// The subgraph of the KB induced on an explicit node set, viewed as an
+/// undirected multigraph.
+class InducedSubgraph {
+ public:
+  /// Builds adjacency among `nodes` by probing the KB's edge-existence
+  /// checks for every pair (node sets here are small: a query graph).
+  InducedSubgraph(const kb::KnowledgeBase& kb,
+                  std::vector<kb::NodeRef> nodes);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const kb::NodeRef& node(size_t i) const { return nodes_[i]; }
+
+  /// Number of parallel edges between local node indices (0, 1 or 2).
+  uint8_t EdgeMultiplicity(size_t i, size_t j) const {
+    return multiplicity_[i * nodes_.size() + j];
+  }
+  /// Local indices adjacent to i (multiplicity >= 1).
+  const std::vector<uint32_t>& Neighbors(size_t i) const {
+    return neighbors_[i];
+  }
+  /// Local index of a node, or SIZE_MAX.
+  size_t IndexOf(const kb::NodeRef& node) const;
+
+ private:
+  std::vector<kb::NodeRef> nodes_;
+  std::vector<uint8_t> multiplicity_;  // dense NxN
+  std::vector<std::vector<uint32_t>> neighbors_;
+};
+
+/// A cycle: node sequence starting (and implicitly ending) at the start
+/// node. nodes.size() is the cycle length.
+struct Cycle {
+  std::vector<kb::NodeRef> nodes;
+  /// Total parallel edges along consecutive pairs (>= length).
+  uint32_t total_edges = 0;
+
+  size_t Length() const { return nodes.size(); }
+  size_t NumCategoryNodes() const;
+  /// (total_edges − L) / L ∈ [0, 1]: the paper's "density of extra edges"
+  /// (each consecutive pair can carry at most one extra parallel edge).
+  double ExtraEdgeDensity() const;
+};
+
+/// All node-simple cycles of exactly `length` passing through `start`
+/// (a local node index). Each undirected cycle is returned once.
+std::vector<Cycle> EnumerateCyclesThrough(const InducedSubgraph& graph,
+                                          size_t start, size_t length);
+
+}  // namespace sqe::analysis
+
+#endif  // SQE_ANALYSIS_CYCLE_ENUMERATOR_H_

@@ -1,0 +1,98 @@
+#include "analysis/structure_analyzer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace sqe::analysis {
+
+StructureReport AnalyzeQueryGraph(const kb::KnowledgeBase& kb,
+                                  const expansion::QueryGraph& graph) {
+  // Node set: query nodes + expansion articles + involved categories.
+  std::vector<kb::NodeRef> nodes;
+  for (kb::ArticleId q : graph.query_nodes) {
+    nodes.push_back(kb::NodeRef::Article(q));
+  }
+  for (const expansion::ExpansionNode& e : graph.expansion_nodes) {
+    nodes.push_back(kb::NodeRef::Article(e.article));
+  }
+  for (kb::CategoryId c : graph.category_nodes) {
+    nodes.push_back(kb::NodeRef::Category(c));
+  }
+  InducedSubgraph induced(kb, std::move(nodes));
+
+  StructureReport report;
+  for (size_t li = 0; li < kCycleLengths.size(); ++li) {
+    PerLengthStats& stats = report.per_length[li];
+    stats.cycle_length = kCycleLengths[li];
+
+    double ratio_sum = 0.0;
+    double density_sum = 0.0;
+    std::unordered_set<kb::ArticleId> on_cycles;
+
+    for (size_t qi = 0; qi < graph.query_nodes.size(); ++qi) {
+      // Query nodes were added first, so local index == qi.
+      std::vector<Cycle> cycles =
+          EnumerateCyclesThrough(induced, qi, kCycleLengths[li]);
+      for (const Cycle& cycle : cycles) {
+        ratio_sum += static_cast<double>(cycle.NumCategoryNodes()) /
+                     static_cast<double>(cycle.Length());
+        density_sum += cycle.ExtraEdgeDensity();
+        for (const kb::NodeRef& node : cycle.nodes) {
+          if (node.is_article() && node.id != graph.query_nodes[qi]) {
+            on_cycles.insert(node.id);
+          }
+        }
+      }
+      stats.num_cycles += cycles.size();
+    }
+    if (stats.num_cycles > 0) {
+      stats.avg_category_ratio =
+          ratio_sum / static_cast<double>(stats.num_cycles);
+      stats.avg_extra_edge_density =
+          density_sum / static_cast<double>(stats.num_cycles);
+    }
+    stats.articles_on_cycles.assign(on_cycles.begin(), on_cycles.end());
+    std::sort(stats.articles_on_cycles.begin(),
+              stats.articles_on_cycles.end());
+  }
+  return report;
+}
+
+StructureReport AggregateReports(
+    const std::vector<StructureReport>& reports) {
+  StructureReport out;
+  for (size_t li = 0; li < kCycleLengths.size(); ++li) {
+    PerLengthStats& agg = out.per_length[li];
+    agg.cycle_length = kCycleLengths[li];
+    double ratio_sum = 0.0;
+    double density_sum = 0.0;
+    for (const StructureReport& r : reports) {
+      const PerLengthStats& s = r.per_length[li];
+      agg.num_cycles += s.num_cycles;
+      ratio_sum += s.avg_category_ratio * static_cast<double>(s.num_cycles);
+      density_sum +=
+          s.avg_extra_edge_density * static_cast<double>(s.num_cycles);
+    }
+    if (agg.num_cycles > 0) {
+      agg.avg_category_ratio =
+          ratio_sum / static_cast<double>(agg.num_cycles);
+      agg.avg_extra_edge_density =
+          density_sum / static_cast<double>(agg.num_cycles);
+    }
+  }
+  return out;
+}
+
+std::string StructureReport::ToString() const {
+  std::string out = "cycle-length  cycles     cat-ratio  extra-edge-density\n";
+  for (const PerLengthStats& s : per_length) {
+    out += StrFormat("%-13zu %-10llu %-10.3f %.3f\n", s.cycle_length,
+                     static_cast<unsigned long long>(s.num_cycles),
+                     s.avg_category_ratio, s.avg_extra_edge_density);
+  }
+  return out;
+}
+
+}  // namespace sqe::analysis

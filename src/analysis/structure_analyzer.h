@@ -1,0 +1,50 @@
+// Structure analysis of query graphs (Section 2.1 / Figure 2).
+//
+// Given a query graph (typically a ground-truth optimal graph), this module
+// enumerates the cycles of length 3, 4 and 5 through the query nodes and
+// aggregates, per length: the cycle count, the ratio of category nodes and
+// the extra-edge density — plus, for the contribution study, which
+// expansion articles sit on at least one cycle of each length.
+#ifndef SQE_ANALYSIS_STRUCTURE_ANALYZER_H_
+#define SQE_ANALYSIS_STRUCTURE_ANALYZER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cycle_enumerator.h"
+#include "kb/knowledge_base.h"
+#include "sqe/query_graph.h"
+
+namespace sqe::analysis {
+
+/// Cycle lengths the paper analyzes.
+inline constexpr std::array<size_t, 3> kCycleLengths = {3, 4, 5};
+
+struct PerLengthStats {
+  size_t cycle_length = 0;
+  uint64_t num_cycles = 0;
+  double avg_category_ratio = 0.0;
+  double avg_extra_edge_density = 0.0;
+  /// Expansion articles on >= 1 cycle of this length.
+  std::vector<kb::ArticleId> articles_on_cycles;
+};
+
+struct StructureReport {
+  std::array<PerLengthStats, kCycleLengths.size()> per_length;
+  std::string ToString() const;
+};
+
+/// Analyzes one query graph against the KB.
+StructureReport AnalyzeQueryGraph(const kb::KnowledgeBase& kb,
+                                  const expansion::QueryGraph& graph);
+
+/// Aggregates reports over many query graphs (mean of per-graph ratios,
+/// cycle-count-weighted for densities; unions are not taken — the per-graph
+/// article sets are dropped).
+StructureReport AggregateReports(const std::vector<StructureReport>& reports);
+
+}  // namespace sqe::analysis
+
+#endif  // SQE_ANALYSIS_STRUCTURE_ANALYZER_H_

@@ -1,0 +1,44 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace sqe {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Function-local static of a trivially destructible type (std::array of
+// uint32_t) — allowed by the style rules on static storage duration.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = CrcTable();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  return Crc32(data.data(), data.size(), crc);
+}
+
+}  // namespace sqe

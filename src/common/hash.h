@@ -1,0 +1,34 @@
+// Hashing utilities: 64-bit FNV-1a for strings and a CRC32 used by the
+// snapshot format to detect corruption.
+#ifndef SQE_COMMON_HASH_H_
+#define SQE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sqe {
+
+/// 64-bit FNV-1a. Deterministic across platforms; used for term dictionaries
+/// and surface-form tables (never for security).
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Mixes two 64-bit hashes (boost::hash_combine-style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Streaming-friendly:
+/// pass the previous crc to continue.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_HASH_H_

@@ -1,0 +1,27 @@
+// Minimal leveled logging to stderr. Not thread-safe beyond what fprintf
+// gives; SQE is single-threaded by design (the paper measures unoptimized,
+// single-threaded expansion times).
+#ifndef SQE_COMMON_LOGGING_H_
+#define SQE_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace sqe {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits a log line "[LEVEL] message" if `level` >= the configured minimum.
+void Log(LogLevel level, const std::string& message);
+
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_LOGGING_H_

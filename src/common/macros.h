@@ -1,0 +1,53 @@
+// Common macros used across the SQE codebase.
+#ifndef SQE_COMMON_MACROS_H_
+#define SQE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Marks a class as neither copyable nor movable.
+#define SQE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+// Fatal invariant check. Used for programmer errors (not recoverable I/O or
+// data errors, which go through Status). Always on, including release builds,
+// in the spirit of database kernels where silent corruption is worse than a
+// crash.
+#define SQE_CHECK(condition)                                               \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "SQE_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define SQE_CHECK_MSG(condition, msg)                                       \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "SQE_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #condition, msg);                    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Propagates a non-ok Status from an expression that yields a Status.
+#define SQE_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::sqe::Status _status = (expr);               \
+    if (!_status.ok()) return _status;            \
+  } while (0)
+
+// Evaluates an expression yielding Result<T>; on error returns the Status,
+// otherwise assigns the value to `lhs`.
+#define SQE_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto SQE_CONCAT_(_result_, __LINE__) = (expr);    \
+  if (!SQE_CONCAT_(_result_, __LINE__).ok())        \
+    return SQE_CONCAT_(_result_, __LINE__).status(); \
+  lhs = std::move(SQE_CONCAT_(_result_, __LINE__)).value()
+
+#define SQE_CONCAT_IMPL_(a, b) a##b
+#define SQE_CONCAT_(a, b) SQE_CONCAT_IMPL_(a, b)
+
+#endif  // SQE_COMMON_MACROS_H_

@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+
+namespace sqe {
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  SQE_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  SQE_CHECK(total > 0.0);
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SQE_CHECK(k <= n);
+  // For small k relative to n use rejection with a set-like vector probe;
+  // for large k shuffle a full range. The crossover keeps both paths O(n).
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k * 4 >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(k));
+  } else {
+    std::vector<bool> taken(n, false);
+    while (out.size() < k) {
+      size_t x = NextBounded(n);
+      if (!taken[x]) {
+        taken[x] = true;
+        out.push_back(x);
+      }
+    }
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  SQE_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& x : cdf_) x /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double r = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace sqe

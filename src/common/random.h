@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation for synthetic data.
+//
+// All synthetic datasets in SQE are seeded, so experiments are exactly
+// reproducible across runs and machines. We use xoshiro256** (public domain,
+// Blackman & Vigna) seeded through SplitMix64 — fast, high quality, and
+// stable across standard library implementations (std::mt19937 streams are
+// stable too, but distributions are not; we implement our own).
+#ifndef SQE_COMMON_RANDOM_H_
+#define SQE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sqe {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    SQE_CHECK(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    SQE_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Gaussian via Marsaglia polar method.
+  double NextGaussian(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n): P(k) ∝ 1/(k+1)^s. Uses an inverted-CDF
+  /// table built lazily per (n, s); callers with a fixed distribution should
+  /// prefer ZipfSampler below.
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles v in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Precomputed Zipf(s) sampler over ranks [0, n).
+class ZipfSampler {
+ public:
+  /// Builds the cumulative table; O(n) once, O(log n) per sample.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_RANDOM_H_

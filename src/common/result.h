@@ -1,0 +1,63 @@
+// Result<T>: value-or-Status, the SQE analogue of absl::StatusOr / arrow::Result.
+#ifndef SQE_COMMON_RESULT_H_
+#define SQE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace sqe {
+
+/// Holds either a value of type T or a non-ok Status explaining why the value
+/// is absent. Accessing value() on an error Result aborts (programmer error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (ok result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-ok status.
+  Result(Status status) : status_(std::move(status)) {
+    SQE_CHECK_MSG(!status_.ok(), "Result constructed from ok Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    SQE_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    SQE_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T value() && {
+    SQE_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+// Small string helpers shared across modules.
+#ifndef SQE_COMMON_STRING_UTIL_H_
+#define SQE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqe {
+
+/// Splits `input` on any occurrence of `delim`; empty pieces are kept.
+std::vector<std::string_view> Split(std::string_view input, char delim);
+
+/// Splits on runs of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// ASCII lower-casing (bytes >= 0x80 are passed through).
+std::string ToLowerAscii(std::string_view input);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a non-negative integer; returns false on any non-digit or overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_STRING_UTIL_H_

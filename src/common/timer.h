@@ -1,0 +1,60 @@
+// Wall-clock timing utilities used by the benchmark harnesses (Table 4).
+#ifndef SQE_COMMON_TIMER_H_
+#define SQE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sqe {
+
+/// A simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections.
+class AccumulatingTimer {
+ public:
+  /// RAII scope: adds the scope's duration to the owning accumulator.
+  class Scope {
+   public:
+    explicit Scope(AccumulatingTimer* owner) : owner_(owner) {}
+    ~Scope() { owner_->total_seconds_ += timer_.ElapsedSeconds(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    AccumulatingTimer* owner_;
+    Timer timer_;
+  };
+
+  Scope Measure() { return Scope(this); }
+  void Add(double seconds) { total_seconds_ += seconds; }
+  double TotalSeconds() const { return total_seconds_; }
+  double TotalMillis() const { return total_seconds_ * 1e3; }
+  void Reset() { total_seconds_ = 0.0; }
+
+ private:
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_TIMER_H_

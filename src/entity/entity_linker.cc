@@ -1,0 +1,62 @@
+#include "entity/entity_linker.h"
+
+#include <algorithm>
+
+namespace sqe::entity {
+
+EntityLinker::EntityLinker(const SurfaceFormDictionary* dictionary,
+                           const text::Analyzer* analyzer,
+                           EntityLinkerOptions options)
+    : dictionary_(dictionary), analyzer_(analyzer), options_(options) {
+  SQE_CHECK(dictionary != nullptr && analyzer != nullptr);
+}
+
+std::vector<LinkedEntity> EntityLinker::LinkTokens(
+    const std::vector<std::string>& tokens) const {
+  std::vector<LinkedEntity> out;
+  const size_t n = tokens.size();
+  const size_t max_len =
+      std::min(options_.max_ngram, dictionary_->MaxFormLength());
+  size_t i = 0;
+  while (i < n) {
+    bool linked = false;
+    for (size_t len = std::min(max_len, n - i); len >= 1 && !linked; --len) {
+      std::span<const std::string> span(tokens.data() + i, len);
+      std::span<const Candidate> candidates = dictionary_->Lookup(span);
+      if (candidates.empty()) continue;
+      // Candidates are sorted by descending commonness.
+      const Candidate& best = candidates.front();
+      if (best.commonness >= options_.min_commonness) {
+        out.push_back(LinkedEntity{best.article, best.commonness, i, i + len});
+        i += len;
+        linked = true;
+      }
+    }
+    if (!linked) ++i;
+  }
+  return out;
+}
+
+std::vector<LinkedEntity> EntityLinker::Link(std::string_view raw_query) const {
+  std::vector<std::string> tokens = analyzer_->Analyze(raw_query);
+  std::vector<LinkedEntity> linked = LinkTokens(tokens);
+  if (!linked.empty()) return linked;
+
+  // Dexter found nothing: fall back to Alchemy-style NER mentions and try
+  // to link each one exactly.
+  for (const Mention& mention :
+       RecognizeMentions(raw_query, options_.ner)) {
+    std::vector<std::string> mention_tokens = analyzer_->Analyze(mention.text);
+    if (mention_tokens.empty()) continue;
+    std::span<const Candidate> candidates =
+        dictionary_->Lookup(std::span<const std::string>(mention_tokens));
+    if (candidates.empty()) continue;
+    const Candidate& best = candidates.front();
+    // The NER path is a last resort; accept the top candidate even below
+    // the commonness threshold (matching the paper's lenient fallback).
+    linked.push_back(LinkedEntity{best.article, best.commonness, 0, 0});
+  }
+  return linked;
+}
+
+}  // namespace sqe::entity

@@ -1,0 +1,65 @@
+// EntityLinker: Dexter-style spotting + disambiguation, with the Alchemy
+// NER fallback, producing the paper's "query nodes".
+//
+// Pipeline (matching Section 3 of the paper):
+//  1. Spot: greedy longest-match scan of the analyzed query tokens against
+//     the surface-form dictionary (prefer longer n-grams; no overlaps).
+//  2. Disambiguate: pick the candidate with the highest commonness prior,
+//     requiring it to clear `min_commonness`.
+//  3. Fallback: if nothing was linked, run the heuristic NER over the raw
+//     text and try to link each recognized mention exactly.
+#ifndef SQE_ENTITY_ENTITY_LINKER_H_
+#define SQE_ENTITY_ENTITY_LINKER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "entity/ner.h"
+#include "entity/surface_forms.h"
+#include "kb/knowledge_base.h"
+#include "text/analyzer.h"
+
+namespace sqe::entity {
+
+/// A linked query entity.
+struct LinkedEntity {
+  kb::ArticleId article = kb::kInvalidArticle;
+  double confidence = 0.0;     // the winning commonness prior
+  size_t token_begin = 0;      // [begin, end) over analyzed query tokens
+  size_t token_end = 0;
+};
+
+struct EntityLinkerOptions {
+  /// Minimum commonness for a link to be accepted.
+  double min_commonness = 0.5;
+  /// Longest n-gram to try while spotting.
+  size_t max_ngram = 4;
+  NerOptions ner;
+};
+
+/// Stateless linker bound to a dictionary (and analyzer for the fallback).
+class EntityLinker {
+ public:
+  /// Both pointers must outlive the linker.
+  EntityLinker(const SurfaceFormDictionary* dictionary,
+               const text::Analyzer* analyzer,
+               EntityLinkerOptions options = {});
+
+  /// Links entities in raw query text. Returned entities are ordered by
+  /// their position; at most one link per token span.
+  std::vector<LinkedEntity> Link(std::string_view raw_query) const;
+
+  /// Links over pre-analyzed tokens (no NER fallback possible).
+  std::vector<LinkedEntity> LinkTokens(
+      const std::vector<std::string>& analyzed_tokens) const;
+
+ private:
+  const SurfaceFormDictionary* dictionary_;
+  const text::Analyzer* analyzer_;
+  EntityLinkerOptions options_;
+};
+
+}  // namespace sqe::entity
+
+#endif  // SQE_ENTITY_ENTITY_LINKER_H_

@@ -1,0 +1,42 @@
+#include "entity/ner.h"
+
+#include <cctype>
+
+#include "text/tokenizer.h"
+
+namespace sqe::entity {
+
+std::vector<Mention> RecognizeMentions(std::string_view raw_text,
+                                       NerOptions options) {
+  std::vector<text::Token> tokens = text::Tokenize(raw_text);
+  std::vector<Mention> mentions;
+
+  auto is_capitalized = [&](const text::Token& t) {
+    if (t.begin >= raw_text.size()) return false;
+    unsigned char first = static_cast<unsigned char>(raw_text[t.begin]);
+    return std::isupper(first) != 0;
+  };
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (!is_capitalized(tokens[i])) {
+      ++i;
+      continue;
+    }
+    size_t run_end = i;
+    while (run_end + 1 < tokens.size() &&
+           run_end + 1 - i + 1 <= options.max_mention_words &&
+           is_capitalized(tokens[run_end + 1])) {
+      ++run_end;
+    }
+    Mention m;
+    m.begin = tokens[i].begin;
+    m.end = tokens[run_end].end;
+    m.text = std::string(raw_text.substr(m.begin, m.end - m.begin));
+    mentions.push_back(std::move(m));
+    i = run_end + 1;
+  }
+  return mentions;
+}
+
+}  // namespace sqe::entity

@@ -1,0 +1,33 @@
+// HeuristicNer: the Alchemy-style fallback entity recognizer.
+//
+// The paper pre-processes with Alchemy when Dexter cannot link a query:
+// Alchemy *identifies* entity mentions without linking them. Our stand-in
+// finds maximal runs of capitalized words in the raw (pre-lower-casing)
+// text — the dominant signal a statistical NER uses for short queries.
+#ifndef SQE_ENTITY_NER_H_
+#define SQE_ENTITY_NER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqe::entity {
+
+/// An unlinked entity mention: raw text span.
+struct Mention {
+  std::string text;    // the mention as it appeared
+  size_t begin = 0;    // byte offsets into the original string
+  size_t end = 0;
+};
+
+struct NerOptions {
+  size_t max_mention_words = 4;
+};
+
+/// Extracts capitalized-run mentions from raw text.
+std::vector<Mention> RecognizeMentions(std::string_view raw_text,
+                                       NerOptions options = {});
+
+}  // namespace sqe::entity
+
+#endif  // SQE_ENTITY_NER_H_

@@ -1,0 +1,72 @@
+#include "entity/surface_forms.h"
+
+#include <algorithm>
+
+namespace sqe::entity {
+
+std::string SurfaceFormDictionary::KeyOf(
+    std::span<const std::string> tokens) {
+  std::string key;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) key.push_back('\x1f');  // unit separator: never in tokens
+    key += tokens[i];
+  }
+  return key;
+}
+
+void SurfaceFormDictionary::Add(
+    const std::vector<std::string>& analyzed_tokens, kb::ArticleId target,
+    double count) {
+  SQE_CHECK_MSG(!finalized_, "Add after Finalize");
+  if (analyzed_tokens.empty()) return;
+  std::string key = KeyOf(analyzed_tokens);
+  auto& candidates = forms_[std::move(key)];
+  for (Candidate& c : candidates) {
+    if (c.article == target) {
+      c.commonness += count;
+      return;
+    }
+  }
+  candidates.push_back(Candidate{target, count});
+  max_form_length_ = std::max(max_form_length_, analyzed_tokens.size());
+}
+
+void SurfaceFormDictionary::Finalize() {
+  for (auto& [key, candidates] : forms_) {
+    double total = 0.0;
+    for (const Candidate& c : candidates) total += c.commonness;
+    if (total > 0.0) {
+      for (Candidate& c : candidates) c.commonness /= total;
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.commonness != b.commonness) {
+                  return a.commonness > b.commonness;
+                }
+                return a.article < b.article;
+              });
+  }
+  finalized_ = true;
+}
+
+std::span<const Candidate> SurfaceFormDictionary::Lookup(
+    std::span<const std::string> analyzed_tokens) const {
+  SQE_CHECK_MSG(finalized_, "Lookup before Finalize");
+  if (analyzed_tokens.empty()) return {};
+  auto it = forms_.find(KeyOf(analyzed_tokens));
+  if (it == forms_.end()) return {};
+  return std::span<const Candidate>(it->second);
+}
+
+SurfaceFormDictionary SurfaceFormDictionary::FromKbTitles(
+    const kb::KnowledgeBase& kb, const text::Analyzer& analyzer) {
+  SurfaceFormDictionary dict;
+  for (size_t a = 0; a < kb.NumArticles(); ++a) {
+    kb::ArticleId id = static_cast<kb::ArticleId>(a);
+    std::vector<std::string> tokens = analyzer.Analyze(kb.ArticleTitle(id));
+    if (!tokens.empty()) dict.Add(tokens, id);
+  }
+  return dict;
+}
+
+}  // namespace sqe::entity

@@ -1,0 +1,68 @@
+// SurfaceFormDictionary: maps token n-grams ("surface forms") to candidate
+// KB articles with commonness priors — the Dexter-style spot dictionary.
+//
+// In the real system this table is mined from Wikipedia anchor text; here it
+// is populated from article titles plus generated aliases (including the
+// noisy/ambiguous ones that give the automatic linker its ~80% precision).
+#ifndef SQE_ENTITY_SURFACE_FORMS_H_
+#define SQE_ENTITY_SURFACE_FORMS_H_
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "text/analyzer.h"
+
+namespace sqe::entity {
+
+/// One candidate meaning of a surface form.
+struct Candidate {
+  kb::ArticleId article = kb::kInvalidArticle;
+  /// P(article | surface form): the fraction of times this surface form
+  /// refers to this article. Candidates for a form sum to 1 after Finalize().
+  double commonness = 0.0;
+};
+
+/// Append-then-finalize dictionary of surface forms.
+class SurfaceFormDictionary {
+ public:
+  SurfaceFormDictionary() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(SurfaceFormDictionary);
+  SurfaceFormDictionary(SurfaceFormDictionary&&) = default;
+  SurfaceFormDictionary& operator=(SurfaceFormDictionary&&) = default;
+
+  /// Records `count` observations of `analyzed_tokens` referring to
+  /// `target`. Tokens must already be analyzer output.
+  void Add(const std::vector<std::string>& analyzed_tokens,
+           kb::ArticleId target, double count = 1.0);
+
+  /// Normalizes commonness per form and sorts candidates by descending
+  /// commonness. Must be called once before Lookup.
+  void Finalize();
+
+  /// Candidates for an exact analyzed-token n-gram; empty span if unknown.
+  std::span<const Candidate> Lookup(
+      std::span<const std::string> analyzed_tokens) const;
+
+  /// Longest n-gram length present in the dictionary.
+  size_t MaxFormLength() const { return max_form_length_; }
+  size_t NumForms() const { return forms_.size(); }
+
+  /// Builds a dictionary whose surface forms are the KB article titles
+  /// (analyzed). The synthetic generator then layers alias noise on top.
+  static SurfaceFormDictionary FromKbTitles(const kb::KnowledgeBase& kb,
+                                            const text::Analyzer& analyzer);
+
+ private:
+  static std::string KeyOf(std::span<const std::string> tokens);
+
+  std::unordered_map<std::string, std::vector<Candidate>> forms_;
+  size_t max_form_length_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sqe::entity
+
+#endif  // SQE_ENTITY_SURFACE_FORMS_H_

@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include "common/macros.h"
+
+namespace sqe::eval {
+
+double PrecisionAtK(const retrieval::ResultList& results,
+                    const std::unordered_set<index::DocId>& relevant,
+                    size_t k) {
+  SQE_CHECK(k > 0);
+  size_t hits = 0;
+  const size_t limit = std::min(k, results.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.contains(results[i].doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecision(const retrieval::ResultList& results,
+                        const std::unordered_set<index::DocId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (relevant.contains(results[i].doc)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+std::vector<double> PerQueryPrecision(
+    const std::vector<retrieval::ResultList>& runs, const Qrels& qrels,
+    size_t k) {
+  SQE_CHECK(runs.size() == qrels.NumQueries());
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (size_t q = 0; q < runs.size(); ++q) {
+    out.push_back(PrecisionAtK(runs[q], qrels.RelevantDocs(q), k));
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::array<double, kDefaultTops.size()> MeanPrecisionAtTops(
+    const std::vector<retrieval::ResultList>& runs, const Qrels& qrels) {
+  std::array<double, kDefaultTops.size()> out{};
+  for (size_t i = 0; i < kDefaultTops.size(); ++i) {
+    out[i] = Mean(PerQueryPrecision(runs, qrels, kDefaultTops[i]));
+  }
+  return out;
+}
+
+double MeanAveragePrecision(const std::vector<retrieval::ResultList>& runs,
+                            const Qrels& qrels) {
+  SQE_CHECK(runs.size() == qrels.NumQueries());
+  std::vector<double> per_query;
+  per_query.reserve(runs.size());
+  for (size_t q = 0; q < runs.size(); ++q) {
+    per_query.push_back(AveragePrecision(runs[q], qrels.RelevantDocs(q)));
+  }
+  return Mean(per_query);
+}
+
+}  // namespace sqe::eval

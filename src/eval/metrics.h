@@ -1,0 +1,48 @@
+// Retrieval metrics: precision@k (the paper's default TrecEval tops),
+// average precision, and per-query matrices used by significance testing.
+#ifndef SQE_EVAL_METRICS_H_
+#define SQE_EVAL_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "eval/qrels.h"
+#include "retrieval/result.h"
+
+namespace sqe::eval {
+
+/// The precision cutoffs reported throughout the paper (TrecEval defaults).
+inline constexpr std::array<size_t, 9> kDefaultTops = {5,   10,  15,  20, 30,
+                                                       100, 200, 500, 1000};
+
+/// Fraction of the top-k results that are relevant. Lists shorter than k
+/// are padded with non-relevant (TrecEval semantics: denominator is k).
+double PrecisionAtK(const retrieval::ResultList& results,
+                    const std::unordered_set<index::DocId>& relevant,
+                    size_t k);
+
+/// Average precision of a ranked list (for MAP).
+double AveragePrecision(const retrieval::ResultList& results,
+                        const std::unordered_set<index::DocId>& relevant);
+
+/// Per-query P@k over a batch of runs; runs.size() must equal
+/// qrels.NumQueries().
+std::vector<double> PerQueryPrecision(
+    const std::vector<retrieval::ResultList>& runs, const Qrels& qrels,
+    size_t k);
+
+/// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& values);
+
+/// Mean P@k across queries for each cutoff in kDefaultTops.
+std::array<double, kDefaultTops.size()> MeanPrecisionAtTops(
+    const std::vector<retrieval::ResultList>& runs, const Qrels& qrels);
+
+/// Mean average precision across queries.
+double MeanAveragePrecision(const std::vector<retrieval::ResultList>& runs,
+                            const Qrels& qrels);
+
+}  // namespace sqe::eval
+
+#endif  // SQE_EVAL_METRICS_H_

@@ -1,0 +1,20 @@
+#include "eval/qrels.h"
+
+namespace sqe::eval {
+
+double Qrels::AverageRelevantPerQuery() const {
+  if (relevant_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& set : relevant_) total += set.size();
+  return static_cast<double>(total) / static_cast<double>(relevant_.size());
+}
+
+size_t Qrels::NumQueriesWithoutRelevant() const {
+  size_t n = 0;
+  for (const auto& set : relevant_) {
+    if (set.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace sqe::eval

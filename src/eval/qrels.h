@@ -1,0 +1,47 @@
+// Qrels: relevance judgements for a query set, TrecEval-style.
+#ifndef SQE_EVAL_QRELS_H_
+#define SQE_EVAL_QRELS_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "index/types.h"
+
+namespace sqe::eval {
+
+/// Binary relevance judgements indexed by dense query index.
+class Qrels {
+ public:
+  explicit Qrels(size_t num_queries = 0) : relevant_(num_queries) {}
+
+  void Resize(size_t num_queries) { relevant_.resize(num_queries); }
+  size_t NumQueries() const { return relevant_.size(); }
+
+  void AddRelevant(size_t query_index, index::DocId doc) {
+    relevant_.at(query_index).insert(doc);
+  }
+  bool IsRelevant(size_t query_index, index::DocId doc) const {
+    return relevant_.at(query_index).contains(doc);
+  }
+  size_t NumRelevant(size_t query_index) const {
+    return relevant_.at(query_index).size();
+  }
+  const std::unordered_set<index::DocId>& RelevantDocs(
+      size_t query_index) const {
+    return relevant_.at(query_index);
+  }
+
+  /// Mean number of relevant documents per query (the paper quotes 68.8 /
+  /// 31.32 / 50.6 for its three datasets).
+  double AverageRelevantPerQuery() const;
+  /// Queries with no relevant documents at all (14 in CHiC 2012, 1 in 2013).
+  size_t NumQueriesWithoutRelevant() const;
+
+ private:
+  std::vector<std::unordered_set<index::DocId>> relevant_;
+};
+
+}  // namespace sqe::eval
+
+#endif  // SQE_EVAL_QRELS_H_

@@ -1,0 +1,100 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "eval/ttest.h"
+
+namespace sqe::eval {
+
+PrecisionTable EvaluateTable(const std::vector<NamedRun>& systems,
+                             const Qrels& qrels) {
+  PrecisionTable table;
+
+  // Per-query precision matrices for significance testing.
+  // per_query[row][top_index] -> vector over queries.
+  std::vector<std::vector<std::vector<double>>> per_query(systems.size());
+  for (size_t r = 0; r < systems.size(); ++r) {
+    SQE_CHECK(systems[r].runs.size() == qrels.NumQueries());
+    per_query[r].resize(kDefaultTops.size());
+    for (size_t t = 0; t < kDefaultTops.size(); ++t) {
+      per_query[r][t] =
+          PerQueryPrecision(systems[r].runs, qrels, kDefaultTops[t]);
+    }
+  }
+
+  std::vector<size_t> baseline_rows;
+  for (size_t r = 0; r < systems.size(); ++r) {
+    if (systems[r].is_baseline) baseline_rows.push_back(r);
+  }
+
+  for (size_t r = 0; r < systems.size(); ++r) {
+    table.row_names.push_back(systems[r].name);
+    std::array<double, kDefaultTops.size()> means{};
+    std::array<bool, kDefaultTops.size()> sig{};
+    for (size_t t = 0; t < kDefaultTops.size(); ++t) {
+      means[t] = Mean(per_query[r][t]);
+      if (!systems[r].is_baseline && !systems[r].skip_significance &&
+          !baseline_rows.empty()) {
+        bool all_significant = true;
+        for (size_t b : baseline_rows) {
+          TTestResult test = PairedTTest(per_query[r][t], per_query[b][t]);
+          if (!(test.Significant() && test.mean_difference > 0.0)) {
+            all_significant = false;
+            break;
+          }
+        }
+        sig[t] = all_significant;
+      }
+    }
+    table.means.push_back(means);
+    table.significant.push_back(sig);
+  }
+  return table;
+}
+
+std::string PrecisionTable::ToString(const std::string& title) const {
+  std::string out = title + "\n";
+  size_t name_width = 12;
+  for (const std::string& n : row_names) {
+    name_width = std::max(name_width, n.size() + 2);
+  }
+  out += StrFormat("%-*s", static_cast<int>(name_width), "");
+  for (size_t top : kDefaultTops) {
+    out += StrFormat("%9s", StrFormat("P@%zu", top).c_str());
+  }
+  out += "\n";
+  for (size_t r = 0; r < row_names.size(); ++r) {
+    out += StrFormat("%-*s", static_cast<int>(name_width),
+                     row_names[r].c_str());
+    for (size_t t = 0; t < kDefaultTops.size(); ++t) {
+      std::string cell = StrFormat("%.3f%s", means[r][t],
+                                   significant[r][t] ? "+" : " ");
+      out += StrFormat("%9s", cell.c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::array<double, kDefaultTops.size()> PercentImprovementOverBest(
+    const PrecisionTable& table, const std::vector<size_t>& baseline_rows,
+    size_t treatment_row) {
+  SQE_CHECK(!baseline_rows.empty());
+  SQE_CHECK(treatment_row < table.means.size());
+  std::array<double, kDefaultTops.size()> out{};
+  for (size_t t = 0; t < kDefaultTops.size(); ++t) {
+    double best = 0.0;
+    for (size_t b : baseline_rows) {
+      SQE_CHECK(b < table.means.size());
+      best = std::max(best, table.means[b][t]);
+    }
+    out[t] = best > 0.0
+                 ? 100.0 * (table.means[treatment_row][t] - best) / best
+                 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace sqe::eval

@@ -1,0 +1,55 @@
+// Report: paper-style precision tables with significance daggers.
+//
+// Used by every bench binary to print rows in the exact shape of Tables
+// 1–3: one row per system, one column per precision cutoff, with a dagger
+// wherever the paired t-test against the designated baselines is
+// significant at p < 0.05.
+#ifndef SQE_EVAL_REPORT_H_
+#define SQE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/qrels.h"
+#include "retrieval/result.h"
+
+namespace sqe::eval {
+
+/// One system's runs across the query set.
+struct NamedRun {
+  std::string name;
+  std::vector<retrieval::ResultList> runs;
+  /// Rows marked as baselines are what treatment rows are tested against
+  /// (the paper tests SQE against all three QL baselines).
+  bool is_baseline = false;
+  /// Skip the significance test for this row (e.g., the upper bound).
+  bool skip_significance = false;
+};
+
+/// A fully evaluated table.
+struct PrecisionTable {
+  std::vector<std::string> row_names;
+  /// means[row][top_index], aligned with kDefaultTops.
+  std::vector<std::array<double, kDefaultTops.size()>> means;
+  /// significant[row][top_index]: true if the row improved over *every*
+  /// baseline row with p < 0.05 (the paper's dagger condition).
+  std::vector<std::array<bool, kDefaultTops.size()>> significant;
+
+  /// Renders an aligned text table; daggers appear as '+'-suffixed cells.
+  std::string ToString(const std::string& title) const;
+};
+
+/// Evaluates all runs against the qrels and tests treatments vs baselines.
+PrecisionTable EvaluateTable(const std::vector<NamedRun>& systems,
+                             const Qrels& qrels);
+
+/// Percentage improvement of `treatment` over the best baseline value at
+/// each cutoff (the quantity plotted in Figures 5 and 6).
+std::array<double, kDefaultTops.size()> PercentImprovementOverBest(
+    const PrecisionTable& table, const std::vector<size_t>& baseline_rows,
+    size_t treatment_row);
+
+}  // namespace sqe::eval
+
+#endif  // SQE_EVAL_REPORT_H_

@@ -1,0 +1,112 @@
+#include "eval/ttest.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sqe::eval {
+
+namespace {
+
+// Continued-fraction kernel for the incomplete beta function
+// (Lentz's algorithm, as in Numerical Recipes betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  SQE_CHECK(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly where it converges fast, or the
+  // symmetry transformation otherwise.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedPValue(double t, size_t df) {
+  if (df == 0) return 1.0;
+  const double nu = static_cast<double>(df);
+  const double x = nu / (nu + t * t);
+  return RegularizedIncompleteBeta(nu / 2.0, 0.5, x);
+}
+
+TTestResult PairedTTest(const std::vector<double>& treatment,
+                        const std::vector<double>& baseline) {
+  SQE_CHECK_MSG(treatment.size() == baseline.size(),
+                "paired t-test requires equal-length samples");
+  TTestResult result;
+  const size_t n = treatment.size();
+  if (n < 2) return result;
+
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += treatment[i] - baseline[i];
+  mean /= static_cast<double>(n);
+
+  double ss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = (treatment[i] - baseline[i]) - mean;
+    ss += d * d;
+  }
+  const double variance = ss / static_cast<double>(n - 1);
+  result.mean_difference = mean;
+  result.degrees_of_freedom = n - 1;
+
+  if (variance <= 0.0) {
+    // All differences identical: significant iff the common difference is
+    // non-zero (the t statistic diverges).
+    result.t_statistic =
+        mean == 0.0 ? 0.0
+                    : std::copysign(std::numeric_limits<double>::infinity(),
+                                    mean);
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+
+  const double se = std::sqrt(variance / static_cast<double>(n));
+  result.t_statistic = mean / se;
+  result.p_value =
+      StudentTTwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace sqe::eval

@@ -1,0 +1,39 @@
+// Paired Student's t-test — the significance test behind the daggers in
+// Tables 1 and 2 (p < 0.05, paired over per-query precision values).
+//
+// The two-sided p-value is computed exactly via the regularized incomplete
+// beta function: p = I_{ν/(ν+t²)}(ν/2, 1/2).
+#ifndef SQE_EVAL_TTEST_H_
+#define SQE_EVAL_TTEST_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sqe::eval {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;
+  size_t degrees_of_freedom = 0;
+  double mean_difference = 0.0;
+
+  bool Significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Paired t-test of `treatment` vs `baseline` (same length, same query
+/// order). Returns p=1 when fewer than 2 pairs or zero variance with zero
+/// mean difference; a non-zero mean difference with zero variance yields
+/// p=0 (the distribution degenerates to a point off the null).
+TTestResult PairedTTest(const std::vector<double>& treatment,
+                        const std::vector<double>& baseline);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Numerical Recipes' betai/betacf). Exposed for tests.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Student-t two-sided p-value for |t| with ν degrees of freedom.
+double StudentTTwoSidedPValue(double t, size_t df);
+
+}  // namespace sqe::eval
+
+#endif  // SQE_EVAL_TTEST_H_

@@ -1,0 +1,241 @@
+#include "index/inverted_index.h"
+
+#include <unordered_map>
+
+#include "io/coding.h"
+#include "io/file.h"
+
+namespace sqe::index {
+
+namespace {
+constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
+}  // namespace
+
+DocId InvertedIndex::FindDocument(std::string_view external_id) const {
+  // External-id lookup is rare (tests, examples); linear scan keeps the
+  // resident structure small. Qrels use dense DocIds directly.
+  for (size_t i = 0; i < external_ids_.size(); ++i) {
+    if (external_ids_[i] == external_id) return static_cast<DocId>(i);
+  }
+  return kInvalidDoc;
+}
+
+double InvertedIndex::UnseenTermProbability() const {
+  // Indri assigns unseen terms a frequency of 1/|C|.
+  return total_tokens_ == 0 ? 1e-10
+                            : 1.0 / static_cast<double>(total_tokens_);
+}
+
+double InvertedIndex::CollectionProbability(text::TermId t) const {
+  if (t == text::kInvalidTermId || t >= postings_.size() ||
+      total_tokens_ == 0) {
+    return UnseenTermProbability();
+  }
+  uint64_t ctf = postings_[t].CollectionFrequency();
+  if (ctf == 0) return UnseenTermProbability();
+  return static_cast<double>(ctf) / static_cast<double>(total_tokens_);
+}
+
+DocId IndexBuilder::AddDocument(std::string external_id,
+                                const std::vector<std::string>& terms) {
+  DocId doc = static_cast<DocId>(index_.doc_lengths_.size());
+  index_.external_ids_.push_back(std::move(external_id));
+  index_.doc_lengths_.push_back(static_cast<uint32_t>(terms.size()));
+  if (index_.doc_term_offsets_.empty()) index_.doc_term_offsets_.push_back(0);
+  uint32_t position = 0;
+  for (const std::string& term : terms) {
+    text::TermId t = index_.vocab_.GetOrAdd(term);
+    if (t >= posting_builders_.size()) posting_builders_.resize(t + 1);
+    posting_builders_[t].AddOccurrence(doc, position++);
+    index_.doc_terms_.push_back(t);
+  }
+  index_.doc_term_offsets_.push_back(index_.doc_terms_.size());
+  index_.total_tokens_ += terms.size();
+  return doc;
+}
+
+InvertedIndex IndexBuilder::Build() && {
+  if (index_.doc_term_offsets_.empty()) index_.doc_term_offsets_.push_back(0);
+  index_.postings_.reserve(posting_builders_.size());
+  for (PostingListBuilder& b : posting_builders_) {
+    index_.postings_.push_back(std::move(b).Build());
+  }
+  // Vocabulary may contain terms with no postings entry only if resize
+  // lagged; pad to vocab size for safe indexing.
+  index_.postings_.resize(index_.vocab_.size());
+  return std::move(index_);
+}
+
+std::string InvertedIndex::SerializeToString() const {
+  io::SnapshotWriter writer(kIndexSnapshotMagic);
+  std::string block;
+
+  // Vocabulary.
+  io::PutVarint64(&block, vocab_.size());
+  for (const std::string& term : vocab_.terms()) {
+    io::PutLengthPrefixed(&block, term);
+  }
+  writer.AddBlock("vocabulary", std::move(block));
+  block.clear();
+
+  // Documents: external ids + lengths.
+  io::PutVarint64(&block, doc_lengths_.size());
+  for (size_t i = 0; i < doc_lengths_.size(); ++i) {
+    io::PutLengthPrefixed(&block, external_ids_[i]);
+    io::PutVarint32(&block, doc_lengths_[i]);
+  }
+  writer.AddBlock("documents", std::move(block));
+  block.clear();
+
+  // Forward index (delta-free; term ids are small already).
+  io::PutVarint64(&block, doc_terms_.size());
+  for (text::TermId t : doc_terms_) io::PutVarint32(&block, t);
+  writer.AddBlock("forward", std::move(block));
+  block.clear();
+
+  // Postings: per term, [num_docs] then per doc [doc gap][freq][pos gaps].
+  io::PutVarint64(&block, postings_.size());
+  for (const PostingList& pl : postings_) {
+    io::PutVarint64(&block, pl.NumDocs());
+    DocId prev_doc = 0;
+    for (size_t i = 0; i < pl.NumDocs(); ++i) {
+      io::PutVarint32(&block, pl.doc(i) - prev_doc);
+      prev_doc = pl.doc(i);
+      io::PutVarint32(&block, pl.frequency(i));
+      uint32_t prev_pos = 0;
+      for (uint32_t p : pl.positions(i)) {
+        io::PutVarint32(&block, p - prev_pos);
+        prev_pos = p;
+      }
+    }
+  }
+  writer.AddBlock("postings", std::move(block));
+
+  return writer.Serialize();
+}
+
+Status InvertedIndex::SaveToFile(const std::string& path) const {
+  return io::WriteStringToFile(path, SerializeToString());
+}
+
+Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
+  auto reader_or =
+      io::SnapshotReader::Open(std::move(image), kIndexSnapshotMagic);
+  if (!reader_or.ok()) return reader_or.status();
+  const io::SnapshotReader& reader = reader_or.value();
+
+  InvertedIndex index;
+
+  // Vocabulary.
+  SQE_ASSIGN_OR_RETURN(std::string_view vb, reader.GetBlock("vocabulary"));
+  uint64_t vocab_size;
+  if (!io::GetVarint64(&vb, &vocab_size)) {
+    return Status::Corruption("index vocabulary truncated");
+  }
+  for (uint64_t i = 0; i < vocab_size; ++i) {
+    std::string_view term;
+    if (!io::GetLengthPrefixed(&vb, &term)) {
+      return Status::Corruption("index vocabulary term truncated");
+    }
+    index.vocab_.GetOrAdd(term);
+  }
+
+  // Documents.
+  SQE_ASSIGN_OR_RETURN(std::string_view db, reader.GetBlock("documents"));
+  uint64_t num_docs;
+  if (!io::GetVarint64(&db, &num_docs)) {
+    return Status::Corruption("index documents truncated");
+  }
+  index.doc_lengths_.reserve(num_docs);
+  index.external_ids_.reserve(num_docs);
+  for (uint64_t i = 0; i < num_docs; ++i) {
+    std::string_view ext;
+    uint32_t len;
+    if (!io::GetLengthPrefixed(&db, &ext) || !io::GetVarint32(&db, &len)) {
+      return Status::Corruption("index document entry truncated");
+    }
+    index.external_ids_.emplace_back(ext);
+    index.doc_lengths_.push_back(len);
+    index.total_tokens_ += len;
+  }
+
+  // Forward index.
+  SQE_ASSIGN_OR_RETURN(std::string_view fb, reader.GetBlock("forward"));
+  uint64_t num_fwd;
+  if (!io::GetVarint64(&fb, &num_fwd)) {
+    return Status::Corruption("index forward block truncated");
+  }
+  index.doc_terms_.reserve(num_fwd);
+  for (uint64_t i = 0; i < num_fwd; ++i) {
+    uint32_t t;
+    if (!io::GetVarint32(&fb, &t)) {
+      return Status::Corruption("index forward term truncated");
+    }
+    if (t >= vocab_size) {
+      return Status::Corruption("forward term id out of range");
+    }
+    index.doc_terms_.push_back(t);
+  }
+  index.doc_term_offsets_.assign(1, 0);
+  {
+    uint64_t acc = 0;
+    for (uint64_t i = 0; i < num_docs; ++i) {
+      acc += index.doc_lengths_[i];
+      index.doc_term_offsets_.push_back(acc);
+    }
+    if (acc != num_fwd) {
+      return Status::Corruption("forward index size != sum of doc lengths");
+    }
+  }
+
+  // Postings.
+  SQE_ASSIGN_OR_RETURN(std::string_view pb, reader.GetBlock("postings"));
+  uint64_t num_terms;
+  if (!io::GetVarint64(&pb, &num_terms)) {
+    return Status::Corruption("index postings truncated");
+  }
+  if (num_terms != vocab_size) {
+    return Status::Corruption("postings/vocabulary size mismatch");
+  }
+  index.postings_.reserve(num_terms);
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    PostingListBuilder builder;
+    uint64_t entries;
+    if (!io::GetVarint64(&pb, &entries)) {
+      return Status::Corruption("posting list header truncated");
+    }
+    DocId doc = 0;
+    for (uint64_t i = 0; i < entries; ++i) {
+      uint32_t gap, freq;
+      if (!io::GetVarint32(&pb, &gap) || !io::GetVarint32(&pb, &freq)) {
+        return Status::Corruption("posting entry truncated");
+      }
+      doc += gap;
+      if (doc >= num_docs) {
+        return Status::Corruption("posting doc id out of range");
+      }
+      if (freq == 0) return Status::Corruption("posting frequency zero");
+      uint32_t pos = 0;
+      for (uint32_t j = 0; j < freq; ++j) {
+        uint32_t pgap;
+        if (!io::GetVarint32(&pb, &pgap)) {
+          return Status::Corruption("posting position truncated");
+        }
+        pos += pgap;
+        builder.AddOccurrence(doc, pos);
+      }
+    }
+    index.postings_.push_back(std::move(builder).Build());
+  }
+
+  return index;
+}
+
+Result<InvertedIndex> InvertedIndex::FromSnapshotFile(
+    const std::string& path) {
+  auto image = io::ReadFileToString(path);
+  if (!image.ok()) return image.status();
+  return FromSnapshotString(std::move(image).value());
+}
+
+}  // namespace sqe::index

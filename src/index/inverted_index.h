@@ -1,0 +1,132 @@
+// InvertedIndex: the immutable retrieval index — vocabulary, document store,
+// positional postings, forward index (for PRF) and collection statistics.
+//
+// The index plays the role Indri plays in the paper: it is the substrate the
+// query-likelihood engine scores against.
+#ifndef SQE_INDEX_INVERTED_INDEX_H_
+#define SQE_INDEX_INVERTED_INDEX_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "index/postings.h"
+#include "index/types.h"
+#include "text/vocabulary.h"
+
+namespace sqe::index {
+
+/// Immutable positional inverted index. Create via IndexBuilder or
+/// FromSnapshot*.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(InvertedIndex);
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  // ---- documents -----------------------------------------------------------
+
+  size_t NumDocuments() const { return doc_lengths_.size(); }
+  /// Number of tokens the document contained after analysis.
+  uint32_t DocLength(DocId d) const {
+    SQE_CHECK(d < doc_lengths_.size());
+    return doc_lengths_[d];
+  }
+  const std::string& ExternalId(DocId d) const {
+    SQE_CHECK(d < external_ids_.size());
+    return external_ids_[d];
+  }
+  /// DocId for an external id, or kInvalidDoc.
+  DocId FindDocument(std::string_view external_id) const;
+
+  /// Forward index: the analyzed token stream of a document, in order.
+  /// Used by the PRF relevance model.
+  std::span<const text::TermId> DocTerms(DocId d) const {
+    SQE_CHECK(d + 1 < doc_term_offsets_.size());
+    return std::span<const text::TermId>(
+        doc_terms_.data() + doc_term_offsets_[d],
+        doc_terms_.data() + doc_term_offsets_[d + 1]);
+  }
+
+  // ---- terms ---------------------------------------------------------------
+
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  /// TermId for an analyzed term string, or kInvalidTermId.
+  text::TermId LookupTerm(std::string_view term) const {
+    return vocab_.Lookup(term);
+  }
+  const PostingList& Postings(text::TermId t) const {
+    SQE_CHECK(t < postings_.size());
+    return postings_[t];
+  }
+
+  // ---- collection statistics ----------------------------------------------
+
+  /// Total number of tokens in the collection.
+  uint64_t TotalTokens() const { return total_tokens_; }
+  double AverageDocLength() const {
+    return NumDocuments() == 0
+               ? 0.0
+               : static_cast<double>(total_tokens_) /
+                     static_cast<double>(NumDocuments());
+  }
+  /// Collection frequency of a term (occurrences across all docs).
+  uint64_t CollectionFrequency(text::TermId t) const {
+    return Postings(t).CollectionFrequency();
+  }
+  /// Number of documents containing the term.
+  uint64_t DocumentFrequency(text::TermId t) const {
+    return Postings(t).NumDocs();
+  }
+  /// Maximum-likelihood collection model P(t|C) with an epsilon floor for
+  /// out-of-vocabulary terms (Indri uses 1/|C| for unseen terms).
+  double CollectionProbability(text::TermId t) const;
+  double UnseenTermProbability() const;
+
+  // ---- persistence ---------------------------------------------------------
+
+  Status SaveToFile(const std::string& path) const;
+  std::string SerializeToString() const;
+  static Result<InvertedIndex> FromSnapshotFile(const std::string& path);
+  static Result<InvertedIndex> FromSnapshotString(std::string image);
+
+ private:
+  friend class IndexBuilder;
+
+  text::Vocabulary vocab_;
+  std::vector<PostingList> postings_;  // indexed by TermId
+  std::vector<uint32_t> doc_lengths_;
+  std::vector<std::string> external_ids_;
+  std::vector<uint64_t> doc_term_offsets_;  // size N+1
+  std::vector<text::TermId> doc_terms_;
+  uint64_t total_tokens_ = 0;
+};
+
+/// Builds an InvertedIndex from analyzed documents.
+class IndexBuilder {
+ public:
+  IndexBuilder() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(IndexBuilder);
+
+  /// Adds a document given its already-analyzed term stream. Returns the
+  /// assigned DocId (dense, in insertion order).
+  DocId AddDocument(std::string external_id,
+                    const std::vector<std::string>& terms);
+
+  /// Finalizes into an immutable index. The builder is consumed.
+  InvertedIndex Build() &&;
+
+  size_t NumDocuments() const { return index_.doc_lengths_.size(); }
+
+ private:
+  InvertedIndex index_;
+  std::vector<PostingListBuilder> posting_builders_;
+};
+
+}  // namespace sqe::index
+
+#endif  // SQE_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,58 @@
+#include "index/postings.h"
+
+#include <algorithm>
+
+namespace sqe::index {
+
+size_t PostingList::Find(DocId doc) const {
+  auto it = std::lower_bound(docs_.begin(), docs_.end(), doc);
+  if (it == docs_.end() || *it != doc) return kNpos;
+  return static_cast<size_t>(it - docs_.begin());
+}
+
+void PostingList::Cursor::SeekTo(DocId target) {
+  // Galloping search from the current position: doubling probe then binary
+  // search within the bracketed range. O(log gap) per seek.
+  size_t n = list_->NumDocs();
+  if (pos_ >= n || list_->doc(pos_) >= target) return;
+  size_t step = 1;
+  size_t lo = pos_;
+  size_t hi = pos_ + step;
+  while (hi < n && list_->doc(hi) < target) {
+    lo = hi;
+    step *= 2;
+    hi = pos_ + step;
+  }
+  hi = std::min(hi, n);
+  const auto& docs = *list_;
+  // Binary search in (lo, hi].
+  size_t left = lo + 1, right = hi;
+  while (left < right) {
+    size_t mid = left + (right - left) / 2;
+    if (docs.doc(mid) < target) {
+      left = mid + 1;
+    } else {
+      right = mid;
+    }
+  }
+  pos_ = left;
+}
+
+void PostingListBuilder::AddOccurrence(DocId doc, uint32_t position) {
+  if (list_.docs_.empty() || list_.docs_.back() != doc) {
+    SQE_CHECK_MSG(list_.docs_.empty() || list_.docs_.back() < doc,
+                  "documents must be indexed in ascending id order");
+    if (list_.pos_offsets_.empty()) list_.pos_offsets_.push_back(0);
+    list_.docs_.push_back(doc);
+    list_.freqs_.push_back(0);
+    list_.pos_offsets_.push_back(list_.positions_.size());
+  }
+  list_.freqs_.back()++;
+  list_.positions_.push_back(position);
+  list_.pos_offsets_.back() = list_.positions_.size();
+  list_.total_occurrences_++;
+}
+
+PostingList PostingListBuilder::Build() && { return std::move(list_); }
+
+}  // namespace sqe::index

@@ -1,0 +1,86 @@
+// PostingList: the per-term docs/frequencies/positions structure.
+//
+// Doc-sorted parallel arrays. Positions are needed by the ordered-window
+// (n-gram phrase) operator used for article-title expansion features.
+#ifndef SQE_INDEX_POSTINGS_H_
+#define SQE_INDEX_POSTINGS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "index/types.h"
+
+namespace sqe::index {
+
+/// Immutable posting list for one term. Entries sorted by doc id.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  size_t NumDocs() const { return docs_.size(); }
+  /// Total occurrences across the collection (collection term frequency).
+  uint64_t CollectionFrequency() const { return total_occurrences_; }
+
+  DocId doc(size_t i) const { return docs_[i]; }
+  uint32_t frequency(size_t i) const { return freqs_[i]; }
+  /// Token positions of the i-th entry, ascending.
+  std::span<const uint32_t> positions(size_t i) const {
+    uint64_t begin = pos_offsets_[i];
+    uint64_t end = pos_offsets_[i + 1];
+    return std::span<const uint32_t>(positions_.data() + begin,
+                                     positions_.data() + end);
+  }
+
+  /// Index of `doc` in this list, or npos. O(log n).
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t Find(DocId doc) const;
+
+  /// Cursor for doc-at-a-time traversal.
+  class Cursor {
+   public:
+    explicit Cursor(const PostingList* list) : list_(list) {}
+
+    bool AtEnd() const { return pos_ >= list_->NumDocs(); }
+    DocId Doc() const { return list_->doc(pos_); }
+    uint32_t Frequency() const { return list_->frequency(pos_); }
+    std::span<const uint32_t> Positions() const {
+      return list_->positions(pos_);
+    }
+    void Next() { ++pos_; }
+    /// Advances to the first entry with doc >= target (galloping).
+    void SeekTo(DocId target);
+
+   private:
+    const PostingList* list_;
+    size_t pos_ = 0;
+  };
+  Cursor MakeCursor() const { return Cursor(this); }
+
+ private:
+  friend class PostingListBuilder;
+
+  std::vector<DocId> docs_;
+  std::vector<uint32_t> freqs_;
+  std::vector<uint64_t> pos_offsets_;  // size docs_.size()+1 when non-empty
+  std::vector<uint32_t> positions_;
+  uint64_t total_occurrences_ = 0;
+};
+
+/// Accumulates postings for one term during indexing. Documents must be
+/// appended in ascending doc-id order (the index builder guarantees this).
+class PostingListBuilder {
+ public:
+  /// Records one occurrence of the term at `position` in `doc`.
+  void AddOccurrence(DocId doc, uint32_t position);
+
+  PostingList Build() &&;
+
+ private:
+  PostingList list_;
+};
+
+}  // namespace sqe::index
+
+#endif  // SQE_INDEX_POSTINGS_H_

@@ -1,0 +1,14 @@
+// Identifier types for the retrieval substrate.
+#ifndef SQE_INDEX_TYPES_H_
+#define SQE_INDEX_TYPES_H_
+
+#include <cstdint>
+
+namespace sqe::index {
+
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDoc = UINT32_MAX;
+
+}  // namespace sqe::index
+
+#endif  // SQE_INDEX_TYPES_H_

@@ -1,0 +1,47 @@
+// Varint and fixed-width little-endian coding, RocksDB-style.
+//
+// Snapshot files (KB graphs, inverted indexes) use these primitives. All
+// multi-byte values are little-endian regardless of host order.
+#ifndef SQE_IO_CODING_H_
+#define SQE_IO_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sqe::io {
+
+/// Appends a fixed 32-bit little-endian value.
+void PutFixed32(std::string* dst, uint32_t value);
+/// Appends a fixed 64-bit little-endian value.
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Appends a varint-encoded 32/64-bit value (LEB128, 1–5 / 1–10 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends varint length followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// ZigZag maps signed to unsigned so small magnitudes encode small.
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Decoders return true on success and advance *input past the consumed
+/// bytes; on failure *input is unspecified and false is returned.
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint64 would emit.
+int VarintLength(uint64_t value);
+
+}  // namespace sqe::io
+
+#endif  // SQE_IO_CODING_H_

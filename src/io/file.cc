@@ -1,0 +1,155 @@
+#include "io/file.h"
+
+#include <cstdio>
+#include <set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "io/coding.h"
+
+namespace sqe::io {
+
+namespace {
+constexpr uint32_t kFooterMagic = 0x53514546;  // "SQEF"
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IOError("read error: " + path);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  bool flush_failed = std::fclose(f) != 0;
+  if (written != data.size() || flush_failed) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+SnapshotWriter::SnapshotWriter(uint32_t magic, uint32_t version)
+    : magic_(magic), version_(version) {}
+
+void SnapshotWriter::AddBlock(std::string_view name, std::string payload) {
+  blocks_.push_back(Block{std::string(name), std::move(payload)});
+}
+
+std::string SnapshotWriter::Serialize() const {
+  std::string out;
+  PutFixed32(&out, magic_);
+  PutVarint32(&out, version_);
+  PutVarint64(&out, blocks_.size());
+  for (const Block& b : blocks_) {
+    PutLengthPrefixed(&out, b.name);
+    PutLengthPrefixed(&out, b.payload);
+    PutFixed32(&out, sqe::Crc32(b.payload));
+  }
+  PutFixed32(&out, kFooterMagic);
+  return out;
+}
+
+Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  std::set<std::string> names;
+  for (const Block& b : blocks_) {
+    if (!names.insert(b.name).second) {
+      return Status::InvalidArgument("duplicate snapshot block: " + b.name);
+    }
+  }
+  return WriteStringToFile(path, Serialize());
+}
+
+Result<SnapshotReader> SnapshotReader::Open(std::string image,
+                                            uint32_t expected_magic) {
+  SnapshotReader reader;
+  reader.image_ = std::move(image);
+  std::string_view in(reader.image_);
+
+  uint32_t magic;
+  if (!GetFixed32(&in, &magic)) {
+    return Status::Corruption("snapshot too short for magic");
+  }
+  if (magic != expected_magic) {
+    return Status::Corruption(
+        StrFormat("bad snapshot magic: got %#x want %#x", magic,
+                  expected_magic));
+  }
+  if (!GetVarint32(&in, &reader.version_)) {
+    return Status::Corruption("snapshot missing version");
+  }
+  uint64_t num_blocks;
+  if (!GetVarint64(&in, &num_blocks)) {
+    return Status::Corruption("snapshot missing block count");
+  }
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    std::string_view name, payload;
+    if (!GetLengthPrefixed(&in, &name)) {
+      return Status::Corruption("snapshot block name truncated");
+    }
+    if (!GetLengthPrefixed(&in, &payload)) {
+      return Status::Corruption("snapshot block payload truncated: " +
+                                std::string(name));
+    }
+    uint32_t stored_crc;
+    if (!GetFixed32(&in, &stored_crc)) {
+      return Status::Corruption("snapshot block crc truncated: " +
+                                std::string(name));
+    }
+    uint32_t actual_crc = sqe::Crc32(payload);
+    if (stored_crc != actual_crc) {
+      return Status::Corruption(
+          StrFormat("snapshot block '%s' crc mismatch: stored %#x actual %#x",
+                    std::string(name).c_str(), stored_crc, actual_crc));
+    }
+    reader.blocks_.push_back(BlockRef{
+        std::string(name),
+        static_cast<size_t>(payload.data() - reader.image_.data()),
+        payload.size()});
+  }
+  uint32_t footer;
+  if (!GetFixed32(&in, &footer) || footer != kFooterMagic) {
+    return Status::Corruption("snapshot footer missing or invalid");
+  }
+  return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::OpenFile(const std::string& path,
+                                                uint32_t expected_magic) {
+  auto image = ReadFileToString(path);
+  if (!image.ok()) return image.status();
+  return Open(std::move(image).value(), expected_magic);
+}
+
+Result<std::string_view> SnapshotReader::GetBlock(
+    std::string_view name) const {
+  for (const BlockRef& b : blocks_) {
+    if (b.name == name) {
+      return std::string_view(image_).substr(b.offset, b.size);
+    }
+  }
+  return Status::NotFound("snapshot block not found: " + std::string(name));
+}
+
+std::vector<std::string> SnapshotReader::BlockNames() const {
+  std::vector<std::string> names;
+  names.reserve(blocks_.size());
+  for (const BlockRef& b : blocks_) names.push_back(b.name);
+  return names;
+}
+
+}  // namespace sqe::io

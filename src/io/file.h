@@ -1,0 +1,85 @@
+// Whole-file helpers plus a checksummed block-file format for snapshots.
+//
+// Snapshot layout:
+//   [magic: fixed32][format_version: varint]
+//   repeated blocks: [name: length-prefixed][payload: length-prefixed]
+//                    [crc32(payload): fixed32]
+//   [footer magic: fixed32]
+//
+// Readers verify every CRC; a mismatch or truncation yields
+// Status::Corruption, never a partial in-memory object.
+#ifndef SQE_IO_FILE_H_
+#define SQE_IO_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sqe::io {
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+/// Serializes named, CRC-protected blocks into the snapshot format.
+class SnapshotWriter {
+ public:
+  /// `magic` distinguishes snapshot kinds (index vs KB graph).
+  explicit SnapshotWriter(uint32_t magic, uint32_t version = 1);
+
+  /// Adds a named block. Names must be unique; enforced at Finish().
+  void AddBlock(std::string_view name, std::string payload);
+
+  /// Assembles the file image and writes it to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Returns the assembled in-memory image (for tests).
+  std::string Serialize() const;
+
+ private:
+  struct Block {
+    std::string name;
+    std::string payload;
+  };
+  uint32_t magic_;
+  uint32_t version_;
+  std::vector<Block> blocks_;
+};
+
+/// Parses and CRC-verifies a snapshot image.
+class SnapshotReader {
+ public:
+  /// Parses the image; returns Corruption on bad magic/CRC/truncation.
+  static Result<SnapshotReader> Open(std::string image, uint32_t expected_magic);
+  static Result<SnapshotReader> OpenFile(const std::string& path,
+                                         uint32_t expected_magic);
+
+  uint32_t version() const { return version_; }
+
+  /// Returns the payload of the named block, or NotFound.
+  Result<std::string_view> GetBlock(std::string_view name) const;
+
+  /// Names in file order.
+  std::vector<std::string> BlockNames() const;
+
+ private:
+  SnapshotReader() = default;
+
+  std::string image_;  // owns all block bytes
+  uint32_t version_ = 0;
+  struct BlockRef {
+    std::string name;
+    size_t offset;
+    size_t size;
+  };
+  std::vector<BlockRef> blocks_;
+};
+
+}  // namespace sqe::io
+
+#endif  // SQE_IO_FILE_H_

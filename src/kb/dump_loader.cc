@@ -1,0 +1,155 @@
+#include "kb/dump_loader.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "io/file.h"
+#include "kb/kb_builder.h"
+
+namespace sqe::kb {
+
+namespace {
+
+struct ParsedLine {
+  std::string_view verb;
+  std::vector<std::string_view> args;
+  size_t line_number;
+};
+
+Status ParseError(size_t line, const std::string& what) {
+  return Status::InvalidArgument(
+      StrFormat("dump-lite line %zu: %s", line, what.c_str()));
+}
+
+}  // namespace
+
+Result<KnowledgeBase> LoadDumpFromString(std::string_view text,
+                                         DumpLoaderOptions options) {
+  // Pass 1: collect records and declare nodes.
+  KbBuilder builder;
+  std::vector<ParsedLine> edge_lines;
+  size_t line_number = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string_view> fields = Split(line, '\t');
+    std::string_view verb = fields[0];
+    if (verb == "article") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return ParseError(line_number, "expected: article<TAB>TITLE");
+      }
+      builder.AddArticle(fields[1]);
+    } else if (verb == "category") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return ParseError(line_number, "expected: category<TAB>TITLE");
+      }
+      builder.AddCategory(fields[1]);
+    } else if (verb == "alink" || verb == "member" || verb == "sublink") {
+      if (fields.size() != 3 || fields[1].empty() || fields[2].empty()) {
+        return ParseError(line_number,
+                          "expected: " + std::string(verb) +
+                              "<TAB>SRC_TITLE<TAB>DST_TITLE");
+      }
+      edge_lines.push_back(
+          ParsedLine{verb, {fields[1], fields[2]}, line_number});
+    } else {
+      return ParseError(line_number,
+                        "unknown record type '" + std::string(verb) + "'");
+    }
+  }
+
+  // Pass 2: resolve edges.
+  for (const ParsedLine& e : edge_lines) {
+    auto resolve_article = [&](std::string_view title) -> Result<ArticleId> {
+      ArticleId id = builder.FindArticle(title);
+      if (id == kInvalidArticle) {
+        if (options.strict_declarations) {
+          return ParseError(e.line_number, "undeclared article '" +
+                                               std::string(title) + "'");
+        }
+        id = builder.AddArticle(title);
+      }
+      return id;
+    };
+    auto resolve_category = [&](std::string_view title) -> Result<CategoryId> {
+      CategoryId id = builder.FindCategory(title);
+      if (id == kInvalidCategory) {
+        if (options.strict_declarations) {
+          return ParseError(e.line_number, "undeclared category '" +
+                                               std::string(title) + "'");
+        }
+        id = builder.AddCategory(title);
+      }
+      return id;
+    };
+
+    if (e.verb == "alink") {
+      SQE_ASSIGN_OR_RETURN(ArticleId from, resolve_article(e.args[0]));
+      SQE_ASSIGN_OR_RETURN(ArticleId to, resolve_article(e.args[1]));
+      builder.AddArticleLink(from, to);
+    } else if (e.verb == "member") {
+      SQE_ASSIGN_OR_RETURN(ArticleId article, resolve_article(e.args[0]));
+      SQE_ASSIGN_OR_RETURN(CategoryId cat, resolve_category(e.args[1]));
+      builder.AddMembership(article, cat);
+    } else {  // sublink
+      SQE_ASSIGN_OR_RETURN(CategoryId child, resolve_category(e.args[0]));
+      SQE_ASSIGN_OR_RETURN(CategoryId parent, resolve_category(e.args[1]));
+      builder.AddCategoryLink(child, parent);
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+Result<KnowledgeBase> LoadDumpFromFile(const std::string& path,
+                                       DumpLoaderOptions options) {
+  auto text = io::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return LoadDumpFromString(text.value(), options);
+}
+
+std::string WriteDumpToString(const KnowledgeBase& kb) {
+  std::string out;
+  out += "# SQE dump-lite format\n";
+  for (size_t a = 0; a < kb.NumArticles(); ++a) {
+    out += "article\t";
+    out += kb.ArticleTitle(static_cast<ArticleId>(a));
+    out += '\n';
+  }
+  for (size_t c = 0; c < kb.NumCategories(); ++c) {
+    out += "category\t";
+    out += kb.CategoryTitle(static_cast<CategoryId>(c));
+    out += '\n';
+  }
+  for (size_t a = 0; a < kb.NumArticles(); ++a) {
+    ArticleId id = static_cast<ArticleId>(a);
+    for (ArticleId to : kb.OutLinks(id)) {
+      out += "alink\t";
+      out += kb.ArticleTitle(id);
+      out += '\t';
+      out += kb.ArticleTitle(to);
+      out += '\n';
+    }
+    for (CategoryId c : kb.CategoriesOf(id)) {
+      out += "member\t";
+      out += kb.ArticleTitle(id);
+      out += '\t';
+      out += kb.CategoryTitle(c);
+      out += '\n';
+    }
+  }
+  for (size_t c = 0; c < kb.NumCategories(); ++c) {
+    CategoryId id = static_cast<CategoryId>(c);
+    for (CategoryId parent : kb.ParentCategories(id)) {
+      out += "sublink\t";
+      out += kb.CategoryTitle(id);
+      out += '\t';
+      out += kb.CategoryTitle(parent);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace sqe::kb

@@ -1,0 +1,45 @@
+// Dump-lite loader: parses the text interchange format SQE uses in place of
+// raw Wikipedia XML/SQL dumps (see DESIGN.md §3.1).
+//
+// Line-oriented, tab-separated, one record per line:
+//   article<TAB>TITLE
+//   category<TAB>TITLE
+//   alink<TAB>FROM_TITLE<TAB>TO_TITLE
+//   member<TAB>ARTICLE_TITLE<TAB>CATEGORY_TITLE
+//   sublink<TAB>CHILD_CATEGORY<TAB>PARENT_CATEGORY
+// Blank lines and lines starting with '#' are ignored.
+//
+// By default edges may reference titles that have not been declared yet, as
+// long as they are declared somewhere in the file (two passes). With
+// `strict_declarations`, edges referencing undeclared titles are an error —
+// useful for validating hand-written fixtures.
+#ifndef SQE_KB_DUMP_LOADER_H_
+#define SQE_KB_DUMP_LOADER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "kb/knowledge_base.h"
+
+namespace sqe::kb {
+
+struct DumpLoaderOptions {
+  bool strict_declarations = false;
+};
+
+/// Parses dump-lite text into a KnowledgeBase.
+Result<KnowledgeBase> LoadDumpFromString(std::string_view text,
+                                         DumpLoaderOptions options = {});
+
+/// Reads and parses a dump-lite file.
+Result<KnowledgeBase> LoadDumpFromFile(const std::string& path,
+                                       DumpLoaderOptions options = {});
+
+/// Writes a KnowledgeBase out as dump-lite text (round-trips with the
+/// loader; used by the synthetic generator to materialize datasets).
+std::string WriteDumpToString(const KnowledgeBase& kb);
+
+}  // namespace sqe::kb
+
+#endif  // SQE_KB_DUMP_LOADER_H_

@@ -1,0 +1,112 @@
+#include "kb/kb_builder.h"
+
+#include <algorithm>
+
+namespace sqe::kb {
+
+ArticleId KbBuilder::AddArticle(std::string_view title) {
+  auto it = article_ids_.find(std::string(title));
+  if (it != article_ids_.end()) return it->second;
+  ArticleId id = static_cast<ArticleId>(article_titles_.size());
+  article_titles_.emplace_back(title);
+  article_ids_.emplace(article_titles_.back(), id);
+  return id;
+}
+
+CategoryId KbBuilder::AddCategory(std::string_view title) {
+  auto it = category_ids_.find(std::string(title));
+  if (it != category_ids_.end()) return it->second;
+  CategoryId id = static_cast<CategoryId>(category_titles_.size());
+  category_titles_.emplace_back(title);
+  category_ids_.emplace(category_titles_.back(), id);
+  return id;
+}
+
+ArticleId KbBuilder::FindArticle(std::string_view title) const {
+  auto it = article_ids_.find(std::string(title));
+  return it == article_ids_.end() ? kInvalidArticle : it->second;
+}
+
+CategoryId KbBuilder::FindCategory(std::string_view title) const {
+  auto it = category_ids_.find(std::string(title));
+  return it == category_ids_.end() ? kInvalidCategory : it->second;
+}
+
+void KbBuilder::AddArticleLink(ArticleId from, ArticleId to) {
+  SQE_CHECK(from < article_titles_.size() && to < article_titles_.size());
+  if (from == to) return;
+  article_links_.emplace_back(from, to);
+}
+
+void KbBuilder::AddReciprocalLink(ArticleId a, ArticleId b) {
+  AddArticleLink(a, b);
+  AddArticleLink(b, a);
+}
+
+void KbBuilder::AddMembership(ArticleId article, CategoryId category) {
+  SQE_CHECK(article < article_titles_.size() &&
+            category < category_titles_.size());
+  memberships_.emplace_back(article, category);
+}
+
+void KbBuilder::AddCategoryLink(CategoryId child, CategoryId parent) {
+  SQE_CHECK(child < category_titles_.size() &&
+            parent < category_titles_.size());
+  if (child == parent) return;
+  category_links_.emplace_back(child, parent);
+}
+
+namespace {
+// Packs sorted, deduped (src, dst) pairs into CSR.
+template <typename Dst>
+void PackCsr(std::vector<std::pair<uint32_t, Dst>>& edges, size_t num_sources,
+             std::vector<uint64_t>* offsets, std::vector<Dst>* targets) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  offsets->assign(num_sources + 1, 0);
+  targets->clear();
+  targets->reserve(edges.size());
+  for (const auto& [src, dst] : edges) {
+    (*offsets)[src + 1]++;
+    targets->push_back(dst);
+  }
+  for (size_t i = 1; i < offsets->size(); ++i) {
+    (*offsets)[i] += (*offsets)[i - 1];
+  }
+}
+
+template <typename Src, typename Dst>
+void PackReverseCsr(const std::vector<std::pair<Src, Dst>>& fwd_edges,
+                    size_t num_targets, std::vector<uint64_t>* offsets,
+                    std::vector<Src>* sources) {
+  std::vector<std::pair<Dst, Src>> rev;
+  rev.reserve(fwd_edges.size());
+  for (const auto& [s, d] : fwd_edges) rev.emplace_back(d, s);
+  PackCsr(rev, num_targets, offsets, sources);
+}
+}  // namespace
+
+KnowledgeBase KbBuilder::Build() && {
+  KnowledgeBase kb;
+  kb.article_titles_ = std::move(article_titles_);
+  kb.category_titles_ = std::move(category_titles_);
+
+  PackCsr(article_links_, kb.article_titles_.size(),
+          &kb.article_link_offsets_, &kb.article_link_targets_);
+  PackCsr(memberships_, kb.article_titles_.size(), &kb.membership_offsets_,
+          &kb.membership_targets_);
+  PackCsr(category_links_, kb.category_titles_.size(),
+          &kb.cat_parent_offsets_, &kb.cat_parent_targets_);
+
+  PackReverseCsr(article_links_, kb.article_titles_.size(),
+                 &kb.article_inlink_offsets_, &kb.article_inlink_sources_);
+  PackReverseCsr(memberships_, kb.category_titles_.size(),
+                 &kb.cat_article_offsets_, &kb.cat_article_targets_);
+  PackReverseCsr(category_links_, kb.category_titles_.size(),
+                 &kb.cat_child_offsets_, &kb.cat_child_targets_);
+
+  kb.RebuildTitleMaps();
+  return kb;
+}
+
+}  // namespace sqe::kb

@@ -1,0 +1,62 @@
+// KbBuilder: mutable accumulation of nodes and edges, finalized into an
+// immutable CSR KnowledgeBase.
+#ifndef SQE_KB_KB_BUILDER_H_
+#define SQE_KB_KB_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "kb/knowledge_base.h"
+#include "kb/types.h"
+
+namespace sqe::kb {
+
+/// Accumulates a KB graph. Duplicate edges are tolerated and deduplicated at
+/// Build(); self-links are dropped (Wikipedia has none of interest here).
+class KbBuilder {
+ public:
+  KbBuilder() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(KbBuilder);
+
+  /// Adds (or finds) an article by title; titles are unique keys.
+  ArticleId AddArticle(std::string_view title);
+  /// Adds (or finds) a category by title.
+  CategoryId AddCategory(std::string_view title);
+
+  /// Looks up previously added nodes; kInvalid* if absent.
+  ArticleId FindArticle(std::string_view title) const;
+  CategoryId FindCategory(std::string_view title) const;
+
+  /// Directed article hyperlink. Ids must have been returned by AddArticle.
+  void AddArticleLink(ArticleId from, ArticleId to);
+  /// Convenience: adds both directions (a "doubly linked" pair).
+  void AddReciprocalLink(ArticleId a, ArticleId b);
+  /// Article belongs to category.
+  void AddMembership(ArticleId article, CategoryId category);
+  /// Subcategory edge child -> parent.
+  void AddCategoryLink(CategoryId child, CategoryId parent);
+
+  size_t NumArticles() const { return article_titles_.size(); }
+  size_t NumCategories() const { return category_titles_.size(); }
+
+  /// Finalizes: sorts and dedupes adjacency, builds reverse relations and
+  /// title maps. The builder is consumed.
+  KnowledgeBase Build() &&;
+
+ private:
+  std::vector<std::string> article_titles_;
+  std::vector<std::string> category_titles_;
+  std::unordered_map<std::string, ArticleId> article_ids_;
+  std::unordered_map<std::string, CategoryId> category_ids_;
+
+  std::vector<std::pair<ArticleId, ArticleId>> article_links_;
+  std::vector<std::pair<ArticleId, CategoryId>> memberships_;
+  std::vector<std::pair<CategoryId, CategoryId>> category_links_;
+};
+
+}  // namespace sqe::kb
+
+#endif  // SQE_KB_KB_BUILDER_H_

@@ -1,0 +1,58 @@
+#include "kb/kb_stats.h"
+
+#include "common/string_util.h"
+
+namespace sqe::kb {
+
+KbStats ComputeKbStats(const KnowledgeBase& kb) {
+  KbStats stats;
+  stats.num_articles = kb.NumArticles();
+  stats.num_categories = kb.NumCategories();
+  stats.num_article_links = kb.NumArticleLinks();
+  stats.num_memberships = kb.NumMemberships();
+  stats.num_category_links = kb.NumCategoryLinks();
+
+  for (size_t i = 0; i < kb.NumArticles(); ++i) {
+    ArticleId a = static_cast<ArticleId>(i);
+    auto out = kb.OutLinks(a);
+    stats.max_out_degree =
+        std::max<uint64_t>(stats.max_out_degree, out.size());
+    if (out.empty() && kb.InLinks(a).empty()) ++stats.num_isolated_articles;
+    for (ArticleId b : out) {
+      // Count each unordered reciprocal pair once (a < b side).
+      if (a < b && kb.HasLink(b, a)) ++stats.num_reciprocal_pairs;
+    }
+  }
+  if (stats.num_articles > 0) {
+    stats.avg_out_degree = static_cast<double>(stats.num_article_links) /
+                           static_cast<double>(stats.num_articles);
+    stats.avg_categories_per_article =
+        static_cast<double>(stats.num_memberships) /
+        static_cast<double>(stats.num_articles);
+  }
+  if (stats.num_categories > 0) {
+    stats.avg_articles_per_category =
+        static_cast<double>(stats.num_memberships) /
+        static_cast<double>(stats.num_categories);
+  }
+  return stats;
+}
+
+std::string KbStats::ToString() const {
+  return StrFormat(
+      "KB: %llu articles, %llu categories, %llu article links "
+      "(%llu reciprocal pairs), %llu memberships, %llu category links; "
+      "avg out-degree %.2f, avg cats/article %.2f, avg articles/cat %.2f, "
+      "max out-degree %llu, isolated articles %llu",
+      static_cast<unsigned long long>(num_articles),
+      static_cast<unsigned long long>(num_categories),
+      static_cast<unsigned long long>(num_article_links),
+      static_cast<unsigned long long>(num_reciprocal_pairs),
+      static_cast<unsigned long long>(num_memberships),
+      static_cast<unsigned long long>(num_category_links), avg_out_degree,
+      avg_categories_per_article, avg_articles_per_category,
+      static_cast<unsigned long long>(max_out_degree),
+      static_cast<unsigned long long>(num_isolated_articles));
+}
+
+}  // namespace sqe::kb

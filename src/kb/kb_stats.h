@@ -1,0 +1,39 @@
+// Aggregate statistics over a KnowledgeBase — the numbers the paper reports
+// for its Wikipedia dump (article/category/link counts) plus structural
+// measures used to sanity-check the synthetic generator (reciprocal-link
+// rate, degree distributions, category fan-out).
+#ifndef SQE_KB_KB_STATS_H_
+#define SQE_KB_KB_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kb/knowledge_base.h"
+
+namespace sqe::kb {
+
+struct KbStats {
+  uint64_t num_articles = 0;
+  uint64_t num_categories = 0;
+  uint64_t num_article_links = 0;
+  uint64_t num_memberships = 0;
+  uint64_t num_category_links = 0;
+
+  // A directed link a->b is "reciprocal" when b->a also exists. This counts
+  // unordered reciprocal pairs.
+  uint64_t num_reciprocal_pairs = 0;
+  double avg_out_degree = 0.0;
+  double avg_categories_per_article = 0.0;
+  double avg_articles_per_category = 0.0;
+  uint64_t max_out_degree = 0;
+  uint64_t num_isolated_articles = 0;  // no in- or out-links
+
+  std::string ToString() const;
+};
+
+/// Computes all statistics in one pass over the CSR arrays.
+KbStats ComputeKbStats(const KnowledgeBase& kb);
+
+}  // namespace sqe::kb
+
+#endif  // SQE_KB_KB_STATS_H_

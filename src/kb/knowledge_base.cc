@@ -1,0 +1,261 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "io/coding.h"
+#include "io/file.h"
+
+namespace sqe::kb {
+
+namespace {
+constexpr uint32_t kKbSnapshotMagic = 0x53514B42;  // "SQKB"
+
+template <typename T>
+bool SortedContains(std::span<const T> sorted, T value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+void EncodeTitles(std::string* out, const std::vector<std::string>& titles) {
+  io::PutVarint64(out, titles.size());
+  for (const std::string& t : titles) io::PutLengthPrefixed(out, t);
+}
+
+bool DecodeTitles(std::string_view in, std::vector<std::string>* titles) {
+  uint64_t n;
+  if (!io::GetVarint64(&in, &n)) return false;
+  titles->clear();
+  titles->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view t;
+    if (!io::GetLengthPrefixed(&in, &t)) return false;
+    titles->emplace_back(t);
+  }
+  return in.empty();
+}
+
+// CSR encoding: varint node count, then per node the delta-coded sorted
+// adjacency list (varint degree, varint gaps).
+template <typename T>
+void EncodeCsr(std::string* out, const std::vector<uint64_t>& offsets,
+               const std::vector<T>& targets) {
+  const size_t n = offsets.empty() ? 0 : offsets.size() - 1;
+  io::PutVarint64(out, n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t begin = offsets[i], end = offsets[i + 1];
+    io::PutVarint64(out, end - begin);
+    uint64_t prev = 0;
+    for (uint64_t j = begin; j < end; ++j) {
+      uint64_t v = targets[j];
+      io::PutVarint64(out, v - prev);  // gaps (first is absolute)
+      prev = v;
+    }
+  }
+}
+
+template <typename T>
+bool DecodeCsr(std::string_view in, std::vector<uint64_t>* offsets,
+               std::vector<T>* targets) {
+  uint64_t n;
+  if (!io::GetVarint64(&in, &n)) return false;
+  offsets->assign(n + 1, 0);
+  targets->clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t degree;
+    if (!io::GetVarint64(&in, &degree)) return false;
+    uint64_t prev = 0;
+    for (uint64_t j = 0; j < degree; ++j) {
+      uint64_t gap;
+      if (!io::GetVarint64(&in, &gap)) return false;
+      prev += gap;
+      if (prev > UINT32_MAX) return false;
+      targets->push_back(static_cast<T>(prev));
+    }
+    (*offsets)[i + 1] = (*offsets)[i] + degree;
+  }
+  return in.empty();
+}
+}  // namespace
+
+ArticleId KnowledgeBase::FindArticle(std::string_view title) const {
+  auto it = article_by_title_.find(title);
+  return it == article_by_title_.end() ? kInvalidArticle : it->second;
+}
+
+CategoryId KnowledgeBase::FindCategory(std::string_view title) const {
+  auto it = category_by_title_.find(title);
+  return it == category_by_title_.end() ? kInvalidCategory : it->second;
+}
+
+bool KnowledgeBase::HasLink(ArticleId from, ArticleId to) const {
+  return SortedContains(OutLinks(from), to);
+}
+
+bool KnowledgeBase::HasMembership(ArticleId article,
+                                  CategoryId category) const {
+  return SortedContains(CategoriesOf(article), category);
+}
+
+bool KnowledgeBase::HasCategoryLink(CategoryId child,
+                                    CategoryId parent) const {
+  return SortedContains(ParentCategories(child), parent);
+}
+
+void KnowledgeBase::RebuildTitleMaps() {
+  article_by_title_.clear();
+  article_by_title_.reserve(article_titles_.size());
+  for (size_t i = 0; i < article_titles_.size(); ++i) {
+    article_by_title_.emplace(article_titles_[i],
+                              static_cast<ArticleId>(i));
+  }
+  category_by_title_.clear();
+  category_by_title_.reserve(category_titles_.size());
+  for (size_t i = 0; i < category_titles_.size(); ++i) {
+    category_by_title_.emplace(category_titles_[i],
+                               static_cast<CategoryId>(i));
+  }
+}
+
+std::string KnowledgeBase::SerializeToString() const {
+  io::SnapshotWriter writer(kKbSnapshotMagic);
+  std::string block;
+
+  EncodeTitles(&block, article_titles_);
+  writer.AddBlock("article_titles", std::move(block));
+  block.clear();
+
+  EncodeTitles(&block, category_titles_);
+  writer.AddBlock("category_titles", std::move(block));
+  block.clear();
+
+  EncodeCsr(&block, article_link_offsets_, article_link_targets_);
+  writer.AddBlock("article_links", std::move(block));
+  block.clear();
+
+  EncodeCsr(&block, membership_offsets_, membership_targets_);
+  writer.AddBlock("memberships", std::move(block));
+  block.clear();
+
+  EncodeCsr(&block, cat_parent_offsets_, cat_parent_targets_);
+  writer.AddBlock("category_links", std::move(block));
+
+  return writer.Serialize();
+}
+
+Status KnowledgeBase::SaveToFile(const std::string& path) const {
+  return io::WriteStringToFile(path, SerializeToString());
+}
+
+namespace {
+// Builds the reverse of a CSR relation (targets become sources).
+template <typename Src, typename Dst>
+void BuildReverseCsr(size_t num_targets,
+                     const std::vector<uint64_t>& fwd_offsets,
+                     const std::vector<Dst>& fwd_targets,
+                     std::vector<uint64_t>* rev_offsets,
+                     std::vector<Src>* rev_sources) {
+  rev_offsets->assign(num_targets + 1, 0);
+  for (Dst t : fwd_targets) (*rev_offsets)[t + 1]++;
+  for (size_t i = 1; i < rev_offsets->size(); ++i) {
+    (*rev_offsets)[i] += (*rev_offsets)[i - 1];
+  }
+  rev_sources->assign(fwd_targets.size(), 0);
+  std::vector<uint64_t> cursor(rev_offsets->begin(), rev_offsets->end() - 1);
+  const size_t n = fwd_offsets.size() - 1;
+  for (size_t s = 0; s < n; ++s) {
+    for (uint64_t j = fwd_offsets[s]; j < fwd_offsets[s + 1]; ++j) {
+      Dst t = fwd_targets[j];
+      (*rev_sources)[cursor[t]++] = static_cast<Src>(s);
+    }
+  }
+  // Sources come out sorted already because we scan s ascending.
+}
+}  // namespace
+
+Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
+  auto reader_or = io::SnapshotReader::Open(std::move(image), kKbSnapshotMagic);
+  if (!reader_or.ok()) return reader_or.status();
+  const io::SnapshotReader& reader = reader_or.value();
+
+  KnowledgeBase kb;
+  auto require = [&](std::string_view name) -> Result<std::string_view> {
+    auto block = reader.GetBlock(name);
+    if (!block.ok()) {
+      return Status::Corruption("KB snapshot missing block: " +
+                                std::string(name));
+    }
+    return block;
+  };
+
+  SQE_ASSIGN_OR_RETURN(std::string_view titles_block,
+                       require("article_titles"));
+  if (!DecodeTitles(titles_block, &kb.article_titles_)) {
+    return Status::Corruption("bad article_titles block");
+  }
+  SQE_ASSIGN_OR_RETURN(std::string_view cat_titles_block,
+                       require("category_titles"));
+  if (!DecodeTitles(cat_titles_block, &kb.category_titles_)) {
+    return Status::Corruption("bad category_titles block");
+  }
+  SQE_ASSIGN_OR_RETURN(std::string_view links_block, require("article_links"));
+  if (!DecodeCsr(links_block, &kb.article_link_offsets_,
+                 &kb.article_link_targets_)) {
+    return Status::Corruption("bad article_links block");
+  }
+  SQE_ASSIGN_OR_RETURN(std::string_view memb_block, require("memberships"));
+  if (!DecodeCsr(memb_block, &kb.membership_offsets_,
+                 &kb.membership_targets_)) {
+    return Status::Corruption("bad memberships block");
+  }
+  SQE_ASSIGN_OR_RETURN(std::string_view cat_block, require("category_links"));
+  if (!DecodeCsr(cat_block, &kb.cat_parent_offsets_,
+                 &kb.cat_parent_targets_)) {
+    return Status::Corruption("bad category_links block");
+  }
+
+  // Validate CSR shapes against node counts.
+  if (kb.article_link_offsets_.size() != kb.article_titles_.size() + 1 ||
+      kb.membership_offsets_.size() != kb.article_titles_.size() + 1 ||
+      kb.cat_parent_offsets_.size() != kb.category_titles_.size() + 1) {
+    return Status::Corruption("KB snapshot adjacency/node count mismatch");
+  }
+  for (ArticleId t : kb.article_link_targets_) {
+    if (t >= kb.article_titles_.size()) {
+      return Status::Corruption("article link target out of range");
+    }
+  }
+  for (CategoryId t : kb.membership_targets_) {
+    if (t >= kb.category_titles_.size()) {
+      return Status::Corruption("membership target out of range");
+    }
+  }
+  for (CategoryId t : kb.cat_parent_targets_) {
+    if (t >= kb.category_titles_.size()) {
+      return Status::Corruption("category link target out of range");
+    }
+  }
+
+  // Derived (reverse) adjacency is rebuilt rather than stored.
+  BuildReverseCsr<ArticleId, ArticleId>(
+      kb.article_titles_.size(), kb.article_link_offsets_,
+      kb.article_link_targets_, &kb.article_inlink_offsets_,
+      &kb.article_inlink_sources_);
+  BuildReverseCsr<ArticleId, CategoryId>(
+      kb.category_titles_.size(), kb.membership_offsets_,
+      kb.membership_targets_, &kb.cat_article_offsets_,
+      &kb.cat_article_targets_);
+  BuildReverseCsr<CategoryId, CategoryId>(
+      kb.category_titles_.size(), kb.cat_parent_offsets_,
+      kb.cat_parent_targets_, &kb.cat_child_offsets_, &kb.cat_child_targets_);
+
+  kb.RebuildTitleMaps();
+  return kb;
+}
+
+Result<KnowledgeBase> KnowledgeBase::FromSnapshotFile(
+    const std::string& path) {
+  auto image = io::ReadFileToString(path);
+  if (!image.ok()) return image.status();
+  return FromSnapshotString(std::move(image).value());
+}
+
+}  // namespace sqe::kb

@@ -1,0 +1,147 @@
+// KnowledgeBase: an immutable, CSR-packed typed graph over Wikipedia-like
+// articles and categories.
+//
+// Built once (via KbBuilder or a snapshot) and then queried read-only by the
+// motif finder, the entity linker and the structural analysis. All adjacency
+// lists are sorted, enabling O(log d) edge-existence checks — the operation
+// that dominates motif matching (reciprocal-link and category-subset tests).
+#ifndef SQE_KB_KNOWLEDGE_BASE_H_
+#define SQE_KB_KNOWLEDGE_BASE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "kb/types.h"
+
+namespace sqe::kb {
+
+class KbBuilder;
+
+/// Immutable knowledge-base graph. Create through KbBuilder::Build() or
+/// KnowledgeBase::FromSnapshot().
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(KnowledgeBase);
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  // ---- node accessors -----------------------------------------------------
+
+  size_t NumArticles() const { return article_titles_.size(); }
+  size_t NumCategories() const { return category_titles_.size(); }
+
+  const std::string& ArticleTitle(ArticleId a) const {
+    SQE_CHECK(a < article_titles_.size());
+    return article_titles_[a];
+  }
+  const std::string& CategoryTitle(CategoryId c) const {
+    SQE_CHECK(c < category_titles_.size());
+    return category_titles_[c];
+  }
+
+  /// Title lookup; returns kInvalid* when absent. Titles are exact-match
+  /// (callers normalise case upstream if needed).
+  ArticleId FindArticle(std::string_view title) const;
+  CategoryId FindCategory(std::string_view title) const;
+
+  // ---- adjacency ----------------------------------------------------------
+
+  /// Outgoing article->article links, sorted ascending.
+  std::span<const ArticleId> OutLinks(ArticleId a) const {
+    return Slice(article_link_offsets_, article_link_targets_, a);
+  }
+  /// Incoming article->article links, sorted ascending.
+  std::span<const ArticleId> InLinks(ArticleId a) const {
+    return Slice(article_inlink_offsets_, article_inlink_sources_, a);
+  }
+  /// Categories the article belongs to, sorted ascending.
+  std::span<const CategoryId> CategoriesOf(ArticleId a) const {
+    return Slice(membership_offsets_, membership_targets_, a);
+  }
+  /// Articles contained in the category, sorted ascending.
+  std::span<const ArticleId> ArticlesIn(CategoryId c) const {
+    return Slice(cat_article_offsets_, cat_article_targets_, c);
+  }
+  /// Parent categories (subcategory edges child->parent), sorted ascending.
+  std::span<const CategoryId> ParentCategories(CategoryId c) const {
+    return Slice(cat_parent_offsets_, cat_parent_targets_, c);
+  }
+  /// Child categories, sorted ascending.
+  std::span<const CategoryId> ChildCategories(CategoryId c) const {
+    return Slice(cat_child_offsets_, cat_child_targets_, c);
+  }
+
+  /// O(log d) edge-existence tests.
+  bool HasLink(ArticleId from, ArticleId to) const;
+  /// True iff both `a`->`b` and `b`->`a` hyperlinks exist ("doubly linked"
+  /// in the paper's motif definitions).
+  bool ReciprocallyLinked(ArticleId a, ArticleId b) const {
+    return HasLink(a, b) && HasLink(b, a);
+  }
+  bool HasMembership(ArticleId article, CategoryId category) const;
+  /// True iff there is a subcategory edge child->parent.
+  bool HasCategoryLink(CategoryId child, CategoryId parent) const;
+  /// True iff the categories are related by a C->C edge in either direction
+  /// (the square motif's "one category inside the other, or vice versa").
+  bool CategoriesRelated(CategoryId x, CategoryId y) const {
+    return HasCategoryLink(x, y) || HasCategoryLink(y, x);
+  }
+
+  // ---- aggregate counts (the paper reports these for its dump) ------------
+
+  size_t NumArticleLinks() const { return article_link_targets_.size(); }
+  size_t NumMemberships() const { return membership_targets_.size(); }
+  size_t NumCategoryLinks() const { return cat_parent_targets_.size(); }
+
+  // ---- persistence ---------------------------------------------------------
+
+  /// Serializes to the SQE snapshot format (CRC-protected blocks).
+  Status SaveToFile(const std::string& path) const;
+  std::string SerializeToString() const;
+
+  /// Loads a snapshot produced by SaveToFile/SerializeToString.
+  static Result<KnowledgeBase> FromSnapshotFile(const std::string& path);
+  static Result<KnowledgeBase> FromSnapshotString(std::string image);
+
+ private:
+  friend class KbBuilder;
+
+  template <typename T>
+  static std::span<const T> Slice(const std::vector<uint64_t>& offsets,
+                                  const std::vector<T>& targets, uint32_t id) {
+    SQE_CHECK(id + 1 < offsets.size());
+    return std::span<const T>(targets.data() + offsets[id],
+                              targets.data() + offsets[id + 1]);
+  }
+
+  void RebuildTitleMaps();
+
+  std::vector<std::string> article_titles_;
+  std::vector<std::string> category_titles_;
+  std::unordered_map<std::string_view, ArticleId> article_by_title_;
+  std::unordered_map<std::string_view, CategoryId> category_by_title_;
+
+  // CSR adjacency; offsets have size N+1.
+  std::vector<uint64_t> article_link_offsets_;
+  std::vector<ArticleId> article_link_targets_;
+  std::vector<uint64_t> article_inlink_offsets_;
+  std::vector<ArticleId> article_inlink_sources_;
+  std::vector<uint64_t> membership_offsets_;
+  std::vector<CategoryId> membership_targets_;
+  std::vector<uint64_t> cat_article_offsets_;
+  std::vector<ArticleId> cat_article_targets_;
+  std::vector<uint64_t> cat_parent_offsets_;
+  std::vector<CategoryId> cat_parent_targets_;
+  std::vector<uint64_t> cat_child_offsets_;
+  std::vector<CategoryId> cat_child_targets_;
+};
+
+}  // namespace sqe::kb
+
+#endif  // SQE_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,46 @@
+// Core identifier types for the knowledge-base graph.
+//
+// Articles and categories live in separate dense id spaces, mirroring
+// Wikipedia's namespace split (main vs Category:). All edge kinds the paper
+// uses are modelled:
+//   article -> article   hyperlink between articles
+//   article -> category  category membership
+//   category -> category subcategory (child -> parent)
+#ifndef SQE_KB_TYPES_H_
+#define SQE_KB_TYPES_H_
+
+#include <cstdint>
+
+namespace sqe::kb {
+
+using ArticleId = uint32_t;
+using CategoryId = uint32_t;
+
+inline constexpr ArticleId kInvalidArticle = UINT32_MAX;
+inline constexpr CategoryId kInvalidCategory = UINT32_MAX;
+
+/// A node reference that can point at either an article or a category.
+/// Used by the structural-analysis module, whose cycles mix both kinds.
+struct NodeRef {
+  enum class Kind : uint8_t { kArticle = 0, kCategory = 1 };
+  Kind kind = Kind::kArticle;
+  uint32_t id = 0;
+
+  static NodeRef Article(ArticleId a) { return {Kind::kArticle, a}; }
+  static NodeRef Category(CategoryId c) { return {Kind::kCategory, c}; }
+
+  bool is_article() const { return kind == Kind::kArticle; }
+  bool is_category() const { return kind == Kind::kCategory; }
+
+  friend bool operator==(const NodeRef& x, const NodeRef& y) {
+    return x.kind == y.kind && x.id == y.id;
+  }
+  friend bool operator<(const NodeRef& x, const NodeRef& y) {
+    if (x.kind != y.kind) return x.kind < y.kind;
+    return x.id < y.id;
+  }
+};
+
+}  // namespace sqe::kb
+
+#endif  // SQE_KB_TYPES_H_

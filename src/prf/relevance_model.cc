@@ -1,0 +1,102 @@
+#include "prf/relevance_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sqe::prf {
+
+std::vector<WeightedTerm> PrfExpander::EstimateRelevanceModel(
+    const retrieval::Query& original,
+    const retrieval::ResultList& initial_results) const {
+  const index::InvertedIndex& idx = retriever_->index();
+  const double mu = retriever_->options().mu;
+
+  const size_t num_feedback =
+      std::min(options_.feedback_docs, initial_results.size());
+  if (num_feedback == 0) return {};
+
+  // P(Q|D) from the retrieval log-likelihoods, shifted by the max for
+  // numerical stability, then normalized over the feedback set.
+  double max_score = initial_results[0].score;
+  std::vector<double> doc_prob(num_feedback);
+  double prob_total = 0.0;
+  for (size_t i = 0; i < num_feedback; ++i) {
+    doc_prob[i] = std::exp(initial_results[i].score - max_score);
+    prob_total += doc_prob[i];
+  }
+  if (prob_total <= 0.0) return {};
+  for (double& p : doc_prob) p /= prob_total;
+
+  // Accumulate P(w|Q) = Σ_D P(w|D)·P(Q|D) with Dirichlet-smoothed P(w|D)
+  // restricted to terms occurring in the feedback documents (terms outside
+  // them receive only background mass, identical for every w, so the top-n
+  // selection is unaffected).
+  std::unordered_map<text::TermId, double> weight;
+  (void)original;
+  for (size_t i = 0; i < num_feedback; ++i) {
+    index::DocId d = initial_results[i].doc;
+    std::span<const text::TermId> terms = idx.DocTerms(d);
+    const double doc_len = static_cast<double>(idx.DocLength(d));
+    std::unordered_map<text::TermId, uint32_t> tf;
+    for (text::TermId t : terms) tf[t]++;
+    for (const auto& [t, count] : tf) {
+      double p_w_d = (static_cast<double>(count) +
+                      mu * idx.CollectionProbability(t)) /
+                     (doc_len + mu);
+      weight[t] += p_w_d * doc_prob[i];
+    }
+  }
+
+  std::vector<std::pair<text::TermId, double>> ranked(weight.begin(),
+                                                      weight.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  std::vector<WeightedTerm> model;
+  const size_t n = std::min(options_.expansion_terms, ranked.size());
+  model.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    model.push_back(WeightedTerm{idx.vocabulary().TermOf(ranked[i].first),
+                                 ranked[i].second});
+  }
+  return model;
+}
+
+retrieval::Query PrfExpander::Reformulate(
+    const retrieval::Query& original,
+    const std::vector<WeightedTerm>& model) const {
+  retrieval::Query out;
+  if (options_.original_weight > 0.0) {
+    for (const retrieval::Clause& c : original.clauses) {
+      retrieval::Clause scaled = c;
+      scaled.weight = c.weight * options_.original_weight;
+      out.clauses.push_back(std::move(scaled));
+    }
+  }
+  retrieval::Clause rm_clause;
+  rm_clause.weight = 1.0 - options_.original_weight;
+  for (const WeightedTerm& wt : model) {
+    rm_clause.atoms.push_back(retrieval::Atom::Term(wt.term, wt.weight));
+  }
+  if (!rm_clause.atoms.empty() && rm_clause.weight > 0.0) {
+    out.clauses.push_back(std::move(rm_clause));
+  }
+  // Degenerate cases (no model terms, or λ=1) leave only the original.
+  if (out.clauses.empty()) return original;
+  return out;
+}
+
+retrieval::ResultList PrfExpander::ExpandAndRetrieve(
+    const retrieval::Query& original, size_t k) const {
+  retrieval::ResultList initial =
+      retriever_->Retrieve(original, options_.feedback_docs);
+  std::vector<WeightedTerm> model =
+      EstimateRelevanceModel(original, initial);
+  retrieval::Query reformulated = Reformulate(original, model);
+  return retriever_->Retrieve(reformulated, k);
+}
+
+}  // namespace sqe::prf

@@ -1,0 +1,81 @@
+#include "retrieval/phrase_matcher.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sqe::retrieval {
+
+PhrasePostings MatchPhrase(const index::InvertedIndex& index,
+                           const std::vector<text::TermId>& term_ids) {
+  SQE_CHECK(term_ids.size() >= 2);
+  PhrasePostings out;
+  for (text::TermId t : term_ids) {
+    if (t == text::kInvalidTermId || index.Postings(t).NumDocs() == 0) {
+      return out;  // some constituent never occurs: no matches anywhere
+    }
+  }
+
+  // Drive the intersection from the rarest term to minimize seeks.
+  size_t driver = 0;
+  uint64_t min_docs = UINT64_MAX;
+  for (size_t i = 0; i < term_ids.size(); ++i) {
+    uint64_t n = index.Postings(term_ids[i]).NumDocs();
+    if (n < min_docs) {
+      min_docs = n;
+      driver = i;
+    }
+  }
+
+  std::vector<index::PostingList::Cursor> cursors;
+  cursors.reserve(term_ids.size());
+  for (text::TermId t : term_ids) {
+    cursors.push_back(index.Postings(t).MakeCursor());
+  }
+
+  auto& drive = cursors[driver];
+  while (!drive.AtEnd()) {
+    index::DocId candidate = drive.Doc();
+    bool all_match = true;
+    for (size_t i = 0; i < cursors.size() && all_match; ++i) {
+      if (i == driver) continue;
+      cursors[i].SeekTo(candidate);
+      if (cursors[i].AtEnd() || cursors[i].Doc() != candidate) {
+        all_match = false;
+        // Re-seek the driver to the blocking cursor's doc to skip ahead.
+        if (!cursors[i].AtEnd()) {
+          drive.SeekTo(cursors[i].Doc());
+        } else {
+          return out;
+        }
+      }
+    }
+    if (!all_match) continue;
+
+    // All cursors on `candidate`; count start positions p (from term 0's
+    // list) such that term i occurs at p+i for all i.
+    uint32_t matches = 0;
+    auto first_positions = cursors[0].Positions();
+    for (uint32_t p : first_positions) {
+      bool ok = true;
+      for (size_t i = 1; i < cursors.size(); ++i) {
+        auto pos = cursors[i].Positions();
+        if (!std::binary_search(pos.begin(), pos.end(),
+                                p + static_cast<uint32_t>(i))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++matches;
+    }
+    if (matches > 0) {
+      out.docs.push_back(candidate);
+      out.freqs.push_back(matches);
+      out.collection_frequency += matches;
+    }
+    drive.Next();
+  }
+  return out;
+}
+
+}  // namespace sqe::retrieval

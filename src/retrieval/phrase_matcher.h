@@ -1,0 +1,33 @@
+// Ordered-window (#1) phrase matching over positional postings.
+//
+// Finds, per document, the number of exact consecutive occurrences of an
+// n-gram. Collection statistics for phrases are computed on demand (Indri
+// does the same for window operators) and cached by the retriever.
+#ifndef SQE_RETRIEVAL_PHRASE_MATCHER_H_
+#define SQE_RETRIEVAL_PHRASE_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/types.h"
+#include "text/vocabulary.h"
+
+namespace sqe::retrieval {
+
+/// Per-document match count for a phrase plus its collection statistics.
+struct PhrasePostings {
+  std::vector<index::DocId> docs;   // ascending
+  std::vector<uint32_t> freqs;      // parallel to docs
+  uint64_t collection_frequency = 0;
+};
+
+/// Computes postings for the exact consecutive n-gram `term_ids` by
+/// intersecting the constituent terms' positional postings. Any invalid
+/// term id yields empty postings. `term_ids` must have size >= 2.
+PhrasePostings MatchPhrase(const index::InvertedIndex& index,
+                           const std::vector<text::TermId>& term_ids);
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_PHRASE_MATCHER_H_

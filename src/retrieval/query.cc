@@ -1,0 +1,43 @@
+#include "retrieval/query.h"
+
+#include "common/string_util.h"
+
+namespace sqe::retrieval {
+
+Query Query::FromTerms(const std::vector<std::string>& terms) {
+  Query q;
+  Clause clause;
+  for (const std::string& t : terms) clause.atoms.push_back(Atom::Term(t));
+  if (!clause.atoms.empty()) q.clauses.push_back(std::move(clause));
+  return q;
+}
+
+size_t Query::NumAtoms() const {
+  size_t n = 0;
+  for (const Clause& c : clauses) n += c.atoms.size();
+  return n;
+}
+
+bool Query::Empty() const { return NumAtoms() == 0; }
+
+std::string Query::ToString() const {
+  std::string out = "#weight(";
+  for (const Clause& c : clauses) {
+    out += StrFormat(" %.3f #weight(", c.weight);
+    for (const Atom& a : c.atoms) {
+      out += StrFormat(" %.3f ", a.weight);
+      if (a.is_phrase()) {
+        out += "#1(";
+        out += Join(a.terms, " ");
+        out += ")";
+      } else {
+        out += a.terms.empty() ? "<empty>" : a.terms[0];
+      }
+    }
+    out += " )";
+  }
+  out += " )";
+  return out;
+}
+
+}  // namespace sqe::retrieval

@@ -1,0 +1,64 @@
+// Query representation: a two-level weighted belief tree, the subset of
+// Indri's language the paper uses.
+//
+//   #weight( w_1 #weight( v_11 atom_11  v_12 atom_12 ... )
+//            w_2 #weight( ... ) ... )
+//
+// where an atom is either a single term or an ordered n-gram phrase (#1).
+// The expanded SQE query is exactly this shape: clause 1 = user's terms,
+// clause 2 = query-entity title phrases, clause 3 = expansion-feature title
+// phrases weighted by motif multiplicity |m_a|.
+#ifndef SQE_RETRIEVAL_QUERY_H_
+#define SQE_RETRIEVAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+namespace sqe::retrieval {
+
+/// A scoring atom: one term (terms.size()==1) or an ordered phrase that
+/// matches only exact consecutive occurrences (Indri's #1 operator).
+struct Atom {
+  double weight = 1.0;
+  std::vector<std::string> terms;  // analyzed terms
+
+  static Atom Term(std::string term, double weight = 1.0) {
+    Atom a;
+    a.weight = weight;
+    a.terms.push_back(std::move(term));
+    return a;
+  }
+  static Atom Phrase(std::vector<std::string> terms, double weight = 1.0) {
+    Atom a;
+    a.weight = weight;
+    a.terms = std::move(terms);
+    return a;
+  }
+  bool is_phrase() const { return terms.size() > 1; }
+};
+
+/// A weighted group of atoms (an inner #weight / #combine).
+struct Clause {
+  double weight = 1.0;
+  std::vector<Atom> atoms;
+};
+
+/// The full query: weighted combination of clauses. Weights are normalized
+/// at scoring time, so callers may use any positive scale.
+struct Query {
+  std::vector<Clause> clauses;
+
+  /// Single-clause query with equal term weights (a plain #combine).
+  static Query FromTerms(const std::vector<std::string>& terms);
+
+  /// Total number of atoms across clauses.
+  size_t NumAtoms() const;
+  bool Empty() const;
+
+  /// Indri-like textual rendering for logging/tests.
+  std::string ToString() const;
+};
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_QUERY_H_

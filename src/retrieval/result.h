@@ -1,0 +1,21 @@
+// Ranked result lists.
+#ifndef SQE_RETRIEVAL_RESULT_H_
+#define SQE_RETRIEVAL_RESULT_H_
+
+#include <vector>
+
+#include "index/types.h"
+
+namespace sqe::retrieval {
+
+struct ScoredDoc {
+  index::DocId doc = index::kInvalidDoc;
+  double score = 0.0;
+};
+
+/// Descending score; ties broken by ascending doc id for determinism.
+using ResultList = std::vector<ScoredDoc>;
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_RESULT_H_

@@ -1,0 +1,136 @@
+#include "retrieval/retriever.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "retrieval/phrase_matcher.h"
+
+namespace sqe::retrieval {
+
+std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
+    const Query& query) const {
+  const index::InvertedIndex& idx = *index_;
+
+  // Normalize clause weights, then atom weights within each clause, so the
+  // product weights sum to 1 across all atoms.
+  double clause_total = 0.0;
+  for (const Clause& c : query.clauses) {
+    if (!c.atoms.empty() && c.weight > 0.0) clause_total += c.weight;
+  }
+
+  std::vector<ResolvedAtom> resolved;
+  for (const Clause& c : query.clauses) {
+    if (c.atoms.empty() || c.weight <= 0.0 || clause_total <= 0.0) continue;
+    double atom_total = 0.0;
+    for (const Atom& a : c.atoms) {
+      if (a.weight > 0.0 && !a.terms.empty()) atom_total += a.weight;
+    }
+    if (atom_total <= 0.0) continue;
+    for (const Atom& a : c.atoms) {
+      if (a.weight <= 0.0 || a.terms.empty()) continue;
+      ResolvedAtom r;
+      r.weight = (c.weight / clause_total) * (a.weight / atom_total);
+      if (!a.is_phrase()) {
+        text::TermId t = idx.LookupTerm(a.terms[0]);
+        if (t != text::kInvalidTermId) {
+          const index::PostingList& pl = idx.Postings(t);
+          r.docs.reserve(pl.NumDocs());
+          r.freqs.reserve(pl.NumDocs());
+          for (size_t i = 0; i < pl.NumDocs(); ++i) {
+            r.docs.push_back(pl.doc(i));
+            r.freqs.push_back(pl.frequency(i));
+          }
+        }
+        r.collection_prob = idx.CollectionProbability(t);
+      } else {
+        std::vector<text::TermId> ids;
+        ids.reserve(a.terms.size());
+        for (const std::string& term : a.terms) {
+          ids.push_back(idx.LookupTerm(term));
+        }
+        PhrasePostings pp = MatchPhrase(idx, ids);
+        r.docs = std::move(pp.docs);
+        r.freqs = std::move(pp.freqs);
+        double denom = static_cast<double>(std::max<uint64_t>(
+            idx.TotalTokens(), 1));
+        r.collection_prob =
+            pp.collection_frequency > 0
+                ? static_cast<double>(pp.collection_frequency) / denom
+                : idx.UnseenTermProbability();
+      }
+      resolved.push_back(std::move(r));
+    }
+  }
+  return resolved;
+}
+
+ResultList Retriever::Retrieve(const Query& query, size_t k) const {
+  const index::InvertedIndex& idx = *index_;
+  const size_t num_docs = idx.NumDocuments();
+  if (k == 0 || num_docs == 0) return {};
+
+  std::vector<ResolvedAtom> atoms = ResolveAtoms(query);
+  if (atoms.empty()) return {};
+
+  const double mu = options_.mu;
+
+  // score(D) = Σ_a ω_a log(tf_aD + μ p_a) − log(|D| + μ)
+  //          = background_const + delta(D) − log(|D| + μ)
+  double background_const = 0.0;
+  for (const ResolvedAtom& a : atoms) {
+    background_const += a.weight * std::log(mu * a.collection_prob);
+  }
+
+  std::vector<double> delta(num_docs, 0.0);
+  for (const ResolvedAtom& a : atoms) {
+    const double bg = std::log(mu * a.collection_prob);
+    for (size_t i = 0; i < a.docs.size(); ++i) {
+      delta[a.docs[i]] +=
+          a.weight *
+          (std::log(static_cast<double>(a.freqs[i]) + mu * a.collection_prob) -
+           bg);
+    }
+  }
+
+  ResultList all(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    all[d].doc = static_cast<index::DocId>(d);
+    all[d].score = background_const + delta[d] -
+                   std::log(static_cast<double>(idx.DocLength(
+                                static_cast<index::DocId>(d))) +
+                            mu);
+  }
+
+  auto better = [](const ScoredDoc& x, const ScoredDoc& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.doc < y.doc;
+  };
+  if (k < all.size()) {
+    std::nth_element(all.begin(), all.begin() + static_cast<ptrdiff_t>(k),
+                     all.end(), better);
+    all.resize(k);
+  }
+  std::sort(all.begin(), all.end(), better);
+  return all;
+}
+
+double Retriever::ScoreDocument(const Query& query, index::DocId doc) const {
+  const index::InvertedIndex& idx = *index_;
+  SQE_CHECK(doc < idx.NumDocuments());
+  std::vector<ResolvedAtom> atoms = ResolveAtoms(query);
+  if (atoms.empty()) return -std::numeric_limits<double>::infinity();
+  const double mu = options_.mu;
+  double score = -std::log(static_cast<double>(idx.DocLength(doc)) + mu);
+  for (const ResolvedAtom& a : atoms) {
+    auto it = std::lower_bound(a.docs.begin(), a.docs.end(), doc);
+    double tf = (it != a.docs.end() && *it == doc)
+                    ? static_cast<double>(
+                          a.freqs[static_cast<size_t>(it - a.docs.begin())])
+                    : 0.0;
+    score += a.weight * std::log(tf + mu * a.collection_prob);
+  }
+  return score;
+}
+
+}  // namespace sqe::retrieval

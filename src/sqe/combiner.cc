@@ -1,0 +1,45 @@
+#include "sqe/combiner.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "index/types.h"
+
+namespace sqe::expansion {
+
+retrieval::ResultList CombineByRankRanges(
+    const std::vector<RangeSegment>& segments, size_t k) {
+  retrieval::ResultList combined;
+  combined.reserve(k);
+  std::unordered_set<index::DocId> seen;
+  seen.reserve(k);
+
+  size_t prev_cutoff = 0;
+  for (const RangeSegment& segment : segments) {
+    SQE_CHECK(segment.results != nullptr);
+    SQE_CHECK_MSG(segment.cutoff > prev_cutoff,
+                  "segment cutoffs must be strictly increasing");
+    size_t target = std::min(segment.cutoff, k);
+    for (const retrieval::ScoredDoc& sd : *segment.results) {
+      if (combined.size() >= target) break;
+      if (seen.insert(sd.doc).second) combined.push_back(sd);
+    }
+    prev_cutoff = segment.cutoff;
+    if (combined.size() >= k) break;
+  }
+  return combined;
+}
+
+retrieval::ResultList CombineSqeC(const retrieval::ResultList& t,
+                                  const retrieval::ResultList& ts,
+                                  const retrieval::ResultList& s, size_t k) {
+  return CombineByRankRanges(
+      {
+          RangeSegment{5, &t},
+          RangeSegment{200, &ts},
+          RangeSegment{static_cast<size_t>(-1), &s},
+      },
+      k);
+}
+
+}  // namespace sqe::expansion

@@ -1,0 +1,37 @@
+// SQE_C rank-range combination (Section 2.2.1 / 4.1).
+//
+// SQE_C issues several expanded queries (one per motif configuration) and
+// stitches their result lists by rank ranges: the paper's configuration
+// takes ranks 1–5 from SQE_T, 6–200 from SQE_T&S and 201+ from SQE_S.
+#ifndef SQE_SQE_COMBINER_H_
+#define SQE_SQE_COMBINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "retrieval/result.h"
+
+namespace sqe::expansion {
+
+/// One source list and the (cumulative) rank position up to which it feeds
+/// the combined list. A cutoff of SIZE_MAX means "the rest".
+struct RangeSegment {
+  size_t cutoff = 0;  // combined list is filled from this source up to here
+  const retrieval::ResultList* results = nullptr;
+};
+
+/// Combines result lists by rank ranges, skipping documents already emitted
+/// by an earlier segment (first occurrence wins; its score is kept). The
+/// output is capped at `k` results. Segments must have increasing cutoffs.
+retrieval::ResultList CombineByRankRanges(
+    const std::vector<RangeSegment>& segments, size_t k);
+
+/// The paper's SQE_C configuration: 1–5 from `t`, 6–200 from `ts`, the rest
+/// from `s`.
+retrieval::ResultList CombineSqeC(const retrieval::ResultList& t,
+                                  const retrieval::ResultList& ts,
+                                  const retrieval::ResultList& s, size_t k);
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_COMBINER_H_

@@ -1,0 +1,22 @@
+#include "sqe/motif.h"
+
+namespace sqe::expansion {
+
+std::string_view MotifKindName(MotifKind kind) {
+  switch (kind) {
+    case MotifKind::kTriangular:
+      return "triangular";
+    case MotifKind::kSquare:
+      return "square";
+  }
+  return "?";
+}
+
+std::string MotifConfig::ToString() const {
+  if (use_triangular && use_square) return "T&S";
+  if (use_triangular) return "T";
+  if (use_square) return "S";
+  return "none";
+}
+
+}  // namespace sqe::expansion

@@ -1,0 +1,64 @@
+// Motif definitions (Section 2.2 of the paper).
+//
+// Both motifs anchor at a query node q and identify an expansion article a:
+//
+//  Triangular (cycle length 3): q and a are doubly linked, and a belongs to
+//  at least the same exact categories as q. Every category shared with q
+//  closes one triangle q — a — c — q, so the pair yields |cats(q)| motif
+//  instances.
+//
+//  Square (cycle length 4): q and a are doubly linked, and some category of
+//  q is inside some category of a, or vice versa (a subcategory edge in
+//  either direction). Every such category pair closes one square
+//  q — a — c_a — c_q — q.
+//
+// These are the two cycle shapes the ground-truth analysis singled out:
+// they satisfy the ~1/3 category-node ratio and the extra-edge density
+// requirements (the doubly-linked pair contributes the extra edges); length-5
+// cycles are excluded for performance, exactly as in the paper.
+#ifndef SQE_SQE_MOTIF_H_
+#define SQE_SQE_MOTIF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kb/types.h"
+
+namespace sqe::expansion {
+
+enum class MotifKind : uint8_t { kTriangular = 0, kSquare = 1 };
+
+std::string_view MotifKindName(MotifKind kind);
+
+/// Which motifs participate in query-graph construction. The paper's three
+/// configurations: T (triangular only), S (square only), T&S (both).
+struct MotifConfig {
+  bool use_triangular = true;
+  bool use_square = true;
+
+  static MotifConfig Triangular() { return {true, false}; }
+  static MotifConfig Square() { return {false, true}; }
+  static MotifConfig Both() { return {true, true}; }
+
+  std::string ToString() const;
+};
+
+/// One triangular motif instance.
+struct TriangularMatch {
+  kb::ArticleId query_node = kb::kInvalidArticle;
+  kb::ArticleId expansion_node = kb::kInvalidArticle;
+  kb::CategoryId shared_category = kb::kInvalidCategory;
+};
+
+/// One square motif instance.
+struct SquareMatch {
+  kb::ArticleId query_node = kb::kInvalidArticle;
+  kb::ArticleId expansion_node = kb::kInvalidArticle;
+  kb::CategoryId query_category = kb::kInvalidCategory;
+  kb::CategoryId expansion_category = kb::kInvalidCategory;
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_MOTIF_H_

@@ -1,0 +1,120 @@
+#include "sqe/motif_finder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sqe::expansion {
+
+namespace {
+// True iff sorted `sub` ⊆ sorted `super`.
+bool SortedSubset(std::span<const kb::CategoryId> sub,
+                  std::span<const kb::CategoryId> super) {
+  size_t i = 0, j = 0;
+  while (i < sub.size()) {
+    while (j < super.size() && super[j] < sub[i]) ++j;
+    if (j >= super.size() || super[j] != sub[i]) return false;
+    ++i;
+    ++j;
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<TriangularMatch> MotifFinder::FindTriangular(
+    kb::ArticleId q) const {
+  std::vector<TriangularMatch> matches;
+  std::span<const kb::CategoryId> q_cats = kb_->CategoriesOf(q);
+  // A triangle needs a shared category; a query node with no categories
+  // closes no length-3 cycle through a category.
+  if (q_cats.empty()) return matches;
+
+  for (kb::ArticleId a : kb_->OutLinks(q)) {
+    if (a == q) continue;
+    if (!kb_->HasLink(a, q)) continue;  // must be doubly linked
+    std::span<const kb::CategoryId> a_cats = kb_->CategoriesOf(a);
+    if (!SortedSubset(q_cats, a_cats)) continue;
+    // Every category of q is shared; each closes one triangle.
+    for (kb::CategoryId c : q_cats) {
+      matches.push_back(TriangularMatch{q, a, c});
+    }
+  }
+  return matches;
+}
+
+std::vector<SquareMatch> MotifFinder::FindSquare(kb::ArticleId q) const {
+  std::vector<SquareMatch> matches;
+  std::span<const kb::CategoryId> q_cats = kb_->CategoriesOf(q);
+  if (q_cats.empty()) return matches;
+
+  for (kb::ArticleId a : kb_->OutLinks(q)) {
+    if (a == q) continue;
+    if (!kb_->HasLink(a, q)) continue;
+    for (kb::CategoryId cq : q_cats) {
+      for (kb::CategoryId ca : kb_->CategoriesOf(a)) {
+        if (cq == ca) continue;  // identical categories form a triangle
+        if (kb_->CategoriesRelated(cq, ca)) {
+          matches.push_back(SquareMatch{q, a, cq, ca});
+        }
+      }
+    }
+  }
+  return matches;
+}
+
+QueryGraph MotifFinder::BuildQueryGraph(
+    std::span<const kb::ArticleId> query_nodes,
+    const MotifConfig& config) const {
+  QueryGraph graph;
+  graph.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+
+  std::unordered_set<kb::ArticleId> query_set(query_nodes.begin(),
+                                              query_nodes.end());
+  std::unordered_map<kb::ArticleId, ExpansionNode> by_article;
+  std::unordered_set<kb::CategoryId> categories;
+
+  for (kb::ArticleId q : query_nodes) {
+    if (q == kb::kInvalidArticle || q >= kb_->NumArticles()) continue;
+    if (config.use_triangular) {
+      for (const TriangularMatch& m : FindTriangular(q)) {
+        if (query_set.contains(m.expansion_node)) continue;
+        ExpansionNode& node = by_article[m.expansion_node];
+        node.article = m.expansion_node;
+        node.motif_count++;
+        node.triangular_count++;
+        categories.insert(m.shared_category);
+        graph.total_motifs++;
+      }
+    }
+    if (config.use_square) {
+      for (const SquareMatch& m : FindSquare(q)) {
+        if (query_set.contains(m.expansion_node)) continue;
+        ExpansionNode& node = by_article[m.expansion_node];
+        node.article = m.expansion_node;
+        node.motif_count++;
+        node.square_count++;
+        categories.insert(m.query_category);
+        categories.insert(m.expansion_category);
+        graph.total_motifs++;
+      }
+    }
+  }
+
+  graph.expansion_nodes.reserve(by_article.size());
+  for (auto& [article, node] : by_article) {
+    graph.expansion_nodes.push_back(node);
+  }
+  std::sort(graph.expansion_nodes.begin(), graph.expansion_nodes.end(),
+            [](const ExpansionNode& a, const ExpansionNode& b) {
+              if (a.motif_count != b.motif_count) {
+                return a.motif_count > b.motif_count;
+              }
+              return a.article < b.article;
+            });
+
+  graph.category_nodes.assign(categories.begin(), categories.end());
+  std::sort(graph.category_nodes.begin(), graph.category_nodes.end());
+  return graph;
+}
+
+}  // namespace sqe::expansion

@@ -1,0 +1,49 @@
+// MotifFinder: enumerates triangular and square motif instances around
+// query nodes and assembles query graphs.
+//
+// Complexity per query node q: O(Σ_{a ∈ N⁺(q)} [log d(a) + |cats(q)|·log
+// |cats(a)| + |cats(q)|·|cats(a)|·log d_c]) — reciprocity checks are binary
+// searches in sorted CSR adjacency; category tests are sorted-set
+// operations. No index structures beyond the KB itself are used, matching
+// the paper's "no indexing, no parallelism" measurement setup.
+#ifndef SQE_SQE_MOTIF_FINDER_H_
+#define SQE_SQE_MOTIF_FINDER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "kb/knowledge_base.h"
+#include "sqe/motif.h"
+#include "sqe/query_graph.h"
+
+namespace sqe::expansion {
+
+class MotifFinder {
+ public:
+  /// `kb` must outlive the finder.
+  explicit MotifFinder(const kb::KnowledgeBase* kb) : kb_(kb) {
+    SQE_CHECK(kb != nullptr);
+  }
+
+  /// All triangular motif instances anchored at `q`.
+  std::vector<TriangularMatch> FindTriangular(kb::ArticleId q) const;
+
+  /// All square motif instances anchored at `q`.
+  std::vector<SquareMatch> FindSquare(kb::ArticleId q) const;
+
+  /// Builds the query graph for a set of query nodes under `config`:
+  /// matches motifs around every query node, aggregates ⟨a, |m_a|⟩, and
+  /// drops expansion candidates that are themselves query nodes.
+  QueryGraph BuildQueryGraph(std::span<const kb::ArticleId> query_nodes,
+                             const MotifConfig& config) const;
+
+  const kb::KnowledgeBase& kb() const { return *kb_; }
+
+ private:
+  const kb::KnowledgeBase* kb_;
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_MOTIF_FINDER_H_

@@ -1,0 +1,68 @@
+#include "sqe/query_builder.h"
+
+namespace sqe::expansion {
+
+namespace {
+// Turns an article title into a query atom: multi-term titles become exact
+// phrases; single-term titles become plain term atoms.
+bool TitleAtom(const kb::KnowledgeBase& kb, const text::Analyzer& analyzer,
+               kb::ArticleId article, double weight, retrieval::Atom* out) {
+  std::vector<std::string> terms =
+      analyzer.AnalyzePhrase(kb.ArticleTitle(article));
+  if (terms.empty()) return false;
+  *out = terms.size() == 1 ? retrieval::Atom::Term(std::move(terms[0]), weight)
+                           : retrieval::Atom::Phrase(std::move(terms), weight);
+  return true;
+}
+}  // namespace
+
+retrieval::Query ExpandedQueryBuilder::Build(std::string_view user_query,
+                                             const QueryGraph& graph,
+                                             const QueryParts& parts) const {
+  retrieval::Query query;
+
+  if (parts.user_query) {
+    retrieval::Clause clause;
+    clause.weight = options_.user_weight;
+    for (std::string& term : analyzer_->Analyze(user_query)) {
+      clause.atoms.push_back(retrieval::Atom::Term(std::move(term)));
+    }
+    if (!clause.atoms.empty()) query.clauses.push_back(std::move(clause));
+  }
+
+  if (parts.query_entities) {
+    retrieval::Clause clause;
+    clause.weight = options_.entity_weight;
+    for (kb::ArticleId q : graph.query_nodes) {
+      if (q == kb::kInvalidArticle || q >= kb_->NumArticles()) continue;
+      retrieval::Atom atom;
+      if (TitleAtom(*kb_, *analyzer_, q, 1.0, &atom)) {
+        clause.atoms.push_back(std::move(atom));
+      }
+    }
+    if (!clause.atoms.empty()) query.clauses.push_back(std::move(clause));
+  }
+
+  if (parts.expansion_features) {
+    retrieval::Clause clause;
+    clause.weight = options_.expansion_weight;
+    size_t limit = options_.max_expansion_features == 0
+                       ? graph.expansion_nodes.size()
+                       : std::min(options_.max_expansion_features,
+                                  graph.expansion_nodes.size());
+    for (size_t i = 0; i < limit; ++i) {
+      const ExpansionNode& node = graph.expansion_nodes[i];
+      retrieval::Atom atom;
+      // Weight proportional to motif multiplicity |m_a| (Section 2.3).
+      if (TitleAtom(*kb_, *analyzer_, node.article,
+                    static_cast<double>(node.motif_count), &atom)) {
+        clause.atoms.push_back(std::move(atom));
+      }
+    }
+    if (!clause.atoms.empty()) query.clauses.push_back(std::move(clause));
+  }
+
+  return query;
+}
+
+}  // namespace sqe::expansion

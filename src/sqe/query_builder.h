@@ -1,0 +1,74 @@
+// ExpandedQueryBuilder: assembles the paper's three-part expanded query
+// (Section 2.3) and all the baseline query forms the evaluation compares.
+//
+//   part 1: the user's query terms                      (QL_Q alone)
+//   part 2: titles of the query nodes as phrases        (QL_E alone)
+//   part 3: titles of the expansion nodes as phrases,
+//           weighted proportionally to |m_a|            (QL_X alone)
+#ifndef SQE_SQE_QUERY_BUILDER_H_
+#define SQE_SQE_QUERY_BUILDER_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+#include "kb/knowledge_base.h"
+#include "retrieval/query.h"
+#include "sqe/query_graph.h"
+#include "text/analyzer.h"
+
+namespace sqe::expansion {
+
+/// Which parts participate in the final query.
+struct QueryParts {
+  bool user_query = true;
+  bool query_entities = true;
+  bool expansion_features = true;
+
+  static QueryParts QOnly() { return {true, false, false}; }
+  static QueryParts EOnly() { return {false, true, false}; }
+  static QueryParts QAndE() { return {true, true, false}; }
+  static QueryParts XOnly() { return {false, false, true}; }
+  static QueryParts All() { return {true, true, true}; }
+};
+
+struct QueryBuilderOptions {
+  /// Relative clause weights w_q : w_e : w_x. The user's query keeps the
+  /// largest share — the paper stresses it is "the only query form in which
+  /// we are sure the system has not introduced any error".
+  double user_weight = 1.0;
+  double entity_weight = 0.8;
+  double expansion_weight = 0.7;
+  /// Keep at most this many expansion features (highest |m_a| first);
+  /// 0 = unlimited.
+  size_t max_expansion_features = 0;
+};
+
+class ExpandedQueryBuilder {
+ public:
+  /// `kb` and `analyzer` must outlive the builder.
+  ExpandedQueryBuilder(const kb::KnowledgeBase* kb,
+                       const text::Analyzer* analyzer,
+                       QueryBuilderOptions options = {})
+      : kb_(kb), analyzer_(analyzer), options_(options) {
+    SQE_CHECK(kb != nullptr && analyzer != nullptr);
+  }
+
+  /// Builds the query combining the selected parts. Title phrases come from
+  /// KB article titles analyzed through the same pipeline as documents;
+  /// expansion atoms are weighted by their motif multiplicity.
+  retrieval::Query Build(std::string_view user_query, const QueryGraph& graph,
+                         const QueryParts& parts) const;
+
+  const QueryBuilderOptions& options() const { return options_; }
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  const text::Analyzer* analyzer_;
+  QueryBuilderOptions options_;
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_QUERY_BUILDER_H_

@@ -1,0 +1,39 @@
+// QueryGraph: the subgraph of the KB containing the query nodes and the
+// expansion nodes selected by motif matching, with the per-article motif
+// multiplicity ⟨a, |m_a|⟩ the query builder turns into weights.
+#ifndef SQE_SQE_QUERY_GRAPH_H_
+#define SQE_SQE_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/types.h"
+
+namespace sqe::expansion {
+
+/// An expansion node with its motif multiplicity.
+struct ExpansionNode {
+  kb::ArticleId article = kb::kInvalidArticle;
+  uint32_t motif_count = 0;       // |m_a|: motif instances containing a
+  uint32_t triangular_count = 0;  // breakdown per motif kind
+  uint32_t square_count = 0;
+};
+
+/// Result of query-graph construction for one query.
+struct QueryGraph {
+  std::vector<kb::ArticleId> query_nodes;
+  /// Sorted by descending motif_count (ties by ascending article id).
+  std::vector<ExpansionNode> expansion_nodes;
+  /// Category nodes appearing in any matched motif (deduplicated); kept so
+  /// structural analysis can reconstruct the full cycles.
+  std::vector<kb::CategoryId> category_nodes;
+
+  /// Total motif instances matched.
+  uint64_t total_motifs = 0;
+
+  bool HasExpansion() const { return !expansion_nodes.empty(); }
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_QUERY_GRAPH_H_

@@ -1,0 +1,102 @@
+#include "sqe/sqe_engine.h"
+
+#include "common/timer.h"
+
+namespace sqe::expansion {
+
+SqeEngine::SqeEngine(const kb::KnowledgeBase* kb,
+                     const index::InvertedIndex* index,
+                     const entity::EntityLinker* linker,
+                     const text::Analyzer* analyzer, SqeEngineConfig config)
+    : kb_(kb),
+      index_(index),
+      linker_(linker),
+      analyzer_(analyzer),
+      config_(config),
+      motif_finder_(kb),
+      query_builder_(kb, analyzer, config.query_builder),
+      retriever_(index, config.retriever) {
+  SQE_CHECK(kb != nullptr && index != nullptr && analyzer != nullptr);
+}
+
+std::vector<kb::ArticleId> SqeEngine::LinkQueryNodes(
+    std::string_view user_query) const {
+  SQE_CHECK_MSG(linker_ != nullptr,
+                "automatic entity selection requires an entity linker");
+  std::vector<kb::ArticleId> nodes;
+  for (const entity::LinkedEntity& e : linker_->Link(user_query)) {
+    nodes.push_back(e.article);
+  }
+  return nodes;
+}
+
+SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
+                               std::span<const kb::ArticleId> query_nodes,
+                               const MotifConfig& motifs, size_t k) const {
+  SqeRunResult out;
+  Timer total;
+
+  Timer graph_timer;
+  out.graph = motif_finder_.BuildQueryGraph(query_nodes, motifs);
+  out.graph_build_ms = graph_timer.ElapsedMillis();
+
+  out.query = query_builder_.Build(user_query, out.graph, QueryParts::All());
+
+  Timer retrieval_timer;
+  out.results = retriever_.Retrieve(out.query, k);
+  out.retrieval_ms = retrieval_timer.ElapsedMillis();
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
+SqeRunResult SqeEngine::RunWithGraph(std::string_view user_query,
+                                     const QueryGraph& graph,
+                                     size_t k) const {
+  SqeRunResult out;
+  Timer total;
+  out.graph = graph;
+  out.query = query_builder_.Build(user_query, graph, QueryParts::All());
+  Timer retrieval_timer;
+  out.results = retriever_.Retrieve(out.query, k);
+  out.retrieval_ms = retrieval_timer.ElapsedMillis();
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
+retrieval::ResultList SqeEngine::RunBaseline(
+    std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
+    const QueryParts& parts, size_t k) const {
+  QueryGraph graph;
+  graph.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  retrieval::Query query = query_builder_.Build(user_query, graph, parts);
+  return retriever_.Retrieve(query, k);
+}
+
+SqeCRunResult SqeEngine::RunSqeC(std::string_view user_query,
+                                 std::span<const kb::ArticleId> query_nodes,
+                                 size_t k) const {
+  SqeCRunResult out;
+  Timer total;
+
+  SqeRunResult t = RunSqe(user_query, query_nodes, MotifConfig::Triangular(), k);
+  SqeRunResult ts = RunSqe(user_query, query_nodes, MotifConfig::Both(), k);
+  SqeRunResult s = RunSqe(user_query, query_nodes, MotifConfig::Square(), k);
+
+  out.graph_build_ms_t = t.graph_build_ms;
+  out.graph_build_ms_ts = ts.graph_build_ms;
+  out.graph_build_ms_s = s.graph_build_ms;
+  out.num_features_t = t.graph.expansion_nodes.size();
+  out.num_features_ts = ts.graph.expansion_nodes.size();
+  out.num_features_s = s.graph.expansion_nodes.size();
+
+  out.results = CombineSqeC(t.results, ts.results, s.results, k);
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
+retrieval::Query SqeEngine::BuildExpandedQuery(std::string_view user_query,
+                                               const QueryGraph& graph) const {
+  return query_builder_.Build(user_query, graph, QueryParts::All());
+}
+
+}  // namespace sqe::expansion

@@ -1,0 +1,114 @@
+// SqeEngine: the public facade of the library. Ties together entity
+// linking, motif-based query-graph construction, query building and
+// query-likelihood retrieval — the complete pipeline of Figure 1.
+#ifndef SQE_SQE_SQE_ENGINE_H_
+#define SQE_SQE_SQE_ENGINE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "entity/entity_linker.h"
+#include "index/inverted_index.h"
+#include "kb/knowledge_base.h"
+#include "retrieval/retriever.h"
+#include "sqe/combiner.h"
+#include "sqe/motif_finder.h"
+#include "sqe/query_builder.h"
+
+namespace sqe::expansion {
+
+/// Outcome of one expansion + retrieval run, with the timing breakdown the
+/// paper reports in Table 4.
+struct SqeRunResult {
+  QueryGraph graph;
+  retrieval::Query query;
+  retrieval::ResultList results;
+  double graph_build_ms = 0.0;  // motif traversal time
+  double retrieval_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Outcome of the rank-range combined SQE_C run.
+struct SqeCRunResult {
+  retrieval::ResultList results;
+  double graph_build_ms_t = 0.0;
+  double graph_build_ms_ts = 0.0;
+  double graph_build_ms_s = 0.0;
+  double total_ms = 0.0;
+  /// Expansion features introduced by each configuration.
+  size_t num_features_t = 0;
+  size_t num_features_ts = 0;
+  size_t num_features_s = 0;
+};
+
+struct SqeEngineConfig {
+  QueryBuilderOptions query_builder;
+  retrieval::RetrieverOptions retriever;
+};
+
+class SqeEngine {
+ public:
+  /// All pointers must outlive the engine. `linker` may be null if only
+  /// manual entity selection is used.
+  SqeEngine(const kb::KnowledgeBase* kb, const index::InvertedIndex* index,
+            const entity::EntityLinker* linker,
+            const text::Analyzer* analyzer, SqeEngineConfig config = {});
+
+  // ---- entity selection ----------------------------------------------------
+
+  /// Automatic query-node selection via the entity linker (the paper's (A)
+  /// mode). Requires a linker.
+  std::vector<kb::ArticleId> LinkQueryNodes(std::string_view user_query) const;
+
+  // ---- single-configuration runs -------------------------------------------
+
+  /// Full SQE run with one motif configuration.
+  SqeRunResult RunSqe(std::string_view user_query,
+                      std::span<const kb::ArticleId> query_nodes,
+                      const MotifConfig& motifs, size_t k) const;
+
+  /// Retrieval with a caller-provided query graph (used for the ground-truth
+  /// upper bound SQE^UB).
+  SqeRunResult RunWithGraph(std::string_view user_query,
+                            const QueryGraph& graph, size_t k) const;
+
+  /// Baseline runs (QL_Q, QL_E, QL_Q&E, QL_X): no motif matching; the
+  /// query-graph is just the query nodes.
+  retrieval::ResultList RunBaseline(std::string_view user_query,
+                                    std::span<const kb::ArticleId> query_nodes,
+                                    const QueryParts& parts, size_t k) const;
+
+  // ---- the combined strategy ------------------------------------------------
+
+  /// SQE_C: runs SQE_T, SQE_T&S and SQE_S and stitches their rankings
+  /// (1–5 / 6–200 / rest).
+  SqeCRunResult RunSqeC(std::string_view user_query,
+                        std::span<const kb::ArticleId> query_nodes,
+                        size_t k) const;
+
+  /// Builds (but does not execute) the expanded query for a graph — used by
+  /// the PRF composition, which re-retrieves with its own model.
+  retrieval::Query BuildExpandedQuery(std::string_view user_query,
+                                      const QueryGraph& graph) const;
+
+  const MotifFinder& motif_finder() const { return motif_finder_; }
+  const retrieval::Retriever& retriever() const { return retriever_; }
+  const kb::KnowledgeBase& kb() const { return *kb_; }
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  const index::InvertedIndex* index_;
+  const entity::EntityLinker* linker_;
+  const text::Analyzer* analyzer_;
+  SqeEngineConfig config_;
+  MotifFinder motif_finder_;
+  ExpandedQueryBuilder query_builder_;
+  retrieval::Retriever retriever_;
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_SQE_ENGINE_H_

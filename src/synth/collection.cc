@@ -1,0 +1,179 @@
+#include "synth/collection.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace sqe::synth {
+
+namespace {
+
+// Appends a title's terms as consecutive tokens (a collocation).
+void EmitTerms(const std::vector<std::string>& terms, std::string* text) {
+  for (const std::string& term : terms) {
+    if (!text->empty()) text->push_back(' ');
+    *text += term;
+  }
+}
+
+void EmitWord(const std::string& word, std::string* text) {
+  if (!text->empty()) text->push_back(' ');
+  *text += word;
+}
+
+}  // namespace
+
+Collection GenerateCollection(const World& world,
+                              const CollectionOptions& options) {
+  SQE_CHECK(world.NumConcepts() > 0);
+  SQE_CHECK(options.min_doc_tokens >= 4);
+  SQE_CHECK(options.max_doc_tokens >= options.min_doc_tokens);
+
+  Rng rng(options.seed);
+  const uint32_t lo = options.concept_min;
+  const uint32_t hi = static_cast<uint32_t>(
+      std::min<uint64_t>(options.concept_max, world.NumConcepts()));
+  SQE_CHECK(lo < hi);
+  ZipfSampler concept_sampler(hi - lo, options.concept_zipf_s);
+
+  Collection collection;
+  collection.docs.reserve(options.num_docs);
+  collection.docs_of_concept.resize(world.NumConcepts());
+
+  const std::vector<double> weights = {
+      options.w_primary_title, options.w_related_title, options.w_mention,
+      options.w_colloquial,    options.w_topic_term,    options.w_noise_term};
+
+  const uint32_t mention_cap =
+      lo + static_cast<uint32_t>(options.mentionable_fraction *
+                                 static_cast<double>(hi - lo));
+  auto is_mentionable = [&](uint32_t concept_index) {
+    return concept_index < mention_cap;
+  };
+  auto is_excluded = [&](uint32_t concept_index) {
+    return options.excluded_concept_modulo != 0 &&
+           concept_index % options.excluded_concept_modulo ==
+               options.excluded_concept_residue;
+  };
+
+  for (size_t d = 0; d < options.num_docs; ++d) {
+    uint32_t primary;
+    do {
+      primary = lo + static_cast<uint32_t>(concept_sampler.Sample(rng));
+    } while (is_excluded(primary));
+    const Concept& cpt = world.concepts[primary];
+    const bool english = rng.NextBool(options.p_english);
+
+    // Cross-referenced related concepts: square partners only, and only
+    // mentionable (popular) ones. Captions cross-reference adjacent,
+    // well-known subjects — never their own near-duplicates and never the
+    // obscure tail. This keeps a tail concept's title out of its partners'
+    // documents, which is precisely what makes expansion necessary to
+    // reach them.
+    std::vector<uint32_t> related;
+    for (uint32_t p : world.square_partners[primary]) {
+      if (p != primary && is_mentionable(p)) related.push_back(p);
+    }
+    // Cross-reference mentions come from anywhere in the topic.
+    const std::vector<uint32_t>& topic_pool =
+        world.topic_members[cpt.topic];
+
+    const size_t target_tokens =
+        options.min_doc_tokens +
+        rng.NextBounded(options.max_doc_tokens - options.min_doc_tokens + 1);
+
+    GeneratedDoc doc;
+    doc.primary_concept = primary;
+    doc.english = english;
+    doc.external_id = StrFormat("doc-%06zu", d);
+
+    auto title_of = [&](const Concept& c) -> const std::vector<std::string>& {
+      return english ? c.name_terms : c.foreign_name_terms;
+    };
+
+    // A named document mentions its subject exactly once up front; repeats
+    // only come from the (rare) w_primary_title event, so subject tf ~= 1
+    // and cross-reference mentions act as real distractors. Unnamed English
+    // documents open with colloquial description instead.
+    size_t tokens = 0;
+    if (!english || rng.NextBool(options.p_subject_named)) {
+      EmitTerms(title_of(cpt), &doc.text);
+      tokens += title_of(cpt).size();
+    } else {
+      for (size_t i = 0; i < 2 && !cpt.colloquial_terms.empty(); ++i) {
+        EmitWord(cpt.colloquial_terms[rng.NextBounded(
+                     cpt.colloquial_terms.size())],
+                 &doc.text);
+        ++tokens;
+      }
+    }
+
+    const auto& topic_vocab = english
+                                  ? world.topic_terms[cpt.topic]
+                                  : world.foreign_topic_terms[cpt.topic];
+    const auto& noise_vocab =
+        english ? world.noise_terms : world.foreign_noise_terms;
+
+    while (tokens < target_tokens) {
+      switch (rng.NextWeighted(weights)) {
+        case 0: {  // primary title repeat
+          EmitTerms(title_of(cpt), &doc.text);
+          tokens += title_of(cpt).size();
+          break;
+        }
+        case 1: {  // related concept title
+          if (!related.empty()) {
+            const Concept& r =
+                world.concepts[related[rng.NextBounded(related.size())]];
+            EmitTerms(title_of(r), &doc.text);
+            tokens += title_of(r).size();
+          }
+          break;
+        }
+        case 2: {  // cross-reference mention of a random same-topic concept
+          uint32_t pick = topic_pool[rng.NextBounded(topic_pool.size())];
+          if (is_mentionable(pick)) {
+            const Concept& m = world.concepts[pick];
+            EmitTerms(title_of(m), &doc.text);
+            tokens += title_of(m).size();
+          }
+          break;
+        }
+        case 3: {  // colloquial vocabulary of the primary (English only)
+          if (english && !cpt.colloquial_terms.empty()) {
+            EmitWord(cpt.colloquial_terms[rng.NextBounded(
+                         cpt.colloquial_terms.size())],
+                     &doc.text);
+          } else {
+            EmitWord(noise_vocab[rng.NextBounded(noise_vocab.size())],
+                     &doc.text);
+          }
+          ++tokens;
+          break;
+        }
+        case 4: {  // topic background
+          EmitWord(topic_vocab[rng.NextBounded(topic_vocab.size())],
+                   &doc.text);
+          ++tokens;
+          break;
+        }
+        default: {  // language-wide noise
+          EmitWord(noise_vocab[rng.NextBounded(noise_vocab.size())],
+                   &doc.text);
+          ++tokens;
+          break;
+        }
+      }
+    }
+
+    collection.docs_of_concept[primary].push_back(
+        static_cast<uint32_t>(collection.docs.size()));
+    collection.docs.push_back(std::move(doc));
+  }
+
+  return collection;
+}
+
+}  // namespace sqe::synth

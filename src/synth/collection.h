@@ -1,0 +1,93 @@
+// Synthetic document collections (DESIGN.md §3, substitution 2).
+//
+// Documents mimic the paper's targets: short metadata texts (image captions
+// / cultural-heritage records). Each document is *about* one primary
+// concept; its text mixes the primary's canonical title (emitted as an
+// adjacent collocation, so phrase operators work), related concepts'
+// titles, the primary's colloquial vocabulary, topic background and global
+// noise. Relevance ground truth is defined generatively from the primary
+// concept, never from retrieval output.
+#ifndef SQE_SYNTH_COLLECTION_H_
+#define SQE_SYNTH_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace sqe::synth {
+
+struct CollectionOptions {
+  uint64_t seed = 7;
+  size_t num_docs = 20000;
+  size_t min_doc_tokens = 10;
+  size_t max_doc_tokens = 40;
+
+  /// Fraction of documents written in English; the rest use the disjoint
+  /// foreign vocabularies and are unreachable by English queries even
+  /// though they remain relevant (ImageCLEF is ~60% English).
+  double p_english = 0.6;
+
+  /// Probability an English document explicitly *names* its subject with
+  /// the canonical title. Unnamed documents describe it with colloquial
+  /// vocabulary only — the document-side vocabulary mismatch that caps what
+  /// title matching (QL_E and even SQE^UB) can reach, as in the paper's
+  /// short-caption collections.
+  double p_subject_named = 0.5;
+
+  /// Emission-event mixture for the body after the leading subject mention
+  /// (normalized internally). `w_mention` emits the title of a *random*
+  /// same-topic concept — the cross-reference noise that turns otherwise
+  /// irrelevant documents into distractors for title queries.
+  double w_primary_title = 0.02;
+  double w_related_title = 0.12;
+  double w_mention = 0.30;
+  double w_colloquial = 0.10;
+  double w_topic_term = 0.28;
+  double w_noise_term = 0.18;
+
+  /// Zipf skew over concepts when picking a document's primary concept.
+  double concept_zipf_s = 0.35;
+
+  /// Only the most popular `mentionable_fraction` of the concept range (by
+  /// Zipf rank) is ever cross-referenced by other documents — nobody cites
+  /// the obscure tail. Queries about tail concepts therefore find their
+  /// titles only in the concepts' own documents, which is the vocabulary
+  /// gap SQE bridges through the tail concepts' popular partners.
+  double mentionable_fraction = 0.6;
+
+  /// Primary concepts are drawn from [concept_min, concept_max) — datasets
+  /// covering different domains use different ranges of the shared world.
+  uint32_t concept_min = 0;
+  uint32_t concept_max = UINT32_MAX;
+
+  /// Concepts whose index satisfies (index % modulo) == residue get no
+  /// documents at all — used to create the zero-relevant queries CHiC has.
+  /// modulo == 0 disables exclusion.
+  size_t excluded_concept_modulo = 0;
+  size_t excluded_concept_residue = 0;
+};
+
+/// One generated document.
+struct GeneratedDoc {
+  std::string external_id;
+  uint32_t primary_concept = 0;
+  bool english = true;
+  std::string text;  // raw text; indexing runs the normal analyzer
+};
+
+/// A generated collection bound to a world.
+struct Collection {
+  std::vector<GeneratedDoc> docs;
+  /// docs-per-concept histogram (ground truth for qrels construction).
+  std::vector<std::vector<uint32_t>> docs_of_concept;  // concept -> doc ids
+};
+
+/// Deterministically generates a collection over `world`.
+Collection GenerateCollection(const World& world,
+                              const CollectionOptions& options);
+
+}  // namespace sqe::synth
+
+#endif  // SQE_SYNTH_COLLECTION_H_

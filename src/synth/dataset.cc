@@ -1,0 +1,169 @@
+#include "synth/dataset.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sqe::synth {
+
+Dataset BuildDataset(const World& world, const DatasetSpec& spec) {
+  Dataset ds;
+  ds.name = spec.name;
+  ds.world = &world;
+  ds.retrieval_mu = spec.retrieval_mu;
+
+  Timer timer;
+  ds.collection = GenerateCollection(world, spec.collection);
+
+  // Index the collection through the standard analyzer.
+  index::IndexBuilder builder;
+  for (const GeneratedDoc& doc : ds.collection.docs) {
+    builder.AddDocument(doc.external_id, ds.analyzer().Analyze(doc.text));
+  }
+  ds.index = std::move(builder).Build();
+
+  ds.query_set = GenerateQueries(world, ds.collection, spec.queries);
+
+  // Surface forms: canonical titles dominate; colloquial aliases are the
+  // noisy tail that makes automatic linking imperfect.
+  *ds.surface_forms =
+      entity::SurfaceFormDictionary::FromKbTitles(world.kb, ds.analyzer());
+  // Re-add titles with a strong prior so aliases rarely outweigh them.
+  for (const Concept& cpt : world.concepts) {
+    std::vector<std::string> title_tokens =
+        ds.analyzer().Analyze(world.kb.ArticleTitle(cpt.article));
+    if (!title_tokens.empty()) {
+      ds.surface_forms->Add(title_tokens, cpt.article, 9.0);
+    }
+    for (const std::string& alias : cpt.colloquial_terms) {
+      std::vector<std::string> alias_tokens = ds.analyzer().Analyze(alias);
+      if (!alias_tokens.empty()) {
+        ds.surface_forms->Add(alias_tokens, cpt.article, 1.0);
+      }
+    }
+  }
+  // Query aliases ("common names", mined from anchor text in the real
+  // system). Earlier concepts are more popular: when an alias is shared,
+  // the popular holder dominates its commonness, so queries about the
+  // obscure holder link to the wrong article — the linker's ~20% error.
+  {
+    std::unordered_map<std::string, size_t> holders_seen;
+    for (const Concept& cpt : world.concepts) {
+      std::vector<std::string> alias_tokens =
+          ds.analyzer().Analyze(cpt.query_alias);
+      if (alias_tokens.empty()) continue;
+      size_t seen = holders_seen[cpt.query_alias]++;
+      ds.surface_forms->Add(alias_tokens, cpt.article,
+                            seen == 0 ? 6.0 : 1.0);
+    }
+  }
+  ds.surface_forms->Finalize();
+  ds.linker = std::make_unique<entity::EntityLinker>(ds.surface_forms.get(),
+                                                     ds.analyzer_holder.get());
+
+  LogInfo(StrFormat("dataset '%s': %zu docs, %zu queries, built in %.1fs",
+                    ds.name.c_str(), ds.collection.docs.size(),
+                    ds.query_set.queries.size(), timer.ElapsedSeconds()));
+  return ds;
+}
+
+WorldOptions PaperWorldOptions() {
+  WorldOptions options;
+  options.seed = 20170514;  // ExploreDB'17 presentation date
+  options.num_topics = 48;
+  options.clusters_per_topic = 8;
+  return options;
+}
+
+namespace {
+// Half the world's concepts belong to the ImageCLEF-like domain; the CHiC
+// collections span everything (cultural heritage is broad).
+uint32_t HalfWorldConceptBoundary() {
+  // With 48 topics x 8 clusters x ~10 concepts the boundary is about half
+  // of ~3840; the exact value only needs to be stable, not exact.
+  return 1920;
+}
+}  // namespace
+
+DatasetSpec ImageClefSpec() {
+  DatasetSpec spec;
+  spec.name = "ImageCLEF-like";
+  spec.collection.seed = 1101;
+  spec.collection.num_docs = 20000;
+  spec.collection.concept_min = 0;
+  spec.collection.concept_max = HalfWorldConceptBoundary();
+  spec.queries.seed = 2101;
+  spec.queries.num_queries = 50;
+  spec.queries.num_zero_relevant = 0;
+  spec.queries.p_triangular_relevant = 1.0;
+  spec.queries.p_square_relevant = 0.35;
+  spec.collection.p_subject_named = 0.25;
+  spec.queries.concept_min = 0;
+  spec.queries.concept_max = HalfWorldConceptBoundary();
+  spec.retrieval_mu = 300.0;
+  return spec;
+}
+
+DatasetSpec Chic2012Spec() {
+  DatasetSpec spec;
+  spec.name = "CHiC-2012-like";
+  spec.collection.seed = 1201;
+  spec.collection.num_docs = 60000;
+  // Exclude ~1/60th of concepts from coverage so zero-relevant intents
+  // exist, as in the real collection.
+  spec.collection.excluded_concept_modulo = 60;
+  spec.collection.excluded_concept_residue = 7;
+  spec.queries.seed = 2201;
+  spec.queries.num_queries = 50;
+  spec.queries.num_zero_relevant = 14;
+  spec.queries.p_triangular_relevant = 0.45;
+  spec.queries.p_square_relevant = 0.20;
+  spec.collection.p_subject_named = 0.25;
+  // Cultural-heritage queries are vaguer: canonical names appear less.
+  spec.queries.p_include_canonical = 0.45;
+  spec.queries.p_topic_term = 0.45;
+  spec.retrieval_mu = 300.0;
+  return spec;
+}
+
+DatasetSpec Chic2013Spec() {
+  DatasetSpec spec;
+  spec.name = "CHiC-2013-like";
+  spec.collection.seed = 1301;
+  spec.collection.num_docs = 60000;
+  spec.collection.excluded_concept_modulo = 60;
+  spec.collection.excluded_concept_residue = 13;
+  spec.queries.seed = 2301;
+  spec.queries.num_queries = 50;
+  spec.queries.num_zero_relevant = 1;
+  spec.queries.p_triangular_relevant = 0.70;
+  spec.queries.p_square_relevant = 0.40;
+  spec.collection.p_subject_named = 0.25;
+  spec.queries.p_include_canonical = 0.50;
+  spec.retrieval_mu = 300.0;
+  return spec;
+}
+
+WorldOptions TinyWorldOptions() {
+  WorldOptions options;
+  options.seed = 7;
+  options.num_topics = 4;
+  options.clusters_per_topic = 4;
+  options.global_noise_terms = 200;
+  return options;
+}
+
+DatasetSpec TinyDatasetSpec() {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.collection.seed = 31;
+  spec.collection.num_docs = 1500;
+  spec.queries.seed = 32;
+  spec.queries.num_queries = 12;
+  spec.retrieval_mu = 300.0;
+  return spec;
+}
+
+}  // namespace sqe::synth

@@ -1,0 +1,79 @@
+// Dataset assembly and the three paper-dataset presets.
+//
+// A Dataset bundles everything an experiment needs: the shared world's KB,
+// an indexed document collection, the query set with qrels and ground-truth
+// graphs, and the entity-linking machinery (surface forms mined from
+// titles plus the colloquial alias noise that bounds automatic linking
+// precision).
+//
+// Presets (scaled-down mirrors of the paper's statistics — see DESIGN.md):
+//   ImageCLEF-like : 20k docs over half the world's topics, 50 queries,
+//                    every query has relevant docs, lenient assessors.
+//   CHiC-2012-like : 60k docs over all topics, 50 queries of which 14 have
+//                    zero relevant docs, strict assessors (few relevant).
+//   CHiC-2013-like : 60k docs, 1 zero-relevant query, medium strictness.
+#ifndef SQE_SYNTH_DATASET_H_
+#define SQE_SYNTH_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "entity/entity_linker.h"
+#include "entity/surface_forms.h"
+#include "index/inverted_index.h"
+#include "synth/collection.h"
+#include "synth/query_gen.h"
+#include "synth/world.h"
+#include "text/analyzer.h"
+
+namespace sqe::synth {
+
+/// Full recipe for building a dataset over a world.
+struct DatasetSpec {
+  std::string name;
+  CollectionOptions collection;
+  QueryGenOptions queries;
+  /// Dirichlet smoothing the retriever should use for this collection.
+  double retrieval_mu = 300.0;
+};
+
+/// A ready-to-query dataset. Movable, not copyable.
+struct Dataset {
+  std::string name;
+  const World* world = nullptr;  // not owned
+  Collection collection;
+  index::InvertedIndex index;
+  QuerySet query_set;
+  // Heap-allocated so their addresses survive moves of the Dataset (the
+  // linker stores pointers to both).
+  std::unique_ptr<text::Analyzer> analyzer_holder =
+      std::make_unique<text::Analyzer>();
+  std::unique_ptr<entity::SurfaceFormDictionary> surface_forms =
+      std::make_unique<entity::SurfaceFormDictionary>();
+  std::unique_ptr<entity::EntityLinker> linker;
+  double retrieval_mu = 300.0;
+
+  text::Analyzer& analyzer() { return *analyzer_holder; }
+  const text::Analyzer& analyzer() const { return *analyzer_holder; }
+  size_t NumQueries() const { return query_set.queries.size(); }
+};
+
+/// Builds (indexes, links) a dataset deterministically.
+Dataset BuildDataset(const World& world, const DatasetSpec& spec);
+
+/// World sized for the paper reproduction (shared by all three datasets).
+WorldOptions PaperWorldOptions();
+
+/// The three dataset presets over PaperWorldOptions()'s world.
+DatasetSpec ImageClefSpec();
+DatasetSpec Chic2012Spec();
+DatasetSpec Chic2013Spec();
+
+/// Smaller world + dataset used by unit/integration tests (seconds, not
+/// minutes, to build).
+WorldOptions TinyWorldOptions();
+DatasetSpec TinyDatasetSpec();
+
+}  // namespace sqe::synth
+
+#endif  // SQE_SYNTH_DATASET_H_

@@ -1,0 +1,241 @@
+#include "synth/query_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sqe::synth {
+
+namespace {
+
+std::string Capitalize(std::string word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+  return word;
+}
+
+// Ground-truth related concepts of `c`: same-group members (triangular
+// partners) then square partners, deduplicated, excluding c itself.
+struct RelatedSets {
+  std::vector<uint32_t> triangular;
+  std::vector<uint32_t> square;
+};
+
+RelatedSets RelatedConceptsOf(const World& world, uint32_t c) {
+  RelatedSets out;
+  for (uint32_t m : world.group_members[world.concepts[c].group]) {
+    if (m != c) out.triangular.push_back(m);
+  }
+  for (uint32_t m : world.square_partners[c]) {
+    if (m != c &&
+        std::find(out.triangular.begin(), out.triangular.end(), m) ==
+            out.triangular.end()) {
+      out.square.push_back(m);
+    }
+  }
+  return out;
+}
+
+expansion::QueryGraph BuildGroundTruthGraph(const World& world, uint32_t c,
+                                            const RelatedSets& related) {
+  expansion::QueryGraph graph;
+  graph.query_nodes.push_back(world.concepts[c].article);
+  std::unordered_set<kb::CategoryId> cats;
+  auto add_node = [&](uint32_t concept_index, uint32_t tri, uint32_t sq) {
+    expansion::ExpansionNode node;
+    node.article = world.concepts[concept_index].article;
+    node.triangular_count = tri;
+    node.square_count = sq;
+    node.motif_count = tri + sq;
+    graph.expansion_nodes.push_back(node);
+    graph.total_motifs += node.motif_count;
+    for (kb::CategoryId cat :
+         world.kb.CategoriesOf(world.concepts[concept_index].article)) {
+      cats.insert(cat);
+    }
+  };
+  // Triangular partners sit much closer to the query node; the optimal
+  // graph weights them far above square partners so that its precision
+  // dominates every cutoff (they fill the small tops, squares the deep
+  // ones), as the paper's SQE^UB does.
+  for (uint32_t m : related.triangular) add_node(m, 6, 0);
+  for (uint32_t m : related.square) add_node(m, 0, 1);
+  std::sort(graph.expansion_nodes.begin(), graph.expansion_nodes.end(),
+            [](const expansion::ExpansionNode& a,
+               const expansion::ExpansionNode& b) {
+              if (a.motif_count != b.motif_count) {
+                return a.motif_count > b.motif_count;
+              }
+              return a.article < b.article;
+            });
+  graph.category_nodes.assign(cats.begin(), cats.end());
+  std::sort(graph.category_nodes.begin(), graph.category_nodes.end());
+  return graph;
+}
+
+}  // namespace
+
+QuerySet GenerateQueries(const World& world, const Collection& collection,
+                         const QueryGenOptions& options) {
+  SQE_CHECK(options.num_queries >= options.num_zero_relevant);
+  Rng rng(options.seed);
+
+  const uint32_t lo = options.concept_min;
+  const uint32_t hi = static_cast<uint32_t>(
+      std::min<uint64_t>(options.concept_max, world.NumConcepts()));
+  SQE_CHECK(lo < hi);
+
+  // Split candidate intents into concepts with and without documents.
+  // Among documented concepts, prefer "obscure" ones: few documents of
+  // their own, well-covered partners (see QueryGenOptions).
+  std::vector<uint32_t> with_docs, without_docs, obscure;
+  for (uint32_t c = lo; c < hi; ++c) {
+    if (collection.docs_of_concept[c].empty()) {
+      without_docs.push_back(c);
+      continue;
+    }
+    with_docs.push_back(c);
+  }
+  if (options.prefer_obscure_intents && !with_docs.empty()) {
+    // Obscure = own coverage in the bottom quartile of documented concepts
+    // AND partners covering at least `obscurity_ratio` times as much.
+    std::vector<size_t> counts;
+    counts.reserve(with_docs.size());
+    for (uint32_t c : with_docs) {
+      counts.push_back(collection.docs_of_concept[c].size());
+    }
+    std::sort(counts.begin(), counts.end());
+    const size_t median_cap = counts[counts.size() / 2];
+    const uint32_t mention_cap =
+        lo + static_cast<uint32_t>(options.mentionable_fraction *
+                                   static_cast<double>(hi - lo));
+    for (uint32_t c : with_docs) {
+      const size_t own = collection.docs_of_concept[c].size();
+      if (own > median_cap) continue;
+      if (c < mention_cap) continue;  // cross-referenced: not obscure
+      RelatedSets related = RelatedConceptsOf(world, c);
+      size_t partners = 0;
+      for (uint32_t p : related.triangular) {
+        partners += collection.docs_of_concept[p].size();
+      }
+      for (uint32_t p : related.square) {
+        partners += collection.docs_of_concept[p].size();
+      }
+      if (static_cast<double>(partners) >=
+          options.obscurity_ratio * static_cast<double>(own)) {
+        obscure.push_back(c);
+      }
+    }
+  }
+  SQE_CHECK_MSG(with_docs.size() >= options.num_queries -
+                                        options.num_zero_relevant,
+                "not enough documented concepts for the query count");
+  SQE_CHECK_MSG(without_docs.size() >= options.num_zero_relevant,
+                "not enough undocumented concepts for zero-relevant queries");
+
+  rng.Shuffle(with_docs);
+  rng.Shuffle(without_docs);
+  rng.Shuffle(obscure);
+  if (options.prefer_obscure_intents) {
+    // Obscure intents first; pad with arbitrary documented concepts not
+    // already selected if there are too few obscure ones.
+    std::vector<uint32_t> merged = obscure;
+    for (uint32_t c : with_docs) {
+      if (std::find(obscure.begin(), obscure.end(), c) == obscure.end()) {
+        merged.push_back(c);
+      }
+    }
+    with_docs = std::move(merged);
+  }
+
+  std::vector<uint32_t> intents(
+      with_docs.begin(),
+      with_docs.begin() +
+          static_cast<ptrdiff_t>(options.num_queries -
+                                 options.num_zero_relevant));
+  intents.insert(intents.end(), without_docs.begin(),
+                 without_docs.begin() +
+                     static_cast<ptrdiff_t>(options.num_zero_relevant));
+  rng.Shuffle(intents);
+
+  QuerySet out;
+  out.qrels.Resize(options.num_queries);
+
+  for (size_t qi = 0; qi < intents.size(); ++qi) {
+    const uint32_t c = intents[qi];
+    const Concept& cpt = world.concepts[c];
+    GeneratedQuery query;
+    query.intent_concept = c;
+    query.true_entities.push_back(cpt.article);
+
+    // ---- query text ---------------------------------------------------------
+    std::vector<std::string> words;
+    if (rng.NextBool(options.p_include_canonical)) {
+      if (cpt.name_terms.size() > 1 && rng.NextBool(options.p_full_title)) {
+        for (const std::string& t : cpt.name_terms) {
+          words.push_back(Capitalize(t));
+        }
+      } else {
+        words.push_back(Capitalize(cpt.name_terms.front()));
+      }
+    }
+    if (!cpt.query_alias.empty() && rng.NextBool(options.p_use_alias)) {
+      words.push_back(cpt.query_alias);
+    }
+    const size_t num_colloquial =
+        options.min_colloquial +
+        rng.NextBounded(options.max_colloquial - options.min_colloquial + 1);
+    for (size_t i = 0; i < num_colloquial && !cpt.colloquial_terms.empty();
+         ++i) {
+      words.push_back(cpt.colloquial_terms[rng.NextBounded(
+          cpt.colloquial_terms.size())]);
+    }
+    if (rng.NextBool(options.p_topic_term)) {
+      const auto& pool = world.topic_terms[cpt.topic];
+      words.push_back(pool[rng.NextBounded(pool.size())]);
+    }
+    if (words.empty()) {
+      words.push_back(cpt.colloquial_terms.empty()
+                          ? Capitalize(cpt.name_terms.front())
+                          : cpt.colloquial_terms.front());
+    }
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (i > 0) query.text += ' ';
+      query.text += words[i];
+    }
+
+    // ---- qrels ---------------------------------------------------------------
+    RelatedSets related = RelatedConceptsOf(world, c);
+    if (!collection.docs_of_concept[c].empty()) {
+      for (uint32_t doc : collection.docs_of_concept[c]) {
+        out.qrels.AddRelevant(qi, doc);
+      }
+      auto add_partner_docs = [&](const std::vector<uint32_t>& partners,
+                                  double p_relevant) {
+        for (uint32_t p : partners) {
+          for (uint32_t doc : collection.docs_of_concept[p]) {
+            if (rng.NextBool(p_relevant)) {
+              out.qrels.AddRelevant(qi, doc);
+            }
+          }
+        }
+      };
+      add_partner_docs(related.triangular, options.p_triangular_relevant);
+      add_partner_docs(related.square, options.p_square_relevant);
+    }
+    // Intent concepts without documents keep empty qrels: the collection
+    // simply does not cover the queried entity (the CHiC situation).
+
+    // ---- ground-truth optimal query graph ------------------------------------
+    query.ground_truth_graph = BuildGroundTruthGraph(world, c, related);
+
+    out.queries.push_back(std::move(query));
+  }
+
+  return out;
+}
+
+}  // namespace sqe::synth

@@ -1,0 +1,98 @@
+// Query, qrels and ground-truth query-graph generation
+// (DESIGN.md §3, substitutions 2 and 3).
+//
+// Each query has a single *intent concept* c. Its raw text exhibits the
+// vocabulary-mismatch / topic-inexperience failure modes from the paper's
+// introduction: it includes c's canonical name only sometimes (often
+// truncated), and otherwise leans on colloquial terms shared across the
+// topic plus overly general topic terms.
+//
+// Relevance is generative: a document is relevant iff its primary concept
+// is c, or is a ground-truth related concept of c (same group = triangular
+// partner, or square partner) that passes the per-dataset assessor-
+// strictness Bernoulli draw. Queries whose intent concept has no documents
+// at all have empty qrels — the CHiC datasets' zero-relevant queries.
+//
+// The same related-concept set, with motif multiplicities, forms the
+// *optimal query graph* used by SQE^UB and the Figure 2 structural
+// analysis — the synthetic counterpart of the published ground truth [10].
+#ifndef SQE_SYNTH_QUERY_GEN_H_
+#define SQE_SYNTH_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/qrels.h"
+#include "sqe/query_graph.h"
+#include "synth/collection.h"
+#include "synth/world.h"
+
+namespace sqe::synth {
+
+struct QueryGenOptions {
+  uint64_t seed = 99;
+  size_t num_queries = 50;
+  /// How many queries target concepts that have no documents (0 relevant).
+  size_t num_zero_relevant = 0;
+
+  /// Probability the query includes (part of) the canonical name.
+  double p_include_canonical = 0.40;
+  /// Given inclusion, probability the full multi-word title is used
+  /// (otherwise only the first name term).
+  double p_full_title = 0.35;
+  size_t min_colloquial = 1;
+  size_t max_colloquial = 2;
+  double p_topic_term = 0.35;
+  /// Probability the query uses the concept's user-language alias (the
+  /// "common name" that documents never contain but the linker knows).
+  double p_use_alias = 0.85;
+
+  /// Assessor strictness: probability a related concept's document is
+  /// judged relevant (documents of the intent concept always are).
+  /// Triangular (same-group) partners are semantically closer than square
+  /// partners, so they get their own, typically higher, probability.
+  double p_triangular_relevant = 1.0;
+  double p_square_relevant = 0.7;
+
+  /// Intent concepts are drawn from [concept_min, concept_max).
+  uint32_t concept_min = 0;
+  uint32_t concept_max = UINT32_MAX;
+
+  /// Prefer "obscure" intents: concepts whose own document count is small
+  /// while their ground-truth partners are well covered. This is the
+  /// "cable cars" -> "funicular" situation of the paper's motivating
+  /// examples — the user's name for the thing is rare in the collection,
+  /// its structural twins carry the collection vocabulary. Queries for
+  /// well-covered concepts would not need expansion in the first place.
+  bool prefer_obscure_intents = true;
+  /// A concept qualifies as obscure when its partners' combined documents
+  /// reach this multiple of its own document count.
+  double obscurity_ratio = 3.0;
+  /// Must equal the collection's mentionable_fraction: obscure intents are
+  /// drawn from the index tail that documents never cross-reference.
+  double mentionable_fraction = 0.6;
+};
+
+/// One generated query with all its ground truth.
+struct GeneratedQuery {
+  std::string text;
+  uint32_t intent_concept = 0;
+  /// The manual ("M") query nodes: the intent concept's article.
+  std::vector<kb::ArticleId> true_entities;
+  /// Ground-truth optimal query graph (for SQE^UB / Fig. 2).
+  expansion::QueryGraph ground_truth_graph;
+};
+
+struct QuerySet {
+  std::vector<GeneratedQuery> queries;
+  eval::Qrels qrels;  // indexed by query position, doc ids = collection ids
+};
+
+/// Deterministically generates a query set over a world + collection.
+QuerySet GenerateQueries(const World& world, const Collection& collection,
+                         const QueryGenOptions& options);
+
+}  // namespace sqe::synth
+
+#endif  // SQE_SYNTH_QUERY_GEN_H_

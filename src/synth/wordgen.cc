@@ -1,0 +1,49 @@
+#include "synth/wordgen.h"
+
+#include <array>
+
+#include "common/macros.h"
+
+namespace sqe::synth {
+
+namespace {
+// Onsets/nuclei chosen so words end in vowels or "safe" consonants; none of
+// the codas create Porter-stemmable suffixes (-ed, -ing, -s, -tion, ...).
+constexpr std::array<const char*, 16> kOnsets = {
+    "b", "d", "f", "g", "k", "l", "m", "n",
+    "p", "r", "t", "v", "z", "br", "tr", "kl"};
+constexpr std::array<const char*, 6> kNuclei = {"a", "e", "i", "o", "u", "ai"};
+constexpr std::array<const char*, 4> kCodas = {"k", "p", "b", "g"};
+}  // namespace
+
+std::string WordGenerator::MakeCandidate() {
+  const size_t syllables = 2 + rng_.NextBounded(3);  // 2..4
+  std::string word;
+  for (size_t i = 0; i < syllables; ++i) {
+    word += kOnsets[rng_.NextBounded(kOnsets.size())];
+    word += kNuclei[rng_.NextBounded(kNuclei.size())];
+  }
+  // Close with a coda consonant that no Porter suffix ends in, so the word
+  // is its own stem (trailing vowels, especially 'e', would be rewritten).
+  word += kCodas[rng_.NextBounded(kCodas.size())];
+  return word;
+}
+
+std::string WordGenerator::NextWord() {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string candidate = MakeCandidate();
+    if (used_.insert(candidate).second) return candidate;
+  }
+  // The syllable space is ~10^4..10^9; exhaustion means a caller bug.
+  SQE_CHECK_MSG(false, "synthetic word space exhausted");
+  return {};
+}
+
+std::vector<std::string> WordGenerator::NextWords(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextWord());
+  return out;
+}
+
+}  // namespace sqe::synth

@@ -1,0 +1,40 @@
+// Synthetic word generation: pronounceable, analyzer-stable pseudo-words.
+//
+// Every vocabulary item in the synthetic world (concept names, topic terms,
+// noise terms) is built from consonant-vowel syllables. Words avoid
+// suffixes the Porter stemmer rewrites, so a word equals its own stem and
+// the document/query/title term spaces stay aligned by construction.
+#ifndef SQE_SYNTH_WORDGEN_H_
+#define SQE_SYNTH_WORDGEN_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sqe::synth {
+
+/// Generates globally unique pseudo-words from a seeded RNG.
+class WordGenerator {
+ public:
+  explicit WordGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// A new word of 2–4 syllables, distinct from all previously returned.
+  std::string NextWord();
+
+  /// `n` distinct new words.
+  std::vector<std::string> NextWords(size_t n);
+
+  size_t NumGenerated() const { return used_.size(); }
+
+ private:
+  std::string MakeCandidate();
+
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace sqe::synth
+
+#endif  // SQE_SYNTH_WORDGEN_H_

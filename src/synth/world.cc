@@ -1,0 +1,315 @@
+#include "synth/world.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "kb/kb_builder.h"
+#include "synth/wordgen.h"
+
+namespace sqe::synth {
+
+namespace {
+
+// Capitalizes the first letter (titles look like "Zorbak Matik").
+std::string Capitalize(std::string word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+  return word;
+}
+
+std::string TitleOf(const std::vector<std::string>& name_terms) {
+  std::string title;
+  for (size_t i = 0; i < name_terms.size(); ++i) {
+    if (i > 0) title += ' ';
+    title += Capitalize(name_terms[i]);
+  }
+  return title;
+}
+
+// A category profile: which of the cluster's categories a group's concepts
+// belong to.
+struct GroupProfile {
+  std::vector<kb::CategoryId> categories;  // sorted
+  bool contains_parent = false;
+};
+
+}  // namespace
+
+uint32_t World::ConceptOf(kb::ArticleId article) const {
+  if (article >= concept_of_article_.size()) return UINT32_MAX;
+  return concept_of_article_[article];
+}
+
+World World::Generate(const WorldOptions& options) {
+  SQE_CHECK(options.num_topics > 0 && options.clusters_per_topic > 0);
+  SQE_CHECK(options.min_concepts_per_cluster >= 4);
+  SQE_CHECK(options.max_concepts_per_cluster >=
+            options.min_concepts_per_cluster);
+
+  World world;
+  Rng rng(options.seed);
+  WordGenerator words(options.seed ^ 0x5EEDF00DULL);
+  kb::KbBuilder builder;
+
+  // ---- vocabularies ---------------------------------------------------------
+  world.noise_terms = words.NextWords(options.global_noise_terms);
+  world.foreign_noise_terms = words.NextWords(options.global_noise_terms / 2);
+  world.topic_terms.resize(options.num_topics);
+  world.colloquial_pools.resize(options.num_topics);
+  world.foreign_topic_terms.resize(options.num_topics);
+  for (size_t t = 0; t < options.num_topics; ++t) {
+    world.topic_terms[t] = words.NextWords(options.topic_terms_per_topic);
+    world.colloquial_pools[t] =
+        words.NextWords(options.colloquial_pool_per_topic);
+    world.foreign_topic_terms[t] =
+        words.NextWords(options.topic_terms_per_topic / 2);
+  }
+
+  // ---- topics, clusters, categories, groups, concepts -----------------------
+  struct GroupInfo {
+    GroupProfile profile;
+    std::vector<uint32_t> members;  // concept indices
+    uint32_t cluster = 0;
+  };
+  std::vector<GroupInfo> groups;
+  std::vector<std::vector<uint32_t>> clusters;  // global cluster -> concepts
+
+  for (uint32_t topic = 0; topic < options.num_topics; ++topic) {
+    kb::CategoryId root =
+        builder.AddCategory("Category:" + Capitalize(words.NextWord()));
+    std::vector<uint32_t> topic_concepts_so_far;
+
+    for (uint32_t c = 0; c < options.clusters_per_topic; ++c) {
+      const uint32_t cluster_index = static_cast<uint32_t>(clusters.size());
+      clusters.emplace_back();
+
+      kb::CategoryId parent =
+          builder.AddCategory("Category:" + Capitalize(words.NextWord()));
+      builder.AddCategoryLink(parent, root);
+
+      const size_t num_leaves =
+          options.min_leaf_categories +
+          rng.NextBounded(options.max_leaf_categories -
+                          options.min_leaf_categories + 1);
+      std::vector<kb::CategoryId> leaves;
+      for (size_t l = 0; l < num_leaves; ++l) {
+        kb::CategoryId leaf =
+            builder.AddCategory("Category:" + Capitalize(words.NextWord()));
+        builder.AddCategoryLink(leaf, parent);
+        leaves.push_back(leaf);
+      }
+
+      // Group profiles: {leaf_i} for each leaf, one {leaf_0, parent}, one
+      // {parent}. Same-profile pairs carry triangles; leaf-profile vs
+      // parent-containing-profile pairs carry squares.
+      const uint32_t first_group = static_cast<uint32_t>(groups.size());
+      for (kb::CategoryId leaf : leaves) {
+        GroupInfo g;
+        g.profile.categories = {leaf};
+        g.cluster = cluster_index;
+        groups.push_back(std::move(g));
+      }
+      {
+        GroupInfo g;
+        g.profile.categories = {leaves[0], parent};
+        std::sort(g.profile.categories.begin(), g.profile.categories.end());
+        g.profile.contains_parent = true;
+        g.cluster = cluster_index;
+        groups.push_back(std::move(g));
+      }
+      {
+        GroupInfo g;
+        g.profile.categories = {parent};
+        g.profile.contains_parent = true;
+        g.cluster = cluster_index;
+        groups.push_back(std::move(g));
+      }
+      const uint32_t num_groups =
+          static_cast<uint32_t>(groups.size()) - first_group;
+
+      const size_t num_concepts =
+          options.min_concepts_per_cluster +
+          rng.NextBounded(options.max_concepts_per_cluster -
+                          options.min_concepts_per_cluster + 1);
+      for (size_t i = 0; i < num_concepts; ++i) {
+        Concept cpt;
+        cpt.topic = topic;
+        cpt.cluster = cluster_index;
+        // Round-robin keeps every group populated (>=2 members for the
+        // common cluster sizes), so triangular partners exist.
+        cpt.group = first_group + static_cast<uint32_t>(i) % num_groups;
+
+        const size_t name_len = rng.NextBool(options.p_two_word_title) ? 2 : 1;
+        cpt.name_terms = words.NextWords(name_len);
+        cpt.foreign_name_terms = words.NextWords(name_len);
+        // Query alias: fresh word, or a collision with a more popular
+        // same-topic concept's alias.
+        const auto& topic_so_far = topic_concepts_so_far;
+        if (!topic_so_far.empty() && rng.NextBool(options.p_alias_shared)) {
+          cpt.query_alias =
+              world.concepts[topic_so_far[rng.NextBounded(topic_so_far.size())]]
+                  .query_alias;
+        } else {
+          cpt.query_alias = words.NextWord();
+        }
+        for (size_t j = 0; j < options.colloquial_terms_per_concept; ++j) {
+          const auto& pool = world.colloquial_pools[topic];
+          cpt.colloquial_terms.push_back(
+              pool[rng.NextBounded(pool.size())]);
+        }
+
+        cpt.article = builder.AddArticle(TitleOf(cpt.name_terms));
+        for (kb::CategoryId cat : groups[cpt.group].profile.categories) {
+          builder.AddMembership(cpt.article, cat);
+        }
+
+        const uint32_t concept_index =
+            static_cast<uint32_t>(world.concepts.size());
+        groups[cpt.group].members.push_back(concept_index);
+        clusters[cluster_index].push_back(concept_index);
+        topic_concepts_so_far.push_back(concept_index);
+        world.concepts.push_back(std::move(cpt));
+      }
+    }
+  }
+
+  // ---- links -----------------------------------------------------------------
+  world.square_partners.resize(world.concepts.size());
+  auto sample_partner = [&](const std::vector<uint32_t>& candidates,
+                            uint32_t self) -> uint32_t {
+    if (candidates.empty()) return UINT32_MAX;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      uint32_t pick = candidates[rng.NextBounded(candidates.size())];
+      if (pick != self) return pick;
+    }
+    return UINT32_MAX;
+  };
+
+  for (uint32_t ci = 0; ci < world.concepts.size(); ++ci) {
+    const Concept& cpt = world.concepts[ci];
+    const GroupInfo& my_group = groups[cpt.group];
+
+    // Triangular carriers: same-group reciprocal partners.
+    for (size_t j = 0; j < options.strong_partners; ++j) {
+      uint32_t partner = sample_partner(my_group.members, ci);
+      if (partner == UINT32_MAX) continue;
+      builder.AddReciprocalLink(cpt.article,
+                                world.concepts[partner].article);
+    }
+
+    // Square carriers: reciprocal partners in a related group of the same
+    // cluster (leaf profile <-> parent-containing profile).
+    std::vector<uint32_t> related_candidates;
+    for (uint32_t gj = 0; gj < groups.size(); ++gj) {
+      if (gj == cpt.group || groups[gj].cluster != cpt.cluster) {
+        continue;
+      }
+      if (groups[gj].profile.contains_parent !=
+          my_group.profile.contains_parent) {
+        for (uint32_t m : groups[gj].members) {
+          related_candidates.push_back(m);
+        }
+      }
+    }
+    for (size_t j = 0; j < options.square_partners; ++j) {
+      uint32_t partner = sample_partner(related_candidates, ci);
+      if (partner == UINT32_MAX) continue;
+      builder.AddReciprocalLink(cpt.article,
+                                world.concepts[partner].article);
+      world.square_partners[ci].push_back(partner);
+      world.square_partners[partner].push_back(ci);
+    }
+
+    // Motif-free reciprocal noise: same-topic, different cluster.
+    for (size_t j = 0; j < options.noise_reciprocal_partners; ++j) {
+      uint32_t other = static_cast<uint32_t>(
+          rng.NextBounded(world.concepts.size()));
+      if (other == ci) continue;
+      if (world.concepts[other].topic == cpt.topic &&
+          world.concepts[other].cluster != cpt.cluster) {
+        builder.AddReciprocalLink(cpt.article,
+                                  world.concepts[other].article);
+      }
+    }
+
+    // One-way links (hyperlink noise; can never close a motif).
+    for (size_t j = 0; j < options.one_way_links; ++j) {
+      uint32_t other;
+      if (rng.NextBool(options.p_cross_topic_link)) {
+        other = static_cast<uint32_t>(rng.NextBounded(world.concepts.size()));
+      } else {
+        const auto& cluster_pool = clusters[cpt.cluster];
+        other = rng.NextBool(0.5)
+                    ? cluster_pool[rng.NextBounded(cluster_pool.size())]
+                    : static_cast<uint32_t>(
+                          rng.NextBounded(world.concepts.size()));
+      }
+      if (other != ci) {
+        builder.AddArticleLink(cpt.article,
+                               world.concepts[other].article);
+      }
+    }
+  }
+
+  // Spurious twins: a more popular same-topic concept, reciprocally
+  // linked, whose category set is polluted with this concept's categories
+  // so that it falsely satisfies the motif conditions.
+  world.spurious_twin.assign(world.concepts.size(), UINT32_MAX);
+  for (uint32_t ci = 0; ci < world.concepts.size(); ++ci) {
+    const Concept& cpt = world.concepts[ci];
+    // Up to two spurious twins, the second half as likely as the first.
+    for (int round = 0; round < 2; ++round) {
+      double p = round == 0 ? options.p_spurious_twin
+                            : options.p_spurious_twin * 0.5;
+      if (!rng.NextBool(p)) continue;
+      // Sample a more popular (lower index) concept from the same topic
+      // but a different cluster.
+      uint32_t twin = UINT32_MAX;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        if (ci == 0) break;
+        uint32_t candidate = static_cast<uint32_t>(rng.NextBounded(ci));
+        if (world.concepts[candidate].topic == cpt.topic &&
+            world.concepts[candidate].cluster != cpt.cluster) {
+          twin = candidate;
+          break;
+        }
+      }
+      if (twin == UINT32_MAX) continue;
+      builder.AddReciprocalLink(cpt.article, world.concepts[twin].article);
+      for (kb::CategoryId cat : groups[cpt.group].profile.categories) {
+        builder.AddMembership(world.concepts[twin].article, cat);
+      }
+      if (world.spurious_twin[ci] == UINT32_MAX) {
+        world.spurious_twin[ci] = twin;
+      }
+    }
+  }
+
+  // Deduplicate square-partner ground truth.
+  for (auto& partners : world.square_partners) {
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()),
+                   partners.end());
+  }
+
+  // ---- finalize ----------------------------------------------------------------
+  world.kb = std::move(builder).Build();
+  world.group_members.resize(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    world.group_members[g] = groups[g].members;
+  }
+  world.cluster_members = std::move(clusters);
+  world.topic_members.resize(options.num_topics);
+  for (uint32_t ci = 0; ci < world.concepts.size(); ++ci) {
+    world.topic_members[world.concepts[ci].topic].push_back(ci);
+  }
+  world.concept_of_article_.assign(world.kb.NumArticles(), UINT32_MAX);
+  for (uint32_t ci = 0; ci < world.concepts.size(); ++ci) {
+    world.concept_of_article_[world.concepts[ci].article] = ci;
+  }
+  return world;
+}
+
+}  // namespace sqe::synth

@@ -1,0 +1,134 @@
+// The synthetic world model: a Wikipedia-like knowledge base with known
+// semantic ground truth (DESIGN.md §3, substitution 1).
+//
+// Hierarchy:  topic → cluster → group → concept.
+//
+//  * Every topic owns a root category; every cluster a parent category with
+//    2–4 leaf categories under it (subcategory edges leaf → parent → root).
+//  * A *group* is a set of concepts sharing an identical category profile.
+//    Profiles are one of: {leaf}, {leaf, parent}, {parent}. Reciprocal
+//    links inside a group therefore close TRIANGULAR motifs (identical
+//    category sets); reciprocal links across groups whose profiles are
+//    related by a leaf→parent edge close SQUARE motifs; reciprocal links
+//    between unrelated-leaf groups close no motif (structural noise), and
+//    one-way links never do.
+//  * Each concept has canonical name terms (its article title, emitted as a
+//    collocation in documents) and colloquial terms drawn from a per-topic
+//    shared pool — the "user vocabulary" that causes the vocabulary
+//    mismatch SQE targets and the alias ambiguity that caps automatic
+//    entity-linking precision near the paper's ~80%.
+#ifndef SQE_SYNTH_WORLD_H_
+#define SQE_SYNTH_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "kb/types.h"
+
+namespace sqe::synth {
+
+struct WorldOptions {
+  uint64_t seed = 42;
+  size_t num_topics = 24;
+  size_t clusters_per_topic = 8;
+  size_t min_concepts_per_cluster = 8;
+  size_t max_concepts_per_cluster = 20;
+  size_t min_leaf_categories = 2;
+  size_t max_leaf_categories = 4;
+
+  /// Name terms per concept: 1 or 2 (title length).
+  double p_two_word_title = 0.4;
+  /// Colloquial terms per concept, drawn from the topic pool.
+  size_t colloquial_terms_per_concept = 3;
+  size_t colloquial_pool_per_topic = 16;
+  size_t topic_terms_per_topic = 40;
+  size_t global_noise_terms = 1500;
+
+  /// Reciprocal links to same-group partners (triangular carriers).
+  size_t strong_partners = 3;
+  /// Reciprocal links to related-group partners (square carriers).
+  size_t square_partners = 8;
+  /// Reciprocal links to unrelated concepts (motif-free noise).
+  size_t noise_reciprocal_partners = 2;
+  /// One-way links per concept (never produce motifs).
+  size_t one_way_links = 6;
+  /// Fraction of one-way links that cross topics.
+  double p_cross_topic_link = 0.25;
+
+  /// Probability a concept has a *spurious twin*: a reciprocal link to a
+  /// more popular same-topic concept whose category set is polluted with
+  /// this concept's categories. Mirrors Wikipedia's noisy categorization:
+  /// the twin satisfies the motif conditions but is semantically off, so
+  /// expansion features are not all genuine — the reason QL_X (features
+  /// alone) underperforms and SQE stays below the ground-truth bound.
+  double p_spurious_twin = 0.9;
+
+  /// Probability a concept's query alias collides with (reuses) the alias
+  /// of a more popular same-topic concept — the ambiguity that caps the
+  /// automatic entity linker near the paper's ~80% precision.
+  double p_alias_shared = 0.30;
+};
+
+/// A concept = one article plus its semantic ground truth.
+struct Concept {
+  kb::ArticleId article = kb::kInvalidArticle;
+  uint32_t topic = 0;
+  uint32_t cluster = 0;   // global cluster index
+  uint32_t group = 0;     // global group index
+  std::vector<std::string> name_terms;        // canonical; title words
+  std::vector<std::string> colloquial_terms;  // user vocabulary
+  /// The concept's name in the "other languages" of the collection —
+  /// relevant documents written in them are unreachable by English queries
+  /// (ImageCLEF metadata is only ~60% English).
+  std::vector<std::string> foreign_name_terms;
+  /// The user-language "common name": appears in queries and in the entity
+  /// linker's surface-form dictionary (mined from anchors), but never in
+  /// the collection itself. May be shared with a more popular concept.
+  std::string query_alias;
+};
+
+/// The generated world: the KB graph plus everything the document/query
+/// generators and the evaluation ground truth need.
+class World {
+ public:
+  kb::KnowledgeBase kb;
+  std::vector<Concept> concepts;
+
+  /// Per-topic vocabularies.
+  std::vector<std::vector<std::string>> topic_terms;
+  std::vector<std::vector<std::string>> colloquial_pools;
+  std::vector<std::string> noise_terms;
+  /// Disjoint "foreign language" vocabularies for non-English documents.
+  std::vector<std::vector<std::string>> foreign_topic_terms;
+  std::vector<std::string> foreign_noise_terms;
+
+  /// concept indices per group / per cluster / per topic.
+  std::vector<std::vector<uint32_t>> group_members;
+  std::vector<std::vector<uint32_t>> cluster_members;
+  std::vector<std::vector<uint32_t>> topic_members;
+
+  /// Square-partner ground truth: for each concept, the concepts it was
+  /// deliberately reciprocally linked to across related groups.
+  std::vector<std::vector<uint32_t>> square_partners;
+
+  /// Spurious-twin ground truth: concept -> the popular same-topic concept
+  /// that falsely satisfies motif conditions for it (or UINT32_MAX).
+  std::vector<uint32_t> spurious_twin;
+
+  /// Concept index of an article id, or UINT32_MAX for hub/noise articles.
+  uint32_t ConceptOf(kb::ArticleId article) const;
+
+  size_t NumConcepts() const { return concepts.size(); }
+
+  /// Deterministic generation from options.seed.
+  static World Generate(const WorldOptions& options);
+
+ private:
+  std::vector<uint32_t> concept_of_article_;
+};
+
+}  // namespace sqe::synth
+
+#endif  // SQE_SYNTH_WORLD_H_

@@ -1,0 +1,21 @@
+#include "text/analyzer.h"
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace sqe::text {
+
+std::vector<std::string> Analyzer::Analyze(std::string_view raw_text) const {
+  std::vector<std::string> out;
+  for (Token& token : Tokenize(raw_text)) {
+    if (options_.remove_stopwords && IsStopword(token.term)) continue;
+    std::string term =
+        options_.stem ? PorterStem(token.term) : std::move(token.term);
+    if (term.size() < options_.min_term_length) continue;
+    out.push_back(std::move(term));
+  }
+  return out;
+}
+
+}  // namespace sqe::text

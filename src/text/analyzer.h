@@ -1,0 +1,44 @@
+// Analyzer: the tokenize → stop → stem pipeline applied identically to
+// documents and queries, so index terms and query terms live in the same
+// term space.
+#ifndef SQE_TEXT_ANALYZER_H_
+#define SQE_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqe::text {
+
+/// Pipeline configuration. Defaults mirror the paper's Indri setup.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  // Terms shorter than this (after stemming) are dropped. 1 keeps everything.
+  size_t min_term_length = 1;
+};
+
+/// Stateless, reusable text-analysis pipeline.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Full pipeline: tokenize, drop stopwords, stem.
+  std::vector<std::string> Analyze(std::string_view raw_text) const;
+
+  /// Analyzes a phrase (e.g., an article title) keeping term order; used to
+  /// build n-gram query nodes. Stopwords inside phrases are dropped as well
+  /// (Indri's #1 operator matches the remaining terms adjacently).
+  std::vector<std::string> AnalyzePhrase(std::string_view phrase) const {
+    return Analyze(phrase);
+  }
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace sqe::text
+
+#endif  // SQE_TEXT_ANALYZER_H_

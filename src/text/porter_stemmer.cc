@@ -1,0 +1,285 @@
+#include "text/porter_stemmer.h"
+
+namespace sqe::text {
+
+namespace {
+
+// Working buffer view over the word being stemmed. `k` is the index of the
+// last character of the current stem (inclusive), following Porter's
+// original exposition.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)), k_(b_.size() - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, k_ + 1);
+  }
+
+ private:
+  bool IsConsonant(size_t i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant-vowel sequences in b_[0..j].
+  size_t Measure(size_t j) const {
+    size_t n = 0;
+    size_t i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool HasVowelInStem(size_t j) const {
+    for (size_t i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(size_t j) const {
+    if (j < 1) return false;
+    if (b_[j] != b_[j - 1]) return false;
+    return IsConsonant(j);
+  }
+
+  // cvc where the second c is not w, x or y; used to test e-restoration.
+  bool CvcEnding(size_t i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2))
+      return false;
+    char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool EndsWith(std::string_view s) {
+    size_t len = s.size();
+    if (len > k_ + 1) return false;
+    if (b_.compare(k_ + 1 - len, len, s) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(std::string_view s) {
+    b_.replace(j_ + 1, k_ - j_, s);
+    k_ = j_ + s.size();
+  }
+
+  void ReplaceIfM(std::string_view s, size_t min_m = 1) {
+    if (Measure(j_) >= min_m) SetTo(s);
+  }
+
+  void Step1ab() {
+    // 1a: plurals.
+    if (b_[k_] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    // 1b: -ed / -ing.
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && HasVowelInStem(j_)) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure(k_) == 1 && CvcEnding(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && HasVowelInStem(j_)) b_[k_] = 'i';
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfM("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfM("tion"); }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfM("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfM("ance"); }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfM("ize"); }
+        break;
+      case 'l':
+        if (EndsWith("abli")) { ReplaceIfM("able"); break; }
+        if (EndsWith("alli")) { ReplaceIfM("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfM("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfM("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfM("ous"); }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfM("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfM("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfM("ate"); }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfM("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfM("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfM("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfM("ous"); }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfM("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfM("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfM("ble"); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfM("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfM(""); break; }
+        if (EndsWith("alize")) { ReplaceIfM("al"); }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfM("ic"); }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfM("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfM(""); }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfM(""); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        // -ion only drops after s or t.
+        if (EndsWith("ion") && j_ + 1 >= 1 &&
+            (b_[j_] == 's' || b_[j_] == 't')) {
+          break;
+        }
+        if (EndsWith("ou")) break;
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5() {
+    // 5a: remove trailing e.
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      size_t m = Measure(k_ - 1);
+      if (m > 1 || (m == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    // 5b: -ll -> -l for m > 1.
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && Measure(k_) > 1) --k_;
+  }
+
+  std::string b_;
+  size_t k_;       // last char of current word (inclusive)
+  size_t j_ = 0;   // last char of stem before candidate suffix
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view term) {
+  if (term.size() <= 2) return std::string(term);
+  return Stemmer(std::string(term)).Run();
+}
+
+}  // namespace sqe::text

@@ -1,0 +1,16 @@
+// Porter stemming algorithm (Porter, 1980), the stemmer Indri applies by
+// default. Full five-step implementation over lower-case ASCII terms.
+#ifndef SQE_TEXT_PORTER_STEMMER_H_
+#define SQE_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace sqe::text {
+
+/// Stems a single lower-cased term. Terms of length <= 2 pass through.
+std::string PorterStem(std::string_view term);
+
+}  // namespace sqe::text
+
+#endif  // SQE_TEXT_PORTER_STEMMER_H_

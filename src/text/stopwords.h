@@ -1,0 +1,17 @@
+// Standard English stopword list (the Indri/INQUERY short list).
+#ifndef SQE_TEXT_STOPWORDS_H_
+#define SQE_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace sqe::text {
+
+/// True if `term` (already lower-cased) is an English stopword.
+bool IsStopword(std::string_view term);
+
+/// Number of entries in the built-in stopword list (for tests).
+size_t StopwordCount();
+
+}  // namespace sqe::text
+
+#endif  // SQE_TEXT_STOPWORDS_H_

@@ -1,0 +1,42 @@
+#include "text/tokenizer.h"
+
+namespace sqe::text {
+
+namespace {
+inline bool IsTokenChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+inline char LowerAscii(unsigned char c) {
+  if (c >= 'A' && c <= 'Z') return static_cast<char>(c - 'A' + 'a');
+  return static_cast<char>(c);
+}
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  const size_t n = input.size();
+  size_t i = 0;
+  while (i < n) {
+    while (i < n && !IsTokenChar(static_cast<unsigned char>(input[i]))) ++i;
+    if (i >= n) break;
+    size_t start = i;
+    std::string term;
+    while (i < n && IsTokenChar(static_cast<unsigned char>(input[i]))) {
+      term.push_back(LowerAscii(static_cast<unsigned char>(input[i])));
+      ++i;
+    }
+    tokens.push_back(Token{std::move(term), start, i});
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeToTerms(std::string_view input) {
+  std::vector<std::string> terms;
+  for (Token& t : Tokenize(input)) {
+    terms.push_back(std::move(t.term));
+  }
+  return terms;
+}
+
+}  // namespace sqe::text

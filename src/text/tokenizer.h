@@ -1,0 +1,36 @@
+// Tokenization: splits raw text into lower-cased alphanumeric tokens.
+//
+// Mirrors the Indri/Krovetz-style "letter-digit run" tokenizer the paper's
+// experiments rely on: everything that is not [a-z0-9] separates tokens;
+// tokens are ASCII-lower-cased. Offsets into the original text are kept so
+// the entity linker can map spans back to the query string.
+#ifndef SQE_TEXT_TOKENIZER_H_
+#define SQE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqe::text {
+
+/// A token plus its [begin, end) byte range in the source text.
+struct Token {
+  std::string term;   // lower-cased surface form
+  size_t begin = 0;   // byte offset of first char in source
+  size_t end = 0;     // one past last char in source
+
+  friend bool operator==(const Token& a, const Token& b) {
+    return a.term == b.term && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Splits `input` into tokens. Alphanumeric runs only; apostrophes inside a
+/// word ("user's") split the word ("user", "s") exactly as Indri does.
+std::vector<Token> Tokenize(std::string_view input);
+
+/// Convenience: just the lower-cased terms.
+std::vector<std::string> TokenizeToTerms(std::string_view input);
+
+}  // namespace sqe::text
+
+#endif  // SQE_TEXT_TOKENIZER_H_

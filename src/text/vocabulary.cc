@@ -1,0 +1,20 @@
+#include "text/vocabulary.h"
+
+namespace sqe::text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) return kInvalidTermId;
+  return it->second;
+}
+
+}  // namespace sqe::text

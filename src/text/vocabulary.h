@@ -1,0 +1,55 @@
+// Vocabulary: bidirectional term <-> dense TermId mapping.
+//
+// Term ids are dense 32-bit integers assigned in insertion order, so they
+// can index postings arrays directly. The synthetic generators, the index
+// and the retrieval engine all share one Vocabulary instance per dataset.
+#ifndef SQE_TEXT_VOCABULARY_H_
+#define SQE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sqe::text {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Append-only term dictionary.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(Vocabulary);
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Returns the id for `term`, inserting it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Term string for an id. Id must be valid.
+  const std::string& TermOf(TermId id) const {
+    SQE_CHECK(id < terms_.size());
+    return terms_[id];
+  }
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// All terms, id order (for serialization).
+  const std::vector<std::string>& terms() const { return terms_; }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace sqe::text
+
+#endif  // SQE_TEXT_VOCABULARY_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cycle_enumerator.h"
+#include "analysis/structure_analyzer.h"
+#include "kb/kb_builder.h"
+#include "sqe/motif_finder.h"
+
+namespace sqe::analysis {
+namespace {
+
+// The canonical triangular motif: q <-> a reciprocal, both in category c.
+struct TriangleFixture {
+  kb::KnowledgeBase kb;
+  kb::ArticleId q, a;
+  kb::CategoryId c;
+
+  TriangleFixture() {
+    kb::KbBuilder builder;
+    q = builder.AddArticle("Q");
+    a = builder.AddArticle("A");
+    c = builder.AddCategory("C");
+    builder.AddReciprocalLink(q, a);
+    builder.AddMembership(q, c);
+    builder.AddMembership(a, c);
+    kb = std::move(builder).Build();
+  }
+};
+
+TEST(InducedSubgraphTest, EdgeMultiplicities) {
+  TriangleFixture f;
+  InducedSubgraph graph(f.kb, {kb::NodeRef::Article(f.q),
+                               kb::NodeRef::Article(f.a),
+                               kb::NodeRef::Category(f.c)});
+  // q<->a: both directions = multiplicity 2.
+  EXPECT_EQ(graph.EdgeMultiplicity(0, 1), 2);
+  EXPECT_EQ(graph.EdgeMultiplicity(1, 0), 2);
+  // memberships: multiplicity 1.
+  EXPECT_EQ(graph.EdgeMultiplicity(0, 2), 1);
+  EXPECT_EQ(graph.EdgeMultiplicity(1, 2), 1);
+  EXPECT_EQ(graph.Neighbors(0).size(), 2u);
+  EXPECT_EQ(graph.IndexOf(kb::NodeRef::Category(f.c)), 2u);
+  EXPECT_EQ(graph.IndexOf(kb::NodeRef::Category(999)),
+            static_cast<size_t>(-1));
+}
+
+TEST(CycleEnumeratorTest, FindsTheTriangleOnce) {
+  TriangleFixture f;
+  InducedSubgraph graph(f.kb, {kb::NodeRef::Article(f.q),
+                               kb::NodeRef::Article(f.a),
+                               kb::NodeRef::Category(f.c)});
+  auto cycles = EnumerateCyclesThrough(graph, 0, 3);
+  ASSERT_EQ(cycles.size(), 1u);
+  const Cycle& cycle = cycles[0];
+  EXPECT_EQ(cycle.Length(), 3u);
+  EXPECT_EQ(cycle.NumCategoryNodes(), 1u);
+  // Edges: q-a (2) + a-c (1) + c-q (1) = 4; extra density (4-3)/3.
+  EXPECT_EQ(cycle.total_edges, 4u);
+  EXPECT_NEAR(cycle.ExtraEdgeDensity(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CycleEnumeratorTest, SquareMotifCycle) {
+  kb::KbBuilder builder;
+  kb::ArticleId q = builder.AddArticle("Q");
+  kb::ArticleId a = builder.AddArticle("A");
+  kb::CategoryId cq = builder.AddCategory("CQ");
+  kb::CategoryId ca = builder.AddCategory("CA");
+  builder.AddReciprocalLink(q, a);
+  builder.AddMembership(q, cq);
+  builder.AddMembership(a, ca);
+  builder.AddCategoryLink(cq, ca);
+  kb::KnowledgeBase kb = std::move(builder).Build();
+
+  InducedSubgraph graph(kb, {kb::NodeRef::Article(q), kb::NodeRef::Article(a),
+                             kb::NodeRef::Category(cq),
+                             kb::NodeRef::Category(ca)});
+  auto cycles = EnumerateCyclesThrough(graph, 0, 4);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].NumCategoryNodes(), 2u);
+  // Edges: q-a(2) + a-ca(1) + ca-cq(1) + cq-q(1) = 5; density (5-4)/4.
+  EXPECT_EQ(cycles[0].total_edges, 5u);
+  EXPECT_NEAR(cycles[0].ExtraEdgeDensity(), 0.25, 1e-12);
+}
+
+TEST(CycleEnumeratorTest, NoCycleWhenEdgeMissing) {
+  kb::KbBuilder builder;
+  kb::ArticleId q = builder.AddArticle("Q");
+  kb::ArticleId a = builder.AddArticle("A");
+  kb::CategoryId c = builder.AddCategory("C");
+  builder.AddReciprocalLink(q, a);
+  builder.AddMembership(q, c);  // a is NOT in c: no triangle
+  kb::KnowledgeBase kb = std::move(builder).Build();
+  InducedSubgraph graph(kb, {kb::NodeRef::Article(q), kb::NodeRef::Article(a),
+                             kb::NodeRef::Category(c)});
+  EXPECT_TRUE(EnumerateCyclesThrough(graph, 0, 3).empty());
+}
+
+TEST(CycleEnumeratorTest, CountsDistinctCyclesThroughStart) {
+  // Two triangles sharing the start node: q-a-c1-q and q-a-c2-q.
+  kb::KbBuilder builder;
+  kb::ArticleId q = builder.AddArticle("Q");
+  kb::ArticleId a = builder.AddArticle("A");
+  kb::CategoryId c1 = builder.AddCategory("C1");
+  kb::CategoryId c2 = builder.AddCategory("C2");
+  builder.AddReciprocalLink(q, a);
+  for (kb::CategoryId c : {c1, c2}) {
+    builder.AddMembership(q, c);
+    builder.AddMembership(a, c);
+  }
+  kb::KnowledgeBase kb = std::move(builder).Build();
+  InducedSubgraph graph(kb, {kb::NodeRef::Article(q), kb::NodeRef::Article(a),
+                             kb::NodeRef::Category(c1),
+                             kb::NodeRef::Category(c2)});
+  auto len3 = EnumerateCyclesThrough(graph, 0, 3);
+  EXPECT_EQ(len3.size(), 2u);
+  // Plus length-4 cycles q-c1-a-c2-q etc.
+  auto len4 = EnumerateCyclesThrough(graph, 0, 4);
+  EXPECT_EQ(len4.size(), 1u);
+}
+
+// ---- structure analyzer -----------------------------------------------------
+
+TEST(StructureAnalyzerTest, AnalyzesMotifQueryGraph) {
+  TriangleFixture f;
+  expansion::MotifFinder finder(&f.kb);
+  std::vector<kb::ArticleId> nodes = {f.q};
+  expansion::QueryGraph graph =
+      finder.BuildQueryGraph(nodes, expansion::MotifConfig::Both());
+  ASSERT_EQ(graph.expansion_nodes.size(), 1u);
+
+  StructureReport report = AnalyzeQueryGraph(f.kb, graph);
+  const PerLengthStats& len3 = report.per_length[0];
+  EXPECT_EQ(len3.cycle_length, 3u);
+  EXPECT_EQ(len3.num_cycles, 1u);
+  EXPECT_NEAR(len3.avg_category_ratio, 1.0 / 3.0, 1e-12);
+  ASSERT_EQ(len3.articles_on_cycles.size(), 1u);
+  EXPECT_EQ(len3.articles_on_cycles[0], f.a);
+  // No length-4/5 cycles in a bare triangle.
+  EXPECT_EQ(report.per_length[1].num_cycles, 0u);
+  EXPECT_EQ(report.per_length[2].num_cycles, 0u);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(StructureAnalyzerTest, AggregateWeightsByCycleCount) {
+  StructureReport r1, r2;
+  r1.per_length[0] = {3, 2, 0.30, 0.10, {}};
+  r2.per_length[0] = {3, 6, 0.50, 0.50, {}};
+  StructureReport agg = AggregateReports({r1, r2});
+  EXPECT_EQ(agg.per_length[0].num_cycles, 8u);
+  EXPECT_NEAR(agg.per_length[0].avg_category_ratio,
+              (0.30 * 2 + 0.50 * 6) / 8.0, 1e-12);
+  EXPECT_NEAR(agg.per_length[0].avg_extra_edge_density,
+              (0.10 * 2 + 0.50 * 6) / 8.0, 1e-12);
+}
+
+TEST(StructureAnalyzerTest, EmptyGraphYieldsZeroes) {
+  TriangleFixture f;
+  expansion::QueryGraph graph;
+  graph.query_nodes.push_back(f.q);
+  StructureReport report = AnalyzeQueryGraph(f.kb, graph);
+  for (const auto& stats : report.per_length) {
+    EXPECT_EQ(stats.num_cycles, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sqe::analysis

@@ -1,0 +1,309 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sqe {
+namespace {
+
+// ---- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 9; ++code) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(StatusTest, PredicateCoverage) {
+  EXPECT_TRUE(Status::Corruption("c").IsCorruption());
+  EXPECT_TRUE(Status::IOError("i").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("a").IsInvalidArgument());
+  EXPECT_FALSE(Status::OK().IsCorruption());
+}
+
+// ---- Result ----------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+// ---- string_util -----------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto pieces = Split("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto pieces = SplitWhitespace("  alpha \t beta\ngamma  ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "alpha");
+  EXPECT_EQ(pieces[2], "gamma");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, ", "), "x, y, z");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  core \t"), "core");
+  EXPECT_EQ(StripWhitespace("\n\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, ToLowerAsciiLeavesNonAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD123"), "mixed123");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("snapshot.bin", "snap"));
+  EXPECT_FALSE(StartsWith("s", "snap"));
+  EXPECT_TRUE(EndsWith("snapshot.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("bin", "snapshot.bin"));
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+// ---- hashing ---------------------------------------------------------------
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(HashTest, Crc32KnownValue) {
+  // Standard CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(HashTest, Crc32Streaming) {
+  uint32_t whole = Crc32("hello world");
+  // Streaming via the crc parameter is not simple concatenation for CRC32
+  // (our API restarts each call); verify determinism instead.
+  EXPECT_EQ(Crc32("hello world"), whole);
+  EXPECT_NE(Crc32("hello worle"), whole);
+}
+
+TEST(HashTest, HashCombineChangesWithBothInputs) {
+  uint64_t a = Fnv1a64("a"), b = Fnv1a64("b");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+  EXPECT_NE(HashCombine(a, b), a);
+}
+
+// ---- random ----------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian(5.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RandomTest, WeightedRespectsZeroAndSkew) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.NextWeighted(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1] * 5);
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  for (size_t n : {size_t{5}, size_t{50}, size_t{500}}) {
+    for (size_t k : {size_t{0}, size_t{1}, size_t{3}, n / 2, n}) {
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<size_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (size_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+class ZipfSamplerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSamplerTest, SkewOrdersFrequencies) {
+  const double s = GetParam();
+  Rng rng(29);
+  ZipfSampler sampler(20, s);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 40000; ++i) counts[sampler.Sample(rng)]++;
+  // Rank 0 must be sampled at least as often as rank 19 (strictly more for
+  // positive skew).
+  if (s > 0.0) {
+    EXPECT_GT(counts[0], counts[19]);
+  }
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 40000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSamplerTest,
+                         ::testing::Values(0.0, 0.35, 1.0, 2.0));
+
+// ---- timer -----------------------------------------------------------------
+
+TEST(TimerTest, MonotonicNonNegative) {
+  Timer t;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  double first = t.ElapsedSeconds();
+  EXPECT_GE(t.ElapsedSeconds(), first);
+  t.Reset();
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, AccumulatingTimerSumsScopes) {
+  AccumulatingTimer acc;
+  {
+    auto scope = acc.Measure();
+  }
+  {
+    auto scope = acc.Measure();
+  }
+  EXPECT_GE(acc.TotalSeconds(), 0.0);
+  acc.Add(1.5);
+  EXPECT_GE(acc.TotalSeconds(), 1.5);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sqe

@@ -1,0 +1,188 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "entity/entity_linker.h"
+#include "entity/ner.h"
+#include "entity/surface_forms.h"
+#include "kb/kb_builder.h"
+
+namespace sqe::entity {
+namespace {
+
+text::Analyzer MakeAnalyzer() { return text::Analyzer(); }
+
+kb::KnowledgeBase MakeKb() {
+  kb::KbBuilder builder;
+  builder.AddArticle("Cable Car");    // id 0
+  builder.AddArticle("Funicular");    // id 1
+  builder.AddArticle("Banksy");       // id 2
+  builder.AddArticle("Graffiti");     // id 3
+  return std::move(builder).Build();
+}
+
+// ---- surface forms ------------------------------------------------------------
+
+TEST(SurfaceFormsTest, CommonnessNormalizesAndSorts) {
+  SurfaceFormDictionary dict;
+  dict.Add({"cable"}, 0, 3.0);
+  dict.Add({"cable"}, 1, 1.0);
+  dict.Finalize();
+  auto candidates = dict.Lookup(std::vector<std::string>{"cable"});
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].article, 0u);
+  EXPECT_NEAR(candidates[0].commonness, 0.75, 1e-12);
+  EXPECT_NEAR(candidates[1].commonness, 0.25, 1e-12);
+}
+
+TEST(SurfaceFormsTest, RepeatedAddAccumulates) {
+  SurfaceFormDictionary dict;
+  dict.Add({"x"}, 5, 1.0);
+  dict.Add({"x"}, 5, 2.0);
+  dict.Add({"x"}, 6, 1.0);
+  dict.Finalize();
+  auto candidates = dict.Lookup(std::vector<std::string>{"x"});
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].article, 5u);
+  EXPECT_NEAR(candidates[0].commonness, 0.75, 1e-12);
+}
+
+TEST(SurfaceFormsTest, UnknownFormEmpty) {
+  SurfaceFormDictionary dict;
+  dict.Add({"known"}, 1);
+  dict.Finalize();
+  EXPECT_TRUE(dict.Lookup(std::vector<std::string>{"unknown"}).empty());
+  EXPECT_TRUE(dict.Lookup(std::vector<std::string>{}).empty());
+}
+
+TEST(SurfaceFormsTest, MultiTokenFormsAreDistinct) {
+  SurfaceFormDictionary dict;
+  dict.Add({"cable", "car"}, 0);
+  dict.Add({"cable"}, 1);
+  dict.Finalize();
+  EXPECT_EQ(dict.Lookup(std::vector<std::string>{"cable", "car"})[0].article,
+            0u);
+  EXPECT_EQ(dict.Lookup(std::vector<std::string>{"cable"})[0].article, 1u);
+  EXPECT_EQ(dict.MaxFormLength(), 2u);
+  EXPECT_EQ(dict.NumForms(), 2u);
+}
+
+TEST(SurfaceFormsTest, FromKbTitlesUsesAnalyzedTitles) {
+  kb::KnowledgeBase kb = MakeKb();
+  text::Analyzer analyzer = MakeAnalyzer();
+  SurfaceFormDictionary dict =
+      SurfaceFormDictionary::FromKbTitles(kb, analyzer);
+  dict.Finalize();
+  // "Cable Car" analyzes to {cabl, car}.
+  auto candidates = dict.Lookup(std::vector<std::string>{"cabl", "car"});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].article, 0u);
+}
+
+// ---- NER -----------------------------------------------------------------------
+
+TEST(NerTest, FindsCapitalizedRuns) {
+  auto mentions = RecognizeMentions("photos of Cable Car near Banksy mural");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].text, "Cable Car");
+  EXPECT_EQ(mentions[1].text, "Banksy");
+}
+
+TEST(NerTest, LowercaseTextYieldsNothing) {
+  EXPECT_TRUE(RecognizeMentions("graffiti street art on walls").empty());
+}
+
+TEST(NerTest, RespectsMaxMentionWords) {
+  NerOptions options;
+  options.max_mention_words = 2;
+  auto mentions = RecognizeMentions("The Golden Gate Bridge Authority", options);
+  ASSERT_GE(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].text, "The Golden");
+}
+
+TEST(NerTest, OffsetsPointIntoSource) {
+  std::string text = "see Banksy today";
+  auto mentions = RecognizeMentions(text);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(text.substr(mentions[0].begin,
+                        mentions[0].end - mentions[0].begin),
+            "Banksy");
+}
+
+// ---- linker ---------------------------------------------------------------------
+
+struct LinkerFixture {
+  kb::KnowledgeBase kb = MakeKb();
+  text::Analyzer analyzer = MakeAnalyzer();
+  SurfaceFormDictionary dict;
+
+  LinkerFixture() {
+    dict = SurfaceFormDictionary::FromKbTitles(kb, analyzer);
+    // Ambiguous alias: "lift" mostly means Funicular, sometimes Cable Car.
+    dict.Add({"lift"}, 1, 4.0);
+    dict.Add({"lift"}, 0, 1.0);
+    // Low-confidence alias below the default threshold.
+    dict.Add({"art"}, 2, 1.0);
+    dict.Add({"art"}, 3, 1.0);
+    dict.Finalize();
+  }
+};
+
+TEST(EntityLinkerTest, LinksLongestMatchFirst) {
+  LinkerFixture f;
+  EntityLinker linker(&f.dict, &f.analyzer);
+  auto linked = linker.Link("cable car rides");
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0].article, 0u);  // "cable car", not a shorter form
+  EXPECT_EQ(linked[0].token_begin, 0u);
+  EXPECT_EQ(linked[0].token_end, 2u);
+}
+
+TEST(EntityLinkerTest, DisambiguatesByCommonness) {
+  LinkerFixture f;
+  EntityLinker linker(&f.dict, &f.analyzer);
+  auto linked = linker.Link("lift to the top");
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0].article, 1u);  // Funicular dominates "lift"
+  EXPECT_NEAR(linked[0].confidence, 0.8, 1e-12);
+}
+
+TEST(EntityLinkerTest, ThresholdBlocksAmbiguousForms) {
+  LinkerFixture f;
+  EntityLinkerOptions options;
+  options.min_commonness = 0.6;
+  EntityLinker linker(&f.dict, &f.analyzer, options);
+  // "art" splits 50/50: below the threshold, no link from spotting.
+  auto linked = linker.LinkTokens({"art"});
+  EXPECT_TRUE(linked.empty());
+}
+
+TEST(EntityLinkerTest, MultipleEntitiesInOrder) {
+  LinkerFixture f;
+  EntityLinker linker(&f.dict, &f.analyzer);
+  auto linked = linker.Link("funicular and cable car");
+  ASSERT_EQ(linked.size(), 2u);
+  EXPECT_EQ(linked[0].article, 1u);
+  EXPECT_EQ(linked[1].article, 0u);
+}
+
+TEST(EntityLinkerTest, NerFallbackLinksMentions) {
+  LinkerFixture f;
+  // Spotting finds nothing for this text (no dictionary form), but the NER
+  // fallback recognizes the capitalized mention and links it exactly.
+  EntityLinker linker(&f.dict, &f.analyzer);
+  auto linked = linker.Link("pictures by Banksy");
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0].article, 2u);
+}
+
+TEST(EntityLinkerTest, NothingLinkableYieldsEmpty) {
+  LinkerFixture f;
+  EntityLinker linker(&f.dict, &f.analyzer);
+  EXPECT_TRUE(linker.Link("completely unrelated words").empty());
+  EXPECT_TRUE(linker.Link("").empty());
+}
+
+}  // namespace
+}  // namespace sqe::entity

@@ -1,0 +1,210 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/qrels.h"
+#include "eval/report.h"
+#include "eval/ttest.h"
+
+namespace sqe::eval {
+namespace {
+
+retrieval::ResultList MakeResults(std::initializer_list<index::DocId> docs) {
+  retrieval::ResultList out;
+  double score = 100.0;
+  for (index::DocId d : docs) out.push_back({d, score -= 1.0});
+  return out;
+}
+
+// ---- qrels ---------------------------------------------------------------------
+
+TEST(QrelsTest, BasicBookkeeping) {
+  Qrels qrels(3);
+  qrels.AddRelevant(0, 10);
+  qrels.AddRelevant(0, 11);
+  qrels.AddRelevant(2, 5);
+  EXPECT_TRUE(qrels.IsRelevant(0, 10));
+  EXPECT_FALSE(qrels.IsRelevant(0, 12));
+  EXPECT_EQ(qrels.NumRelevant(0), 2u);
+  EXPECT_EQ(qrels.NumRelevant(1), 0u);
+  EXPECT_NEAR(qrels.AverageRelevantPerQuery(), 1.0, 1e-12);
+  EXPECT_EQ(qrels.NumQueriesWithoutRelevant(), 1u);
+}
+
+// ---- precision metrics -----------------------------------------------------------
+
+TEST(MetricsTest, PrecisionAtKCountsHitsOverK) {
+  std::unordered_set<index::DocId> relevant = {1, 3, 5};
+  retrieval::ResultList results = MakeResults({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(results, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(results, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(results, relevant, 5), 0.6);
+  // Short lists are padded with non-relevant (TrecEval semantics).
+  EXPECT_DOUBLE_EQ(PrecisionAtK(results, relevant, 10), 0.3);
+}
+
+TEST(MetricsTest, PrecisionWithNoRelevantIsZero) {
+  std::unordered_set<index::DocId> relevant;
+  EXPECT_DOUBLE_EQ(PrecisionAtK(MakeResults({1, 2}), relevant, 5), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionTextbookExample) {
+  // Relevant at ranks 1 and 3 of {1,2,3}; |relevant| = 2:
+  // AP = (1/1 + 2/3)/2 = 5/6.
+  std::unordered_set<index::DocId> relevant = {10, 30};
+  retrieval::ResultList results = MakeResults({10, 20, 30});
+  EXPECT_NEAR(AveragePrecision(results, relevant), 5.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecision(results, {}), 0.0);
+}
+
+TEST(MetricsTest, PerQueryAndMeans) {
+  Qrels qrels(2);
+  qrels.AddRelevant(0, 1);
+  qrels.AddRelevant(1, 2);
+  std::vector<retrieval::ResultList> runs = {MakeResults({1, 9}),
+                                             MakeResults({9, 9})};
+  auto per_query = PerQueryPrecision(runs, qrels, 1);
+  ASSERT_EQ(per_query.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_query[0], 1.0);
+  EXPECT_DOUBLE_EQ(per_query[1], 0.0);
+  EXPECT_DOUBLE_EQ(Mean(per_query), 0.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+
+  auto tops = MeanPrecisionAtTops(runs, qrels);
+  EXPECT_DOUBLE_EQ(tops[0], 0.1);  // P@5: 1 hit in 5 for q0, 0 for q1
+
+  double map = MeanAveragePrecision(runs, qrels);
+  EXPECT_NEAR(map, 0.5, 1e-12);
+}
+
+// ---- t-test ----------------------------------------------------------------------
+
+TEST(TTestTest, IncompleteBetaKnownValues) {
+  // I_x(a,b) closed forms: I_x(1,1) = x; I_x(1,2) = 1-(1-x)^2... (a=1:
+  // I_x(1,b) = 1-(1-x)^b).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 2, 0.3), 1 - 0.49, 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 1, 0.3), 0.09, 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 3.5, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 3.5, 1.0), 1.0, 1e-12);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 5.0, 0.4),
+              1.0 - RegularizedIncompleteBeta(5.0, 2.0, 0.6), 1e-10);
+}
+
+TEST(TTestTest, StudentPValuesMatchTables) {
+  // Two-sided critical values: t=2.262, df=9 -> p=0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.262, 9), 0.05, 2e-3);
+  // t=1.96, df -> large approximates normal: p ~0.05 for df=1000.
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.962, 1000), 0.05, 2e-3);
+  // t = 0 -> p = 1.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10), 1.0, 1e-12);
+}
+
+TEST(TTestTest, PairedTTestHandComputed) {
+  // Differences: {1, 2, 3} -> mean 2, sd 1, se = 1/sqrt(3), t = 2*sqrt(3).
+  std::vector<double> treatment = {2, 4, 6};
+  std::vector<double> baseline = {1, 2, 3};
+  TTestResult result = PairedTTest(treatment, baseline);
+  EXPECT_NEAR(result.t_statistic, 2.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_EQ(result.degrees_of_freedom, 2u);
+  EXPECT_NEAR(result.mean_difference, 2.0, 1e-12);
+  // p for t=3.464, df=2 is ~0.0742: not significant at 0.05.
+  EXPECT_NEAR(result.p_value, 0.0742, 2e-3);
+  EXPECT_FALSE(result.Significant());
+}
+
+TEST(TTestTest, ClearlySignificantDifference) {
+  std::vector<double> treatment, baseline;
+  for (int i = 0; i < 30; ++i) {
+    treatment.push_back(0.5 + 0.01 * (i % 3));
+    baseline.push_back(0.1 + 0.01 * (i % 3));
+  }
+  TTestResult result = PairedTTest(treatment, baseline);
+  EXPECT_TRUE(result.Significant());
+  EXPECT_GT(result.mean_difference, 0.0);
+}
+
+TEST(TTestTest, DegenerateCases) {
+  // Identical samples: p = 1.
+  std::vector<double> same = {0.2, 0.4, 0.6};
+  EXPECT_EQ(PairedTTest(same, same).p_value, 1.0);
+  // Constant non-zero difference: p = 0 (point mass off the null).
+  std::vector<double> shifted = {0.3, 0.5, 0.7};
+  EXPECT_EQ(PairedTTest(shifted, same).p_value, 0.0);
+  // Too few pairs: p = 1.
+  EXPECT_EQ(PairedTTest({1.0}, {0.0}).p_value, 1.0);
+}
+
+class TTestSymmetry : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TTestSymmetry, SwappingSamplesNegatesT) {
+  // Property: t(a,b) = -t(b,a), same p.
+  std::vector<double> a, b;
+  for (size_t i = 0; i < GetParam(); ++i) {
+    a.push_back(0.1 * static_cast<double>(i % 7));
+    b.push_back(0.05 * static_cast<double>((i * 3) % 5));
+  }
+  TTestResult ab = PairedTTest(a, b);
+  TTestResult ba = PairedTTest(b, a);
+  EXPECT_NEAR(ab.t_statistic, -ba.t_statistic, 1e-9);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TTestSymmetry,
+                         ::testing::Values(5u, 10u, 50u, 200u));
+
+// ---- report --------------------------------------------------------------------
+
+TEST(ReportTest, DaggersOnlyForSignificantImprovement) {
+  const size_t n = 40;
+  Qrels qrels(n);
+  std::vector<retrieval::ResultList> good(n), bad(n), equal(n);
+  for (size_t q = 0; q < n; ++q) {
+    qrels.AddRelevant(q, 1);
+    qrels.AddRelevant(q, 2);
+    good[q] = MakeResults({1, 2, 9, 9, 9});
+    bad[q] = MakeResults({9, 9, 9, 1, 9});
+    equal[q] = MakeResults({9, 9, 9, 1, 9});
+  }
+  std::vector<NamedRun> systems;
+  systems.push_back({"baseline", bad, true, false});
+  systems.push_back({"treatment", good, false, false});
+  systems.push_back({"same", equal, false, false});
+  systems.push_back({"skipped", good, false, true});
+
+  PrecisionTable table = EvaluateTable(systems, qrels);
+  EXPECT_TRUE(table.significant[1][0]);   // treatment at P@5
+  EXPECT_FALSE(table.significant[2][0]);  // identical to baseline
+  EXPECT_FALSE(table.significant[3][0]);  // skip_significance
+  EXPECT_FALSE(table.significant[0][0]);  // baselines never dagger
+  EXPECT_GT(table.means[1][0], table.means[0][0]);
+  EXPECT_FALSE(table.ToString("title").empty());
+}
+
+TEST(ReportTest, PercentImprovementOverBest) {
+  const size_t n = 10;
+  Qrels qrels(n);
+  std::vector<retrieval::ResultList> base_a(n), base_b(n), treat(n);
+  for (size_t q = 0; q < n; ++q) {
+    qrels.AddRelevant(q, 1);
+    qrels.AddRelevant(q, 2);
+    qrels.AddRelevant(q, 3);
+    qrels.AddRelevant(q, 4);
+    base_a[q] = MakeResults({1, 9, 9, 9, 9});        // P@5 = 0.2
+    base_b[q] = MakeResults({1, 2, 9, 9, 9});        // P@5 = 0.4
+    treat[q] = MakeResults({1, 2, 3, 4, 9});         // P@5 = 0.8
+  }
+  std::vector<NamedRun> systems;
+  systems.push_back({"a", base_a, true, false});
+  systems.push_back({"b", base_b, true, false});
+  systems.push_back({"t", treat, false, false});
+  PrecisionTable table = EvaluateTable(systems, qrels);
+  auto imp = PercentImprovementOverBest(table, {0, 1}, 2);
+  EXPECT_NEAR(imp[0], 100.0, 1e-9);  // 0.8 vs best baseline 0.4
+}
+
+}  // namespace
+}  // namespace sqe::eval

@@ -1,0 +1,209 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "index/postings.h"
+
+namespace sqe::index {
+namespace {
+
+// ---- PostingList ------------------------------------------------------------
+
+TEST(PostingListTest, BuilderAccumulatesFrequenciesAndPositions) {
+  PostingListBuilder builder;
+  builder.AddOccurrence(3, 0);
+  builder.AddOccurrence(3, 5);
+  builder.AddOccurrence(9, 2);
+  PostingList list = std::move(builder).Build();
+
+  ASSERT_EQ(list.NumDocs(), 2u);
+  EXPECT_EQ(list.CollectionFrequency(), 3u);
+  EXPECT_EQ(list.doc(0), 3u);
+  EXPECT_EQ(list.frequency(0), 2u);
+  auto pos0 = list.positions(0);
+  ASSERT_EQ(pos0.size(), 2u);
+  EXPECT_EQ(pos0[0], 0u);
+  EXPECT_EQ(pos0[1], 5u);
+  EXPECT_EQ(list.doc(1), 9u);
+  EXPECT_EQ(list.frequency(1), 1u);
+  EXPECT_EQ(list.positions(1)[0], 2u);
+}
+
+TEST(PostingListTest, FindBinarySearches) {
+  PostingListBuilder builder;
+  for (DocId d : {2u, 4u, 8u, 16u}) builder.AddOccurrence(d, 0);
+  PostingList list = std::move(builder).Build();
+  EXPECT_EQ(list.Find(8), 2u);
+  EXPECT_EQ(list.Find(3), PostingList::kNpos);
+  EXPECT_EQ(list.Find(17), PostingList::kNpos);
+}
+
+class CursorSeekTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CursorSeekTest, SeekLandsOnFirstDocAtLeastTarget) {
+  PostingListBuilder builder;
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < 500; d += 1 + d % 7) {
+    builder.AddOccurrence(d, 0);
+    docs.push_back(d);
+  }
+  PostingList list = std::move(builder).Build();
+
+  const DocId target = GetParam();
+  auto cursor = list.MakeCursor();
+  cursor.SeekTo(target);
+  auto it = std::lower_bound(docs.begin(), docs.end(), target);
+  if (it == docs.end()) {
+    EXPECT_TRUE(cursor.AtEnd());
+  } else {
+    ASSERT_FALSE(cursor.AtEnd());
+    EXPECT_EQ(cursor.Doc(), *it);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CursorSeekTest,
+                         ::testing::Values(0u, 1u, 7u, 100u, 250u, 499u,
+                                           500u, 10000u));
+
+TEST(CursorTest, SequentialSeeksMonotone) {
+  PostingListBuilder builder;
+  for (DocId d = 0; d < 100; d += 3) builder.AddOccurrence(d, 0);
+  PostingList list = std::move(builder).Build();
+  auto cursor = list.MakeCursor();
+  DocId last = 0;
+  for (DocId target : {5u, 10u, 11u, 50u, 98u}) {
+    cursor.SeekTo(target);
+    ASSERT_FALSE(cursor.AtEnd());
+    EXPECT_GE(cursor.Doc(), target);
+    EXPECT_GE(cursor.Doc(), last);
+    last = cursor.Doc();
+  }
+}
+
+// ---- IndexBuilder / InvertedIndex --------------------------------------------
+
+InvertedIndex MakeSmallIndex() {
+  IndexBuilder builder;
+  builder.AddDocument("doc-a", {"cable", "car", "san", "francisco"});
+  builder.AddDocument("doc-b", {"funicular", "railway", "cable"});
+  builder.AddDocument("doc-c", {"graffiti", "wall", "art", "wall"});
+  return std::move(builder).Build();
+}
+
+TEST(InvertedIndexTest, DocumentAccessors) {
+  InvertedIndex index = MakeSmallIndex();
+  EXPECT_EQ(index.NumDocuments(), 3u);
+  EXPECT_EQ(index.DocLength(0), 4u);
+  EXPECT_EQ(index.DocLength(2), 4u);
+  EXPECT_EQ(index.ExternalId(1), "doc-b");
+  EXPECT_EQ(index.FindDocument("doc-c"), 2u);
+  EXPECT_EQ(index.FindDocument("doc-zzz"), kInvalidDoc);
+  EXPECT_EQ(index.TotalTokens(), 11u);
+  EXPECT_NEAR(index.AverageDocLength(), 11.0 / 3.0, 1e-12);
+}
+
+TEST(InvertedIndexTest, PostingsReflectOccurrences) {
+  InvertedIndex index = MakeSmallIndex();
+  text::TermId cable = index.LookupTerm("cable");
+  ASSERT_NE(cable, text::kInvalidTermId);
+  const PostingList& postings = index.Postings(cable);
+  ASSERT_EQ(postings.NumDocs(), 2u);
+  EXPECT_EQ(postings.doc(0), 0u);
+  EXPECT_EQ(postings.doc(1), 1u);
+  EXPECT_EQ(postings.positions(1)[0], 2u);  // "cable" at position 2 in doc-b
+
+  text::TermId wall = index.LookupTerm("wall");
+  EXPECT_EQ(index.Postings(wall).CollectionFrequency(), 2u);
+  EXPECT_EQ(index.DocumentFrequency(wall), 1u);
+}
+
+TEST(InvertedIndexTest, ForwardIndexMatchesInput) {
+  InvertedIndex index = MakeSmallIndex();
+  auto terms = index.DocTerms(1);
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(index.vocabulary().TermOf(terms[0]), "funicular");
+  EXPECT_EQ(index.vocabulary().TermOf(terms[2]), "cable");
+}
+
+TEST(InvertedIndexTest, CollectionProbability) {
+  InvertedIndex index = MakeSmallIndex();
+  text::TermId wall = index.LookupTerm("wall");
+  EXPECT_NEAR(index.CollectionProbability(wall), 2.0 / 11.0, 1e-12);
+  // Unknown terms get the 1/|C| floor.
+  EXPECT_NEAR(index.CollectionProbability(text::kInvalidTermId), 1.0 / 11.0,
+              1e-12);
+  EXPECT_NEAR(index.UnseenTermProbability(), 1.0 / 11.0, 1e-12);
+}
+
+TEST(InvertedIndexTest, EmptyIndexIsSane) {
+  IndexBuilder builder;
+  InvertedIndex index = std::move(builder).Build();
+  EXPECT_EQ(index.NumDocuments(), 0u);
+  EXPECT_EQ(index.TotalTokens(), 0u);
+  EXPECT_EQ(index.AverageDocLength(), 0.0);
+}
+
+TEST(InvertedIndexTest, EmptyDocumentAllowed) {
+  IndexBuilder builder;
+  builder.AddDocument("empty", {});
+  builder.AddDocument("full", {"term"});
+  InvertedIndex index = std::move(builder).Build();
+  EXPECT_EQ(index.DocLength(0), 0u);
+  EXPECT_TRUE(index.DocTerms(0).empty());
+  EXPECT_EQ(index.DocTerms(1).size(), 1u);
+}
+
+TEST(InvertedIndexTest, SnapshotRoundTripExact) {
+  InvertedIndex index = MakeSmallIndex();
+  auto loaded_or = InvertedIndex::FromSnapshotString(index.SerializeToString());
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const InvertedIndex& loaded = loaded_or.value();
+
+  ASSERT_EQ(loaded.NumDocuments(), index.NumDocuments());
+  EXPECT_EQ(loaded.TotalTokens(), index.TotalTokens());
+  ASSERT_EQ(loaded.vocabulary().size(), index.vocabulary().size());
+  for (size_t t = 0; t < index.vocabulary().size(); ++t) {
+    text::TermId id = static_cast<text::TermId>(t);
+    EXPECT_EQ(loaded.vocabulary().TermOf(id), index.vocabulary().TermOf(id));
+    const PostingList& a = index.Postings(id);
+    const PostingList& b = loaded.Postings(id);
+    ASSERT_EQ(a.NumDocs(), b.NumDocs());
+    EXPECT_EQ(a.CollectionFrequency(), b.CollectionFrequency());
+    for (size_t i = 0; i < a.NumDocs(); ++i) {
+      EXPECT_EQ(a.doc(i), b.doc(i));
+      EXPECT_EQ(a.frequency(i), b.frequency(i));
+      auto pa = a.positions(i), pb = b.positions(i);
+      EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+    }
+  }
+  for (size_t d = 0; d < index.NumDocuments(); ++d) {
+    DocId doc = static_cast<DocId>(d);
+    EXPECT_EQ(loaded.ExternalId(doc), index.ExternalId(doc));
+    EXPECT_EQ(loaded.DocLength(doc), index.DocLength(doc));
+    auto fa = index.DocTerms(doc), fb = loaded.DocTerms(doc);
+    EXPECT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin(), fb.end()));
+  }
+}
+
+TEST(InvertedIndexTest, CorruptSnapshotRejected) {
+  InvertedIndex index = MakeSmallIndex();
+  std::string image = index.SerializeToString();
+  image[image.size() - 10] ^= 0x20;
+  auto loaded = InvertedIndex::FromSnapshotString(std::move(image));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(InvertedIndexTest, TruncatedSnapshotRejected) {
+  InvertedIndex index = MakeSmallIndex();
+  std::string image = index.SerializeToString();
+  auto loaded =
+      InvertedIndex::FromSnapshotString(image.substr(0, image.size() / 3));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace sqe::index

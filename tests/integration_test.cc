@@ -1,0 +1,200 @@
+// End-to-end integration tests: the full generate → index → link → expand →
+// retrieve → evaluate pipeline on the tiny world, asserting the paper's
+// qualitative claims hold even at toy scale.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/ttest.h"
+#include "prf/relevance_model.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+struct Pipeline {
+  synth::World world;
+  synth::Dataset dataset;
+  expansion::SqeEngine engine;
+
+  Pipeline()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())),
+        engine(&world.kb, &dataset.index, dataset.linker.get(),
+               &dataset.analyzer(), MakeConfig(dataset)) {}
+
+  static expansion::SqeEngineConfig MakeConfig(const synth::Dataset& ds) {
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = ds.retrieval_mu;
+    return config;
+  }
+};
+
+Pipeline& SharedPipeline() {
+  static Pipeline& pipeline = *new Pipeline();
+  return pipeline;
+}
+
+constexpr size_t kDepth = 100;
+
+std::vector<retrieval::ResultList> RunAllQueries(
+    Pipeline& p, const std::function<retrieval::ResultList(
+                     const synth::GeneratedQuery&)>& run) {
+  std::vector<retrieval::ResultList> out;
+  for (const synth::GeneratedQuery& q : p.dataset.query_set.queries) {
+    out.push_back(run(q));
+  }
+  return out;
+}
+
+TEST(IntegrationTest, SqeBeatsPlainQueryLikelihood) {
+  Pipeline& p = SharedPipeline();
+  auto ql = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    return p.engine.RunBaseline(q.text, q.true_entities,
+                                expansion::QueryParts::QOnly(), kDepth);
+  });
+  auto sqe_ts = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    return p.engine
+        .RunSqe(q.text, q.true_entities, expansion::MotifConfig::Both(),
+                kDepth)
+        .results;
+  });
+  const eval::Qrels& qrels = p.dataset.query_set.qrels;
+  double ql_p10 = eval::Mean(eval::PerQueryPrecision(ql, qrels, 10));
+  double sqe_p10 = eval::Mean(eval::PerQueryPrecision(sqe_ts, qrels, 10));
+  EXPECT_GT(sqe_p10, ql_p10);
+}
+
+TEST(IntegrationTest, GroundTruthUpperBoundIsAtLeastMotifGraphs) {
+  Pipeline& p = SharedPipeline();
+  const eval::Qrels& qrels = p.dataset.query_set.qrels;
+  auto ub = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    return p.engine.RunWithGraph(q.text, q.ground_truth_graph, kDepth)
+        .results;
+  });
+  auto sqe = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    return p.engine
+        .RunSqe(q.text, q.true_entities, expansion::MotifConfig::Both(),
+                kDepth)
+        .results;
+  });
+  double ub_p20 = eval::Mean(eval::PerQueryPrecision(ub, qrels, 20));
+  double sqe_p20 = eval::Mean(eval::PerQueryPrecision(sqe, qrels, 20));
+  EXPECT_GE(ub_p20, sqe_p20 * 0.95);  // allow toy-scale wobble
+}
+
+TEST(IntegrationTest, SqeCCombinesWithoutDuplicates) {
+  Pipeline& p = SharedPipeline();
+  for (const synth::GeneratedQuery& q : p.dataset.query_set.queries) {
+    expansion::SqeCRunResult combined =
+        p.engine.RunSqeC(q.text, q.true_entities, kDepth);
+    std::unordered_set<index::DocId> seen;
+    for (const retrieval::ScoredDoc& sd : combined.results) {
+      EXPECT_TRUE(seen.insert(sd.doc).second) << "duplicate doc in SQE_C";
+    }
+    EXPECT_LE(combined.results.size(), kDepth);
+  }
+}
+
+TEST(IntegrationTest, TimingsAreRecorded) {
+  Pipeline& p = SharedPipeline();
+  const synth::GeneratedQuery& q = p.dataset.query_set.queries[0];
+  expansion::SqeRunResult run = p.engine.RunSqe(
+      q.text, q.true_entities, expansion::MotifConfig::Both(), kDepth);
+  EXPECT_GE(run.graph_build_ms, 0.0);
+  EXPECT_GE(run.retrieval_ms, 0.0);
+  EXPECT_GE(run.total_ms, run.graph_build_ms);
+}
+
+TEST(IntegrationTest, PrfOnSqeBeatsPrfAlone) {
+  Pipeline& p = SharedPipeline();
+  const eval::Qrels& qrels = p.dataset.query_set.qrels;
+  prf::PrfExpander prf_plain(&p.engine.retriever());
+  prf::PrfOptions compose;
+  compose.original_weight = 0.6;
+  prf::PrfExpander prf_composed(&p.engine.retriever(), compose);
+
+  auto prf_alone = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    expansion::QueryGraph graph;
+    graph.query_nodes = q.true_entities;
+    retrieval::Query base = p.engine.BuildExpandedQuery(q.text, graph);
+    return prf_plain.ExpandAndRetrieve(base, kDepth);
+  });
+  auto prf_sqe = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    expansion::QueryGraph graph = p.engine.motif_finder().BuildQueryGraph(
+        q.true_entities, expansion::MotifConfig::Both());
+    retrieval::Query expanded = p.engine.BuildExpandedQuery(q.text, graph);
+    return prf_composed.ExpandAndRetrieve(expanded, kDepth);
+  });
+  double alone = eval::Mean(eval::PerQueryPrecision(prf_alone, qrels, 10));
+  double composed = eval::Mean(eval::PerQueryPrecision(prf_sqe, qrels, 10));
+  EXPECT_GT(composed, alone);
+}
+
+TEST(IntegrationTest, AutomaticLinkingRunsEndToEnd) {
+  Pipeline& p = SharedPipeline();
+  size_t linked_queries = 0;
+  for (const synth::GeneratedQuery& q : p.dataset.query_set.queries) {
+    std::vector<kb::ArticleId> nodes = p.engine.LinkQueryNodes(q.text);
+    if (!nodes.empty()) ++linked_queries;
+    expansion::SqeCRunResult result = p.engine.RunSqeC(q.text, nodes, kDepth);
+    // Even with no entities the pipeline degrades gracefully to QL_Q.
+    EXPECT_LE(result.results.size(), kDepth);
+  }
+  EXPECT_GT(linked_queries, p.dataset.NumQueries() / 2);
+}
+
+TEST(IntegrationTest, SnapshotRoundTripPreservesRankings) {
+  Pipeline& p = SharedPipeline();
+  // Serialize both the KB and the index, reload, rebuild the engine, and
+  // verify identical rankings — the persistence path end to end.
+  auto kb_or =
+      kb::KnowledgeBase::FromSnapshotString(p.world.kb.SerializeToString());
+  ASSERT_TRUE(kb_or.ok());
+  auto index_or = index::InvertedIndex::FromSnapshotString(
+      p.dataset.index.SerializeToString());
+  ASSERT_TRUE(index_or.ok());
+
+  expansion::SqeEngine reloaded(&kb_or.value(), &index_or.value(), nullptr,
+                                &p.dataset.analyzer(),
+                                Pipeline::MakeConfig(p.dataset));
+  for (size_t qi = 0; qi < 3; ++qi) {
+    const synth::GeneratedQuery& q = p.dataset.query_set.queries[qi];
+    auto original = p.engine.RunSqe(q.text, q.true_entities,
+                                    expansion::MotifConfig::Both(), 20);
+    auto replayed = reloaded.RunSqe(q.text, q.true_entities,
+                                    expansion::MotifConfig::Both(), 20);
+    ASSERT_EQ(original.results.size(), replayed.results.size());
+    for (size_t i = 0; i < original.results.size(); ++i) {
+      EXPECT_EQ(original.results[i].doc, replayed.results[i].doc);
+      EXPECT_NEAR(original.results[i].score, replayed.results[i].score,
+                  1e-9);
+    }
+  }
+}
+
+TEST(IntegrationTest, SignificanceMachineryOnRealRuns) {
+  Pipeline& p = SharedPipeline();
+  const eval::Qrels& qrels = p.dataset.query_set.qrels;
+  auto ql = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    return p.engine.RunBaseline(q.text, q.true_entities,
+                                expansion::QueryParts::QOnly(), kDepth);
+  });
+  auto sqe = RunAllQueries(p, [&](const synth::GeneratedQuery& q) {
+    return p.engine
+        .RunSqe(q.text, q.true_entities, expansion::MotifConfig::Both(),
+                kDepth)
+        .results;
+  });
+  eval::TTestResult test =
+      eval::PairedTTest(eval::PerQueryPrecision(sqe, qrels, 10),
+                        eval::PerQueryPrecision(ql, qrels, 10));
+  EXPECT_GT(test.mean_difference, 0.0);
+  EXPECT_GE(test.p_value, 0.0);
+  EXPECT_LE(test.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace sqe

@@ -1,0 +1,213 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/coding.h"
+#include "io/file.h"
+
+namespace sqe::io {
+namespace {
+
+// ---- varint / fixed coding --------------------------------------------------
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Encode64DecodesBack) {
+  const uint64_t value = GetParam();
+  std::string buf;
+  PutVarint64(&buf, value);
+  EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(value));
+  std::string_view in(buf);
+  uint64_t decoded = 0;
+  ASSERT_TRUE(GetVarint64(&in, &decoded));
+  EXPECT_EQ(decoded, value);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST_P(VarintRoundTrip, ZigZagRoundTripsBothSigns) {
+  const uint64_t raw = GetParam();
+  const int64_t pos = static_cast<int64_t>(raw & 0x7FFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(pos)), pos);
+  EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(-pos)), -pos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 255ull, 300ull, 16383ull,
+                      16384ull, (1ull << 21) - 1, 1ull << 21, 1ull << 32,
+                      (1ull << 35) + 12345, UINT64_MAX - 1, UINT64_MAX));
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  ASSERT_EQ(buf.size(), 4u);
+  // Little-endian layout.
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0xEF);
+  std::string_view in(buf);
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  std::string_view in(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, DecodersRejectTruncation) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+  std::string_view short32("ab");
+  uint32_t v32;
+  EXPECT_FALSE(GetFixed32(&short32, &v32));
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  std::string_view in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in(buf);
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRejectsShortPayload) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes
+  buf += "only-a-few";
+  std::string_view in(buf);
+  std::string_view out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+// ---- snapshot format --------------------------------------------------------
+
+constexpr uint32_t kTestMagic = 0x54534E50;  // "TSNP"
+
+TEST(SnapshotTest, WriteReadRoundTrip) {
+  SnapshotWriter writer(kTestMagic, /*version=*/3);
+  writer.AddBlock("alpha", "payload-one");
+  writer.AddBlock("beta", std::string("\x00\x01\x02", 3));
+  auto reader_or = SnapshotReader::Open(writer.Serialize(), kTestMagic);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  const SnapshotReader& reader = reader_or.value();
+  EXPECT_EQ(reader.version(), 3u);
+  auto block = reader.GetBlock("alpha");
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value(), "payload-one");
+  auto names = reader.BlockNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+}
+
+TEST(SnapshotTest, MissingBlockIsNotFound) {
+  SnapshotWriter writer(kTestMagic);
+  writer.AddBlock("only", "x");
+  auto reader = SnapshotReader::Open(writer.Serialize(), kTestMagic);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.value().GetBlock("other").status().IsNotFound());
+}
+
+TEST(SnapshotTest, WrongMagicIsCorruption) {
+  SnapshotWriter writer(kTestMagic);
+  writer.AddBlock("b", "x");
+  auto reader = SnapshotReader::Open(writer.Serialize(), kTestMagic + 1);
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(SnapshotTest, BitFlipInPayloadIsCorruption) {
+  SnapshotWriter writer(kTestMagic);
+  writer.AddBlock("data", "sensitive-bytes-here");
+  std::string image = writer.Serialize();
+  // Flip a bit inside the payload region (after magic/version/count).
+  size_t pos = image.find("sensitive");
+  ASSERT_NE(pos, std::string::npos);
+  image[pos + 3] ^= 0x40;
+  auto reader = SnapshotReader::Open(std::move(image), kTestMagic);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(SnapshotTest, TruncationIsCorruption) {
+  SnapshotWriter writer(kTestMagic);
+  writer.AddBlock("data", "0123456789");
+  std::string image = writer.Serialize();
+  for (size_t keep : {0ul, 3ul, image.size() / 2, image.size() - 1}) {
+    auto reader = SnapshotReader::Open(image.substr(0, keep), kTestMagic);
+    EXPECT_FALSE(reader.ok()) << "keep=" << keep;
+    EXPECT_TRUE(reader.status().IsCorruption());
+  }
+}
+
+TEST(SnapshotTest, EmptySnapshotIsValid) {
+  SnapshotWriter writer(kTestMagic);
+  auto reader = SnapshotReader::Open(writer.Serialize(), kTestMagic);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.value().BlockNames().empty());
+}
+
+TEST(SnapshotTest, DuplicateBlockNamesRejectedOnWrite) {
+  SnapshotWriter writer(kTestMagic);
+  writer.AddBlock("same", "a");
+  writer.AddBlock("same", "b");
+  Status status = writer.WriteToFile("/tmp/sqe_dup_snapshot_test.bin");
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// ---- file helpers -----------------------------------------------------------
+
+TEST(FileTest, WriteReadRoundTrip) {
+  const std::string path = "/tmp/sqe_io_test_file.bin";
+  std::string data = "binary\0payload";
+  data.push_back('\xFF');
+  ASSERT_TRUE(WriteStringToFile(path, data).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), data);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MissingFileIsIOError) {
+  auto read = ReadFileToString("/tmp/definitely/not/here.bin");
+  EXPECT_TRUE(read.status().IsIOError());
+}
+
+TEST(FileTest, SnapshotFileRoundTrip) {
+  const std::string path = "/tmp/sqe_io_test_snapshot.bin";
+  SnapshotWriter writer(kTestMagic);
+  writer.AddBlock("block", "contents");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  auto reader = SnapshotReader::OpenFile(path, kTestMagic);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().GetBlock("block").value(), "contents");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sqe::io

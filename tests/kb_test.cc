@@ -1,0 +1,274 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "kb/dump_loader.h"
+#include "kb/kb_builder.h"
+#include "kb/kb_stats.h"
+#include "kb/knowledge_base.h"
+
+namespace sqe::kb {
+namespace {
+
+KnowledgeBase MakeSmallKb() {
+  KbBuilder builder;
+  ArticleId cable = builder.AddArticle("Cable Car");
+  ArticleId funicular = builder.AddArticle("Funicular");
+  ArticleId tram = builder.AddArticle("Tram");
+  CategoryId transport = builder.AddCategory("Category:Transport");
+  CategoryId rail = builder.AddCategory("Category:Rail");
+  builder.AddReciprocalLink(cable, funicular);
+  builder.AddArticleLink(cable, tram);  // one-way
+  builder.AddMembership(cable, transport);
+  builder.AddMembership(funicular, transport);
+  builder.AddMembership(funicular, rail);
+  builder.AddCategoryLink(rail, transport);
+  return std::move(builder).Build();
+}
+
+TEST(KbBuilderTest, NodeCountsAndTitleLookup) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_EQ(kb.NumArticles(), 3u);
+  EXPECT_EQ(kb.NumCategories(), 2u);
+  EXPECT_EQ(kb.ArticleTitle(kb.FindArticle("Funicular")), "Funicular");
+  EXPECT_EQ(kb.FindArticle("Missing"), kInvalidArticle);
+  EXPECT_EQ(kb.FindCategory("Category:Rail"),
+            kb.FindCategory("Category:Rail"));
+  EXPECT_EQ(kb.FindCategory("Nope"), kInvalidCategory);
+}
+
+TEST(KbBuilderTest, DuplicateTitlesResolveToSameNode) {
+  KbBuilder builder;
+  ArticleId a = builder.AddArticle("Same");
+  ArticleId b = builder.AddArticle("Same");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(builder.NumArticles(), 1u);
+}
+
+TEST(KbBuilderTest, DuplicateEdgesDeduplicated) {
+  KbBuilder builder;
+  ArticleId a = builder.AddArticle("A");
+  ArticleId b = builder.AddArticle("B");
+  builder.AddArticleLink(a, b);
+  builder.AddArticleLink(a, b);
+  builder.AddArticleLink(a, b);
+  KnowledgeBase kb = std::move(builder).Build();
+  EXPECT_EQ(kb.OutLinks(a).size(), 1u);
+  EXPECT_EQ(kb.NumArticleLinks(), 1u);
+}
+
+TEST(KbBuilderTest, SelfLinksDropped) {
+  KbBuilder builder;
+  ArticleId a = builder.AddArticle("A");
+  builder.AddArticleLink(a, a);
+  CategoryId c = builder.AddCategory("C");
+  builder.AddCategoryLink(c, c);
+  KnowledgeBase kb = std::move(builder).Build();
+  EXPECT_EQ(kb.NumArticleLinks(), 0u);
+  EXPECT_EQ(kb.NumCategoryLinks(), 0u);
+}
+
+TEST(KnowledgeBaseTest, AdjacencyIsSorted) {
+  KbBuilder builder;
+  ArticleId a = builder.AddArticle("A");
+  // Insert out of order.
+  ArticleId z = builder.AddArticle("Z");
+  ArticleId m = builder.AddArticle("M");
+  ArticleId b = builder.AddArticle("B");
+  builder.AddArticleLink(a, z);
+  builder.AddArticleLink(a, b);
+  builder.AddArticleLink(a, m);
+  KnowledgeBase kb = std::move(builder).Build();
+  auto out = kb.OutLinks(a);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(KnowledgeBaseTest, EdgeExistenceChecks) {
+  KnowledgeBase kb = MakeSmallKb();
+  ArticleId cable = kb.FindArticle("Cable Car");
+  ArticleId funicular = kb.FindArticle("Funicular");
+  ArticleId tram = kb.FindArticle("Tram");
+  CategoryId transport = kb.FindCategory("Category:Transport");
+  CategoryId rail = kb.FindCategory("Category:Rail");
+
+  EXPECT_TRUE(kb.HasLink(cable, funicular));
+  EXPECT_TRUE(kb.HasLink(funicular, cable));
+  EXPECT_TRUE(kb.ReciprocallyLinked(cable, funicular));
+  EXPECT_TRUE(kb.HasLink(cable, tram));
+  EXPECT_FALSE(kb.HasLink(tram, cable));
+  EXPECT_FALSE(kb.ReciprocallyLinked(cable, tram));
+
+  EXPECT_TRUE(kb.HasMembership(cable, transport));
+  EXPECT_FALSE(kb.HasMembership(cable, rail));
+  EXPECT_TRUE(kb.HasCategoryLink(rail, transport));
+  EXPECT_FALSE(kb.HasCategoryLink(transport, rail));
+  EXPECT_TRUE(kb.CategoriesRelated(rail, transport));
+  EXPECT_TRUE(kb.CategoriesRelated(transport, rail));
+}
+
+TEST(KnowledgeBaseTest, ReverseAdjacencyConsistent) {
+  KnowledgeBase kb = MakeSmallKb();
+  ArticleId cable = kb.FindArticle("Cable Car");
+  ArticleId tram = kb.FindArticle("Tram");
+  CategoryId transport = kb.FindCategory("Category:Transport");
+  CategoryId rail = kb.FindCategory("Category:Rail");
+
+  // InLinks mirrors OutLinks.
+  auto in = kb.InLinks(tram);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], cable);
+
+  // ArticlesIn mirrors CategoriesOf.
+  auto members = kb.ArticlesIn(transport);
+  EXPECT_EQ(members.size(), 2u);
+  // ChildCategories mirrors ParentCategories.
+  auto children = kb.ChildCategories(transport);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], rail);
+}
+
+TEST(KnowledgeBaseTest, SnapshotRoundTripPreservesEverything) {
+  KnowledgeBase kb = MakeSmallKb();
+  std::string image = kb.SerializeToString();
+  auto loaded_or = KnowledgeBase::FromSnapshotString(std::move(image));
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const KnowledgeBase& loaded = loaded_or.value();
+
+  EXPECT_EQ(loaded.NumArticles(), kb.NumArticles());
+  EXPECT_EQ(loaded.NumCategories(), kb.NumCategories());
+  EXPECT_EQ(loaded.NumArticleLinks(), kb.NumArticleLinks());
+  EXPECT_EQ(loaded.NumMemberships(), kb.NumMemberships());
+  EXPECT_EQ(loaded.NumCategoryLinks(), kb.NumCategoryLinks());
+
+  for (size_t a = 0; a < kb.NumArticles(); ++a) {
+    ArticleId id = static_cast<ArticleId>(a);
+    EXPECT_EQ(loaded.ArticleTitle(id), kb.ArticleTitle(id));
+    auto lhs = kb.OutLinks(id), rhs = loaded.OutLinks(id);
+    EXPECT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end()));
+    auto lc = kb.CategoriesOf(id), rc = loaded.CategoriesOf(id);
+    EXPECT_TRUE(std::equal(lc.begin(), lc.end(), rc.begin(), rc.end()));
+    auto li = kb.InLinks(id), ri = loaded.InLinks(id);
+    EXPECT_TRUE(std::equal(li.begin(), li.end(), ri.begin(), ri.end()));
+  }
+}
+
+TEST(KnowledgeBaseTest, CorruptSnapshotRejected) {
+  KnowledgeBase kb = MakeSmallKb();
+  std::string image = kb.SerializeToString();
+  image[image.size() / 2] ^= 0x08;
+  auto loaded = KnowledgeBase::FromSnapshotString(std::move(image));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(KnowledgeBaseTest, SnapshotFileRoundTrip) {
+  const std::string path = "/tmp/sqe_kb_test_snapshot.bin";
+  KnowledgeBase kb = MakeSmallKb();
+  ASSERT_TRUE(kb.SaveToFile(path).ok());
+  auto loaded = KnowledgeBase::FromSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumArticles(), kb.NumArticles());
+  std::remove(path.c_str());
+}
+
+// ---- dump loader -----------------------------------------------------------
+
+constexpr char kDump[] =
+    "# comment line\n"
+    "article\tCable Car\n"
+    "article\tFunicular\n"
+    "category\tCategory:Transport\n"
+    "category\tCategory:Rail\n"
+    "\n"
+    "alink\tCable Car\tFunicular\n"
+    "alink\tFunicular\tCable Car\n"
+    "member\tCable Car\tCategory:Transport\n"
+    "member\tFunicular\tCategory:Rail\n"
+    "sublink\tCategory:Rail\tCategory:Transport\n";
+
+TEST(DumpLoaderTest, ParsesValidDump) {
+  auto kb_or = LoadDumpFromString(kDump);
+  ASSERT_TRUE(kb_or.ok()) << kb_or.status().ToString();
+  const KnowledgeBase& kb = kb_or.value();
+  EXPECT_EQ(kb.NumArticles(), 2u);
+  EXPECT_EQ(kb.NumCategories(), 2u);
+  EXPECT_TRUE(kb.ReciprocallyLinked(kb.FindArticle("Cable Car"),
+                                    kb.FindArticle("Funicular")));
+  EXPECT_TRUE(kb.HasCategoryLink(kb.FindCategory("Category:Rail"),
+                                 kb.FindCategory("Category:Transport")));
+}
+
+TEST(DumpLoaderTest, ForwardReferencesAllowedByDefault) {
+  // Edge references a node declared only implicitly.
+  auto kb = LoadDumpFromString("alink\tA\tB\n");
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ(kb.value().NumArticles(), 2u);
+}
+
+TEST(DumpLoaderTest, StrictModeRejectsUndeclared) {
+  DumpLoaderOptions options;
+  options.strict_declarations = true;
+  auto kb = LoadDumpFromString("article\tA\nalink\tA\tB\n", options);
+  ASSERT_FALSE(kb.ok());
+  EXPECT_TRUE(kb.status().IsInvalidArgument());
+}
+
+TEST(DumpLoaderTest, MalformedLinesRejectedWithLineNumbers) {
+  auto missing_field = LoadDumpFromString("article\n");
+  EXPECT_TRUE(missing_field.status().IsInvalidArgument());
+  EXPECT_NE(missing_field.status().message().find("line 1"),
+            std::string::npos);
+
+  auto bad_verb = LoadDumpFromString("article\tA\nbogus\tA\tB\n");
+  EXPECT_TRUE(bad_verb.status().IsInvalidArgument());
+  EXPECT_NE(bad_verb.status().message().find("line 2"), std::string::npos);
+
+  auto missing_dst = LoadDumpFromString("alink\tA\n");
+  EXPECT_TRUE(missing_dst.status().IsInvalidArgument());
+}
+
+TEST(DumpLoaderTest, RoundTripThroughWriter) {
+  auto kb_or = LoadDumpFromString(kDump);
+  ASSERT_TRUE(kb_or.ok());
+  std::string dumped = WriteDumpToString(kb_or.value());
+  auto reparsed = LoadDumpFromString(dumped,
+                                     DumpLoaderOptions{.strict_declarations =
+                                                           true});
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().NumArticles(), kb_or.value().NumArticles());
+  EXPECT_EQ(reparsed.value().NumArticleLinks(),
+            kb_or.value().NumArticleLinks());
+  EXPECT_EQ(reparsed.value().NumMemberships(),
+            kb_or.value().NumMemberships());
+}
+
+// ---- stats -------------------------------------------------------------------
+
+TEST(KbStatsTest, CountsMatchSmallKb) {
+  KnowledgeBase kb = MakeSmallKb();
+  KbStats stats = ComputeKbStats(kb);
+  EXPECT_EQ(stats.num_articles, 3u);
+  EXPECT_EQ(stats.num_categories, 2u);
+  EXPECT_EQ(stats.num_article_links, 3u);  // 2 reciprocal + 1 one-way
+  EXPECT_EQ(stats.num_reciprocal_pairs, 1u);
+  EXPECT_EQ(stats.num_memberships, 3u);
+  EXPECT_EQ(stats.num_category_links, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 1.0);
+  EXPECT_EQ(stats.num_isolated_articles, 0u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(KbStatsTest, IsolatedArticleCounted) {
+  KbBuilder builder;
+  builder.AddArticle("Lonely");
+  ArticleId a = builder.AddArticle("A");
+  ArticleId b = builder.AddArticle("B");
+  builder.AddArticleLink(a, b);
+  KnowledgeBase kb = std::move(builder).Build();
+  EXPECT_EQ(ComputeKbStats(kb).num_isolated_articles, 1u);
+}
+
+}  // namespace
+}  // namespace sqe::kb

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "prf/relevance_model.h"
+#include "retrieval/retriever.h"
+
+namespace sqe::prf {
+namespace {
+
+index::InvertedIndex MakeIndex() {
+  index::IndexBuilder builder;
+  // A small collection with an obvious "cable" topic: feedback docs for a
+  // "cable" query share the terms "railway" and "hill".
+  builder.AddDocument("d0", {"cable", "railway", "hill", "hill"});
+  builder.AddDocument("d1", {"cable", "railway", "transport"});
+  builder.AddDocument("d2", {"cable", "hill", "railway"});
+  builder.AddDocument("d3", {"graffiti", "wall", "art"});
+  builder.AddDocument("d4", {"noise", "unrelated", "words"});
+  return std::move(builder).Build();
+}
+
+TEST(PrfTest, RelevanceModelPicksFeedbackTerms) {
+  index::InvertedIndex index = MakeIndex();
+  retrieval::Retriever retriever(&index);
+  PrfOptions options;
+  options.feedback_docs = 3;
+  options.expansion_terms = 3;
+  PrfExpander prf(&retriever, options);
+
+  retrieval::Query q = retrieval::Query::FromTerms({"cable"});
+  retrieval::ResultList initial = retriever.Retrieve(q, 3);
+  auto model = prf.EstimateRelevanceModel(q, initial);
+  ASSERT_EQ(model.size(), 3u);
+  // The dominant feedback terms must be from the cable docs.
+  for (const WeightedTerm& wt : model) {
+    EXPECT_TRUE(wt.term == "cable" || wt.term == "railway" ||
+                wt.term == "hill" || wt.term == "transport")
+        << wt.term;
+    EXPECT_GT(wt.weight, 0.0);
+  }
+  // Weights are descending.
+  for (size_t i = 1; i < model.size(); ++i) {
+    EXPECT_GE(model[i - 1].weight, model[i].weight);
+  }
+}
+
+TEST(PrfTest, ReformulatePureRmDropsOriginal) {
+  index::InvertedIndex index = MakeIndex();
+  retrieval::Retriever retriever(&index);
+  PrfExpander prf(&retriever);  // original_weight = 0
+
+  retrieval::Query q = retrieval::Query::FromTerms({"cable"});
+  std::vector<WeightedTerm> model = {{"railway", 0.6}, {"hill", 0.4}};
+  retrieval::Query reformulated = prf.Reformulate(q, model);
+  ASSERT_EQ(reformulated.clauses.size(), 1u);
+  ASSERT_EQ(reformulated.clauses[0].atoms.size(), 2u);
+  EXPECT_EQ(reformulated.clauses[0].atoms[0].terms[0], "railway");
+  EXPECT_DOUBLE_EQ(reformulated.clauses[0].atoms[0].weight, 0.6);
+}
+
+TEST(PrfTest, ReformulateInterpolatesWithOriginal) {
+  index::InvertedIndex index = MakeIndex();
+  retrieval::Retriever retriever(&index);
+  PrfOptions options;
+  options.original_weight = 0.7;
+  PrfExpander prf(&retriever, options);
+
+  retrieval::Query q = retrieval::Query::FromTerms({"cable"});
+  std::vector<WeightedTerm> model = {{"railway", 1.0}};
+  retrieval::Query reformulated = prf.Reformulate(q, model);
+  ASSERT_EQ(reformulated.clauses.size(), 2u);
+  EXPECT_NEAR(reformulated.clauses[0].weight, 0.7, 1e-12);
+  EXPECT_NEAR(reformulated.clauses[1].weight, 0.3, 1e-12);
+}
+
+TEST(PrfTest, EmptyModelFallsBackToOriginal) {
+  index::InvertedIndex index = MakeIndex();
+  retrieval::Retriever retriever(&index);
+  PrfExpander prf(&retriever);
+  retrieval::Query q = retrieval::Query::FromTerms({"cable"});
+  retrieval::Query reformulated = prf.Reformulate(q, {});
+  EXPECT_EQ(reformulated.NumAtoms(), q.NumAtoms());
+}
+
+TEST(PrfTest, EstimateWithEmptyResultsIsEmpty) {
+  index::InvertedIndex index = MakeIndex();
+  retrieval::Retriever retriever(&index);
+  PrfExpander prf(&retriever);
+  retrieval::Query q = retrieval::Query::FromTerms({"cable"});
+  EXPECT_TRUE(prf.EstimateRelevanceModel(q, {}).empty());
+}
+
+TEST(PrfTest, ExpandAndRetrieveFindsTopicNeighbors) {
+  index::InvertedIndex index = MakeIndex();
+  retrieval::Retriever retriever(&index);
+  PrfOptions options;
+  options.feedback_docs = 2;
+  options.expansion_terms = 4;
+  PrfExpander prf(&retriever, options);
+
+  // PRF on "hill": feedback docs (d0, d2) contain railway and cable; the
+  // reformulated query must still rank the cable-topic docs at the top.
+  retrieval::Query q = retrieval::Query::FromTerms({"hill"});
+  retrieval::ResultList results = prf.ExpandAndRetrieve(q, 5);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].doc <= 2) << "top doc should be a cable-topic doc";
+  EXPECT_TRUE(results[1].doc <= 2);
+  EXPECT_TRUE(results[2].doc <= 2);
+}
+
+TEST(PrfTest, FeedbackDocWeightsFollowScores) {
+  // With two feedback docs where one scores far higher, its terms dominate
+  // the relevance model.
+  index::IndexBuilder builder;
+  builder.AddDocument("strong", {"query", "query", "query", "alpha"});
+  builder.AddDocument("weak", {"query", "beta", "filler", "filler", "filler",
+                               "filler", "filler", "filler"});
+  index::InvertedIndex index = std::move(builder).Build();
+  retrieval::Retriever retriever(&index);
+  PrfOptions options;
+  options.feedback_docs = 2;
+  options.expansion_terms = 10;
+  PrfExpander prf(&retriever, options);
+
+  retrieval::Query q = retrieval::Query::FromTerms({"query"});
+  auto model = prf.EstimateRelevanceModel(q, retriever.Retrieve(q, 2));
+  double alpha_weight = 0.0, beta_weight = 0.0;
+  for (const WeightedTerm& wt : model) {
+    if (wt.term == "alpha") alpha_weight = wt.weight;
+    if (wt.term == "beta") beta_weight = wt.weight;
+  }
+  EXPECT_GT(alpha_weight, beta_weight);
+}
+
+}  // namespace
+}  // namespace sqe::prf

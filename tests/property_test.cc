@@ -1,0 +1,411 @@
+// Property-based suites: randomized (seeded, reproducible) invariants that
+// complement the example-based unit tests — round-trips, cross-checks
+// against brute-force oracles, and validator sweeps over generated worlds.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cycle_enumerator.h"
+#include "common/random.h"
+#include "eval/ttest.h"
+#include "index/inverted_index.h"
+#include "io/coding.h"
+#include "io/file.h"
+#include "kb/kb_builder.h"
+#include "retrieval/phrase_matcher.h"
+#include "retrieval/retriever.h"
+#include "sqe/motif_finder.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+// ---- io: randomized round-trips ------------------------------------------------
+
+class CodingFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodingFuzz, RandomStreamsRoundTrip) {
+  Rng rng(GetParam());
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 200; ++i) {
+    // Mix magnitudes: small, medium, huge.
+    int shift = static_cast<int>(rng.NextBounded(64));
+    uint64_t v = rng.NextU64() >> shift;
+    values.push_back(v);
+    io::PutVarint64(&buf, v);
+  }
+  std::string_view in(buf);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(io::GetVarint64(&in, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST_P(CodingFuzz, RandomBytesNeverCrashDecoder) {
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int round = 0; round < 50; ++round) {
+    std::string garbage;
+    size_t len = rng.NextBounded(64);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    // Decoding must either succeed or fail cleanly; no UB, no crash.
+    std::string_view in(garbage);
+    uint64_t v64;
+    (void)io::GetVarint64(&in, &v64);
+    std::string_view in2(garbage);
+    std::string_view piece;
+    (void)io::GetLengthPrefixed(&in2, &piece);
+    auto snapshot = io::SnapshotReader::Open(garbage, 0xABCD);
+    if (snapshot.ok()) {
+      // Astronomically unlikely; but if parsed, blocks must be readable.
+      (void)snapshot.value().BlockNames();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodingFuzz, ::testing::Values(1u, 2u, 3u));
+
+// ---- kb: random graph round-trip + reverse-adjacency oracle ---------------------
+
+class KbRandomGraph : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KbRandomGraph, SnapshotRoundTripAndReverseConsistency) {
+  Rng rng(GetParam());
+  kb::KbBuilder builder;
+  const size_t num_articles = 40 + rng.NextBounded(60);
+  const size_t num_categories = 10 + rng.NextBounded(20);
+  for (size_t i = 0; i < num_articles; ++i) {
+    builder.AddArticle("A" + std::to_string(i));
+  }
+  for (size_t i = 0; i < num_categories; ++i) {
+    builder.AddCategory("C" + std::to_string(i));
+  }
+  std::set<std::pair<uint32_t, uint32_t>> links;
+  for (int i = 0; i < 400; ++i) {
+    auto from = static_cast<kb::ArticleId>(rng.NextBounded(num_articles));
+    auto to = static_cast<kb::ArticleId>(rng.NextBounded(num_articles));
+    builder.AddArticleLink(from, to);
+    if (from != to) links.insert({from, to});
+    builder.AddMembership(
+        static_cast<kb::ArticleId>(rng.NextBounded(num_articles)),
+        static_cast<kb::CategoryId>(rng.NextBounded(num_categories)));
+  }
+  kb::KnowledgeBase kb = std::move(builder).Build();
+
+  // Link multiset matches the oracle exactly (dedup + self-drop applied).
+  EXPECT_EQ(kb.NumArticleLinks(), links.size());
+  for (const auto& [from, to] : links) {
+    EXPECT_TRUE(kb.HasLink(from, to));
+  }
+
+  // Reverse adjacency is the exact transpose.
+  for (size_t a = 0; a < num_articles; ++a) {
+    for (kb::ArticleId to : kb.OutLinks(static_cast<kb::ArticleId>(a))) {
+      auto in = kb.InLinks(to);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(),
+                                     static_cast<kb::ArticleId>(a)));
+    }
+  }
+  // Membership transpose.
+  for (size_t a = 0; a < num_articles; ++a) {
+    for (kb::CategoryId c : kb.CategoriesOf(static_cast<kb::ArticleId>(a))) {
+      auto members = kb.ArticlesIn(c);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(),
+                                     static_cast<kb::ArticleId>(a)));
+    }
+  }
+
+  // Snapshot round-trip preserves the whole graph.
+  auto loaded = kb::KnowledgeBase::FromSnapshotString(kb.SerializeToString());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumArticleLinks(), kb.NumArticleLinks());
+  EXPECT_EQ(loaded.value().NumMemberships(), kb.NumMemberships());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KbRandomGraph,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---- index/retrieval: brute-force oracles ----------------------------------------
+
+class RetrievalOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RetrievalOracle, PhraseMatcherAgainstBruteForce) {
+  Rng rng(GetParam());
+  const std::vector<std::string> vocab = {"a", "b", "c", "d", "e"};
+  index::IndexBuilder builder;
+  std::vector<std::vector<std::string>> docs;
+  for (int d = 0; d < 60; ++d) {
+    std::vector<std::string> terms;
+    size_t len = 3 + rng.NextBounded(15);
+    for (size_t i = 0; i < len; ++i) {
+      terms.push_back(vocab[rng.NextBounded(vocab.size())]);
+    }
+    builder.AddDocument("d" + std::to_string(d), terms);
+    docs.push_back(std::move(terms));
+  }
+  index::InvertedIndex index = std::move(builder).Build();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 2 + rng.NextBounded(2);  // bigrams and trigrams
+    std::vector<std::string> phrase;
+    std::vector<text::TermId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      phrase.push_back(vocab[rng.NextBounded(vocab.size())]);
+      ids.push_back(index.LookupTerm(phrase.back()));
+    }
+    retrieval::PhrasePostings pp = retrieval::MatchPhrase(index, ids);
+
+    // Brute force over the raw documents.
+    std::map<index::DocId, uint32_t> oracle;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      uint32_t count = 0;
+      for (size_t start = 0; start + n <= docs[d].size(); ++start) {
+        bool match = true;
+        for (size_t i = 0; i < n; ++i) {
+          if (docs[d][start + i] != phrase[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) ++count;
+      }
+      if (count > 0) oracle[static_cast<index::DocId>(d)] = count;
+    }
+
+    ASSERT_EQ(pp.docs.size(), oracle.size());
+    for (size_t i = 0; i < pp.docs.size(); ++i) {
+      EXPECT_EQ(pp.freqs[i], oracle[pp.docs[i]]);
+    }
+  }
+}
+
+TEST_P(RetrievalOracle, RetrieveIsExhaustiveTopK) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const std::vector<std::string> vocab = {"x", "y", "z", "w", "v", "u"};
+  index::IndexBuilder builder;
+  for (int d = 0; d < 50; ++d) {
+    std::vector<std::string> terms;
+    size_t len = 2 + rng.NextBounded(10);
+    for (size_t i = 0; i < len; ++i) {
+      terms.push_back(vocab[rng.NextBounded(vocab.size())]);
+    }
+    builder.AddDocument("d" + std::to_string(d), terms);
+  }
+  index::InvertedIndex index = std::move(builder).Build();
+  retrieval::Retriever retriever(&index);
+
+  retrieval::Query q = retrieval::Query::FromTerms({"x", "y"});
+  retrieval::ResultList top = retriever.Retrieve(q, 10);
+  ASSERT_EQ(top.size(), 10u);
+  // Every doc outside the top-k scores no better than the k-th.
+  std::set<index::DocId> in_top;
+  for (const auto& sd : top) in_top.insert(sd.doc);
+  double kth = top.back().score;
+  for (index::DocId d = 0; d < 50; ++d) {
+    if (!in_top.contains(d)) {
+      EXPECT_LE(retriever.ScoreDocument(q, d), kth + 1e-12);
+    }
+  }
+  // Scores descend.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetrievalOracle,
+                         ::testing::Values(5u, 6u, 7u));
+
+// ---- sqe: motif validator over the generated world --------------------------------
+
+TEST(MotifValidatorTest, EveryMatchSatisfiesTheDefinition) {
+  // Post-hoc validation of the finder against the raw KB predicates, over
+  // a generated world (which contains genuine carriers, noise links AND
+  // spurious twins).
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  const kb::KnowledgeBase& kb = world.kb;
+  expansion::MotifFinder finder(&kb);
+
+  size_t triangles = 0, squares = 0;
+  for (uint32_t ci = 0; ci < world.NumConcepts(); ci += 2) {
+    kb::ArticleId q = world.concepts[ci].article;
+    for (const expansion::TriangularMatch& m : finder.FindTriangular(q)) {
+      ASSERT_TRUE(kb.ReciprocallyLinked(m.query_node, m.expansion_node));
+      ASSERT_TRUE(kb.HasMembership(m.query_node, m.shared_category));
+      ASSERT_TRUE(kb.HasMembership(m.expansion_node, m.shared_category));
+      // Category superset condition.
+      for (kb::CategoryId c : kb.CategoriesOf(m.query_node)) {
+        ASSERT_TRUE(kb.HasMembership(m.expansion_node, c));
+      }
+      ++triangles;
+    }
+    for (const expansion::SquareMatch& m : finder.FindSquare(q)) {
+      ASSERT_TRUE(kb.ReciprocallyLinked(m.query_node, m.expansion_node));
+      ASSERT_TRUE(kb.HasMembership(m.query_node, m.query_category));
+      ASSERT_TRUE(kb.HasMembership(m.expansion_node, m.expansion_category));
+      ASSERT_NE(m.query_category, m.expansion_category);
+      ASSERT_TRUE(
+          kb.CategoriesRelated(m.query_category, m.expansion_category));
+      ++squares;
+    }
+  }
+  EXPECT_GT(triangles, 50u);
+  EXPECT_GT(squares, 50u);
+}
+
+TEST(MotifValidatorTest, FinderIsExhaustiveAgainstBruteForce) {
+  // Brute-force enumeration over all reciprocal pairs must agree with the
+  // finder on which (q, a) pairs carry a triangular motif.
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  const kb::KnowledgeBase& kb = world.kb;
+  expansion::MotifFinder finder(&kb);
+
+  for (uint32_t ci = 0; ci < std::min<size_t>(world.NumConcepts(), 60);
+       ++ci) {
+    kb::ArticleId q = world.concepts[ci].article;
+    std::set<kb::ArticleId> found;
+    for (const auto& m : finder.FindTriangular(q)) {
+      found.insert(m.expansion_node);
+    }
+    std::set<kb::ArticleId> oracle;
+    auto q_cats = kb.CategoriesOf(q);
+    if (!q_cats.empty()) {
+      for (size_t a = 0; a < kb.NumArticles(); ++a) {
+        kb::ArticleId candidate = static_cast<kb::ArticleId>(a);
+        if (candidate == q || !kb.ReciprocallyLinked(q, candidate)) continue;
+        bool superset = true;
+        for (kb::CategoryId c : q_cats) {
+          if (!kb.HasMembership(candidate, c)) {
+            superset = false;
+            break;
+          }
+        }
+        if (superset) oracle.insert(candidate);
+      }
+    }
+    EXPECT_EQ(found, oracle) << "query concept " << ci;
+  }
+}
+
+// ---- analysis: cycle enumeration vs brute force -----------------------------------
+
+TEST(CycleOracleTest, EnumerationMatchesBruteForceOnRandomGraphs) {
+  Rng rng(404);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random small article-only graph (undirected via reciprocal links).
+    kb::KbBuilder builder;
+    const size_t n = 6;
+    for (size_t i = 0; i < n; ++i) builder.AddArticle("N" + std::to_string(i));
+    std::vector<std::pair<size_t, size_t>> edges;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (rng.NextBool(0.45)) {
+          builder.AddReciprocalLink(static_cast<kb::ArticleId>(i),
+                                    static_cast<kb::ArticleId>(j));
+          edges.emplace_back(i, j);
+        }
+      }
+    }
+    kb::KnowledgeBase kb = std::move(builder).Build();
+    std::vector<kb::NodeRef> nodes;
+    for (size_t i = 0; i < n; ++i) {
+      nodes.push_back(kb::NodeRef::Article(static_cast<kb::ArticleId>(i)));
+    }
+    analysis::InducedSubgraph graph(kb, nodes);
+
+    auto adjacent = [&](size_t a, size_t b) {
+      for (const auto& [x, y] : edges) {
+        if ((x == a && y == b) || (x == b && y == a)) return true;
+      }
+      return false;
+    };
+
+    // Brute force: count distinct 3-cycles through node 0.
+    size_t oracle3 = 0;
+    for (size_t a = 1; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        if (adjacent(0, a) && adjacent(a, b) && adjacent(b, 0)) ++oracle3;
+      }
+    }
+    EXPECT_EQ(analysis::EnumerateCyclesThrough(graph, 0, 3).size(), oracle3);
+
+    // Brute force: 4-cycles through node 0 (a != b != c, direction-deduped).
+    size_t oracle4 = 0;
+    for (size_t a = 1; a < n; ++a) {
+      for (size_t b = 1; b < n; ++b) {
+        for (size_t c = 1; c < n; ++c) {
+          if (a == b || b == c || a == c) continue;
+          if (a < c && adjacent(0, a) && adjacent(a, b) && adjacent(b, c) &&
+              adjacent(c, 0)) {
+            ++oracle4;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(analysis::EnumerateCyclesThrough(graph, 0, 4).size(), oracle4);
+  }
+}
+
+// ---- eval: t-test vs normal approximation -----------------------------------------
+
+TEST(TTestPropertyTest, LargeSampleMatchesNormalApproximation) {
+  Rng rng(777);
+  const size_t n = 2000;
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double base = rng.NextGaussian(0.5, 0.1);
+    a[i] = base + rng.NextGaussian(0.02, 0.05);
+    b[i] = base;
+  }
+  eval::TTestResult result = eval::PairedTTest(a, b);
+  // z = mean / (sd/sqrt(n)); two-sided normal p via erfc.
+  double mean = 0, ss = 0;
+  for (size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    double d = (a[i] - b[i]) - mean;
+    ss += d * d;
+  }
+  double se = std::sqrt(ss / static_cast<double>(n - 1) /
+                        static_cast<double>(n));
+  double z = mean / se;
+  double normal_p = std::erfc(std::fabs(z) / std::sqrt(2.0));
+  EXPECT_NEAR(result.p_value, normal_p, 1e-3 + normal_p * 0.05);
+}
+
+// ---- end-to-end determinism ---------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalRankings) {
+  synth::World w1 = synth::World::Generate(synth::TinyWorldOptions());
+  synth::World w2 = synth::World::Generate(synth::TinyWorldOptions());
+  synth::Dataset d1 = synth::BuildDataset(w1, synth::TinyDatasetSpec());
+  synth::Dataset d2 = synth::BuildDataset(w2, synth::TinyDatasetSpec());
+
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = d1.retrieval_mu;
+  expansion::SqeEngine e1(&w1.kb, &d1.index, d1.linker.get(), &d1.analyzer(),
+                          config);
+  expansion::SqeEngine e2(&w2.kb, &d2.index, d2.linker.get(), &d2.analyzer(),
+                          config);
+  for (size_t qi = 0; qi < d1.NumQueries(); ++qi) {
+    const auto& q1 = d1.query_set.queries[qi];
+    const auto& q2 = d2.query_set.queries[qi];
+    ASSERT_EQ(q1.text, q2.text);
+    auto r1 = e1.RunSqeC(q1.text, q1.true_entities, 50);
+    auto r2 = e2.RunSqeC(q2.text, q2.true_entities, 50);
+    ASSERT_EQ(r1.results.size(), r2.results.size());
+    for (size_t i = 0; i < r1.results.size(); ++i) {
+      EXPECT_EQ(r1.results[i].doc, r2.results[i].doc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqe

@@ -1,0 +1,256 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "retrieval/phrase_matcher.h"
+#include "retrieval/query.h"
+#include "retrieval/retriever.h"
+
+namespace sqe::retrieval {
+namespace {
+
+index::InvertedIndex MakeIndex() {
+  index::IndexBuilder builder;
+  builder.AddDocument("d0", {"cable", "car", "cable", "car", "hill"});
+  builder.AddDocument("d1", {"funicular", "railway", "cable"});
+  builder.AddDocument("d2", {"car", "cable", "graffiti"});  // reversed order
+  builder.AddDocument("d3", {"noise", "words", "only", "here"});
+  return std::move(builder).Build();
+}
+
+// ---- Query structure ---------------------------------------------------------
+
+TEST(QueryTest, FromTermsBuildsSingleClause) {
+  Query q = Query::FromTerms({"a", "b"});
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0].atoms.size(), 2u);
+  EXPECT_EQ(q.NumAtoms(), 2u);
+  EXPECT_FALSE(q.Empty());
+  EXPECT_TRUE(Query::FromTerms({}).Empty());
+}
+
+TEST(QueryTest, ToStringRendersWeightsAndPhrases) {
+  Query q;
+  Clause clause;
+  clause.weight = 2.0;
+  clause.atoms.push_back(Atom::Term("cable"));
+  clause.atoms.push_back(Atom::Phrase({"cable", "car"}, 3.0));
+  q.clauses.push_back(clause);
+  std::string rendered = q.ToString();
+  EXPECT_NE(rendered.find("#1(cable car)"), std::string::npos);
+  EXPECT_NE(rendered.find("2.000"), std::string::npos);
+  EXPECT_NE(rendered.find("3.000"), std::string::npos);
+}
+
+// ---- Phrase matching -----------------------------------------------------------
+
+TEST(PhraseMatcherTest, ExactAdjacencyOnly) {
+  index::InvertedIndex index = MakeIndex();
+  std::vector<text::TermId> ids = {index.LookupTerm("cable"),
+                                   index.LookupTerm("car")};
+  PhrasePostings pp = MatchPhrase(index, ids);
+  // "cable car" occurs twice in d0, zero times in d2 ("car cable").
+  ASSERT_EQ(pp.docs.size(), 1u);
+  EXPECT_EQ(pp.docs[0], 0u);
+  EXPECT_EQ(pp.freqs[0], 2u);
+  EXPECT_EQ(pp.collection_frequency, 2u);
+}
+
+TEST(PhraseMatcherTest, MissingConstituentYieldsEmpty) {
+  index::InvertedIndex index = MakeIndex();
+  std::vector<text::TermId> ids = {index.LookupTerm("cable"),
+                                   text::kInvalidTermId};
+  PhrasePostings pp = MatchPhrase(index, ids);
+  EXPECT_TRUE(pp.docs.empty());
+  EXPECT_EQ(pp.collection_frequency, 0u);
+}
+
+TEST(PhraseMatcherTest, TrigramMatch) {
+  index::IndexBuilder builder;
+  builder.AddDocument("d0", {"a", "b", "c", "x", "a", "b", "c"});
+  builder.AddDocument("d1", {"a", "b", "x", "c"});
+  index::InvertedIndex index = std::move(builder).Build();
+  std::vector<text::TermId> ids = {index.LookupTerm("a"),
+                                   index.LookupTerm("b"),
+                                   index.LookupTerm("c")};
+  PhrasePostings pp = MatchPhrase(index, ids);
+  ASSERT_EQ(pp.docs.size(), 1u);
+  EXPECT_EQ(pp.freqs[0], 2u);
+}
+
+TEST(PhraseMatcherTest, RepeatedTermPhrase) {
+  index::IndexBuilder builder;
+  builder.AddDocument("d0", {"la", "la", "land"});
+  index::InvertedIndex index = std::move(builder).Build();
+  std::vector<text::TermId> ids = {index.LookupTerm("la"),
+                                   index.LookupTerm("la")};
+  PhrasePostings pp = MatchPhrase(index, ids);
+  ASSERT_EQ(pp.docs.size(), 1u);
+  EXPECT_EQ(pp.freqs[0], 1u);  // only positions (0,1) are adjacent
+}
+
+// ---- Scoring math ---------------------------------------------------------------
+
+TEST(RetrieverTest, SingleTermScoreMatchesDirichletFormula) {
+  index::InvertedIndex index = MakeIndex();
+  RetrieverOptions options;
+  options.mu = 100.0;
+  Retriever retriever(&index, options);
+
+  Query q = Query::FromTerms({"cable"});
+  // tf("cable", d0)=2, |d0|=5, ctf=4, |C|=15.
+  const double p_c = 4.0 / 15.0;
+  const double expected =
+      std::log((2.0 + options.mu * p_c) / (5.0 + options.mu));
+  EXPECT_NEAR(retriever.ScoreDocument(q, 0), expected, 1e-12);
+
+  // Non-matching doc gets pure background.
+  const double bg = std::log((0.0 + options.mu * p_c) / (4.0 + options.mu));
+  EXPECT_NEAR(retriever.ScoreDocument(q, 3), bg, 1e-12);
+}
+
+TEST(RetrieverTest, WeightsNormalizeAcrossClauses) {
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+
+  // Two formulations that must be equivalent: one clause with weight 10 and
+  // the same clause with weight 1 (weights normalize).
+  Query q1, q2;
+  {
+    Clause c;
+    c.weight = 10.0;
+    c.atoms.push_back(Atom::Term("cable"));
+    q1.clauses.push_back(c);
+  }
+  {
+    Clause c;
+    c.weight = 1.0;
+    c.atoms.push_back(Atom::Term("cable"));
+    q2.clauses.push_back(c);
+  }
+  for (index::DocId d = 0; d < 4; ++d) {
+    EXPECT_NEAR(retriever.ScoreDocument(q1, d), retriever.ScoreDocument(q2, d),
+                1e-12);
+  }
+}
+
+TEST(RetrieverTest, TwoClauseScoreIsWeightedSum) {
+  index::InvertedIndex index = MakeIndex();
+  RetrieverOptions options;
+  options.mu = 50.0;
+  Retriever retriever(&index, options);
+
+  Query cable = Query::FromTerms({"cable"});
+  Query car = Query::FromTerms({"car"});
+  Query both;
+  {
+    Clause c1;
+    c1.weight = 3.0;
+    c1.atoms.push_back(Atom::Term("cable"));
+    Clause c2;
+    c2.weight = 1.0;
+    c2.atoms.push_back(Atom::Term("car"));
+    both.clauses.push_back(c1);
+    both.clauses.push_back(c2);
+  }
+  for (index::DocId d = 0; d < 4; ++d) {
+    double expected = 0.75 * retriever.ScoreDocument(cable, d) +
+                      0.25 * retriever.ScoreDocument(car, d);
+    EXPECT_NEAR(retriever.ScoreDocument(both, d), expected, 1e-12);
+  }
+}
+
+TEST(RetrieverTest, RetrieveRanksMatchingDocsFirst) {
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+  ResultList results = retriever.Retrieve(Query::FromTerms({"cable"}), 4);
+  ASSERT_EQ(results.size(), 4u);
+  // d0 has tf 2; d1 and d2 tf 1; d3 none → last.
+  EXPECT_EQ(results[0].doc, 0u);
+  EXPECT_EQ(results[3].doc, 3u);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST(RetrieverTest, RetrieveMatchesScoreDocument) {
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+  Query q;
+  Clause clause;
+  clause.atoms.push_back(Atom::Term("cable"));
+  clause.atoms.push_back(Atom::Phrase({"cable", "car"}, 2.0));
+  q.clauses.push_back(clause);
+
+  ResultList results = retriever.Retrieve(q, 4);
+  for (const ScoredDoc& sd : results) {
+    EXPECT_NEAR(sd.score, retriever.ScoreDocument(q, sd.doc), 1e-9);
+  }
+}
+
+TEST(RetrieverTest, TiesBreakByDocId) {
+  index::IndexBuilder builder;
+  builder.AddDocument("a", {"same", "len"});
+  builder.AddDocument("b", {"same", "len"});
+  index::InvertedIndex index = std::move(builder).Build();
+  Retriever retriever(&index);
+  ResultList results = retriever.Retrieve(Query::FromTerms({"same"}), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc, 0u);
+  EXPECT_EQ(results[1].doc, 1u);
+}
+
+TEST(RetrieverTest, EmptyAndUnknownQueries) {
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+  EXPECT_TRUE(retriever.Retrieve(Query{}, 10).empty());
+  // A query of only unknown terms still ranks (background only): shortest
+  // docs first.
+  ResultList results = retriever.Retrieve(Query::FromTerms({"zzzz"}), 4);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].doc, 1u);  // |d1| = 3 is the shortest
+}
+
+TEST(RetrieverTest, KLargerThanCollectionClamps) {
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+  ResultList results = retriever.Retrieve(Query::FromTerms({"cable"}), 100);
+  EXPECT_EQ(results.size(), 4u);
+}
+
+TEST(RetrieverTest, ZeroWeightAtomsIgnored) {
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+  Query q;
+  Clause clause;
+  clause.atoms.push_back(Atom::Term("cable", 1.0));
+  clause.atoms.push_back(Atom::Term("graffiti", 0.0));  // ignored
+  q.clauses.push_back(clause);
+  Query plain = Query::FromTerms({"cable"});
+  for (index::DocId d = 0; d < 4; ++d) {
+    EXPECT_NEAR(retriever.ScoreDocument(q, d),
+                retriever.ScoreDocument(plain, d), 1e-12);
+  }
+}
+
+class TopKSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKSweepTest, PrefixStability) {
+  // The top-k list must be a prefix of the top-(k+n) list.
+  index::InvertedIndex index = MakeIndex();
+  Retriever retriever(&index);
+  Query q = Query::FromTerms({"cable", "car"});
+  const size_t k = GetParam();
+  ResultList small = retriever.Retrieve(q, k);
+  ResultList large = retriever.Retrieve(q, 4);
+  ASSERT_LE(small.size(), large.size());
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].doc, large[i].doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKSweepTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace sqe::retrieval

@@ -1,0 +1,320 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "kb/kb_stats.h"
+#include "sqe/motif_finder.h"
+#include "synth/collection.h"
+#include "synth/dataset.h"
+#include "synth/query_gen.h"
+#include "synth/wordgen.h"
+#include "text/porter_stemmer.h"
+#include "synth/world.h"
+
+namespace sqe::synth {
+namespace {
+
+const World& TestWorld() {
+  static const World& world =
+      *new World(World::Generate(TinyWorldOptions()));
+  return world;
+}
+
+// ---- word generator ----------------------------------------------------------
+
+TEST(WordGeneratorTest, WordsAreUniqueAndDeterministic) {
+  WordGenerator a(7), b(7);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::string wa = a.NextWord();
+    EXPECT_EQ(wa, b.NextWord());
+    EXPECT_TRUE(seen.insert(wa).second) << "duplicate: " << wa;
+    EXPECT_GE(wa.size(), 2u);
+  }
+  EXPECT_EQ(a.NumGenerated(), 500u);
+}
+
+TEST(WordGeneratorTest, WordsAreStemStable) {
+  // Every generated word must equal its own Porter stem so document, query
+  // and title term spaces line up.
+  WordGenerator gen(11);
+  for (int i = 0; i < 300; ++i) {
+    std::string w = gen.NextWord();
+    EXPECT_EQ(text::PorterStem(w), w) << w;
+  }
+}
+
+// ---- world ----------------------------------------------------------------------
+
+TEST(WorldTest, DeterministicForSameSeed) {
+  World a = World::Generate(TinyWorldOptions());
+  World b = World::Generate(TinyWorldOptions());
+  ASSERT_EQ(a.NumConcepts(), b.NumConcepts());
+  EXPECT_EQ(a.kb.NumArticles(), b.kb.NumArticles());
+  EXPECT_EQ(a.kb.NumArticleLinks(), b.kb.NumArticleLinks());
+  for (size_t i = 0; i < a.NumConcepts(); i += 7) {
+    EXPECT_EQ(a.concepts[i].name_terms, b.concepts[i].name_terms);
+    EXPECT_EQ(a.concepts[i].group, b.concepts[i].group);
+  }
+}
+
+TEST(WorldTest, ConceptsMapToArticles) {
+  const World& world = TestWorld();
+  for (uint32_t ci = 0; ci < world.NumConcepts(); ++ci) {
+    const Concept& c = world.concepts[ci];
+    EXPECT_LT(c.article, world.kb.NumArticles());
+    EXPECT_EQ(world.ConceptOf(c.article), ci);
+    EXPECT_FALSE(c.name_terms.empty());
+    EXPECT_FALSE(c.query_alias.empty());
+    EXPECT_FALSE(world.kb.CategoriesOf(c.article).empty());
+  }
+  EXPECT_EQ(world.ConceptOf(UINT32_MAX), UINT32_MAX);
+}
+
+TEST(WorldTest, GroupMembersShareCategoryProfiles) {
+  const World& world = TestWorld();
+  size_t checked = 0;
+  for (const auto& members : world.group_members) {
+    if (members.size() < 2) continue;
+    // Group members were *created* with identical profiles; spurious-twin
+    // pollution can only add categories, so the original profile of the
+    // group (intersection) stays shared. Verify same cluster membership.
+    for (size_t i = 1; i < members.size(); ++i) {
+      EXPECT_EQ(world.concepts[members[i]].cluster,
+                world.concepts[members[0]].cluster);
+      EXPECT_EQ(world.concepts[members[i]].group,
+                world.concepts[members[0]].group);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(WorldTest, TriangularCarriersExist) {
+  // Motif matching on the generated world must find same-group partners.
+  const World& world = TestWorld();
+  expansion::MotifFinder finder(&world.kb);
+  size_t with_triangles = 0;
+  for (uint32_t ci = 0; ci < world.NumConcepts(); ci += 3) {
+    auto matches = finder.FindTriangular(world.concepts[ci].article);
+    if (!matches.empty()) ++with_triangles;
+  }
+  EXPECT_GT(with_triangles, world.NumConcepts() / 12);
+}
+
+TEST(WorldTest, SquareCarriersExist) {
+  const World& world = TestWorld();
+  expansion::MotifFinder finder(&world.kb);
+  size_t with_squares = 0;
+  for (uint32_t ci = 0; ci < world.NumConcepts(); ci += 3) {
+    if (!finder.FindSquare(world.concepts[ci].article).empty()) {
+      ++with_squares;
+    }
+  }
+  EXPECT_GT(with_squares, world.NumConcepts() / 12);
+}
+
+TEST(WorldTest, ReciprocalLinksPresent) {
+  const World& world = TestWorld();
+  kb::KbStats stats = kb::ComputeKbStats(world.kb);
+  EXPECT_GT(stats.num_reciprocal_pairs, world.NumConcepts());
+}
+
+TEST(WorldTest, VocabulariesAreDisjointWhereRequired) {
+  const World& world = TestWorld();
+  std::unordered_set<std::string> english;
+  for (const auto& pool : world.topic_terms) {
+    english.insert(pool.begin(), pool.end());
+  }
+  english.insert(world.noise_terms.begin(), world.noise_terms.end());
+  for (const auto& pool : world.foreign_topic_terms) {
+    for (const std::string& w : pool) {
+      EXPECT_FALSE(english.contains(w)) << w;
+    }
+  }
+  for (const Concept& c : world.concepts) {
+    for (const std::string& w : c.foreign_name_terms) {
+      EXPECT_FALSE(english.contains(w)) << w;
+    }
+  }
+}
+
+// ---- collection --------------------------------------------------------------
+
+TEST(CollectionTest, GeneratesRequestedShape) {
+  const World& world = TestWorld();
+  CollectionOptions options;
+  options.seed = 3;
+  options.num_docs = 400;
+  Collection collection = GenerateCollection(world, options);
+  ASSERT_EQ(collection.docs.size(), 400u);
+
+  size_t english = 0;
+  size_t indexed_docs = 0;
+  for (const GeneratedDoc& doc : collection.docs) {
+    EXPECT_FALSE(doc.text.empty());
+    EXPECT_LT(doc.primary_concept, world.NumConcepts());
+    english += doc.english ? 1 : 0;
+    ++indexed_docs;
+  }
+  EXPECT_EQ(indexed_docs, 400u);
+  // ~60% English within tolerance.
+  EXPECT_GT(english, 400 * 0.45);
+  EXPECT_LT(english, 400 * 0.75);
+
+  // docs_of_concept is the exact inverse mapping.
+  size_t total = 0;
+  for (uint32_t c = 0; c < world.NumConcepts(); ++c) {
+    for (uint32_t d : collection.docs_of_concept[c]) {
+      EXPECT_EQ(collection.docs[d].primary_concept, c);
+    }
+    total += collection.docs_of_concept[c].size();
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(CollectionTest, DeterministicForSameSeed) {
+  const World& world = TestWorld();
+  CollectionOptions options;
+  options.num_docs = 50;
+  Collection a = GenerateCollection(world, options);
+  Collection b = GenerateCollection(world, options);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.docs[i].text, b.docs[i].text);
+  }
+}
+
+TEST(CollectionTest, ExclusionLeavesConceptsUncovered) {
+  const World& world = TestWorld();
+  CollectionOptions options;
+  options.num_docs = 500;
+  options.excluded_concept_modulo = 10;
+  options.excluded_concept_residue = 3;
+  Collection collection = GenerateCollection(world, options);
+  for (uint32_t c = 3; c < world.NumConcepts(); c += 10) {
+    EXPECT_TRUE(collection.docs_of_concept[c].empty()) << c;
+  }
+}
+
+TEST(CollectionTest, ConceptRangeRespected) {
+  const World& world = TestWorld();
+  CollectionOptions options;
+  options.num_docs = 200;
+  options.concept_min = 0;
+  options.concept_max = static_cast<uint32_t>(world.NumConcepts() / 2);
+  Collection collection = GenerateCollection(world, options);
+  for (const GeneratedDoc& doc : collection.docs) {
+    EXPECT_LT(doc.primary_concept, options.concept_max);
+  }
+}
+
+// ---- query generation -----------------------------------------------------------
+
+TEST(QueryGenTest, ProducesRequestedCounts) {
+  const World& world = TestWorld();
+  CollectionOptions coll_options;
+  coll_options.num_docs = 800;
+  coll_options.excluded_concept_modulo = 9;
+  Collection collection = GenerateCollection(world, coll_options);
+
+  QueryGenOptions options;
+  options.num_queries = 20;
+  options.num_zero_relevant = 4;
+  QuerySet qs = GenerateQueries(world, collection, options);
+
+  ASSERT_EQ(qs.queries.size(), 20u);
+  EXPECT_EQ(qs.qrels.NumQueries(), 20u);
+  EXPECT_EQ(qs.qrels.NumQueriesWithoutRelevant(), 4u);
+
+  std::set<uint32_t> intents;
+  for (const GeneratedQuery& q : qs.queries) {
+    EXPECT_FALSE(q.text.empty());
+    ASSERT_EQ(q.true_entities.size(), 1u);
+    EXPECT_EQ(q.true_entities[0],
+              world.concepts[q.intent_concept].article);
+    intents.insert(q.intent_concept);
+  }
+  EXPECT_EQ(intents.size(), 20u);  // distinct intents
+}
+
+TEST(QueryGenTest, GroundTruthGraphsContainPartners) {
+  const World& world = TestWorld();
+  CollectionOptions coll_options;
+  coll_options.num_docs = 600;
+  Collection collection = GenerateCollection(world, coll_options);
+  QueryGenOptions options;
+  options.num_queries = 10;
+  QuerySet qs = GenerateQueries(world, collection, options);
+
+  for (const GeneratedQuery& q : qs.queries) {
+    const auto& graph = q.ground_truth_graph;
+    ASSERT_EQ(graph.query_nodes.size(), 1u);
+    EXPECT_FALSE(graph.expansion_nodes.empty());
+    for (const expansion::ExpansionNode& node : graph.expansion_nodes) {
+      EXPECT_NE(node.article, graph.query_nodes[0]);
+      EXPECT_GT(node.motif_count, 0u);
+    }
+    // Sorted by descending motif count.
+    for (size_t i = 1; i < graph.expansion_nodes.size(); ++i) {
+      EXPECT_GE(graph.expansion_nodes[i - 1].motif_count,
+                graph.expansion_nodes[i].motif_count);
+    }
+  }
+}
+
+TEST(QueryGenTest, RelevanceComesFromGroundTruthConcepts) {
+  const World& world = TestWorld();
+  CollectionOptions coll_options;
+  coll_options.num_docs = 600;
+  Collection collection = GenerateCollection(world, coll_options);
+  QueryGenOptions options;
+  options.num_queries = 10;
+  QuerySet qs = GenerateQueries(world, collection, options);
+
+  for (size_t qi = 0; qi < qs.queries.size(); ++qi) {
+    const GeneratedQuery& q = qs.queries[qi];
+    std::unordered_set<uint32_t> allowed = {q.intent_concept};
+    for (const auto& node : q.ground_truth_graph.expansion_nodes) {
+      allowed.insert(world.ConceptOf(node.article));
+    }
+    for (index::DocId d : qs.qrels.RelevantDocs(qi)) {
+      EXPECT_TRUE(allowed.contains(collection.docs[d].primary_concept));
+    }
+  }
+}
+
+// ---- dataset assembly -------------------------------------------------------------
+
+TEST(DatasetTest, TinyDatasetIsCoherent) {
+  const World& world = TestWorld();
+  Dataset ds = BuildDataset(world, TinyDatasetSpec());
+  EXPECT_EQ(ds.index.NumDocuments(), ds.collection.docs.size());
+  EXPECT_EQ(ds.NumQueries(), 12u);
+  ASSERT_NE(ds.linker, nullptr);
+  // The linker resolves canonical titles to the right article.
+  const Concept& c = world.concepts[ds.query_set.queries[0].intent_concept];
+  auto linked = ds.linker->Link(world.kb.ArticleTitle(c.article));
+  ASSERT_FALSE(linked.empty());
+  EXPECT_EQ(linked[0].article, c.article);
+}
+
+TEST(DatasetTest, PaperSpecsMirrorPaperStatistics) {
+  DatasetSpec clef = ImageClefSpec();
+  DatasetSpec chic12 = Chic2012Spec();
+  DatasetSpec chic13 = Chic2013Spec();
+  EXPECT_EQ(clef.collection.num_docs, 20000u);
+  EXPECT_EQ(chic12.collection.num_docs, 60000u);
+  EXPECT_EQ(chic12.collection.num_docs, chic13.collection.num_docs);
+  EXPECT_EQ(clef.queries.num_zero_relevant, 0u);
+  EXPECT_EQ(chic12.queries.num_zero_relevant, 14u);
+  EXPECT_EQ(chic13.queries.num_zero_relevant, 1u);
+  // Assessor strictness ordering: CLEF most lenient, CHiC 2012 strictest.
+  EXPECT_GT(clef.queries.p_triangular_relevant,
+            chic13.queries.p_triangular_relevant);
+  EXPECT_GT(chic13.queries.p_triangular_relevant,
+            chic12.queries.p_triangular_relevant);
+}
+
+}  // namespace
+}  // namespace sqe::synth

@@ -1,0 +1,207 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace sqe::text {
+namespace {
+
+// ---- tokenizer ---------------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  auto terms = TokenizeToTerms("Cable-Cars, in SAN Francisco!");
+  std::vector<std::string> expected = {"cable", "cars", "in", "san",
+                                       "francisco"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, ApostropheSplitsLikeIndri) {
+  auto terms = TokenizeToTerms("user's intent");
+  std::vector<std::string> expected = {"user", "s", "intent"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, DigitsAreTokens) {
+  auto terms = TokenizeToTerms("CHiC 2012 & 2013");
+  std::vector<std::string> expected = {"chic", "2012", "2013"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  std::string source = "ab  cd";
+  auto tokens = Tokenize(source);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 2u);
+  EXPECT_EQ(tokens[1].begin, 4u);
+  EXPECT_EQ(tokens[1].end, 6u);
+  EXPECT_EQ(source.substr(tokens[1].begin, tokens[1].end - tokens[1].begin),
+            "cd");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! --- ???").empty());
+}
+
+// ---- stopwords ----------------------------------------------------------------
+
+TEST(StopwordTest, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "a", "of", "and", "is", "was", "yourselves"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordTest, ContentWordsAreNot) {
+  for (const char* w : {"cable", "graffiti", "wikipedia", "funicular", ""}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordTest, ListIsSortedForBinarySearch) {
+  // Indirect check: every listed count is consistent and both ends resolve.
+  EXPECT_GT(StopwordCount(), 100u);
+  EXPECT_TRUE(IsStopword("a"));
+  EXPECT_TRUE(IsStopword("yourselves"));
+}
+
+// ---- Porter stemmer ------------------------------------------------------------
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerTest, MatchesReferenceStems) {
+  EXPECT_EQ(PorterStem(GetParam().input), GetParam().expected);
+}
+
+// Reference outputs from Porter's published algorithm (and its canonical
+// vocabulary test file).
+INSTANTIATE_TEST_SUITE_P(
+    Vocabulary, PorterStemmerTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsPassThrough) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("at"), "at");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, IdempotentOnStems) {
+  for (const char* w : {"cat", "oper", "formal", "electr", "walk"}) {
+    std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+// ---- analyzer -------------------------------------------------------------------
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer analyzer;
+  auto terms = analyzer.Analyze("The cars were running in the cities");
+  std::vector<std::string> expected = {"car", "run", "citi"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(AnalyzerTest, StopwordRemovalCanBeDisabled) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  Analyzer analyzer(options);
+  auto terms = analyzer.Analyze("the cars");
+  std::vector<std::string> expected = {"the", "cars"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(AnalyzerTest, MinTermLengthDropsShortTerms) {
+  AnalyzerOptions options;
+  options.min_term_length = 3;
+  Analyzer analyzer(options);
+  auto terms = analyzer.Analyze("go to big cities");
+  // "go" (len 2) dropped; "to" is a stopword anyway.
+  std::vector<std::string> expected = {"big", "citi"};
+  EXPECT_EQ(terms, expected);
+}
+
+TEST(AnalyzerTest, PhraseAnalysisKeepsOrder) {
+  Analyzer analyzer;
+  auto terms = analyzer.AnalyzePhrase("Cable Cars");
+  std::vector<std::string> expected = {"cabl", "car"};
+  EXPECT_EQ(terms, expected);
+}
+
+// ---- vocabulary -------------------------------------------------------------------
+
+TEST(VocabularyTest, AssignsDenseIdsInInsertionOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.TermOf(1), "beta");
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("present");
+  EXPECT_EQ(vocab.Lookup("absent"), kInvalidTermId);
+  EXPECT_EQ(vocab.Lookup("present"), 0u);
+}
+
+TEST(VocabularyTest, SurvivesMove) {
+  Vocabulary vocab;
+  for (int i = 0; i < 100; ++i) vocab.GetOrAdd("term" + std::to_string(i));
+  Vocabulary moved = std::move(vocab);
+  EXPECT_EQ(moved.Lookup("term42"), 42u);
+  EXPECT_EQ(moved.TermOf(99), "term99");
+}
+
+}  // namespace
+}  // namespace sqe::text

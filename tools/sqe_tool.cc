@@ -1,0 +1,116 @@
+// sqe_tool: command-line front end for the SQE library's data pipeline.
+//
+//   sqe_tool gen-dump <out.dump>              generate a synthetic world and
+//                                             write it as dump-lite text
+//   sqe_tool compile <in.dump> <out.snap>     parse dump-lite, validate, and
+//                                             write a CRC-protected snapshot
+//   sqe_tool kb-stats <in.dump|in.snap>       print graph statistics
+//   sqe_tool motifs <in.*> <article title>    print the query graph for an
+//                                             article (both motifs)
+//
+// Exit codes: 0 success, 1 usage, 2 data error (message on stderr).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "io/file.h"
+#include "kb/dump_loader.h"
+#include "kb/kb_stats.h"
+#include "kb/knowledge_base.h"
+#include "sqe/motif_finder.h"
+#include "synth/world.h"
+
+namespace {
+
+using namespace sqe;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+// Loads a KB from either format: snapshots begin with the binary magic, so
+// try the snapshot reader first and fall back to dump-lite text.
+Result<kb::KnowledgeBase> LoadAny(const std::string& path) {
+  auto snapshot = kb::KnowledgeBase::FromSnapshotFile(path);
+  if (snapshot.ok()) return snapshot;
+  return kb::LoadDumpFromFile(path);
+}
+
+int GenDump(const std::string& out_path) {
+  synth::WorldOptions options;
+  options.num_topics = 8;
+  options.clusters_per_topic = 6;
+  synth::World world = synth::World::Generate(options);
+  std::string dump = kb::WriteDumpToString(world.kb);
+  Status status = io::WriteStringToFile(out_path, dump);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu articles / %zu categories to %s (%zu bytes)\n",
+              world.kb.NumArticles(), world.kb.NumCategories(),
+              out_path.c_str(), dump.size());
+  return 0;
+}
+
+int Compile(const std::string& in_path, const std::string& out_path) {
+  auto kb = kb::LoadDumpFromFile(in_path);
+  if (!kb.ok()) return Fail(kb.status());
+  Status status = kb.value().SaveToFile(out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("compiled %s -> %s (%zu articles, %zu links)\n",
+              in_path.c_str(), out_path.c_str(), kb.value().NumArticles(),
+              kb.value().NumArticleLinks());
+  return 0;
+}
+
+int KbStats(const std::string& path) {
+  auto kb = LoadAny(path);
+  if (!kb.ok()) return Fail(kb.status());
+  std::printf("%s\n", kb::ComputeKbStats(kb.value()).ToString().c_str());
+  return 0;
+}
+
+int Motifs(const std::string& path, const std::string& title) {
+  auto kb_or = LoadAny(path);
+  if (!kb_or.ok()) return Fail(kb_or.status());
+  const kb::KnowledgeBase& kb = kb_or.value();
+  kb::ArticleId article = kb.FindArticle(title);
+  if (article == kb::kInvalidArticle) {
+    return Fail(Status::NotFound("article '" + title + "'"));
+  }
+  expansion::MotifFinder finder(&kb);
+  std::vector<kb::ArticleId> nodes = {article};
+  expansion::QueryGraph graph =
+      finder.BuildQueryGraph(nodes, expansion::MotifConfig::Both());
+  std::printf("query graph for [%s]: %zu expansion nodes, %llu motifs\n",
+              title.c_str(), graph.expansion_nodes.size(),
+              static_cast<unsigned long long>(graph.total_motifs));
+  for (const expansion::ExpansionNode& node : graph.expansion_nodes) {
+    std::printf("  |m_a|=%-3u (T=%u S=%u)  %s\n", node.motif_count,
+                node.triangular_count, node.square_count,
+                kb.ArticleTitle(node.article).c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sqe_tool gen-dump <out.dump>\n"
+               "  sqe_tool compile <in.dump> <out.snap>\n"
+               "  sqe_tool kb-stats <in.dump|in.snap>\n"
+               "  sqe_tool motifs <in.dump|in.snap> <article title>\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen-dump") return GenDump(argv[2]);
+  if (command == "compile" && argc >= 4) return Compile(argv[2], argv[3]);
+  if (command == "kb-stats") return KbStats(argv[2]);
+  if (command == "motifs" && argc >= 4) return Motifs(argv[2], argv[3]);
+  return Usage();
+}
