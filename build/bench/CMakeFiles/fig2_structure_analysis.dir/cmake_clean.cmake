@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_structure_analysis.dir/fig2_structure_analysis.cc.o"
+  "CMakeFiles/fig2_structure_analysis.dir/fig2_structure_analysis.cc.o.d"
+  "fig2_structure_analysis"
+  "fig2_structure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_structure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

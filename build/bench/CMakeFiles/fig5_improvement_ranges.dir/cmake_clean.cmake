@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_improvement_ranges.dir/fig5_improvement_ranges.cc.o"
+  "CMakeFiles/fig5_improvement_ranges.dir/fig5_improvement_ranges.cc.o.d"
+  "fig5_improvement_ranges"
+  "fig5_improvement_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_improvement_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

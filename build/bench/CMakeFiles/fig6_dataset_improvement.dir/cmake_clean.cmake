@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dataset_improvement.dir/fig6_dataset_improvement.cc.o"
+  "CMakeFiles/fig6_dataset_improvement.dir/fig6_dataset_improvement.cc.o.d"
+  "fig6_dataset_improvement"
+  "fig6_dataset_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dataset_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

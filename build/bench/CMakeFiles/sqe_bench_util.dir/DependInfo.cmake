@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/sqe_bench_util.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/sqe_bench_util.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqe/CMakeFiles/sqe_expansion.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/sqe_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/prf/CMakeFiles/sqe_prf.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sqe_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sqe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/sqe_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sqe_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/entity/CMakeFiles/sqe_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sqe_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/sqe_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sqe_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

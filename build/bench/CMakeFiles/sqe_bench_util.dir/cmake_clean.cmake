@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sqe_bench_util.dir/bench_util.cc.o.d"
+  "libsqe_bench_util.a"
+  "libsqe_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

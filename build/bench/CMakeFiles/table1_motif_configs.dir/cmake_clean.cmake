@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_motif_configs.dir/table1_motif_configs.cc.o"
+  "CMakeFiles/table1_motif_configs.dir/table1_motif_configs.cc.o.d"
+  "table1_motif_configs"
+  "table1_motif_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_motif_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_sqe_c_datasets.
+# This may be replaced when dependencies are built.

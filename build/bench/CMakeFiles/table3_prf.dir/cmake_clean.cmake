@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_prf.dir/table3_prf.cc.o"
+  "CMakeFiles/table3_prf.dir/table3_prf.cc.o.d"
+  "table3_prf"
+  "table3_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_timing.dir/table4_timing.cc.o"
+  "CMakeFiles/table4_timing.dir/table4_timing.cc.o.d"
+  "table4_timing"
+  "table4_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cultural_heritage.dir/cultural_heritage.cpp.o"
+  "CMakeFiles/cultural_heritage.dir/cultural_heritage.cpp.o.d"
+  "cultural_heritage"
+  "cultural_heritage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cultural_heritage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cultural_heritage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cultural_heritage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_explorer.dir/kb_explorer.cpp.o"
+  "CMakeFiles/kb_explorer.dir/kb_explorer.cpp.o.d"
+  "kb_explorer"
+  "kb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

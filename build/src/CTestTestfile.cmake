@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("io")
+subdirs("text")
+subdirs("kb")
+subdirs("index")
+subdirs("retrieval")
+subdirs("entity")
+subdirs("sqe")
+subdirs("prf")
+subdirs("eval")
+subdirs("synth")
+subdirs("analysis")

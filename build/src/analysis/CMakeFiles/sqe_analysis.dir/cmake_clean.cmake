@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_analysis.dir/cycle_enumerator.cc.o"
+  "CMakeFiles/sqe_analysis.dir/cycle_enumerator.cc.o.d"
+  "CMakeFiles/sqe_analysis.dir/structure_analyzer.cc.o"
+  "CMakeFiles/sqe_analysis.dir/structure_analyzer.cc.o.d"
+  "libsqe_analysis.a"
+  "libsqe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

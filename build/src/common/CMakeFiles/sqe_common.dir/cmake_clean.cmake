@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_common.dir/hash.cc.o"
+  "CMakeFiles/sqe_common.dir/hash.cc.o.d"
+  "CMakeFiles/sqe_common.dir/logging.cc.o"
+  "CMakeFiles/sqe_common.dir/logging.cc.o.d"
+  "CMakeFiles/sqe_common.dir/random.cc.o"
+  "CMakeFiles/sqe_common.dir/random.cc.o.d"
+  "CMakeFiles/sqe_common.dir/status.cc.o"
+  "CMakeFiles/sqe_common.dir/status.cc.o.d"
+  "CMakeFiles/sqe_common.dir/string_util.cc.o"
+  "CMakeFiles/sqe_common.dir/string_util.cc.o.d"
+  "libsqe_common.a"
+  "libsqe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/entity/entity_linker.cc" "src/entity/CMakeFiles/sqe_entity.dir/entity_linker.cc.o" "gcc" "src/entity/CMakeFiles/sqe_entity.dir/entity_linker.cc.o.d"
+  "/root/repo/src/entity/ner.cc" "src/entity/CMakeFiles/sqe_entity.dir/ner.cc.o" "gcc" "src/entity/CMakeFiles/sqe_entity.dir/ner.cc.o.d"
+  "/root/repo/src/entity/surface_forms.cc" "src/entity/CMakeFiles/sqe_entity.dir/surface_forms.cc.o" "gcc" "src/entity/CMakeFiles/sqe_entity.dir/surface_forms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/sqe_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sqe_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sqe_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_entity.dir/entity_linker.cc.o"
+  "CMakeFiles/sqe_entity.dir/entity_linker.cc.o.d"
+  "CMakeFiles/sqe_entity.dir/ner.cc.o"
+  "CMakeFiles/sqe_entity.dir/ner.cc.o.d"
+  "CMakeFiles/sqe_entity.dir/surface_forms.cc.o"
+  "CMakeFiles/sqe_entity.dir/surface_forms.cc.o.d"
+  "libsqe_entity.a"
+  "libsqe_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sqe_entity.
+# This may be replaced when dependencies are built.

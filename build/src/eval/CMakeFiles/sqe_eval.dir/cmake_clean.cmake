@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_eval.dir/metrics.cc.o"
+  "CMakeFiles/sqe_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/sqe_eval.dir/qrels.cc.o"
+  "CMakeFiles/sqe_eval.dir/qrels.cc.o.d"
+  "CMakeFiles/sqe_eval.dir/report.cc.o"
+  "CMakeFiles/sqe_eval.dir/report.cc.o.d"
+  "CMakeFiles/sqe_eval.dir/ttest.cc.o"
+  "CMakeFiles/sqe_eval.dir/ttest.cc.o.d"
+  "libsqe_eval.a"
+  "libsqe_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_index.dir/inverted_index.cc.o"
+  "CMakeFiles/sqe_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/sqe_index.dir/postings.cc.o"
+  "CMakeFiles/sqe_index.dir/postings.cc.o.d"
+  "libsqe_index.a"
+  "libsqe_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_io.dir/coding.cc.o"
+  "CMakeFiles/sqe_io.dir/coding.cc.o.d"
+  "CMakeFiles/sqe_io.dir/file.cc.o"
+  "CMakeFiles/sqe_io.dir/file.cc.o.d"
+  "libsqe_io.a"
+  "libsqe_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/dump_loader.cc" "src/kb/CMakeFiles/sqe_kb.dir/dump_loader.cc.o" "gcc" "src/kb/CMakeFiles/sqe_kb.dir/dump_loader.cc.o.d"
+  "/root/repo/src/kb/kb_builder.cc" "src/kb/CMakeFiles/sqe_kb.dir/kb_builder.cc.o" "gcc" "src/kb/CMakeFiles/sqe_kb.dir/kb_builder.cc.o.d"
+  "/root/repo/src/kb/kb_stats.cc" "src/kb/CMakeFiles/sqe_kb.dir/kb_stats.cc.o" "gcc" "src/kb/CMakeFiles/sqe_kb.dir/kb_stats.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/sqe_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/sqe_kb.dir/knowledge_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sqe_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

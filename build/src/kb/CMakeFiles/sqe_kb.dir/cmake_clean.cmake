@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_kb.dir/dump_loader.cc.o"
+  "CMakeFiles/sqe_kb.dir/dump_loader.cc.o.d"
+  "CMakeFiles/sqe_kb.dir/kb_builder.cc.o"
+  "CMakeFiles/sqe_kb.dir/kb_builder.cc.o.d"
+  "CMakeFiles/sqe_kb.dir/kb_stats.cc.o"
+  "CMakeFiles/sqe_kb.dir/kb_stats.cc.o.d"
+  "CMakeFiles/sqe_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/sqe_kb.dir/knowledge_base.cc.o.d"
+  "libsqe_kb.a"
+  "libsqe_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

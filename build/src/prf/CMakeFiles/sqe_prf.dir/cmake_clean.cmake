@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_prf.dir/relevance_model.cc.o"
+  "CMakeFiles/sqe_prf.dir/relevance_model.cc.o.d"
+  "libsqe_prf.a"
+  "libsqe_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

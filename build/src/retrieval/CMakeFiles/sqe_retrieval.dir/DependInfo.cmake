@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/phrase_matcher.cc" "src/retrieval/CMakeFiles/sqe_retrieval.dir/phrase_matcher.cc.o" "gcc" "src/retrieval/CMakeFiles/sqe_retrieval.dir/phrase_matcher.cc.o.d"
+  "/root/repo/src/retrieval/query.cc" "src/retrieval/CMakeFiles/sqe_retrieval.dir/query.cc.o" "gcc" "src/retrieval/CMakeFiles/sqe_retrieval.dir/query.cc.o.d"
+  "/root/repo/src/retrieval/retriever.cc" "src/retrieval/CMakeFiles/sqe_retrieval.dir/retriever.cc.o" "gcc" "src/retrieval/CMakeFiles/sqe_retrieval.dir/retriever.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sqe_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sqe_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sqe_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

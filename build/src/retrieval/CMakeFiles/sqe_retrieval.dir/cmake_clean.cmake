@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_retrieval.dir/phrase_matcher.cc.o"
+  "CMakeFiles/sqe_retrieval.dir/phrase_matcher.cc.o.d"
+  "CMakeFiles/sqe_retrieval.dir/query.cc.o"
+  "CMakeFiles/sqe_retrieval.dir/query.cc.o.d"
+  "CMakeFiles/sqe_retrieval.dir/retriever.cc.o"
+  "CMakeFiles/sqe_retrieval.dir/retriever.cc.o.d"
+  "libsqe_retrieval.a"
+  "libsqe_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqe/combiner.cc" "src/sqe/CMakeFiles/sqe_expansion.dir/combiner.cc.o" "gcc" "src/sqe/CMakeFiles/sqe_expansion.dir/combiner.cc.o.d"
+  "/root/repo/src/sqe/motif.cc" "src/sqe/CMakeFiles/sqe_expansion.dir/motif.cc.o" "gcc" "src/sqe/CMakeFiles/sqe_expansion.dir/motif.cc.o.d"
+  "/root/repo/src/sqe/motif_finder.cc" "src/sqe/CMakeFiles/sqe_expansion.dir/motif_finder.cc.o" "gcc" "src/sqe/CMakeFiles/sqe_expansion.dir/motif_finder.cc.o.d"
+  "/root/repo/src/sqe/query_builder.cc" "src/sqe/CMakeFiles/sqe_expansion.dir/query_builder.cc.o" "gcc" "src/sqe/CMakeFiles/sqe_expansion.dir/query_builder.cc.o.d"
+  "/root/repo/src/sqe/sqe_engine.cc" "src/sqe/CMakeFiles/sqe_expansion.dir/sqe_engine.cc.o" "gcc" "src/sqe/CMakeFiles/sqe_expansion.dir/sqe_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/sqe_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sqe_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/sqe_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/entity/CMakeFiles/sqe_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sqe_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sqe_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

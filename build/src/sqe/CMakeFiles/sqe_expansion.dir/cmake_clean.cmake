@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_expansion.dir/combiner.cc.o"
+  "CMakeFiles/sqe_expansion.dir/combiner.cc.o.d"
+  "CMakeFiles/sqe_expansion.dir/motif.cc.o"
+  "CMakeFiles/sqe_expansion.dir/motif.cc.o.d"
+  "CMakeFiles/sqe_expansion.dir/motif_finder.cc.o"
+  "CMakeFiles/sqe_expansion.dir/motif_finder.cc.o.d"
+  "CMakeFiles/sqe_expansion.dir/query_builder.cc.o"
+  "CMakeFiles/sqe_expansion.dir/query_builder.cc.o.d"
+  "CMakeFiles/sqe_expansion.dir/sqe_engine.cc.o"
+  "CMakeFiles/sqe_expansion.dir/sqe_engine.cc.o.d"
+  "libsqe_expansion.a"
+  "libsqe_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_synth.dir/collection.cc.o"
+  "CMakeFiles/sqe_synth.dir/collection.cc.o.d"
+  "CMakeFiles/sqe_synth.dir/dataset.cc.o"
+  "CMakeFiles/sqe_synth.dir/dataset.cc.o.d"
+  "CMakeFiles/sqe_synth.dir/query_gen.cc.o"
+  "CMakeFiles/sqe_synth.dir/query_gen.cc.o.d"
+  "CMakeFiles/sqe_synth.dir/wordgen.cc.o"
+  "CMakeFiles/sqe_synth.dir/wordgen.cc.o.d"
+  "CMakeFiles/sqe_synth.dir/world.cc.o"
+  "CMakeFiles/sqe_synth.dir/world.cc.o.d"
+  "libsqe_synth.a"
+  "libsqe_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

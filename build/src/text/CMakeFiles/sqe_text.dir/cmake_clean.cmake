@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_text.dir/analyzer.cc.o"
+  "CMakeFiles/sqe_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/sqe_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/sqe_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/sqe_text.dir/stopwords.cc.o"
+  "CMakeFiles/sqe_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/sqe_text.dir/tokenizer.cc.o"
+  "CMakeFiles/sqe_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/sqe_text.dir/vocabulary.cc.o"
+  "CMakeFiles/sqe_text.dir/vocabulary.cc.o.d"
+  "libsqe_text.a"
+  "libsqe_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

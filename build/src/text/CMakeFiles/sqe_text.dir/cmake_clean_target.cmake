@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqe_text.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prf_test.cc" "tests/CMakeFiles/prf_test.dir/prf_test.cc.o" "gcc" "tests/CMakeFiles/prf_test.dir/prf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prf/CMakeFiles/sqe_prf.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/sqe_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sqe_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sqe_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sqe_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prf_test.dir/prf_test.cc.o"
+  "CMakeFiles/prf_test.dir/prf_test.cc.o.d"
+  "prf_test"
+  "prf_test.pdb"
+  "prf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_test.dir/sqe_test.cc.o"
+  "CMakeFiles/sqe_test.dir/sqe_test.cc.o.d"
+  "sqe_test"
+  "sqe_test.pdb"
+  "sqe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

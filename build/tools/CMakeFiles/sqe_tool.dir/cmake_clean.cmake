@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqe_tool.dir/sqe_tool.cc.o"
+  "CMakeFiles/sqe_tool.dir/sqe_tool.cc.o.d"
+  "sqe_tool"
+  "sqe_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqe_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
