@@ -1,0 +1,116 @@
+// Batch query pipeline throughput: queries/sec of SqeEngine::RunBatch at 1,
+// 4, and hardware-concurrency worker threads over the synthetic workload.
+//
+// Emits BENCH_batch.json (and the same figures on stdout) so CI can track
+// scaling. On an N-core machine the 4-thread row should approach min(4, N)×
+// the 1-thread row: workers share the immutable KB/index and touch only
+// per-worker scratch, so there is no synchronization on the hot path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace {
+
+using namespace sqe;
+
+struct RunStat {
+  size_t threads = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+};
+
+std::vector<expansion::BatchQueryInput> MakeWorkload(
+    const synth::Dataset& dataset, size_t target_size) {
+  std::vector<expansion::BatchQueryInput> batch;
+  batch.reserve(target_size);
+  const auto& queries = dataset.query_set.queries;
+  for (size_t i = 0; i < target_size; ++i) {
+    const synth::GeneratedQuery& q = queries[i % queries.size()];
+    batch.push_back({q.text, q.true_entities});
+  }
+  return batch;
+}
+
+RunStat TimeBatch(const expansion::SqeEngine& engine,
+                  const std::vector<expansion::BatchQueryInput>& batch,
+                  size_t threads) {
+  // A pool of `threads` workers does all the work; the calling thread only
+  // blocks. threads == 1 is the sequential baseline with pool overhead
+  // included, which is what a serving front-end would actually pay.
+  ThreadPool pool(threads);
+  // Warm-up: fault in per-worker scratch and caches outside the timed run.
+  engine.RunBatch(
+      std::vector<expansion::BatchQueryInput>(batch.begin(),
+                                              batch.begin() + 1),
+      expansion::MotifConfig::Both(), 100, &pool);
+
+  Timer timer;
+  auto results =
+      engine.RunBatch(batch, expansion::MotifConfig::Both(), 100, &pool);
+  RunStat stat;
+  stat.threads = threads;
+  stat.seconds = timer.ElapsedSeconds();
+  stat.qps = static_cast<double>(results.size()) / stat.seconds;
+  return stat;
+}
+
+}  // namespace
+
+int main() {
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  synth::Dataset dataset =
+      synth::BuildDataset(world, synth::TinyDatasetSpec());
+
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = dataset.retrieval_mu;
+  expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
+                              &dataset.analyzer(), config);
+
+  const size_t kBatchSize = 512;
+  const auto batch = MakeWorkload(dataset, kBatchSize);
+
+  std::vector<size_t> thread_counts = {1, 4};
+  const size_t hw = ThreadPool::HardwareConcurrency();
+  if (hw != 1 && hw != 4) thread_counts.push_back(hw);
+
+  std::printf("batch_throughput: %zu queries, hardware_concurrency=%zu\n",
+              batch.size(), hw);
+  std::vector<RunStat> stats;
+  for (size_t t : thread_counts) {
+    RunStat stat = TimeBatch(engine, batch, t);
+    stats.push_back(stat);
+    std::printf("  threads=%-2zu  %8.3f s  %10.1f queries/sec  (%.2fx vs 1)\n",
+                stat.threads, stat.seconds, stat.qps,
+                stat.qps / stats.front().qps);
+  }
+
+  std::string json = "{\n  \"benchmark\": \"batch_throughput\",\n";
+  json += "  \"num_queries\": " + std::to_string(batch.size()) + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "    {\"threads\": %zu, \"seconds\": %.6f, \"qps\": %.2f}%s\n",
+                  stats[i].threads, stats[i].seconds, stats[i].qps,
+                  i + 1 < stats.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  const char* out_path = "BENCH_batch.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

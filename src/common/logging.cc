@@ -1,11 +1,12 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace sqe {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,11 +23,19 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetLogLevel() { return g_min_level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
 
 void Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // One fprintf per line: stdio locks the stream per call, so concurrent
+  // writers can interleave whole lines but never split one.
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

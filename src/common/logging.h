@@ -1,6 +1,7 @@
-// Minimal leveled logging to stderr. Not thread-safe beyond what fprintf
-// gives; SQE is single-threaded by design (the paper measures unoptimized,
-// single-threaded expansion times).
+// Minimal leveled logging to stderr. Thread-safe: the level gate is atomic
+// and each log line is emitted with a single fprintf call, so lines from
+// concurrent batch-pipeline workers never interleave mid-line (POSIX stdio
+// streams lock around each call).
 #ifndef SQE_COMMON_LOGGING_H_
 #define SQE_COMMON_LOGGING_H_
 

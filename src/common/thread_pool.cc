@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace sqe {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SQE_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = threads_.size();
+  if (workers == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  // Dynamic scheduling: each worker pulls the next unclaimed index, which
+  // balances skewed per-item costs (queries differ wildly in motif work).
+  // Completion is tracked with a dedicated latch so ParallelFor can nest
+  // with unrelated Submit() traffic.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t active = 0;
+  };
+  State state;
+  const size_t spawned = std::min(workers, n);
+  state.active = spawned;
+
+  auto run = [&state, n, &fn](size_t worker_id) {
+    for (;;) {
+      size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i, worker_id);
+    }
+    std::lock_guard<std::mutex> lock(state.done_mu);
+    if (--state.active == 0) state.done_cv.notify_one();
+  };
+
+  for (size_t w = 0; w < spawned; ++w) {
+    Submit([&run, w] { run(w); });
+  }
+  std::unique_lock<std::mutex> lock(state.done_mu);
+  state.done_cv.wait(lock, [&state] { return state.active == 0; });
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+}  // namespace sqe

@@ -1,0 +1,63 @@
+// ThreadPool: a fixed pool of worker threads with a shared task queue, plus
+// a ParallelFor helper for data-parallel loops over immutable shared state.
+//
+// The concurrency contract of the batch pipeline (see DESIGN.md §8): workers
+// only read shared structures (KnowledgeBase, InvertedIndex) and write to
+// disjoint output slots or per-worker scratch, so no synchronization beyond
+// the queue itself is needed and results are deterministic regardless of
+// scheduling order.
+#ifndef SQE_COMMON_THREAD_POOL_H_
+#define SQE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sqe {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is allowed and means "no workers":
+  /// ParallelFor then runs inline on the calling thread (worker id 0), which
+  /// keeps single-threaded callers free of any thread machinery.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  SQE_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Number of distinct worker ids ParallelFor can pass to its body:
+  /// max(1, num_threads()). Size per-worker scratch arrays with this.
+  size_t num_workers() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(index, worker_id) for every index in [0, n), distributing
+  /// indices dynamically across the pool, and blocks until all are done.
+  /// worker_id is in [0, num_workers()); a given worker runs one index at a
+  /// time, so fn may freely mutate scratch[worker_id].
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_THREAD_POOL_H_

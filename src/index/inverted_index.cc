@@ -1,5 +1,7 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 #include "io/coding.h"
@@ -10,6 +12,18 @@ namespace sqe::index {
 namespace {
 constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
 }  // namespace
+
+void InvertedIndex::BuildDocsByLength() {
+  docs_by_length_.resize(doc_lengths_.size());
+  std::iota(docs_by_length_.begin(), docs_by_length_.end(), 0);
+  std::sort(docs_by_length_.begin(), docs_by_length_.end(),
+            [this](DocId a, DocId b) {
+              if (doc_lengths_[a] != doc_lengths_[b]) {
+                return doc_lengths_[a] < doc_lengths_[b];
+              }
+              return a < b;
+            });
+}
 
 DocId InvertedIndex::FindDocument(std::string_view external_id) const {
   // External-id lookup is rare (tests, examples); linear scan keeps the
@@ -63,6 +77,7 @@ InvertedIndex IndexBuilder::Build() && {
   // Vocabulary may contain terms with no postings entry only if resize
   // lagged; pad to vocab size for safe indexing.
   index_.postings_.resize(index_.vocab_.size());
+  index_.BuildDocsByLength();
   return std::move(index_);
 }
 
@@ -228,6 +243,7 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
     index.postings_.push_back(std::move(builder).Build());
   }
 
+  index.BuildDocsByLength();
   return index;
 }
 

@@ -43,6 +43,14 @@ class InvertedIndex {
   /// DocId for an external id, or kInvalidDoc.
   DocId FindDocument(std::string_view external_id) const;
 
+  /// All documents ordered by (length ascending, DocId ascending).
+  /// Precomputed at build/load time. In Dirichlet-smoothed QL every document
+  /// matching no query atom scores background_const − log(|D| + μ), which is
+  /// monotone in |D| — so this order lets the retriever's sparse top-k fill
+  /// its tail from a prefix of this list instead of scoring the whole
+  /// collection.
+  std::span<const DocId> DocsByLength() const { return docs_by_length_; }
+
   /// Forward index: the analyzed token stream of a document, in order.
   /// Used by the PRF relevance model.
   std::span<const text::TermId> DocTerms(DocId d) const {
@@ -97,12 +105,15 @@ class InvertedIndex {
  private:
   friend class IndexBuilder;
 
+  void BuildDocsByLength();
+
   text::Vocabulary vocab_;
   std::vector<PostingList> postings_;  // indexed by TermId
   std::vector<uint32_t> doc_lengths_;
   std::vector<std::string> external_ids_;
   std::vector<uint64_t> doc_term_offsets_;  // size N+1
   std::vector<text::TermId> doc_terms_;
+  std::vector<DocId> docs_by_length_;  // derived; see DocsByLength()
   uint64_t total_tokens_ = 0;
 };
 

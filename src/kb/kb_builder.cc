@@ -105,6 +105,7 @@ KnowledgeBase KbBuilder::Build() && {
   PackReverseCsr(category_links_, kb.category_titles_.size(),
                  &kb.cat_child_offsets_, &kb.cat_child_targets_);
 
+  kb.BuildReciprocalLinks();
   kb.RebuildTitleMaps();
   return kb;
 }

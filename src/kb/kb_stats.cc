@@ -18,9 +18,9 @@ KbStats ComputeKbStats(const KnowledgeBase& kb) {
     stats.max_out_degree =
         std::max<uint64_t>(stats.max_out_degree, out.size());
     if (out.empty() && kb.InLinks(a).empty()) ++stats.num_isolated_articles;
-    for (ArticleId b : out) {
+    for (ArticleId b : kb.ReciprocalLinks(a)) {
       // Count each unordered reciprocal pair once (a < b side).
-      if (a < b && kb.HasLink(b, a)) ++stats.num_reciprocal_pairs;
+      if (a < b) ++stats.num_reciprocal_pairs;
     }
   }
   if (stats.num_articles > 0) {

@@ -90,6 +90,34 @@ bool KnowledgeBase::HasLink(ArticleId from, ArticleId to) const {
   return SortedContains(OutLinks(from), to);
 }
 
+bool KnowledgeBase::ReciprocallyLinked(ArticleId a, ArticleId b) const {
+  return SortedContains(ReciprocalLinks(a), b);
+}
+
+void KnowledgeBase::BuildReciprocalLinks() {
+  const size_t n = article_titles_.size();
+  reciprocal_offsets_.assign(n + 1, 0);
+  reciprocal_targets_.clear();
+  for (size_t a = 0; a < n; ++a) {
+    std::span<const ArticleId> out = OutLinks(static_cast<ArticleId>(a));
+    std::span<const ArticleId> in = InLinks(static_cast<ArticleId>(a));
+    // Sorted intersection: b is a mutual neighbor iff a->b and b->a exist.
+    size_t i = 0, j = 0;
+    while (i < out.size() && j < in.size()) {
+      if (out[i] < in[j]) {
+        ++i;
+      } else if (in[j] < out[i]) {
+        ++j;
+      } else {
+        reciprocal_targets_.push_back(out[i]);
+        ++i;
+        ++j;
+      }
+    }
+    reciprocal_offsets_[a + 1] = reciprocal_targets_.size();
+  }
+}
+
 bool KnowledgeBase::HasMembership(ArticleId article,
                                   CategoryId category) const {
   return SortedContains(CategoriesOf(article), category);
@@ -247,6 +275,7 @@ Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
       kb.category_titles_.size(), kb.cat_parent_offsets_,
       kb.cat_parent_targets_, &kb.cat_child_offsets_, &kb.cat_child_targets_);
 
+  kb.BuildReciprocalLinks();
   kb.RebuildTitleMaps();
   return kb;
 }

@@ -2,9 +2,11 @@
 // articles and categories.
 //
 // Built once (via KbBuilder or a snapshot) and then queried read-only by the
-// motif finder, the entity linker and the structural analysis. All adjacency
-// lists are sorted, enabling O(log d) edge-existence checks — the operation
-// that dominates motif matching (reciprocal-link and category-subset tests).
+// motif finder, the entity linker and the structural analysis — including
+// concurrently from batch-pipeline workers, since nothing mutates after
+// construction. All adjacency lists are sorted, enabling O(log d)
+// edge-existence checks; the doubly-linked pairs that dominate motif
+// matching are additionally precomputed into a reciprocal-link CSR.
 #ifndef SQE_KB_KNOWLEDGE_BASE_H_
 #define SQE_KB_KNOWLEDGE_BASE_H_
 
@@ -76,14 +78,20 @@ class KnowledgeBase {
   std::span<const CategoryId> ChildCategories(CategoryId c) const {
     return Slice(cat_child_offsets_, cat_child_targets_, c);
   }
+  /// Articles `b` with both `a`->`b` and `b`->`a` hyperlinks, sorted
+  /// ascending. Precomputed at build/load time so the motif finder's
+  /// doubly-linked neighbor scan costs O(mutual degree) instead of one
+  /// binary search per out-link.
+  std::span<const ArticleId> ReciprocalLinks(ArticleId a) const {
+    return Slice(reciprocal_offsets_, reciprocal_targets_, a);
+  }
 
   /// O(log d) edge-existence tests.
   bool HasLink(ArticleId from, ArticleId to) const;
   /// True iff both `a`->`b` and `b`->`a` hyperlinks exist ("doubly linked"
-  /// in the paper's motif definitions).
-  bool ReciprocallyLinked(ArticleId a, ArticleId b) const {
-    return HasLink(a, b) && HasLink(b, a);
-  }
+  /// in the paper's motif definitions). O(log of mutual degree) via the
+  /// reciprocal-link CSR.
+  bool ReciprocallyLinked(ArticleId a, ArticleId b) const;
   bool HasMembership(ArticleId article, CategoryId category) const;
   /// True iff there is a subcategory edge child->parent.
   bool HasCategoryLink(CategoryId child, CategoryId parent) const;
@@ -121,6 +129,9 @@ class KnowledgeBase {
   }
 
   void RebuildTitleMaps();
+  /// Intersects each article's sorted out- and in-lists into the
+  /// reciprocal-link CSR. Requires both link directions to be final.
+  void BuildReciprocalLinks();
 
   std::vector<std::string> article_titles_;
   std::vector<std::string> category_titles_;
@@ -140,6 +151,9 @@ class KnowledgeBase {
   std::vector<CategoryId> cat_parent_targets_;
   std::vector<uint64_t> cat_child_offsets_;
   std::vector<CategoryId> cat_child_targets_;
+  // Derived: mutual (doubly-linked) neighbors per article.
+  std::vector<uint64_t> reciprocal_offsets_;
+  std::vector<ArticleId> reciprocal_targets_;
 };
 
 }  // namespace sqe::kb

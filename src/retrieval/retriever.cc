@@ -66,6 +66,13 @@ std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
 }
 
 ResultList Retriever::Retrieve(const Query& query, size_t k) const {
+  RetrieverScratch scratch;
+  return Retrieve(query, k, &scratch);
+}
+
+ResultList Retriever::Retrieve(const Query& query, size_t k,
+                               RetrieverScratch* scratch) const {
+  SQE_CHECK(scratch != nullptr);
   const index::InvertedIndex& idx = *index_;
   const size_t num_docs = idx.NumDocuments();
   if (k == 0 || num_docs == 0) return {};
@@ -82,37 +89,79 @@ ResultList Retriever::Retrieve(const Query& query, size_t k) const {
     background_const += a.weight * std::log(mu * a.collection_prob);
   }
 
-  std::vector<double> delta(num_docs, 0.0);
+  // Sparse accumulation: only documents matching some atom get a delta
+  // entry. The epoch stamp invalidates the previous query's entries without
+  // clearing the arrays.
+  scratch->delta_.resize(num_docs);
+  scratch->epoch_.resize(num_docs);
+  if (++scratch->current_epoch_ == 0) {  // wrapped: stamps are all stale
+    std::fill(scratch->epoch_.begin(), scratch->epoch_.end(), 0u);
+    scratch->current_epoch_ = 1;
+  }
+  const uint32_t epoch = scratch->current_epoch_;
+  std::vector<index::DocId>& touched = scratch->touched_;
+  touched.clear();
   for (const ResolvedAtom& a : atoms) {
     const double bg = std::log(mu * a.collection_prob);
     for (size_t i = 0; i < a.docs.size(); ++i) {
-      delta[a.docs[i]] +=
+      const index::DocId d = a.docs[i];
+      if (scratch->epoch_[d] != epoch) {
+        scratch->epoch_[d] = epoch;
+        scratch->delta_[d] = 0.0;
+        touched.push_back(d);
+      }
+      scratch->delta_[d] +=
           a.weight *
           (std::log(static_cast<double>(a.freqs[i]) + mu * a.collection_prob) -
            bg);
     }
   }
 
-  ResultList all(num_docs);
-  for (size_t d = 0; d < num_docs; ++d) {
-    all[d].doc = static_cast<index::DocId>(d);
-    all[d].score = background_const + delta[d] -
-                   std::log(static_cast<double>(idx.DocLength(
-                                static_cast<index::DocId>(d))) +
-                            mu);
-  }
-
   auto better = [](const ScoredDoc& x, const ScoredDoc& y) {
     if (x.score != y.score) return x.score > y.score;
     return x.doc < y.doc;
   };
-  if (k < all.size()) {
-    std::nth_element(all.begin(), all.begin() + static_cast<ptrdiff_t>(k),
-                     all.end(), better);
-    all.resize(k);
+  auto final_score = [&](index::DocId d, double delta) {
+    return background_const + delta -
+           std::log(static_cast<double>(idx.DocLength(d)) + mu);
+  };
+
+  // Bounded top-k: `heap` is a binary heap under `better`, so its front is
+  // the worst kept candidate (the element no other kept candidate loses to).
+  ResultList& heap = scratch->heap_;
+  heap.clear();
+  const size_t keep = std::min(k, num_docs);
+  auto offer = [&](const ScoredDoc& sd) {
+    if (heap.size() < keep) {
+      heap.push_back(sd);
+      std::push_heap(heap.begin(), heap.end(), better);
+      return true;
+    }
+    if (!better(sd, heap.front())) return false;
+    std::pop_heap(heap.begin(), heap.end(), better);
+    heap.back() = sd;
+    std::push_heap(heap.begin(), heap.end(), better);
+    return true;
+  };
+
+  for (index::DocId d : touched) {
+    offer(ScoredDoc{d, final_score(d, scratch->delta_[d])});
   }
-  std::sort(all.begin(), all.end(), better);
-  return all;
+
+  // Untouched documents all score background_const − log(|D| + μ), which the
+  // doc-length-sorted order visits in non-increasing preference (score
+  // strictly falls with length; equal-length runs ascend by doc id, the
+  // tie-break order). The first rejected candidate therefore ends the scan.
+  for (index::DocId d : idx.DocsByLength()) {
+    if (scratch->epoch_[d] == epoch) continue;  // scored above
+    // Written as background_const + 0.0 − log(...) in effect: identical to
+    // the dense formula with a zero accumulator.
+    if (!offer(ScoredDoc{d, final_score(d, 0.0)}) ) break;
+  }
+
+  std::sort_heap(heap.begin(), heap.end(), better);
+  ResultList out(heap.begin(), heap.end());
+  return out;
 }
 
 double Retriever::ScoreDocument(const Query& query, index::DocId doc) const {

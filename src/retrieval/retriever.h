@@ -27,8 +27,29 @@ struct RetrieverOptions {
   double mu = 1000.0;
 };
 
+/// Reusable per-worker scoring state. One instance per concurrent caller;
+/// reusing it across queries amortizes the collection-sized accumulator
+/// allocation that used to be paid on every Retrieve call.
+class RetrieverScratch {
+ public:
+  RetrieverScratch() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(RetrieverScratch);
+
+ private:
+  friend class Retriever;
+
+  // delta_[d] is valid iff epoch_[d] == current_epoch_: bumping the epoch
+  // invalidates the whole accumulator in O(1) between queries.
+  std::vector<double> delta_;
+  std::vector<uint32_t> epoch_;
+  uint32_t current_epoch_ = 0;
+  std::vector<index::DocId> touched_;
+  ResultList heap_;
+};
+
 /// Stateless scoring engine bound to one index. Thread-compatible (all
-/// methods const; no shared mutable state).
+/// methods const; no shared mutable state) — concurrent callers pass their
+/// own RetrieverScratch.
 class Retriever {
  public:
   /// `index` must outlive the retriever.
@@ -40,8 +61,16 @@ class Retriever {
 
   /// Scores all documents and returns the top `k` by descending
   /// log-likelihood (ties broken by ascending doc id). Documents matching no
-  /// atom still receive their background score, as in true QL ranking.
+  /// atom still receive their background score, as in true QL ranking —
+  /// realized sparsely: only docs touched by some atom are accumulated, and
+  /// the background-only tail is filled from the index's doc-length-sorted
+  /// order, whose background scores are monotone.
   ResultList Retrieve(const Query& query, size_t k) const;
+
+  /// Same ranking, reusing caller-owned scratch. The results are identical
+  /// to the scratch-less overload bit for bit; only allocations differ.
+  ResultList Retrieve(const Query& query, size_t k,
+                      RetrieverScratch* scratch) const;
 
   /// log P(Q|D) for one document (used by tests and the PRF model).
   double ScoreDocument(const Query& query, index::DocId doc) const;

@@ -29,9 +29,8 @@ std::vector<TriangularMatch> MotifFinder::FindTriangular(
   // closes no length-3 cycle through a category.
   if (q_cats.empty()) return matches;
 
-  for (kb::ArticleId a : kb_->OutLinks(q)) {
+  for (kb::ArticleId a : kb_->ReciprocalLinks(q)) {
     if (a == q) continue;
-    if (!kb_->HasLink(a, q)) continue;  // must be doubly linked
     std::span<const kb::CategoryId> a_cats = kb_->CategoriesOf(a);
     if (!SortedSubset(q_cats, a_cats)) continue;
     // Every category of q is shared; each closes one triangle.
@@ -47,15 +46,27 @@ std::vector<SquareMatch> MotifFinder::FindSquare(kb::ArticleId q) const {
   std::span<const kb::CategoryId> q_cats = kb_->CategoriesOf(q);
   if (q_cats.empty()) return matches;
 
-  for (kb::ArticleId a : kb_->OutLinks(q)) {
+  for (kb::ArticleId a : kb_->ReciprocalLinks(q)) {
     if (a == q) continue;
-    if (!kb_->HasLink(a, q)) continue;
+    std::span<const kb::CategoryId> a_cats = kb_->CategoriesOf(a);
+    // For each query category, the squares it closes are the members of
+    // a_cats related to it by a C->C edge in either direction. Both the
+    // neighbor lists and a_cats are sorted, so a three-way merge finds them
+    // in O(|parents| + |children| + |a_cats|) instead of the former
+    // |q_cats| x |a_cats| nested loop with a binary search per pair. The
+    // union walk emits each related category once, ascending — the same
+    // order the nested loop produced.
     for (kb::CategoryId cq : q_cats) {
-      for (kb::CategoryId ca : kb_->CategoriesOf(a)) {
-        if (cq == ca) continue;  // identical categories form a triangle
-        if (kb_->CategoriesRelated(cq, ca)) {
-          matches.push_back(SquareMatch{q, a, cq, ca});
-        }
+      std::span<const kb::CategoryId> up = kb_->ParentCategories(cq);
+      std::span<const kb::CategoryId> down = kb_->ChildCategories(cq);
+      size_t iu = 0, id = 0;
+      for (kb::CategoryId ca : a_cats) {
+        while (iu < up.size() && up[iu] < ca) ++iu;
+        while (id < down.size() && down[id] < ca) ++id;
+        if (ca == cq) continue;  // identical categories form a triangle
+        bool related = (iu < up.size() && up[iu] == ca) ||
+                       (id < down.size() && down[id] == ca);
+        if (related) matches.push_back(SquareMatch{q, a, cq, ca});
       }
     }
   }

@@ -1,11 +1,13 @@
 // MotifFinder: enumerates triangular and square motif instances around
 // query nodes and assembles query graphs.
 //
-// Complexity per query node q: O(Σ_{a ∈ N⁺(q)} [log d(a) + |cats(q)|·log
-// |cats(a)| + |cats(q)|·|cats(a)|·log d_c]) — reciprocity checks are binary
-// searches in sorted CSR adjacency; category tests are sorted-set
-// operations. No index structures beyond the KB itself are used, matching
-// the paper's "no indexing, no parallelism" measurement setup.
+// Complexity per query node q: O(Σ_{a ∈ N↔(q)} [|cats(q)| · (|cats(a)| +
+// d_c(cats(q)))]) where N↔(q) is the precomputed reciprocal-link list —
+// doubly-linked candidates are enumerated directly from the KB's
+// reciprocal CSR (no per-out-link binary search), and category relatedness
+// is a sorted three-way merge rather than per-pair binary searches. The
+// finder is stateless and const, so batch-pipeline workers share one
+// instance concurrently.
 #ifndef SQE_SQE_MOTIF_FINDER_H_
 #define SQE_SQE_MOTIF_FINDER_H_
 

@@ -33,6 +33,14 @@ std::vector<kb::ArticleId> SqeEngine::LinkQueryNodes(
 SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
                                std::span<const kb::ArticleId> query_nodes,
                                const MotifConfig& motifs, size_t k) const {
+  retrieval::RetrieverScratch scratch;
+  return RunSqeWithScratch(user_query, query_nodes, motifs, k, &scratch);
+}
+
+SqeRunResult SqeEngine::RunSqeWithScratch(
+    std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
+    const MotifConfig& motifs, size_t k,
+    retrieval::RetrieverScratch* scratch) const {
   SqeRunResult out;
   Timer total;
 
@@ -43,10 +51,31 @@ SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
   out.query = query_builder_.Build(user_query, out.graph, QueryParts::All());
 
   Timer retrieval_timer;
-  out.results = retriever_.Retrieve(out.query, k);
+  out.results = retriever_.Retrieve(out.query, k, scratch);
   out.retrieval_ms = retrieval_timer.ElapsedMillis();
   out.total_ms = total.ElapsedMillis();
   return out;
+}
+
+std::vector<SqeRunResult> SqeEngine::RunBatch(
+    std::span<const BatchQueryInput> queries, const MotifConfig& motifs,
+    size_t k, ThreadPool* pool) const {
+  std::vector<SqeRunResult> results(queries.size());
+  const size_t workers = pool != nullptr ? pool->num_workers() : 1;
+  // One scratch per worker id, never per query: the collection-sized
+  // accumulator is allocated `workers` times for the whole batch.
+  std::vector<retrieval::RetrieverScratch> scratch(workers);
+
+  auto run_one = [&](size_t i, size_t worker) {
+    results[i] = RunSqeWithScratch(queries[i].text, queries[i].query_nodes,
+                                   motifs, k, &scratch[worker]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(queries.size(), run_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) run_one(i, 0);
+  }
+  return results;
 }
 
 SqeRunResult SqeEngine::RunWithGraph(std::string_view user_query,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "entity/entity_linker.h"
 #include "index/inverted_index.h"
 #include "kb/knowledge_base.h"
@@ -49,6 +50,13 @@ struct SqeEngineConfig {
   retrieval::RetrieverOptions retriever;
 };
 
+/// One query of a batch run: the raw text plus its (manually selected or
+/// pre-linked) query nodes.
+struct BatchQueryInput {
+  std::string text;
+  std::vector<kb::ArticleId> query_nodes;
+};
+
 class SqeEngine {
  public:
   /// All pointers must outlive the engine. `linker` may be null if only
@@ -69,6 +77,19 @@ class SqeEngine {
   SqeRunResult RunSqe(std::string_view user_query,
                       std::span<const kb::ArticleId> query_nodes,
                       const MotifConfig& motifs, size_t k) const;
+
+  // ---- batch runs ----------------------------------------------------------
+
+  /// Expands and retrieves every query of the batch, distributing queries
+  /// across `pool` (or running sequentially when `pool` is null/empty).
+  /// Safe because the engine and everything it points at are immutable:
+  /// workers share the KB, index, and finder read-only and write only their
+  /// own result slot and per-worker RetrieverScratch. results[i] is
+  /// bit-identical to RunSqe(queries[i]...) regardless of thread count or
+  /// scheduling; only the timing fields vary.
+  std::vector<SqeRunResult> RunBatch(std::span<const BatchQueryInput> queries,
+                                     const MotifConfig& motifs, size_t k,
+                                     ThreadPool* pool = nullptr) const;
 
   /// Retrieval with a caller-provided query graph (used for the ground-truth
   /// upper bound SQE^UB).
@@ -99,6 +120,11 @@ class SqeEngine {
   const kb::KnowledgeBase& kb() const { return *kb_; }
 
  private:
+  SqeRunResult RunSqeWithScratch(std::string_view user_query,
+                                 std::span<const kb::ArticleId> query_nodes,
+                                 const MotifConfig& motifs, size_t k,
+                                 retrieval::RetrieverScratch* scratch) const;
+
   const kb::KnowledgeBase* kb_;
   const index::InvertedIndex* index_;
   const entity::EntityLinker* linker_;

@@ -1,0 +1,226 @@
+// Concurrency coverage: the thread pool itself, the reciprocal-link CSR the
+// parallel motif path relies on, and the batch pipeline's determinism
+// guarantee — RunBatch over a worker pool must be byte-identical to
+// sequential RunSqe. Run under SQE_SANITIZE=thread to prove race-freedom.
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "kb/kb_builder.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+// ---- thread pool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i, size_t worker) {
+    ASSERT_LT(worker, pool.num_workers());
+    hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);  // inline: no synchronization needed
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksBeforeJoin) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 1; i <= 10; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+    // Destructor drains the queue and joins the workers.
+  }
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(3);
+  pool.ParallelFor(0, [](size_t, size_t) { FAIL(); });
+  size_t count = 0;
+  pool.ParallelFor(1, [&](size_t i, size_t) { count += i + 1; });
+  EXPECT_EQ(count, 1u);
+}
+
+// ---- reciprocal-link CSR ---------------------------------------------------
+
+TEST(ReciprocalCsrTest, MatchesPairwiseGroundTruthOnSynthWorld) {
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  const kb::KnowledgeBase& kb = world.kb;
+  size_t total = 0;
+  for (size_t a = 0; a < kb.NumArticles(); ++a) {
+    const kb::ArticleId id = static_cast<kb::ArticleId>(a);
+    std::vector<kb::ArticleId> expected;
+    for (kb::ArticleId b : kb.OutLinks(id)) {
+      if (kb.HasLink(b, id)) expected.push_back(b);
+    }
+    auto got = kb.ReciprocalLinks(id);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin(),
+                           expected.end()))
+        << "article " << a;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    total += got.size();
+    // Membership test agrees with the definition.
+    for (kb::ArticleId b : expected) {
+      EXPECT_TRUE(kb.ReciprocallyLinked(id, b));
+      EXPECT_TRUE(kb.ReciprocallyLinked(b, id));
+    }
+  }
+  EXPECT_GT(total, 0u);  // the synth world always has reciprocal pairs
+}
+
+TEST(ReciprocalCsrTest, RebuiltOnSnapshotLoad) {
+  kb::KbBuilder builder;
+  kb::ArticleId a = builder.AddArticle("A");
+  kb::ArticleId b = builder.AddArticle("B");
+  kb::ArticleId c = builder.AddArticle("C");
+  builder.AddReciprocalLink(a, b);
+  builder.AddArticleLink(a, c);  // one-way: must not appear
+  kb::KnowledgeBase kb = std::move(builder).Build();
+
+  auto loaded_or = kb::KnowledgeBase::FromSnapshotString(kb.SerializeToString());
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const kb::KnowledgeBase& loaded = loaded_or.value();
+  ASSERT_EQ(loaded.ReciprocalLinks(a).size(), 1u);
+  EXPECT_EQ(loaded.ReciprocalLinks(a)[0], b);
+  ASSERT_EQ(loaded.ReciprocalLinks(b).size(), 1u);
+  EXPECT_EQ(loaded.ReciprocalLinks(b)[0], a);
+  EXPECT_TRUE(loaded.ReciprocalLinks(c).empty());
+  EXPECT_FALSE(loaded.ReciprocallyLinked(a, c));
+}
+
+// ---- batch determinism -----------------------------------------------------
+
+struct BatchFixture {
+  synth::World world;
+  synth::Dataset dataset;
+  expansion::SqeEngine engine;
+
+  BatchFixture()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())),
+        engine(&world.kb, &dataset.index, dataset.linker.get(),
+               &dataset.analyzer(), MakeConfig(dataset)) {}
+
+  static expansion::SqeEngineConfig MakeConfig(const synth::Dataset& ds) {
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = ds.retrieval_mu;
+    return config;
+  }
+
+  std::vector<expansion::BatchQueryInput> MakeBatch() const {
+    std::vector<expansion::BatchQueryInput> batch;
+    for (const synth::GeneratedQuery& q : dataset.query_set.queries) {
+      batch.push_back({q.text, q.true_entities});
+    }
+    return batch;
+  }
+};
+
+BatchFixture& SharedFixture() {
+  static BatchFixture& fixture = *new BatchFixture();
+  return fixture;
+}
+
+void ExpectIdenticalRun(const expansion::SqeRunResult& got,
+                        const expansion::SqeRunResult& want, size_t qi) {
+  // Results: same docs in the same order with bit-equal scores.
+  ASSERT_EQ(got.results.size(), want.results.size()) << "query " << qi;
+  for (size_t r = 0; r < got.results.size(); ++r) {
+    EXPECT_EQ(got.results[r].doc, want.results[r].doc)
+        << "query " << qi << " rank " << r;
+    EXPECT_EQ(got.results[r].score, want.results[r].score)
+        << "query " << qi << " rank " << r;
+  }
+  // Graphs: same expansion nodes, counts, and categories.
+  ASSERT_EQ(got.graph.expansion_nodes.size(),
+            want.graph.expansion_nodes.size());
+  for (size_t e = 0; e < got.graph.expansion_nodes.size(); ++e) {
+    EXPECT_EQ(got.graph.expansion_nodes[e].article,
+              want.graph.expansion_nodes[e].article);
+    EXPECT_EQ(got.graph.expansion_nodes[e].motif_count,
+              want.graph.expansion_nodes[e].motif_count);
+  }
+  EXPECT_EQ(got.graph.total_motifs, want.graph.total_motifs);
+  EXPECT_EQ(got.graph.category_nodes, want.graph.category_nodes);
+}
+
+TEST(RunBatchTest, ParallelIsByteIdenticalToSequential) {
+  BatchFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  ASSERT_GE(batch.size(), 4u);
+  constexpr size_t kDepth = 100;
+  const auto motifs = expansion::MotifConfig::Both();
+
+  // Sequential reference via the public single-query API.
+  std::vector<expansion::SqeRunResult> reference;
+  for (const expansion::BatchQueryInput& q : batch) {
+    reference.push_back(
+        f.engine.RunSqe(q.text, q.query_nodes, motifs, kDepth));
+  }
+
+  ThreadPool pool(4);
+  std::vector<expansion::SqeRunResult> parallel =
+      f.engine.RunBatch(batch, motifs, kDepth, &pool);
+
+  ASSERT_EQ(parallel.size(), reference.size());
+  for (size_t qi = 0; qi < parallel.size(); ++qi) {
+    ExpectIdenticalRun(parallel[qi], reference[qi], qi);
+  }
+}
+
+TEST(RunBatchTest, NullPoolMatchesSequential) {
+  BatchFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  constexpr size_t kDepth = 50;
+  const auto motifs = expansion::MotifConfig::Triangular();
+
+  std::vector<expansion::SqeRunResult> sequential =
+      f.engine.RunBatch(batch, motifs, kDepth, nullptr);
+  ASSERT_EQ(sequential.size(), batch.size());
+  for (size_t qi = 0; qi < batch.size(); ++qi) {
+    expansion::SqeRunResult single = f.engine.RunSqe(
+        batch[qi].text, batch[qi].query_nodes, motifs, kDepth);
+    ExpectIdenticalRun(sequential[qi], single, qi);
+  }
+}
+
+TEST(RunBatchTest, RepeatedParallelRunsAgree) {
+  // Re-running the same batch must reproduce itself exactly: per-worker
+  // scratch reuse may not leak state across queries.
+  BatchFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  constexpr size_t kDepth = 100;
+  const auto motifs = expansion::MotifConfig::Both();
+
+  ThreadPool pool(4);
+  auto first = f.engine.RunBatch(batch, motifs, kDepth, &pool);
+  auto second = f.engine.RunBatch(batch, motifs, kDepth, &pool);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t qi = 0; qi < first.size(); ++qi) {
+    ExpectIdenticalRun(second[qi], first[qi], qi);
+  }
+}
+
+}  // namespace
+}  // namespace sqe

@@ -108,6 +108,30 @@ TEST(KnowledgeBaseTest, EdgeExistenceChecks) {
   EXPECT_TRUE(kb.CategoriesRelated(transport, rail));
 }
 
+TEST(KnowledgeBaseTest, ReciprocalCsrMatchesPairwiseChecks) {
+  KnowledgeBase kb = MakeSmallKb();
+  ArticleId cable = kb.FindArticle("Cable Car");
+  ArticleId funicular = kb.FindArticle("Funicular");
+  ArticleId tram = kb.FindArticle("Tram");
+
+  // The precomputed list contains exactly the doubly-linked neighbors.
+  auto recip = kb.ReciprocalLinks(cable);
+  ASSERT_EQ(recip.size(), 1u);
+  EXPECT_EQ(recip[0], funicular);
+  EXPECT_TRUE(kb.ReciprocalLinks(tram).empty());
+
+  // It agrees with the pairwise definition HasLink(a,b) && HasLink(b,a) for
+  // every ordered pair.
+  for (size_t a = 0; a < kb.NumArticles(); ++a) {
+    for (size_t b = 0; b < kb.NumArticles(); ++b) {
+      ArticleId ia = static_cast<ArticleId>(a), ib = static_cast<ArticleId>(b);
+      EXPECT_EQ(kb.ReciprocallyLinked(ia, ib),
+                kb.HasLink(ia, ib) && kb.HasLink(ib, ia))
+          << a << "->" << b;
+    }
+  }
+}
+
 TEST(KnowledgeBaseTest, ReverseAdjacencyConsistent) {
   KnowledgeBase kb = MakeSmallKb();
   ArticleId cable = kb.FindArticle("Cable Car");
