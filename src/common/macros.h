@@ -32,6 +32,28 @@
     }                                                                       \
   } while (0)
 
+// Debug-only invariant check: identical to SQE_CHECK in debug builds,
+// compiled out (condition not evaluated) under NDEBUG. Use on hot read paths
+// where the bounds are already guaranteed by construction plus Validate()
+// at load time — SQE_CHECK there costs a branch per lookup inside motif
+// traversal loops. The `false &&` keeps the condition syntactically and
+// semantically checked in all build modes so it cannot rot.
+#ifdef NDEBUG
+#define SQE_DCHECK(condition) \
+  do {                        \
+    if (false && (condition)) {} \
+  } while (0)
+#define SQE_DCHECK_MSG(condition, msg) \
+  do {                                 \
+    if (false && (condition)) {        \
+      (void)(msg);                     \
+    }                                  \
+  } while (0)
+#else
+#define SQE_DCHECK(condition) SQE_CHECK(condition)
+#define SQE_DCHECK_MSG(condition, msg) SQE_CHECK_MSG(condition, msg)
+#endif
+
 // Propagates a non-ok Status from an expression that yields a Status.
 #define SQE_RETURN_IF_ERROR(expr)                 \
   do {                                            \

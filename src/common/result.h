@@ -12,8 +12,10 @@ namespace sqe {
 
 /// Holds either a value of type T or a non-ok Status explaining why the value
 /// is absent. Accessing value() on an error Result aborts (programmer error).
+///
+/// [[nodiscard]]: like Status, a dropped Result is a swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (ok result).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -32,7 +32,10 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A Status holds either success (ok) or an error code plus message.
 /// Cheap to copy in the ok case (no allocation); error carries a string.
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status silently swallows errors, so
+/// every call site must consume it (propagate, branch on ok(), or log).
+class [[nodiscard]] Status {
  public:
   /// Constructs an ok status.
   Status() : code_(StatusCode::kOk) {}

@@ -13,28 +13,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     SQE_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      cv_.Wait(&mu_, [this]() SQE_REQUIRES(mu_) {
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -58,13 +60,16 @@ void ThreadPool::ParallelFor(size_t n,
   // with unrelated Submit() traffic.
   struct State {
     std::atomic<size_t> next{0};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    size_t active = 0;
+    Mutex done_mu;
+    CondVar done_cv;
+    size_t active SQE_GUARDED_BY(done_mu) = 0;
   };
   State state;
   const size_t spawned = std::min(workers, n);
-  state.active = spawned;
+  {
+    MutexLock lock(&state.done_mu);
+    state.active = spawned;
+  }
 
   auto run = [&state, n, &fn](size_t worker_id) {
     for (;;) {
@@ -72,15 +77,17 @@ void ThreadPool::ParallelFor(size_t n,
       if (i >= n) break;
       fn(i, worker_id);
     }
-    std::lock_guard<std::mutex> lock(state.done_mu);
-    if (--state.active == 0) state.done_cv.notify_one();
+    MutexLock lock(&state.done_mu);
+    if (--state.active == 0) state.done_cv.Signal();
   };
 
   for (size_t w = 0; w < spawned; ++w) {
     Submit([&run, w] { run(w); });
   }
-  std::unique_lock<std::mutex> lock(state.done_mu);
-  state.done_cv.wait(lock, [&state] { return state.active == 0; });
+  MutexLock lock(&state.done_mu);
+  state.done_cv.Wait(&state.done_mu, [&state]() SQE_REQUIRES(state.done_mu) {
+    return state.active == 0;
+  });
 }
 
 size_t ThreadPool::HardwareConcurrency() {

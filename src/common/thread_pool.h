@@ -5,19 +5,19 @@
 // only read shared structures (KnowledgeBase, InvertedIndex) and write to
 // disjoint output slots or per-worker scratch, so no synchronization beyond
 // the queue itself is needed and results are deterministic regardless of
-// scheduling order.
+// scheduling order. The queue state itself is annotated with
+// SQE_GUARDED_BY and checked by clang's -Wthread-safety analysis.
 #ifndef SQE_COMMON_THREAD_POOL_H_
 #define SQE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 
 namespace sqe {
 
@@ -37,24 +37,25 @@ class ThreadPool {
   size_t num_workers() const { return threads_.empty() ? 1 : threads_.size(); }
 
   /// Enqueues one task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SQE_EXCLUDES(mu_);
 
   /// Runs fn(index, worker_id) for every index in [0, n), distributing
   /// indices dynamically across the pool, and blocks until all are done.
   /// worker_id is in [0, num_workers()); a given worker runs one index at a
   /// time, so fn may freely mutate scratch[worker_id].
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn)
+      SQE_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t HardwareConcurrency();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SQE_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SQE_GUARDED_BY(mu_);
+  bool shutting_down_ SQE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/string_util.h"
 #include "io/coding.h"
 #include "io/file.h"
 
@@ -23,6 +24,122 @@ void InvertedIndex::BuildDocsByLength() {
               }
               return a < b;
             });
+}
+
+Status InvertedIndex::Validate() const {
+  SQE_RETURN_IF_ERROR(vocab_.Validate());
+
+  const size_t num_docs = doc_lengths_.size();
+  if (external_ids_.size() != num_docs) {
+    return Status::Corruption(
+        StrFormat("index: %zu external ids for %zu documents",
+                  external_ids_.size(), num_docs));
+  }
+  if (postings_.size() != vocab_.size()) {
+    return Status::Corruption(
+        StrFormat("index: %zu posting lists for %zu vocabulary terms",
+                  postings_.size(), vocab_.size()));
+  }
+
+  // Forward index shape: offsets sized N+1 (a single 0 for an empty index),
+  // deltas equal to the stored doc lengths, terms within the vocabulary.
+  if (doc_term_offsets_.empty()) {
+    if (num_docs != 0 || !doc_terms_.empty()) {
+      return Status::Corruption("index: forward offsets missing");
+    }
+  } else {
+    if (doc_term_offsets_.size() != num_docs + 1 ||
+        doc_term_offsets_.front() != 0 ||
+        doc_term_offsets_.back() != doc_terms_.size()) {
+      return Status::Corruption(StrFormat(
+          "index: forward offsets malformed (%zu entries for %zu docs, "
+          "%zu terms)",
+          doc_term_offsets_.size(), num_docs, doc_terms_.size()));
+    }
+    for (size_t d = 0; d < num_docs; ++d) {
+      if (doc_term_offsets_[d] > doc_term_offsets_[d + 1]) {
+        return Status::Corruption(StrFormat(
+            "index: forward offsets not monotone at doc %zu", d));
+      }
+      if (doc_term_offsets_[d + 1] - doc_term_offsets_[d] !=
+          doc_lengths_[d]) {
+        return Status::Corruption(StrFormat(
+            "index: doc %zu length %u != %llu forward terms", d,
+            (unsigned)doc_lengths_[d],
+            (unsigned long long)(doc_term_offsets_[d + 1] -
+                                 doc_term_offsets_[d])));
+      }
+    }
+  }
+  for (size_t i = 0; i < doc_terms_.size(); ++i) {
+    if (doc_terms_[i] >= vocab_.size()) {
+      return Status::Corruption(StrFormat(
+          "index: forward term at position %zu out of vocabulary range", i));
+    }
+  }
+
+  // Collection statistics.
+  uint64_t length_sum = 0;
+  for (uint32_t len : doc_lengths_) length_sum += len;
+  if (total_tokens_ != length_sum) {
+    return Status::Corruption(StrFormat(
+        "index: total tokens %llu != %llu sum of doc lengths",
+        (unsigned long long)total_tokens_, (unsigned long long)length_sum));
+  }
+
+  // Per-term postings, cross-checked against forward-index term counts so a
+  // posting list cannot silently disagree with the documents it came from.
+  std::vector<uint64_t> forward_counts(vocab_.size(), 0);
+  for (text::TermId t : doc_terms_) forward_counts[t]++;
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    Status s = postings_[t].Validate(num_docs);
+    if (!s.ok()) {
+      return Status::Corruption(StrFormat(
+          "index: term %zu ('%s'): %s", t, vocab_.TermOf(t).c_str(),
+          s.message().c_str()));
+    }
+    if (postings_[t].CollectionFrequency() != forward_counts[t]) {
+      return Status::Corruption(StrFormat(
+          "index: term %zu ('%s') collection frequency %llu != %llu forward "
+          "occurrences",
+          t, vocab_.TermOf(t).c_str(),
+          (unsigned long long)postings_[t].CollectionFrequency(),
+          (unsigned long long)forward_counts[t]));
+    }
+    // Positions must stay inside their document.
+    for (size_t i = 0; i < postings_[t].NumDocs(); ++i) {
+      std::span<const uint32_t> pos = postings_[t].positions(i);
+      if (!pos.empty() && pos.back() >= doc_lengths_[postings_[t].doc(i)]) {
+        return Status::Corruption(StrFormat(
+            "index: term %zu ('%s') doc %u position %u beyond doc length %u",
+            t, vocab_.TermOf(t).c_str(), (unsigned)postings_[t].doc(i),
+            (unsigned)pos.back(),
+            (unsigned)doc_lengths_[postings_[t].doc(i)]));
+      }
+    }
+  }
+
+  // Docs-by-length order: a permutation of [0, N) sorted by (length, id).
+  if (docs_by_length_.size() != num_docs) {
+    return Status::Corruption(
+        StrFormat("index: docs-by-length order has %zu entries for %zu docs",
+                  docs_by_length_.size(), num_docs));
+  }
+  for (size_t i = 0; i < docs_by_length_.size(); ++i) {
+    if (docs_by_length_[i] >= num_docs) {
+      return Status::Corruption(StrFormat(
+          "index: docs-by-length entry %zu out of range", i));
+    }
+    if (i > 0) {
+      DocId a = docs_by_length_[i - 1], b = docs_by_length_[i];
+      if (doc_lengths_[a] > doc_lengths_[b] ||
+          (doc_lengths_[a] == doc_lengths_[b] && a >= b)) {
+        return Status::Corruption(StrFormat(
+            "index: docs-by-length order violated at entry %zu", i));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 DocId InvertedIndex::FindDocument(std::string_view external_id) const {
@@ -78,6 +195,13 @@ InvertedIndex IndexBuilder::Build() && {
   // lagged; pad to vocab size for safe indexing.
   index_.postings_.resize(index_.vocab_.size());
   index_.BuildDocsByLength();
+#ifndef NDEBUG
+  // Debug builds re-prove the construction invariants the scoring path
+  // relies on; release builds trust the builder (Validate guards untrusted
+  // snapshots instead).
+  Status validation = index_.Validate();
+  SQE_CHECK_MSG(validation.ok(), validation.ToString().c_str());
+#endif
   return std::move(index_);
 }
 
@@ -225,10 +349,17 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
       if (!io::GetVarint32(&pb, &gap) || !io::GetVarint32(&pb, &freq)) {
         return Status::Corruption("posting entry truncated");
       }
-      doc += gap;
-      if (doc >= num_docs) {
+      // Widen before adding: a hostile gap could wrap uint32 and smuggle a
+      // descending doc id past the range check (which would then trip the
+      // builder's ascending-order SQE_CHECK — an abort on untrusted input).
+      uint64_t next_doc = static_cast<uint64_t>(doc) + gap;
+      if (i > 0 && gap == 0) {
+        return Status::Corruption("posting doc gap zero (duplicate doc id)");
+      }
+      if (next_doc >= num_docs) {
         return Status::Corruption("posting doc id out of range");
       }
+      doc = static_cast<DocId>(next_doc);
       if (freq == 0) return Status::Corruption("posting frequency zero");
       uint32_t pos = 0;
       for (uint32_t j = 0; j < freq; ++j) {
@@ -244,6 +375,12 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
   }
 
   index.BuildDocsByLength();
+
+  // Deep structural validation of the final object: catches payloads that
+  // pass CRC and decode (e.g. a re-signed snapshot whose postings disagree
+  // with the forward index) before they can skew scores or index out of
+  // bounds under the release-mode SQE_DCHECKs.
+  SQE_RETURN_IF_ERROR(index.Validate());
   return index;
 }
 

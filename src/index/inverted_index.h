@@ -31,13 +31,15 @@ class InvertedIndex {
   // ---- documents -----------------------------------------------------------
 
   size_t NumDocuments() const { return doc_lengths_.size(); }
+  // Per-lookup bounds checks on the scoring path are debug-only: DocIds come
+  // from the index's own postings, whose ranges Validate() proves at load.
   /// Number of tokens the document contained after analysis.
   uint32_t DocLength(DocId d) const {
-    SQE_CHECK(d < doc_lengths_.size());
+    SQE_DCHECK(d < doc_lengths_.size());
     return doc_lengths_[d];
   }
   const std::string& ExternalId(DocId d) const {
-    SQE_CHECK(d < external_ids_.size());
+    SQE_DCHECK(d < external_ids_.size());
     return external_ids_[d];
   }
   /// DocId for an external id, or kInvalidDoc.
@@ -54,7 +56,7 @@ class InvertedIndex {
   /// Forward index: the analyzed token stream of a document, in order.
   /// Used by the PRF relevance model.
   std::span<const text::TermId> DocTerms(DocId d) const {
-    SQE_CHECK(d + 1 < doc_term_offsets_.size());
+    SQE_DCHECK(d + 1 < doc_term_offsets_.size());
     return std::span<const text::TermId>(
         doc_terms_.data() + doc_term_offsets_[d],
         doc_terms_.data() + doc_term_offsets_[d + 1]);
@@ -68,7 +70,7 @@ class InvertedIndex {
     return vocab_.Lookup(term);
   }
   const PostingList& Postings(text::TermId t) const {
-    SQE_CHECK(t < postings_.size());
+    SQE_DCHECK(t < postings_.size());
     return postings_[t];
   }
 
@@ -95,6 +97,17 @@ class InvertedIndex {
   double CollectionProbability(text::TermId t) const;
   double UnseenTermProbability() const;
 
+  // ---- integrity ----------------------------------------------------------
+
+  /// Deep structural validation: vocabulary bijection, per-term posting-list
+  /// invariants (strictly increasing doc ids, sorted positions), forward
+  /// index consistent with doc lengths and vocabulary range, postings
+  /// cross-checked against the forward index term counts, collection stats
+  /// (total tokens) consistent, and the docs-by-length order a valid
+  /// permutation. Returns Status::Corruption pinpointing the violation.
+  /// Runs after every snapshot load; O(tokens + terms), load-time only.
+  Status Validate() const;
+
   // ---- persistence ---------------------------------------------------------
 
   Status SaveToFile(const std::string& path) const;
@@ -104,6 +117,7 @@ class InvertedIndex {
 
  private:
   friend class IndexBuilder;
+  friend struct InvertedIndexTestPeer;  // validator tests build broken indexes
 
   void BuildDocsByLength();
 

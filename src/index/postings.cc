@@ -2,7 +2,73 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
+
 namespace sqe::index {
+
+Status PostingList::Validate(size_t num_docs) const {
+  if (freqs_.size() != docs_.size()) {
+    return Status::Corruption(
+        StrFormat("posting list: %zu docs but %zu frequencies", docs_.size(),
+                  freqs_.size()));
+  }
+  if (docs_.empty()) {
+    if (!positions_.empty() || total_occurrences_ != 0) {
+      return Status::Corruption(
+          "posting list: empty doc list with positions or occurrences");
+    }
+    return Status::OK();
+  }
+  if (pos_offsets_.size() != docs_.size() + 1 || pos_offsets_.front() != 0) {
+    return Status::Corruption(
+        StrFormat("posting list: position offsets malformed (%zu entries for "
+                  "%zu docs)",
+                  pos_offsets_.size(), docs_.size()));
+  }
+  if (pos_offsets_.back() != positions_.size()) {
+    return Status::Corruption(StrFormat(
+        "posting list: position offsets end at %llu but %zu positions",
+        (unsigned long long)pos_offsets_.back(), positions_.size()));
+  }
+  if (total_occurrences_ != positions_.size()) {
+    return Status::Corruption(StrFormat(
+        "posting list: collection frequency %llu != %zu stored positions",
+        (unsigned long long)total_occurrences_, positions_.size()));
+  }
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    if (docs_[i] >= num_docs) {
+      return Status::Corruption(
+          StrFormat("posting list: entry %zu doc id %u out of range (%zu "
+                    "documents)",
+                    i, (unsigned)docs_[i], num_docs));
+    }
+    if (i > 0 && docs_[i - 1] >= docs_[i]) {
+      return Status::Corruption(StrFormat(
+          "posting list: doc ids not strictly increasing at entry %zu "
+          "(%u >= %u)",
+          i, (unsigned)docs_[i - 1], (unsigned)docs_[i]));
+    }
+    if (freqs_[i] == 0) {
+      return Status::Corruption(
+          StrFormat("posting list: entry %zu has zero frequency", i));
+    }
+    if (pos_offsets_[i + 1] - pos_offsets_[i] != freqs_[i]) {
+      return Status::Corruption(StrFormat(
+          "posting list: entry %zu frequency %u != %llu positions", i,
+          (unsigned)freqs_[i],
+          (unsigned long long)(pos_offsets_[i + 1] - pos_offsets_[i])));
+    }
+    for (uint64_t j = pos_offsets_[i] + 1; j < pos_offsets_[i + 1]; ++j) {
+      if (positions_[j - 1] >= positions_[j]) {
+        return Status::Corruption(StrFormat(
+            "posting list: entry %zu positions not strictly ascending "
+            "(%u >= %u)",
+            i, (unsigned)positions_[j - 1], (unsigned)positions_[j]));
+      }
+    }
+  }
+  return Status::OK();
+}
 
 size_t PostingList::Find(DocId doc) const {
   auto it = std::lower_bound(docs_.begin(), docs_.end(), doc);

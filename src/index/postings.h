@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "index/types.h"
 
 namespace sqe::index {
@@ -23,10 +24,17 @@ class PostingList {
   /// Total occurrences across the collection (collection term frequency).
   uint64_t CollectionFrequency() const { return total_occurrences_; }
 
-  DocId doc(size_t i) const { return docs_[i]; }
-  uint32_t frequency(size_t i) const { return freqs_[i]; }
+  DocId doc(size_t i) const {
+    SQE_DCHECK(i < docs_.size());
+    return docs_[i];
+  }
+  uint32_t frequency(size_t i) const {
+    SQE_DCHECK(i < freqs_.size());
+    return freqs_[i];
+  }
   /// Token positions of the i-th entry, ascending.
   std::span<const uint32_t> positions(size_t i) const {
+    SQE_DCHECK(i + 1 < pos_offsets_.size());
     uint64_t begin = pos_offsets_[i];
     uint64_t end = pos_offsets_[i + 1];
     return std::span<const uint32_t>(positions_.data() + begin,
@@ -36,6 +44,13 @@ class PostingList {
   /// Index of `doc` in this list, or npos. O(log n).
   static constexpr size_t kNpos = static_cast<size_t>(-1);
   size_t Find(DocId doc) const;
+
+  /// Deep structural validation: parallel arrays the same length, doc ids
+  /// strictly increasing and < num_docs, frequencies positive and matching
+  /// the position-offset deltas, positions strictly ascending per document,
+  /// and the collection frequency equal to the stored positions. Returns
+  /// Status::Corruption pinpointing the first violating entry.
+  Status Validate(size_t num_docs) const;
 
   /// Cursor for doc-at-a-time traversal.
   class Cursor {

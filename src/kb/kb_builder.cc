@@ -107,6 +107,13 @@ KnowledgeBase KbBuilder::Build() && {
 
   kb.BuildReciprocalLinks();
   kb.RebuildTitleMaps();
+#ifndef NDEBUG
+  // Debug builds re-prove the construction invariants the query path relies
+  // on; release builds trust the builder (Validate guards untrusted
+  // snapshots instead).
+  Status validation = kb.Validate();
+  SQE_CHECK_MSG(validation.ok(), validation.ToString().c_str());
+#endif
   return kb;
 }
 

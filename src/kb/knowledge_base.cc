@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
 #include "io/coding.h"
 #include "io/file.h"
 
@@ -116,6 +117,206 @@ void KnowledgeBase::BuildReciprocalLinks() {
     }
     reciprocal_offsets_[a + 1] = reciprocal_targets_.size();
   }
+}
+
+namespace {
+// Structural check for one CSR relation: offsets shaped N+1 starting at 0,
+// monotone, ending at |targets|; every target id in range; every adjacency
+// list strictly ascending (sorted, no duplicates — binary-search lookups
+// and two-pointer intersections both rely on this).
+template <typename T>
+Status ValidateCsr(std::string_view name,
+                   const std::vector<uint64_t>& offsets,
+                   const std::vector<T>& targets, size_t num_nodes,
+                   size_t target_space) {
+  if (offsets.empty()) {
+    if (num_nodes == 0 && targets.empty()) return Status::OK();
+    return Status::Corruption(StrFormat("%s: offsets empty but %zu nodes",
+                                        std::string(name).c_str(), num_nodes));
+  }
+  if (offsets.size() != num_nodes + 1) {
+    return Status::Corruption(
+        StrFormat("%s: offsets size %zu != num nodes %zu + 1",
+                  std::string(name).c_str(), offsets.size(), num_nodes));
+  }
+  if (offsets.front() != 0) {
+    return Status::Corruption(StrFormat("%s: offsets[0] = %llu, want 0",
+                                        std::string(name).c_str(),
+                                        (unsigned long long)offsets.front()));
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Corruption(StrFormat(
+          "%s: offsets not monotone at node %zu (%llu > %llu)",
+          std::string(name).c_str(), i, (unsigned long long)offsets[i],
+          (unsigned long long)offsets[i + 1]));
+    }
+  }
+  if (offsets.back() != targets.size()) {
+    return Status::Corruption(StrFormat(
+        "%s: offsets end at %llu but %zu targets",
+        std::string(name).c_str(), (unsigned long long)offsets.back(),
+        targets.size()));
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    for (uint64_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+      if (targets[j] >= target_space) {
+        return Status::Corruption(StrFormat(
+            "%s: node %zu target %u out of range (space %zu) at position %llu",
+            std::string(name).c_str(), i, (unsigned)targets[j], target_space,
+            (unsigned long long)j));
+      }
+      if (j > offsets[i] && targets[j - 1] >= targets[j]) {
+        return Status::Corruption(StrFormat(
+            "%s: adjacency of node %zu not strictly ascending at position "
+            "%llu (%u >= %u)",
+            std::string(name).c_str(), i, (unsigned long long)j,
+            (unsigned)targets[j - 1], (unsigned)targets[j]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Multiset equality between a stored reverse CSR and the reverse computed
+// from the forward relation. Detects a reverse CSR that drifted from its
+// source (e.g. a stale or tampered derived structure).
+template <typename Src, typename Dst>
+Status ValidateReverseCsr(std::string_view name,
+                          const std::vector<uint64_t>& fwd_offsets,
+                          const std::vector<Dst>& fwd_targets,
+                          const std::vector<uint64_t>& rev_offsets,
+                          const std::vector<Src>& rev_sources,
+                          size_t num_targets) {
+  std::vector<uint64_t> expect_deg(num_targets, 0);
+  for (Dst t : fwd_targets) expect_deg[t]++;
+  for (size_t t = 0; t < num_targets; ++t) {
+    uint64_t got = rev_offsets[t + 1] - rev_offsets[t];
+    if (got != expect_deg[t]) {
+      return Status::Corruption(StrFormat(
+          "%s: node %zu has %llu reverse edges, forward relation implies "
+          "%llu",
+          std::string(name).c_str(), t, (unsigned long long)got,
+          (unsigned long long)expect_deg[t]));
+    }
+  }
+  // Degrees match; rebuild the reverse adjacency in O(E) by scanning the
+  // forward edges in ascending source order (so each target's rebuilt
+  // source list comes out ascending) and compare element-wise with the
+  // stored CSR, which ValidateCsr already proved is sorted. Equal sorted
+  // sequences <=> equal edge multisets, without a per-edge binary search.
+  std::vector<uint64_t> cursor(rev_offsets.begin(), rev_offsets.end() - 1);
+  std::vector<Src> rebuilt(rev_sources.size());
+  const size_t n = fwd_offsets.empty() ? 0 : fwd_offsets.size() - 1;
+  for (size_t s = 0; s < n; ++s) {
+    for (uint64_t j = fwd_offsets[s]; j < fwd_offsets[s + 1]; ++j) {
+      rebuilt[cursor[fwd_targets[j]]++] = static_cast<Src>(s);
+    }
+  }
+  for (size_t t = 0; t < num_targets; ++t) {
+    for (uint64_t j = rev_offsets[t]; j < rev_offsets[t + 1]; ++j) {
+      if (rev_sources[j] != rebuilt[j]) {
+        return Status::Corruption(StrFormat(
+            "%s: reverse edge %zu<-%u has no forward counterpart",
+            std::string(name).c_str(), t, (unsigned)rev_sources[j]));
+      }
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status KnowledgeBase::Validate() const {
+  const size_t na = article_titles_.size();
+  const size_t nc = category_titles_.size();
+
+  SQE_RETURN_IF_ERROR(ValidateCsr("article_links", article_link_offsets_,
+                                  article_link_targets_, na, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("article_inlinks", article_inlink_offsets_,
+                                  article_inlink_sources_, na, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("memberships", membership_offsets_,
+                                  membership_targets_, na, nc));
+  SQE_RETURN_IF_ERROR(ValidateCsr("category_articles", cat_article_offsets_,
+                                  cat_article_targets_, nc, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("category_parents", cat_parent_offsets_,
+                                  cat_parent_targets_, nc, nc));
+  SQE_RETURN_IF_ERROR(ValidateCsr("category_children", cat_child_offsets_,
+                                  cat_child_targets_, nc, nc));
+  SQE_RETURN_IF_ERROR(ValidateCsr("reciprocal_links", reciprocal_offsets_,
+                                  reciprocal_targets_, na, na));
+
+  // Reverse relations must mirror their forward CSRs edge for edge.
+  SQE_RETURN_IF_ERROR((ValidateReverseCsr<ArticleId, ArticleId>(
+      "article_inlinks", article_link_offsets_, article_link_targets_,
+      article_inlink_offsets_, article_inlink_sources_, na)));
+  SQE_RETURN_IF_ERROR((ValidateReverseCsr<ArticleId, CategoryId>(
+      "category_articles", membership_offsets_, membership_targets_,
+      cat_article_offsets_, cat_article_targets_, nc)));
+  SQE_RETURN_IF_ERROR((ValidateReverseCsr<CategoryId, CategoryId>(
+      "category_children", cat_parent_offsets_, cat_parent_targets_,
+      cat_child_offsets_, cat_child_targets_, nc)));
+
+  // Reciprocal CSR symmetry: each article's list must equal the sorted
+  // intersection of its out- and in-links (the "doubly linked" pairs the
+  // motif finder scans). Recomputing the two-pointer merge is O(E).
+  for (size_t a = 0; a < na; ++a) {
+    std::span<const ArticleId> out = OutLinks(static_cast<ArticleId>(a));
+    std::span<const ArticleId> in = InLinks(static_cast<ArticleId>(a));
+    std::span<const ArticleId> rec =
+        ReciprocalLinks(static_cast<ArticleId>(a));
+    size_t i = 0, j = 0, r = 0;
+    while (i < out.size() && j < in.size()) {
+      if (out[i] < in[j]) {
+        ++i;
+      } else if (in[j] < out[i]) {
+        ++j;
+      } else {
+        if (r >= rec.size() || rec[r] != out[i]) {
+          return Status::Corruption(StrFormat(
+              "reciprocal_links: article %zu missing mutual neighbor %u "
+              "(asymmetric reciprocal CSR)",
+              a, (unsigned)out[i]));
+        }
+        ++i;
+        ++j;
+        ++r;
+      }
+    }
+    if (r != rec.size()) {
+      return Status::Corruption(StrFormat(
+          "reciprocal_links: article %zu lists %u which is not a mutual "
+          "out/in neighbor",
+          a, (unsigned)rec[r]));
+    }
+  }
+
+  // Title maps must be a bijection onto the id space (duplicate titles
+  // collapse map entries; stale maps point at the wrong ids).
+  if (article_by_title_.size() != na) {
+    return Status::Corruption(
+        StrFormat("article title map has %zu entries for %zu articles "
+                  "(duplicate or missing titles)",
+                  article_by_title_.size(), na));
+  }
+  if (category_by_title_.size() != nc) {
+    return Status::Corruption(
+        StrFormat("category title map has %zu entries for %zu categories "
+                  "(duplicate or missing titles)",
+                  category_by_title_.size(), nc));
+  }
+  for (size_t i = 0; i < na; ++i) {
+    if (FindArticle(article_titles_[i]) != static_cast<ArticleId>(i)) {
+      return Status::Corruption(
+          StrFormat("article title map does not round-trip id %zu", i));
+    }
+  }
+  for (size_t i = 0; i < nc; ++i) {
+    if (FindCategory(category_titles_[i]) != static_cast<CategoryId>(i)) {
+      return Status::Corruption(
+          StrFormat("category title map does not round-trip id %zu", i));
+    }
+  }
+  return Status::OK();
 }
 
 bool KnowledgeBase::HasMembership(ArticleId article,
@@ -277,6 +478,12 @@ Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
 
   kb.BuildReciprocalLinks();
   kb.RebuildTitleMaps();
+
+  // Deep structural validation of the final object: catches payloads that
+  // pass CRC and decode (e.g. a re-signed snapshot with unsorted adjacency
+  // or duplicate titles) before they can corrupt query results or walk the
+  // binary searches into UB.
+  SQE_RETURN_IF_ERROR(kb.Validate());
   return kb;
 }
 

@@ -38,12 +38,14 @@ class KnowledgeBase {
   size_t NumArticles() const { return article_titles_.size(); }
   size_t NumCategories() const { return category_titles_.size(); }
 
+  // Per-lookup bounds checks on the read path are debug-only: ids come from
+  // the KB's own CSRs, whose ranges Validate() proves at load time.
   const std::string& ArticleTitle(ArticleId a) const {
-    SQE_CHECK(a < article_titles_.size());
+    SQE_DCHECK(a < article_titles_.size());
     return article_titles_[a];
   }
   const std::string& CategoryTitle(CategoryId c) const {
-    SQE_CHECK(c < category_titles_.size());
+    SQE_DCHECK(c < category_titles_.size());
     return category_titles_[c];
   }
 
@@ -107,6 +109,16 @@ class KnowledgeBase {
   size_t NumMemberships() const { return membership_targets_.size(); }
   size_t NumCategoryLinks() const { return cat_parent_targets_.size(); }
 
+  // ---- integrity ----------------------------------------------------------
+
+  /// Deep structural validation: CSR offset monotonicity, in-range targets,
+  /// strictly ascending adjacency, reverse CSRs consistent with the forward
+  /// relations, reciprocal CSR equal to the out∩in intersection, and
+  /// title-map bijection. Returns Status::Corruption pinpointing the first
+  /// violation (relation, node id, position). Runs after every snapshot
+  /// load; O(V + E), load-time only — never on the query path.
+  Status Validate() const;
+
   // ---- persistence ---------------------------------------------------------
 
   /// Serializes to the SQE snapshot format (CRC-protected blocks).
@@ -120,10 +132,12 @@ class KnowledgeBase {
  private:
   friend class KbBuilder;
 
+  friend struct KnowledgeBaseTestPeer;  // validator tests build broken KBs
+
   template <typename T>
   static std::span<const T> Slice(const std::vector<uint64_t>& offsets,
                                   const std::vector<T>& targets, uint32_t id) {
-    SQE_CHECK(id + 1 < offsets.size());
+    SQE_DCHECK(id + 1 < offsets.size());
     return std::span<const T>(targets.data() + offsets[id],
                               targets.data() + offsets[id + 1]);
   }

@@ -1,5 +1,7 @@
 #include "text/vocabulary.h"
 
+#include "common/string_util.h"
+
 namespace sqe::text {
 
 TermId Vocabulary::GetOrAdd(std::string_view term) {
@@ -15,6 +17,25 @@ TermId Vocabulary::Lookup(std::string_view term) const {
   auto it = index_.find(std::string(term));
   if (it == index_.end()) return kInvalidTermId;
   return it->second;
+}
+
+Status Vocabulary::Validate() const {
+  if (index_.size() != terms_.size()) {
+    return Status::Corruption(
+        StrFormat("vocabulary: %zu distinct terms in map but %zu ids "
+                  "(duplicate term strings)",
+                  index_.size(), terms_.size()));
+  }
+  for (size_t id = 0; id < terms_.size(); ++id) {
+    auto it = index_.find(terms_[id]);
+    if (it == index_.end() || it->second != static_cast<TermId>(id)) {
+      return Status::Corruption(StrFormat(
+          "vocabulary: term id %zu ('%s') does not round-trip through the "
+          "term map",
+          id, terms_[id].c_str()));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace sqe::text

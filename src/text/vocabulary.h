@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace sqe::text {
 
@@ -33,11 +34,18 @@ class Vocabulary {
   /// Returns the id for `term` or kInvalidTermId if absent.
   TermId Lookup(std::string_view term) const;
 
-  /// Term string for an id. Id must be valid.
+  /// Term string for an id. Id must be valid (debug-checked; ids on the
+  /// read path come from validated postings/forward indexes).
   const std::string& TermOf(TermId id) const {
-    SQE_CHECK(id < terms_.size());
+    SQE_DCHECK(id < terms_.size());
     return terms_[id];
   }
+
+  /// Verifies the id↔term bijection: every id maps to exactly one term and
+  /// looking that term up returns the same id (duplicate terms collapse the
+  /// map and break the round trip). Returns Status::Corruption naming the
+  /// offending id. O(size).
+  Status Validate() const;
 
   size_t size() const { return terms_.size(); }
   bool empty() const { return terms_.empty(); }
@@ -46,6 +54,8 @@ class Vocabulary {
   const std::vector<std::string>& terms() const { return terms_; }
 
  private:
+  friend struct VocabularyTestPeer;  // validator tests build broken vocabs
+
   std::unordered_map<std::string, TermId> index_;
   std::vector<std::string> terms_;
 };

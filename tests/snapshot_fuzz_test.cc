@@ -1,0 +1,183 @@
+// Snapshot-corruption fuzzing: mutate valid KB and index snapshot images at
+// seeded random offsets and assert the loaders degrade to a non-ok Status —
+// never an abort, never a crash, never a silently-wrong object. Run under
+// ASan+UBSan in CI (the asan-ubsan configuration), where any out-of-bounds
+// decode or UB on the corruption path fails the test even if the Status
+// contract happens to hold.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/inverted_index.h"
+#include "io/file.h"
+#include "kb/kb_builder.h"
+#include "kb/knowledge_base.h"
+
+namespace sqe {
+namespace {
+
+kb::KnowledgeBase MakeFuzzKb() {
+  kb::KbBuilder builder;
+  std::vector<kb::ArticleId> articles;
+  for (int i = 0; i < 12; ++i) {
+    articles.push_back(builder.AddArticle("Article_" + std::to_string(i)));
+  }
+  std::vector<kb::CategoryId> cats;
+  for (int i = 0; i < 5; ++i) {
+    cats.push_back(builder.AddCategory("Category:" + std::to_string(i)));
+  }
+  Rng rng(7);
+  for (int e = 0; e < 40; ++e) {
+    auto a = articles[rng.NextBounded(articles.size())];
+    auto b = articles[rng.NextBounded(articles.size())];
+    if (a != b) builder.AddArticleLink(a, b);
+  }
+  builder.AddReciprocalLink(articles[0], articles[1]);
+  builder.AddReciprocalLink(articles[2], articles[3]);
+  for (auto a : articles) {
+    builder.AddMembership(a, cats[rng.NextBounded(cats.size())]);
+  }
+  builder.AddCategoryLink(cats[1], cats[0]);
+  builder.AddCategoryLink(cats[2], cats[0]);
+  return std::move(builder).Build();
+}
+
+index::InvertedIndex MakeFuzzIndex() {
+  index::IndexBuilder builder;
+  const std::vector<std::string> lexicon = {"motif",   "graph", "query",
+                                            "wiki",    "link",  "node",
+                                            "expand",  "rank",  "score"};
+  Rng rng(11);
+  for (int d = 0; d < 20; ++d) {
+    std::vector<std::string> terms;
+    size_t len = 3 + rng.NextBounded(15);
+    for (size_t i = 0; i < len; ++i) {
+      terms.push_back(lexicon[rng.NextBounded(lexicon.size())]);
+    }
+    builder.AddDocument("doc-" + std::to_string(d), terms);
+  }
+  return std::move(builder).Build();
+}
+
+// One seeded mutation of `image`: a byte flip, a truncation, or a short
+// byte-range scramble. Returns the mutated copy.
+std::string Mutate(const std::string& image, Rng& rng) {
+  std::string out = image;
+  switch (rng.NextBounded(3)) {
+    case 0: {  // flip 1-4 random bytes
+      size_t flips = 1 + rng.NextBounded(4);
+      for (size_t i = 0; i < flips; ++i) {
+        size_t off = rng.NextBounded(out.size());
+        out[off] = static_cast<char>(out[off] ^
+                                     static_cast<char>(1 + rng.NextBounded(255)));
+      }
+      break;
+    }
+    case 1: {  // truncate at a random point (possibly to empty)
+      out.resize(rng.NextBounded(out.size()));
+      break;
+    }
+    default: {  // overwrite a short range with random bytes
+      size_t off = rng.NextBounded(out.size());
+      size_t len = 1 + rng.NextBounded(16);
+      for (size_t i = 0; i < len && off + i < out.size(); ++i) {
+        out[off + i] = static_cast<char>(rng.NextBounded(256));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+constexpr int kMutationsPerKind = 160;
+
+TEST(SnapshotFuzzTest, CorruptedKbSnapshotsNeverCrash) {
+  kb::KnowledgeBase original = MakeFuzzKb();
+  const std::string image = original.SerializeToString();
+  ASSERT_FALSE(image.empty());
+
+  int rejected = 0;
+  for (int seed = 0; seed < kMutationsPerKind; ++seed) {
+    Rng rng(0x5EED0000 + static_cast<uint64_t>(seed));
+    std::string mutated = Mutate(image, rng);
+    if (mutated == image) continue;  // mutation was a no-op; nothing to test
+    auto loaded = kb::KnowledgeBase::FromSnapshotString(std::move(mutated));
+    if (!loaded.ok()) {
+      ++rejected;
+      continue;
+    }
+    // A mutation the framing cannot distinguish from a valid file (e.g. a
+    // flip inside the unchecked version varint) may still load — but then
+    // the object must be fully self-consistent.
+    EXPECT_TRUE(loaded.value().Validate().ok());
+  }
+  // The acceptance bar: at least 100 seeded mutations demonstrably return
+  // a non-ok Status (CRC, framing, decode, or deep validation).
+  EXPECT_GE(rejected, 100) << "too many corrupted KB snapshots loaded OK";
+}
+
+TEST(SnapshotFuzzTest, CorruptedIndexSnapshotsNeverCrash) {
+  index::InvertedIndex original = MakeFuzzIndex();
+  const std::string image = original.SerializeToString();
+  ASSERT_FALSE(image.empty());
+
+  int rejected = 0;
+  for (int seed = 0; seed < kMutationsPerKind; ++seed) {
+    Rng rng(0xFADED000 + static_cast<uint64_t>(seed));
+    std::string mutated = Mutate(image, rng);
+    if (mutated == image) continue;
+    auto loaded = index::InvertedIndex::FromSnapshotString(std::move(mutated));
+    if (!loaded.ok()) {
+      ++rejected;
+      continue;
+    }
+    EXPECT_TRUE(loaded.value().Validate().ok());
+  }
+  EXPECT_GE(rejected, 100) << "too many corrupted index snapshots loaded OK";
+}
+
+// Deeper than random flips: re-sign corrupted payloads with valid CRCs so
+// the mutation reaches the decoders and the Validate() layer instead of
+// being caught by the checksum. This is the path a buggy writer (rather
+// than bit rot) would take.
+TEST(SnapshotFuzzTest, ResignedCorruptKbPayloadsAreRejectedByValidation) {
+  kb::KnowledgeBase original = MakeFuzzKb();
+  const std::string image = original.SerializeToString();
+
+  int rejected = 0;
+  for (int seed = 0; seed < kMutationsPerKind; ++seed) {
+    Rng rng(0xABCD0000 + static_cast<uint64_t>(seed));
+    auto reader = io::SnapshotReader::Open(image, 0x53514B42);
+    ASSERT_TRUE(reader.ok());
+    // Rebuild the snapshot with one block's payload mutated.
+    std::vector<std::string> names = reader.value().BlockNames();
+    size_t victim = rng.NextBounded(names.size());
+    io::SnapshotWriter writer(0x53514B42);
+    for (size_t b = 0; b < names.size(); ++b) {
+      auto block = reader.value().GetBlock(names[b]);
+      ASSERT_TRUE(block.ok());
+      std::string payload(block.value());
+      if (b == victim && !payload.empty()) {
+        size_t off = rng.NextBounded(payload.size());
+        payload[off] = static_cast<char>(
+            payload[off] ^ static_cast<char>(1 + rng.NextBounded(255)));
+      }
+      writer.AddBlock(names[b], std::move(payload));
+    }
+    auto loaded = kb::KnowledgeBase::FromSnapshotString(writer.Serialize());
+    if (!loaded.ok()) {
+      ++rejected;
+    } else {
+      EXPECT_TRUE(loaded.value().Validate().ok());
+    }
+  }
+  // Most single-byte payload mutations must be caught by decode or deep
+  // validation (a few can be semantically harmless, e.g. flipping a title
+  // character).
+  EXPECT_GE(rejected, kMutationsPerKind / 2);
+}
+
+}  // namespace
+}  // namespace sqe

@@ -1,0 +1,334 @@
+// Coverage for the deep structural validators themselves: build a valid
+// KnowledgeBase / InvertedIndex, break one invariant through the test peer,
+// and assert Validate() rejects it with a message that pinpoints the
+// violation. Each breakage mirrors a way a snapshot could be corrupted
+// without tripping CRC (buggy writer, version skew, hostile edit).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "kb/kb_builder.h"
+#include "kb/knowledge_base.h"
+#include "text/vocabulary.h"
+
+namespace sqe::kb {
+
+// Grants the validator tests raw access to the CSR internals.
+struct KnowledgeBaseTestPeer {
+  static std::vector<ArticleId>& link_targets(KnowledgeBase& kb) {
+    return kb.article_link_targets_;
+  }
+  static std::vector<uint64_t>& link_offsets(KnowledgeBase& kb) {
+    return kb.article_link_offsets_;
+  }
+  static std::vector<ArticleId>& reciprocal_targets(KnowledgeBase& kb) {
+    return kb.reciprocal_targets_;
+  }
+  static std::vector<uint64_t>& reciprocal_offsets(KnowledgeBase& kb) {
+    return kb.reciprocal_offsets_;
+  }
+  static std::vector<ArticleId>& inlink_sources(KnowledgeBase& kb) {
+    return kb.article_inlink_sources_;
+  }
+  static std::vector<std::string>& article_titles(KnowledgeBase& kb) {
+    return kb.article_titles_;
+  }
+};
+
+namespace {
+
+KnowledgeBase MakeValidKb() {
+  KbBuilder builder;
+  ArticleId a = builder.AddArticle("A");
+  ArticleId b = builder.AddArticle("B");
+  ArticleId c = builder.AddArticle("C");
+  CategoryId x = builder.AddCategory("Category:X");
+  CategoryId y = builder.AddCategory("Category:Y");
+  builder.AddReciprocalLink(a, b);
+  builder.AddArticleLink(a, c);
+  builder.AddArticleLink(c, b);
+  builder.AddMembership(a, x);
+  builder.AddMembership(b, x);
+  builder.AddMembership(c, y);
+  builder.AddCategoryLink(y, x);
+  return std::move(builder).Build();
+}
+
+TEST(KbValidateTest, ValidKbPasses) {
+  KnowledgeBase kb = MakeValidKb();
+  Status s = kb.Validate();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(KbValidateTest, UnsortedAdjacencyPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  // Article A links to {B, C} sorted; swap them so the list descends.
+  auto& targets = KnowledgeBaseTestPeer::link_targets(kb);
+  ASSERT_GE(targets.size(), 2u);
+  std::swap(targets[0], targets[1]);
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("not strictly ascending"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("article_links"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(KbValidateTest, OutOfRangeTargetPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  KnowledgeBaseTestPeer::link_targets(kb).back() = 999;
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(KbValidateTest, NonMonotoneOffsetsPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  auto& offsets = KnowledgeBaseTestPeer::link_offsets(kb);
+  ASSERT_GE(offsets.size(), 3u);
+  // Make offsets dip: node 1 "starts" after it ends.
+  std::swap(offsets[1], offsets[2]);
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("monotone"), std::string::npos) << s.ToString();
+}
+
+TEST(KbValidateTest, AsymmetricReciprocalCsrPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  // A<->B is the only mutual pair, so the reciprocal CSR holds B for A and
+  // A for B. Claim A also reciprocates C (a one-way link in reality).
+  ArticleId a = kb.FindArticle("A");
+  ArticleId c = kb.FindArticle("C");
+  auto& rec_targets = KnowledgeBaseTestPeer::reciprocal_targets(kb);
+  auto& rec_offsets = KnowledgeBaseTestPeer::reciprocal_offsets(kb);
+  rec_targets.insert(rec_targets.begin() + rec_offsets[a + 1], c);
+  for (size_t i = a + 1; i < rec_offsets.size(); ++i) rec_offsets[i]++;
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("reciprocal"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("not a mutual"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(KbValidateTest, MissingReciprocalEntryPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  // Drop B from A's reciprocal list: the CSR now misses a mutual pair.
+  ArticleId a = kb.FindArticle("A");
+  auto& rec_targets = KnowledgeBaseTestPeer::reciprocal_targets(kb);
+  auto& rec_offsets = KnowledgeBaseTestPeer::reciprocal_offsets(kb);
+  rec_targets.erase(rec_targets.begin() + rec_offsets[a]);
+  for (size_t i = a + 1; i < rec_offsets.size(); ++i) rec_offsets[i]--;
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("missing mutual neighbor"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(KbValidateTest, ReverseCsrDriftPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  // Repoint one inlink source at a different article: degrees stay intact
+  // for neither node, so the reverse-consistency check fires.
+  auto& sources = KnowledgeBaseTestPeer::inlink_sources(kb);
+  ASSERT_FALSE(sources.empty());
+  sources[0] = sources[0] == 0 ? 1 : 0;
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(KbValidateTest, DuplicateTitlesPinpointed) {
+  KnowledgeBase kb = MakeValidKb();
+  auto& titles = KnowledgeBaseTestPeer::article_titles(kb);
+  titles[1] = titles[0];  // two articles now share a title
+  Status s = kb.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("title map"), std::string::npos) << s.ToString();
+}
+
+}  // namespace
+}  // namespace sqe::kb
+
+namespace sqe::index {
+
+struct InvertedIndexTestPeer {
+  static std::vector<PostingList>& postings(InvertedIndex& idx) {
+    return idx.postings_;
+  }
+  static std::vector<uint32_t>& doc_lengths(InvertedIndex& idx) {
+    return idx.doc_lengths_;
+  }
+  static std::vector<DocId>& docs_by_length(InvertedIndex& idx) {
+    return idx.docs_by_length_;
+  }
+  static uint64_t& total_tokens(InvertedIndex& idx) {
+    return idx.total_tokens_;
+  }
+  static std::vector<text::TermId>& doc_terms(InvertedIndex& idx) {
+    return idx.doc_terms_;
+  }
+};
+
+namespace {
+
+// Mutable access to a PostingList's arrays, via rebuild: posting lists are
+// immutable by design, so malformed ones are constructed, not mutated.
+PostingList MakePostingList(const std::vector<DocId>& docs,
+                            const std::vector<std::vector<uint32_t>>& pos) {
+  PostingListBuilder builder;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    for (uint32_t p : pos[i]) builder.AddOccurrence(docs[i], p);
+  }
+  return std::move(builder).Build();
+}
+
+InvertedIndex MakeValidIndex() {
+  IndexBuilder builder;
+  builder.AddDocument("d0", {"motif", "graph", "motif"});
+  builder.AddDocument("d1", {"graph", "query"});
+  builder.AddDocument("d2", {"query", "motif", "wiki", "graph"});
+  return std::move(builder).Build();
+}
+
+TEST(IndexValidateTest, ValidIndexPasses) {
+  InvertedIndex index = MakeValidIndex();
+  Status s = index.Validate();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(IndexValidateTest, OutOfRangePostingDocIdPinpointed) {
+  InvertedIndex index = MakeValidIndex();
+  // Replace term 0's posting list with one naming a nonexistent document.
+  auto& postings = InvertedIndexTestPeer::postings(index);
+  postings[0] = MakePostingList({2, 57}, {{1, 3}, {0}});
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("term 0"), std::string::npos) << s.ToString();
+}
+
+TEST(IndexValidateTest, PostingForwardDisagreementPinpointed) {
+  InvertedIndex index = MakeValidIndex();
+  // "motif" (term 0) occurs 3 times in the forward index; hand it a posting
+  // list claiming only one occurrence. Doc ids stay valid, so only the
+  // cross-check can catch the drift.
+  auto& postings = InvertedIndexTestPeer::postings(index);
+  postings[0] = MakePostingList({0}, {{0}});
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("collection frequency"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(IndexValidateTest, DocLengthMismatchPinpointed) {
+  InvertedIndex index = MakeValidIndex();
+  uint32_t& len = InvertedIndexTestPeer::doc_lengths(index)[1];
+  InvertedIndexTestPeer::total_tokens(index) += 2;  // keep the sum consistent
+  len += 2;
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("doc 1 length"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(IndexValidateTest, TotalTokensMismatchPinpointed) {
+  InvertedIndex index = MakeValidIndex();
+  InvertedIndexTestPeer::total_tokens(index) += 5;
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("total tokens"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(IndexValidateTest, ForwardTermOutOfVocabularyPinpointed) {
+  InvertedIndex index = MakeValidIndex();
+  InvertedIndexTestPeer::doc_terms(index)[0] = 4096;
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of vocabulary range"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(IndexValidateTest, BrokenDocsByLengthOrderPinpointed) {
+  InvertedIndex index = MakeValidIndex();
+  auto& order = InvertedIndexTestPeer::docs_by_length(index);
+  ASSERT_GE(order.size(), 2u);
+  std::swap(order.front(), order.back());
+  Status s = index.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("docs-by-length"), std::string::npos)
+      << s.ToString();
+}
+
+// ---- PostingList::Validate in isolation -----------------------------------
+
+TEST(PostingListValidateTest, ValidListPasses) {
+  PostingList list = MakePostingList({1, 4, 9}, {{0, 2}, {1}, {5, 6, 7}});
+  Status s = list.Validate(10);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(PostingListValidateTest, DocBeyondCollectionRejected) {
+  PostingList list = MakePostingList({1, 4}, {{0}, {1}});
+  Status s = list.Validate(4);  // doc 4 needs num_docs >= 5
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos)
+      << s.ToString();
+}
+
+}  // namespace
+}  // namespace sqe::index
+
+namespace sqe::text {
+
+struct VocabularyTestPeer {
+  static std::vector<std::string>& terms(Vocabulary& v) { return v.terms_; }
+  static std::unordered_map<std::string, TermId>& index(Vocabulary& v) {
+    return v.index_;
+  }
+};
+
+namespace {
+
+TEST(VocabularyValidateTest, ValidVocabularyPasses) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  Status s = vocab.Validate();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(VocabularyValidateTest, DuplicateTermStringsPinpointed) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  // Two ids now claim the same spelling; the map collapses to one entry.
+  VocabularyTestPeer::terms(vocab)[1] = "alpha";
+  VocabularyTestPeer::index(vocab).erase("beta");
+  Status s = vocab.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate term strings"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(VocabularyValidateTest, StaleMapEntryPinpointed) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  // Swap the ids behind the map's back: lookups no longer round-trip.
+  VocabularyTestPeer::index(vocab)["alpha"] = 1;
+  VocabularyTestPeer::index(vocab)["beta"] = 0;
+  Status s = vocab.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("round-trip"), std::string::npos)
+      << s.ToString();
+}
+
+}  // namespace
+}  // namespace sqe::text

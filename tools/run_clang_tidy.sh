@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit using the project
+# .clang-tidy config and the compile_commands.json exported by CMake.
+#
+# Usage: tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#   build_dir defaults to ./build; it is configured automatically (with
+#   compile-command export) if no compile_commands.json is present yet.
+#
+# Exits non-zero if clang-tidy reports any finding (WarningsAsErrors is '*'
+# in .clang-tidy), so CI can gate on it. Prints a clear skip message and
+# exits 0 if clang-tidy is not installed, so local runs on machines without
+# LLVM don't fail spuriously — CI installs clang-tidy and does gate.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping." >&2
+  echo "Install LLVM (or set CLANG_TIDY=/path/to/clang-tidy) to run the" >&2
+  echo "static-analysis gate locally. CI runs it on every push." >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: exporting compile commands into $build_dir" >&2
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# All first-party sources: the library tree plus tools and benches. Tests
+# are intentionally excluded (gtest macros trip bugprone checks).
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" \
+  -name '*.cc' | sort)
+
+echo "run_clang_tidy.sh: $tidy_bin over ${#sources[@]} files" >&2
+failures=0
+for src in "${sources[@]}"; do
+  if ! "$tidy_bin" -p "$build_dir" --quiet "$@" "$src"; then
+    failures=$((failures + 1))
+    echo "clang-tidy FAILED: $src" >&2
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "run_clang_tidy.sh: $failures file(s) with findings" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: clean" >&2
