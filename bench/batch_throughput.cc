@@ -5,6 +5,12 @@
 // scaling. On an N-core machine the 4-thread row should approach min(4, N)×
 // the 1-thread row: workers share the immutable KB/index and touch only
 // per-worker scratch, so there is no synchronization on the hot path.
+//
+// A second, cache-enabled engine then replays the same workload twice (cold
+// fill, then a 100%-repeated warm pass served from the query-graph/result
+// cache) and reports warm-vs-cold and warm-vs-uncached speedups plus the hit
+// rate. The default throughput rows above run with caching off, so their
+// numbers are untouched by this addition.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -89,6 +95,31 @@ int main() {
                 stat.qps / stats.front().qps);
   }
 
+  // ---- cache-enabled replay: cold fill vs 100%-repeated warm pass ----------
+  expansion::SqeEngineConfig cached_config = config;
+  cached_config.cache.enabled = true;
+  expansion::SqeEngine cached_engine(&world.kb, &dataset.index,
+                                     dataset.linker.get(), &dataset.analyzer(),
+                                     cached_config);
+  ThreadPool cache_pool(1);
+  Timer cold_timer;
+  cached_engine.RunBatch(batch, expansion::MotifConfig::Both(), 100,
+                         &cache_pool);
+  const double cold_seconds = cold_timer.ElapsedSeconds();
+  Timer warm_timer;
+  cached_engine.RunBatch(batch, expansion::MotifConfig::Both(), 100,
+                         &cache_pool);
+  const double warm_seconds = warm_timer.ElapsedSeconds();
+  const double cold_qps = static_cast<double>(batch.size()) / cold_seconds;
+  const double warm_qps = static_cast<double>(batch.size()) / warm_seconds;
+  const double uncached_qps = stats.front().qps;  // 1-thread, caching off
+  const expansion::SqeCacheStats cache_stats = cached_engine.cache_stats();
+  std::printf("cache (1 thread): cold %8.3f s %10.1f q/s, warm %8.3f s "
+              "%10.1f q/s (%.1fx vs cold, %.1fx vs uncached)\n",
+              cold_seconds, cold_qps, warm_seconds, warm_qps,
+              warm_qps / cold_qps, warm_qps / uncached_qps);
+  std::printf("%s\n", cache_stats.ToString().c_str());
+
   std::string json = "{\n  \"benchmark\": \"batch_throughput\",\n";
   json += "  \"num_queries\": " + std::to_string(batch.size()) + ",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
@@ -101,7 +132,21 @@ int main() {
                   i + 1 < stats.size() ? "," : "");
     json += line;
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  {
+    char block[512];
+    std::snprintf(
+        block, sizeof(block),
+        "  \"cache\": {\"cold_seconds\": %.6f, \"cold_qps\": %.2f, "
+        "\"warm_seconds\": %.6f, \"warm_qps\": %.2f, "
+        "\"warm_vs_cold\": %.2f, \"warm_vs_uncached\": %.2f, "
+        "\"result_hit_rate\": %.4f, \"graph_hit_rate\": %.4f}\n",
+        cold_seconds, cold_qps, warm_seconds, warm_qps, warm_qps / cold_qps,
+        warm_qps / uncached_qps, cache_stats.result.HitRate(),
+        cache_stats.graph.HitRate());
+    json += block;
+  }
+  json += "}\n";
 
   const char* out_path = "BENCH_batch.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {

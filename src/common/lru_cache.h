@@ -1,0 +1,215 @@
+// ShardedLruCache: a thread-safe, sharded least-recently-used cache.
+//
+// The cache is split into N shards (N rounded up to a power of two), each
+// holding an independent LRU list + hash map behind its own annotated Mutex,
+// so concurrent callers hashing to different shards never contend. Capacity
+// is bounded two ways — entries and approximate bytes — with both budgets
+// divided evenly across shards; exceeding either evicts from the cold end of
+// the shard's LRU list.
+//
+// Values are held as std::shared_ptr<const Value>: a Lookup hands back a
+// reference the caller can use lock-free for as long as it likes, even if
+// the entry is evicted (or replaced) concurrently. The cache never mutates a
+// Value after insertion, so sharing is race-free by construction.
+//
+// All shared state is SQE_GUARDED_BY its shard mutex and checked by clang's
+// -Wthread-safety analysis (see src/common/thread_annotations.h).
+#ifndef SQE_COMMON_LRU_CACHE_H_
+#define SQE_COMMON_LRU_CACHE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+namespace sqe {
+
+/// Point-in-time counter snapshot of one cache (totalled over its shards).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;  // currently resident
+  size_t bytes = 0;    // approximate charge of resident entries
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    entries += other.entries;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
+struct LruCacheOptions {
+  /// Maximum resident entries across all shards (floor of 1 per shard).
+  size_t capacity = 4096;
+  /// Approximate byte budget across all shards. The per-entry charge is the
+  /// caller-supplied value charge plus the key size; "approximate" because
+  /// container overhead is not accounted.
+  size_t max_bytes = 64u << 20;
+  /// Requested shard count; rounded up to a power of two.
+  size_t num_shards = 16;
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(LruCacheOptions options = {}) {
+    size_t shards = 1;
+    while (shards < options.num_shards && shards < (size_t{1} << 20)) {
+      shards <<= 1;
+    }
+    shard_mask_ = shards - 1;
+    per_shard_capacity_ = (options.capacity + shards - 1) / shards;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+    per_shard_max_bytes_ = options.max_bytes / shards;
+    shards_ = std::make_unique<Shard[]>(shards);
+  }
+  SQE_DISALLOW_COPY_AND_ASSIGN(ShardedLruCache);
+
+  /// Returns the cached value, refreshing its recency, or nullptr on miss.
+  std::shared_ptr<const Value> Lookup(const Key& key) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(&shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, charging `charge` + key bytes against the
+  /// byte budget, and returns the shared handle so a miss-then-insert caller
+  /// can keep using the value without a second lookup. The handle stays
+  /// valid even if the entry is evicted immediately.
+  std::shared_ptr<const Value> Insert(const Key& key, Value value,
+                                      size_t charge = 0) {
+    auto holder = std::make_shared<const Value>(std::move(value));
+    const size_t entry_charge = charge + KeyBytes(key) + sizeof(Entry);
+    Shard& shard = ShardFor(key);
+    MutexLock lock(&shard.mu);
+    ++shard.insertions;
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->charge;
+      it->second->value = holder;
+      it->second->charge = entry_charge;
+      shard.bytes += entry_charge;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, holder, entry_charge});
+      shard.map.emplace(key, shard.lru.begin());
+      shard.bytes += entry_charge;
+    }
+    EvictIfOver(shard);
+    return holder;
+  }
+
+  /// Drops every entry; counters other than `entries`/`bytes` are kept.
+  void Clear() {
+    for (size_t s = 0; s <= shard_mask_; ++s) {
+      Shard& shard = shards_[s];
+      MutexLock lock(&shard.mu);
+      shard.map.clear();
+      shard.lru.clear();
+      shard.bytes = 0;
+    }
+  }
+
+  /// Consistent-per-shard (not globally atomic) counter snapshot.
+  CacheStats Stats() const {
+    CacheStats total;
+    for (size_t s = 0; s <= shard_mask_; ++s) {
+      Shard& shard = shards_[s];
+      MutexLock lock(&shard.mu);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.insertions += shard.insertions;
+      total.evictions += shard.evictions;
+      total.entries += shard.map.size();
+      total.bytes += shard.bytes;
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shard_mask_ + 1; }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+    size_t charge = 0;
+  };
+
+  struct Shard {
+    Mutex mu;
+    std::list<Entry> lru SQE_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map
+        SQE_GUARDED_BY(mu);
+    size_t bytes SQE_GUARDED_BY(mu) = 0;
+    uint64_t hits SQE_GUARDED_BY(mu) = 0;
+    uint64_t misses SQE_GUARDED_BY(mu) = 0;
+    uint64_t insertions SQE_GUARDED_BY(mu) = 0;
+    uint64_t evictions SQE_GUARDED_BY(mu) = 0;
+  };
+
+  static size_t KeyBytes(const Key& key) {
+    if constexpr (requires(const Key& k) {
+                    { k.size() } -> std::convertible_to<size_t>;
+                  }) {
+      return key.size();
+    } else {
+      return sizeof(Key);
+    }
+  }
+
+  Shard& ShardFor(const Key& key) const {
+    // std::hash may be near-identity (integers), so finish with fmix64
+    // before taking the low bits that pick the shard.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return shards_[h & shard_mask_];
+  }
+
+  void EvictIfOver(Shard& shard) SQE_REQUIRES(shard.mu) {
+    while (!shard.lru.empty() && (shard.map.size() > per_shard_capacity_ ||
+                                  shard.bytes > per_shard_max_bytes_)) {
+      const Entry& cold = shard.lru.back();
+      shard.bytes -= cold.charge;
+      shard.map.erase(cold.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  size_t shard_mask_ = 0;
+  size_t per_shard_capacity_ = 1;
+  size_t per_shard_max_bytes_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_LRU_CACHE_H_

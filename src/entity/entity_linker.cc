@@ -43,7 +43,9 @@ std::vector<LinkedEntity> EntityLinker::Link(std::string_view raw_query) const {
   if (!linked.empty()) return linked;
 
   // Dexter found nothing: fall back to Alchemy-style NER mentions and try
-  // to link each one exactly.
+  // to link each one exactly. Each link carries the mention's real token
+  // span, and mentions resolving to the same article collapse into one link
+  // keeping the highest-commonness hit.
   for (const Mention& mention :
        RecognizeMentions(raw_query, options_.ner)) {
     std::vector<std::string> mention_tokens = analyzer_->Analyze(mention.text);
@@ -54,7 +56,22 @@ std::vector<LinkedEntity> EntityLinker::Link(std::string_view raw_query) const {
     const Candidate& best = candidates.front();
     // The NER path is a last resort; accept the top candidate even below
     // the commonness threshold (matching the paper's lenient fallback).
-    linked.push_back(LinkedEntity{best.article, best.commonness, 0, 0});
+    //
+    // The mention's span over the analyzed query tokens: mentions start at a
+    // word boundary and the analyzer is prefix-stable there, so the token
+    // count of the raw prefix is the index of the mention's first token.
+    const size_t token_begin =
+        analyzer_->Analyze(raw_query.substr(0, mention.begin)).size();
+    const LinkedEntity entity{best.article, best.commonness, token_begin,
+                              token_begin + mention_tokens.size()};
+    bool duplicate = false;
+    for (LinkedEntity& existing : linked) {
+      if (existing.article != entity.article) continue;
+      duplicate = true;
+      if (entity.confidence > existing.confidence) existing = entity;
+      break;
+    }
+    if (!duplicate) linked.push_back(entity);
   }
   return linked;
 }

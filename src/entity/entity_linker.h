@@ -47,7 +47,9 @@ class EntityLinker {
                EntityLinkerOptions options = {});
 
   /// Links entities in raw query text. Returned entities are ordered by
-  /// their position; at most one link per token span.
+  /// their position; at most one link per token span, and the NER fallback
+  /// additionally emits at most one link per article (highest commonness
+  /// wins when several mentions resolve to the same article).
   std::vector<LinkedEntity> Link(std::string_view raw_query) const;
 
   /// Links over pre-analyzed tokens (no NER fallback possible).

@@ -1,5 +1,7 @@
 #include "sqe/query_builder.h"
 
+#include <unordered_map>
+
 namespace sqe::expansion {
 
 namespace {
@@ -13,6 +15,27 @@ bool TitleAtom(const kb::KnowledgeBase& kb, const text::Analyzer& analyzer,
   *out = terms.size() == 1 ? retrieval::Atom::Term(std::move(terms[0]), weight)
                            : retrieval::Atom::Phrase(std::move(terms), weight);
   return true;
+}
+
+// Appends `atom` to `clause`, merging with an earlier atom whose term
+// sequence is identical: distinct articles whose titles analyze to the same
+// terms (stem-equal variants) must pool their weight into one atom — as
+// separate atoms their weight mass would be split by the per-clause
+// normalization at scoring time instead of summed.
+void AppendMergingDuplicates(retrieval::Atom atom, retrieval::Clause* clause,
+                             std::unordered_map<std::string, size_t>* by_terms) {
+  std::string key;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) key.push_back('\x1f');  // unit separator: never in terms
+    key += atom.terms[i];
+  }
+  auto [it, inserted] = by_terms->try_emplace(std::move(key),
+                                              clause->atoms.size());
+  if (inserted) {
+    clause->atoms.push_back(std::move(atom));
+  } else {
+    clause->atoms[it->second].weight += atom.weight;
+  }
 }
 }  // namespace
 
@@ -33,11 +56,12 @@ retrieval::Query ExpandedQueryBuilder::Build(std::string_view user_query,
   if (parts.query_entities) {
     retrieval::Clause clause;
     clause.weight = options_.entity_weight;
+    std::unordered_map<std::string, size_t> by_terms;
     for (kb::ArticleId q : graph.query_nodes) {
       if (q == kb::kInvalidArticle || q >= kb_->NumArticles()) continue;
       retrieval::Atom atom;
       if (TitleAtom(*kb_, *analyzer_, q, 1.0, &atom)) {
-        clause.atoms.push_back(std::move(atom));
+        AppendMergingDuplicates(std::move(atom), &clause, &by_terms);
       }
     }
     if (!clause.atoms.empty()) query.clauses.push_back(std::move(clause));
@@ -50,13 +74,14 @@ retrieval::Query ExpandedQueryBuilder::Build(std::string_view user_query,
                        ? graph.expansion_nodes.size()
                        : std::min(options_.max_expansion_features,
                                   graph.expansion_nodes.size());
+    std::unordered_map<std::string, size_t> by_terms;
     for (size_t i = 0; i < limit; ++i) {
       const ExpansionNode& node = graph.expansion_nodes[i];
       retrieval::Atom atom;
       // Weight proportional to motif multiplicity |m_a| (Section 2.3).
       if (TitleAtom(*kb_, *analyzer_, node.article,
                     static_cast<double>(node.motif_count), &atom)) {
-        clause.atoms.push_back(std::move(atom));
+        AppendMergingDuplicates(std::move(atom), &clause, &by_terms);
       }
     }
     if (!clause.atoms.empty()) query.clauses.push_back(std::move(clause));

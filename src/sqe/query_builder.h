@@ -57,7 +57,9 @@ class ExpandedQueryBuilder {
 
   /// Builds the query combining the selected parts. Title phrases come from
   /// KB article titles analyzed through the same pipeline as documents;
-  /// expansion atoms are weighted by their motif multiplicity.
+  /// expansion atoms are weighted by their motif multiplicity. Within the
+  /// entity and expansion clauses, atoms whose titles analyze to the same
+  /// term sequence are merged by summing their weights.
   retrieval::Query Build(std::string_view user_query, const QueryGraph& graph,
                          const QueryParts& parts) const;
 

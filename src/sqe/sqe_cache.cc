@@ -1,0 +1,156 @@
+#include "sqe/sqe_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace sqe::expansion {
+
+namespace {
+
+// Binary key building: raw little-endian id bytes are unambiguous (fixed
+// width) and cheaper than decimal rendering on the hot lookup path.
+void AppendU32(std::string* key, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  key->append(buf, sizeof(v));
+}
+
+void AppendU64(std::string* key, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  key->append(buf, sizeof(v));
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(v));
+  return HashCombine(h, bits);
+}
+
+size_t GraphEntryCharge(const SqeCache::GraphEntry& entry) {
+  return entry.expansion_nodes.size() * sizeof(ExpansionNode) +
+         entry.category_nodes.size() * sizeof(kb::CategoryId) +
+         sizeof(SqeCache::GraphEntry);
+}
+
+size_t RunEntryCharge(const SqeCache::RunEntry& entry) {
+  size_t bytes = sizeof(SqeCache::RunEntry) +
+                 entry.results.size() * sizeof(retrieval::ScoredDoc);
+  for (const retrieval::Clause& clause : entry.query.clauses) {
+    bytes += sizeof(retrieval::Clause);
+    for (const retrieval::Atom& atom : clause.atoms) {
+      bytes += sizeof(retrieval::Atom);
+      for (const std::string& term : atom.terms) bytes += term.size();
+    }
+  }
+  return bytes;
+}
+
+LruCacheOptions GraphCacheOptions(const SqeCacheOptions& options) {
+  return LruCacheOptions{options.graph_capacity, options.graph_max_bytes,
+                         options.num_shards};
+}
+
+LruCacheOptions RunCacheOptions(const SqeCacheOptions& options) {
+  return LruCacheOptions{options.result_capacity, options.result_max_bytes,
+                         options.num_shards};
+}
+
+std::string OneLevel(const char* name, const CacheStats& s) {
+  return StrFormat(
+      "%s: %llu hits / %llu lookups (%.1f%%), %llu inserts, %llu evictions, "
+      "%zu entries, %zu KiB",
+      name, static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.hits + s.misses), 100.0 * s.HitRate(),
+      static_cast<unsigned long long>(s.insertions),
+      static_cast<unsigned long long>(s.evictions), s.entries,
+      s.bytes / 1024);
+}
+
+}  // namespace
+
+std::string SqeCacheStats::ToString() const {
+  return OneLevel("graph", graph) + " | " + OneLevel("result", result);
+}
+
+SqeCache::SqeCache(const SqeCacheOptions& options)
+    : graphs_(GraphCacheOptions(options)), runs_(RunCacheOptions(options)) {}
+
+std::string SqeCache::GraphKey(std::span<const kb::ArticleId> query_nodes,
+                               const MotifConfig& motifs) {
+  std::vector<kb::ArticleId> sorted(query_nodes.begin(), query_nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  key.reserve(2 + sorted.size() * sizeof(kb::ArticleId));
+  key.push_back('G');
+  key.push_back(static_cast<char>((motifs.use_triangular ? 1 : 0) |
+                                  (motifs.use_square ? 2 : 0)));
+  for (kb::ArticleId a : sorted) AppendU32(&key, a);
+  return key;
+}
+
+std::string SqeCache::RunKey(std::span<const std::string> analyzed_terms,
+                             const std::string& graph_key,
+                             std::span<const kb::ArticleId> query_nodes,
+                             size_t k, uint64_t options_digest) {
+  std::string key;
+  key.push_back('R');
+  AppendU64(&key, static_cast<uint64_t>(k));
+  AppendU64(&key, options_digest);
+  key += graph_key;
+  // The exact (unsorted) node order: it fixes the entity-clause order the
+  // query builder emits, which the sorted graph key deliberately erases.
+  AppendU32(&key, static_cast<uint32_t>(query_nodes.size()));
+  for (kb::ArticleId a : query_nodes) AppendU32(&key, a);
+  for (const std::string& term : analyzed_terms) {
+    key.push_back('\x1f');  // unit separator: never inside analyzed terms
+    key += term;
+  }
+  return key;
+}
+
+uint64_t SqeCache::OptionsDigest(const QueryBuilderOptions& builder,
+                                 const retrieval::RetrieverOptions& retriever) {
+  uint64_t h = Fnv1a64("sqe-options-v1");
+  h = MixDouble(h, builder.user_weight);
+  h = MixDouble(h, builder.entity_weight);
+  h = MixDouble(h, builder.expansion_weight);
+  h = HashCombine(h, builder.max_expansion_features);
+  h = MixDouble(h, retriever.mu);
+  return h;
+}
+
+std::shared_ptr<const SqeCache::GraphEntry> SqeCache::LookupGraph(
+    const std::string& key) {
+  return graphs_.Lookup(key);
+}
+
+std::shared_ptr<const SqeCache::GraphEntry> SqeCache::InsertGraph(
+    const std::string& key, QueryGraph graph) {
+  GraphEntry entry;
+  entry.expansion_nodes = std::move(graph.expansion_nodes);
+  entry.category_nodes = std::move(graph.category_nodes);
+  entry.total_motifs = graph.total_motifs;
+  const size_t charge = GraphEntryCharge(entry);
+  return graphs_.Insert(key, std::move(entry), charge);
+}
+
+std::shared_ptr<const SqeCache::RunEntry> SqeCache::LookupRun(
+    const std::string& key) {
+  return runs_.Lookup(key);
+}
+
+void SqeCache::InsertRun(const std::string& key, RunEntry run) {
+  const size_t charge = RunEntryCharge(run);
+  runs_.Insert(key, std::move(run), charge);
+}
+
+SqeCacheStats SqeCache::Stats() const {
+  return SqeCacheStats{graphs_.Stats(), runs_.Stats()};
+}
+
+}  // namespace sqe::expansion

@@ -1,0 +1,113 @@
+// SqeCache: query-graph and query-result caching for SqeEngine.
+//
+// The KB and index are immutable after load, so both levels of the paper's
+// pipeline are pure functions and never need invalidation:
+//
+//   graph cache   (sorted query_nodes, MotifConfig)  -> expansion subgraph
+//   result cache  (analyzed query terms, graph key, query-node order, k,
+//                  engine-options digest)            -> built query + top-k
+//
+// The graph key sorts the query nodes because motif aggregation is
+// order-independent — only the `query_nodes` field of QueryGraph reflects
+// caller order, so the cached GraphEntry omits it and the engine re-attaches
+// the caller's order on a hit, keeping cached output bit-identical to the
+// uncached path. The result key, by contrast, keeps the exact node order:
+// the entity clause is built in that order and floating-point accumulation
+// is not associative, so permutations may not share a result entry.
+//
+// Thread-safe (sharded LRU with per-shard annotated mutexes); values are
+// handed out as shared_ptr<const ...> snapshots that survive eviction.
+#ifndef SQE_SQE_SQE_CACHE_H_
+#define SQE_SQE_SQE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "kb/types.h"
+#include "retrieval/query.h"
+#include "retrieval/result.h"
+#include "retrieval/retriever.h"
+#include "sqe/motif.h"
+#include "sqe/query_builder.h"
+#include "sqe/query_graph.h"
+
+namespace sqe::expansion {
+
+struct SqeCacheOptions {
+  /// Master switch: the engine constructs no cache (and pays zero overhead)
+  /// when false, so existing callers and benches are unchanged by default.
+  bool enabled = false;
+  size_t graph_capacity = 4096;
+  size_t graph_max_bytes = 32u << 20;
+  size_t result_capacity = 8192;
+  size_t result_max_bytes = 64u << 20;
+  /// Shards per level (rounded up to a power of two).
+  size_t num_shards = 16;
+};
+
+/// Snapshot of both cache levels' counters.
+struct SqeCacheStats {
+  CacheStats graph;
+  CacheStats result;
+
+  /// One-line human-readable rendering for tools and benches.
+  std::string ToString() const;
+};
+
+class SqeCache {
+ public:
+  /// The order-independent part of a QueryGraph: everything except
+  /// `query_nodes`, which the engine re-attaches in the caller's order.
+  struct GraphEntry {
+    std::vector<ExpansionNode> expansion_nodes;
+    std::vector<kb::CategoryId> category_nodes;
+    uint64_t total_motifs = 0;
+  };
+
+  /// A finished run: the built expanded query and its ranked results.
+  struct RunEntry {
+    retrieval::Query query;
+    retrieval::ResultList results;
+  };
+
+  explicit SqeCache(const SqeCacheOptions& options);
+  SQE_DISALLOW_COPY_AND_ASSIGN(SqeCache);
+
+  // ---- keys -----------------------------------------------------------------
+
+  static std::string GraphKey(std::span<const kb::ArticleId> query_nodes,
+                              const MotifConfig& motifs);
+  static std::string RunKey(std::span<const std::string> analyzed_terms,
+                            const std::string& graph_key,
+                            std::span<const kb::ArticleId> query_nodes,
+                            size_t k, uint64_t options_digest);
+  /// Digest of everything outside the per-call arguments that shapes a
+  /// result: query-builder weights/limits and retriever smoothing.
+  static uint64_t OptionsDigest(const QueryBuilderOptions& builder,
+                                const retrieval::RetrieverOptions& retriever);
+
+  // ---- the two cache levels -------------------------------------------------
+
+  std::shared_ptr<const GraphEntry> LookupGraph(const std::string& key);
+  /// Strips `query_nodes` from `graph` and caches the rest; returns the
+  /// resident entry so the caller skips a second lookup.
+  std::shared_ptr<const GraphEntry> InsertGraph(const std::string& key,
+                                                QueryGraph graph);
+
+  std::shared_ptr<const RunEntry> LookupRun(const std::string& key);
+  void InsertRun(const std::string& key, RunEntry run);
+
+  SqeCacheStats Stats() const;
+
+ private:
+  ShardedLruCache<std::string, GraphEntry> graphs_;
+  ShardedLruCache<std::string, RunEntry> runs_;
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_SQE_CACHE_H_

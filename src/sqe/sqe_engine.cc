@@ -17,6 +17,11 @@ SqeEngine::SqeEngine(const kb::KnowledgeBase* kb,
       query_builder_(kb, analyzer, config.query_builder),
       retriever_(index, config.retriever) {
   SQE_CHECK(kb != nullptr && index != nullptr && analyzer != nullptr);
+  if (config_.cache.enabled) {
+    cache_ = std::make_unique<SqeCache>(config_.cache);
+    cache_options_digest_ =
+        SqeCache::OptionsDigest(config_.query_builder, config_.retriever);
+  }
 }
 
 std::vector<kb::ArticleId> SqeEngine::LinkQueryNodes(
@@ -41,6 +46,9 @@ SqeRunResult SqeEngine::RunSqeWithScratch(
     std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
     const MotifConfig& motifs, size_t k,
     retrieval::RetrieverScratch* scratch) const {
+  if (cache_ != nullptr) {
+    return RunSqeCached(user_query, query_nodes, motifs, k, scratch);
+  }
   SqeRunResult out;
   Timer total;
 
@@ -53,6 +61,53 @@ SqeRunResult SqeEngine::RunSqeWithScratch(
   Timer retrieval_timer;
   out.results = retriever_.Retrieve(out.query, k, scratch);
   out.retrieval_ms = retrieval_timer.ElapsedMillis();
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
+SqeRunResult SqeEngine::RunSqeCached(
+    std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
+    const MotifConfig& motifs, size_t k,
+    retrieval::RetrieverScratch* scratch) const {
+  SqeRunResult out;
+  Timer total;
+
+  // Level 1: the expansion subgraph, keyed order-independently. A hit skips
+  // motif traversal; either way the caller's node order is re-attached so
+  // the assembled QueryGraph matches the uncached build exactly.
+  Timer graph_timer;
+  const std::string graph_key = SqeCache::GraphKey(query_nodes, motifs);
+  std::shared_ptr<const SqeCache::GraphEntry> graph_entry =
+      cache_->LookupGraph(graph_key);
+  if (graph_entry == nullptr) {
+    graph_entry = cache_->InsertGraph(
+        graph_key, motif_finder_.BuildQueryGraph(query_nodes, motifs));
+  }
+  out.graph.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  out.graph.expansion_nodes = graph_entry->expansion_nodes;
+  out.graph.category_nodes = graph_entry->category_nodes;
+  out.graph.total_motifs = graph_entry->total_motifs;
+  out.graph_build_ms = graph_timer.ElapsedMillis();
+
+  // Level 2: the finished run. A hit returns the stored query + ranking —
+  // both byte-identical to what the miss path below produced when it filled
+  // the entry — and skips query building and retrieval entirely.
+  const std::string run_key =
+      SqeCache::RunKey(analyzer_->Analyze(user_query), graph_key, query_nodes,
+                       k, cache_options_digest_);
+  if (std::shared_ptr<const SqeCache::RunEntry> run =
+          cache_->LookupRun(run_key)) {
+    out.query = run->query;
+    out.results = run->results;
+    out.total_ms = total.ElapsedMillis();
+    return out;
+  }
+
+  out.query = query_builder_.Build(user_query, out.graph, QueryParts::All());
+  Timer retrieval_timer;
+  out.results = retriever_.Retrieve(out.query, k, scratch);
+  out.retrieval_ms = retrieval_timer.ElapsedMillis();
+  cache_->InsertRun(run_key, SqeCache::RunEntry{out.query, out.results});
   out.total_ms = total.ElapsedMillis();
   return out;
 }

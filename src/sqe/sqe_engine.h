@@ -4,6 +4,7 @@
 #ifndef SQE_SQE_SQE_ENGINE_H_
 #define SQE_SQE_SQE_ENGINE_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -18,6 +19,7 @@
 #include "sqe/combiner.h"
 #include "sqe/motif_finder.h"
 #include "sqe/query_builder.h"
+#include "sqe/sqe_cache.h"
 
 namespace sqe::expansion {
 
@@ -48,6 +50,11 @@ struct SqeCRunResult {
 struct SqeEngineConfig {
   QueryBuilderOptions query_builder;
   retrieval::RetrieverOptions retriever;
+  /// Opt-in query-graph/result caching (see sqe/sqe_cache.h). Disabled by
+  /// default: existing callers and benches pay nothing. When enabled,
+  /// RunSqe/RunSqeC/RunBatch hits skip motif traversal and retrieval while
+  /// staying bit-identical to the uncached path (only timing fields vary).
+  SqeCacheOptions cache;
 };
 
 /// One query of a batch run: the raw text plus its (manually selected or
@@ -119,11 +126,23 @@ class SqeEngine {
   const retrieval::Retriever& retriever() const { return retriever_; }
   const kb::KnowledgeBase& kb() const { return *kb_; }
 
+  // ---- caching --------------------------------------------------------------
+
+  bool cache_enabled() const { return cache_ != nullptr; }
+  /// Counter snapshot of both cache levels; all-zero when caching is off.
+  SqeCacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->Stats() : SqeCacheStats{};
+  }
+
  private:
   SqeRunResult RunSqeWithScratch(std::string_view user_query,
                                  std::span<const kb::ArticleId> query_nodes,
                                  const MotifConfig& motifs, size_t k,
                                  retrieval::RetrieverScratch* scratch) const;
+  SqeRunResult RunSqeCached(std::string_view user_query,
+                            std::span<const kb::ArticleId> query_nodes,
+                            const MotifConfig& motifs, size_t k,
+                            retrieval::RetrieverScratch* scratch) const;
 
   const kb::KnowledgeBase* kb_;
   const index::InvertedIndex* index_;
@@ -133,6 +152,10 @@ class SqeEngine {
   MotifFinder motif_finder_;
   ExpandedQueryBuilder query_builder_;
   retrieval::Retriever retriever_;
+  // Internally synchronized (sharded mutexes), so const engine methods may
+  // use it concurrently; null when config_.cache.enabled is false.
+  std::unique_ptr<SqeCache> cache_;
+  uint64_t cache_options_digest_ = 0;
 };
 
 }  // namespace sqe::expansion

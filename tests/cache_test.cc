@@ -1,0 +1,344 @@
+// Cache coverage: the sharded LRU container (capacity/byte eviction, LRU
+// ordering, stats, concurrent hammering), SqeCache keying, and the engine
+// determinism guarantee — a cache-enabled engine must produce bit-identical
+// output to an uncached one, cold and warm, at every thread count. Run under
+// SQE_SANITIZE=thread / address,undefined in CI to prove race-freedom.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/lru_cache.h"
+#include "common/thread_pool.h"
+#include "sqe/sqe_cache.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+// ---- ShardedLruCache --------------------------------------------------------
+
+using StringCache = ShardedLruCache<std::string, int>;
+
+LruCacheOptions TinyCache(size_t capacity, size_t max_bytes = 1u << 20) {
+  LruCacheOptions options;
+  options.capacity = capacity;
+  options.max_bytes = max_bytes;
+  options.num_shards = 1;  // single shard: eviction order is fully observable
+  return options;
+}
+
+TEST(ShardedLruCacheTest, InsertLookupRoundTrip) {
+  StringCache cache(TinyCache(8));
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", 1);
+  auto hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+}
+
+TEST(ShardedLruCacheTest, InsertReturnsResidentHandle) {
+  StringCache cache(TinyCache(8));
+  auto handle = cache.Insert("a", 7);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(*handle, 7);
+  EXPECT_EQ(cache.Lookup("a").get(), handle.get());
+}
+
+TEST(ShardedLruCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  StringCache cache(TinyCache(2));
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // refresh "a": "b" is now coldest
+  cache.Insert("c", 3);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, ByteBudgetEvicts) {
+  // Each entry is charged ~600 bytes against a 1000-byte budget: at most
+  // one fits, so the second insert evicts the first.
+  StringCache cache(TinyCache(100, 1000));
+  cache.Insert("a", 1, 600);
+  cache.Insert("b", 2, 600);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_LE(stats.bytes, 1000u);
+}
+
+TEST(ShardedLruCacheTest, ReinsertReplacesValueAndCharge) {
+  StringCache cache(TinyCache(4, 1u << 20));
+  cache.Insert("a", 1, 100);
+  cache.Insert("a", 2, 200);
+  auto hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 2);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, EvictedValueSurvivesThroughHandle) {
+  StringCache cache(TinyCache(1));
+  auto handle = cache.Insert("a", 42);
+  cache.Insert("b", 2);  // evicts "a"
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(*handle, 42);  // the caller's snapshot is unaffected
+}
+
+TEST(ShardedLruCacheTest, StatsCountHitsAndMisses) {
+  StringCache cache(TinyCache(4));
+  cache.Insert("a", 1);
+  cache.Lookup("a");
+  cache.Lookup("a");
+  cache.Lookup("missing");
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesKeepsCounters) {
+  StringCache cache(TinyCache(4));
+  cache.Insert("a", 1);
+  cache.Lookup("a");
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ShardedLruCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  LruCacheOptions options;
+  options.num_shards = 5;
+  ShardedLruCache<std::string, int> cache(options);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedWorkloadIsRaceFree) {
+  LruCacheOptions options;
+  options.capacity = 64;  // small enough that eviction happens under load
+  options.num_shards = 4;
+  ShardedLruCache<std::string, int> cache(options);
+  ThreadPool pool(4);
+  constexpr size_t kOps = 4000;
+  pool.ParallelFor(kOps, [&](size_t i, size_t) {
+    const int id = static_cast<int>(i % 128);
+    const std::string key = "k" + std::to_string(id);
+    if (auto hit = cache.Lookup(key)) {
+      // A key's value never changes: any hit must observe it intact.
+      ASSERT_EQ(*hit, id);
+    } else {
+      cache.Insert(key, id);
+    }
+  });
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, kOps);
+  EXPECT_LE(stats.entries, 64u + cache.num_shards());
+}
+
+// ---- SqeCache keying --------------------------------------------------------
+
+TEST(SqeCacheKeyTest, GraphKeyIsOrderInvariant) {
+  std::vector<kb::ArticleId> ab = {1, 2}, ba = {2, 1}, abc = {1, 2, 3};
+  const auto both = expansion::MotifConfig::Both();
+  EXPECT_EQ(expansion::SqeCache::GraphKey(ab, both),
+            expansion::SqeCache::GraphKey(ba, both));
+  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both),
+            expansion::SqeCache::GraphKey(abc, both));
+  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both),
+            expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Triangular()));
+  EXPECT_NE(expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Square()),
+            expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Triangular()));
+}
+
+TEST(SqeCacheKeyTest, RunKeySeparatesEveryComponent) {
+  using expansion::SqeCache;
+  std::vector<std::string> terms = {"cabl", "car"};
+  std::vector<std::string> other_terms = {"cabl"};
+  std::vector<kb::ArticleId> ab = {1, 2}, ba = {2, 1};
+  const std::string graph_key =
+      SqeCache::GraphKey(ab, expansion::MotifConfig::Both());
+  const std::string base = SqeCache::RunKey(terms, graph_key, ab, 100, 7);
+  EXPECT_EQ(SqeCache::RunKey(terms, graph_key, ab, 100, 7), base);
+  EXPECT_NE(SqeCache::RunKey(other_terms, graph_key, ab, 100, 7), base);
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ba, 100, 7), base);  // order!
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 50, 7), base);
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 100, 8), base);
+}
+
+// ---- engine determinism -----------------------------------------------------
+
+struct CacheEngineFixture {
+  synth::World world;
+  synth::Dataset dataset;
+  expansion::SqeEngine uncached;
+  expansion::SqeEngine cached;
+
+  CacheEngineFixture()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())),
+        uncached(&world.kb, &dataset.index, dataset.linker.get(),
+                 &dataset.analyzer(), MakeConfig(dataset, false)),
+        cached(&world.kb, &dataset.index, dataset.linker.get(),
+               &dataset.analyzer(), MakeConfig(dataset, true)) {}
+
+  static expansion::SqeEngineConfig MakeConfig(const synth::Dataset& ds,
+                                               bool with_cache) {
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = ds.retrieval_mu;
+    config.cache.enabled = with_cache;
+    return config;
+  }
+
+  std::vector<expansion::BatchQueryInput> MakeBatch() const {
+    std::vector<expansion::BatchQueryInput> batch;
+    for (const synth::GeneratedQuery& q : dataset.query_set.queries) {
+      batch.push_back({q.text, q.true_entities});
+    }
+    return batch;
+  }
+};
+
+CacheEngineFixture& SharedFixture() {
+  static CacheEngineFixture& fixture = *new CacheEngineFixture();
+  return fixture;
+}
+
+void ExpectIdenticalRun(const expansion::SqeRunResult& got,
+                        const expansion::SqeRunResult& want, size_t qi) {
+  ASSERT_EQ(got.results.size(), want.results.size()) << "query " << qi;
+  for (size_t r = 0; r < got.results.size(); ++r) {
+    EXPECT_EQ(got.results[r].doc, want.results[r].doc)
+        << "query " << qi << " rank " << r;
+    EXPECT_EQ(got.results[r].score, want.results[r].score)
+        << "query " << qi << " rank " << r;
+  }
+  EXPECT_EQ(got.graph.query_nodes, want.graph.query_nodes) << "query " << qi;
+  ASSERT_EQ(got.graph.expansion_nodes.size(),
+            want.graph.expansion_nodes.size())
+      << "query " << qi;
+  for (size_t e = 0; e < got.graph.expansion_nodes.size(); ++e) {
+    EXPECT_EQ(got.graph.expansion_nodes[e].article,
+              want.graph.expansion_nodes[e].article);
+    EXPECT_EQ(got.graph.expansion_nodes[e].motif_count,
+              want.graph.expansion_nodes[e].motif_count);
+    EXPECT_EQ(got.graph.expansion_nodes[e].triangular_count,
+              want.graph.expansion_nodes[e].triangular_count);
+    EXPECT_EQ(got.graph.expansion_nodes[e].square_count,
+              want.graph.expansion_nodes[e].square_count);
+  }
+  EXPECT_EQ(got.graph.total_motifs, want.graph.total_motifs);
+  EXPECT_EQ(got.graph.category_nodes, want.graph.category_nodes);
+  // The built query, clause by clause and atom by atom.
+  ASSERT_EQ(got.query.clauses.size(), want.query.clauses.size())
+      << "query " << qi;
+  for (size_t c = 0; c < got.query.clauses.size(); ++c) {
+    EXPECT_EQ(got.query.clauses[c].weight, want.query.clauses[c].weight);
+    ASSERT_EQ(got.query.clauses[c].atoms.size(),
+              want.query.clauses[c].atoms.size())
+        << "query " << qi << " clause " << c;
+    for (size_t a = 0; a < got.query.clauses[c].atoms.size(); ++a) {
+      EXPECT_EQ(got.query.clauses[c].atoms[a].weight,
+                want.query.clauses[c].atoms[a].weight);
+      EXPECT_EQ(got.query.clauses[c].atoms[a].terms,
+                want.query.clauses[c].atoms[a].terms);
+    }
+  }
+}
+
+TEST(SqeEngineCacheTest, CachedBitIdenticalToUncachedAcrossThreadCounts) {
+  CacheEngineFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  ASSERT_GE(batch.size(), 4u);
+  constexpr size_t kDepth = 100;
+  const auto motifs = expansion::MotifConfig::Both();
+
+  std::vector<expansion::SqeRunResult> reference =
+      f.uncached.RunBatch(batch, motifs, kDepth, nullptr);
+
+  // Cold (first pass fills), then warm (pure hits), at several thread
+  // counts; every pass must match the uncached reference byte for byte.
+  for (size_t threads : {size_t{0}, size_t{2}, size_t{4}}) {
+    ThreadPool pool(threads);
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<expansion::SqeRunResult> got =
+          f.cached.RunBatch(batch, motifs, kDepth, &pool);
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t qi = 0; qi < got.size(); ++qi) {
+        ExpectIdenticalRun(got[qi], reference[qi], qi);
+      }
+    }
+  }
+
+  expansion::SqeCacheStats stats = f.cached.cache_stats();
+  EXPECT_GT(stats.graph.hits, 0u);
+  EXPECT_GT(stats.result.hits, 0u);
+  EXPECT_GT(stats.result.insertions, 0u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(SqeEngineCacheTest, RunSqeCMatchesUncached) {
+  CacheEngineFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  ASSERT_GE(batch.size(), 2u);
+  for (size_t qi = 0; qi < 2; ++qi) {
+    expansion::SqeCRunResult want =
+        f.uncached.RunSqeC(batch[qi].text, batch[qi].query_nodes, 100);
+    // Twice: the second run is served from the cache.
+    for (int pass = 0; pass < 2; ++pass) {
+      expansion::SqeCRunResult got =
+          f.cached.RunSqeC(batch[qi].text, batch[qi].query_nodes, 100);
+      ASSERT_EQ(got.results.size(), want.results.size());
+      for (size_t r = 0; r < got.results.size(); ++r) {
+        EXPECT_EQ(got.results[r].doc, want.results[r].doc);
+        EXPECT_EQ(got.results[r].score, want.results[r].score);
+      }
+      EXPECT_EQ(got.num_features_t, want.num_features_t);
+      EXPECT_EQ(got.num_features_ts, want.num_features_ts);
+      EXPECT_EQ(got.num_features_s, want.num_features_s);
+    }
+  }
+}
+
+TEST(SqeEngineCacheTest, GraphCacheSharedAcrossNodeOrderings) {
+  // Same node set, different order: one graph entry serves both (the graph
+  // key sorts), while the runs stay distinct and each order's output equals
+  // its own uncached reference.
+  CacheEngineFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  ASSERT_GE(batch.size(), 2u);
+  ASSERT_FALSE(batch[0].query_nodes.empty());
+  ASSERT_FALSE(batch[1].query_nodes.empty());
+  // Query nodes are caller-supplied, so a two-node query can be assembled
+  // from any two distinct articles of the tiny world.
+  std::vector<kb::ArticleId> nodes = {batch[0].query_nodes[0],
+                                      batch[1].query_nodes[0]};
+  if (nodes[0] == nodes[1]) {
+    nodes[1] = static_cast<kb::ArticleId>((nodes[0] + 1) %
+                                          f.world.kb.NumArticles());
+  }
+  std::vector<kb::ArticleId> reversed = {nodes[1], nodes[0]};
+  const std::string& text = batch[0].text;
+  const auto motifs = expansion::MotifConfig::Both();
+  expansion::SqeRunResult fwd_want = f.uncached.RunSqe(text, nodes, motifs, 100);
+  expansion::SqeRunResult rev_want =
+      f.uncached.RunSqe(text, reversed, motifs, 100);
+
+  expansion::SqeRunResult fwd = f.cached.RunSqe(text, nodes, motifs, 100);
+  expansion::SqeRunResult rev = f.cached.RunSqe(text, reversed, motifs, 100);
+  ExpectIdenticalRun(fwd, fwd_want, 0);
+  ExpectIdenticalRun(rev, rev_want, 1);
+}
+
+}  // namespace
+}  // namespace sqe

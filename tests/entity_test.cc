@@ -177,6 +177,61 @@ TEST(EntityLinkerTest, NerFallbackLinksMentions) {
   EXPECT_EQ(linked[0].article, 2u);
 }
 
+TEST(EntityLinkerTest, NerFallbackCarriesTokenSpans) {
+  LinkerFixture f;
+  EntityLinkerOptions options;
+  // Spotting cannot clear this threshold ("lift" peaks at 0.8), forcing the
+  // NER fallback over the capitalized mention.
+  options.min_commonness = 0.95;
+  EntityLinker linker(&f.dict, &f.analyzer, options);
+  auto linked = linker.Link("ride the Lift today");
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0].article, 1u);  // Funicular dominates "lift"
+  // Analyzed query tokens: {ride, lift, todai} ("the" is a stopword). The
+  // mention covers token 1, not the bogus [0, 0) span once emitted here.
+  EXPECT_EQ(linked[0].token_begin, 1u);
+  EXPECT_EQ(linked[0].token_end, 2u);
+}
+
+TEST(EntityLinkerTest, NerFallbackDeduplicatesByArticle) {
+  kb::KnowledgeBase kb = MakeKb();
+  text::Analyzer analyzer = MakeAnalyzer();
+  SurfaceFormDictionary dict;
+  dict.Add({"lift"}, 1, 4.0);  // 0.8 Funicular
+  dict.Add({"lift"}, 0, 1.0);
+  dict.Add({"tram"}, 1, 9.0);  // 0.9 Funicular
+  dict.Add({"tram"}, 0, 1.0);
+  dict.Finalize();
+  EntityLinkerOptions options;
+  options.min_commonness = 0.95;  // force the NER fallback for both mentions
+  EntityLinker linker(&dict, &analyzer, options);
+  // Both mentions resolve to Funicular: one link must come back (not the
+  // duplicate pair the fallback used to emit), keeping the
+  // higher-commonness "Tram" hit and its token span.
+  auto linked = linker.Link("Lift beside Tram");
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0].article, 1u);
+  EXPECT_NEAR(linked[0].confidence, 0.9, 1e-12);
+  EXPECT_EQ(linked[0].token_begin, 2u);  // tokens: {lift, besid, tram}
+  EXPECT_EQ(linked[0].token_end, 3u);
+}
+
+TEST(EntityLinkerTest, NerFallbackKeepsDistinctArticles) {
+  LinkerFixture f;
+  EntityLinkerOptions options;
+  options.min_commonness = 1.1;  // nothing can clear it: spotting never fires
+  EntityLinker linker(&f.dict, &f.analyzer, options);
+  // Two mentions, two distinct articles: both survive, in position order.
+  auto linked = linker.Link("Banksy rides the Lift");
+  ASSERT_EQ(linked.size(), 2u);
+  EXPECT_EQ(linked[0].article, 2u);  // Banksy
+  EXPECT_EQ(linked[0].token_begin, 0u);
+  EXPECT_EQ(linked[0].token_end, 1u);
+  EXPECT_EQ(linked[1].article, 1u);  // Funicular via "lift"
+  EXPECT_EQ(linked[1].token_begin, 2u);  // tokens: {banksi, ride, lift}
+  EXPECT_EQ(linked[1].token_end, 3u);
+}
+
 TEST(EntityLinkerTest, NothingLinkableYieldsEmpty) {
   LinkerFixture f;
   EntityLinker linker(&f.dict, &f.analyzer);

@@ -229,6 +229,52 @@ TEST(QueryBuilderTest, MultiWordTitlesBecomePhrases) {
   EXPECT_TRUE(query.clauses[0].atoms[0].is_phrase());
 }
 
+TEST(QueryBuilderTest, StemEqualTitlesMergeWithinClause) {
+  // "Car" and "Cars" analyze to the identical term sequence {car}: their
+  // atoms must merge with summed weights instead of silently splitting the
+  // clause's normalized weight mass across duplicates.
+  kb::KbBuilder kb_builder;
+  kb::ArticleId car = kb_builder.AddArticle("Car");
+  kb::ArticleId cars = kb_builder.AddArticle("Cars");
+  kb::KnowledgeBase kb = std::move(kb_builder).Build();
+  text::Analyzer analyzer;
+  ExpandedQueryBuilder builder(&kb, &analyzer);
+
+  QueryGraph graph;
+  graph.query_nodes = {car, cars};
+  graph.expansion_nodes.push_back({car, 2, 2, 0});
+  graph.expansion_nodes.push_back({cars, 1, 1, 0});
+
+  retrieval::Query entity = builder.Build("", graph, QueryParts::EOnly());
+  ASSERT_EQ(entity.clauses.size(), 1u);
+  ASSERT_EQ(entity.clauses[0].atoms.size(), 1u);
+  EXPECT_EQ(entity.clauses[0].atoms[0].terms,
+            (std::vector<std::string>{"car"}));
+  EXPECT_DOUBLE_EQ(entity.clauses[0].atoms[0].weight, 2.0);  // 1.0 + 1.0
+
+  retrieval::Query expansion = builder.Build("", graph, QueryParts::XOnly());
+  ASSERT_EQ(expansion.clauses.size(), 1u);
+  ASSERT_EQ(expansion.clauses[0].atoms.size(), 1u);
+  EXPECT_DOUBLE_EQ(expansion.clauses[0].atoms[0].weight, 3.0);  // |m_a| 2 + 1
+}
+
+TEST(QueryBuilderTest, DistinctTitlesDoNotMerge) {
+  // Guard the merge against over-reach: multi-term phrases with a shared
+  // prefix term stay separate atoms.
+  kb::KbBuilder kb_builder;
+  kb::ArticleId cable_car = kb_builder.AddArticle("Cable Car");
+  kb::ArticleId cable = kb_builder.AddArticle("Cable");
+  kb::KnowledgeBase kb = std::move(kb_builder).Build();
+  text::Analyzer analyzer;
+  ExpandedQueryBuilder builder(&kb, &analyzer);
+
+  QueryGraph graph;
+  graph.query_nodes = {cable_car, cable};
+  retrieval::Query query = builder.Build("", graph, QueryParts::EOnly());
+  ASSERT_EQ(query.clauses.size(), 1u);
+  EXPECT_EQ(query.clauses[0].atoms.size(), 2u);
+}
+
 // ---- combiner ------------------------------------------------------------------
 
 retrieval::ResultList MakeResults(std::initializer_list<index::DocId> docs) {

@@ -7,10 +7,14 @@
 //   sqe_tool kb-stats <in.dump|in.snap>       print graph statistics
 //   sqe_tool motifs <in.*> <article title>    print the query graph for an
 //                                             article (both motifs)
-//   sqe_tool batch [num_threads]              expand+retrieve the synthetic
+//   sqe_tool batch [num_threads] [--cache]    expand+retrieve the synthetic
 //                                             query set concurrently and
 //                                             report throughput (smoke test
-//                                             for the batch pipeline)
+//                                             for the batch pipeline); with
+//                                             --cache, run the batch twice
+//                                             (cold fill + warm replay) and
+//                                             print cache counters — both
+//                                             digests must match
 //
 // Exit codes: 0 success, 1 usage, 2 data error (message on stderr).
 #include <cstdio>
@@ -102,12 +106,29 @@ int Motifs(const std::string& path, const std::string& title) {
   return 0;
 }
 
-int Batch(size_t num_threads) {
+// Scheduling-independent digest of a batch's rankings: runs at different
+// thread counts (or cached vs uncached) can be diffed for the determinism
+// guarantee.
+uint64_t RankingDigest(const std::vector<expansion::SqeRunResult>& results,
+                       size_t* total_results) {
+  uint64_t digest = 1469598103934665603ull;  // FNV-1a
+  *total_results = 0;
+  for (const expansion::SqeRunResult& r : results) {
+    for (const retrieval::ScoredDoc& sd : r.results) {
+      digest = (digest ^ sd.doc) * 1099511628211ull;
+      ++*total_results;
+    }
+  }
+  return digest;
+}
+
+int Batch(size_t num_threads, bool with_cache) {
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
   expansion::SqeEngineConfig config;
   config.retriever.mu = dataset.retrieval_mu;
+  config.cache.enabled = with_cache;
   expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
                               &dataset.analyzer(), config);
 
@@ -117,26 +138,27 @@ int Batch(size_t num_threads) {
   }
 
   ThreadPool pool(num_threads);
-  Timer timer;
-  std::vector<expansion::SqeRunResult> results =
-      engine.RunBatch(batch, expansion::MotifConfig::Both(), 100, &pool);
-  double seconds = timer.ElapsedSeconds();
-
-  // A scheduling-independent digest of the ranking lets runs at different
-  // thread counts be diffed for the determinism guarantee.
-  uint64_t digest = 1469598103934665603ull;  // FNV-1a
-  size_t total_results = 0;
-  for (const expansion::SqeRunResult& r : results) {
-    for (const retrieval::ScoredDoc& sd : r.results) {
-      digest = (digest ^ sd.doc) * 1099511628211ull;
-      ++total_results;
-    }
+  // With caching on, run the batch twice: pass 1 fills (cold), pass 2 is
+  // served from the cache (warm). Digests must match — the cache contract is
+  // bit-identical output.
+  const int passes = with_cache ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    Timer timer;
+    std::vector<expansion::SqeRunResult> results =
+        engine.RunBatch(batch, expansion::MotifConfig::Both(), 100, &pool);
+    double seconds = timer.ElapsedSeconds();
+    size_t total_results = 0;
+    uint64_t digest = RankingDigest(results, &total_results);
+    std::printf("batch%s: %zu queries, %zu threads, %.3f s (%.1f q/s), "
+                "%zu results, digest %016llx\n",
+                with_cache ? (pass == 0 ? " [cold]" : " [warm]") : "",
+                results.size(), num_threads, seconds,
+                static_cast<double>(results.size()) / seconds, total_results,
+                static_cast<unsigned long long>(digest));
   }
-  std::printf("batch: %zu queries, %zu threads, %.3f s (%.1f q/s), "
-              "%zu results, digest %016llx\n",
-              results.size(), num_threads, seconds,
-              static_cast<double>(results.size()) / seconds, total_results,
-              static_cast<unsigned long long>(digest));
+  if (with_cache) {
+    std::printf("%s\n", engine.cache_stats().ToString().c_str());
+  }
   return 0;
 }
 
@@ -147,7 +169,7 @@ int Usage() {
                "  sqe_tool compile <in.dump> <out.snap>\n"
                "  sqe_tool kb-stats <in.dump|in.snap>\n"
                "  sqe_tool motifs <in.dump|in.snap> <article title>\n"
-               "  sqe_tool batch [num_threads]\n");
+               "  sqe_tool batch [num_threads] [--cache]\n");
   return 1;
 }
 
@@ -158,19 +180,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "batch") {
     size_t threads = ThreadPool::HardwareConcurrency();
-    if (argc >= 3) {
+    bool with_cache = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--cache") == 0) {
+        with_cache = true;
+        continue;
+      }
       char* end = nullptr;
-      long parsed = std::strtol(argv[2], &end, 10);
-      if (end == argv[2] || *end != '\0' || parsed < 0 || parsed > 1024) {
+      long parsed = std::strtol(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed < 0 || parsed > 1024) {
         std::fprintf(stderr,
                      "error: num_threads must be an integer in [0, 1024], "
                      "got '%s'\n",
-                     argv[2]);
+                     argv[i]);
         return 1;
       }
       threads = static_cast<size_t>(parsed);
     }
-    return Batch(threads);
+    return Batch(threads, with_cache);
   }
   if (argc < 3) return Usage();
   if (command == "gen-dump") return GenDump(argv[2]);
