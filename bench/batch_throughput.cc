@@ -11,6 +11,18 @@
 // cache) and reports warm-vs-cold and warm-vs-uncached speedups plus the hit
 // rate. The default throughput rows above run with caching off, so their
 // numbers are untouched by this addition.
+//
+// A third section measures intra-query sharded scoring at S = 1, 2, 4 and
+// hardware-concurrency shards: single-query-in-flight latency (one RunSqe at
+// a time fanned across the pool — the latency a lightly-loaded front-end
+// sees) and full-batch throughput (the three-phase query × shard grid). All
+// shard counts must produce the same ranking digest — that equality is the
+// determinism contract and is asserted here. NOTE: on a 1-core container
+// (hardware_concurrency == 1, the CI case) the fan-out cannot run
+// concurrently, so the interesting figure is the *overhead* of sharding —
+// the S=4 per-query latency should stay within ~10% of S=1 — not a speedup;
+// multi-core speedups are only observable on real hardware.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -62,6 +74,94 @@ RunStat TimeBatch(const expansion::SqeEngine& engine,
   stat.threads = threads;
   stat.seconds = timer.ElapsedSeconds();
   stat.qps = static_cast<double>(results.size()) / stat.seconds;
+  return stat;
+}
+
+// FNV-1a over the concatenated ranked doc ids: bit-identical rankings ⇒
+// identical digests, so shard counts can be diffed.
+uint64_t RankingDigest(const std::vector<expansion::SqeRunResult>& results) {
+  uint64_t digest = 1469598103934665603ull;
+  for (const expansion::SqeRunResult& r : results) {
+    for (const retrieval::ScoredDoc& sd : r.results) {
+      digest = (digest ^ sd.doc) * 1099511628211ull;
+    }
+  }
+  return digest;
+}
+
+struct ShardStat {
+  size_t shards = 0;
+  double batch_seconds = 0.0;
+  double batch_qps = 0.0;
+  double single_p50_ms = 0.0;
+  double single_p95_ms = 0.0;
+  // Pool-less RunSqe on the sharded engine. Its overhead vs S=1 is what a
+  // sharded deployment pays per query when no fan-out happens (the engine
+  // full-scans then, since exact top-k under the total order is unique) —
+  // the figure the ≤10% 1-core overhead bar applies to. The pooled columns
+  // show the true fan-out, whose thread wakeups are pure overhead on one
+  // core but amortize on real multi-core hosts.
+  double seq_p50_ms = 0.0;
+  uint64_t digest = 0;
+};
+
+// One engine per shard count over the same immutable dataset. The batch row
+// exercises the (query × shard) grid; the single-query rows issue one
+// RunSqe(..., pool) at a time, so all pool workers belong to that query.
+ShardStat TimeSharded(const kb::KnowledgeBase& kb,
+                      const synth::Dataset& dataset,
+                      const expansion::SqeEngineConfig& base_config,
+                      const std::vector<expansion::BatchQueryInput>& batch,
+                      size_t num_shards, size_t pool_threads) {
+  expansion::SqeEngineConfig config = base_config;
+  config.sharding.num_shards = num_shards;
+  expansion::SqeEngine engine(&kb, &dataset.index, dataset.linker.get(),
+                              &dataset.analyzer(), config);
+  ThreadPool pool(pool_threads);
+
+  ShardStat stat;
+  stat.shards = num_shards;
+
+  // Single query in flight: per-query latency distribution across repeats
+  // of the query set.
+  const size_t kRepeats = 16;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(kRepeats * batch.size());
+  engine.RunSqe(batch[0].text, batch[0].query_nodes,
+                expansion::MotifConfig::Both(), 100, &pool);  // warm-up
+  for (size_t r = 0; r < kRepeats; ++r) {
+    for (const expansion::BatchQueryInput& q : batch) {
+      Timer timer;
+      engine.RunSqe(q.text, q.query_nodes, expansion::MotifConfig::Both(),
+                    100, &pool);
+      latencies_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  stat.single_p50_ms = latencies_ms[latencies_ms.size() / 2];
+  stat.single_p95_ms = latencies_ms[latencies_ms.size() * 95 / 100];
+
+  // Same queries without the pool: sequential sweep over shards + merge.
+  std::vector<double> seq_ms;
+  seq_ms.reserve(kRepeats * batch.size());
+  for (size_t r = 0; r < kRepeats; ++r) {
+    for (const expansion::BatchQueryInput& q : batch) {
+      Timer timer;
+      engine.RunSqe(q.text, q.query_nodes, expansion::MotifConfig::Both(),
+                    100);
+      seq_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+  }
+  std::sort(seq_ms.begin(), seq_ms.end());
+  stat.seq_p50_ms = seq_ms[seq_ms.size() / 2];
+
+  // Full batch: threads split across queries and shards via the grid.
+  Timer timer;
+  auto results =
+      engine.RunBatch(batch, expansion::MotifConfig::Both(), 100, &pool);
+  stat.batch_seconds = timer.ElapsedSeconds();
+  stat.batch_qps = static_cast<double>(results.size()) / stat.batch_seconds;
+  stat.digest = RankingDigest(results);
   return stat;
 }
 
@@ -120,6 +220,43 @@ int main() {
               warm_qps / cold_qps, warm_qps / uncached_qps);
   std::printf("%s\n", cache_stats.ToString().c_str());
 
+  // ---- intra-query sharded scoring: S = 1, 2, 4, hw --------------------------
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) shard_counts.push_back(hw);
+  const size_t shard_pool_threads = std::max<size_t>(hw, 2);
+  std::printf("sharded scoring (%zu pool threads; on 1-core hosts expect "
+              "overhead, not speedup):\n",
+              shard_pool_threads);
+  std::vector<ShardStat> shard_stats;
+  for (size_t s : shard_counts) {
+    ShardStat stat = TimeSharded(world.kb, dataset, config, batch, s,
+                                 shard_pool_threads);
+    shard_stats.push_back(stat);
+    std::printf("  shards=%-2zu  single-query p50 %7.3f ms  p95 %7.3f ms  "
+                "(seq %7.3f ms)  |  batch %8.3f s  %10.1f q/s  "
+                "digest %016llx\n",
+                stat.shards, stat.single_p50_ms, stat.single_p95_ms,
+                stat.seq_p50_ms, stat.batch_seconds, stat.batch_qps,
+                static_cast<unsigned long long>(stat.digest));
+  }
+  const ShardStat* s4 = nullptr;
+  for (const ShardStat& s : shard_stats) {
+    if (s.shards == 4) s4 = &s;
+  }
+  if (s4 != nullptr) {
+    std::printf("  sequential S=4 overhead vs S=1: %+.1f%%\n",
+                (s4->seq_p50_ms / shard_stats.front().seq_p50_ms - 1.0) *
+                    100.0);
+  }
+  bool shard_digests_match = true;
+  for (const ShardStat& s : shard_stats) {
+    shard_digests_match &= s.digest == shard_stats.front().digest;
+  }
+  std::printf("  shard digests %s\n",
+              shard_digests_match ? "MATCH (bit-identical rankings)"
+                                  : "MISMATCH — determinism contract broken");
+  if (!shard_digests_match) return 1;
+
   std::string json = "{\n  \"benchmark\": \"batch_throughput\",\n";
   json += "  \"num_queries\": " + std::to_string(batch.size()) + ",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
@@ -146,6 +283,23 @@ int main() {
         cache_stats.graph.HitRate());
     json += block;
   }
+  json += ",\n  \"shard\": {\n    \"pool_threads\": " +
+          std::to_string(shard_pool_threads) + ",\n    \"digests_match\": " +
+          (shard_digests_match ? "true" : "false") + ",\n    \"runs\": [\n";
+  for (size_t i = 0; i < shard_stats.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "      {\"shards\": %zu, \"single_query_p50_ms\": %.4f, "
+                  "\"single_query_p95_ms\": %.4f, "
+                  "\"sequential_p50_ms\": %.4f, \"batch_seconds\": %.6f, "
+                  "\"batch_qps\": %.2f}%s\n",
+                  shard_stats[i].shards, shard_stats[i].single_p50_ms,
+                  shard_stats[i].single_p95_ms, shard_stats[i].seq_p50_ms,
+                  shard_stats[i].batch_seconds, shard_stats[i].batch_qps,
+                  i + 1 < shard_stats.size() ? "," : "");
+    json += line;
+  }
+  json += "    ]\n  }\n";
   json += "}\n";
 
   const char* out_path = "BENCH_batch.json";

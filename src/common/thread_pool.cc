@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdint>
 
 namespace sqe {
 
@@ -87,6 +88,16 @@ void ThreadPool::ParallelFor(size_t n,
   MutexLock lock(&state.done_mu);
   state.done_cv.Wait(&state.done_mu, [&state]() SQE_REQUIRES(state.done_mu) {
     return state.active == 0;
+  });
+}
+
+void ThreadPool::ParallelFor2D(
+    size_t n_outer, size_t n_inner,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n_outer == 0 || n_inner == 0) return;
+  SQE_CHECK(n_outer <= SIZE_MAX / n_inner);
+  ParallelFor(n_outer * n_inner, [n_inner, &fn](size_t i, size_t worker) {
+    fn(i / n_inner, i % n_inner, worker);
   });
 }
 

@@ -46,6 +46,15 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn)
       SQE_EXCLUDES(mu_);
 
+  /// Runs fn(outer, inner, worker_id) for every pair in
+  /// [0, n_outer) × [0, n_inner), flattened outer-major into one dynamic
+  /// ParallelFor — so workers split across outer items and within them
+  /// without nesting ParallelFor (which would block pool workers). Used by
+  /// the sharded batch pipeline to schedule (query, shard) scoring tasks.
+  void ParallelFor2D(size_t n_outer, size_t n_inner,
+                     const std::function<void(size_t, size_t, size_t)>& fn)
+      SQE_EXCLUDES(mu_);
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t HardwareConcurrency();
 

@@ -28,6 +28,11 @@ class PostingList {
     SQE_DCHECK(i < docs_.size());
     return docs_[i];
   }
+  /// The full doc-id / frequency parallel arrays, ascending by doc. The
+  /// retriever scores straight off these views instead of copying the list
+  /// per query; they remain valid as long as the PostingList does.
+  std::span<const DocId> docs() const { return docs_; }
+  std::span<const uint32_t> frequencies() const { return freqs_; }
   uint32_t frequency(size_t i) const {
     SQE_DCHECK(i < freqs_.size());
     return freqs_[i];

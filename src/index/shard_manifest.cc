@@ -1,0 +1,99 @@
+#include "index/shard_manifest.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "io/coding.h"
+#include "io/file.h"
+
+namespace sqe::index {
+
+namespace {
+constexpr uint32_t kManifestSnapshotMagic = 0x53514d46;  // "SQMF"
+}  // namespace
+
+ShardManifest ShardManifest::Balanced(size_t num_docs, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  ShardManifest manifest;
+  manifest.starts.reserve(num_shards + 1);
+  for (size_t s = 0; s <= num_shards; ++s) {
+    manifest.starts.push_back(
+        static_cast<DocId>(static_cast<uint64_t>(num_docs) * s / num_shards));
+  }
+  return manifest;
+}
+
+size_t ShardManifest::ShardOf(DocId global) const {
+  SQE_DCHECK(global < num_docs());
+  // The owner is the last shard whose begin is <= global: empty shards share
+  // their boundary with the next non-empty one but can contain nothing.
+  auto it = std::upper_bound(starts.begin(), starts.end(), global);
+  return static_cast<size_t>(it - starts.begin()) - 1;
+}
+
+Status ShardManifest::Validate(size_t expected_num_docs) const {
+  if (starts.size() < 2) {
+    return Status::Corruption("shard manifest: fewer than one shard");
+  }
+  if (starts.front() != 0) {
+    return Status::Corruption("shard manifest: first boundary not 0");
+  }
+  for (size_t s = 0; s + 1 < starts.size(); ++s) {
+    if (starts[s] > starts[s + 1]) {
+      return Status::Corruption(
+          StrFormat("shard manifest: boundary %zu decreases (%u > %u)", s,
+                    (unsigned)starts[s], (unsigned)starts[s + 1]));
+    }
+  }
+  if (starts.back() != expected_num_docs) {
+    return Status::Corruption(
+        StrFormat("shard manifest: covers %u documents, collection has %zu",
+                  (unsigned)starts.back(), expected_num_docs));
+  }
+  return Status::OK();
+}
+
+std::string ShardManifest::SerializeToString() const {
+  io::SnapshotWriter writer(kManifestSnapshotMagic);
+  std::string block;
+  io::PutVarint64(&block, starts.size());
+  DocId prev = 0;
+  for (DocId s : starts) {
+    io::PutVarint32(&block, s - prev);  // non-decreasing, so gaps are small
+    prev = s;
+  }
+  writer.AddBlock("shards", std::move(block));
+  return writer.Serialize();
+}
+
+Result<ShardManifest> ShardManifest::FromSnapshotString(std::string image) {
+  auto reader_or =
+      io::SnapshotReader::Open(std::move(image), kManifestSnapshotMagic);
+  if (!reader_or.ok()) return reader_or.status();
+  SQE_ASSIGN_OR_RETURN(std::string_view block,
+                       reader_or.value().GetBlock("shards"));
+  uint64_t num_starts;
+  if (!io::GetVarint64(&block, &num_starts) || num_starts < 2) {
+    return Status::Corruption("shard manifest header truncated");
+  }
+  ShardManifest manifest;
+  manifest.starts.reserve(num_starts);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < num_starts; ++i) {
+    uint32_t gap;
+    if (!io::GetVarint32(&block, &gap)) {
+      return Status::Corruption("shard manifest boundary truncated");
+    }
+    // Widen before adding so a hostile gap cannot wrap uint32 into a
+    // boundary that decreases yet passes Validate.
+    prev += gap;
+    if (prev > UINT32_MAX) {
+      return Status::Corruption("shard manifest boundary overflows DocId");
+    }
+    manifest.starts.push_back(static_cast<DocId>(prev));
+  }
+  SQE_RETURN_IF_ERROR(manifest.Validate(manifest.starts.back()));
+  return manifest;
+}
+
+}  // namespace sqe::index

@@ -1,0 +1,73 @@
+// ShardManifest: the contiguous partition of a document collection into
+// index shards, plus the local<->global DocId mapping it induces.
+//
+// Shard s owns the global DocId range [starts[s], starts[s+1]); local ids
+// within a shard are dense from 0, so the mapping is a single offset. The
+// manifest is the shared contract between the split snapshot layout
+// (ShardedIndex), the in-process scoring router (retrieval::ShardRouter)
+// and the tools that inspect partitions — all three must agree on who owns
+// which document, so the manifest validates and serializes independently.
+#ifndef SQE_INDEX_SHARD_MANIFEST_H_
+#define SQE_INDEX_SHARD_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "index/types.h"
+
+namespace sqe::index {
+
+struct ShardManifest {
+  /// Partition boundaries, size num_shards+1: starts.front() == 0,
+  /// starts.back() == num_docs, non-decreasing (empty shards are legal —
+  /// a partition into more shards than documents must still be total).
+  std::vector<DocId> starts;
+
+  /// Balanced contiguous partition: shard s gets [s*N/S, (s+1)*N/S), so
+  /// shard sizes differ by at most one document. num_shards is clamped to
+  /// at least 1; shards beyond num_docs come out empty.
+  static ShardManifest Balanced(size_t num_docs, size_t num_shards);
+
+  size_t num_shards() const { return starts.empty() ? 0 : starts.size() - 1; }
+  size_t num_docs() const { return starts.empty() ? 0 : starts.back(); }
+
+  DocId shard_begin(size_t s) const {
+    SQE_DCHECK(s < num_shards());
+    return starts[s];
+  }
+  DocId shard_end(size_t s) const {
+    SQE_DCHECK(s < num_shards());
+    return starts[s + 1];
+  }
+  size_t shard_size(size_t s) const { return shard_end(s) - shard_begin(s); }
+
+  /// Shard owning a global DocId (the unique non-empty shard whose range
+  /// contains it). `global` must be < num_docs.
+  size_t ShardOf(DocId global) const;
+
+  DocId ToGlobal(size_t shard, DocId local) const {
+    SQE_DCHECK(local < shard_size(shard));
+    return shard_begin(shard) + local;
+  }
+  DocId ToLocal(size_t shard, DocId global) const {
+    SQE_DCHECK(global >= shard_begin(shard) && global < shard_end(shard));
+    return global - shard_begin(shard);
+  }
+
+  /// Structural validation: at least one shard, boundaries anchored at 0,
+  /// non-decreasing, and covering exactly `expected_num_docs` documents.
+  /// Returns Status::Corruption pinpointing the violation.
+  Status Validate(size_t expected_num_docs) const;
+
+  /// CRC-protected snapshot (io::SnapshotWriter block format, own magic).
+  std::string SerializeToString() const;
+  static Result<ShardManifest> FromSnapshotString(std::string image);
+
+  bool operator==(const ShardManifest& other) const = default;
+};
+
+}  // namespace sqe::index
+
+#endif  // SQE_INDEX_SHARD_MANIFEST_H_

@@ -1,0 +1,99 @@
+#include "index/sharded_index.h"
+
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "io/file.h"
+
+namespace sqe::index {
+
+ShardedIndex ShardedIndex::Split(const InvertedIndex& full,
+                                 size_t num_shards) {
+  ShardedIndex sharded;
+  sharded.manifest_ = ShardManifest::Balanced(full.NumDocuments(), num_shards);
+  sharded.shards_.reserve(sharded.manifest_.num_shards());
+  std::vector<std::string> terms;
+  for (size_t s = 0; s < sharded.manifest_.num_shards(); ++s) {
+    IndexBuilder builder;
+    for (DocId d = sharded.manifest_.shard_begin(s);
+         d < sharded.manifest_.shard_end(s); ++d) {
+      terms.clear();
+      for (text::TermId t : full.DocTerms(d)) {
+        terms.push_back(full.vocabulary().TermOf(t));
+      }
+      builder.AddDocument(full.ExternalId(d), terms);
+    }
+    sharded.shards_.push_back(std::move(builder).Build());
+  }
+  return sharded;
+}
+
+Status ShardedIndex::Validate() const {
+  size_t total_docs = 0;
+  for (const InvertedIndex& shard : shards_) {
+    total_docs += shard.NumDocuments();
+  }
+  SQE_RETURN_IF_ERROR(manifest_.Validate(total_docs));
+  if (manifest_.num_shards() != shards_.size()) {
+    return Status::Corruption(
+        StrFormat("sharded index: manifest names %zu shards, %zu present",
+                  manifest_.num_shards(), shards_.size()));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].NumDocuments() != manifest_.shard_size(s)) {
+      return Status::Corruption(StrFormat(
+          "sharded index: shard %zu holds %zu documents, manifest says %zu",
+          s, shards_[s].NumDocuments(), manifest_.shard_size(s)));
+    }
+    SQE_RETURN_IF_ERROR(shards_[s].Validate());
+  }
+  return Status::OK();
+}
+
+std::string ShardedIndex::ManifestFileName() { return "manifest.sqeshards"; }
+
+std::string ShardedIndex::ShardFileName(size_t s) {
+  return StrFormat("shard-%04zu.idx", s);
+}
+
+Status ShardedIndex::SaveToDirectory(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create shard directory " + dir + ": " +
+                           ec.message());
+  }
+  SQE_RETURN_IF_ERROR(io::WriteStringToFile(
+      dir + "/" + ManifestFileName(), manifest_.SerializeToString()));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SQE_RETURN_IF_ERROR(shards_[s].SaveToFile(dir + "/" + ShardFileName(s)));
+  }
+  return Status::OK();
+}
+
+Result<ShardedIndex> ShardedIndex::LoadFromDirectory(const std::string& dir) {
+  auto manifest_image = io::ReadFileToString(dir + "/" + ManifestFileName());
+  if (!manifest_image.ok()) return manifest_image.status();
+  SQE_ASSIGN_OR_RETURN(
+      ShardManifest manifest,
+      ShardManifest::FromSnapshotString(std::move(manifest_image).value()));
+
+  ShardedIndex sharded;
+  sharded.shards_.reserve(manifest.num_shards());
+  for (size_t s = 0; s < manifest.num_shards(); ++s) {
+    // FromSnapshotFile runs the deep InvertedIndex::Validate on every shard.
+    auto shard = InvertedIndex::FromSnapshotFile(dir + "/" + ShardFileName(s));
+    if (!shard.ok()) return shard.status();
+    if (shard.value().NumDocuments() != manifest.shard_size(s)) {
+      return Status::Corruption(StrFormat(
+          "sharded index: shard %zu snapshot holds %zu documents, "
+          "manifest says %zu",
+          s, shard.value().NumDocuments(), manifest.shard_size(s)));
+    }
+    sharded.shards_.push_back(std::move(shard).value());
+  }
+  sharded.manifest_ = std::move(manifest);
+  return sharded;
+}
+
+}  // namespace sqe::index

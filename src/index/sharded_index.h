@@ -1,0 +1,76 @@
+// ShardedIndex: a document collection split into S self-contained
+// InvertedIndex shards plus the ShardManifest tying local ids back to the
+// global collection.
+//
+// Each shard is a complete, independently valid InvertedIndex over its
+// contiguous global DocId range [manifest.shard_begin(s),
+// manifest.shard_end(s)), with local DocIds dense from 0 — the layout a
+// distributed serving tier would place one shard per node. Per-shard
+// collection statistics are intentionally NOT used for scoring: Dirichlet
+// smoothing must see the global collection model, which the scoring path
+// (retrieval::ShardRouter over the full index) provides. The split form
+// exists for persistence, inspection (sqe_tool index shard-info) and as the
+// substrate for shipping shards to separate processes.
+//
+// Snapshot layout (SaveToDirectory / LoadFromDirectory):
+//   <dir>/manifest.sqeshards   ShardManifest, CRC-protected
+//   <dir>/shard-NNNN.idx       one InvertedIndex snapshot per shard
+// Every shard load runs InvertedIndex::Validate (via FromSnapshotFile), and
+// the manifest is cross-checked against the shards' document counts, so a
+// tampered or mismatched shard file surfaces as Status::Corruption.
+#ifndef SQE_INDEX_SHARDED_INDEX_H_
+#define SQE_INDEX_SHARDED_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "index/shard_manifest.h"
+
+namespace sqe::index {
+
+class ShardedIndex {
+ public:
+  ShardedIndex() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(ShardedIndex);
+  ShardedIndex(ShardedIndex&&) = default;
+  ShardedIndex& operator=(ShardedIndex&&) = default;
+
+  /// Partitions `full` into a balanced contiguous manifest of `num_shards`
+  /// (clamped to >= 1; shards beyond the document count come out empty) and
+  /// re-indexes each shard's documents through IndexBuilder. O(total
+  /// tokens); build/tool-time only, never on the query path.
+  static ShardedIndex Split(const InvertedIndex& full, size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardManifest& manifest() const { return manifest_; }
+  const InvertedIndex& shard(size_t s) const {
+    SQE_DCHECK(s < shards_.size());
+    return shards_[s];
+  }
+
+  /// Total documents across shards (== manifest().num_docs()).
+  size_t NumDocuments() const { return manifest_.num_docs(); }
+
+  /// Manifest/shard consistency plus InvertedIndex::Validate per shard.
+  Status Validate() const;
+
+  // ---- persistence ---------------------------------------------------------
+
+  Status SaveToDirectory(const std::string& dir) const;
+  static Result<ShardedIndex> LoadFromDirectory(const std::string& dir);
+
+  /// Snapshot file names inside the directory (exposed for tools/tests).
+  static std::string ManifestFileName();
+  static std::string ShardFileName(size_t s);
+
+ private:
+  ShardManifest manifest_;
+  std::vector<InvertedIndex> shards_;
+};
+
+}  // namespace sqe::index
+
+#endif  // SQE_INDEX_SHARDED_INDEX_H_

@@ -8,8 +8,7 @@
 
 namespace sqe::retrieval {
 
-std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
-    const Query& query) const {
+ResolvedQuery Retriever::Resolve(const Query& query) const {
   const index::InvertedIndex& idx = *index_;
 
   // Normalize clause weights, then atom weights within each clause, so the
@@ -19,7 +18,7 @@ std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
     if (!c.atoms.empty() && c.weight > 0.0) clause_total += c.weight;
   }
 
-  std::vector<ResolvedAtom> resolved;
+  ResolvedQuery resolved;
   for (const Clause& c : query.clauses) {
     if (c.atoms.empty() || c.weight <= 0.0 || clause_total <= 0.0) continue;
     double atom_total = 0.0;
@@ -29,18 +28,14 @@ std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
     if (atom_total <= 0.0) continue;
     for (const Atom& a : c.atoms) {
       if (a.weight <= 0.0 || a.terms.empty()) continue;
-      ResolvedAtom r;
+      ResolvedQuery::ResolvedAtom r;
       r.weight = (c.weight / clause_total) * (a.weight / atom_total);
       if (!a.is_phrase()) {
         text::TermId t = idx.LookupTerm(a.terms[0]);
         if (t != text::kInvalidTermId) {
           const index::PostingList& pl = idx.Postings(t);
-          r.docs.reserve(pl.NumDocs());
-          r.freqs.reserve(pl.NumDocs());
-          for (size_t i = 0; i < pl.NumDocs(); ++i) {
-            r.docs.push_back(pl.doc(i));
-            r.freqs.push_back(pl.frequency(i));
-          }
+          r.docs = pl.docs();
+          r.freqs = pl.frequencies();
         }
         r.collection_prob = idx.CollectionProbability(t);
       } else {
@@ -50,8 +45,10 @@ std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
           ids.push_back(idx.LookupTerm(term));
         }
         PhrasePostings pp = MatchPhrase(idx, ids);
-        r.docs = std::move(pp.docs);
-        r.freqs = std::move(pp.freqs);
+        r.owned_docs = std::move(pp.docs);
+        r.owned_freqs = std::move(pp.freqs);
+        r.docs = r.owned_docs;
+        r.freqs = r.owned_freqs;
         double denom = static_cast<double>(std::max<uint64_t>(
             idx.TotalTokens(), 1));
         r.collection_prob =
@@ -59,8 +56,15 @@ std::vector<Retriever::ResolvedAtom> Retriever::ResolveAtoms(
                 ? static_cast<double>(pp.collection_frequency) / denom
                 : idx.UnseenTermProbability();
       }
-      resolved.push_back(std::move(r));
+      resolved.atoms_.push_back(std::move(r));
     }
+  }
+
+  // score(D) = Σ_a ω_a log(tf_aD + μ p_a) − log(|D| + μ)
+  //          = background_const + delta(D) − log(|D| + μ)
+  const double mu = options_.mu;
+  for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
+    resolved.background_const_ += a.weight * std::log(mu * a.collection_prob);
   }
   return resolved;
 }
@@ -72,26 +76,32 @@ ResultList Retriever::Retrieve(const Query& query, size_t k) const {
 
 ResultList Retriever::Retrieve(const Query& query, size_t k,
                                RetrieverScratch* scratch) const {
+  const size_t num_docs = index_->NumDocuments();
+  if (k == 0 || num_docs == 0) return {};
+  ResolvedQuery resolved = Resolve(query);
+  return RetrieveRange(resolved, 0, static_cast<index::DocId>(num_docs),
+                       index_->DocsByLength(), k, scratch);
+}
+
+ResultList Retriever::RetrieveRange(
+    const ResolvedQuery& resolved, index::DocId begin, index::DocId end,
+    std::span<const index::DocId> docs_by_length, size_t k,
+    RetrieverScratch* scratch) const {
   SQE_CHECK(scratch != nullptr);
   const index::InvertedIndex& idx = *index_;
   const size_t num_docs = idx.NumDocuments();
-  if (k == 0 || num_docs == 0) return {};
-
-  std::vector<ResolvedAtom> atoms = ResolveAtoms(query);
-  if (atoms.empty()) return {};
+  SQE_DCHECK(begin <= end && end <= num_docs);
+  SQE_DCHECK(docs_by_length.size() == end - begin);
+  const size_t range_docs = end - begin;
+  if (k == 0 || range_docs == 0 || resolved.empty()) return {};
 
   const double mu = options_.mu;
-
-  // score(D) = Σ_a ω_a log(tf_aD + μ p_a) − log(|D| + μ)
-  //          = background_const + delta(D) − log(|D| + μ)
-  double background_const = 0.0;
-  for (const ResolvedAtom& a : atoms) {
-    background_const += a.weight * std::log(mu * a.collection_prob);
-  }
+  const double background_const = resolved.background_const_;
 
   // Sparse accumulation: only documents matching some atom get a delta
   // entry. The epoch stamp invalidates the previous query's entries without
-  // clearing the arrays.
+  // clearing the arrays. The accumulator is collection-sized (global ids)
+  // regardless of range, so one per-worker scratch serves every shard.
   scratch->delta_.resize(num_docs);
   scratch->epoch_.resize(num_docs);
   if (++scratch->current_epoch_ == 0) {  // wrapped: stamps are all stale
@@ -101,9 +111,18 @@ ResultList Retriever::Retrieve(const Query& query, size_t k,
   const uint32_t epoch = scratch->current_epoch_;
   std::vector<index::DocId>& touched = scratch->touched_;
   touched.clear();
-  for (const ResolvedAtom& a : atoms) {
+  for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
     const double bg = std::log(mu * a.collection_prob);
-    for (size_t i = 0; i < a.docs.size(); ++i) {
+    // Postings are doc-sorted, so the range's entries are one contiguous
+    // slice; every document accumulates its atoms in atom order exactly as
+    // the unpartitioned path does, keeping FP results bit-identical.
+    const size_t lo = static_cast<size_t>(
+        std::lower_bound(a.docs.begin(), a.docs.end(), begin) -
+        a.docs.begin());
+    const size_t hi = static_cast<size_t>(
+        std::lower_bound(a.docs.begin() + lo, a.docs.end(), end) -
+        a.docs.begin());
+    for (size_t i = lo; i < hi; ++i) {
       const index::DocId d = a.docs[i];
       if (scratch->epoch_[d] != epoch) {
         scratch->epoch_[d] = epoch;
@@ -130,7 +149,7 @@ ResultList Retriever::Retrieve(const Query& query, size_t k,
   // the worst kept candidate (the element no other kept candidate loses to).
   ResultList& heap = scratch->heap_;
   heap.clear();
-  const size_t keep = std::min(k, num_docs);
+  const size_t keep = std::min(k, range_docs);
   auto offer = [&](const ScoredDoc& sd) {
     if (heap.size() < keep) {
       heap.push_back(sd);
@@ -152,7 +171,10 @@ ResultList Retriever::Retrieve(const Query& query, size_t k,
   // doc-length-sorted order visits in non-increasing preference (score
   // strictly falls with length; equal-length runs ascend by doc id, the
   // tie-break order). The first rejected candidate therefore ends the scan.
-  for (index::DocId d : idx.DocsByLength()) {
+  // The order holds within any contiguous DocId range, so the early exit is
+  // as valid per shard as it is for the whole collection.
+  for (index::DocId d : docs_by_length) {
+    SQE_DCHECK(d >= begin && d < end);
     if (scratch->epoch_[d] == epoch) continue;  // scored above
     // Written as background_const + 0.0 − log(...) in effect: identical to
     // the dense formula with a zero accumulator.
@@ -167,11 +189,11 @@ ResultList Retriever::Retrieve(const Query& query, size_t k,
 double Retriever::ScoreDocument(const Query& query, index::DocId doc) const {
   const index::InvertedIndex& idx = *index_;
   SQE_CHECK(doc < idx.NumDocuments());
-  std::vector<ResolvedAtom> atoms = ResolveAtoms(query);
-  if (atoms.empty()) return -std::numeric_limits<double>::infinity();
+  ResolvedQuery resolved = Resolve(query);
+  if (resolved.empty()) return -std::numeric_limits<double>::infinity();
   const double mu = options_.mu;
   double score = -std::log(static_cast<double>(idx.DocLength(doc)) + mu);
-  for (const ResolvedAtom& a : atoms) {
+  for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
     auto it = std::lower_bound(a.docs.begin(), a.docs.end(), doc);
     double tf = (it != a.docs.end() && *it == doc)
                     ? static_cast<double>(

@@ -7,10 +7,19 @@
 // where an atom is a term or an exact-adjacency n-gram, and P(a|C) is the
 // maximum-likelihood collection probability with Indri's 1/|C| floor for
 // unseen atoms.
+//
+// The scoring pipeline is split in two so a sharded caller can resolve once
+// and score document ranges in parallel (see shard_router.h):
+//   Resolve(query)            -> ResolvedQuery   (atoms + collection stats)
+//   RetrieveRange(resolved,…) -> ResultList      (top-k of one DocId range)
+// Collection statistics live entirely in the ResolvedQuery, so every range
+// scores against the same global Dirichlet model and per-document scores are
+// bit-identical no matter how the collection is partitioned.
 #ifndef SQE_RETRIEVAL_RETRIEVER_H_
 #define SQE_RETRIEVAL_RETRIEVER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/macros.h"
@@ -25,6 +34,45 @@ struct RetrieverOptions {
   /// collections in the paper's domain behave better with less, so dataset
   /// presets override this.
   double mu = 1000.0;
+};
+
+/// A query resolved against one index: per-atom postings and global
+/// collection statistics, ready for range scoring. Produced by
+/// Retriever::Resolve; move-only because term atoms view the index's
+/// posting arrays in place (only phrase atoms own their postings). Must not
+/// outlive the index it was resolved against.
+class ResolvedQuery {
+ public:
+  ResolvedQuery() = default;
+  SQE_DISALLOW_COPY_AND_ASSIGN(ResolvedQuery);
+  ResolvedQuery(ResolvedQuery&&) = default;
+  ResolvedQuery& operator=(ResolvedQuery&&) = default;
+
+  /// True when no atom survived weight normalization; retrieval over an
+  /// empty resolution returns an empty list.
+  bool empty() const { return atoms_.empty(); }
+  size_t num_atoms() const { return atoms_.size(); }
+
+ private:
+  friend class Retriever;
+
+  // An atom resolved against the index: its matching docs/frequencies and
+  // smoothed collection probability. `docs`/`freqs` alias the index's
+  // posting arrays for plain terms and `owned_*` for phrases (vector moves
+  // keep heap buffers, so moving the ResolvedQuery preserves the views).
+  struct ResolvedAtom {
+    double weight = 0.0;  // normalized ω_a
+    std::span<const index::DocId> docs;
+    std::span<const uint32_t> freqs;
+    std::vector<index::DocId> owned_docs;
+    std::vector<uint32_t> owned_freqs;
+    double collection_prob = 0.0;
+  };
+
+  std::vector<ResolvedAtom> atoms_;
+  // Σ_a ω_a log(μ p_a): the score shared by every document matching no atom
+  // (up to the per-document length normalization).
+  double background_const_ = 0.0;
 };
 
 /// Reusable per-worker scoring state. One instance per concurrent caller;
@@ -72,6 +120,24 @@ class Retriever {
   ResultList Retrieve(const Query& query, size_t k,
                       RetrieverScratch* scratch) const;
 
+  /// Normalizes weights and resolves every atom's postings and collection
+  /// probability against the index. The result feeds RetrieveRange and must
+  /// not outlive the index.
+  ResolvedQuery Resolve(const Query& query) const;
+
+  /// Top `k` among documents in the global DocId range [begin, end).
+  /// `docs_by_length` must be exactly the range's documents in (length
+  /// ascending, DocId ascending) order — a contiguous slice of a shard
+  /// router's bucketed order, or the index's full DocsByLength() when the
+  /// range is the whole collection. Per-document scores are computed by the
+  /// same operations in the same order as an unpartitioned Retrieve, so
+  /// result lists merged across disjoint ranges are bit-identical to the
+  /// single-range ranking (see MergeShardTopK).
+  ResultList RetrieveRange(const ResolvedQuery& resolved, index::DocId begin,
+                           index::DocId end,
+                           std::span<const index::DocId> docs_by_length,
+                           size_t k, RetrieverScratch* scratch) const;
+
   /// log P(Q|D) for one document (used by tests and the PRF model).
   double ScoreDocument(const Query& query, index::DocId doc) const;
 
@@ -79,17 +145,6 @@ class Retriever {
   const RetrieverOptions& options() const { return options_; }
 
  private:
-  // An atom resolved against the index: its matching docs/frequencies and
-  // smoothed collection probability.
-  struct ResolvedAtom {
-    double weight = 0.0;  // normalized ω_a
-    std::vector<index::DocId> docs;
-    std::vector<uint32_t> freqs;
-    double collection_prob = 0.0;
-  };
-
-  std::vector<ResolvedAtom> ResolveAtoms(const Query& query) const;
-
   const index::InvertedIndex* index_;
   RetrieverOptions options_;
 };

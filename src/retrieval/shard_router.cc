@@ -1,0 +1,58 @@
+#include "retrieval/shard_router.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace sqe::retrieval {
+
+std::string ShardRouterStats::ToString() const {
+  return StrFormat(
+      "shard router: %llu queries, %llu shard tasks, %llu merges",
+      (unsigned long long)queries_routed, (unsigned long long)shard_tasks,
+      (unsigned long long)merges);
+}
+
+ShardRouter::ShardRouter(const index::InvertedIndex* index, size_t num_shards)
+    : ShardRouter(index, index::ShardManifest::Balanced(
+                             index == nullptr ? 0 : index->NumDocuments(),
+                             num_shards)) {}
+
+ShardRouter::ShardRouter(const index::InvertedIndex* index,
+                         index::ShardManifest manifest)
+    : index_(index), manifest_(std::move(manifest)) {
+  SQE_CHECK(index != nullptr);
+  Status status = manifest_.Validate(index->NumDocuments());
+  SQE_CHECK_MSG(status.ok(), status.ToString().c_str());
+  BuildBuckets();
+}
+
+void ShardRouter::BuildBuckets() {
+  const size_t num_shards = manifest_.num_shards();
+  bucket_offsets_.assign(num_shards + 1, 0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    bucket_offsets_[s + 1] = bucket_offsets_[s] + manifest_.shard_size(s);
+  }
+  docs_by_length_.resize(manifest_.num_docs());
+  std::vector<size_t> cursor(bucket_offsets_.begin(),
+                             bucket_offsets_.end() - 1);
+  // One stable pass over the global (length, DocId) order: each bucket
+  // receives its shard's documents in that same order.
+  for (index::DocId d : index_->DocsByLength()) {
+    docs_by_length_[cursor[manifest_.ShardOf(d)]++] = d;
+  }
+}
+
+void ShardRouter::RecordQuery(uint64_t shard_tasks) const {
+  MutexLock lock(&stats_mu_);
+  stats_.queries_routed += 1;
+  stats_.shard_tasks += shard_tasks;
+  stats_.merges += 1;
+}
+
+ShardRouterStats ShardRouter::Stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+}  // namespace sqe::retrieval

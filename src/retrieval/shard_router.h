@@ -1,0 +1,94 @@
+// ShardRouter: the in-process scoring-side view of a shard partition.
+//
+// Where index::ShardedIndex is the persistence/distribution form (real
+// per-shard InvertedIndexes with local ids), the router is what the query
+// path actually consults: the ShardManifest's global DocId ranges plus a
+// per-shard doc-length-sorted order, bucketed out of the full index's
+// DocsByLength() in one O(N) pass. Scoring stays on the FULL index — atoms
+// are resolved once against global collection statistics and each shard
+// scores its contiguous range via Retriever::RetrieveRange — so Dirichlet
+// scores are bit-identical to the unsharded path at every shard count.
+//
+// The router itself is immutable after construction and therefore freely
+// shared across query workers. The only mutable state is the telemetry
+// counter block, which concurrent shard tasks update under `stats_mu_`
+// (SQE_GUARDED_BY, checked by clang -Wthread-safety).
+#ifndef SQE_RETRIEVAL_SHARD_ROUTER_H_
+#define SQE_RETRIEVAL_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+#include "index/inverted_index.h"
+#include "index/shard_manifest.h"
+
+namespace sqe::retrieval {
+
+/// Counter snapshot of the router's telemetry (see ShardRouter::Stats).
+struct ShardRouterStats {
+  uint64_t queries_routed = 0;  // sharded retrievals started
+  uint64_t shard_tasks = 0;     // per-shard scoring tasks run
+  uint64_t merges = 0;          // top-k merges performed
+
+  std::string ToString() const;
+};
+
+class ShardRouter {
+ public:
+  /// Balanced partition of `index` into `num_shards` ranges (clamped to
+  /// >= 1; shards beyond the document count come out empty). The index must
+  /// outlive the router.
+  ShardRouter(const index::InvertedIndex* index, size_t num_shards);
+
+  /// Adopts an existing manifest (e.g. the one a ShardedIndex was saved
+  /// with). The manifest must cover exactly the index's documents
+  /// (SQE_CHECKed via ShardManifest::Validate).
+  ShardRouter(const index::InvertedIndex* index, index::ShardManifest manifest);
+
+  SQE_DISALLOW_COPY_AND_ASSIGN(ShardRouter);
+
+  size_t num_shards() const { return manifest_.num_shards(); }
+  const index::ShardManifest& manifest() const { return manifest_; }
+  index::DocId shard_begin(size_t s) const { return manifest_.shard_begin(s); }
+  index::DocId shard_end(size_t s) const { return manifest_.shard_end(s); }
+
+  /// Shard s's documents (global ids) in (length ascending, DocId
+  /// ascending) order — the slice Retriever::RetrieveRange needs for its
+  /// background-tail fill. Restricting the full index's DocsByLength()
+  /// order to a contiguous DocId range preserves it, so each bucket is
+  /// exactly the shard-local monotone order.
+  std::span<const index::DocId> ShardDocsByLength(size_t s) const {
+    SQE_DCHECK(s < num_shards());
+    return std::span<const index::DocId>(
+        docs_by_length_.data() + bucket_offsets_[s],
+        docs_by_length_.data() + bucket_offsets_[s + 1]);
+  }
+
+  // ---- telemetry -----------------------------------------------------------
+
+  /// Called by the sharded retrieval path: one query fanned out over
+  /// `shard_tasks` per-shard scorings and one merge.
+  void RecordQuery(uint64_t shard_tasks) const SQE_EXCLUDES(stats_mu_);
+  ShardRouterStats Stats() const SQE_EXCLUDES(stats_mu_);
+
+ private:
+  void BuildBuckets();
+
+  const index::InvertedIndex* index_;
+  index::ShardManifest manifest_;
+  // All documents, bucketed by shard: bucket s is
+  // docs_by_length_[bucket_offsets_[s] .. bucket_offsets_[s+1]).
+  std::vector<index::DocId> docs_by_length_;
+  std::vector<size_t> bucket_offsets_;  // size num_shards+1
+
+  mutable Mutex stats_mu_;
+  mutable ShardRouterStats stats_ SQE_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_SHARD_ROUTER_H_

@@ -1,0 +1,65 @@
+#include "retrieval/sharded_retriever.h"
+
+#include <algorithm>
+
+namespace sqe::retrieval {
+
+ResultList MergeShardTopK(std::span<const ResultList> shard_lists, size_t k) {
+  size_t total = 0;
+  for (const ResultList& list : shard_lists) total += list.size();
+  ResultList merged;
+  merged.reserve(total);
+  for (const ResultList& list : shard_lists) {
+    SQE_DCHECK(std::is_sorted(list.begin(), list.end(),
+                              [](const ScoredDoc& x, const ScoredDoc& y) {
+                                if (x.score != y.score)
+                                  return x.score > y.score;
+                                return x.doc < y.doc;
+                              }));
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  // S·k candidates at most: a full sort under the global total order is
+  // cheaper to reason about than a k-way heap and trivially deterministic.
+  std::sort(merged.begin(), merged.end(),
+            [](const ScoredDoc& x, const ScoredDoc& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.doc < y.doc;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+ResultList ShardedRetriever::RetrieveShard(const ResolvedQuery& resolved,
+                                           size_t shard, size_t k,
+                                           RetrieverScratch* scratch) const {
+  return retriever_->RetrieveRange(resolved, router_->shard_begin(shard),
+                                   router_->shard_end(shard),
+                                   router_->ShardDocsByLength(shard), k,
+                                   scratch);
+}
+
+ResultList ShardedRetriever::Retrieve(const Query& query, size_t k,
+                                      ThreadPool* pool,
+                                      std::span<RetrieverScratch> scratch) const {
+  const size_t num_shards = router_->num_shards();
+  SQE_CHECK(!scratch.empty());
+  if (k == 0 || retriever_->index().NumDocuments() == 0) return {};
+  ResolvedQuery resolved = retriever_->Resolve(query);
+  if (resolved.empty()) return {};
+
+  std::vector<ResultList> shard_lists(num_shards);
+  if (pool != nullptr && pool->num_threads() > 1 && num_shards > 1) {
+    SQE_CHECK(scratch.size() >= pool->num_workers());
+    pool->ParallelFor(num_shards, [&](size_t s, size_t worker) {
+      shard_lists[s] = RetrieveShard(resolved, s, k, &scratch[worker]);
+    });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_lists[s] = RetrieveShard(resolved, s, k, &scratch[0]);
+    }
+  }
+  router_->RecordQuery(num_shards);
+  return MergeShardTopK(shard_lists, k);
+}
+
+}  // namespace sqe::retrieval

@@ -1,0 +1,68 @@
+// ShardedRetriever: intra-query parallel scoring over a ShardRouter
+// partition, with a deterministic top-k merge.
+//
+// Contract: Retrieve() is bit-identical to Retriever::Retrieve over the full
+// index, for every shard count and thread count. The argument:
+//   1. Atoms are resolved ONCE against the full index, so every shard
+//      scores with the same global collection statistics and the same
+//      normalized weights.
+//   2. Each document is scored by exactly one shard, by the same FP
+//      operations in the same order as the unsharded path
+//      (Retriever::RetrieveRange shares that code).
+//   3. Each shard's top-min(k, |shard|) under the total order
+//      (score desc, DocId asc) is a superset of the global top-k's members
+//      from that shard, so merging the per-shard lists and truncating to k
+//      reproduces the global top-k exactly. Ties cannot straddle the merge
+//      ambiguously because DocIds are unique.
+#ifndef SQE_RETRIEVAL_SHARDED_RETRIEVER_H_
+#define SQE_RETRIEVAL_SHARDED_RETRIEVER_H_
+
+#include <span>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "retrieval/retriever.h"
+#include "retrieval/shard_router.h"
+
+namespace sqe::retrieval {
+
+/// Merges per-shard result lists (each sorted by score desc, DocId asc,
+/// each covering a disjoint DocId set) into the global top `k` under the
+/// same order. Deterministic: depends only on the lists' contents.
+ResultList MergeShardTopK(std::span<const ResultList> shard_lists, size_t k);
+
+/// Thread-compatible facade pairing a Retriever with a ShardRouter. Both
+/// must outlive it.
+class ShardedRetriever {
+ public:
+  ShardedRetriever(const Retriever* retriever, const ShardRouter* router)
+      : retriever_(retriever), router_(router) {
+    SQE_CHECK(retriever != nullptr && router != nullptr);
+  }
+
+  /// Top-k over the whole collection, scoring shards on `pool` (all shards
+  /// sequentially on the calling thread when pool is null or empty).
+  /// `scratch` must provide one slot per pool worker
+  /// (pool->num_workers(), or >= 1 slot for the null-pool case). Must not
+  /// be called from inside a pool task — ParallelFor blocks the caller, so
+  /// batch pipelines flatten (query, shard) pairs instead (see
+  /// SqeEngine::RunBatch).
+  ResultList Retrieve(const Query& query, size_t k, ThreadPool* pool,
+                      std::span<RetrieverScratch> scratch) const;
+
+  /// One shard's top-min(k, |shard|) for an already-resolved query — the
+  /// building block batch pipelines schedule as independent tasks.
+  ResultList RetrieveShard(const ResolvedQuery& resolved, size_t shard,
+                           size_t k, RetrieverScratch* scratch) const;
+
+  const Retriever& retriever() const { return *retriever_; }
+  const ShardRouter& router() const { return *router_; }
+
+ private:
+  const Retriever* retriever_;
+  const ShardRouter* router_;
+};
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_SHARDED_RETRIEVER_H_

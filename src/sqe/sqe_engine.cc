@@ -22,6 +22,12 @@ SqeEngine::SqeEngine(const kb::KnowledgeBase* kb,
     cache_options_digest_ =
         SqeCache::OptionsDigest(config_.query_builder, config_.retriever);
   }
+  if (config_.sharding.num_shards > 1) {
+    router_ = std::make_unique<retrieval::ShardRouter>(
+        index, config_.sharding.num_shards);
+    sharded_retriever_ = std::make_unique<retrieval::ShardedRetriever>(
+        &retriever_, router_.get());
+  }
 }
 
 std::vector<kb::ArticleId> SqeEngine::LinkQueryNodes(
@@ -35,42 +41,18 @@ std::vector<kb::ArticleId> SqeEngine::LinkQueryNodes(
   return nodes;
 }
 
-SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
-                               std::span<const kb::ArticleId> query_nodes,
-                               const MotifConfig& motifs, size_t k) const {
-  retrieval::RetrieverScratch scratch;
-  return RunSqeWithScratch(user_query, query_nodes, motifs, k, &scratch);
-}
-
-SqeRunResult SqeEngine::RunSqeWithScratch(
+SqeEngine::PreparedRun SqeEngine::PrepareRun(
     std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
-    const MotifConfig& motifs, size_t k,
-    retrieval::RetrieverScratch* scratch) const {
-  if (cache_ != nullptr) {
-    return RunSqeCached(user_query, query_nodes, motifs, k, scratch);
+    const MotifConfig& motifs, size_t k, SqeRunResult* out) const {
+  PreparedRun prep;
+  if (cache_ == nullptr) {
+    Timer graph_timer;
+    out->graph = motif_finder_.BuildQueryGraph(query_nodes, motifs);
+    out->graph_build_ms = graph_timer.ElapsedMillis();
+    out->query =
+        query_builder_.Build(user_query, out->graph, QueryParts::All());
+    return prep;
   }
-  SqeRunResult out;
-  Timer total;
-
-  Timer graph_timer;
-  out.graph = motif_finder_.BuildQueryGraph(query_nodes, motifs);
-  out.graph_build_ms = graph_timer.ElapsedMillis();
-
-  out.query = query_builder_.Build(user_query, out.graph, QueryParts::All());
-
-  Timer retrieval_timer;
-  out.results = retriever_.Retrieve(out.query, k, scratch);
-  out.retrieval_ms = retrieval_timer.ElapsedMillis();
-  out.total_ms = total.ElapsedMillis();
-  return out;
-}
-
-SqeRunResult SqeEngine::RunSqeCached(
-    std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
-    const MotifConfig& motifs, size_t k,
-    retrieval::RetrieverScratch* scratch) const {
-  SqeRunResult out;
-  Timer total;
 
   // Level 1: the expansion subgraph, keyed order-independently. A hit skips
   // motif traversal; either way the caller's node order is re-attached so
@@ -83,31 +65,86 @@ SqeRunResult SqeEngine::RunSqeCached(
     graph_entry = cache_->InsertGraph(
         graph_key, motif_finder_.BuildQueryGraph(query_nodes, motifs));
   }
-  out.graph.query_nodes.assign(query_nodes.begin(), query_nodes.end());
-  out.graph.expansion_nodes = graph_entry->expansion_nodes;
-  out.graph.category_nodes = graph_entry->category_nodes;
-  out.graph.total_motifs = graph_entry->total_motifs;
-  out.graph_build_ms = graph_timer.ElapsedMillis();
+  out->graph.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  out->graph.expansion_nodes = graph_entry->expansion_nodes;
+  out->graph.category_nodes = graph_entry->category_nodes;
+  out->graph.total_motifs = graph_entry->total_motifs;
+  out->graph_build_ms = graph_timer.ElapsedMillis();
 
   // Level 2: the finished run. A hit returns the stored query + ranking —
-  // both byte-identical to what the miss path below produced when it filled
-  // the entry — and skips query building and retrieval entirely.
-  const std::string run_key =
+  // both byte-identical to what the miss path produced when it filled the
+  // entry (sharded or not) — and skips query building and retrieval.
+  prep.run_key =
       SqeCache::RunKey(analyzer_->Analyze(user_query), graph_key, query_nodes,
                        k, cache_options_digest_);
   if (std::shared_ptr<const SqeCache::RunEntry> run =
-          cache_->LookupRun(run_key)) {
-    out.query = run->query;
-    out.results = run->results;
-    out.total_ms = total.ElapsedMillis();
-    return out;
+          cache_->LookupRun(prep.run_key)) {
+    out->query = run->query;
+    out->results = run->results;
+    prep.cached = true;
+    return prep;
   }
+  out->query = query_builder_.Build(user_query, out->graph, QueryParts::All());
+  return prep;
+}
 
-  out.query = query_builder_.Build(user_query, out.graph, QueryParts::All());
-  Timer retrieval_timer;
-  out.results = retriever_.Retrieve(out.query, k, scratch);
-  out.retrieval_ms = retrieval_timer.ElapsedMillis();
-  cache_->InsertRun(run_key, SqeCache::RunEntry{out.query, out.results});
+retrieval::ResultList SqeEngine::RetrieveTopK(
+    const retrieval::Query& query, size_t k,
+    retrieval::RetrieverScratch* scratch) const {
+  // Even on a sharded engine the pool-less path scans the full range: the
+  // exact top-k under the total (score desc, DocId asc) order is unique, so
+  // this is bit-identical to the shard sweep + merge while skipping its
+  // per-shard fixed costs (subrange searches, per-shard tails). The sweep
+  // path is what the pooled fan-out and the batch grid use; its equivalence
+  // is asserted by the shard determinism tests.
+  return retriever_.Retrieve(query, k, scratch);
+}
+
+SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
+                               std::span<const kb::ArticleId> query_nodes,
+                               const MotifConfig& motifs, size_t k) const {
+  retrieval::RetrieverScratch scratch;
+  return RunSqeWithScratch(user_query, query_nodes, motifs, k, &scratch);
+}
+
+SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
+                               std::span<const kb::ArticleId> query_nodes,
+                               const MotifConfig& motifs, size_t k,
+                               ThreadPool* pool) const {
+  if (router_ == nullptr || pool == nullptr || pool->num_threads() <= 1) {
+    return RunSqe(user_query, query_nodes, motifs, k);
+  }
+  SqeRunResult out;
+  Timer total;
+  PreparedRun prep = PrepareRun(user_query, query_nodes, motifs, k, &out);
+  if (!prep.cached) {
+    std::vector<retrieval::RetrieverScratch> scratch(pool->num_workers());
+    Timer retrieval_timer;
+    out.results = sharded_retriever_->Retrieve(out.query, k, pool, scratch);
+    out.retrieval_ms = retrieval_timer.ElapsedMillis();
+    if (cache_ != nullptr) {
+      cache_->InsertRun(prep.run_key, SqeCache::RunEntry{out.query, out.results});
+    }
+  }
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
+SqeRunResult SqeEngine::RunSqeWithScratch(
+    std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
+    const MotifConfig& motifs, size_t k,
+    retrieval::RetrieverScratch* scratch) const {
+  SqeRunResult out;
+  Timer total;
+  PreparedRun prep = PrepareRun(user_query, query_nodes, motifs, k, &out);
+  if (!prep.cached) {
+    Timer retrieval_timer;
+    out.results = RetrieveTopK(out.query, k, scratch);
+    out.retrieval_ms = retrieval_timer.ElapsedMillis();
+    if (cache_ != nullptr) {
+      cache_->InsertRun(prep.run_key, SqeCache::RunEntry{out.query, out.results});
+    }
+  }
   out.total_ms = total.ElapsedMillis();
   return out;
 }
@@ -115,6 +152,9 @@ SqeRunResult SqeEngine::RunSqeCached(
 std::vector<SqeRunResult> SqeEngine::RunBatch(
     std::span<const BatchQueryInput> queries, const MotifConfig& motifs,
     size_t k, ThreadPool* pool) const {
+  if (router_ != nullptr && pool != nullptr) {
+    return RunBatchShardGrid(queries, motifs, k, pool);
+  }
   std::vector<SqeRunResult> results(queries.size());
   const size_t workers = pool != nullptr ? pool->num_workers() : 1;
   // One scratch per worker id, never per query: the collection-sized
@@ -130,6 +170,75 @@ std::vector<SqeRunResult> SqeEngine::RunBatch(
   } else {
     for (size_t i = 0; i < queries.size(); ++i) run_one(i, 0);
   }
+  return results;
+}
+
+std::vector<SqeRunResult> SqeEngine::RunBatchShardGrid(
+    std::span<const BatchQueryInput> queries, const MotifConfig& motifs,
+    size_t k, ThreadPool* pool) const {
+  const size_t num_queries = queries.size();
+  const size_t num_shards = router_->num_shards();
+  std::vector<SqeRunResult> results(num_queries);
+  std::vector<retrieval::RetrieverScratch> scratch(pool->num_workers());
+
+  struct QueryState {
+    retrieval::ResolvedQuery resolved;
+    std::string run_key;
+    bool cached = false;
+  };
+  std::vector<QueryState> states(num_queries);
+  std::vector<retrieval::ResultList> shard_lists(num_queries * num_shards);
+  std::vector<double> shard_ms(num_queries * num_shards, 0.0);
+
+  // Phase 1 — expansion, query build, atom resolution (cache consulted).
+  // Each worker writes only its own query's slots; the pool's completion
+  // barrier publishes them to the next phase.
+  pool->ParallelFor(num_queries, [&](size_t q, size_t) {
+    Timer total;
+    PreparedRun prep = PrepareRun(queries[q].text, queries[q].query_nodes,
+                                  motifs, k, &results[q]);
+    states[q].run_key = std::move(prep.run_key);
+    states[q].cached = prep.cached;
+    if (!prep.cached) {
+      states[q].resolved = retriever_.Resolve(results[q].query);
+    }
+    results[q].total_ms = total.ElapsedMillis();
+  });
+
+  // Phase 2 — the (query × shard) scoring grid: every pair is an
+  // independent task, so threads fill across queries and within them.
+  pool->ParallelFor2D(num_queries, num_shards,
+                      [&](size_t q, size_t s, size_t worker) {
+    if (states[q].cached) return;
+    Timer shard_timer;
+    shard_lists[q * num_shards + s] = sharded_retriever_->RetrieveShard(
+        states[q].resolved, s, k, &scratch[worker]);
+    shard_ms[q * num_shards + s] = shard_timer.ElapsedMillis();
+  });
+
+  // Phase 3 — deterministic merge + cache fill.
+  pool->ParallelFor(num_queries, [&](size_t q, size_t) {
+    if (states[q].cached) return;
+    Timer merge_timer;
+    results[q].results = retrieval::MergeShardTopK(
+        std::span<const retrieval::ResultList>(shard_lists)
+            .subspan(q * num_shards, num_shards),
+        k);
+    router_->RecordQuery(num_shards);
+    // Grid mode has no per-query wall time; report the sequential cost
+    // (shard scoring + merge), which is what the timing tables compare.
+    double retrieval = merge_timer.ElapsedMillis();
+    for (size_t s = 0; s < num_shards; ++s) {
+      retrieval += shard_ms[q * num_shards + s];
+    }
+    results[q].retrieval_ms = retrieval;
+    results[q].total_ms += retrieval;
+    if (cache_ != nullptr) {
+      cache_->InsertRun(states[q].run_key,
+                        SqeCache::RunEntry{results[q].query,
+                                           results[q].results});
+    }
+  });
   return results;
 }
 

@@ -16,6 +16,8 @@
 #include "index/inverted_index.h"
 #include "kb/knowledge_base.h"
 #include "retrieval/retriever.h"
+#include "retrieval/shard_router.h"
+#include "retrieval/sharded_retriever.h"
 #include "sqe/combiner.h"
 #include "sqe/motif_finder.h"
 #include "sqe/query_builder.h"
@@ -47,6 +49,18 @@ struct SqeCRunResult {
   size_t num_features_s = 0;
 };
 
+struct ShardingOptions {
+  /// Index shards a single query's scoring is partitioned into. 1 (the
+  /// default) keeps the classic unsharded path; > 1 routes retrieval
+  /// through a ShardRouter so one query can score on every pool worker.
+  /// Results are bit-identical at every shard count — global collection
+  /// statistics are shared by all shards, each document is scored by
+  /// exactly one shard with the same FP operations, and the top-k merge
+  /// uses the total (score desc, DocId asc) order. Cache keys are
+  /// shard-agnostic for the same reason.
+  size_t num_shards = 1;
+};
+
 struct SqeEngineConfig {
   QueryBuilderOptions query_builder;
   retrieval::RetrieverOptions retriever;
@@ -55,6 +69,9 @@ struct SqeEngineConfig {
   /// RunSqe/RunSqeC/RunBatch hits skip motif traversal and retrieval while
   /// staying bit-identical to the uncached path (only timing fields vary).
   SqeCacheOptions cache;
+  /// Opt-in intra-query sharded scoring. Composes with the cache: entries
+  /// written by a sharded engine are byte-identical to unsharded ones.
+  ShardingOptions sharding;
 };
 
 /// One query of a batch run: the raw text plus its (manually selected or
@@ -85,15 +102,33 @@ class SqeEngine {
                       std::span<const kb::ArticleId> query_nodes,
                       const MotifConfig& motifs, size_t k) const;
 
+  /// Same run, but when the engine is sharded, retrieval fans out across
+  /// `pool` — one scoring task per shard — cutting single-query latency on
+  /// multi-core hardware. Results are bit-identical to the pool-less
+  /// overload. Falls back to it when the engine is unsharded or the pool
+  /// has fewer than two workers. Must not be called from inside a pool
+  /// task (the shard fan-out blocks the caller).
+  SqeRunResult RunSqe(std::string_view user_query,
+                      std::span<const kb::ArticleId> query_nodes,
+                      const MotifConfig& motifs, size_t k,
+                      ThreadPool* pool) const;
+
   // ---- batch runs ----------------------------------------------------------
 
-  /// Expands and retrieves every query of the batch, distributing queries
+  /// Expands and retrieves every query of the batch, distributing work
   /// across `pool` (or running sequentially when `pool` is null/empty).
   /// Safe because the engine and everything it points at are immutable:
   /// workers share the KB, index, and finder read-only and write only their
   /// own result slot and per-worker RetrieverScratch. results[i] is
-  /// bit-identical to RunSqe(queries[i]...) regardless of thread count or
-  /// scheduling; only the timing fields vary.
+  /// bit-identical to RunSqe(queries[i]...) regardless of thread count,
+  /// shard count, or scheduling; only the timing fields vary.
+  ///
+  /// When the engine is sharded and a pool is supplied, the batch is run as
+  /// three flattened phases — expand/build, a (query × shard) scoring grid,
+  /// then merge — so threads split across queries AND within each query
+  /// without nested fan-out. In grid mode a query's retrieval_ms is the sum
+  /// of its shard scoring times plus the merge (its sequential cost), not
+  /// wall time.
   std::vector<SqeRunResult> RunBatch(std::span<const BatchQueryInput> queries,
                                      const MotifConfig& motifs, size_t k,
                                      ThreadPool* pool = nullptr) const;
@@ -134,15 +169,48 @@ class SqeEngine {
     return cache_ != nullptr ? cache_->Stats() : SqeCacheStats{};
   }
 
+  // ---- sharding -------------------------------------------------------------
+
+  bool sharded() const { return router_ != nullptr; }
+  size_t num_shards() const {
+    return router_ != nullptr ? router_->num_shards() : 1;
+  }
+  /// Router telemetry snapshot; all-zero when sharding is off.
+  retrieval::ShardRouterStats router_stats() const {
+    return router_ != nullptr ? router_->Stats()
+                              : retrieval::ShardRouterStats{};
+  }
+
  private:
+  /// Outcome of the pre-retrieval phase shared by all run paths: the graph
+  /// (through the graph cache when enabled) and the built query are in the
+  /// SqeRunResult; `cached` means the run cache already supplied the final
+  /// query + results and retrieval must be skipped.
+  struct PreparedRun {
+    std::string run_key;  // empty when caching is off
+    bool cached = false;
+  };
+  PreparedRun PrepareRun(std::string_view user_query,
+                         std::span<const kb::ArticleId> query_nodes,
+                         const MotifConfig& motifs, size_t k,
+                         SqeRunResult* out) const;
+
   SqeRunResult RunSqeWithScratch(std::string_view user_query,
                                  std::span<const kb::ArticleId> query_nodes,
                                  const MotifConfig& motifs, size_t k,
                                  retrieval::RetrieverScratch* scratch) const;
-  SqeRunResult RunSqeCached(std::string_view user_query,
-                            std::span<const kb::ArticleId> query_nodes,
-                            const MotifConfig& motifs, size_t k,
-                            retrieval::RetrieverScratch* scratch) const;
+
+  /// Single-scratch retrieval over the full doc range. Used by every
+  /// pool-less path even when the engine is sharded: exact top-k under the
+  /// total (score desc, DocId asc) order is unique, so it is bit-identical
+  /// to the shard sweep + merge without its per-shard fixed costs.
+  retrieval::ResultList RetrieveTopK(const retrieval::Query& query, size_t k,
+                                     retrieval::RetrieverScratch* scratch)
+      const;
+
+  std::vector<SqeRunResult> RunBatchShardGrid(
+      std::span<const BatchQueryInput> queries, const MotifConfig& motifs,
+      size_t k, ThreadPool* pool) const;
 
   const kb::KnowledgeBase* kb_;
   const index::InvertedIndex* index_;
@@ -156,6 +224,10 @@ class SqeEngine {
   // use it concurrently; null when config_.cache.enabled is false.
   std::unique_ptr<SqeCache> cache_;
   uint64_t cache_options_digest_ = 0;
+  // Immutable after construction (stats counters are internally
+  // synchronized); null when config_.sharding.num_shards <= 1.
+  std::unique_ptr<retrieval::ShardRouter> router_;
+  std::unique_ptr<retrieval::ShardedRetriever> sharded_retriever_;
 };
 
 }  // namespace sqe::expansion

@@ -62,6 +62,25 @@ TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
   EXPECT_EQ(count, 1u);
 }
 
+TEST(ThreadPoolTest, ParallelFor2DCoversEveryCellOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 13, kInner = 7;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor2D(kOuter, kInner, [&](size_t o, size_t i, size_t worker) {
+    ASSERT_LT(o, kOuter);
+    ASSERT_LT(i, kInner);
+    ASSERT_LT(worker, pool.num_workers());
+    hits[o * kInner + i].fetch_add(1);
+  });
+  for (size_t c = 0; c < hits.size(); ++c) EXPECT_EQ(hits[c].load(), 1) << c;
+}
+
+TEST(ThreadPoolTest, ParallelFor2DEmptyDimensionsRunNothing) {
+  ThreadPool pool(2);
+  pool.ParallelFor2D(0, 5, [](size_t, size_t, size_t) { FAIL(); });
+  pool.ParallelFor2D(5, 0, [](size_t, size_t, size_t) { FAIL(); });
+}
+
 // ---- reciprocal-link CSR ---------------------------------------------------
 
 TEST(ReciprocalCsrTest, MatchesPairwiseGroundTruthOnSynthWorld) {

@@ -1,0 +1,486 @@
+// Shard coverage: the ShardManifest partition contract, ShardedIndex
+// split/snapshot round trips, the deterministic top-k merge, the ShardRouter
+// buckets, and the end-to-end determinism guarantee — a sharded engine must
+// produce bit-identical output to an unsharded one at every shard count and
+// thread count, cold and cache-warm. Run under SQE_SANITIZE=thread in CI
+// (the "Shard determinism gate") to prove the fan-out is race-free.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "index/shard_manifest.h"
+#include "index/sharded_index.h"
+#include "retrieval/retriever.h"
+#include "retrieval/shard_router.h"
+#include "retrieval/sharded_retriever.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+using index::DocId;
+using index::ShardManifest;
+using index::ShardedIndex;
+
+// ---- ShardManifest ----------------------------------------------------------
+
+TEST(ShardManifestTest, BalancedCoversEveryDocExactlyOnce) {
+  for (size_t num_docs : {0u, 1u, 2u, 10u, 1500u}) {
+    for (size_t num_shards : {1u, 2u, 3u, 7u, 64u}) {
+      ShardManifest m = ShardManifest::Balanced(num_docs, num_shards);
+      ASSERT_EQ(m.num_shards(), num_shards);
+      ASSERT_EQ(m.num_docs(), num_docs);
+      EXPECT_TRUE(m.Validate(num_docs).ok());
+      size_t total = 0;
+      size_t min_size = num_docs, max_size = 0;
+      for (size_t s = 0; s < m.num_shards(); ++s) {
+        EXPECT_LE(m.shard_begin(s), m.shard_end(s));
+        total += m.shard_size(s);
+        min_size = std::min(min_size, m.shard_size(s));
+        max_size = std::max(max_size, m.shard_size(s));
+      }
+      EXPECT_EQ(total, num_docs);
+      // Balanced: sizes differ by at most one document.
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(ShardManifestTest, ZeroShardsClampsToOne) {
+  ShardManifest m = ShardManifest::Balanced(10, 0);
+  EXPECT_EQ(m.num_shards(), 1u);
+  EXPECT_EQ(m.shard_size(0), 10u);
+}
+
+TEST(ShardManifestTest, ShardOfAndLocalGlobalRoundTrip) {
+  ShardManifest m = ShardManifest::Balanced(23, 5);
+  for (DocId d = 0; d < 23; ++d) {
+    size_t s = m.ShardOf(d);
+    ASSERT_LT(s, m.num_shards());
+    EXPECT_GE(d, m.shard_begin(s));
+    EXPECT_LT(d, m.shard_end(s));
+    EXPECT_EQ(m.ToGlobal(s, m.ToLocal(s, d)), d);
+  }
+}
+
+TEST(ShardManifestTest, MoreShardsThanDocsLeavesEmptyShards) {
+  ShardManifest m = ShardManifest::Balanced(3, 8);
+  EXPECT_TRUE(m.Validate(3).ok());
+  size_t empty = 0;
+  for (size_t s = 0; s < m.num_shards(); ++s) {
+    if (m.shard_size(s) == 0) ++empty;
+  }
+  EXPECT_EQ(empty, 5u);
+  // Every doc still resolves to the (non-empty) shard that owns it.
+  for (DocId d = 0; d < 3; ++d) {
+    size_t s = m.ShardOf(d);
+    EXPECT_LT(m.ToLocal(s, d), m.shard_size(s));
+  }
+}
+
+TEST(ShardManifestTest, SnapshotRoundTrip) {
+  ShardManifest m = ShardManifest::Balanced(123, 7);
+  auto back = ShardManifest::FromSnapshotString(m.SerializeToString());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), m);
+}
+
+TEST(ShardManifestTest, CorruptSnapshotRejected) {
+  std::string image = ShardManifest::Balanced(50, 4).SerializeToString();
+  image[image.size() / 2] ^= 0x5a;
+  EXPECT_FALSE(ShardManifest::FromSnapshotString(image).ok());
+  EXPECT_FALSE(ShardManifest::FromSnapshotString("not a manifest").ok());
+}
+
+TEST(ShardManifestTest, ValidateRejectsBrokenBoundaries) {
+  ShardManifest m;
+  EXPECT_FALSE(m.Validate(0).ok());  // no shards at all
+  m.starts = {0, 5, 3, 10};          // decreasing interior boundary
+  EXPECT_FALSE(m.Validate(10).ok());
+  m.starts = {1, 5, 10};  // not anchored at 0
+  EXPECT_FALSE(m.Validate(10).ok());
+  m.starts = {0, 5, 10};
+  EXPECT_FALSE(m.Validate(11).ok());  // wrong total
+  EXPECT_TRUE(m.Validate(10).ok());
+}
+
+// ---- ShardedIndex -----------------------------------------------------------
+
+struct ShardDatasetFixture {
+  synth::World world;
+  synth::Dataset dataset;
+
+  ShardDatasetFixture()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())) {}
+};
+
+ShardDatasetFixture& SharedDataset() {
+  static ShardDatasetFixture& fixture = *new ShardDatasetFixture();
+  return fixture;
+}
+
+TEST(ShardedIndexTest, SplitShardsAreValidAndCoverTheCollection) {
+  const index::InvertedIndex& full = SharedDataset().dataset.index;
+  for (size_t num_shards : {1u, 2u, 3u, 7u}) {
+    ShardedIndex sharded = ShardedIndex::Split(full, num_shards);
+    ASSERT_EQ(sharded.num_shards(), num_shards);
+    ASSERT_TRUE(sharded.Validate().ok());
+    ASSERT_EQ(sharded.NumDocuments(), full.NumDocuments());
+    uint64_t tokens = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const index::InvertedIndex& shard = sharded.shard(s);
+      tokens += shard.TotalTokens();
+      // Every shard document is the full index's document under the
+      // manifest mapping: same external id, same length.
+      for (DocId local = 0; local < shard.NumDocuments(); ++local) {
+        DocId global = sharded.manifest().ToGlobal(s, local);
+        ASSERT_EQ(shard.ExternalId(local), full.ExternalId(global));
+        ASSERT_EQ(shard.DocLength(local), full.DocLength(global));
+      }
+    }
+    EXPECT_EQ(tokens, full.TotalTokens());
+  }
+}
+
+TEST(ShardedIndexTest, SplitWithMoreShardsThanDocsKeepsEmptyShardsValid) {
+  const index::InvertedIndex& full = SharedDataset().dataset.index;
+  const size_t num_shards = full.NumDocuments() + 5;
+  ShardedIndex sharded = ShardedIndex::Split(full, num_shards);
+  ASSERT_EQ(sharded.num_shards(), num_shards);
+  EXPECT_TRUE(sharded.Validate().ok());
+  size_t docs = 0, empty = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    docs += sharded.shard(s).NumDocuments();
+    if (sharded.shard(s).NumDocuments() == 0) ++empty;
+  }
+  EXPECT_EQ(docs, full.NumDocuments());
+  EXPECT_EQ(empty, 5u);
+}
+
+TEST(ShardedIndexTest, DirectorySnapshotRoundTrip) {
+  const index::InvertedIndex& full = SharedDataset().dataset.index;
+  ShardedIndex sharded = ShardedIndex::Split(full, 3);
+  const std::string dir = "/tmp/sqe_shard_test_snapshot";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(sharded.SaveToDirectory(dir).ok());
+
+  auto loaded = ShardedIndex::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().Validate().ok());
+  EXPECT_EQ(loaded.value().manifest(), sharded.manifest());
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    // Byte-identical shard images: the snapshot format is deterministic.
+    EXPECT_EQ(loaded.value().shard(s).SerializeToString(),
+              sharded.shard(s).SerializeToString())
+        << "shard " << s;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedIndexTest, TamperedShardFileRejectedAtLoad) {
+  const index::InvertedIndex& full = SharedDataset().dataset.index;
+  ShardedIndex sharded = ShardedIndex::Split(full, 2);
+  const std::string dir = "/tmp/sqe_shard_test_tamper";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(sharded.SaveToDirectory(dir).ok());
+
+  const std::string victim = dir + "/" + ShardedIndex::ShardFileName(1);
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(64);
+    char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(ShardedIndex::LoadFromDirectory(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedIndexTest, MissingManifestRejectedAtLoad) {
+  EXPECT_FALSE(
+      ShardedIndex::LoadFromDirectory("/tmp/sqe_shard_test_missing").ok());
+}
+
+// ---- MergeShardTopK ---------------------------------------------------------
+
+retrieval::ResultList List(std::vector<retrieval::ScoredDoc> docs) {
+  return docs;
+}
+
+TEST(ShardMergeTest, MergesDisjointSortedListsIntoGlobalOrder) {
+  std::vector<retrieval::ResultList> lists = {
+      List({{0, 5.0}, {2, 3.0}, {4, 1.0}}),
+      List({{5, 4.0}, {7, 2.0}}),
+  };
+  retrieval::ResultList merged = retrieval::MergeShardTopK(lists, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].doc, 0u);
+  EXPECT_EQ(merged[1].doc, 5u);
+  EXPECT_EQ(merged[2].doc, 2u);
+  EXPECT_EQ(merged[3].doc, 7u);
+}
+
+TEST(ShardMergeTest, CrossShardTiesBreakByAscendingDocId) {
+  std::vector<retrieval::ResultList> lists = {
+      List({{9, 2.0}, {10, 1.0}}),
+      List({{3, 2.0}}),
+      List({{6, 2.0}}),
+  };
+  retrieval::ResultList merged = retrieval::MergeShardTopK(lists, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].doc, 3u);
+  EXPECT_EQ(merged[1].doc, 6u);
+  EXPECT_EQ(merged[2].doc, 9u);
+}
+
+TEST(ShardMergeTest, HandlesEmptyListsAndOversizedK) {
+  std::vector<retrieval::ResultList> lists = {
+      List({}),
+      List({{1, 1.0}}),
+      List({}),
+  };
+  retrieval::ResultList merged = retrieval::MergeShardTopK(lists, 100);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].doc, 1u);
+  EXPECT_TRUE(retrieval::MergeShardTopK({}, 10).empty());
+}
+
+// ---- ShardRouter ------------------------------------------------------------
+
+TEST(ShardRouterTest, BucketsAreTheLengthOrderRestrictedToEachShard) {
+  const index::InvertedIndex& full = SharedDataset().dataset.index;
+  retrieval::ShardRouter router(&full, 4);
+  size_t total = 0;
+  for (size_t s = 0; s < router.num_shards(); ++s) {
+    auto bucket = router.ShardDocsByLength(s);
+    total += bucket.size();
+    ASSERT_EQ(bucket.size(),
+              static_cast<size_t>(router.shard_end(s) - router.shard_begin(s)));
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      ASSERT_GE(bucket[i], router.shard_begin(s));
+      ASSERT_LT(bucket[i], router.shard_end(s));
+      if (i > 0) {
+        // (length asc, DocId asc): the background-tail invariant.
+        uint32_t prev = full.DocLength(bucket[i - 1]);
+        uint32_t cur = full.DocLength(bucket[i]);
+        ASSERT_TRUE(prev < cur || (prev == cur && bucket[i - 1] < bucket[i]));
+      }
+    }
+  }
+  EXPECT_EQ(total, full.NumDocuments());
+}
+
+TEST(ShardRouterTest, StatsAccumulateUnderConcurrency) {
+  const index::InvertedIndex& full = SharedDataset().dataset.index;
+  retrieval::ShardRouter router(&full, 3);
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [&router](size_t, size_t) { router.RecordQuery(3); });
+  retrieval::ShardRouterStats stats = router.Stats();
+  EXPECT_EQ(stats.queries_routed, 64u);
+  EXPECT_EQ(stats.shard_tasks, 64u * 3);
+  EXPECT_EQ(stats.merges, 64u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+// ---- ShardedRetriever: bit-identity at the retrieval layer ------------------
+
+void ExpectIdenticalLists(const retrieval::ResultList& got,
+                          const retrieval::ResultList& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t r = 0; r < got.size(); ++r) {
+    ASSERT_EQ(got[r].doc, want[r].doc) << label << " rank " << r;
+    // EQ on doubles on purpose: the contract is bit-identical, not "close".
+    ASSERT_EQ(got[r].score, want[r].score) << label << " rank " << r;
+  }
+}
+
+TEST(ShardedRetrieverTest, BitIdenticalToUnshardedAtEveryShardCount) {
+  const ShardDatasetFixture& f = SharedDataset();
+  retrieval::RetrieverOptions options;
+  options.mu = f.dataset.retrieval_mu;
+  retrieval::Retriever retriever(&f.dataset.index, options);
+
+  // A mix of plain-term and phrase queries drawn from generated query text.
+  std::vector<retrieval::Query> queries;
+  for (size_t qi = 0; qi < 6 && qi < f.dataset.query_set.queries.size();
+       ++qi) {
+    const synth::GeneratedQuery& gq = f.dataset.query_set.queries[qi];
+    std::vector<std::string> terms;
+    for (std::string_view tok : SplitWhitespace(gq.text)) {
+      terms.emplace_back(tok);
+    }
+    if (terms.empty()) continue;
+    retrieval::Query q = retrieval::Query::FromTerms(terms);
+    if (terms.size() >= 2) {
+      retrieval::Clause phrase;
+      phrase.weight = 0.5;
+      phrase.atoms.push_back(
+          retrieval::Atom::Phrase({terms[0], terms[1]}, 2.0));
+      q.clauses.push_back(phrase);
+    }
+    queries.push_back(std::move(q));
+  }
+  ASSERT_FALSE(queries.empty());
+
+  const size_t num_docs = f.dataset.index.NumDocuments();
+  retrieval::RetrieverScratch reference_scratch;
+  for (size_t k : {1u, 10u, 100u}) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      retrieval::ResultList want =
+          retriever.Retrieve(queries[qi], k, &reference_scratch);
+      for (size_t num_shards :
+           {size_t{1}, size_t{2}, size_t{3}, size_t{7}, num_docs + 5}) {
+        retrieval::ShardRouter router(&f.dataset.index, num_shards);
+        retrieval::ShardedRetriever sharded(&retriever, &router);
+        const std::string label = "q" + std::to_string(qi) + " k" +
+                                  std::to_string(k) + " S" +
+                                  std::to_string(num_shards);
+        // Sequential sweep (null pool), then pooled fan-out.
+        std::vector<retrieval::RetrieverScratch> scratch(4);
+        ExpectIdenticalLists(
+            sharded.Retrieve(queries[qi], k, nullptr,
+                             std::span<retrieval::RetrieverScratch>(
+                                 scratch.data(), 1)),
+            want, label + " seq");
+        ThreadPool pool(4);
+        ExpectIdenticalLists(
+            sharded.Retrieve(queries[qi], k, &pool, scratch), want,
+            label + " pool");
+      }
+    }
+  }
+}
+
+// ---- SqeEngine: end-to-end determinism --------------------------------------
+
+expansion::SqeEngineConfig MakeEngineConfig(const synth::Dataset& ds,
+                                            size_t num_shards,
+                                            bool with_cache = false) {
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = ds.retrieval_mu;
+  config.sharding.num_shards = num_shards;
+  config.cache.enabled = with_cache;
+  return config;
+}
+
+std::vector<expansion::BatchQueryInput> MakeEngineBatch(
+    const synth::Dataset& dataset) {
+  std::vector<expansion::BatchQueryInput> batch;
+  for (const synth::GeneratedQuery& q : dataset.query_set.queries) {
+    batch.push_back({q.text, q.true_entities});
+  }
+  return batch;
+}
+
+void ExpectIdenticalRuns(const std::vector<expansion::SqeRunResult>& got,
+                         const std::vector<expansion::SqeRunResult>& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t qi = 0; qi < got.size(); ++qi) {
+    ExpectIdenticalLists(got[qi].results, want[qi].results,
+                         label + " query " + std::to_string(qi));
+  }
+}
+
+TEST(SqeEngineShardTest, ShardedEngineBitIdenticalAcrossShardAndThreadCounts) {
+  const ShardDatasetFixture& f = SharedDataset();
+  const auto batch = MakeEngineBatch(f.dataset);
+  ASSERT_GE(batch.size(), 4u);
+  constexpr size_t kDepth = 100;
+  const auto motifs = expansion::MotifConfig::Both();
+
+  expansion::SqeEngine unsharded(&f.world.kb, &f.dataset.index,
+                                 f.dataset.linker.get(), &f.dataset.analyzer(),
+                                 MakeEngineConfig(f.dataset, 1));
+  EXPECT_FALSE(unsharded.sharded());
+  const std::vector<expansion::SqeRunResult> reference =
+      unsharded.RunBatch(batch, motifs, kDepth, nullptr);
+
+  const size_t num_docs = f.dataset.index.NumDocuments();
+  for (size_t num_shards :
+       {size_t{2}, size_t{3}, size_t{7}, num_docs + 5}) {
+    expansion::SqeEngine engine(&f.world.kb, &f.dataset.index,
+                                f.dataset.linker.get(), &f.dataset.analyzer(),
+                                MakeEngineConfig(f.dataset, num_shards));
+    ASSERT_TRUE(engine.sharded());
+    ASSERT_EQ(engine.num_shards(), num_shards);
+    const std::string label = "S" + std::to_string(num_shards);
+
+    // Batch at several pool sizes, including the null pool and an empty
+    // pool (both sequential).
+    ExpectIdenticalRuns(engine.RunBatch(batch, motifs, kDepth, nullptr),
+                        reference, label + " null-pool");
+    for (size_t threads : {size_t{0}, size_t{2}, size_t{4}}) {
+      ThreadPool pool(threads);
+      ExpectIdenticalRuns(engine.RunBatch(batch, motifs, kDepth, &pool),
+                          reference, label + " grid t" +
+                                         std::to_string(threads));
+    }
+
+    // Single-query paths: pool-less and pooled fan-out.
+    ThreadPool pool(4);
+    for (size_t qi = 0; qi < 3; ++qi) {
+      expansion::SqeRunResult plain =
+          engine.RunSqe(batch[qi].text, batch[qi].query_nodes, motifs, kDepth);
+      ExpectIdenticalLists(plain.results, reference[qi].results,
+                           label + " RunSqe q" + std::to_string(qi));
+      expansion::SqeRunResult pooled = engine.RunSqe(
+          batch[qi].text, batch[qi].query_nodes, motifs, kDepth, &pool);
+      ExpectIdenticalLists(pooled.results, reference[qi].results,
+                           label + " RunSqe+pool q" + std::to_string(qi));
+    }
+    // Router telemetry saw the fan-outs.
+    retrieval::ShardRouterStats stats = engine.router_stats();
+    EXPECT_GT(stats.queries_routed, 0u);
+    EXPECT_GT(stats.shard_tasks, stats.queries_routed);
+  }
+}
+
+TEST(SqeEngineShardTest, CacheEntriesAreShardAgnostic) {
+  const ShardDatasetFixture& f = SharedDataset();
+  const auto batch = MakeEngineBatch(f.dataset);
+  constexpr size_t kDepth = 100;
+  const auto motifs = expansion::MotifConfig::Both();
+
+  expansion::SqeEngine uncached(&f.world.kb, &f.dataset.index,
+                                f.dataset.linker.get(), &f.dataset.analyzer(),
+                                MakeEngineConfig(f.dataset, 1));
+  const std::vector<expansion::SqeRunResult> reference =
+      uncached.RunBatch(batch, motifs, kDepth, nullptr);
+
+  expansion::SqeEngine cached_unsharded(
+      &f.world.kb, &f.dataset.index, f.dataset.linker.get(),
+      &f.dataset.analyzer(), MakeEngineConfig(f.dataset, 1, true));
+  expansion::SqeEngine cached_sharded(
+      &f.world.kb, &f.dataset.index, f.dataset.linker.get(),
+      &f.dataset.analyzer(), MakeEngineConfig(f.dataset, 4, true));
+
+  ThreadPool pool(2);
+  // Cold fill on the sharded engine, warm replays on both: every pass must
+  // equal the uncached unsharded reference, proving the cache key ignores
+  // the shard count and sharded-written entries serve unsharded readers.
+  ExpectIdenticalRuns(cached_sharded.RunBatch(batch, motifs, kDepth, &pool),
+                      reference, "sharded cold");
+  ExpectIdenticalRuns(cached_sharded.RunBatch(batch, motifs, kDepth, &pool),
+                      reference, "sharded warm");
+  EXPECT_GT(cached_sharded.cache_stats().result.hits, 0u);
+
+  ExpectIdenticalRuns(
+      cached_unsharded.RunBatch(batch, motifs, kDepth, &pool), reference,
+      "unsharded cold");
+  ExpectIdenticalRuns(
+      cached_unsharded.RunBatch(batch, motifs, kDepth, &pool), reference,
+      "unsharded warm");
+}
+
+}  // namespace
+}  // namespace sqe

@@ -7,14 +7,27 @@
 //   sqe_tool kb-stats <in.dump|in.snap>       print graph statistics
 //   sqe_tool motifs <in.*> <article title>    print the query graph for an
 //                                             article (both motifs)
-//   sqe_tool batch [num_threads] [--cache]    expand+retrieve the synthetic
+//   sqe_tool batch [num_threads] [--cache] [--shards N]
+//                                             expand+retrieve the synthetic
 //                                             query set concurrently and
 //                                             report throughput (smoke test
 //                                             for the batch pipeline); with
 //                                             --cache, run the batch twice
 //                                             (cold fill + warm replay) and
 //                                             print cache counters — both
-//                                             digests must match
+//                                             digests must match; with
+//                                             --shards N, score each query
+//                                             across N index shards — the
+//                                             digest must equal the
+//                                             unsharded run's
+//   sqe_tool index shard-info <S> [index.snap]
+//                                             split the index (a snapshot
+//                                             file, or the synthetic
+//                                             dataset's when omitted) into
+//                                             S shards and dump the
+//                                             partition: doc ranges,
+//                                             per-shard docs/tokens/terms
+//                                             and serialized sizes
 //
 // Exit codes: 0 success, 1 usage, 2 data error (message on stderr).
 #include <cstdio>
@@ -25,6 +38,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "index/sharded_index.h"
 #include "io/file.h"
 #include "kb/dump_loader.h"
 #include "kb/kb_stats.h"
@@ -122,13 +136,14 @@ uint64_t RankingDigest(const std::vector<expansion::SqeRunResult>& results,
   return digest;
 }
 
-int Batch(size_t num_threads, bool with_cache) {
+int Batch(size_t num_threads, bool with_cache, size_t num_shards) {
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
   expansion::SqeEngineConfig config;
   config.retriever.mu = dataset.retrieval_mu;
   config.cache.enabled = with_cache;
+  config.sharding.num_shards = num_shards;
   expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
                               &dataset.analyzer(), config);
 
@@ -149,16 +164,62 @@ int Batch(size_t num_threads, bool with_cache) {
     double seconds = timer.ElapsedSeconds();
     size_t total_results = 0;
     uint64_t digest = RankingDigest(results, &total_results);
-    std::printf("batch%s: %zu queries, %zu threads, %.3f s (%.1f q/s), "
-                "%zu results, digest %016llx\n",
+    std::printf("batch%s: %zu queries, %zu threads, %zu shards, %.3f s "
+                "(%.1f q/s), %zu results, digest %016llx\n",
                 with_cache ? (pass == 0 ? " [cold]" : " [warm]") : "",
-                results.size(), num_threads, seconds,
+                results.size(), num_threads, engine.num_shards(), seconds,
                 static_cast<double>(results.size()) / seconds, total_results,
                 static_cast<unsigned long long>(digest));
   }
   if (with_cache) {
     std::printf("%s\n", engine.cache_stats().ToString().c_str());
   }
+  if (engine.sharded()) {
+    std::printf("%s\n", engine.router_stats().ToString().c_str());
+  }
+  return 0;
+}
+
+// Splits an index into S shards and dumps the partition: the manifest's doc
+// ranges plus per-shard document/token/term counts and serialized snapshot
+// sizes — the debugging view for "who owns which document".
+int IndexShardInfo(size_t num_shards, const char* snapshot_path) {
+  index::InvertedIndex loaded;
+  const index::InvertedIndex* full = nullptr;
+  synth::World world;  // keeps the synthetic dataset alive when used
+  synth::Dataset dataset;
+  if (snapshot_path != nullptr) {
+    auto index_or = index::InvertedIndex::FromSnapshotFile(snapshot_path);
+    if (!index_or.ok()) return Fail(index_or.status());
+    loaded = std::move(index_or).value();
+    full = &loaded;
+  } else {
+    world = synth::World::Generate(synth::TinyWorldOptions());
+    dataset = synth::BuildDataset(world, synth::TinyDatasetSpec());
+    full = &dataset.index;
+  }
+
+  index::ShardedIndex sharded = index::ShardedIndex::Split(*full, num_shards);
+  Status valid = sharded.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  const index::ShardManifest& manifest = sharded.manifest();
+  std::printf("index shard-info: %zu documents, %llu tokens, %zu shards\n",
+              full->NumDocuments(),
+              static_cast<unsigned long long>(full->TotalTokens()),
+              sharded.num_shards());
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const index::InvertedIndex& shard = sharded.shard(s);
+    std::printf("  shard %-3zu docs [%u, %u)  %6zu docs  %8llu tokens  "
+                "%6zu terms  %9zu snapshot bytes\n",
+                s, (unsigned)manifest.shard_begin(s),
+                (unsigned)manifest.shard_end(s), shard.NumDocuments(),
+                static_cast<unsigned long long>(shard.TotalTokens()),
+                shard.vocabulary().size(),
+                shard.SerializeToString().size());
+  }
+  std::printf("manifest: %zu bytes, validation OK\n",
+              manifest.SerializeToString().size());
   return 0;
 }
 
@@ -169,7 +230,8 @@ int Usage() {
                "  sqe_tool compile <in.dump> <out.snap>\n"
                "  sqe_tool kb-stats <in.dump|in.snap>\n"
                "  sqe_tool motifs <in.dump|in.snap> <article title>\n"
-               "  sqe_tool batch [num_threads] [--cache]\n");
+               "  sqe_tool batch [num_threads] [--cache] [--shards N]\n"
+               "  sqe_tool index shard-info <num_shards> [index.snap]\n");
   return 1;
 }
 
@@ -181,9 +243,24 @@ int main(int argc, char** argv) {
   if (command == "batch") {
     size_t threads = ThreadPool::HardwareConcurrency();
     bool with_cache = false;
+    size_t shards = 1;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--cache") == 0) {
         with_cache = true;
+        continue;
+      }
+      if (std::strcmp(argv[i], "--shards") == 0) {
+        char* end = nullptr;
+        long parsed =
+            (i + 1 < argc) ? std::strtol(argv[i + 1], &end, 10) : 0;
+        if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+            parsed < 1 || parsed > 4096) {
+          std::fprintf(stderr,
+                       "error: --shards needs an integer in [1, 4096]\n");
+          return 1;
+        }
+        shards = static_cast<size_t>(parsed);
+        ++i;
         continue;
       }
       char* end = nullptr;
@@ -197,7 +274,21 @@ int main(int argc, char** argv) {
       }
       threads = static_cast<size_t>(parsed);
     }
-    return Batch(threads, with_cache);
+    return Batch(threads, with_cache, shards);
+  }
+  if (command == "index" && argc >= 4 &&
+      std::strcmp(argv[2], "shard-info") == 0) {
+    char* end = nullptr;
+    long parsed = std::strtol(argv[3], &end, 10);
+    if (end == argv[3] || *end != '\0' || parsed < 1 || parsed > 4096) {
+      std::fprintf(stderr,
+                   "error: num_shards must be an integer in [1, 4096], "
+                   "got '%s'\n",
+                   argv[3]);
+      return 1;
+    }
+    return IndexShardInfo(static_cast<size_t>(parsed),
+                          argc >= 5 ? argv[4] : nullptr);
   }
   if (argc < 3) return Usage();
   if (command == "gen-dump") return GenDump(argv[2]);
