@@ -40,6 +40,11 @@ struct RunStat {
   size_t threads = 0;
   double seconds = 0.0;
   double qps = 0.0;
+  // Per-query end-to-end latency (SqeRunResult::total_ms) percentiles over
+  // the batch: the distribution a serving front-end inherits per request.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 std::vector<expansion::BatchQueryInput> MakeWorkload(
@@ -74,6 +79,16 @@ RunStat TimeBatch(const expansion::SqeEngine& engine,
   stat.threads = threads;
   stat.seconds = timer.ElapsedSeconds();
   stat.qps = static_cast<double>(results.size()) / stat.seconds;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(results.size());
+  for (const expansion::SqeRunResult& r : results) {
+    latencies_ms.push_back(r.total_ms);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  stat.p50_ms = latencies_ms[latencies_ms.size() / 2];
+  stat.p95_ms = latencies_ms[latencies_ms.size() * 95 / 100];
+  stat.p99_ms = latencies_ms[std::min(latencies_ms.size() - 1,
+                                      latencies_ms.size() * 99 / 100)];
   return stat;
 }
 
@@ -190,9 +205,11 @@ int main() {
   for (size_t t : thread_counts) {
     RunStat stat = TimeBatch(engine, batch, t);
     stats.push_back(stat);
-    std::printf("  threads=%-2zu  %8.3f s  %10.1f queries/sec  (%.2fx vs 1)\n",
+    std::printf("  threads=%-2zu  %8.3f s  %10.1f queries/sec  (%.2fx vs 1)  "
+                "per-query p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms\n",
                 stat.threads, stat.seconds, stat.qps,
-                stat.qps / stats.front().qps);
+                stat.qps / stats.front().qps, stat.p50_ms, stat.p95_ms,
+                stat.p99_ms);
   }
 
   // ---- cache-enabled replay: cold fill vs 100%-repeated warm pass ----------
@@ -262,10 +279,12 @@ int main() {
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
   json += "  \"runs\": [\n";
   for (size_t i = 0; i < stats.size(); ++i) {
-    char line[160];
+    char line[256];
     std::snprintf(line, sizeof(line),
-                  "    {\"threads\": %zu, \"seconds\": %.6f, \"qps\": %.2f}%s\n",
+                  "    {\"threads\": %zu, \"seconds\": %.6f, \"qps\": %.2f, "
+                  "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
                   stats[i].threads, stats[i].seconds, stats[i].qps,
+                  stats[i].p50_ms, stats[i].p95_ms, stats[i].p99_ms,
                   i + 1 < stats.size() ? "," : "");
     json += line;
   }

@@ -1,0 +1,197 @@
+// Serving front-end latency: what the async front-end adds on top of a bare
+// SqeEngine::RunSqe, plus its behavior at overload.
+//
+// Three sections, all over the synthetic workload:
+//   1. bare      — RunSqe called directly in a loop (no queue, no threads):
+//                  the per-query floor.
+//   2. frontend  — the same queries submitted one-at-a-time (closed loop,
+//                  one in flight) through a 2-worker ServingFrontend: the
+//                  p50/p95/p99 gap vs bare is the queue + wakeup + response
+//                  overhead a lightly-loaded deployment pays.
+//   3. overload  — 10x queue capacity submitted at once: reports the
+//                  completed/rejected/expired split and the completed-side
+//                  percentiles. Rejections must be ResourceExhausted and the
+//                  counters must sum back to submitted (exit 1 otherwise).
+//
+// Emits BENCH_serving.json and the same figures on stdout.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "serving/frontend.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace {
+
+using namespace sqe;
+
+struct LatencyStat {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t count = 0;
+};
+
+LatencyStat Summarize(std::vector<double> latencies_ms) {
+  LatencyStat stat;
+  if (latencies_ms.empty()) return stat;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  stat.count = latencies_ms.size();
+  stat.p50_ms = latencies_ms[latencies_ms.size() / 2];
+  stat.p95_ms = latencies_ms[latencies_ms.size() * 95 / 100];
+  stat.p99_ms = latencies_ms[std::min(latencies_ms.size() - 1,
+                                      latencies_ms.size() * 99 / 100)];
+  return stat;
+}
+
+std::vector<serving::ServingRequest> MakeRequests(
+    const synth::Dataset& dataset, size_t target_size) {
+  std::vector<serving::ServingRequest> requests;
+  requests.reserve(target_size);
+  const auto& queries = dataset.query_set.queries;
+  for (size_t i = 0; i < target_size; ++i) {
+    const synth::GeneratedQuery& q = queries[i % queries.size()];
+    serving::ServingRequest request;
+    request.text = q.text;
+    request.query_nodes = q.true_entities;
+    request.k = 100;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace
+
+int main() {
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  synth::Dataset dataset =
+      synth::BuildDataset(world, synth::TinyDatasetSpec());
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = dataset.retrieval_mu;
+  expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
+                              &dataset.analyzer(), config);
+
+  const size_t kWorkload = 256;
+  std::vector<serving::ServingRequest> requests =
+      MakeRequests(dataset, kWorkload);
+
+  // ---- 1. bare engine ------------------------------------------------------
+  engine.RunSqe(requests[0].text, requests[0].query_nodes,
+                expansion::MotifConfig::Both(), 100);  // warm-up
+  std::vector<double> bare_ms;
+  bare_ms.reserve(requests.size());
+  for (const serving::ServingRequest& r : requests) {
+    Timer timer;
+    engine.RunSqe(r.text, r.query_nodes, r.motifs, r.k);
+    bare_ms.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+  LatencyStat bare = Summarize(std::move(bare_ms));
+
+  // ---- 2. frontend, closed loop (one request in flight) --------------------
+  LatencyStat closed;
+  {
+    serving::ServingFrontendConfig frontend_config;
+    frontend_config.num_workers = 2;
+    serving::ServingFrontend frontend(&engine, frontend_config);
+    frontend.Submit(requests[0])->Wait();  // warm-up
+    std::vector<double> closed_ms;
+    closed_ms.reserve(requests.size());
+    for (const serving::ServingRequest& r : requests) {
+      std::shared_ptr<serving::ServingCall> call = frontend.Submit(r);
+      const serving::ServingResponse& response = call->Wait();
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "closed-loop request failed: %s\n",
+                     response.status.ToString().c_str());
+        return 1;
+      }
+      closed_ms.push_back(response.total_ms);
+    }
+    closed = Summarize(std::move(closed_ms));
+    frontend.Shutdown();
+  }
+
+  // ---- 3. overload: 10x capacity submitted at once -------------------------
+  const size_t kCapacity = 16;
+  serving::ServingStats overload_stats;
+  LatencyStat overload;
+  {
+    serving::ServingFrontendConfig frontend_config;
+    frontend_config.num_workers = 2;
+    frontend_config.queue_capacity = kCapacity;
+    serving::ServingFrontend frontend(&engine, frontend_config);
+    std::vector<std::shared_ptr<serving::ServingCall>> calls;
+    calls.reserve(10 * kCapacity);
+    for (size_t i = 0; i < 10 * kCapacity; ++i) {
+      calls.push_back(frontend.Submit(requests[i % requests.size()]));
+    }
+    std::vector<double> completed_ms;
+    for (const auto& call : calls) {
+      const serving::ServingResponse& response = call->Wait();
+      if (response.status.ok()) {
+        completed_ms.push_back(response.total_ms);
+      } else if (!response.status.IsResourceExhausted()) {
+        std::fprintf(stderr, "overload rejection had wrong status: %s\n",
+                     response.status.ToString().c_str());
+        return 1;
+      }
+    }
+    frontend.Shutdown();
+    overload = Summarize(std::move(completed_ms));
+    overload_stats = frontend.Stats();
+    if (overload_stats.resolved() != overload_stats.submitted ||
+        overload_stats.submitted != calls.size()) {
+      std::fprintf(stderr, "overload accounting mismatch: %s\n",
+                   overload_stats.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("serving_latency: %zu queries\n", kWorkload);
+  std::printf("  bare      p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms\n",
+              bare.p50_ms, bare.p95_ms, bare.p99_ms);
+  std::printf("  frontend  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  "
+              "(+%.3f ms p50 overhead)\n",
+              closed.p50_ms, closed.p95_ms, closed.p99_ms,
+              closed.p50_ms - bare.p50_ms);
+  std::printf("  overload  completed=%llu rejected=%llu expired=%llu  "
+              "completed p50 %7.3f ms  p95 %7.3f ms\n",
+              static_cast<unsigned long long>(overload_stats.completed),
+              static_cast<unsigned long long>(overload_stats.rejected()),
+              static_cast<unsigned long long>(overload_stats.expired),
+              overload.p50_ms, overload.p95_ms);
+  std::printf("  %s\n", overload_stats.ToString().c_str());
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n  \"benchmark\": \"serving_latency\",\n"
+      "  \"num_queries\": %zu,\n"
+      "  \"bare\": {\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f},\n"
+      "  \"frontend\": {\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+      "\"p99_ms\": %.4f},\n"
+      "  \"overload\": {\"capacity\": %zu, \"submitted\": %llu, "
+      "\"completed\": %llu, \"rejected\": %llu, \"expired\": %llu, "
+      "\"completed_p50_ms\": %.4f, \"completed_p95_ms\": %.4f}\n}\n",
+      kWorkload, bare.p50_ms, bare.p95_ms, bare.p99_ms, closed.p50_ms,
+      closed.p95_ms, closed.p99_ms, kCapacity,
+      static_cast<unsigned long long>(overload_stats.submitted),
+      static_cast<unsigned long long>(overload_stats.completed),
+      static_cast<unsigned long long>(overload_stats.rejected()),
+      static_cast<unsigned long long>(overload_stats.expired), overload.p50_ms,
+      overload.p95_ms);
+
+  const char* out_path = "BENCH_serving.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// BoundedLaneQueue<T>: a bounded multi-producer/multi-consumer queue with
+// priority lanes, the admission-control primitive under the serving
+// front-end.
+//
+// Capacity is shared across lanes (total queued items, not per lane), so
+// "queue full" is a single global condition the admission check can reason
+// about. Poppers always drain the lowest-numbered non-empty lane first and
+// FIFO within a lane — lane 0 is the interactive lane, lane 1 the batch
+// lane in the serving front-end.
+//
+// All state is SQE_GUARDED_BY one mutex and checked by clang's
+// -Wthread-safety analysis, like ThreadPool's queue. Admission decisions
+// that must be atomic with the push (estimated-wait tests against the
+// depth the request would actually see) run as a predicate under that same
+// lock via PushIf.
+#ifndef SQE_COMMON_BOUNDED_QUEUE_H_
+#define SQE_COMMON_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+namespace sqe {
+
+/// Outcome of a push attempt; the serving front-end maps each to a
+/// distinct rejection status.
+enum class QueuePushOutcome {
+  kOk = 0,       // enqueued
+  kFull = 1,     // total queued items == capacity
+  kDeclined = 2, // the caller's admission predicate said no
+  kClosed = 3,   // Close()/CloseAndDrain() already ran
+};
+
+template <typename T>
+class BoundedLaneQueue {
+ public:
+  /// `capacity` >= 1 items shared across `num_lanes` >= 1 lanes.
+  BoundedLaneQueue(size_t capacity, size_t num_lanes)
+      : capacity_(capacity), lanes_(num_lanes) {
+    SQE_CHECK(capacity >= 1 && num_lanes >= 1);
+  }
+  SQE_DISALLOW_COPY_AND_ASSIGN(BoundedLaneQueue);
+
+  /// Atomically: fail if closed, fail if full, ask `admit(queued_ahead)`
+  /// (called with the lock held; `queued_ahead` is the current total depth,
+  /// i.e. the number of items that would be popped before this one in the
+  /// worst case), then enqueue. Never blocks.
+  template <typename AdmitFn>
+  QueuePushOutcome PushIf(size_t lane, T item, AdmitFn admit)
+      SQE_EXCLUDES(mu_) {
+    SQE_DCHECK(lane < lanes_.size());
+    {
+      MutexLock lock(&mu_);
+      if (closed_) return QueuePushOutcome::kClosed;
+      if (size_ == capacity_) return QueuePushOutcome::kFull;
+      if (!admit(size_)) return QueuePushOutcome::kDeclined;
+      lanes_[lane].push_back(std::move(item));
+      ++size_;
+      if (size_ > peak_size_) peak_size_ = size_;
+    }
+    cv_.Signal();
+    return QueuePushOutcome::kOk;
+  }
+
+  /// PushIf with an always-admit predicate.
+  QueuePushOutcome TryPush(size_t lane, T item) SQE_EXCLUDES(mu_) {
+    return PushIf(lane, std::move(item), [](size_t) { return true; });
+  }
+
+  /// Blocks until an item is available — lowest lane index first, FIFO
+  /// within a lane — or the queue is closed and empty (returns nullopt,
+  /// the consumer's exit signal).
+  std::optional<T> PopBlocking() SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    cv_.Wait(&mu_, [this]() SQE_REQUIRES(mu_) {
+      return size_ > 0 || closed_;
+    });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    for (std::deque<T>& lane : lanes_) {
+      if (!lane.empty()) {
+        T item = std::move(lane.front());
+        lane.pop_front();
+        --size_;
+        return item;
+      }
+    }
+    SQE_CHECK_MSG(false, "size_ > 0 but every lane is empty");
+    return std::nullopt;
+  }
+
+  /// Marks the queue closed (subsequent pushes return kClosed), removes
+  /// everything still queued and returns it in pop order, and wakes every
+  /// blocked popper so consumers can exit. Idempotent: a second call
+  /// returns an empty vector.
+  std::vector<T> CloseAndDrain() SQE_EXCLUDES(mu_) {
+    std::vector<T> drained;
+    {
+      MutexLock lock(&mu_);
+      closed_ = true;
+      drained.reserve(size_);
+      for (std::deque<T>& lane : lanes_) {
+        for (T& item : lane) drained.push_back(std::move(item));
+        lane.clear();
+      }
+      size_ = 0;
+    }
+    cv_.SignalAll();
+    return drained;
+  }
+
+  size_t size() const SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return size_;
+  }
+
+  /// High-water mark of size() since construction (monotone).
+  size_t peak_size() const SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return peak_size_;
+  }
+
+  bool closed() const SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t num_lanes() const { return lanes_.size(); }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<std::deque<T>> lanes_ SQE_GUARDED_BY(mu_);
+  size_t size_ SQE_GUARDED_BY(mu_) = 0;
+  size_t peak_size_ SQE_GUARDED_BY(mu_) = 0;
+  bool closed_ SQE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_BOUNDED_QUEUE_H_

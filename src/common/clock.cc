@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace sqe {
+
+const Clock* Clock::System() {
+  static const SystemClock* const kSystem = new SystemClock();
+  return kSystem;
+}
+
+}  // namespace sqe

@@ -1,0 +1,85 @@
+// Clock: the injectable time source behind every deadline, timeout, and
+// latency measurement in the serving stack.
+//
+// SystemClock reads std::chrono::steady_clock. FakeClock is a virtual
+// clock that only moves when a test calls Advance()/AdvanceTo(), so a test
+// can place a request deadline exactly between two pipeline checkpoints
+// and observe the expiry deterministically — no real sleeps, no flaky
+// timing margins.
+//
+// Design note: nothing in the serving front-end ever *sleeps on* a clock.
+// All blocking is condition-variable waits resolved by state changes
+// (submission, completion, drain), and time is only *read* at admission
+// and at cooperative checkpoints. That is what lets FakeClock stay a plain
+// monotone counter with no waiter-wakeup integration: advancing it is
+// observed at the next Now() read, and there is no code path that would
+// block "until" a fake time arrives.
+#ifndef SQE_COMMON_CLOCK_H_
+#define SQE_COMMON_CLOCK_H_
+
+#include <chrono>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+namespace sqe {
+
+/// Abstract monotonic time source. Implementations must be thread-safe:
+/// Now() is called concurrently from serving workers and submitters.
+class Clock {
+ public:
+  using Duration = std::chrono::nanoseconds;
+  using TimePoint = std::chrono::time_point<std::chrono::steady_clock,
+                                            Duration>;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  /// Process-wide SystemClock instance — the default for production
+  /// callers that do not inject a clock.
+  static const Clock* System();
+};
+
+/// Real time via std::chrono::steady_clock. Stateless.
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() const override {
+    return std::chrono::time_point_cast<Duration>(
+        std::chrono::steady_clock::now());
+  }
+};
+
+/// Virtual clock for tests: starts at `start` (the epoch by default) and
+/// moves only under explicit Advance()/AdvanceTo() calls. Monotone by
+/// construction — AdvanceTo into the past is a programmer error.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(TimePoint start = TimePoint{}) : now_(start) {}
+  SQE_DISALLOW_COPY_AND_ASSIGN(FakeClock);
+
+  TimePoint Now() const override SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return now_;
+  }
+
+  void Advance(Duration d) SQE_EXCLUDES(mu_) {
+    SQE_CHECK_MSG(d >= Duration::zero(), "FakeClock must advance forward");
+    MutexLock lock(&mu_);
+    now_ += d;
+  }
+
+  void AdvanceTo(TimePoint t) SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    SQE_CHECK_MSG(t >= now_, "FakeClock must advance forward");
+    now_ = t;
+  }
+
+ private:
+  mutable Mutex mu_;
+  TimePoint now_ SQE_GUARDED_BY(mu_);
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_CLOCK_H_

@@ -25,6 +25,12 @@ enum class StatusCode : int {
   kFailedPrecondition = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  // Serving-path codes (see src/serving/): admission control rejects with
+  // ResourceExhausted, cooperative deadline checkpoints return
+  // DeadlineExceeded, and cancellation tokens resolve as Cancelled.
+  kResourceExhausted = 10,
+  kDeadlineExceeded = 11,
+  kCancelled = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok", "IOError"...).
@@ -76,6 +82,15 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +102,16 @@ class [[nodiscard]] Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

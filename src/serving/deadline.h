@@ -1,0 +1,54 @@
+// Deadline: an absolute per-request time bound, read through the injected
+// Clock at admission and at every cooperative checkpoint.
+//
+// Deadlines are absolute rather than durations so that queue wait counts
+// against them: a request admitted with 50 ms of budget that waits 60 ms in
+// the queue is expired at dequeue, before any engine work.
+#ifndef SQE_SERVING_DEADLINE_H_
+#define SQE_SERVING_DEADLINE_H_
+
+#include "common/clock.h"
+
+namespace sqe::serving {
+
+class Deadline {
+ public:
+  /// Default-constructed deadlines are infinite: never expired, unlimited
+  /// remaining budget.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::TimePoint t) {
+    Deadline d;
+    d.has_ = true;
+    d.at_ = t;
+    return d;
+  }
+  static Deadline After(const Clock& clock, Clock::Duration budget) {
+    return At(clock.Now() + budget);
+  }
+
+  bool infinite() const { return !has_; }
+  /// Only meaningful when !infinite().
+  Clock::TimePoint time() const { return at_; }
+
+  bool Expired(const Clock& clock) const {
+    return has_ && clock.Now() >= at_;
+  }
+
+  /// Remaining budget; Duration::max() when infinite, clamped at zero when
+  /// already expired.
+  Clock::Duration Remaining(const Clock& clock) const {
+    if (!has_) return Clock::Duration::max();
+    Clock::TimePoint now = clock.Now();
+    return now >= at_ ? Clock::Duration::zero() : at_ - now;
+  }
+
+ private:
+  bool has_ = false;
+  Clock::TimePoint at_{};
+};
+
+}  // namespace sqe::serving
+
+#endif  // SQE_SERVING_DEADLINE_H_

@@ -1,0 +1,247 @@
+#include "serving/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqe::serving {
+
+namespace {
+
+double ToMillis(Clock::Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+double ToSeconds(Clock::Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+ServingFrontend::ServingFrontend(const expansion::SqeEngine* engine,
+                                 ServingFrontendConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : Clock::System()),
+      queue_(std::max<size_t>(1, config_.queue_capacity), /*num_lanes=*/2) {
+  SQE_CHECK(engine != nullptr);
+  SQE_CHECK_MSG(config_.num_workers >= 1,
+                "serving front-end needs at least one worker");
+  if (config_.initial_service_estimate > Clock::Duration::zero()) {
+    MutexLock lock(&mu_);
+    service_estimate_seconds_ = ToSeconds(config_.initial_service_estimate);
+  }
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingFrontend::~ServingFrontend() { Shutdown(); }
+
+void ServingFrontend::ResolveRejected(
+    const std::shared_ptr<ServingCall>& call, Status status) const {
+  ServingResponse response;
+  response.status = std::move(status);
+  response.phase_reached = expansion::RunPhase::kPreAnalysis;
+  response.total_ms = ToMillis(clock_->Now() - call->submit_time_);
+  call->Resolve(std::move(response));
+}
+
+std::shared_ptr<ServingCall> ServingFrontend::Submit(ServingRequest request) {
+  const Deadline deadline = request.deadline;
+  const size_t lane =
+      request.priority == RequestPriority::kInteractive ? 0 : 1;
+  std::shared_ptr<ServingCall> call(new ServingCall(
+      next_id_.fetch_add(1, std::memory_order_relaxed), std::move(request),
+      clock_->Now()));
+
+  double estimate_seconds;
+  bool reject_shutdown = false;
+  {
+    MutexLock lock(&mu_);
+    ++counters_.submitted;
+    if (shutting_down_) {
+      ++counters_.rejected_shutdown;
+      reject_shutdown = true;
+      estimate_seconds = -1.0;  // unused
+    } else {
+      estimate_seconds = service_estimate_seconds_;
+    }
+  }
+  if (reject_shutdown) {
+    // Resolve outside the stats lock: it takes the call's own mutex and
+    // may wake a waiter immediately.
+    ResolveRejected(call, Status::FailedPrecondition(
+                              "serving front-end is shutting down"));
+    return call;
+  }
+  // A shutdown that begins after the check above closes the queue before
+  // draining, so the push below observes kClosed and the request is still
+  // rejected deterministically — it can never start executing.
+
+  const size_t workers = workers_.size();
+  bool declined_wait = false;
+  QueuePushOutcome outcome = queue_.PushIf(
+      lane, call, [&](size_t queued_ahead) {
+        if (deadline.infinite() || estimate_seconds <= 0.0) return true;
+        // Worst case every queued item is served before this one:
+        // ceil(depth / workers) service "waves" of estimated length each.
+        const size_t waves = (queued_ahead + workers - 1) / workers;
+        const double estimated_wait_seconds =
+            static_cast<double>(waves) * estimate_seconds;
+        if (estimated_wait_seconds >
+            ToSeconds(deadline.Remaining(*clock_))) {
+          declined_wait = true;
+          return false;
+        }
+        return true;
+      });
+
+  switch (outcome) {
+    case QueuePushOutcome::kOk: {
+      MutexLock lock(&mu_);
+      ++counters_.admitted;
+      return call;
+    }
+    case QueuePushOutcome::kFull: {
+      {
+        MutexLock lock(&mu_);
+        ++counters_.rejected_queue_full;
+      }
+      ResolveRejected(call,
+                      Status::ResourceExhausted(
+                          "serving queue full (capacity " +
+                          std::to_string(queue_.capacity()) + ")"));
+      return call;
+    }
+    case QueuePushOutcome::kDeclined: {
+      SQE_CHECK(declined_wait);
+      {
+        MutexLock lock(&mu_);
+        ++counters_.rejected_estimated_wait;
+      }
+      ResolveRejected(call, Status::ResourceExhausted(
+                                "estimated queue wait exceeds the "
+                                "request's deadline"));
+      return call;
+    }
+    case QueuePushOutcome::kClosed: {
+      {
+        MutexLock lock(&mu_);
+        ++counters_.rejected_shutdown;
+      }
+      ResolveRejected(call, Status::FailedPrecondition(
+                                "serving front-end is shutting down"));
+      return call;
+    }
+  }
+  SQE_CHECK_MSG(false, "unreachable push outcome");
+  return call;
+}
+
+void ServingFrontend::WorkerLoop() {
+  retrieval::RetrieverScratch scratch;
+  while (std::optional<std::shared_ptr<ServingCall>> item =
+             queue_.PopBlocking()) {
+    Execute(*item, &scratch);
+  }
+}
+
+void ServingFrontend::Execute(const std::shared_ptr<ServingCall>& call,
+                              retrieval::RetrieverScratch* scratch) {
+  const Clock::TimePoint start = clock_->Now();
+  const double queue_ms = ToMillis(start - call->submit_time_);
+  const ServingRequest& req = call->request();
+
+  expansion::RunControl control;
+  control.clock = clock_;
+  if (!req.deadline.infinite()) {
+    control.has_deadline = true;
+    control.deadline = req.deadline.time();
+  }
+  control.cancelled = &call->cancel_flag_;
+  expansion::RunPhase last_phase = expansion::RunPhase::kPreAnalysis;
+  const uint64_t id = call->id();
+  control.phase_hook = [this, &last_phase, id](expansion::RunPhase phase) {
+    last_phase = phase;
+    if (config_.phase_hook) config_.phase_hook(id, phase);
+  };
+
+  Result<expansion::SqeRunResult> result = engine_->RunSqe(
+      req.text, req.query_nodes, req.motifs, req.k, control, scratch);
+
+  const Clock::TimePoint end = clock_->Now();
+  ServingResponse response;
+  response.queue_ms = queue_ms;
+  response.total_ms = ToMillis(end - call->submit_time_);
+  if (result.ok()) {
+    response.status = Status::OK();
+    response.result = std::move(result).value();
+    response.phase_reached = expansion::RunPhase::kDone;
+  } else {
+    response.status = std::move(result).status();
+    response.phase_reached = last_phase;
+  }
+
+  const double service_seconds = ToSeconds(end - start);
+  {
+    MutexLock lock(&mu_);
+    if (response.status.ok()) {
+      ++counters_.completed;
+      if (config_.adapt_service_estimate) {
+        service_estimate_seconds_ =
+            service_estimate_seconds_ < 0.0
+                ? service_seconds
+                : 0.75 * service_estimate_seconds_ + 0.25 * service_seconds;
+      }
+    } else if (response.status.IsDeadlineExceeded()) {
+      ++counters_.expired;
+    } else if (response.status.IsCancelled()) {
+      ++counters_.cancelled;
+    } else {
+      SQE_CHECK_MSG(false, "controlled run returned an unexpected status");
+    }
+    counters_.total_queue_ms += queue_ms;
+    counters_.total_service_ms += service_seconds * 1e3;
+  }
+  // Stats first, Resolve second: a submitter woken by Wait() observes the
+  // counters already updated for its own request.
+  call->Resolve(std::move(response));
+}
+
+void ServingFrontend::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    shutting_down_ = true;
+  }
+  std::call_once(drain_once_, [this] {
+    std::vector<std::shared_ptr<ServingCall>> drained =
+        queue_.CloseAndDrain();
+    {
+      MutexLock lock(&mu_);
+      counters_.rejected_shutdown += drained.size();
+    }
+    for (const std::shared_ptr<ServingCall>& call : drained) {
+      ResolveRejected(call, Status::FailedPrecondition(
+                                "serving front-end shut down with the "
+                                "request still queued"));
+    }
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+ServingStats ServingFrontend::Stats() const {
+  ServingStats snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot = counters_;
+  }
+  snapshot.queue_depth = queue_.size();
+  snapshot.peak_queue_depth = queue_.peak_size();
+  return snapshot;
+}
+
+}  // namespace sqe::serving

@@ -1,0 +1,124 @@
+// ServingFrontend: the async serving front-end over SqeEngine — a bounded
+// request queue with admission control, priority lanes, per-request
+// deadlines, cooperative cancellation, and drain-on-shutdown semantics.
+//
+// Shape (DESIGN.md §7c): N worker threads pop from a two-lane
+// BoundedLaneQueue (interactive before batch) and run each request through
+// SqeEngine's RunControl path, which checks deadline/cancellation at phase
+// boundaries. Submit() never blocks: it either admits the request or
+// resolves it immediately with a rejection status. Every submitted request
+// resolves exactly once — completed, rejected, expired, or cancelled.
+//
+// Admission control, evaluated atomically with the push:
+//   1. shutting down                       -> FailedPrecondition
+//   2. queue full (depth == capacity)      -> ResourceExhausted
+//   3. estimated wait exceeds the deadline -> ResourceExhausted, where
+//      estimated_wait = service_estimate * ceil(depth / num_workers)
+//      with service_estimate an EMA of measured service times seeded by
+//      config.initial_service_estimate (0 disables the test until the
+//      first completion is measured).
+//
+// Shutdown drains deterministically: queued requests are rejected (never
+// run), in-flight requests finish, expire, or observe cancellation at
+// their next checkpoint; Shutdown() returns after the workers exit.
+//
+// All timing flows through the injected Clock, so every admission,
+// deadline, and latency path is reachable from a FakeClock test with zero
+// real sleeps.
+#ifndef SQE_SERVING_FRONTEND_H_
+#define SQE_SERVING_FRONTEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/clock.h"
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+#include "retrieval/retriever.h"
+#include "serving/request.h"
+#include "serving/stats.h"
+#include "sqe/sqe_engine.h"
+
+namespace sqe::serving {
+
+struct ServingFrontendConfig {
+  /// Worker threads executing requests. >= 1.
+  size_t num_workers = 2;
+  /// Bounded queue capacity, shared across both priority lanes.
+  size_t queue_capacity = 64;
+  /// Seed for the per-request service-time estimate the estimated-wait
+  /// admission test uses. Zero means "unknown": the test is skipped until
+  /// a completion has been measured (or forever, if adaptation is off).
+  Clock::Duration initial_service_estimate = Clock::Duration::zero();
+  /// Fold measured service times into the estimate (EMA, alpha = 1/4).
+  /// Tests that need a fixed, predictable estimate turn this off.
+  bool adapt_service_estimate = true;
+  /// Time source; null selects the process-wide SystemClock.
+  const Clock* clock = nullptr;
+  /// Test-only observer forwarded into every request's RunControl hook:
+  /// called at each checkpoint, before its cancel/deadline test, from the
+  /// executing worker's thread. Must be thread-safe. Production callers
+  /// leave it empty.
+  std::function<void(uint64_t request_id, expansion::RunPhase phase)>
+      phase_hook;
+};
+
+class ServingFrontend {
+ public:
+  /// `engine` must outlive the front-end. Workers start immediately.
+  ServingFrontend(const expansion::SqeEngine* engine,
+                  ServingFrontendConfig config = {});
+  /// Implies Shutdown().
+  ~ServingFrontend();
+  SQE_DISALLOW_COPY_AND_ASSIGN(ServingFrontend);
+
+  /// Non-blocking admission. The returned call is already resolved when
+  /// the request was rejected; otherwise it resolves when a worker
+  /// finishes (or expires/cancels) it, or when Shutdown() drains it.
+  std::shared_ptr<ServingCall> Submit(ServingRequest request)
+      SQE_EXCLUDES(mu_);
+
+  /// Drain-on-shutdown: stops admission, rejects everything still queued
+  /// (deterministically — queued requests never start once shutdown
+  /// begins), lets in-flight requests finish or expire, and joins the
+  /// workers. Idempotent and thread-safe; concurrent callers all return
+  /// after the drain completes.
+  void Shutdown() SQE_EXCLUDES(mu_);
+
+  ServingStats Stats() const SQE_EXCLUDES(mu_);
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+ private:
+  void WorkerLoop();
+  void Execute(const std::shared_ptr<ServingCall>& call,
+               retrieval::RetrieverScratch* scratch) SQE_EXCLUDES(mu_);
+  /// Resolves a call the front-end rejected without executing.
+  void ResolveRejected(const std::shared_ptr<ServingCall>& call,
+                       Status status) const;
+
+  const expansion::SqeEngine* engine_;
+  ServingFrontendConfig config_;
+  const Clock* clock_;
+  BoundedLaneQueue<std::shared_ptr<ServingCall>> queue_;
+
+  mutable Mutex mu_;
+  bool shutting_down_ SQE_GUARDED_BY(mu_) = false;
+  ServingStats counters_ SQE_GUARDED_BY(mu_);  // queue depths filled at snapshot
+  /// EMA of measured service time, seconds; < 0 means "no estimate yet".
+  double service_estimate_seconds_ SQE_GUARDED_BY(mu_) = -1.0;
+
+  std::once_flag drain_once_;
+  std::atomic<uint64_t> next_id_{1};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sqe::serving
+
+#endif  // SQE_SERVING_FRONTEND_H_

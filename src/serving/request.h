@@ -1,0 +1,127 @@
+// ServingRequest / ServingResponse / ServingCall: the request surface of
+// the serving front-end.
+//
+// Submit() hands back a shared ServingCall — a one-shot future the
+// submitter Wait()s on and may Cancel() at any time. The front-end resolves
+// every call exactly once, with one of:
+//   OK                 — completed; response.result is the engine's output,
+//                        bit-identical to a bare SqeEngine::RunSqe
+//   ResourceExhausted  — rejected at admission (queue full, or estimated
+//                        queue wait exceeds the request's deadline)
+//   FailedPrecondition — rejected because the front-end is shutting down
+//                        (at submit, or drained from the queue)
+//   DeadlineExceeded   — expired at a cooperative checkpoint
+//   Cancelled          — the token fired before a checkpoint
+#ifndef SQE_SERVING_REQUEST_H_
+#define SQE_SERVING_REQUEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "kb/types.h"
+#include "serving/deadline.h"
+#include "sqe/run_control.h"
+#include "sqe/sqe_engine.h"
+
+namespace sqe::serving {
+
+/// Two lanes: interactive requests are always dequeued before batch ones
+/// (FIFO within a lane). Queue capacity is shared.
+enum class RequestPriority : int {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+struct ServingRequest {
+  std::string text;
+  std::vector<kb::ArticleId> query_nodes;
+  expansion::MotifConfig motifs = expansion::MotifConfig::Both();
+  size_t k = 100;
+  RequestPriority priority = RequestPriority::kInteractive;
+  Deadline deadline;  // infinite by default
+};
+
+struct ServingResponse {
+  Status status;
+  /// Valid iff status.ok().
+  expansion::SqeRunResult result;
+  /// The last checkpoint the run reached: kDone when completed, the failing
+  /// phase when expired/cancelled, kPreAnalysis when never executed
+  /// (rejected at admission or drained at shutdown).
+  expansion::RunPhase phase_reached = expansion::RunPhase::kPreAnalysis;
+  /// Admission → dequeue, per the front-end's clock. Zero when rejected.
+  double queue_ms = 0.0;
+  /// Admission → resolution, per the front-end's clock.
+  double total_ms = 0.0;
+};
+
+/// One-shot future for a submitted request. Created and resolved only by
+/// ServingFrontend; submitters hold it via shared_ptr, so it outlives both
+/// the queue entry and an early-exiting submitter.
+class ServingCall {
+ public:
+  SQE_DISALLOW_COPY_AND_ASSIGN(ServingCall);
+
+  uint64_t id() const { return id_; }
+  const ServingRequest& request() const { return request_; }
+
+  /// Cooperative cancellation: flips the token the engine checks at phase
+  /// boundaries. Safe from any thread, any number of times, before or
+  /// during execution; a call that already resolved is unaffected.
+  void Cancel() { cancel_flag_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancel_flag_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the front-end resolves this call, then returns the
+  /// response (stable for the call's lifetime; repeat calls return the
+  /// same reference without blocking).
+  const ServingResponse& Wait() SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    cv_.Wait(&mu_, [this]() SQE_REQUIRES(mu_) { return done_; });
+    return response_;
+  }
+
+  bool resolved() const SQE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return done_;
+  }
+
+ private:
+  friend class ServingFrontend;
+
+  ServingCall(uint64_t id, ServingRequest request,
+              Clock::TimePoint submit_time)
+      : id_(id), request_(std::move(request)), submit_time_(submit_time) {}
+
+  /// Called exactly once by the front-end.
+  void Resolve(ServingResponse response) SQE_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      SQE_CHECK_MSG(!done_, "ServingCall resolved twice");
+      response_ = std::move(response);
+      done_ = true;
+    }
+    cv_.SignalAll();
+  }
+
+  const uint64_t id_;
+  const ServingRequest request_;
+  const Clock::TimePoint submit_time_;
+  std::atomic<bool> cancel_flag_{false};
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool done_ SQE_GUARDED_BY(mu_) = false;
+  ServingResponse response_ SQE_GUARDED_BY(mu_);
+};
+
+}  // namespace sqe::serving
+
+#endif  // SQE_SERVING_REQUEST_H_

@@ -1,0 +1,31 @@
+#include "serving/stats.h"
+
+#include <cstdio>
+
+namespace sqe::serving {
+
+std::string ServingStats::ToString() const {
+  const uint64_t dequeued = completed + expired + cancelled;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "serving: submitted=%llu admitted=%llu completed=%llu expired=%llu "
+      "cancelled=%llu rejected=%llu (full=%llu wait=%llu shutdown=%llu) "
+      "queue depth=%llu peak=%llu avg queue %.3f ms avg service %.3f ms",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(rejected()),
+      static_cast<unsigned long long>(rejected_queue_full),
+      static_cast<unsigned long long>(rejected_estimated_wait),
+      static_cast<unsigned long long>(rejected_shutdown),
+      static_cast<unsigned long long>(queue_depth),
+      static_cast<unsigned long long>(peak_queue_depth),
+      dequeued > 0 ? total_queue_ms / static_cast<double>(dequeued) : 0.0,
+      dequeued > 0 ? total_service_ms / static_cast<double>(dequeued) : 0.0);
+  return buf;
+}
+
+}  // namespace sqe::serving

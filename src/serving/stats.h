@@ -1,0 +1,47 @@
+// ServingStats: counter snapshot of the serving front-end's telemetry.
+//
+// Counters are monotone (they only grow for the lifetime of a front-end);
+// queue_depth is instantaneous and peak_queue_depth is its high-water
+// mark. The accounting identity every front-end maintains:
+//   submitted == completed + expired + cancelled + rejected() + in flight
+// and once the front-end is drained (Shutdown() returned, every call
+// resolved) the in-flight term is zero.
+#ifndef SQE_SERVING_STATS_H_
+#define SQE_SERVING_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqe::serving {
+
+struct ServingStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;  // made it into the queue
+  uint64_t completed = 0;
+  uint64_t expired = 0;    // DeadlineExceeded at a checkpoint
+  uint64_t cancelled = 0;  // token fired at a checkpoint
+
+  uint64_t rejected_queue_full = 0;      // ResourceExhausted
+  uint64_t rejected_estimated_wait = 0;  // ResourceExhausted
+  uint64_t rejected_shutdown = 0;        // FailedPrecondition
+
+  uint64_t queue_depth = 0;       // at snapshot time
+  uint64_t peak_queue_depth = 0;  // monotone high-water mark
+
+  /// Sums for derived averages (milliseconds, front-end clock time).
+  double total_queue_ms = 0.0;    // over dequeued requests
+  double total_service_ms = 0.0;  // over executed requests
+
+  uint64_t rejected() const {
+    return rejected_queue_full + rejected_estimated_wait + rejected_shutdown;
+  }
+  uint64_t resolved() const {
+    return completed + expired + cancelled + rejected();
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sqe::serving
+
+#endif  // SQE_SERVING_STATS_H_

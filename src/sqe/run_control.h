@@ -1,0 +1,86 @@
+// RunControl: cooperative deadline/cancellation checkpoints threaded
+// through SqeEngine's serving run path.
+//
+// A controlled run checks the deadline and the cancellation token at fixed
+// phase boundaries — pre-analysis, pre-motif-traversal, pre-retrieval, and
+// (on a sharded engine) between per-shard RetrieveRange slices — so an
+// expired or cancelled request gives its worker back at the next boundary
+// instead of finishing work nobody will read. Checks read time through the
+// injected Clock, which is what makes every expiry path reachable from a
+// FakeClock test with zero real sleeps.
+#ifndef SQE_SQE_RUN_CONTROL_H_
+#define SQE_SQE_RUN_CONTROL_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace sqe::expansion {
+
+/// The checkpoints of a controlled run, in pipeline order. kPreAnalysis and
+/// kPreMotifTraversal are adjacent inside the engine today (the query
+/// builder analyzes lazily, after motif traversal), but they are kept as
+/// distinct checkpoints: the front-end's dequeue check is kPreAnalysis, so
+/// a request that expired while queued is accounted before any engine work.
+enum class RunPhase : int {
+  kPreAnalysis = 0,
+  kPreMotifTraversal = 1,
+  kPreRetrieval = 2,
+  kShardSlice = 3,  // between per-shard RetrieveRange slices
+  kDone = 4,        // the run completed; never passed to Check()
+};
+
+inline std::string_view RunPhaseName(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::kPreAnalysis:
+      return "pre-analysis";
+    case RunPhase::kPreMotifTraversal:
+      return "pre-motif-traversal";
+    case RunPhase::kPreRetrieval:
+      return "pre-retrieval";
+    case RunPhase::kShardSlice:
+      return "shard-slice";
+    case RunPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+struct RunControl {
+  /// Time source for deadline checks. Null disables deadline checking
+  /// (cancellation still works).
+  const Clock* clock = nullptr;
+  Clock::TimePoint deadline{};
+  bool has_deadline = false;
+  /// Cooperative cancellation token; null means not cancellable. Checked
+  /// before the deadline so a cancelled-and-expired run reports Cancelled.
+  const std::atomic<bool>* cancelled = nullptr;
+  /// Observer invoked at every checkpoint BEFORE the cancel/deadline test.
+  /// Tests use it to advance a FakeClock (or flip the token) at an exact
+  /// phase boundary; the serving front-end uses it to record the phase a
+  /// request died in.
+  std::function<void(RunPhase)> phase_hook;
+
+  /// OK, Cancelled, or DeadlineExceeded for the given checkpoint.
+  Status Check(RunPhase phase) const {
+    if (phase_hook) phase_hook(phase);
+    if (cancelled != nullptr &&
+        cancelled->load(std::memory_order_acquire)) {
+      return Status::Cancelled("run cancelled at " +
+                               std::string(RunPhaseName(phase)));
+    }
+    if (has_deadline && clock != nullptr && clock->Now() >= deadline) {
+      return Status::DeadlineExceeded("deadline expired at " +
+                                      std::string(RunPhaseName(phase)));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace sqe::expansion
+
+#endif  // SQE_SQE_RUN_CONTROL_H_

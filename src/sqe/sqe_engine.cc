@@ -130,6 +130,55 @@ SqeRunResult SqeEngine::RunSqe(std::string_view user_query,
   return out;
 }
 
+Result<SqeRunResult> SqeEngine::RunSqe(
+    std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
+    const MotifConfig& motifs, size_t k, const RunControl& control,
+    retrieval::RetrieverScratch* scratch) const {
+  retrieval::RetrieverScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+
+  SqeRunResult out;
+  Timer total;
+  SQE_RETURN_IF_ERROR(control.Check(RunPhase::kPreAnalysis));
+  SQE_RETURN_IF_ERROR(control.Check(RunPhase::kPreMotifTraversal));
+  PreparedRun prep = PrepareRun(user_query, query_nodes, motifs, k, &out);
+  if (!prep.cached) {
+    SQE_RETURN_IF_ERROR(control.Check(RunPhase::kPreRetrieval));
+    Timer retrieval_timer;
+    if (router_ != nullptr) {
+      // Sequential shard sweep with a checkpoint between slices. Mirrors
+      // ShardedRetriever::Retrieve(pool=null) exactly — resolve once
+      // against global collection stats, score each shard's range, merge
+      // under the total order — so a completed run is bit-identical to
+      // every other retrieval path.
+      const size_t num_shards = router_->num_shards();
+      if (k > 0 && index_->NumDocuments() > 0) {
+        retrieval::ResolvedQuery resolved = retriever_.Resolve(out.query);
+        if (!resolved.empty()) {
+          std::vector<retrieval::ResultList> shard_lists(num_shards);
+          for (size_t s = 0; s < num_shards; ++s) {
+            if (s > 0) {
+              SQE_RETURN_IF_ERROR(control.Check(RunPhase::kShardSlice));
+            }
+            shard_lists[s] =
+                sharded_retriever_->RetrieveShard(resolved, s, k, scratch);
+          }
+          router_->RecordQuery(num_shards);
+          out.results = retrieval::MergeShardTopK(shard_lists, k);
+        }
+      }
+    } else {
+      out.results = RetrieveTopK(out.query, k, scratch);
+    }
+    out.retrieval_ms = retrieval_timer.ElapsedMillis();
+    if (cache_ != nullptr) {
+      cache_->InsertRun(prep.run_key, SqeCache::RunEntry{out.query, out.results});
+    }
+  }
+  out.total_ms = total.ElapsedMillis();
+  return out;
+}
+
 SqeRunResult SqeEngine::RunSqeWithScratch(
     std::string_view user_query, std::span<const kb::ArticleId> query_nodes,
     const MotifConfig& motifs, size_t k,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "entity/entity_linker.h"
 #include "index/inverted_index.h"
@@ -21,6 +22,7 @@
 #include "sqe/combiner.h"
 #include "sqe/motif_finder.h"
 #include "sqe/query_builder.h"
+#include "sqe/run_control.h"
 #include "sqe/sqe_cache.h"
 
 namespace sqe::expansion {
@@ -112,6 +114,23 @@ class SqeEngine {
                       std::span<const kb::ArticleId> query_nodes,
                       const MotifConfig& motifs, size_t k,
                       ThreadPool* pool) const;
+
+  /// Cooperatively-interruptible run used by the serving front-end: checks
+  /// `control` at the RunPhase boundaries (and, on a sharded engine,
+  /// between per-shard RetrieveRange slices) and returns DeadlineExceeded /
+  /// Cancelled without completing the run when one fires. Retrieval on a
+  /// sharded engine is a sequential shard sweep on the calling thread —
+  /// serving parallelism comes from running many requests at once, and the
+  /// per-slice checkpoints give an expired request back to its worker in
+  /// at most one shard's worth of scoring. A run that completes returns
+  /// exactly what the plain RunSqe overload returns, bit for bit, and
+  /// fills the cache with byte-identical entries when caching is on.
+  /// `scratch` may be null (a local one is used).
+  Result<SqeRunResult> RunSqe(std::string_view user_query,
+                              std::span<const kb::ArticleId> query_nodes,
+                              const MotifConfig& motifs, size_t k,
+                              const RunControl& control,
+                              retrieval::RetrieverScratch* scratch) const;
 
   // ---- batch runs ----------------------------------------------------------
 

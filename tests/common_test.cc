@@ -1,8 +1,13 @@
+#include <chrono>
+#include <optional>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/bounded_queue.h"
+#include "common/clock.h"
 #include "common/hash.h"
 #include "common/macros.h"
 #include "common/random.h"
@@ -39,7 +44,7 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int code = 0; code <= 9; ++code) {
+  for (int code = 0; code <= 12; ++code) {
     EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
   }
 }
@@ -49,6 +54,11 @@ TEST(StatusTest, PredicateCoverage) {
   EXPECT_TRUE(Status::IOError("i").IsIOError());
   EXPECT_TRUE(Status::InvalidArgument("a").IsInvalidArgument());
   EXPECT_FALSE(Status::OK().IsCorruption());
+  EXPECT_TRUE(Status::ResourceExhausted("q").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("d").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_FALSE(Status::DeadlineExceeded("d").IsResourceExhausted());
+  EXPECT_FALSE(Status::Cancelled("x").IsDeadlineExceeded());
 }
 
 // ---- Result ----------------------------------------------------------------
@@ -303,6 +313,116 @@ TEST(TimerTest, AccumulatingTimerSumsScopes) {
   EXPECT_GE(acc.TotalSeconds(), 1.5);
   acc.Reset();
   EXPECT_EQ(acc.TotalSeconds(), 0.0);
+}
+
+// ---- Clock -----------------------------------------------------------------
+
+TEST(ClockTest, SystemClockAdvances) {
+  const Clock* clock = Clock::System();
+  Clock::TimePoint a = clock->Now();
+  Clock::TimePoint b = clock->Now();
+  EXPECT_GE(b, a);  // steady_clock is monotone
+}
+
+TEST(ClockTest, FakeClockOnlyMovesWhenAdvanced) {
+  FakeClock clock;
+  const Clock::TimePoint start = clock.Now();
+  EXPECT_EQ(clock.Now(), start);  // no real time leaks in
+  clock.Advance(std::chrono::milliseconds(250));
+  EXPECT_EQ(clock.Now() - start, std::chrono::milliseconds(250));
+  clock.AdvanceTo(start + std::chrono::seconds(2));
+  EXPECT_EQ(clock.Now() - start, std::chrono::seconds(2));
+}
+
+TEST(ClockTest, FakeClockIsThreadSafe) {
+  FakeClock clock;
+  const Clock::TimePoint start = clock.Now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) {
+        clock.Advance(std::chrono::nanoseconds(1));
+        (void)clock.Now();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(clock.Now() - start, std::chrono::nanoseconds(4000));
+}
+
+// ---- BoundedLaneQueue ------------------------------------------------------
+
+TEST(BoundedLaneQueueTest, PopOrderIsLaneThenFifo) {
+  BoundedLaneQueue<int> queue(/*capacity=*/8, /*num_lanes=*/2);
+  queue.TryPush(1, 100);
+  queue.TryPush(0, 1);
+  queue.TryPush(1, 101);
+  queue.TryPush(0, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    std::optional<int> item = queue.PopBlocking();
+    ASSERT_TRUE(item.has_value());
+    order.push_back(*item);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 100, 101}));
+}
+
+TEST(BoundedLaneQueueTest, CapacityIsSharedAcrossLanes) {
+  BoundedLaneQueue<int> queue(2, 2);
+  EXPECT_EQ(queue.TryPush(0, 1), QueuePushOutcome::kOk);
+  EXPECT_EQ(queue.TryPush(1, 2), QueuePushOutcome::kOk);
+  EXPECT_EQ(queue.TryPush(0, 3), QueuePushOutcome::kFull);
+  EXPECT_EQ(queue.TryPush(1, 4), QueuePushOutcome::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.peak_size(), 2u);
+}
+
+TEST(BoundedLaneQueueTest, PushIfSeesDepthAndCanDecline) {
+  BoundedLaneQueue<int> queue(8, 1);
+  size_t depth_seen = 99;
+  EXPECT_EQ(queue.PushIf(0, 1,
+                         [&](size_t depth) {
+                           depth_seen = depth;
+                           return true;
+                         }),
+            QueuePushOutcome::kOk);
+  EXPECT_EQ(depth_seen, 0u);
+  EXPECT_EQ(queue.PushIf(0, 2,
+                         [&](size_t depth) {
+                           depth_seen = depth;
+                           return false;
+                         }),
+            QueuePushOutcome::kDeclined);
+  EXPECT_EQ(depth_seen, 1u);
+  EXPECT_EQ(queue.size(), 1u);  // declined item never entered
+}
+
+TEST(BoundedLaneQueueTest, CloseAndDrainReturnsQueuedInPopOrder) {
+  BoundedLaneQueue<int> queue(8, 2);
+  queue.TryPush(1, 100);
+  queue.TryPush(0, 1);
+  queue.TryPush(0, 2);
+  std::vector<int> drained = queue.CloseAndDrain();
+  EXPECT_EQ(drained, (std::vector<int>{1, 2, 100}));
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.TryPush(0, 3), QueuePushOutcome::kClosed);
+  EXPECT_FALSE(queue.PopBlocking().has_value());
+  // Idempotent: a second drain finds nothing.
+  EXPECT_TRUE(queue.CloseAndDrain().empty());
+}
+
+TEST(BoundedLaneQueueTest, PopBlockingWakesOnCloseAcrossThreads) {
+  BoundedLaneQueue<int> queue(4, 1);
+  std::vector<int> popped;
+  std::thread consumer([&] {
+    while (std::optional<int> item = queue.PopBlocking()) {
+      popped.push_back(*item);
+    }
+  });
+  EXPECT_EQ(queue.TryPush(0, 7), QueuePushOutcome::kOk);
+  queue.CloseAndDrain();  // consumer may or may not have popped 7 first
+  consumer.join();
+  EXPECT_LE(popped.size(), 1u);
 }
 
 }  // namespace

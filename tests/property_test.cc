@@ -2,14 +2,19 @@
 // complement the example-based unit tests — round-trips, cross-checks
 // against brute-force oracles, and validator sweeps over generated worlds.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "analysis/cycle_enumerator.h"
+#include "common/clock.h"
 #include "common/random.h"
+#include "serving/frontend.h"
 #include "eval/ttest.h"
 #include "index/inverted_index.h"
 #include "io/coding.h"
@@ -406,6 +411,114 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalRankings) {
     }
   }
 }
+
+// ---- serving: random deadlines under a FakeClock ----------------------------------
+
+// Random corpora × shard counts × deadlines, all on virtual time: a hook
+// advances the FakeClock by a random (seeded) amount at every checkpoint,
+// so requests expire at interleaving-dependent places — but two invariants
+// must hold regardless of which requests expire:
+//   1. every completed request returns exactly the bare RunSqe ranking
+//      (docs AND scores), and
+//   2. completed + expired + rejected == submitted once drained — nothing
+//      is lost or double-counted.
+class ServingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServingProperty, CompletedMatchBareRunAndAccountingCloses) {
+  const uint64_t seed = GetParam();
+  synth::WorldOptions world_options = synth::TinyWorldOptions();
+  world_options.seed = seed;
+  synth::World world = synth::World::Generate(world_options);
+  synth::Dataset dataset =
+      synth::BuildDataset(world, synth::TinyDatasetSpec());
+  const auto& queries = dataset.query_set.queries;
+
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = dataset.retrieval_mu;
+    config.sharding.num_shards = shards;
+    expansion::SqeEngine engine(&world.kb, &dataset.index,
+                                dataset.linker.get(), &dataset.analyzer(),
+                                config);
+
+    std::vector<expansion::SqeRunResult> bare;
+    for (const auto& q : queries) {
+      bare.push_back(engine.RunSqe(q.text, q.true_entities,
+                                   expansion::MotifConfig::Both(), 100));
+    }
+
+    FakeClock clock;
+    std::mutex rng_mu;
+    Rng rng(seed * 7919 + shards);
+    serving::ServingFrontendConfig frontend_config;
+    frontend_config.num_workers = 2;
+    frontend_config.clock = &clock;
+    frontend_config.phase_hook = [&](uint64_t, expansion::RunPhase) {
+      std::lock_guard<std::mutex> lock(rng_mu);
+      clock.Advance(std::chrono::microseconds(rng.NextBounded(400)));
+    };
+    serving::ServingFrontend frontend(&engine, frontend_config);
+
+    std::vector<std::shared_ptr<serving::ServingCall>> calls;
+    const size_t num_requests = queries.size() * 3;
+    for (size_t i = 0; i < num_requests; ++i) {
+      const auto& q = queries[i % queries.size()];
+      serving::ServingRequest request;
+      request.text = q.text;
+      request.query_nodes = q.true_entities;
+      request.k = 100;
+      {
+        std::lock_guard<std::mutex> lock(rng_mu);
+        // Thirds: infinite, tight (often expires mid-run), already expired.
+        switch (rng.NextBounded(3)) {
+          case 0:
+            request.deadline = serving::Deadline::Infinite();
+            break;
+          case 1:
+            request.deadline = serving::Deadline::After(
+                clock,
+                std::chrono::microseconds(1 + rng.NextBounded(1500)));
+            break;
+          default:
+            request.deadline = serving::Deadline::After(
+                clock, std::chrono::microseconds(0));
+            break;
+        }
+      }
+      calls.push_back(frontend.Submit(std::move(request)));
+    }
+    for (auto& call : calls) call->Wait();
+    frontend.Shutdown();
+
+    size_t completed = 0;
+    for (size_t i = 0; i < calls.size(); ++i) {
+      const serving::ServingResponse& response = calls[i]->Wait();
+      if (response.status.ok()) {
+        ++completed;
+        const auto& expected = bare[i % queries.size()].results;
+        ASSERT_EQ(response.result.results.size(), expected.size());
+        for (size_t j = 0; j < expected.size(); ++j) {
+          EXPECT_EQ(response.result.results[j].doc, expected[j].doc);
+          EXPECT_EQ(response.result.results[j].score, expected[j].score);
+        }
+      } else {
+        EXPECT_TRUE(response.status.IsDeadlineExceeded() ||
+                    response.status.IsResourceExhausted())
+            << response.status.ToString();
+      }
+    }
+    serving::ServingStats stats = frontend.Stats();
+    EXPECT_EQ(stats.submitted, num_requests);
+    EXPECT_EQ(stats.completed, completed);
+    EXPECT_EQ(stats.completed + stats.expired + stats.rejected(),
+              stats.submitted);
+    EXPECT_EQ(stats.cancelled, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingProperty,
+                         ::testing::Values(101u, 202u, 303u));
 
 }  // namespace
 }  // namespace sqe

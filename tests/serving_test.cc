@@ -1,0 +1,553 @@
+// Serving front-end tests. Everything deadline-shaped runs on a FakeClock —
+// time moves only when a test advances it inside a phase hook, so expiry is
+// observed at an exact checkpoint with zero real sleeps. Worker scheduling
+// is pinned the same way: a "blocker" request parks inside the phase hook on
+// a gate, so the test controls exactly when the single worker is busy.
+//
+// The request ids a ServingFrontend assigns are deterministic (1, 2, ... in
+// Submit order), which is what lets hooks target "the first submitted
+// request" without any registration handshake.
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "serving/frontend.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+using expansion::RunPhase;
+using serving::Deadline;
+using serving::RequestPriority;
+using serving::ServingCall;
+using serving::ServingFrontend;
+using serving::ServingFrontendConfig;
+using serving::ServingRequest;
+using serving::ServingResponse;
+using serving::ServingStats;
+
+constexpr auto kMs = [](int64_t n) {
+  return std::chrono::duration_cast<Clock::Duration>(
+      std::chrono::milliseconds(n));
+};
+
+// Reusable one-shot gate for parking a worker inside a phase hook.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+struct Env {
+  explicit Env(size_t num_shards, bool cache_enabled = false)
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())) {
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = dataset.retrieval_mu;
+    config.cache.enabled = cache_enabled;
+    config.sharding.num_shards = num_shards;
+    engine = std::make_unique<expansion::SqeEngine>(
+        &world.kb, &dataset.index, dataset.linker.get(), &dataset.analyzer(),
+        config);
+  }
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  ServingRequest Request(size_t i) const {
+    const auto& queries = dataset.query_set.queries;
+    const synth::GeneratedQuery& q = queries[i % queries.size()];
+    ServingRequest request;
+    request.text = q.text;
+    request.query_nodes = q.true_entities;
+    request.k = 100;
+    return request;
+  }
+  size_t num_queries() const { return dataset.query_set.queries.size(); }
+
+  synth::World world;
+  synth::Dataset dataset;
+  std::unique_ptr<expansion::SqeEngine> engine;
+};
+
+// ---- completed results are the bare engine's, bit for bit ------------------
+
+TEST(ServingTest, CompletedResultsMatchBareEngineBitForBit) {
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    for (bool cache : {false, true}) {
+      SCOPED_TRACE(testing::Message()
+                   << "shards=" << shards << " cache=" << cache);
+      Env env(shards, cache);
+      std::vector<expansion::SqeRunResult> expected;
+      for (size_t i = 0; i < env.num_queries(); ++i) {
+        ServingRequest r = env.Request(i);
+        expected.push_back(env.engine->RunSqe(
+            r.text, r.query_nodes, r.motifs, r.k));
+      }
+
+      FakeClock clock;
+      ServingFrontendConfig config;
+      config.num_workers = 2;
+      config.clock = &clock;
+      ServingFrontend frontend(env.engine.get(), config);
+      std::vector<std::shared_ptr<ServingCall>> calls;
+      for (size_t i = 0; i < env.num_queries(); ++i) {
+        calls.push_back(frontend.Submit(env.Request(i)));
+      }
+      for (size_t i = 0; i < calls.size(); ++i) {
+        const ServingResponse& response = calls[i]->Wait();
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        EXPECT_EQ(response.phase_reached, RunPhase::kDone);
+        ASSERT_EQ(response.result.results.size(),
+                  expected[i].results.size());
+        for (size_t j = 0; j < expected[i].results.size(); ++j) {
+          EXPECT_EQ(response.result.results[j].doc,
+                    expected[i].results[j].doc);
+          EXPECT_EQ(response.result.results[j].score,
+                    expected[i].results[j].score);
+        }
+      }
+      frontend.Shutdown();
+      ServingStats stats = frontend.Stats();
+      EXPECT_EQ(stats.completed, env.num_queries());
+      EXPECT_EQ(stats.resolved(), stats.submitted);
+    }
+  }
+}
+
+// ---- deadline expiry at every checkpoint -----------------------------------
+
+TEST(ServingTest, DeadlineExpiresAtEachPhaseBoundary) {
+  // 4 shards so the kShardSlice checkpoints exist; cache off so every run
+  // takes the full pipeline.
+  Env env(/*num_shards=*/4);
+  for (RunPhase target :
+       {RunPhase::kPreAnalysis, RunPhase::kPreMotifTraversal,
+        RunPhase::kPreRetrieval, RunPhase::kShardSlice}) {
+    SCOPED_TRACE(testing::Message()
+                 << "target=" << expansion::RunPhaseName(target));
+    FakeClock clock;
+    std::atomic<bool> advanced{false};
+    ServingFrontendConfig config;
+    config.num_workers = 1;
+    config.clock = &clock;
+    config.phase_hook = [&](uint64_t, RunPhase phase) {
+      // Fire exactly once, at the first checkpoint of the target kind: the
+      // very next deadline check observes the expiry.
+      if (phase == target && !advanced.exchange(true)) {
+        clock.Advance(kMs(10));
+      }
+    };
+    ServingFrontend frontend(env.engine.get(), config);
+    ServingRequest request = env.Request(0);
+    request.deadline = Deadline::After(clock, kMs(5));
+    auto call = frontend.Submit(request);  // keeps the response alive
+    const ServingResponse& response = call->Wait();
+    EXPECT_TRUE(response.status.IsDeadlineExceeded())
+        << response.status.ToString();
+    EXPECT_EQ(response.phase_reached, target);
+    EXPECT_TRUE(advanced.load());
+    frontend.Shutdown();
+    EXPECT_EQ(frontend.Stats().expired, 1u);
+  }
+}
+
+TEST(ServingTest, RequestExpiredInQueueNeverRuns) {
+  Env env(1);
+  FakeClock clock;
+  Gate gate;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.clock = &clock;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (id == 1 && phase == RunPhase::kPreAnalysis) gate.Wait();
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto blocker = frontend.Submit(env.Request(0));  // id 1, parks the worker
+
+  ServingRequest victim_request = env.Request(1);
+  victim_request.deadline = Deadline::After(clock, kMs(5));
+  auto victim = frontend.Submit(victim_request);  // id 2, sits in the queue
+  clock.Advance(kMs(10));                         // expires while queued
+  gate.Open();
+
+  const ServingResponse& response = victim->Wait();
+  EXPECT_TRUE(response.status.IsDeadlineExceeded())
+      << response.status.ToString();
+  // Expired at the very first checkpoint — no engine work happened.
+  EXPECT_EQ(response.phase_reached, RunPhase::kPreAnalysis);
+  EXPECT_TRUE(blocker->Wait().status.ok());
+  frontend.Shutdown();
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// ---- admission control -----------------------------------------------------
+
+TEST(ServingTest, QueueFullRejectsWithResourceExhausted) {
+  Env env(1);
+  FakeClock clock;
+  Gate gate;
+  Gate started;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.clock = &clock;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (id == 1 && phase == RunPhase::kPreAnalysis) {
+      started.Open();
+      gate.Wait();
+    }
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto blocker = frontend.Submit(env.Request(0));   // in flight
+  started.Wait();  // the worker holds the blocker; the queue is empty
+  auto queued_a = frontend.Submit(env.Request(1));  // queue slot 1
+  auto queued_b = frontend.Submit(env.Request(2));  // queue slot 2
+  auto rejected = frontend.Submit(env.Request(3));  // over capacity
+
+  const ServingResponse& response = rejected->Wait();  // already resolved
+  EXPECT_TRUE(response.status.IsResourceExhausted())
+      << response.status.ToString();
+  EXPECT_EQ(frontend.Stats().rejected_queue_full, 1u);
+
+  gate.Open();
+  EXPECT_TRUE(blocker->Wait().status.ok());
+  EXPECT_TRUE(queued_a->Wait().status.ok());
+  EXPECT_TRUE(queued_b->Wait().status.ok());
+  frontend.Shutdown();
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  EXPECT_EQ(stats.peak_queue_depth, 2u);
+}
+
+TEST(ServingTest, EstimatedWaitBeyondDeadlineRejects) {
+  Env env(1);
+  FakeClock clock;
+  Gate gate;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 64;
+  config.clock = &clock;
+  // Fixed, known estimate: each request is assumed to take 100 ms and the
+  // EMA is frozen so the arithmetic below is exact.
+  config.initial_service_estimate = kMs(100);
+  config.adapt_service_estimate = false;
+  Gate started;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (id == 1 && phase == RunPhase::kPreAnalysis) {
+      started.Open();
+      gate.Wait();
+    }
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto blocker = frontend.Submit(env.Request(0));
+  started.Wait();  // worker busy with the blocker; queue depth is exact now
+  // Three queued requests with no deadline: the estimated-wait test does
+  // not apply to them.
+  std::vector<std::shared_ptr<ServingCall>> queued;
+  for (size_t i = 1; i <= 3; ++i) {
+    queued.push_back(frontend.Submit(env.Request(i)));
+  }
+  EXPECT_EQ(frontend.Stats().admitted, 4u);
+
+  // Depth 3, one worker -> estimated wait 3 * 100 ms = 300 ms.
+  ServingRequest tight = env.Request(4);
+  tight.deadline = Deadline::After(clock, kMs(150));
+  auto tight_call = frontend.Submit(tight);
+  const ServingResponse& rejected = tight_call->Wait();
+  EXPECT_TRUE(rejected.status.IsResourceExhausted())
+      << rejected.status.ToString();
+  EXPECT_EQ(frontend.Stats().rejected_estimated_wait, 1u);
+
+  ServingRequest loose = env.Request(5);
+  loose.deadline = Deadline::After(clock, kMs(400));
+  auto admitted = frontend.Submit(loose);
+  EXPECT_EQ(frontend.Stats().admitted, 5u);
+
+  gate.Open();
+  EXPECT_TRUE(blocker->Wait().status.ok());
+  for (auto& call : queued) EXPECT_TRUE(call->Wait().status.ok());
+  EXPECT_TRUE(admitted->Wait().status.ok());
+  frontend.Shutdown();
+  EXPECT_EQ(frontend.Stats().resolved(), frontend.Stats().submitted);
+}
+
+// ---- priority lanes --------------------------------------------------------
+
+TEST(ServingTest, InteractiveLaneDequeuesBeforeBatch) {
+  Env env(1);
+  FakeClock clock;
+  Gate gate;
+  std::mutex order_mu;
+  std::vector<uint64_t> execution_order;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.clock = &clock;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (phase != RunPhase::kPreAnalysis) return;
+    if (id == 1) gate.Wait();
+    std::lock_guard<std::mutex> lock(order_mu);
+    execution_order.push_back(id);
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto blocker = frontend.Submit(env.Request(0));  // id 1
+
+  auto submit = [&](size_t i, RequestPriority priority) {
+    ServingRequest request = env.Request(i);
+    request.priority = priority;
+    return frontend.Submit(request);
+  };
+  auto batch_a = submit(1, RequestPriority::kBatch);         // id 2
+  auto inter_a = submit(2, RequestPriority::kInteractive);   // id 3
+  auto batch_b = submit(3, RequestPriority::kBatch);         // id 4
+  auto inter_b = submit(4, RequestPriority::kInteractive);   // id 5
+
+  gate.Open();
+  for (auto& call : {blocker, batch_a, inter_a, batch_b, inter_b}) {
+    EXPECT_TRUE(call->Wait().status.ok());
+  }
+  frontend.Shutdown();
+  // Blocker first (it was already in flight), then both interactive
+  // requests in FIFO order, then both batch requests in FIFO order.
+  EXPECT_EQ(execution_order, (std::vector<uint64_t>{1, 3, 5, 2, 4}));
+}
+
+// ---- cancellation ----------------------------------------------------------
+
+TEST(ServingTest, CancelBeforeExecution) {
+  Env env(1);
+  FakeClock clock;
+  Gate gate;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.clock = &clock;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (id == 1 && phase == RunPhase::kPreAnalysis) gate.Wait();
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto blocker = frontend.Submit(env.Request(0));
+  auto victim = frontend.Submit(env.Request(1));
+  victim->Cancel();
+  EXPECT_TRUE(victim->cancel_requested());
+  gate.Open();
+
+  const ServingResponse& response = victim->Wait();
+  EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
+  EXPECT_EQ(response.phase_reached, RunPhase::kPreAnalysis);
+  EXPECT_TRUE(blocker->Wait().status.ok());
+  frontend.Shutdown();
+  EXPECT_EQ(frontend.Stats().cancelled, 1u);
+}
+
+TEST(ServingTest, CancelDuringExecutionStopsAtNextCheckpoint) {
+  Env env(/*num_shards=*/4);
+  FakeClock clock;
+  Gate gate;
+  std::atomic<ServingCall*> victim_ptr{nullptr};
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.clock = &clock;
+  // The worker races Submit's return, so it parks at its first checkpoint
+  // until the test has stored the call pointer; then it cancels itself from
+  // inside its own kPreRetrieval hook — the checkpoint right after the
+  // hook must observe the token.
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (id != 1) return;
+    if (phase == RunPhase::kPreAnalysis) gate.Wait();
+    if (phase == RunPhase::kPreRetrieval) victim_ptr.load()->Cancel();
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto victim = frontend.Submit(env.Request(0));
+  victim_ptr.store(victim.get());
+  gate.Open();
+
+  const ServingResponse& response = victim->Wait();
+  EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
+  EXPECT_EQ(response.phase_reached, RunPhase::kPreRetrieval);
+  frontend.Shutdown();
+  EXPECT_EQ(frontend.Stats().cancelled, 1u);
+}
+
+// ---- drain on shutdown -----------------------------------------------------
+
+TEST(ServingTest, DrainOnShutdownResolvesEveryRequestExactlyOnce) {
+  Env env(1);
+  FakeClock clock;
+  Gate gate;
+  Gate started;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 16;
+  config.clock = &clock;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    if (id == 1 && phase == RunPhase::kPreAnalysis) {
+      started.Open();
+      gate.Wait();
+    }
+  };
+  ServingFrontend frontend(env.engine.get(), config);
+  auto in_flight = frontend.Submit(env.Request(0));  // id 1, parked
+  started.Wait();  // the worker is executing it, not queue-parked
+  std::vector<std::shared_ptr<ServingCall>> queued;
+  for (size_t i = 1; i <= 4; ++i) {
+    queued.push_back(frontend.Submit(env.Request(i)));
+  }
+
+  // Shutdown from another thread: it drains the queue immediately, then
+  // blocks joining the parked worker until the gate opens.
+  std::thread shutdown_thread([&] { frontend.Shutdown(); });
+  for (auto& call : queued) {
+    const ServingResponse& response = call->Wait();  // drained -> resolved
+    EXPECT_TRUE(response.status.IsFailedPrecondition())
+        << response.status.ToString();
+    EXPECT_EQ(response.phase_reached, RunPhase::kPreAnalysis);
+  }
+  // A submit that races the drain is rejected, never silently dropped.
+  auto late_call = frontend.Submit(env.Request(5));
+  const ServingResponse& late = late_call->Wait();
+  EXPECT_TRUE(late.status.IsFailedPrecondition()) << late.status.ToString();
+
+  gate.Open();
+  shutdown_thread.join();
+  // The in-flight request was never aborted: it finished normally.
+  EXPECT_TRUE(in_flight->Wait().status.ok());
+
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rejected_shutdown, 5u);
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Shutdown is idempotent.
+  frontend.Shutdown();
+  EXPECT_EQ(frontend.Stats().resolved(), 6u);
+}
+
+// ---- overload soak (the "Serving gate" CI step) ----------------------------
+
+TEST(ServingOverloadTest, SoakAtTenTimesCapacity) {
+  Env env(1);
+  ServingFrontendConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 8;
+  ServingFrontend frontend(env.engine.get(), config);
+  const size_t kTotal = 10 * config.queue_capacity;
+
+  std::vector<std::shared_ptr<ServingCall>> calls;
+  calls.reserve(kTotal);
+  for (size_t i = 0; i < kTotal; ++i) {
+    calls.push_back(frontend.Submit(env.Request(i)));
+  }
+
+  // Telemetry is monotone while the front-end churns: sample until every
+  // request has resolved and verify no counter ever goes backwards.
+  ServingStats prev;
+  while (true) {
+    ServingStats now = frontend.Stats();
+    EXPECT_GE(now.submitted, prev.submitted);
+    EXPECT_GE(now.admitted, prev.admitted);
+    EXPECT_GE(now.completed, prev.completed);
+    EXPECT_GE(now.expired, prev.expired);
+    EXPECT_GE(now.cancelled, prev.cancelled);
+    EXPECT_GE(now.rejected(), prev.rejected());
+    EXPECT_GE(now.peak_queue_depth, prev.peak_queue_depth);
+    prev = now;
+    if (now.resolved() == kTotal) break;
+    std::this_thread::yield();
+  }
+
+  for (const auto& call : calls) {
+    const ServingResponse& response = call->Wait();
+    if (!response.status.ok()) {
+      // No deadlines in this test, so overload rejections must be
+      // ResourceExhausted — never misreported as DeadlineExceeded.
+      EXPECT_TRUE(response.status.IsResourceExhausted())
+          << response.status.ToString();
+    }
+  }
+  frontend.Shutdown();  // must not deadlock
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.completed + stats.rejected(), kTotal);
+  EXPECT_GE(stats.completed, 1u);  // the workers did run
+  EXPECT_LE(stats.peak_queue_depth, config.queue_capacity);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// ---- concurrency hammer (run under TSan in CI) -----------------------------
+
+TEST(ServingTest, HammerMixedSubmitCancelShutdown) {
+  Env env(/*num_shards=*/2);
+  ServingFrontendConfig config;
+  config.num_workers = 3;
+  config.queue_capacity = 8;
+  ServingFrontend frontend(env.engine.get(), config);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 40;
+  std::vector<std::vector<std::shared_ptr<ServingCall>>> calls(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        ServingRequest request = env.Request(t * kPerThread + i);
+        request.priority = (i % 2 == 0) ? RequestPriority::kInteractive
+                                        : RequestPriority::kBatch;
+        auto call = frontend.Submit(std::move(request));
+        if (i % 3 == 0) call->Cancel();
+        calls[t].push_back(std::move(call));
+        if (t == 0 && i == kPerThread / 2) {
+          frontend.Shutdown();  // concurrent with everyone else's submits
+        }
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  frontend.Shutdown();
+
+  size_t resolved = 0;
+  for (const auto& per_thread : calls) {
+    for (const auto& call : per_thread) {
+      ASSERT_TRUE(call->resolved());
+      const Status& status = call->Wait().status;
+      EXPECT_TRUE(status.ok() || status.IsCancelled() ||
+                  status.IsResourceExhausted() ||
+                  status.IsFailedPrecondition())
+          << status.ToString();
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, kThreads * kPerThread);
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  EXPECT_EQ(stats.expired, 0u);  // no deadlines in the mix
+}
+
+}  // namespace
+}  // namespace sqe

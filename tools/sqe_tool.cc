@@ -29,11 +29,26 @@
 //                                             per-shard docs/tokens/terms
 //                                             and serialized sizes
 //
+//   sqe_tool serve-sim [--workers N] [--capacity C] [--deadline-ms D]
+//                      [--batch-every K] [--repeat R] [--shards S]
+//                                             replay the synthetic query set
+//                                             through the async serving
+//                                             front-end and report latency
+//                                             percentiles plus the
+//                                             admission/expiry accounting
+//                                             (completed + expired +
+//                                             cancelled + rejected must sum
+//                                             to submitted, exit 2 if not)
+//
 // Exit codes: 0 success, 1 usage, 2 data error (message on stderr).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -43,6 +58,7 @@
 #include "kb/dump_loader.h"
 #include "kb/kb_stats.h"
 #include "kb/knowledge_base.h"
+#include "serving/frontend.h"
 #include "sqe/motif_finder.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
@@ -180,6 +196,94 @@ int Batch(size_t num_threads, bool with_cache, size_t num_shards) {
   return 0;
 }
 
+// Nearest-rank percentile over a sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+// Replays the synthetic query set through the serving front-end at real
+// (system-clock) speed: every batch_every-th request rides the batch lane,
+// each request gets deadline_ms of budget (0 = no deadline). The exercise
+// is the accounting contract — every submitted request resolves exactly
+// once and the status counters sum back to submitted.
+int ServeSim(size_t workers, size_t capacity, double deadline_ms,
+             size_t batch_every, size_t repeat, size_t num_shards) {
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  synth::Dataset dataset =
+      synth::BuildDataset(world, synth::TinyDatasetSpec());
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = dataset.retrieval_mu;
+  config.sharding.num_shards = num_shards;
+  expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
+                              &dataset.analyzer(), config);
+
+  serving::ServingFrontendConfig frontend_config;
+  frontend_config.num_workers = workers;
+  frontend_config.queue_capacity = capacity;
+  serving::ServingFrontend frontend(&engine, frontend_config);
+  const Clock& clock = *Clock::System();
+
+  std::vector<std::shared_ptr<serving::ServingCall>> calls;
+  for (size_t r = 0; r < repeat; ++r) {
+    for (size_t i = 0; i < dataset.query_set.queries.size(); ++i) {
+      const synth::GeneratedQuery& q = dataset.query_set.queries[i];
+      serving::ServingRequest request;
+      request.text = q.text;
+      request.query_nodes = q.true_entities;
+      request.k = 100;
+      request.priority = (batch_every > 0 && (i % batch_every) == 0)
+                             ? serving::RequestPriority::kBatch
+                             : serving::RequestPriority::kInteractive;
+      if (deadline_ms > 0.0) {
+        request.deadline = serving::Deadline::After(
+            clock, std::chrono::duration_cast<Clock::Duration>(
+                       std::chrono::duration<double, std::milli>(deadline_ms)));
+      }
+      calls.push_back(frontend.Submit(std::move(request)));
+    }
+  }
+
+  std::vector<double> completed_ms;
+  for (const std::shared_ptr<serving::ServingCall>& call : calls) {
+    const serving::ServingResponse& response = call->Wait();
+    if (response.status.ok()) completed_ms.push_back(response.total_ms);
+  }
+  frontend.Shutdown();
+  std::sort(completed_ms.begin(), completed_ms.end());
+
+  serving::ServingStats stats = frontend.Stats();
+  std::printf("serve-sim: %zu workers, capacity %zu, %zu shards, "
+              "deadline %.1f ms\n",
+              frontend.num_workers(), frontend.queue_capacity(),
+              engine.num_shards(), deadline_ms);
+  std::printf("%s\n", stats.ToString().c_str());
+  std::printf("completed latency: p50 %.3f ms  p95 %.3f ms  (n=%zu)\n",
+              Percentile(completed_ms, 0.50), Percentile(completed_ms, 0.95),
+              completed_ms.size());
+
+  if (stats.submitted != calls.size() ||
+      stats.resolved() != stats.submitted) {
+    std::fprintf(stderr,
+                 "error: accounting mismatch: submitted=%llu resolved=%llu "
+                 "calls=%zu\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(stats.resolved()),
+                 calls.size());
+    return 2;
+  }
+  for (const std::shared_ptr<serving::ServingCall>& call : calls) {
+    if (!call->resolved()) {
+      std::fprintf(stderr, "error: call %llu never resolved\n",
+                   static_cast<unsigned long long>(call->id()));
+      return 2;
+    }
+  }
+  return 0;
+}
+
 // Splits an index into S shards and dumps the partition: the manifest's doc
 // ranges plus per-shard document/token/term counts and serialized snapshot
 // sizes — the debugging view for "who owns which document".
@@ -231,6 +335,10 @@ int Usage() {
                "  sqe_tool kb-stats <in.dump|in.snap>\n"
                "  sqe_tool motifs <in.dump|in.snap> <article title>\n"
                "  sqe_tool batch [num_threads] [--cache] [--shards N]\n"
+               "  sqe_tool serve-sim [--workers N] [--capacity C] "
+               "[--deadline-ms D]\n"
+               "                     [--batch-every K] [--repeat R] "
+               "[--shards S]\n"
                "  sqe_tool index shard-info <num_shards> [index.snap]\n");
   return 1;
 }
@@ -275,6 +383,60 @@ int main(int argc, char** argv) {
       threads = static_cast<size_t>(parsed);
     }
     return Batch(threads, with_cache, shards);
+  }
+  if (command == "serve-sim") {
+    size_t workers = 2;
+    size_t capacity = 64;
+    double deadline_ms = 0.0;
+    size_t batch_every = 4;
+    size_t repeat = 1;
+    size_t shards = 1;
+    auto parse_size = [&](const char* flag, int* i, size_t lo, size_t hi,
+                          size_t* out) {
+      char* end = nullptr;
+      long parsed =
+          (*i + 1 < argc) ? std::strtol(argv[*i + 1], &end, 10) : -1;
+      if (*i + 1 >= argc || end == argv[*i + 1] || *end != '\0' ||
+          parsed < static_cast<long>(lo) || parsed > static_cast<long>(hi)) {
+        std::fprintf(stderr, "error: %s needs an integer in [%zu, %zu]\n",
+                     flag, lo, hi);
+        return false;
+      }
+      *out = static_cast<size_t>(parsed);
+      ++*i;
+      return true;
+    };
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--workers") == 0) {
+        if (!parse_size("--workers", &i, 1, 256, &workers)) return 1;
+      } else if (std::strcmp(argv[i], "--capacity") == 0) {
+        if (!parse_size("--capacity", &i, 1, 1 << 20, &capacity)) return 1;
+      } else if (std::strcmp(argv[i], "--batch-every") == 0) {
+        if (!parse_size("--batch-every", &i, 0, 1 << 20, &batch_every)) {
+          return 1;
+        }
+      } else if (std::strcmp(argv[i], "--repeat") == 0) {
+        if (!parse_size("--repeat", &i, 1, 4096, &repeat)) return 1;
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        if (!parse_size("--shards", &i, 1, 4096, &shards)) return 1;
+      } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+        char* end = nullptr;
+        double parsed =
+            (i + 1 < argc) ? std::strtod(argv[i + 1], &end) : -1.0;
+        if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' ||
+            parsed < 0.0) {
+          std::fprintf(stderr,
+                       "error: --deadline-ms needs a number >= 0\n");
+          return 1;
+        }
+        deadline_ms = parsed;
+        ++i;
+      } else {
+        return Usage();
+      }
+    }
+    return ServeSim(workers, capacity, deadline_ms, batch_every, repeat,
+                    shards);
   }
   if (command == "index" && argc >= 4 &&
       std::strcmp(argv[2], "shard-info") == 0) {
