@@ -22,6 +22,13 @@
 // concurrently, so the interesting figure is the *overhead* of sharding —
 // the S=4 per-query latency should stay within ~10% of S=1 — not a speedup;
 // multi-core speedups are only observable on real hardware.
+//
+// A fourth section measures Block-Max WAND dynamic pruning on wide term-only
+// queries (atom counts 4, 16, 48 — see wide_queries.h for why the SQE batch
+// itself cannot exercise the pruned path): exhaustive vs pruned ns/query,
+// the fraction of in-range postings the pruned scorer never decoded, and a
+// digest-equality assert — pruning is exact, so a mismatch is a correctness
+// bug and fails the binary.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -29,8 +36,11 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "retrieval/retriever.h"
+#include "retrieval/wand_retriever.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
+#include "wide_queries.h"
 
 namespace {
 
@@ -180,6 +190,78 @@ ShardStat TimeSharded(const kb::KnowledgeBase& kb,
   return stat;
 }
 
+struct PruneStat {
+  size_t atoms = 0;
+  double exhaustive_ns = 0.0;
+  double wand_ns = 0.0;
+  double skip_fraction = 0.0;
+  bool digests_match = false;
+};
+
+uint64_t ResultDigest(const retrieval::ResultList& results) {
+  uint64_t digest = 1469598103934665603ull;
+  for (const retrieval::ScoredDoc& sd : results) {
+    digest = (digest ^ sd.doc) * 1099511628211ull;
+  }
+  return digest;
+}
+
+// Exhaustive vs Block-Max WAND over wide term-only queries at one atom
+// count. Every pruned ranking is digest-compared against the exhaustive one
+// — the timing rows are only meaningful if the two paths agree bit for bit.
+PruneStat TimePruning(const retrieval::Retriever& retriever,
+                      const retrieval::WandRetriever& wand, size_t num_atoms) {
+  const size_t kNumQueries = 16;
+  const size_t kRepeats = 40;
+  const size_t kTopK = 10;
+  const auto queries = bench::MakeWideTermQueries(retriever.index(), num_atoms,
+                                                  kNumQueries);
+  retrieval::RetrieverScratch scratch;
+
+  PruneStat stat;
+  stat.atoms = num_atoms;
+  stat.digests_match = true;
+  // Correctness + warm-up pass (also faults in postings before timing).
+  for (const retrieval::Query& q : queries) {
+    const uint64_t exhaustive = ResultDigest(retriever.Retrieve(q, kTopK,
+                                                                &scratch));
+    const uint64_t pruned = ResultDigest(wand.Retrieve(q, kTopK, &scratch));
+    stat.digests_match &= exhaustive == pruned;
+  }
+
+  Timer exhaustive_timer;
+  for (size_t r = 0; r < kRepeats; ++r) {
+    for (const retrieval::Query& q : queries) {
+      retriever.Retrieve(q, kTopK, &scratch);
+    }
+  }
+  const double exhaustive_seconds = exhaustive_timer.ElapsedSeconds();
+
+  const retrieval::WandStats before = wand.Stats();
+  Timer wand_timer;
+  for (size_t r = 0; r < kRepeats; ++r) {
+    for (const retrieval::Query& q : queries) {
+      wand.Retrieve(q, kTopK, &scratch);
+    }
+  }
+  const double wand_seconds = wand_timer.ElapsedSeconds();
+  const retrieval::WandStats after = wand.Stats();
+
+  const double per_query = static_cast<double>(kRepeats * kNumQueries);
+  stat.exhaustive_ns = exhaustive_seconds * 1e9 / per_query;
+  stat.wand_ns = wand_seconds * 1e9 / per_query;
+  const uint64_t total = after.postings_total - before.postings_total;
+  const uint64_t scored = after.postings_scored - before.postings_scored;
+  stat.skip_fraction =
+      total == 0 ? 0.0
+                 : 1.0 - static_cast<double>(scored) /
+                             static_cast<double>(total);
+  // Term-only queries must never take the phrase fallback; a fallback here
+  // would time the exhaustive scorer twice and report a fake 1.0x.
+  stat.digests_match &= after.fallbacks == before.fallbacks;
+  return stat;
+}
+
 }  // namespace
 
 int main() {
@@ -274,6 +356,30 @@ int main() {
                                   : "MISMATCH — determinism contract broken");
   if (!shard_digests_match) return 1;
 
+  // ---- Block-Max WAND pruning: wide term-only queries, 4/16/48 atoms -------
+  // Over the dedicated long-posting-list corpus (see wide_queries.h) — the
+  // regime the pruned scorer targets; the TinyWorld lists above are a few
+  // entries long and would only measure fixed overhead.
+  const index::InvertedIndex prune_index = bench::MakePruningIndex(20000);
+  retrieval::Retriever prune_retriever(&prune_index, {.mu = 300.0});
+  retrieval::WandRetriever prune_wand(&prune_retriever);
+  std::printf("pruning (wide term queries, k=10; exact — digests asserted):\n");
+  std::vector<PruneStat> prune_stats;
+  bool prune_digests_match = true;
+  for (size_t atoms : {4, 16, 48}) {
+    PruneStat stat = TimePruning(prune_retriever, prune_wand, atoms);
+    prune_stats.push_back(stat);
+    prune_digests_match &= stat.digests_match;
+    std::printf("  atoms=%-2zu  exhaustive %9.0f ns/query  wand %9.0f "
+                "ns/query  (%.2fx)  postings skipped %5.1f%%\n",
+                stat.atoms, stat.exhaustive_ns, stat.wand_ns,
+                stat.exhaustive_ns / stat.wand_ns, stat.skip_fraction * 100.0);
+  }
+  std::printf("  pruning digests %s\n",
+              prune_digests_match ? "MATCH (bit-identical rankings)"
+                                  : "MISMATCH — pruning is not exact");
+  if (!prune_digests_match) return 1;
+
   std::string json = "{\n  \"benchmark\": \"batch_throughput\",\n";
   json += "  \"num_queries\": " + std::to_string(batch.size()) + ",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
@@ -316,6 +422,23 @@ int main() {
                   shard_stats[i].single_p95_ms, shard_stats[i].seq_p50_ms,
                   shard_stats[i].batch_seconds, shard_stats[i].batch_qps,
                   i + 1 < shard_stats.size() ? "," : "");
+    json += line;
+  }
+  json += "    ]\n  },\n";
+  json += "  \"pruning\": {\n    \"top_k\": 10,\n    \"digests_match\": ";
+  json += prune_digests_match ? "true" : "false";
+  json += ",\n    \"runs\": [\n";
+  for (size_t i = 0; i < prune_stats.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "      {\"atoms\": %zu, \"exhaustive_ns_per_query\": %.0f, "
+                  "\"wand_ns_per_query\": %.0f, \"speedup\": %.2f, "
+                  "\"postings_skipped\": %.4f}%s\n",
+                  prune_stats[i].atoms, prune_stats[i].exhaustive_ns,
+                  prune_stats[i].wand_ns,
+                  prune_stats[i].exhaustive_ns / prune_stats[i].wand_ns,
+                  prune_stats[i].skip_fraction,
+                  i + 1 < prune_stats.size() ? "," : "");
     json += line;
   }
   json += "    ]\n  }\n";

@@ -5,11 +5,17 @@
 // tests, doc-at-a-time scoring, rank-range fusion).
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <vector>
+
 #include "kb/kb_builder.h"
 #include "retrieval/phrase_matcher.h"
+#include "retrieval/retriever.h"
+#include "retrieval/wand_retriever.h"
 #include "sqe/combiner.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
+#include "wide_queries.h"
 
 namespace {
 
@@ -121,6 +127,79 @@ void BM_CombineSqeC(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CombineSqeC);
+
+// ---- scoring kernels: exhaustive vs Block-Max WAND -------------------------
+// Wide term-only queries (the shape structural expansion produces; see
+// wide_queries.h) at 4/16/48 atoms, top-10 over the long-posting-list
+// pruning corpus. The pair BM_ScoreExhaustive/BM_ScoreWand at the same atom
+// count is the pruning speedup; BM_ScoreWand also reports the fraction of
+// in-range postings the pruned scorer skipped. Both paths are bit-identical
+// (gated in tests/wand_test.cc and CI), so this is a pure cost comparison.
+
+const index::InvertedIndex& PruningIndex() {
+  static const index::InvertedIndex& idx =
+      *new index::InvertedIndex(bench::MakePruningIndex(60000));
+  return idx;
+}
+
+const retrieval::Retriever& BenchRetriever() {
+  static const retrieval::Retriever& r =
+      *new retrieval::Retriever(&PruningIndex(), {.mu = 300.0});
+  return r;
+}
+
+const std::vector<retrieval::Query>& WideQueries(size_t num_atoms) {
+  static auto& cache =
+      *new std::map<size_t, std::vector<retrieval::Query>>();
+  auto it = cache.find(num_atoms);
+  if (it == cache.end()) {
+    it = cache.emplace(num_atoms, bench::MakeWideTermQueries(
+                                      PruningIndex(), num_atoms, 16))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ScoreExhaustive(benchmark::State& state) {
+  const retrieval::Retriever& retriever = BenchRetriever();
+  const auto& queries = WideQueries(static_cast<size_t>(state.range(0)));
+  retrieval::RetrieverScratch scratch;
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        retriever.Retrieve(queries[qi++ % queries.size()], 10, &scratch));
+  }
+}
+BENCHMARK(BM_ScoreExhaustive)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_ScoreWand(benchmark::State& state) {
+  static const retrieval::WandRetriever& wand =
+      *new retrieval::WandRetriever(&BenchRetriever());
+  const auto& queries = WideQueries(static_cast<size_t>(state.range(0)));
+  retrieval::RetrieverScratch scratch;
+  const retrieval::WandStats before = wand.Stats();
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wand.Retrieve(queries[qi++ % queries.size()], 10, &scratch));
+  }
+  const retrieval::WandStats after = wand.Stats();
+  const uint64_t total = after.postings_total - before.postings_total;
+  const uint64_t scored = after.postings_scored - before.postings_scored;
+  state.counters["postings_skipped"] = benchmark::Counter(
+      total == 0 ? 0.0
+                 : 1.0 - static_cast<double>(scored) /
+                             static_cast<double>(total));
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["docs_eval"] = benchmark::Counter(
+      static_cast<double>(after.docs_evaluated - before.docs_evaluated) /
+      iters);
+  state.counters["blk_skips"] = benchmark::Counter(
+      static_cast<double>(after.block_skips - before.block_skips) / iters);
+  state.counters["post_total"] = benchmark::Counter(
+      static_cast<double>(total) / iters);
+}
+BENCHMARK(BM_ScoreWand)->Arg(4)->Arg(16)->Arg(48);
 
 void BM_KbSnapshotRoundTrip(benchmark::State& state) {
   const kb::KnowledgeBase& kb = BenchWorld().kb;

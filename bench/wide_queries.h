@@ -1,0 +1,157 @@
+// Wide term-only query workload for the dynamic-pruning benchmarks.
+//
+// The SQE batch queries all contain multi-word title phrases, and phrase
+// atoms (whose postings are assembled per query, without block-max tables)
+// route the whole query to the exhaustive scorer by design. To exercise the
+// WAND path itself the pruning benchmarks therefore build synthetic *term*
+// queries with the shape of an expanded query: a few dominant atoms plus a
+// long tail of low-weight expansion atoms (weights 1/(1+i)), over terms
+// spanning the document-frequency range. Deterministic — no RNG — so every
+// run and every binary sees the same workload.
+#ifndef SQE_BENCH_WIDE_QUERIES_H_
+#define SQE_BENCH_WIDE_QUERIES_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/inverted_index.h"
+#include "retrieval/query.h"
+
+namespace sqe::bench {
+
+/// Dedicated corpus for the pruning benchmarks: `num_docs` documents of
+/// 12–35 tokens drawn Zipf(0.9) from a 1200-term vocabulary. The paper's
+/// synthetic collections model short diverse captions, which keeps even the
+/// most frequent terms' posting lists a few hundred entries long — too
+/// short for any skip machinery to amortize, and not the regime the pruned
+/// scorer exists for. This corpus gives the frequent terms stopword-like
+/// multi-thousand-entry lists (many 128-posting blocks each), i.e. the
+/// long-list regime wide expanded queries actually hit on real indexes.
+/// Deterministic: fixed seed, no time or global state.
+inline index::InvertedIndex MakePruningIndex(size_t num_docs) {
+  Rng rng(0x57414E44);  // "WAND"
+  const size_t kVocab = 1200;
+  ZipfSampler zipf(kVocab, 0.9);
+  index::IndexBuilder builder;
+  std::vector<std::string> terms;
+  for (size_t d = 0; d < num_docs; ++d) {
+    const size_t len = 12 + rng.NextBounded(24);
+    terms.clear();
+    terms.reserve(len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      // Caption-like term usage: a document repeats a word at most twice.
+      // Unchecked Zipf draws give the head terms outlier within-doc
+      // frequencies (max tf ~20), which hands every tail atom an
+      // anchor-sized term bound and buries the signal the pruned scorer
+      // exploits; real short captions don't do that.
+      std::string t = "pt" + std::to_string(zipf.Sample(rng));
+      if (std::count(terms.begin(), terms.end(), t) >= 2) {
+        t = "pt" + std::to_string(zipf.Sample(rng));
+        if (std::count(terms.begin(), terms.end(), t) >= 2) continue;
+      }
+      terms.push_back(std::move(t));
+    }
+    // A sparse layer of specific "entity" terms on top of the Zipf body:
+    // every fifth document carries one of 32 anchor terms (df a few
+    // hundred each), and a third of those also carry the NEXT anchor —
+    // correlated pairs, the way entity mentions co-occur. These play the
+    // user/title terms of an SQE query — the rare, high-weight atoms
+    // whose hits decide the top-k, which a Zipf body alone cannot
+    // produce. The pair correlation is what gives the workload the
+    // classic WAND profile: the top-k is dominated by documents matching
+    // TWO specific terms, so θ settles far above any single term's
+    // bound and the pivot walks cursor alignments instead of stopping
+    // at every posting.
+    if (rng.NextBounded(5) == 0) {
+      const uint64_t a = rng.NextBounded(32);
+      terms.push_back("anchor" + std::to_string(a));
+      if (rng.NextBounded(3) == 0) {
+        terms.push_back("anchor" + std::to_string((a + 1) % 32));
+      }
+    }
+    builder.AddDocument("prune-" + std::to_string(d), terms);
+  }
+  return std::move(builder).Build();
+}
+
+/// `num_queries` single-clause queries of `num_atoms` term atoms each with
+/// the weight/frequency profile of an expanded SQE query:
+///
+///  - up to four ANCHOR atoms (the user/title terms, clause 1): specific
+///    terms with short posting lists, carrying the dominant weight 2.0.
+///    Queries take CONSECUTIVE anchor ids so the corpus's correlated
+///    anchor pairs fall inside one query: the top-k is then dominated by
+///    two-anchor documents, θ settles above any single anchor's bound,
+///    and single-anchor documents are pruned without touching the tail.
+///  - the rest from the index's mid-frequency band — terms ranked
+///    24..24+12·A by document frequency (ties by TermId). That band is
+///    what expansion actually piles onto a query: title terms of related
+///    entities are content words with lists thousands of entries long,
+///    not stopwords. (The very top ranks are excluded deliberately:
+///    near-stopword atoms put every document in the candidate union,
+///    which collapses WAND's skip targets to the next union document and
+///    measures nothing but machinery overhead.) Atom i gets the expansion
+///    clause weight 0.5/(1+i), the skew that makes upper-bound pruning
+///    bite.
+///
+/// Query q takes terms at pool positions (q*17 + i*stride) mod pool so the
+/// configs overlap but are not identical.
+inline std::vector<retrieval::Query> MakeWideTermQueries(
+    const index::InvertedIndex& index, size_t num_atoms, size_t num_queries) {
+  // Anchor terms by their numeric suffix (consecutive ids are the
+  // corpus's correlated pairs); expansion pool by descending df.
+  std::vector<std::string> anchors;
+  for (size_t a = 0; a < 32; ++a) {
+    const std::string name = "anchor" + std::to_string(a);
+    const text::TermId t = index.LookupTerm(name);
+    if (t != text::kInvalidTermId && index.DocumentFrequency(t) >= 8) {
+      anchors.push_back(name);
+    }
+  }
+  std::vector<text::TermId> pool;
+  for (text::TermId t = 0; t < index.vocabulary().size(); ++t) {
+    if (index.vocabulary().TermOf(t).rfind("anchor", 0) == 0) continue;
+    // Long lists only: a rare term's per-occurrence contribution rivals an
+    // anchor's (log(f/μp) grows as p shrinks), which would hand the tail
+    // anchor-sized bounds and defeat the point of a low-weight expansion
+    // tail. Real expansion terms are entity title words — content words
+    // with lists thousands of entries long.
+    if (index.DocumentFrequency(t) >= 256) pool.push_back(t);
+  }
+  std::sort(pool.begin(), pool.end(), [&](text::TermId a, text::TermId b) {
+    const uint64_t da = index.DocumentFrequency(a);
+    const uint64_t db = index.DocumentFrequency(b);
+    return da != db ? da > db : a < b;
+  });
+  const size_t skip_top = std::min<size_t>(24, pool.size() / 8);
+  pool.erase(pool.begin(), pool.begin() + skip_top);
+  pool.resize(std::min(pool.size(), num_atoms * 12));
+  const size_t num_anchors =
+      anchors.empty() ? 0 : std::min<size_t>(4, num_atoms / 2);
+
+  std::vector<retrieval::Query> queries;
+  queries.reserve(num_queries);
+  const size_t stride = std::max<size_t>(1, pool.size() / (num_atoms + 1));
+  for (size_t q = 0; q < num_queries; ++q) {
+    retrieval::Query query;
+    query.clauses.emplace_back();
+    retrieval::Clause& clause = query.clauses.back();
+    for (size_t j = 0; j < num_anchors; ++j) {
+      clause.atoms.push_back(retrieval::Atom::Term(
+          anchors[(q * 3 + j) % anchors.size()], 2.5));
+    }
+    for (size_t i = 0; i + num_anchors < num_atoms; ++i) {
+      const text::TermId t = pool[(q * 17 + i * stride) % pool.size()];
+      clause.atoms.push_back(retrieval::Atom::Term(
+          index.vocabulary().TermOf(t), 0.25 / (1.0 + static_cast<double>(i))));
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace sqe::bench
+
+#endif  // SQE_BENCH_WIDE_QUERIES_H_

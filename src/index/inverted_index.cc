@@ -12,6 +12,10 @@ namespace sqe::index {
 
 namespace {
 constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
+// Version 2 added the "blockmax" block (per-term and per-block maximum
+// frequencies backing Block-Max WAND pruning). Version-1 images remain
+// loadable: their tables are recomputed from the decoded postings.
+constexpr uint32_t kIndexSnapshotVersion = 2;
 }  // namespace
 
 void InvertedIndex::BuildDocsByLength() {
@@ -206,7 +210,7 @@ InvertedIndex IndexBuilder::Build() && {
 }
 
 std::string InvertedIndex::SerializeToString() const {
-  io::SnapshotWriter writer(kIndexSnapshotMagic);
+  io::SnapshotWriter writer(kIndexSnapshotMagic, kIndexSnapshotVersion);
   std::string block;
 
   // Vocabulary.
@@ -249,6 +253,21 @@ std::string InvertedIndex::SerializeToString() const {
     }
   }
   writer.AddBlock("postings", std::move(block));
+  block.clear();
+
+  // Block-max tables (v2): per term, the list-wide max frequency and one
+  // max per kBlockSize-posting block. Derived data, persisted so the
+  // snapshot is self-describing for pruned scoring (a future mmap path
+  // reads them in place) — Validate() proves them equal to a recomputation
+  // on every load, so a tampered table is Corruption, never a wrong top-k.
+  io::PutVarint64(&block, postings_.size());
+  for (const PostingList& pl : postings_) {
+    io::PutVarint32(&block, pl.MaxFrequency());
+    std::span<const uint32_t> block_max = pl.BlockMaxFrequencies();
+    io::PutVarint64(&block, block_max.size());
+    for (uint32_t m : block_max) io::PutVarint32(&block, m);
+  }
+  writer.AddBlock("blockmax", std::move(block));
 
   return writer.Serialize();
 }
@@ -372,6 +391,48 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
       }
     }
     index.postings_.push_back(std::move(builder).Build());
+  }
+
+  // Block-max tables. v2 images carry them and must adopt the stored bytes
+  // (Validate below recomputes the true maxima and rejects any mismatch);
+  // v1 images predate the block and keep the builder-computed tables.
+  if (reader.version() >= 2) {
+    SQE_ASSIGN_OR_RETURN(std::string_view bb, reader.GetBlock("blockmax"));
+    uint64_t bm_terms;
+    if (!io::GetVarint64(&bb, &bm_terms)) {
+      return Status::Corruption("index block-max block truncated");
+    }
+    if (bm_terms != num_terms) {
+      return Status::Corruption("block-max/postings term count mismatch");
+    }
+    for (uint64_t t = 0; t < bm_terms; ++t) {
+      PostingList& pl = index.postings_[t];
+      uint32_t max_freq;
+      uint64_t num_blocks;
+      if (!io::GetVarint32(&bb, &max_freq) ||
+          !io::GetVarint64(&bb, &num_blocks)) {
+        return Status::Corruption("block-max table header truncated");
+      }
+      const size_t want_blocks =
+          (pl.NumDocs() + PostingList::kBlockSize - 1) /
+          PostingList::kBlockSize;
+      if (num_blocks != want_blocks) {
+        return Status::Corruption("block-max table size mismatch");
+      }
+      pl.max_frequency_ = max_freq;
+      pl.block_max_frequencies_.clear();
+      pl.block_max_frequencies_.reserve(want_blocks);
+      for (uint64_t b = 0; b < num_blocks; ++b) {
+        uint32_t m;
+        if (!io::GetVarint32(&bb, &m)) {
+          return Status::Corruption("block-max entry truncated");
+        }
+        pl.block_max_frequencies_.push_back(m);
+      }
+    }
+    if (!bb.empty()) {
+      return Status::Corruption("index block-max block has trailing bytes");
+    }
   }
 
   index.BuildDocsByLength();

@@ -17,6 +17,10 @@ Status PostingList::Validate(size_t num_docs) const {
       return Status::Corruption(
           "posting list: empty doc list with positions or occurrences");
     }
+    if (!block_max_frequencies_.empty() || max_frequency_ != 0) {
+      return Status::Corruption(
+          "posting list: empty doc list with block-max entries");
+    }
     return Status::OK();
   }
   if (pos_offsets_.size() != docs_.size() + 1 || pos_offsets_.front() != 0) {
@@ -34,6 +38,37 @@ Status PostingList::Validate(size_t num_docs) const {
     return Status::Corruption(StrFormat(
         "posting list: collection frequency %llu != %zu stored positions",
         (unsigned long long)total_occurrences_, positions_.size()));
+  }
+  // Block-max tables. The scoring contract (a block's recorded maximum >=
+  // every contained frequency) is what makes WAND skipping exact, so the
+  // check recomputes the true maxima and demands equality — an inflated
+  // maximum merely weakens pruning, but a deflated one would silently drop
+  // top-k documents, and either way the snapshot writer never produces it.
+  const size_t want_blocks = (docs_.size() + kBlockSize - 1) / kBlockSize;
+  if (block_max_frequencies_.size() != want_blocks) {
+    return Status::Corruption(StrFormat(
+        "posting list: %zu block-max entries for %zu postings (want %zu)",
+        block_max_frequencies_.size(), docs_.size(), want_blocks));
+  }
+  uint32_t true_max = 0;
+  for (size_t b = 0; b < want_blocks; ++b) {
+    uint32_t block_max = 0;
+    const size_t begin = b * kBlockSize;
+    const size_t end = std::min(begin + kBlockSize, docs_.size());
+    for (size_t i = begin; i < end; ++i) {
+      block_max = std::max(block_max, freqs_[i]);
+    }
+    if (block_max_frequencies_[b] != block_max) {
+      return Status::Corruption(StrFormat(
+          "posting list: block %zu max frequency %u != %u contained maximum",
+          b, (unsigned)block_max_frequencies_[b], (unsigned)block_max));
+    }
+    true_max = std::max(true_max, block_max);
+  }
+  if (max_frequency_ != true_max) {
+    return Status::Corruption(StrFormat(
+        "posting list: term max frequency %u != %u actual maximum",
+        (unsigned)max_frequency_, (unsigned)true_max));
   }
   for (size_t i = 0; i < docs_.size(); ++i) {
     if (docs_[i] >= num_docs) {
@@ -119,6 +154,29 @@ void PostingListBuilder::AddOccurrence(DocId doc, uint32_t position) {
   list_.total_occurrences_++;
 }
 
-PostingList PostingListBuilder::Build() && { return std::move(list_); }
+void PostingList::ComputeBlockMax() {
+  max_frequency_ = 0;
+  block_max_frequencies_.assign((docs_.size() + kBlockSize - 1) / kBlockSize,
+                                0);
+  for (size_t i = 0; i < freqs_.size(); ++i) {
+    uint32_t& block_max = block_max_frequencies_[i / kBlockSize];
+    block_max = std::max(block_max, freqs_[i]);
+    max_frequency_ = std::max(max_frequency_, freqs_[i]);
+  }
+}
+
+void PostingList::ComputeBlockBoundaries() {
+  const size_t num_blocks = (docs_.size() + kBlockSize - 1) / kBlockSize;
+  block_last_docs_.resize(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_last_docs_[b] = docs_[std::min((b + 1) * kBlockSize, docs_.size()) - 1];
+  }
+}
+
+PostingList PostingListBuilder::Build() && {
+  list_.ComputeBlockMax();
+  list_.ComputeBlockBoundaries();
+  return std::move(list_);
+}
 
 }  // namespace sqe::index

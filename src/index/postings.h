@@ -20,9 +20,40 @@ class PostingList {
  public:
   PostingList() = default;
 
+  /// Postings per block-max table entry. Each block of kBlockSize
+  /// consecutive postings records the maximum within-document frequency it
+  /// contains, so a pruned scorer (Block-Max WAND, see
+  /// retrieval/wand_retriever.h) can upper-bound a term's contribution over
+  /// a doc-id span and skip whole blocks without decoding them. 128 keeps
+  /// the table at <1% of the posting arrays while making a skipped block
+  /// worth ~128 saved log() evaluations.
+  static constexpr size_t kBlockSize = 128;
+
   size_t NumDocs() const { return docs_.size(); }
   /// Total occurrences across the collection (collection term frequency).
   uint64_t CollectionFrequency() const { return total_occurrences_; }
+
+  /// Largest within-document frequency across the whole list (0 when
+  /// empty). Upper-bounds any posting's tf, so it caps the term's score
+  /// contribution for WAND pivot selection.
+  uint32_t MaxFrequency() const { return max_frequency_; }
+  /// ceil(NumDocs / kBlockSize) entries; entry b is the maximum frequency
+  /// among postings [b*kBlockSize, min((b+1)*kBlockSize, NumDocs())). The
+  /// doc-id range a block covers is read straight off docs() — block b ends
+  /// at doc(min((b+1)*kBlockSize, NumDocs()) - 1) — so only the frequency
+  /// maxima need storing.
+  std::span<const uint32_t> BlockMaxFrequencies() const {
+    return block_max_frequencies_;
+  }
+  /// Last doc id covered by each block, as one contiguous array: entry b is
+  /// doc(min((b+1)*kBlockSize, NumDocs()) - 1). Pure derived data — reading
+  /// these off docs() directly costs one scattered cache line per block
+  /// crossed, which is exactly the access pattern a pruned scorer's shallow
+  /// block pointer makes, so the boundaries are gathered once at build/load
+  /// time and shallow advances become a binary search over a dense array.
+  /// Not serialized; recomputed alongside the block-max table.
+  std::span<const DocId> BlockLastDocs() const { return block_last_docs_; }
+  size_t NumBlocks() const { return block_max_frequencies_.size(); }
 
   DocId doc(size_t i) const {
     SQE_DCHECK(i < docs_.size());
@@ -80,12 +111,24 @@ class PostingList {
 
  private:
   friend class PostingListBuilder;
+  friend class InvertedIndex;  // snapshot load adopts stored block-max tables
+
+  /// Recomputes max_frequency_ and block_max_frequencies_ from freqs_.
+  /// Called by the builder; the snapshot loader instead adopts the stored
+  /// tables and lets Validate() prove them equal to this recomputation.
+  void ComputeBlockMax();
+  /// Recomputes block_last_docs_ from docs_. Called by both the builder and
+  /// the snapshot loader (boundaries are derived, never stored).
+  void ComputeBlockBoundaries();
 
   std::vector<DocId> docs_;
   std::vector<uint32_t> freqs_;
   std::vector<uint64_t> pos_offsets_;  // size docs_.size()+1 when non-empty
   std::vector<uint32_t> positions_;
   uint64_t total_occurrences_ = 0;
+  uint32_t max_frequency_ = 0;
+  std::vector<uint32_t> block_max_frequencies_;
+  std::vector<DocId> block_last_docs_;  // derived; see BlockLastDocs()
 };
 
 /// Accumulates postings for one term during indexing. Documents must be

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "retrieval/phrase_matcher.h"
+#include "retrieval/score_batch.h"
 
 namespace sqe::retrieval {
 
@@ -36,9 +37,13 @@ ResolvedQuery Retriever::Resolve(const Query& query) const {
           const index::PostingList& pl = idx.Postings(t);
           r.docs = pl.docs();
           r.freqs = pl.frequencies();
+          r.max_freq = pl.MaxFrequency();
+          r.block_max_freqs = pl.BlockMaxFrequencies();
+          r.block_last_docs = pl.BlockLastDocs();
         }
         r.collection_prob = idx.CollectionProbability(t);
       } else {
+        r.is_phrase = true;
         std::vector<text::TermId> ids;
         ids.reserve(a.terms.size());
         for (const std::string& term : a.terms) {
@@ -111,28 +116,37 @@ ResultList Retriever::RetrieveRange(
   const uint32_t epoch = scratch->current_epoch_;
   std::vector<index::DocId>& touched = scratch->touched_;
   touched.clear();
+  scratch->contrib_.resize(kScoreBatchSize);
+  double* const contrib = scratch->contrib_.data();
   for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
-    const double bg = std::log(mu * a.collection_prob);
+    const double mu_cp = mu * a.collection_prob;
+    const double bg = std::log(mu_cp);
     // Postings are doc-sorted, so the range's entries are one contiguous
     // slice; every document accumulates its atoms in atom order exactly as
-    // the unpartitioned path does, keeping FP results bit-identical.
+    // the unpartitioned path does, keeping FP results bit-identical. The
+    // slice is scored in SoA batches — a contiguous frequency lane through
+    // the contribution kernel, then a scatter into the sparse accumulator —
+    // so the transcendental work runs over dense arrays instead of being
+    // interleaved with the epoch bookkeeping.
     const size_t lo = static_cast<size_t>(
         std::lower_bound(a.docs.begin(), a.docs.end(), begin) -
         a.docs.begin());
     const size_t hi = static_cast<size_t>(
         std::lower_bound(a.docs.begin() + lo, a.docs.end(), end) -
         a.docs.begin());
-    for (size_t i = lo; i < hi; ++i) {
-      const index::DocId d = a.docs[i];
-      if (scratch->epoch_[d] != epoch) {
-        scratch->epoch_[d] = epoch;
-        scratch->delta_[d] = 0.0;
-        touched.push_back(d);
+    for (size_t base = lo; base < hi; base += kScoreBatchSize) {
+      const size_t n = std::min(kScoreBatchSize, hi - base);
+      TermContributionBatch(a.freqs.data() + base, n, a.weight, mu_cp, bg,
+                            contrib);
+      for (size_t j = 0; j < n; ++j) {
+        const index::DocId d = a.docs[base + j];
+        if (scratch->epoch_[d] != epoch) {
+          scratch->epoch_[d] = epoch;
+          scratch->delta_[d] = 0.0;
+          touched.push_back(d);
+        }
+        scratch->delta_[d] += contrib[j];
       }
-      scratch->delta_[d] +=
-          a.weight *
-          (std::log(static_cast<double>(a.freqs[i]) + mu * a.collection_prob) -
-           bg);
     }
   }
 

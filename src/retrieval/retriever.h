@@ -55,6 +55,7 @@ class ResolvedQuery {
 
  private:
   friend class Retriever;
+  friend class WandRetriever;
 
   // An atom resolved against the index: its matching docs/frequencies and
   // smoothed collection probability. `docs`/`freqs` alias the index's
@@ -67,6 +68,14 @@ class ResolvedQuery {
     std::vector<index::DocId> owned_docs;
     std::vector<uint32_t> owned_freqs;
     double collection_prob = 0.0;
+    // WAND upper-bound metadata, aliasing the index's block-max tables for
+    // plain terms. Phrase postings are assembled per query and carry no
+    // tables; is_phrase tells the pruned scorer to fall back to exhaustive
+    // scoring for the whole query.
+    bool is_phrase = false;
+    uint32_t max_freq = 0;
+    std::span<const uint32_t> block_max_freqs;
+    std::span<const index::DocId> block_last_docs;
   };
 
   std::vector<ResolvedAtom> atoms_;
@@ -85,6 +94,7 @@ class RetrieverScratch {
 
  private:
   friend class Retriever;
+  friend class WandRetriever;
 
   // delta_[d] is valid iff epoch_[d] == current_epoch_: bumping the epoch
   // invalidates the whole accumulator in O(1) between queries.
@@ -93,6 +103,9 @@ class RetrieverScratch {
   uint32_t current_epoch_ = 0;
   std::vector<index::DocId> touched_;
   ResultList heap_;
+  // SoA contribution lane shared by the exhaustive batched accumulation
+  // (kScoreBatchSize postings at a time) and WAND's per-document atom lanes.
+  std::vector<double> contrib_;
 };
 
 /// Stateless scoring engine bound to one index. Thread-compatible (all

@@ -1,0 +1,113 @@
+// Struct-of-arrays scoring kernels shared by the exhaustive and WAND-pruned
+// retrieval paths.
+//
+// Posting decode and accumulation are restructured as contiguous lanes —
+// a frequency lane in, a contribution lane out — so the surrounding loops
+// touch memory sequentially and the per-element arithmetic sits in tight,
+// branch-free passes the compiler can auto-vectorize. The log() lane stays
+// scalar libm in every build mode: a vectorized log (libmvec, fast-math)
+// rounds differently, and the retrieval contract is bit-identical scores
+// across every configuration. The elementwise multiply/subtract pass after
+// it is where SIMD is legal — IEEE mul/sub are exactly rounded, so a 2-lane
+// SSE2 pass produces the same bytes as the scalar loop, lane for lane.
+//
+// The explicit SSE2 kernel is gated behind SQE_SCORING_SIMD (a CMake
+// option, off by default) so the default build relies on auto-vectorization
+// only; both paths are bit-identical by construction and the WAND tests run
+// against whichever is compiled in.
+#ifndef SQE_RETRIEVAL_SCORE_BATCH_H_
+#define SQE_RETRIEVAL_SCORE_BATCH_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(SQE_SCORING_SIMD) && defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace sqe::retrieval {
+
+/// Postings decoded into the SoA lanes per accumulation batch. Sized so the
+/// frequency lane, contribution lane, and the doc-id slice being scattered
+/// all sit in L1 together.
+inline constexpr size_t kScoreBatchSize = 256;
+
+namespace internal {
+
+/// out[i] = (out[i] - bg[i]) * weight[i], elementwise. Exactly-rounded IEEE
+/// ops, so the SIMD and scalar variants are bit-identical per lane.
+inline void FusedScaleLanes(double* out, const double* bg,
+                            const double* weight, size_t n) {
+#if defined(SQE_SCORING_SIMD) && defined(__SSE2__)
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d t = _mm_loadu_pd(out + i);
+    t = _mm_sub_pd(t, _mm_loadu_pd(bg + i));
+    t = _mm_mul_pd(t, _mm_loadu_pd(weight + i));
+    _mm_storeu_pd(out + i, t);
+  }
+  for (; i < n; ++i) out[i] = (out[i] - bg[i]) * weight[i];
+#else
+  for (size_t i = 0; i < n; ++i) out[i] = (out[i] - bg[i]) * weight[i];
+#endif
+}
+
+/// out[i] = (out[i] - bg) * weight with broadcast scalars.
+inline void FusedScaleUniform(double* out, double bg, double weight,
+                              size_t n) {
+#if defined(SQE_SCORING_SIMD) && defined(__SSE2__)
+  const __m128d vbg = _mm_set1_pd(bg);
+  const __m128d vw = _mm_set1_pd(weight);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d t = _mm_loadu_pd(out + i);
+    t = _mm_mul_pd(_mm_sub_pd(t, vbg), vw);
+    _mm_storeu_pd(out + i, t);
+  }
+  for (; i < n; ++i) out[i] = (out[i] - bg) * weight;
+#else
+  for (size_t i = 0; i < n; ++i) out[i] = (out[i] - bg) * weight;
+#endif
+}
+
+}  // namespace internal
+
+/// One term, many postings: out[i] = weight * (log(freqs[i] + mu_cp) - bg).
+/// The exact expression the pre-batch scalar loop computed — multiplication
+/// is commutative under IEEE rounding — so accumulating these lanes in
+/// posting order reproduces the historical scores bit for bit.
+inline void TermContributionBatch(const uint32_t* freqs, size_t n,
+                                  double weight, double mu_cp, double bg,
+                                  double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::log(static_cast<double>(freqs[i]) + mu_cp);
+  }
+  internal::FusedScaleUniform(out, bg, weight, n);
+}
+
+/// One document, many atoms: out[i] = weight[i] * (log(freqs[i] + mu_cp[i])
+/// - bg[i]). Lanes are in atom order; the caller must reduce them with a
+/// sequential left-to-right sum to match the exhaustive path's per-document
+/// accumulation order.
+inline void AtomContributionLanes(const uint32_t* freqs, const double* mu_cp,
+                                  const double* bg, const double* weight,
+                                  size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::log(static_cast<double>(freqs[i]) + mu_cp[i]);
+  }
+  internal::FusedScaleLanes(out, bg, weight, n);
+}
+
+/// Strictly left-to-right sum — the only reduction order that matches the
+/// scalar accumulator the exhaustive path uses per document. Never replace
+/// with a pairwise/SIMD reduction: that changes rounding.
+inline double SequentialSum(const double* v, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_SCORE_BATCH_H_

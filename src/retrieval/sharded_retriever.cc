@@ -32,6 +32,12 @@ ResultList MergeShardTopK(std::span<const ResultList> shard_lists, size_t k) {
 ResultList ShardedRetriever::RetrieveShard(const ResolvedQuery& resolved,
                                            size_t shard, size_t k,
                                            RetrieverScratch* scratch) const {
+  if (wand_ != nullptr) {
+    return wand_->RetrieveRange(resolved, router_->shard_begin(shard),
+                                router_->shard_end(shard),
+                                router_->ShardDocsByLength(shard), k,
+                                scratch);
+  }
   return retriever_->RetrieveRange(resolved, router_->shard_begin(shard),
                                    router_->shard_end(shard),
                                    router_->ShardDocsByLength(shard), k,

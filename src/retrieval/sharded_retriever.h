@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "retrieval/retriever.h"
 #include "retrieval/shard_router.h"
+#include "retrieval/wand_retriever.h"
 
 namespace sqe::retrieval {
 
@@ -32,12 +33,17 @@ namespace sqe::retrieval {
 ResultList MergeShardTopK(std::span<const ResultList> shard_lists, size_t k);
 
 /// Thread-compatible facade pairing a Retriever with a ShardRouter. Both
-/// must outlive it.
+/// must outlive it. When a WandRetriever is supplied, per-shard scoring
+/// goes through the pruned path instead — legal precisely because WAND's
+/// RetrieveRange is bit-identical to the exhaustive one, so contract points
+/// 2 and 3 above are unchanged.
 class ShardedRetriever {
  public:
-  ShardedRetriever(const Retriever* retriever, const ShardRouter* router)
-      : retriever_(retriever), router_(router) {
+  ShardedRetriever(const Retriever* retriever, const ShardRouter* router,
+                   const WandRetriever* wand = nullptr)
+      : retriever_(retriever), router_(router), wand_(wand) {
     SQE_CHECK(retriever != nullptr && router != nullptr);
+    SQE_CHECK(wand == nullptr || &wand->base() == retriever);
   }
 
   /// Top-k over the whole collection, scoring shards on `pool` (all shards
@@ -61,6 +67,7 @@ class ShardedRetriever {
  private:
   const Retriever* retriever_;
   const ShardRouter* router_;
+  const WandRetriever* wand_;  // optional pruned scorer; null = exhaustive
 };
 
 }  // namespace sqe::retrieval

@@ -1,0 +1,591 @@
+#include "retrieval/wand_retriever.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/string_util.h"
+#include "retrieval/score_batch.h"
+
+namespace sqe::retrieval {
+
+namespace {
+
+// Skip decisions compare a score UPPER BOUND against the threshold θ, and
+// are safe only when strict: a document whose bound ties θ may itself be a
+// top-k member (ties break by ascending DocId, so equal-score documents are
+// not interchangeable). The multiplicative slack additionally absorbs any
+// non-monotone libm rounding between the bound's arithmetic and the true
+// score's — it can only make pruning more conservative, never less exact.
+inline double SlackedThreshold(double theta) {
+  return theta - 1e-9 * (1.0 + std::fabs(theta));
+}
+
+// One atom's in-range posting traversal state. `pos`/`limit` are absolute
+// positions into the atom's full posting arrays, bracketing the [begin,
+// end) doc-id slice; `block` is the shallow block pointer into the full
+// list's block-max table, advanced monotonically (pivot docs never
+// decrease, so neither do shallow targets).
+struct Cursor {
+  size_t pos = 0;    // current posting (absolute)
+  size_t limit = 0;  // one past the last in-range posting
+  size_t block = 0;  // shallow pointer: block containing first doc >= target
+  double ub = 0.0;   // term-level max contribution ω·(log(maxf+μp) − bg)
+  double mu_cp = 0.0;
+  double bg = 0.0;
+  double weight = 0.0;
+  const index::DocId* docs = nullptr;
+  const uint32_t* freqs = nullptr;
+  const uint32_t* block_max = nullptr;
+  const index::DocId* block_last = nullptr;
+  size_t num_blocks = 0;
+  size_t list_size = 0;
+
+  bool AtEnd() const { return pos >= limit; }
+  index::DocId Doc() const { return docs[pos]; }
+
+  // Contribution memo keyed by frequency: ω·(log(f+μp) − bg) depends on the
+  // posting only through its (small-integer) tf, and block maxima draw from
+  // the same domain — so one lazily filled table of max_freq+1 entries
+  // turns every bound log after the first occurrence of a frequency value
+  // into an indexed load. Values are strictly positive, so -1 marks unset.
+  std::vector<double> freq_ub;
+
+  double ContribFor(uint32_t f) {
+    double& u = freq_ub[f];
+    if (u < 0.0) {
+      u = weight * (std::log(static_cast<double>(f) + mu_cp) - bg);
+    }
+    return u;
+  }
+
+  // Last doc id covered by block b (valid for b < num_blocks), read off the
+  // list's dense boundary array. Blocks span the FULL list, so the boundary
+  // may lie outside the scored range; that only makes skip targets
+  // conservative, never incorrect.
+  index::DocId BlockLastDoc(size_t b) const { return block_last[b]; }
+
+  // Advances the shallow pointer to the block containing the first posting
+  // with doc >= target. Returns false when no such posting exists (the
+  // list's contribution to any doc >= target is zero). Boundaries are dense
+  // and sorted, so a far jump is a binary search over a handful of cache
+  // lines instead of one scattered posting read per block crossed.
+  bool ShallowAdvance(index::DocId target) {
+    block = std::max(block, pos / index::PostingList::kBlockSize);
+    if (block < num_blocks && block_last[block] < target) {
+      block = static_cast<size_t>(
+          std::lower_bound(block_last + block + 1, block_last + num_blocks,
+                           target) -
+          block_last);
+    }
+    return block < num_blocks;
+  }
+
+  // ω·(log(block_max + μp) − bg): upper-bounds the atom's contribution for
+  // every document inside the current shallow block, because tf <= block
+  // max and the contribution is non-decreasing in tf.
+  double BlockUb() { return ContribFor(block_max[block]); }
+
+  // First posting with doc >= target within [pos, limit): galloping probe
+  // then binary search, O(log gap) — same scheme as PostingList::Cursor.
+  void SeekTo(index::DocId target) {
+    if (pos >= limit || docs[pos] >= target) return;
+    size_t step = 1;
+    size_t lo = pos;
+    size_t hi = pos + step;
+    while (hi < limit && docs[hi] < target) {
+      lo = hi;
+      step *= 2;
+      hi = pos + step;
+    }
+    hi = std::min(hi, limit);
+    size_t left = lo + 1, right = hi;
+    while (left < right) {
+      size_t mid = left + (right - left) / 2;
+      if (docs[mid] < target) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    pos = left;
+  }
+};
+
+}  // namespace
+
+std::string WandStats::ToString() const {
+  return StrFormat(
+      "wand: queries=%llu fallbacks=%llu postings=%llu scored=%llu "
+      "(%.1f%% skipped) docs_evaluated=%llu block_skips=%llu",
+      (unsigned long long)queries, (unsigned long long)fallbacks,
+      (unsigned long long)postings_total, (unsigned long long)postings_scored,
+      100.0 * SkipFraction(), (unsigned long long)docs_evaluated,
+      (unsigned long long)block_skips);
+}
+
+ResultList WandRetriever::Retrieve(const Query& query, size_t k,
+                                   RetrieverScratch* scratch) const {
+  const index::InvertedIndex& idx = base_->index();
+  const size_t num_docs = idx.NumDocuments();
+  if (k == 0 || num_docs == 0) return {};
+  ResolvedQuery resolved = base_->Resolve(query);
+  return RetrieveRange(resolved, 0, static_cast<index::DocId>(num_docs),
+                       idx.DocsByLength(), k, scratch);
+}
+
+ResultList WandRetriever::RetrieveRange(
+    const ResolvedQuery& resolved, index::DocId begin, index::DocId end,
+    std::span<const index::DocId> docs_by_length, size_t k,
+    RetrieverScratch* scratch) const {
+  if (k == 0 || begin >= end || resolved.empty()) return {};
+  // Phrase postings are assembled per query and carry no block-max tables;
+  // the whole query falls back so accumulation order stays untouched.
+  for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
+    if (a.is_phrase) {
+      RecordFallback();
+      return base_->RetrieveRange(resolved, begin, end, docs_by_length, k,
+                                  scratch);
+    }
+  }
+  QueryCounters counters;
+  ResultList out = PrunedRange(resolved, begin, end, docs_by_length, k,
+                               scratch, &counters);
+  RecordPruned(counters);
+  return out;
+}
+
+ResultList WandRetriever::PrunedRange(
+    const ResolvedQuery& resolved, index::DocId begin, index::DocId end,
+    std::span<const index::DocId> docs_by_length, size_t k,
+    RetrieverScratch* scratch, QueryCounters* counters) const {
+  SQE_CHECK(scratch != nullptr);
+  const index::InvertedIndex& idx = base_->index();
+  SQE_DCHECK(end <= idx.NumDocuments());
+  SQE_DCHECK(docs_by_length.size() == end - begin);
+  const size_t range_docs = end - begin;
+  const double mu = base_->options().mu;
+  const double background_const = resolved.background_const_;
+  const size_t num_atoms = resolved.atoms_.size();
+
+  // Cursors in atom order (evaluation gathers lanes in this order); plus
+  // the doc-sorted view `active` of the not-yet-exhausted ones.
+  std::vector<Cursor> cursors;
+  cursors.reserve(num_atoms);
+  for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
+    const size_t lo = static_cast<size_t>(
+        std::lower_bound(a.docs.begin(), a.docs.end(), begin) -
+        a.docs.begin());
+    const size_t hi = static_cast<size_t>(
+        std::lower_bound(a.docs.begin() + lo, a.docs.end(), end) -
+        a.docs.begin());
+    Cursor c;
+    c.pos = lo;
+    c.limit = hi;
+    c.mu_cp = mu * a.collection_prob;
+    c.bg = std::log(c.mu_cp);
+    c.weight = a.weight;
+    c.docs = a.docs.data();
+    c.freqs = a.freqs.data();
+    c.block_max = a.block_max_freqs.data();
+    c.block_last = a.block_last_docs.data();
+    c.num_blocks = a.block_max_freqs.size();
+    c.list_size = a.docs.size();
+    c.ub = a.weight *
+           (std::log(static_cast<double>(a.max_freq) + c.mu_cp) - c.bg);
+    c.freq_ub.assign(a.max_freq + 1, -1.0);
+    counters->postings_total += hi - lo;
+    cursors.push_back(c);
+  }
+  // Doc-sorted view of the not-yet-exhausted cursors as packed keys,
+  // (doc << 16) | atom index. One flat word per cursor keeps the order
+  // maintenance branch-cheap (uint64 compares, no indirection), and the
+  // index in the low bits makes equal-doc runs ascend by atom order — the
+  // property evaluation relies on to gather SoA lanes in exhaustive-path
+  // order.
+  SQE_CHECK(num_atoms < (size_t{1} << 16));
+  constexpr uint64_t kAtomMask = (uint64_t{1} << 16) - 1;
+  auto key_of = [&](size_t i) {
+    return (static_cast<uint64_t>(cursors[i].Doc()) << 16) |
+           static_cast<uint64_t>(i);
+  };
+  std::vector<uint64_t> order;
+  order.reserve(num_atoms);
+  std::vector<char> exhausted(num_atoms, 0);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (!cursors[i].AtEnd()) {
+      order.push_back(key_of(i));
+    } else {
+      exhausted[i] = 1;  // nothing in range from the start
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<uint64_t> merge_buf(order.size());
+  // Term bounds in a flat atom-indexed array: the pivot scan touches one
+  // per cursor per round, and the whole array is a few cache lines — the
+  // Cursor structs it would otherwise stride through are not.
+  std::vector<double> ubs(num_atoms);
+  for (size_t i = 0; i < cursors.size(); ++i) ubs[i] = cursors[i].ub;
+
+  // MaxScore-style essential/non-essential split. Once θ grows past the
+  // point where the lowest-bound atoms TOGETHER cannot lift a document
+  // over it, those atoms stop participating in the doc-sorted merge: their
+  // summed bound rides along as a constant (`nonessential_sum`) in every
+  // pruning decision, and their actual postings are consulted — by a
+  // forward seek — only for documents that survive all bounds. Wide
+  // expanded queries are exactly where this pays: dozens of low-weight
+  // tail atoms would otherwise keep every document in the candidate union
+  // and cap every block skip at the next union document. θ only grows, so
+  // demotion is monotone — at most num_atoms demotions per query.
+  std::vector<size_t> by_ub(num_atoms);
+  for (size_t i = 0; i < num_atoms; ++i) by_ub[i] = i;
+  std::sort(by_ub.begin(), by_ub.end(), [&](size_t a, size_t b) {
+    if (ubs[a] != ubs[b]) return ubs[a] < ubs[b];
+    return a < b;
+  });
+  size_t next_demotion = 0;
+  double nonessential_sum = 0.0;
+  // Demoted atoms in demotion (= ascending-bound) order, with prefix sums
+  // of their term bounds: ne_prefix[j] bounds the joint contribution of the
+  // first j demoted atoms. Candidate evaluation walks this list backwards
+  // (largest bound first) and stops as soon as the exact score so far plus
+  // ne_prefix of the unvisited rest cannot reach θ.
+  std::vector<size_t> nonessential;
+  nonessential.reserve(num_atoms);
+  std::vector<double> ne_prefix(1, 0.0);
+  ne_prefix.reserve(num_atoms + 1);
+
+  auto better = [](const ScoredDoc& x, const ScoredDoc& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.doc < y.doc;
+  };
+  ResultList& heap = scratch->heap_;
+  heap.clear();
+  const size_t keep = std::min(k, range_docs);
+  auto offer = [&](const ScoredDoc& sd) {
+    if (heap.size() < keep) {
+      heap.push_back(sd);
+      std::push_heap(heap.begin(), heap.end(), better);
+      return true;
+    }
+    if (!better(sd, heap.front())) return false;
+    std::pop_heap(heap.begin(), heap.end(), better);
+    heap.back() = sd;
+    std::push_heap(heap.begin(), heap.end(), better);
+    return true;
+  };
+
+  // θ is live from the start: the range's keep-th shortest document scores
+  // at least background_const − log(len+μ) on background mass alone, and
+  // delta(D) >= 0 means keep documents already beat that — so the k-th best
+  // final score can never fall below θ0, and pruning against it before the
+  // heap fills is exact.
+  const double theta0 =
+      background_const -
+      std::log(static_cast<double>(idx.DocLength(docs_by_length[keep - 1])) +
+               mu);
+  double theta = theta0;
+  auto update_theta = [&] {
+    if (heap.size() == keep) theta = std::max(theta0, heap.front().score);
+  };
+  // Length part of every upper bound: the shortest document in range has
+  // the largest −log(|D|+μ).
+  const double base =
+      background_const -
+      std::log(static_cast<double>(idx.DocLength(docs_by_length[0])) + mu);
+
+  // Per-evaluation SoA lanes, in atom order.
+  std::vector<size_t> lane_atom(num_atoms);
+  std::vector<uint32_t> lane_freq(num_atoms);
+  std::vector<double> lane_mu_cp(num_atoms);
+  std::vector<double> lane_bg(num_atoms);
+  std::vector<double> lane_w(num_atoms);
+  scratch->contrib_.resize(std::max(kScoreBatchSize, num_atoms));
+  double* const contrib = scratch->contrib_.data();
+
+  // Every branch of the loop moves cursors belonging to a PREFIX of the
+  // doc-sorted order, and cursors only move forward — so order is restored
+  // by recomputing the prefix's keys, dropping exhausted cursors, sorting
+  // the (small) prefix and merging it with the untouched sorted tail.
+  // O(m log m + |order|) per round instead of a full comparator sort.
+  auto repair_prefix = [&](size_t m) {
+    size_t w = 0;
+    for (size_t i = 0; i < m; ++i) {
+      const size_t ci = static_cast<size_t>(order[i] & kAtomMask);
+      if (!cursors[ci].AtEnd()) {
+        order[w++] = key_of(ci);
+      } else {
+        exhausted[ci] = 1;
+      }
+    }
+    std::sort(order.begin(), order.begin() + w);
+    const size_t merged = static_cast<size_t>(
+        std::merge(order.begin(), order.begin() + w, order.begin() + m,
+                   order.end(), merge_buf.begin()) -
+        merge_buf.begin());
+    std::copy(merge_buf.begin(), merge_buf.begin() + merged, order.begin());
+    order.resize(merged);
+  };
+
+  // Demotes essential cursors (smallest bound first) while even the summed
+  // demoted bounds cannot reach θ. A document seen only by demoted atoms
+  // scores at most base + nonessential_sum < θs, so dropping their cursors
+  // from the merge loses no candidate; every later bound adds
+  // nonessential_sum back in, keeping it an upper bound for the demoted
+  // atoms' true contributions.
+  auto maybe_demote = [&] {
+    const double theta_s = SlackedThreshold(theta);
+    while (next_demotion < by_ub.size()) {
+      const size_t ci = by_ub[next_demotion];
+      if (exhausted[ci]) {
+        ++next_demotion;
+        continue;
+      }
+      if (base + nonessential_sum + ubs[ci] >= theta_s) break;
+      nonessential_sum += ubs[ci];
+      nonessential.push_back(ci);
+      ne_prefix.push_back(nonessential_sum);
+      ++next_demotion;
+      auto it = std::find(order.begin(), order.end(), key_of(ci));
+      SQE_DCHECK(it != order.end());
+      order.erase(it);
+    }
+  };
+  maybe_demote();
+
+  while (!order.empty()) {
+    const double theta_s = SlackedThreshold(theta);
+
+    // Pivot: shortest prefix of doc-sorted cursors whose term-level bounds
+    // could reach θ. No such prefix means no remaining document can.
+    size_t pivot = order.size();
+    double sum = nonessential_sum;
+    for (size_t i = 0; i < order.size(); ++i) {
+      sum += ubs[order[i] & kAtomMask];
+      if (base + sum >= theta_s) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == order.size()) break;
+    const index::DocId d = static_cast<index::DocId>(order[pivot] >> 16);
+
+    // Everything at the pivot document participates in the block bound and
+    // the skip target, so a skip can never jump over a contributor.
+    size_t q = pivot;
+    while (q + 1 < order.size() &&
+           static_cast<index::DocId>(order[q + 1] >> 16) == d) {
+      ++q;
+    }
+
+    // Block-max refinement over the pivot prefix.
+    double block_sum = 0.0;
+    index::DocId min_boundary = std::numeric_limits<index::DocId>::max();
+    for (size_t i = 0; i <= q; ++i) {
+      Cursor& c = cursors[order[i] & kAtomMask];
+      if (c.ShallowAdvance(d)) {
+        block_sum += c.BlockUb();
+        min_boundary = std::min(min_boundary, c.BlockLastDoc(c.block));
+      }
+    }
+    if (base + nonessential_sum + block_sum < theta_s) {
+      // Every document in [d, next) is covered by the blocks just bounded
+      // (next stops at the earliest block boundary and at the first cursor
+      // beyond the prefix), so the whole span is skipped without decoding.
+      ++counters->block_skips;
+      index::DocId next =
+          min_boundary == std::numeric_limits<index::DocId>::max()
+              ? end
+              : min_boundary + 1;
+      if (q + 1 < order.size()) {
+        next = std::min(next,
+                        static_cast<index::DocId>(order[q + 1] >> 16));
+      }
+      next = std::max(next, d + 1);  // progress even on degenerate bounds
+      for (size_t i = 0; i <= q; ++i) {
+        cursors[order[i] & kAtomMask].SeekTo(next);
+      }
+      repair_prefix(q + 1);
+      continue;
+    }
+
+    // Evaluate d. Prefix cursors trailing the pivot (doc < d) first jump
+    // straight to d: any document d' < d still ahead of us is reachable
+    // only through cursors currently positioned at docs <= d' — a subset
+    // of the strict prefix below the pivot, whose cumulative bound is
+    // below θs by the pivot's minimality (and bounds are non-negative, so
+    // subsets bound no higher) — so no such d' can enter the top-k.
+    // Trailing cursors that contain d land exactly on it and contribute a
+    // lane, making the lane set every atom containing d (cursors beyond q
+    // sit strictly past d); sorting the lane atoms recovers atom order, so
+    // the sequential-sum reduction reproduces the exhaustive accumulation
+    // bit for bit.
+    size_t n = 0;
+    for (size_t i = 0; i <= q; ++i) {
+      const size_t ci = static_cast<size_t>(order[i] & kAtomMask);
+      Cursor& c = cursors[ci];
+      if (c.Doc() < d) c.SeekTo(d);
+      if (!c.AtEnd() && c.Doc() == d) lane_atom[n++] = ci;
+    }
+    SQE_DCHECK(n > 0);  // the pivot cursor itself sits on d
+
+    // Tighter bounds now that d is pinned down, from cheapest to dearest,
+    // each one folding in more exact information. IEEE multiplication and
+    // addition are monotone and the ε slack absorbs libm's log rounding and
+    // summation-order ulps, so bound < θs really does imply score < θ.
+    //
+    // (1) EXACT length normalization plus block maxima of the essential
+    // atoms that actually contain d (ShallowAdvance(d) already ran for
+    // every prefix cursor, so BlockUb is the right block), plus the demoted
+    // atoms' summed term bounds.
+    const double len_part =
+        std::log(static_cast<double>(idx.DocLength(d)) + mu);
+    const size_t n_essential = n;
+    double lane_bound = nonessential_sum;
+    for (size_t i = 0; i < n; ++i) lane_bound += cursors[lane_atom[i]].BlockUb();
+    bool pruned = background_const - len_part + lane_bound < theta_s;
+
+    // (2) EXACT essential contributions (the frequencies are already in
+    // hand; one log per lane) plus the demoted atoms' summed term bounds.
+    // After heavy demotion this is the bound that carries the query: block
+    // maxima bound a whole 128-posting block, exact contributions bound
+    // nothing away — only the demoted tail stays estimated.
+    double exact = 0.0;
+    if (!pruned) {
+      for (size_t i = 0; i < n; ++i) {
+        Cursor& c = cursors[lane_atom[i]];
+        exact += c.ContribFor(c.freqs[c.pos]);
+      }
+      pruned = background_const - len_part + exact + nonessential_sum <
+               theta_s;
+    }
+
+    // (3) Walk the demoted atoms largest-bound first, replacing each term
+    // bound with the atom's exact contribution (a galloping forward seek —
+    // surviving candidates are dense relative to the demoted lists, so the
+    // gallop usually resolves within the cache line the cursor already
+    // sits on; positions stay monotone so this amortizes across the
+    // query). Most demoted atoms do not contain d, so each step usually
+    // drops the running bound by a full term bound; ne_prefix[j] bounds
+    // the unvisited rest, so the walk stops — and d is pruned — the moment
+    // exact + ne_prefix[j] cannot reach θ. Cursors left unseeked simply
+    // wait for the next surviving candidate.
+    bool ne_dirty = false;
+    if (!pruned) {
+      for (size_t j = nonessential.size(); j-- > 0;) {
+        const size_t ci = nonessential[j];
+        Cursor& c = cursors[ci];
+        c.SeekTo(d);
+        if (c.AtEnd()) {
+          exhausted[ci] = 1;
+          ne_dirty = true;
+        } else if (c.Doc() == d) {
+          exact += c.ContribFor(c.freqs[c.pos]);
+          lane_atom[n++] = ci;
+        }
+        if (background_const - len_part + exact + ne_prefix[j] < theta_s) {
+          pruned = true;
+          break;
+        }
+      }
+    }
+    if (ne_dirty) {
+      // Drop exhausted atoms; their bound leaves every estimate, which only
+      // tightens it. Demotion order (ascending bound) is preserved.
+      size_t w = 0;
+      nonessential_sum = 0.0;
+      ne_prefix.resize(1);
+      for (size_t j = 0; j < nonessential.size(); ++j) {
+        if (exhausted[nonessential[j]]) continue;
+        nonessential[w++] = nonessential[j];
+        nonessential_sum += ubs[nonessential[j]];
+        ne_prefix.push_back(nonessential_sum);
+      }
+      nonessential.resize(w);
+    }
+    if (pruned) {
+      ++counters->block_skips;
+      for (size_t i = 0; i < n_essential; ++i) ++cursors[lane_atom[i]].pos;
+      repair_prefix(q + 1);
+      continue;
+    }
+
+    // d survives all bounds: every atom containing d is now a lane (demoted
+    // cursors all seeked to d above). Sorting the lane atoms recovers atom
+    // order, so the sequential-sum reduction reproduces the exhaustive
+    // accumulation bit for bit.
+    std::sort(lane_atom.begin(), lane_atom.begin() + n);
+    for (size_t i = 0; i < n; ++i) {
+      const Cursor& c = cursors[lane_atom[i]];
+      lane_freq[i] = c.freqs[c.pos];
+      lane_mu_cp[i] = c.mu_cp;
+      lane_bg[i] = c.bg;
+      lane_w[i] = c.weight;
+    }
+    AtomContributionLanes(lane_freq.data(), lane_mu_cp.data(),
+                          lane_bg.data(), lane_w.data(), n, contrib);
+    const double delta = SequentialSum(contrib, n);
+    const double score = background_const + delta - len_part;
+    offer(ScoredDoc{d, score});
+    update_theta();
+    ++counters->docs_evaluated;
+    counters->postings_scored += n;
+    for (size_t i = 0; i < n; ++i) ++cursors[lane_atom[i]].pos;
+    repair_prefix(q + 1);
+    maybe_demote();
+  }
+
+  // Background tail: exactly the exhaustive path's fill, minus documents
+  // with postings (their true scores were handled — evaluated or exactly
+  // pruned — above; offering their background-only score here would rank
+  // them under a wrong value). Background scores are non-increasing along
+  // docs_by_length and equal-length runs ascend by DocId, so the first
+  // rejected candidate ends the scan: every later candidate loses to it.
+  auto matches_any_atom = [&](index::DocId doc) {
+    for (const Cursor& c : cursors) {
+      // Entries past `limit` are outside [begin, end) and entries before
+      // the original slice start are < begin, so searching [0, limit) finds
+      // exactly the in-range occurrences.
+      const index::DocId* last = c.docs + c.limit;
+      auto it = std::lower_bound(c.docs, last, doc);
+      if (it != last && *it == doc) return true;
+    }
+    return false;
+  };
+  for (index::DocId d : docs_by_length) {
+    SQE_DCHECK(d >= begin && d < end);
+    const double score =
+        background_const -
+        std::log(static_cast<double>(idx.DocLength(d)) + mu);
+    if (heap.size() == keep && !better(ScoredDoc{d, score}, heap.front())) {
+      break;
+    }
+    if (matches_any_atom(d)) continue;
+    offer(ScoredDoc{d, score});
+  }
+
+  std::sort_heap(heap.begin(), heap.end(), better);
+  return ResultList(heap.begin(), heap.end());
+}
+
+WandStats WandRetriever::Stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+void WandRetriever::RecordPruned(const QueryCounters& counters) const {
+  MutexLock lock(&stats_mu_);
+  ++stats_.queries;
+  stats_.postings_total += counters.postings_total;
+  stats_.postings_scored += counters.postings_scored;
+  stats_.docs_evaluated += counters.docs_evaluated;
+  stats_.block_skips += counters.block_skips;
+}
+
+void WandRetriever::RecordFallback() const {
+  MutexLock lock(&stats_mu_);
+  ++stats_.fallbacks;
+}
+
+}  // namespace sqe::retrieval

@@ -1,0 +1,136 @@
+// WandRetriever: Block-Max WAND dynamic pruning over the exhaustive
+// Retriever's Resolve/RetrieveRange split.
+//
+// The exhaustive path scores every posting of every atom. For the wide
+// queries structural expansion produces (dozens of weighted atoms), most of
+// that work goes into documents that can never reach the top-k. WAND skips
+// it: cursors over the atoms' doc-sorted postings advance doc-at-a-time,
+// and a document is fully scored only if the sum of its atoms' score upper
+// bounds can beat the current k-th best score θ. Block-max tables (per-term
+// and per-128-posting maxima stored in the index snapshot, see
+// index/postings.h) tighten the bounds locally, letting the scorer skip
+// whole blocks — and, through the skip target, whole doc-id spans — without
+// decoding them.
+//
+// Pruning is EXACT, not approximate. The contract — proven by construction
+// here, asserted bit-for-bit against the exhaustive oracle in
+// tests/wand_test.cc, and gated in CI — is that for every (query, range,
+// k, shard count, cache state) the result list is byte-identical to
+// Retriever::RetrieveRange. The argument, in brief (DESIGN.md §7d has the
+// full version):
+//
+//  1. Every document's score decomposes as bg(D) + delta(D) where
+//     bg(D) = background_const − log(|D|+μ) and delta(D) ≥ 0 is the sum of
+//     per-atom contributions ω_a·(log(tf+μp_a) − log(μp_a)), each ≥ 0
+//     because tf ≥ 0 ⇒ log is non-decreasing. Term/block maxima therefore
+//     upper-bound delta terms, and bg of the (k)-th shortest document
+//     lower-bounds the eventual θ — so θ is seeded before any scoring.
+//  2. A document is skipped only when its upper bound is STRICTLY below the
+//     slacked threshold θ − ε(θ). Ties must be evaluated (the ranking
+//     tie-breaks by ascending DocId), and the multiplicative ε absorbs any
+//     non-monotone libm rounding between the bound's arithmetic and the
+//     true score's.
+//  3. Documents that survive pruning are scored by the SAME floating-point
+//     operations in the SAME (atom) order as the exhaustive path — the
+//     shared SoA kernels in score_batch.h — so the surviving candidate set
+//     yields the same heap contents, and top-k of a fixed candidate set is
+//     independent of visit order.
+//
+// Phrase atoms carry no block-max tables (their postings are assembled per
+// query), so any query containing one falls back to the exhaustive scorer
+// wholesale. The fall back is per-query, never per-atom: mixing pruned and
+// unpruned atoms would change accumulation order.
+#ifndef SQE_RETRIEVAL_WAND_RETRIEVER_H_
+#define SQE_RETRIEVAL_WAND_RETRIEVER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+#include "index/types.h"
+#include "retrieval/query.h"
+#include "retrieval/result.h"
+#include "retrieval/retriever.h"
+
+namespace sqe::retrieval {
+
+/// Counter snapshot of the pruned scorer's telemetry (see
+/// WandRetriever::Stats). Counters accumulate across queries and threads.
+struct WandStats {
+  uint64_t queries = 0;    // retrievals served by the pruned path
+  uint64_t fallbacks = 0;  // retrievals routed to the exhaustive scorer
+  /// Postings inside the scored range across all pruned retrievals, and how
+  /// many of them were actually decoded into a document evaluation. Their
+  /// ratio is the headline pruning metric: skipped = 1 − scored/total.
+  uint64_t postings_total = 0;
+  uint64_t postings_scored = 0;
+  uint64_t docs_evaluated = 0;  // documents fully scored
+  uint64_t block_skips = 0;     // shallow advances past a block-max bound
+
+  double SkipFraction() const {
+    return postings_total == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(postings_scored) /
+                           static_cast<double>(postings_total);
+  }
+  std::string ToString() const;
+};
+
+/// Pruned scorer bound to an exhaustive Retriever (for the index, options,
+/// resolution, and the fallback path). Thread-compatible like Retriever:
+/// all methods const, concurrent callers pass their own RetrieverScratch;
+/// the telemetry block is the only shared mutable state (mutex-guarded).
+class WandRetriever {
+ public:
+  /// `base` must outlive the WandRetriever.
+  explicit WandRetriever(const Retriever* base) : base_(base) {
+    SQE_CHECK(base != nullptr);
+  }
+  SQE_DISALLOW_COPY_AND_ASSIGN(WandRetriever);
+
+  /// Drop-in for Retriever::Retrieve: top `k` over the whole collection,
+  /// bit-identical to the exhaustive ranking.
+  ResultList Retrieve(const Query& query, size_t k,
+                      RetrieverScratch* scratch) const;
+
+  /// Drop-in for Retriever::RetrieveRange with the same contract (contiguous
+  /// [begin, end) range, `docs_by_length` exactly the range's documents in
+  /// (length asc, DocId asc) order). Composes with ShardRouter /
+  /// MergeShardTopK exactly as the exhaustive scorer does.
+  ResultList RetrieveRange(const ResolvedQuery& resolved, index::DocId begin,
+                           index::DocId end,
+                           std::span<const index::DocId> docs_by_length,
+                           size_t k, RetrieverScratch* scratch) const;
+
+  const Retriever& base() const { return *base_; }
+  WandStats Stats() const SQE_EXCLUDES(stats_mu_);
+
+ private:
+  // One pruned retrieval's counters, merged into stats_ at the end.
+  struct QueryCounters {
+    uint64_t postings_total = 0;
+    uint64_t postings_scored = 0;
+    uint64_t docs_evaluated = 0;
+    uint64_t block_skips = 0;
+  };
+
+  ResultList PrunedRange(const ResolvedQuery& resolved, index::DocId begin,
+                         index::DocId end,
+                         std::span<const index::DocId> docs_by_length,
+                         size_t k, RetrieverScratch* scratch,
+                         QueryCounters* counters) const;
+
+  void RecordPruned(const QueryCounters& counters) const
+      SQE_EXCLUDES(stats_mu_);
+  void RecordFallback() const SQE_EXCLUDES(stats_mu_);
+
+  const Retriever* base_;
+  mutable Mutex stats_mu_;
+  mutable WandStats stats_ SQE_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace sqe::retrieval
+
+#endif  // SQE_RETRIEVAL_WAND_RETRIEVER_H_

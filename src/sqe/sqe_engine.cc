@@ -17,8 +17,13 @@ SqeEngine::SqeEngine(const kb::KnowledgeBase* kb,
       query_builder_(kb, analyzer, config.query_builder),
       retriever_(index, config.retriever) {
   SQE_CHECK(kb != nullptr && index != nullptr && analyzer != nullptr);
+  if (config_.pruning.enabled) {
+    wand_ = std::make_unique<retrieval::WandRetriever>(&retriever_);
+  }
   if (config_.cache.enabled) {
     cache_ = std::make_unique<SqeCache>(config_.cache);
+    // Deliberately NOT part of the digest: pruning is bit-identical to
+    // exhaustive scoring, so pruned and unpruned engines may share entries.
     cache_options_digest_ =
         SqeCache::OptionsDigest(config_.query_builder, config_.retriever);
   }
@@ -26,7 +31,7 @@ SqeEngine::SqeEngine(const kb::KnowledgeBase* kb,
     router_ = std::make_unique<retrieval::ShardRouter>(
         index, config_.sharding.num_shards);
     sharded_retriever_ = std::make_unique<retrieval::ShardedRetriever>(
-        &retriever_, router_.get());
+        &retriever_, router_.get(), wand_.get());
   }
 }
 
@@ -96,7 +101,10 @@ retrieval::ResultList SqeEngine::RetrieveTopK(
   // this is bit-identical to the shard sweep + merge while skipping its
   // per-shard fixed costs (subrange searches, per-shard tails). The sweep
   // path is what the pooled fan-out and the batch grid use; its equivalence
-  // is asserted by the shard determinism tests.
+  // is asserted by the shard determinism tests. With pruning on, the WAND
+  // scorer substitutes on both paths — same results, fewer decoded
+  // postings.
+  if (wand_ != nullptr) return wand_->Retrieve(query, k, scratch);
   return retriever_.Retrieve(query, k, scratch);
 }
 
@@ -299,7 +307,8 @@ SqeRunResult SqeEngine::RunWithGraph(std::string_view user_query,
   out.graph = graph;
   out.query = query_builder_.Build(user_query, graph, QueryParts::All());
   Timer retrieval_timer;
-  out.results = retriever_.Retrieve(out.query, k);
+  retrieval::RetrieverScratch scratch;
+  out.results = RetrieveTopK(out.query, k, &scratch);
   out.retrieval_ms = retrieval_timer.ElapsedMillis();
   out.total_ms = total.ElapsedMillis();
   return out;
@@ -311,7 +320,8 @@ retrieval::ResultList SqeEngine::RunBaseline(
   QueryGraph graph;
   graph.query_nodes.assign(query_nodes.begin(), query_nodes.end());
   retrieval::Query query = query_builder_.Build(user_query, graph, parts);
-  return retriever_.Retrieve(query, k);
+  retrieval::RetrieverScratch scratch;
+  return RetrieveTopK(query, k, &scratch);
 }
 
 SqeCRunResult SqeEngine::RunSqeC(std::string_view user_query,

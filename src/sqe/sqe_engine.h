@@ -63,9 +63,24 @@ struct ShardingOptions {
   size_t num_shards = 1;
 };
 
+struct PruningOptions {
+  /// Opt-in Block-Max WAND dynamic pruning (see retrieval/wand_retriever.h).
+  /// Off by default: the exhaustive scorer remains the reference path.
+  /// When on, every retrieval — pool-less, pooled shard fan-out, batch
+  /// grid, and the serving sweep's per-shard slices — goes through the
+  /// pruned scorer, whose results are bit-identical to exhaustive scoring
+  /// (CI-gated), so rankings, cache entries, and cache keys are unchanged.
+  /// Queries containing phrase atoms fall back to exhaustive scoring.
+  bool enabled = false;
+};
+
 struct SqeEngineConfig {
   QueryBuilderOptions query_builder;
   retrieval::RetrieverOptions retriever;
+  /// Opt-in dynamic pruning for wide expanded queries. Orthogonal to the
+  /// cache and sharding knobs below precisely because it never changes a
+  /// result byte — only how much posting data is decoded to produce it.
+  PruningOptions pruning;
   /// Opt-in query-graph/result caching (see sqe/sqe_cache.h). Disabled by
   /// default: existing callers and benches pay nothing. When enabled,
   /// RunSqe/RunSqeC/RunBatch hits skip motif traversal and retrieval while
@@ -188,6 +203,14 @@ class SqeEngine {
     return cache_ != nullptr ? cache_->Stats() : SqeCacheStats{};
   }
 
+  // ---- pruning --------------------------------------------------------------
+
+  bool pruning_enabled() const { return wand_ != nullptr; }
+  /// Pruned-scorer telemetry snapshot; all-zero when pruning is off.
+  retrieval::WandStats wand_stats() const {
+    return wand_ != nullptr ? wand_->Stats() : retrieval::WandStats{};
+  }
+
   // ---- sharding -------------------------------------------------------------
 
   bool sharded() const { return router_ != nullptr; }
@@ -239,6 +262,9 @@ class SqeEngine {
   MotifFinder motif_finder_;
   ExpandedQueryBuilder query_builder_;
   retrieval::Retriever retriever_;
+  // Immutable after construction (stats counters are internally
+  // synchronized); null when config_.pruning.enabled is false.
+  std::unique_ptr<retrieval::WandRetriever> wand_;
   // Internally synchronized (sharded mutexes), so const engine methods may
   // use it concurrently; null when config_.cache.enabled is false.
   std::unique_ptr<SqeCache> cache_;

@@ -11,6 +11,8 @@
 
 #include "common/random.h"
 #include "index/inverted_index.h"
+#include "index/postings.h"
+#include "io/coding.h"
 #include "io/file.h"
 #include "kb/kb_builder.h"
 #include "kb/knowledge_base.h"
@@ -177,6 +179,197 @@ TEST(SnapshotFuzzTest, ResignedCorruptKbPayloadsAreRejectedByValidation) {
   // validation (a few can be semantically harmless, e.g. flipping a title
   // character).
   EXPECT_GE(rejected, kMutationsPerKind / 2);
+}
+
+// ---- targeted block-max corruption ------------------------------------------
+//
+// The "blockmax" block (snapshot v2) is derived data the pruned scorer
+// trusts for skip decisions: a deflated maximum would silently drop true
+// top-k documents. Every structural or value corruption of the tables —
+// re-signed with a valid CRC so it reaches the decoder and Validate(), as
+// a buggy writer would — must come back Status::Corruption, never a crash
+// (these run under ASan+UBSan in CI) and never a loaded index.
+
+constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
+
+struct BlockMaxTable {
+  uint32_t max_freq = 0;
+  std::vector<uint32_t> blocks;
+};
+
+std::vector<BlockMaxTable> DecodeBlockMax(std::string_view payload) {
+  std::vector<BlockMaxTable> tables;
+  uint64_t num_terms = 0;
+  EXPECT_TRUE(io::GetVarint64(&payload, &num_terms));
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    BlockMaxTable table;
+    uint64_t num_blocks = 0;
+    EXPECT_TRUE(io::GetVarint32(&payload, &table.max_freq));
+    EXPECT_TRUE(io::GetVarint64(&payload, &num_blocks));
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      uint32_t m = 0;
+      EXPECT_TRUE(io::GetVarint32(&payload, &m));
+      table.blocks.push_back(m);
+    }
+    tables.push_back(std::move(table));
+  }
+  EXPECT_TRUE(payload.empty());
+  return tables;
+}
+
+std::string EncodeBlockMax(uint64_t num_terms_field,
+                           const std::vector<BlockMaxTable>& tables) {
+  std::string out;
+  io::PutVarint64(&out, num_terms_field);
+  for (const BlockMaxTable& table : tables) {
+    io::PutVarint32(&out, table.max_freq);
+    io::PutVarint64(&out, table.blocks.size());
+    for (uint32_t m : table.blocks) io::PutVarint32(&out, m);
+  }
+  return out;
+}
+
+// Re-signs `image` with the "blockmax" payload replaced (CRCs valid, so
+// only decode + Validate stand between the corruption and a loaded index).
+// An empty optional drops the block entirely.
+std::string ResignWithBlockMax(const std::string& image,
+                               const std::string* new_payload) {
+  auto reader = io::SnapshotReader::Open(image, kIndexSnapshotMagic);
+  EXPECT_TRUE(reader.ok());
+  io::SnapshotWriter writer(kIndexSnapshotMagic, reader.value().version());
+  for (const std::string& name : reader.value().BlockNames()) {
+    if (name == "blockmax") {
+      if (new_payload != nullptr) writer.AddBlock(name, *new_payload);
+      continue;
+    }
+    auto block = reader.value().GetBlock(name);
+    EXPECT_TRUE(block.ok());
+    writer.AddBlock(name, std::string(block.value()));
+  }
+  return writer.Serialize();
+}
+
+void ExpectBlockMaxRejected(const std::string& image,
+                            const std::string& payload,
+                            const std::string& label) {
+  auto loaded = index::InvertedIndex::FromSnapshotString(
+      ResignWithBlockMax(image, &payload));
+  ASSERT_FALSE(loaded.ok()) << label;
+  EXPECT_TRUE(loaded.status().IsCorruption()) << label << ": "
+                                              << loaded.status().ToString();
+}
+
+TEST(SnapshotFuzzTest, BlockMaxTableCorruptionsAreRejected) {
+  index::InvertedIndex original = MakeFuzzIndex();
+  const std::string image = original.SerializeToString();
+
+  auto reader = io::SnapshotReader::Open(image, kIndexSnapshotMagic);
+  ASSERT_TRUE(reader.ok());
+  auto block = reader.value().GetBlock("blockmax");
+  ASSERT_TRUE(block.ok());
+  const std::string clean(block.value());
+  const std::vector<BlockMaxTable> tables = DecodeBlockMax(clean);
+  ASSERT_FALSE(tables.empty());
+
+  // Sanity: the re-sign round trip itself is lossless and loads fine.
+  {
+    auto loaded = index::InvertedIndex::FromSnapshotString(
+        ResignWithBlockMax(image, &clean));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value().Validate().ok());
+  }
+
+  // Find a term whose first block's maximum exceeds 1, so deflating it
+  // leaves a structurally plausible (> 0) but wrong value — the dangerous
+  // direction: a pruned scorer would skip documents it must score.
+  size_t deep = tables.size();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    if (!tables[t].blocks.empty() && tables[t].blocks[0] > 1) deep = t;
+  }
+  ASSERT_LT(deep, tables.size()) << "fuzz corpus lacks a freq>1 posting";
+
+  {
+    std::vector<BlockMaxTable> mutated = tables;
+    mutated[deep].blocks[0] -= 1;
+    ExpectBlockMaxRejected(image, EncodeBlockMax(tables.size(), mutated),
+                           "deflated block max");
+  }
+  {
+    std::vector<BlockMaxTable> mutated = tables;
+    mutated[0].blocks[0] += 1;
+    ExpectBlockMaxRejected(image, EncodeBlockMax(tables.size(), mutated),
+                           "inflated block max");
+  }
+  {
+    std::vector<BlockMaxTable> mutated = tables;
+    mutated[0].max_freq += 1;
+    ExpectBlockMaxRejected(image, EncodeBlockMax(tables.size(), mutated),
+                           "term max != contained max");
+  }
+  {
+    std::vector<BlockMaxTable> mutated = tables;
+    mutated[0].blocks.push_back(1);  // table longer than the posting list
+    ExpectBlockMaxRejected(image, EncodeBlockMax(tables.size(), mutated),
+                           "excess block entries");
+  }
+  {
+    std::vector<BlockMaxTable> mutated = tables;
+    mutated[deep].blocks.pop_back();  // table shorter than the posting list
+    ExpectBlockMaxRejected(image, EncodeBlockMax(tables.size(), mutated),
+                           "missing block entries");
+  }
+  {
+    // Term-count field disagrees with the postings block.
+    ExpectBlockMaxRejected(image, EncodeBlockMax(tables.size() + 1, tables),
+                           "term count mismatch");
+  }
+  {
+    // Truncations at every tail offset: headers, counts, and entries all
+    // cut mid-varint or mid-table. None may crash; all must be Corruption.
+    for (size_t cut = 0; cut < std::min<size_t>(clean.size(), 24); ++cut) {
+      ExpectBlockMaxRejected(
+          image, clean.substr(0, clean.size() - 1 - cut),
+          "truncated at -" + std::to_string(cut + 1));
+    }
+  }
+  {
+    std::string trailing = clean;
+    trailing.push_back('\0');
+    ExpectBlockMaxRejected(image, trailing, "trailing bytes");
+  }
+  {
+    // A v2 image with the block deleted outright must fail to open the
+    // block, not limp along with builder-recomputed tables.
+    auto loaded = index::InvertedIndex::FromSnapshotString(
+        ResignWithBlockMax(image, nullptr));
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+TEST(SnapshotFuzzTest, ResignedRandomBlockMaxBytesAreRejected) {
+  // Random byte-level mutations of the blockmax payload only. Validate()
+  // demands exact equality with the recomputed tables, so EVERY mutation
+  // that survives varint decoding must still be rejected — there is no
+  // "semantically harmless" direction for derived data.
+  index::InvertedIndex original = MakeFuzzIndex();
+  const std::string image = original.SerializeToString();
+  auto reader = io::SnapshotReader::Open(image, kIndexSnapshotMagic);
+  ASSERT_TRUE(reader.ok());
+  auto block = reader.value().GetBlock("blockmax");
+  ASSERT_TRUE(block.ok());
+  const std::string clean(block.value());
+
+  int tested = 0;
+  for (int seed = 0; seed < kMutationsPerKind; ++seed) {
+    Rng rng(0xB10CB10C + static_cast<uint64_t>(seed));
+    std::string mutated = Mutate(clean, rng);
+    if (mutated == clean) continue;
+    ++tested;
+    auto loaded = index::InvertedIndex::FromSnapshotString(
+        ResignWithBlockMax(image, &mutated));
+    EXPECT_FALSE(loaded.ok()) << "seed " << seed;
+  }
+  EXPECT_GE(tested, kMutationsPerKind / 2);
 }
 
 }  // namespace

@@ -1,0 +1,335 @@
+// WAND coverage: the Block-Max WAND pruned scorer must be bit-identical to
+// the exhaustive Retriever for every query shape, range partition, and k —
+// that is the entire contract (retrieval/wand_retriever.h). Hand-built
+// small indices pin the pivot/skip edge cases; a property test sweeps
+// random corpora × shard counts × k against the exhaustive oracle; and the
+// engine-level tests prove the --prune configuration composes with
+// sharding, pools, and the cache without changing a byte. Run under
+// SQE_SANITIZE=thread / address,undefined in CI (the "Pruning determinism
+// gate").
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "index/inverted_index.h"
+#include "retrieval/query.h"
+#include "retrieval/result.h"
+#include "retrieval/retriever.h"
+#include "retrieval/shard_router.h"
+#include "retrieval/sharded_retriever.h"
+#include "retrieval/wand_retriever.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+using index::DocId;
+using retrieval::Atom;
+using retrieval::Clause;
+using retrieval::Query;
+using retrieval::ResultList;
+using retrieval::Retriever;
+using retrieval::RetrieverOptions;
+using retrieval::RetrieverScratch;
+using retrieval::ShardRouter;
+using retrieval::WandRetriever;
+using retrieval::WandStats;
+
+// Bit-identical comparison: same docs, same score bytes, same order.
+void ExpectIdentical(const ResultList& got, const ResultList& want,
+                     const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].doc, want[i].doc) << label << " rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << label << " rank " << i;
+  }
+}
+
+// Exhaustive vs pruned over the full collection at one k.
+void CheckQuery(const Retriever& retriever, const WandRetriever& wand,
+                const Query& query, size_t k, const std::string& label) {
+  RetrieverScratch s1, s2;
+  ResultList want = retriever.Retrieve(query, k, &s1);
+  ResultList got = wand.Retrieve(query, k, &s2);
+  ExpectIdentical(got, want, label);
+}
+
+// ---- hand-built edge cases --------------------------------------------------
+
+TEST(WandRetrieverTest, SingleAtomQueryMatchesExhaustive) {
+  index::IndexBuilder builder;
+  builder.AddDocument("d0", {"cable", "car", "cable"});
+  builder.AddDocument("d1", {"cable"});
+  builder.AddDocument("d2", {"hill", "top"});
+  builder.AddDocument("d3", {"car", "car", "car", "car"});
+  index::InvertedIndex index = std::move(builder).Build();
+  Retriever retriever(&index);
+  WandRetriever wand(&retriever);
+  for (size_t k : {1u, 2u, 4u, 9u}) {
+    CheckQuery(retriever, wand, Query::FromTerms({"cable"}), k,
+               "single-atom k=" + std::to_string(k));
+    CheckQuery(retriever, wand, Query::FromTerms({"missing"}), k,
+               "unknown-term k=" + std::to_string(k));
+  }
+  WandStats stats = wand.Stats();
+  EXPECT_GT(stats.queries, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(WandRetrieverTest, AllEqualBlockMaximaNoBoundDiscrimination) {
+  // Every frequency is 1, so term-level and block-level upper bounds are
+  // identical everywhere and pruning gets no leverage from maxima — the
+  // threshold alone must carry it, and results must still be exact.
+  index::IndexBuilder builder;
+  for (int d = 0; d < 40; ++d) {
+    std::vector<std::string> words = {"alpha", "beta"};
+    if (d % 2 == 0) words.push_back("gamma");
+    if (d % 3 == 0) words.push_back("delta");
+    words.push_back("pad" + std::to_string(d % 7));
+    builder.AddDocument("d" + std::to_string(d), words);
+  }
+  index::InvertedIndex index = std::move(builder).Build();
+  Retriever retriever(&index);
+  WandRetriever wand(&retriever);
+  for (size_t k : {1u, 3u, 10u, 40u, 100u}) {
+    CheckQuery(retriever, wand,
+               Query::FromTerms({"alpha", "gamma", "delta"}), k,
+               "all-equal k=" + std::to_string(k));
+  }
+}
+
+TEST(WandRetrieverTest, KGreaterThanMatchingDocs) {
+  // Only 2 documents match any atom but k asks for 6: the background tail
+  // must fill the remainder in exactly the exhaustive order.
+  index::IndexBuilder builder;
+  builder.AddDocument("m0", {"rare", "word", "here"});
+  builder.AddDocument("m1", {"rare"});
+  for (int d = 0; d < 5; ++d) {
+    builder.AddDocument("bg" + std::to_string(d),
+                        std::vector<std::string>(d + 1, "filler"));
+  }
+  index::InvertedIndex index = std::move(builder).Build();
+  Retriever retriever(&index);
+  WandRetriever wand(&retriever);
+  for (size_t k : {1u, 2u, 3u, 6u, 7u, 50u}) {
+    CheckQuery(retriever, wand, Query::FromTerms({"rare", "word"}), k,
+               "k>=matches k=" + std::to_string(k));
+  }
+}
+
+TEST(WandRetrieverTest, PhraseAtomFallsBackToExhaustive) {
+  index::IndexBuilder builder;
+  builder.AddDocument("d0", {"cable", "car", "cable", "car"});
+  builder.AddDocument("d1", {"car", "cable"});
+  builder.AddDocument("d2", {"cable", "cable", "car"});
+  index::InvertedIndex index = std::move(builder).Build();
+  Retriever retriever(&index);
+  WandRetriever wand(&retriever);
+
+  Query q;
+  Clause clause;
+  clause.atoms.push_back(Atom::Term("cable"));
+  clause.atoms.push_back(Atom::Phrase({"cable", "car"}, 2.0));
+  q.clauses.push_back(clause);
+
+  const uint64_t fallbacks_before = wand.Stats().fallbacks;
+  CheckQuery(retriever, wand, q, 3, "phrase-fallback");
+  WandStats stats = wand.Stats();
+  EXPECT_GT(stats.fallbacks, fallbacks_before);
+}
+
+TEST(WandRetrieverTest, MultiBlockListsSkipPostings) {
+  // >128 postings per term forces multiple blocks. "common" appears once
+  // everywhere; "spike" is frequent in a few late documents. With small k
+  // the threshold rises past the flat blocks' bounds quickly, so the scorer
+  // must skip postings — and still agree bit-for-bit.
+  index::IndexBuilder builder;
+  for (int d = 0; d < 400; ++d) {
+    std::vector<std::string> words = {"common"};
+    if (d % 97 == 3) {
+      for (int r = 0; r < 8; ++r) words.push_back("spike");
+    }
+    words.push_back("len" + std::to_string(d % 11));
+    builder.AddDocument("d" + std::to_string(d), words);
+  }
+  index::InvertedIndex index = std::move(builder).Build();
+  ASSERT_GT(index.Postings(index.LookupTerm("common")).NumBlocks(), 1u);
+
+  Retriever retriever(&index);
+  WandRetriever wand(&retriever);
+  for (size_t k : {1u, 5u, 10u}) {
+    CheckQuery(retriever, wand, Query::FromTerms({"common", "spike"}), k,
+               "multi-block k=" + std::to_string(k));
+  }
+  WandStats stats = wand.Stats();
+  EXPECT_GT(stats.postings_total, 0u);
+  EXPECT_LT(stats.postings_scored, stats.postings_total);
+  EXPECT_GT(stats.SkipFraction(), 0.0);
+}
+
+// ---- property test: random corpora × shards × k -----------------------------
+
+TEST(WandRetrieverPropertyTest, MatchesOracleAcrossCorporaShardsAndK) {
+  Rng rng(20260807);
+  for (int corpus = 0; corpus < 6; ++corpus) {
+    // Random corpus: zipf-ish draws from a small lexicon so posting lists
+    // overlap heavily and frequencies vary within and across blocks.
+    const size_t vocab = 8 + rng.NextBounded(24);
+    const size_t num_docs = 60 + rng.NextBounded(300);
+    index::IndexBuilder builder;
+    for (size_t d = 0; d < num_docs; ++d) {
+      const size_t len = 2 + rng.NextBounded(24);
+      std::vector<std::string> words;
+      words.reserve(len);
+      for (size_t w = 0; w < len; ++w) {
+        // Square the draw to skew toward low term ids (frequent terms).
+        const uint64_t r = rng.NextBounded(vocab * vocab);
+        words.push_back("t" + std::to_string(static_cast<size_t>(
+                                 r * r / (vocab * vocab * vocab))));
+      }
+      builder.AddDocument("d" + std::to_string(d), words);
+    }
+    index::InvertedIndex index = std::move(builder).Build();
+    RetrieverOptions options;
+    options.mu = 50.0 + static_cast<double>(rng.NextBounded(500));
+    Retriever retriever(&index, options);
+    WandRetriever wand(&retriever);
+
+    for (int qi = 0; qi < 8; ++qi) {
+      Query query;
+      Clause clause;
+      const size_t num_atoms = 1 + rng.NextBounded(20);
+      for (size_t a = 0; a < num_atoms; ++a) {
+        Atom atom =
+            Atom::Term("t" + std::to_string(rng.NextBounded(vocab + 2)));
+        atom.weight = 0.05 + 0.1 * static_cast<double>(rng.NextBounded(40));
+        clause.atoms.push_back(atom);
+      }
+      query.clauses.push_back(clause);
+
+      for (size_t k : {1u, 10u, 100u}) {
+        RetrieverScratch scratch;
+        ResultList want = retriever.Retrieve(query, k, &scratch);
+        const std::string label = "corpus " + std::to_string(corpus) +
+                                  " query " + std::to_string(qi) + " k=" +
+                                  std::to_string(k);
+        ResultList got = wand.Retrieve(query, k, &scratch);
+        ExpectIdentical(got, want, label + " unsharded");
+
+        for (size_t shards : {1u, 3u}) {
+          ShardRouter router(&index, shards);
+          retrieval::ResolvedQuery resolved = retriever.Resolve(query);
+          std::vector<ResultList> lists(router.num_shards());
+          for (size_t s = 0; s < router.num_shards(); ++s) {
+            lists[s] = wand.RetrieveRange(resolved, router.shard_begin(s),
+                                          router.shard_end(s),
+                                          router.ShardDocsByLength(s), k,
+                                          &scratch);
+          }
+          ResultList merged = retrieval::MergeShardTopK(lists, k);
+          ExpectIdentical(merged, want,
+                          label + " shards=" + std::to_string(shards));
+        }
+      }
+    }
+  }
+}
+
+// ---- engine-level composition ----------------------------------------------
+
+struct WandEngineFixture {
+  synth::World world;
+  synth::Dataset dataset;
+
+  WandEngineFixture()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())) {}
+
+  expansion::SqeEngineConfig MakeConfig(bool prune, size_t shards,
+                                        bool cache) const {
+    expansion::SqeEngineConfig config;
+    config.retriever.mu = dataset.retrieval_mu;
+    config.pruning.enabled = prune;
+    config.sharding.num_shards = shards;
+    config.cache.enabled = cache;
+    return config;
+  }
+
+  expansion::SqeEngine MakeEngine(bool prune, size_t shards,
+                                  bool cache) const {
+    return expansion::SqeEngine(&world.kb, &dataset.index,
+                                dataset.linker.get(), &dataset.analyzer(),
+                                MakeConfig(prune, shards, cache));
+  }
+
+  std::vector<expansion::BatchQueryInput> MakeBatch() const {
+    std::vector<expansion::BatchQueryInput> batch;
+    for (const synth::GeneratedQuery& q : dataset.query_set.queries) {
+      batch.push_back({q.text, q.true_entities});
+    }
+    return batch;
+  }
+};
+
+WandEngineFixture& SharedFixture() {
+  static WandEngineFixture& fixture = *new WandEngineFixture();
+  return fixture;
+}
+
+TEST(SqeEnginePruningTest, PrunedBitIdenticalAcrossShardsPoolsAndCache) {
+  WandEngineFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  ASSERT_GE(batch.size(), 4u);
+  constexpr size_t kDepth = 50;
+  const auto motifs = expansion::MotifConfig::Both();
+
+  expansion::SqeEngine reference_engine = f.MakeEngine(false, 1, false);
+  std::vector<expansion::SqeRunResult> reference =
+      reference_engine.RunBatch(batch, motifs, kDepth, nullptr);
+
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    for (bool cache : {false, true}) {
+      expansion::SqeEngine pruned = f.MakeEngine(true, shards, cache);
+      EXPECT_TRUE(pruned.pruning_enabled());
+      for (size_t threads : {size_t{0}, size_t{3}}) {
+        ThreadPool pool(threads);
+        // Two passes: cache-cold then cache-warm (both no-ops when the
+        // cache is off). Every pass must match the exhaustive reference.
+        for (int pass = 0; pass < 2; ++pass) {
+          std::vector<expansion::SqeRunResult> got =
+              pruned.RunBatch(batch, motifs, kDepth, &pool);
+          ASSERT_EQ(got.size(), reference.size());
+          for (size_t qi = 0; qi < got.size(); ++qi) {
+            const std::string label =
+                "shards=" + std::to_string(shards) +
+                " cache=" + std::to_string(cache) +
+                " threads=" + std::to_string(threads) +
+                " pass=" + std::to_string(pass) +
+                " query=" + std::to_string(qi);
+            ExpectIdentical(got[qi].results, reference[qi].results, label);
+          }
+        }
+      }
+      WandStats stats = pruned.wand_stats();
+      EXPECT_GT(stats.queries + stats.fallbacks, 0u);
+    }
+  }
+}
+
+TEST(SqeEnginePruningTest, DisabledEngineReportsZeroStats) {
+  WandEngineFixture& f = SharedFixture();
+  expansion::SqeEngine engine = f.MakeEngine(false, 1, false);
+  EXPECT_FALSE(engine.pruning_enabled());
+  WandStats stats = engine.wand_stats();
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.postings_total, 0u);
+}
+
+}  // namespace
+}  // namespace sqe

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the benchmark suite in Release and refreshes the committed
+# BENCH_*.json trajectory files at the repo root, so perf is comparable
+# across PRs. Run from anywhere inside the repo:
+#
+#   tools/run_benches.sh [build_dir]
+#
+# The build directory defaults to build-rel and is configured with
+# -DCMAKE_BUILD_TYPE=Release on first use (the default dev build carries no
+# optimization flags — never commit numbers from it). Note the usual caveat
+# for this container: 1 hardware thread, so threaded sections measure
+# overhead, not speedup; treat cross-PR deltas, not absolutes, as signal.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-rel}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target batch_throughput serving_latency \
+  micro_core
+
+cd "$build_dir"
+echo "==> batch_throughput"
+./bench/batch_throughput
+echo "==> serving_latency"
+./bench/serving_latency
+echo "==> micro_core"
+# The scoring-kernel microbenches, including the exhaustive-vs-WAND pruning
+# pair; headline per-query numbers live in BENCH_batch.json's `pruning`
+# object (written by batch_throughput above), this run is the detailed view.
+./bench/micro_core --benchmark_min_time=0.5
+
+cp BENCH_batch.json BENCH_serving.json "$repo_root/"
+echo "refreshed $repo_root/BENCH_batch.json and BENCH_serving.json"

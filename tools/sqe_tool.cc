@@ -152,7 +152,8 @@ uint64_t RankingDigest(const std::vector<expansion::SqeRunResult>& results,
   return digest;
 }
 
-int Batch(size_t num_threads, bool with_cache, size_t num_shards) {
+int Batch(size_t num_threads, bool with_cache, size_t num_shards,
+          bool with_prune) {
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
@@ -160,6 +161,7 @@ int Batch(size_t num_threads, bool with_cache, size_t num_shards) {
   config.retriever.mu = dataset.retrieval_mu;
   config.cache.enabled = with_cache;
   config.sharding.num_shards = num_shards;
+  config.pruning.enabled = with_prune;
   expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
                               &dataset.analyzer(), config);
 
@@ -193,6 +195,9 @@ int Batch(size_t num_threads, bool with_cache, size_t num_shards) {
   if (engine.sharded()) {
     std::printf("%s\n", engine.router_stats().ToString().c_str());
   }
+  if (engine.pruning_enabled()) {
+    std::printf("%s\n", engine.wand_stats().ToString().c_str());
+  }
   return 0;
 }
 
@@ -210,13 +215,15 @@ double Percentile(const std::vector<double>& sorted, double q) {
 // is the accounting contract — every submitted request resolves exactly
 // once and the status counters sum back to submitted.
 int ServeSim(size_t workers, size_t capacity, double deadline_ms,
-             size_t batch_every, size_t repeat, size_t num_shards) {
+             size_t batch_every, size_t repeat, size_t num_shards,
+             bool with_prune) {
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
   expansion::SqeEngineConfig config;
   config.retriever.mu = dataset.retrieval_mu;
   config.sharding.num_shards = num_shards;
+  config.pruning.enabled = with_prune;
   expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
                               &dataset.analyzer(), config);
 
@@ -263,6 +270,9 @@ int ServeSim(size_t workers, size_t capacity, double deadline_ms,
   std::printf("completed latency: p50 %.3f ms  p95 %.3f ms  (n=%zu)\n",
               Percentile(completed_ms, 0.50), Percentile(completed_ms, 0.95),
               completed_ms.size());
+  if (engine.pruning_enabled()) {
+    std::printf("%s\n", engine.wand_stats().ToString().c_str());
+  }
 
   if (stats.submitted != calls.size() ||
       stats.resolved() != stats.submitted) {
@@ -334,11 +344,12 @@ int Usage() {
                "  sqe_tool compile <in.dump> <out.snap>\n"
                "  sqe_tool kb-stats <in.dump|in.snap>\n"
                "  sqe_tool motifs <in.dump|in.snap> <article title>\n"
-               "  sqe_tool batch [num_threads] [--cache] [--shards N]\n"
+               "  sqe_tool batch [num_threads] [--cache] [--shards N] "
+               "[--prune]\n"
                "  sqe_tool serve-sim [--workers N] [--capacity C] "
                "[--deadline-ms D]\n"
                "                     [--batch-every K] [--repeat R] "
-               "[--shards S]\n"
+               "[--shards S] [--prune]\n"
                "  sqe_tool index shard-info <num_shards> [index.snap]\n");
   return 1;
 }
@@ -351,10 +362,15 @@ int main(int argc, char** argv) {
   if (command == "batch") {
     size_t threads = ThreadPool::HardwareConcurrency();
     bool with_cache = false;
+    bool with_prune = false;
     size_t shards = 1;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--cache") == 0) {
         with_cache = true;
+        continue;
+      }
+      if (std::strcmp(argv[i], "--prune") == 0) {
+        with_prune = true;
         continue;
       }
       if (std::strcmp(argv[i], "--shards") == 0) {
@@ -382,7 +398,7 @@ int main(int argc, char** argv) {
       }
       threads = static_cast<size_t>(parsed);
     }
-    return Batch(threads, with_cache, shards);
+    return Batch(threads, with_cache, shards, with_prune);
   }
   if (command == "serve-sim") {
     size_t workers = 2;
@@ -391,6 +407,7 @@ int main(int argc, char** argv) {
     size_t batch_every = 4;
     size_t repeat = 1;
     size_t shards = 1;
+    bool with_prune = false;
     auto parse_size = [&](const char* flag, int* i, size_t lo, size_t hi,
                           size_t* out) {
       char* end = nullptr;
@@ -419,6 +436,8 @@ int main(int argc, char** argv) {
         if (!parse_size("--repeat", &i, 1, 4096, &repeat)) return 1;
       } else if (std::strcmp(argv[i], "--shards") == 0) {
         if (!parse_size("--shards", &i, 1, 4096, &shards)) return 1;
+      } else if (std::strcmp(argv[i], "--prune") == 0) {
+        with_prune = true;
       } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
         char* end = nullptr;
         double parsed =
@@ -436,7 +455,7 @@ int main(int argc, char** argv) {
       }
     }
     return ServeSim(workers, capacity, deadline_ms, batch_every, repeat,
-                    shards);
+                    shards, with_prune);
   }
   if (command == "index" && argc >= 4 &&
       std::strcmp(argv[2], "shard-info") == 0) {
