@@ -1,0 +1,33 @@
+// Fuzz target: index-side snapshot loaders — the v2 inverted-index format
+// (postings + blockmax blocks) and the shard manifest.
+//
+// Invariant under test: arbitrary bytes either fail to load with a clean
+// Status, or produce structures that pass their own deep validation. The
+// PR 2 posting-decode wraparound (delta-encoded doc gaps summing past
+// num_docs) lived exactly here, so its regression inputs are committed in
+// this target's corpus.
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "index/inverted_index.h"
+#include "index/shard_manifest.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string image(reinterpret_cast<const char*>(data), size);
+
+  auto index = sqe::index::InvertedIndex::FromSnapshotString(image);
+  if (index.ok()) {
+    SQE_CHECK(index->Validate().ok());
+    SQE_CHECK(!index->SerializeToString().empty());
+  }
+
+  // The same bytes double as a shard-manifest probe: distinct magic, so at
+  // most one of the two loaders gets past the header, but both must be
+  // robust to the other's (and any) framing.
+  auto manifest = sqe::index::ShardManifest::FromSnapshotString(std::move(image));
+  if (manifest.ok()) {
+    SQE_CHECK(manifest->Validate(manifest->num_docs()).ok());
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fuzz target: KB snapshot loader (kb::KnowledgeBase::FromSnapshotString).
+//
+// Invariant under test: arbitrary bytes either fail to load with a clean
+// Status, or load into a KnowledgeBase that passes its own deep Validate().
+// A crash, sanitizer report, or a loaded-but-invalid KB is a bug in the
+// loader's bounds/CRC checking.
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "kb/knowledge_base.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string image(reinterpret_cast<const char*>(data), size);
+  auto loaded = sqe::kb::KnowledgeBase::FromSnapshotString(std::move(image));
+  if (loaded.ok()) {
+    // Anything the loader accepts must also deep-validate: the load path
+    // may not be laxer than the integrity checker.
+    SQE_CHECK(loaded->Validate().ok());
+    // And a loaded KB must round-trip through its own writer.
+    SQE_CHECK(!loaded->SerializeToString().empty());
+  }
+  return 0;
+}

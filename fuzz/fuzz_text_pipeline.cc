@@ -1,0 +1,89 @@
+// Fuzz target: the text front door — Analyzer over raw query bytes, then
+// EntityLinker against a small fixed KB/surface-form dictionary.
+//
+// This is the path untrusted query strings actually take in serving, so it
+// must hold up against arbitrary (including invalid-UTF-8) input. Invariants
+// under test:
+//  - the analyzer never crashes and never emits empty tokens;
+//  - Dexter-path links (LinkTokens) reference real articles, carry
+//    normalized confidences, and their token spans are well-formed,
+//    in-bounds, ordered, and non-overlapping;
+//  - the full Link() pipeline (which may take the NER fallback, whose spans
+//    are heuristic) still only emits real articles with positive
+//    confidence and non-empty spans.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "entity/entity_linker.h"
+#include "entity/surface_forms.h"
+#include "kb/kb_builder.h"
+#include "kb/knowledge_base.h"
+#include "text/analyzer.h"
+
+namespace {
+
+using sqe::entity::EntityLinker;
+using sqe::entity::LinkedEntity;
+using sqe::entity::SurfaceFormDictionary;
+using sqe::kb::KbBuilder;
+using sqe::kb::KnowledgeBase;
+using sqe::text::Analyzer;
+
+struct Fixture {
+  Fixture() {
+    KbBuilder builder;
+    const auto ny = builder.AddArticle("New York City");
+    const auto york = builder.AddArticle("York");
+    const auto jazz = builder.AddArticle("Jazz");
+    const auto museum = builder.AddArticle("Museum of Modern Art");
+    const auto cities = builder.AddCategory("Cities");
+    builder.AddMembership(ny, cities);
+    builder.AddMembership(york, cities);
+    builder.AddReciprocalLink(ny, museum);
+    builder.AddArticleLink(jazz, ny);
+    kb = std::move(builder).Build();
+    dictionary = SurfaceFormDictionary::FromKbTitles(kb, analyzer);
+    dictionary.Finalize();
+  }
+
+  Analyzer analyzer;
+  KnowledgeBase kb;
+  SurfaceFormDictionary dictionary;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const Fixture* fixture = new Fixture;
+  const std::string_view raw(reinterpret_cast<const char*>(data), size);
+
+  const std::vector<std::string> tokens = fixture->analyzer.Analyze(raw);
+  for (const std::string& token : tokens) SQE_CHECK(!token.empty());
+
+  const EntityLinker linker(&fixture->dictionary, &fixture->analyzer);
+  const size_t num_articles = fixture->kb.NumArticles();
+
+  // Dexter path: spans come straight from the greedy longest-match scan, so
+  // the full invariant set applies.
+  size_t prev_end = 0;
+  for (const LinkedEntity& entity : linker.LinkTokens(tokens)) {
+    SQE_CHECK(entity.article < num_articles);
+    SQE_CHECK(entity.confidence > 0.0 && entity.confidence <= 1.0);
+    SQE_CHECK(entity.token_begin < entity.token_end);
+    SQE_CHECK(entity.token_end <= tokens.size());
+    SQE_CHECK(entity.token_begin >= prev_end);  // ordered, no overlap
+    prev_end = entity.token_end;
+  }
+
+  // Full pipeline, NER fallback included. Fallback spans are heuristic
+  // (prefix-stability of the analyzer), so only the core guarantees hold.
+  for (const LinkedEntity& entity : linker.Link(raw)) {
+    SQE_CHECK(entity.article < num_articles);
+    SQE_CHECK(entity.confidence > 0.0);
+    SQE_CHECK(entity.token_begin < entity.token_end);
+  }
+  return 0;
+}

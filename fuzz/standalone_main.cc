@@ -1,0 +1,64 @@
+// Replay driver for the fuzz harnesses on toolchains without libFuzzer.
+//
+// With clang and -DSQE_FUZZ=ON the harnesses link -fsanitize=fuzzer and
+// libFuzzer provides main(). Everywhere else (gcc builds, the default
+// ctest run) this main stands in: every argument is a corpus file or a
+// directory of corpus files, each executed through LLVMFuzzerTestOneInput
+// exactly once. Any crash/abort fails the run — which turns the committed
+// seed corpora into permanent regression tests.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read corpus file %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (arg.native().rfind('-', 0) == 0) continue;  // libFuzzer-style flag
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus file or dir>... (replay mode; build "
+                 "with clang and -DSQE_FUZZ=ON for coverage-guided "
+                 "fuzzing)\n",
+                 argv[0]);
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  int failures = 0;
+  for (const auto& f : files) failures += RunFile(f);
+  std::printf("replayed %zu corpus inputs, %d unreadable\n", files.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 
@@ -134,7 +135,7 @@ class BoundedLaneQueue {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"bounded_queue", kLockRankBoundedQueue};
   CondVar cv_;
   std::vector<std::deque<T>> lanes_ SQE_GUARDED_BY(mu_);
   size_t size_ SQE_GUARDED_BY(mu_) = 0;

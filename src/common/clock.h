@@ -19,6 +19,7 @@
 
 #include <chrono>
 
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 
@@ -76,7 +77,11 @@ class FakeClock final : public Clock {
   }
 
  private:
-  mutable Mutex mu_;
+  // Innermost leaf rank: Now() is read under the bounded queue's admission
+  // predicate and from arbitrary test phase hooks, and FakeClock has no
+  // waiters (nothing ever blocks *on* the clock — see the design note
+  // above), so its critical sections acquire nothing.
+  mutable Mutex mu_{"fake_clock", kLockRankFakeClock};
   TimePoint now_ SQE_GUARDED_BY(mu_);
 };
 

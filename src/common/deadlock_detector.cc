@@ -1,0 +1,239 @@
+#include "common/deadlock_detector.h"
+
+#ifndef NDEBUG
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqe::lockdep {
+namespace {
+
+// One entry of a thread's held-lock stack.
+struct HeldLock {
+  const void* mu = nullptr;
+  const char* name = nullptr;
+  int rank = kNoRank;
+  int node = -1;  // graph node id; -1 for try-acquired locks (no edges)
+};
+
+// The registry guards its graph with a raw spinlock rather than a
+// sqe::Mutex (which would recurse into the detector) or a std::mutex
+// (banned outside thread_annotations.h by tools/sqe_lint.py). Critical
+// sections are tiny and debug-only, so spinning is fine.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock* lock) : lock_(lock) { lock_->lock(); }
+  ~SpinGuard() { lock_->unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock* const lock_;
+};
+
+// The global lock-class graph: node per name, directed edge a -> b when b
+// was acquired while a was held. Never destroyed (intentionally leaked via
+// a function-local static pointer) so locks in static destructors still
+// resolve it.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* instance = new Registry;
+    return *instance;
+  }
+
+  int Intern(const char* name) {
+    SpinGuard guard(&lock_);
+    auto [it, inserted] = node_ids_.emplace(name, nodes_.size());
+    if (inserted) {
+      nodes_.emplace_back(name);
+      edges_.emplace_back();
+    }
+    return static_cast<int>(it->second);
+  }
+
+  /// Records edges held -> node (with `stack_desc` as provenance for new
+  /// ones) after checking for an inversion: a pre-existing path
+  /// node -> ... -> held. On inversion, fills both names and the stack
+  /// recorded with the first edge of the reverse path, and returns true.
+  bool AddEdgesAndCheck(const std::vector<HeldLock>& held, int node,
+                        const std::string& stack_desc, std::string* other_name,
+                        std::string* other_stack) {
+    SpinGuard guard(&lock_);
+    for (const HeldLock& h : held) {
+      if (h.node < 0 || h.node == node) continue;
+      if (PathExistsLocked(node, h.node)) {
+        *other_name = nodes_[static_cast<size_t>(h.node)];
+        // Provenance: the first hop of the reverse path was recorded with
+        // the held stack that established it.
+        int hop = FirstHopLocked(node, h.node);
+        auto it = edge_stacks_.find({node, hop});
+        *other_stack = it == edge_stacks_.end() ? "(unknown)" : it->second;
+        return true;
+      }
+    }
+    for (const HeldLock& h : held) {
+      if (h.node < 0 || h.node == node) continue;
+      if (edges_[static_cast<size_t>(h.node)].insert(node).second) {
+        edge_stacks_.emplace(std::make_pair(h.node, node), stack_desc);
+      }
+    }
+    return false;
+  }
+
+  size_t EdgeCount() {
+    SpinGuard guard(&lock_);
+    size_t n = 0;
+    for (const auto& out : edges_) n += out.size();
+    return n;
+  }
+
+ private:
+  Registry() = default;
+
+  // DFS from `from`, asking whether `to` is reachable. Graphs are tiny
+  // (one node per lock class) and this only runs in debug builds.
+  bool PathExistsLocked(int from, int to) {
+    if (from == to) return true;
+    std::vector<int> stack = {from};
+    std::set<int> seen = {from};
+    while (!stack.empty()) {
+      int n = stack.back();
+      stack.pop_back();
+      for (int next : edges_[static_cast<size_t>(n)]) {
+        if (next == to) return true;
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  // First hop of some path from -> ... -> to (a path is known to exist).
+  int FirstHopLocked(int from, int to) {
+    for (int next : edges_[static_cast<size_t>(from)]) {
+      if (next == to || PathExistsLocked(next, to)) return next;
+    }
+    return to;
+  }
+
+  SpinLock lock_;
+  std::map<std::string, size_t> node_ids_;
+  std::vector<std::string> nodes_;
+  std::vector<std::set<int>> edges_;
+  std::map<std::pair<int, int>, std::string> edge_stacks_;
+};
+
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+std::string DescribeStack(const std::vector<HeldLock>& held,
+                          const char* acquiring) {
+  std::string out;
+  for (const HeldLock& h : held) {
+    out += '"';
+    out += h.name;
+    out += "\" -> ";
+  }
+  out += '"';
+  out += acquiring;
+  out += '"';
+  return out;
+}
+
+[[noreturn]] void Fatal(const char* headline, const std::string& detail) {
+  std::fprintf(stderr, "SQE deadlock detector: %s\n%s\n", headline,
+               detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* name, int rank) {
+  std::vector<HeldLock>& held = HeldStack();
+  for (const HeldLock& h : held) {
+    if (h.mu == mu) {
+      std::string msg = "recursive acquisition of \"";
+      msg += name;
+      msg += "\"; held stack: " + DescribeStack(held, name);
+      Fatal(msg.c_str(), "");
+    }
+    if (std::strcmp(h.name, name) == 0) {
+      std::string msg = "two \"";
+      msg += name;
+      msg +=
+          "\" instances held together; same-class lock order is undefined";
+      Fatal(msg.c_str(), "  held stack: " + DescribeStack(held, name));
+    }
+    if (h.rank != kNoRank && rank != kNoRank && rank <= h.rank) {
+      char head[512];
+      std::snprintf(head, sizeof(head),
+                    "lock-rank violation: acquiring \"%s\" (rank %d) while "
+                    "holding \"%s\" (rank %d)",
+                    name, rank, h.name, h.rank);
+      Fatal(head, "  held stack: " + DescribeStack(held, name) +
+                      "\n  ranks must strictly increase inward; see "
+                      "src/common/lock_ranks.h");
+    }
+  }
+
+  Registry& registry = Registry::Get();
+  const int node = registry.Intern(name);
+  const std::string stack_desc = DescribeStack(held, name);
+  std::string other_name;
+  std::string other_stack;
+  if (registry.AddEdgesAndCheck(held, node, stack_desc, &other_name,
+                                &other_stack)) {
+    char head[512];
+    std::snprintf(head, sizeof(head),
+                  "lock-order inversion: acquiring \"%s\" while holding "
+                  "\"%s\", but the opposite order was already recorded",
+                  name, other_name.c_str());
+    Fatal(head, "  this thread:     " + stack_desc +
+                    "\n  recorded before: " + other_stack);
+  }
+  held.push_back(HeldLock{mu, name, rank, node});
+}
+
+void OnTryAcquire(const void* mu, const char* name, int rank) {
+  HeldStack().push_back(HeldLock{mu, name, rank, /*node=*/-1});
+}
+
+void OnRelease(const void* mu) {
+  std::vector<HeldLock>& held = HeldStack();
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mu == mu) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  Fatal("released a Mutex the thread does not hold", "");
+}
+
+size_t HeldLockCountForTest() { return HeldStack().size(); }
+
+size_t RecordedEdgeCountForTest() { return Registry::Get().EdgeCount(); }
+
+}  // namespace sqe::lockdep
+
+#endif  // !NDEBUG

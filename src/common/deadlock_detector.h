@@ -1,0 +1,69 @@
+// Debug-build lock-order registry behind sqe::Mutex (the deadlock
+// detector of DESIGN.md "Correctness toolkit").
+//
+// Every Mutex carries a name (its *lock class* — all instances of one
+// member share it) and an optional static rank (src/common/lock_ranks.h).
+// In debug builds each acquisition is checked, before the underlying
+// std::mutex is touched, against everything the thread already holds:
+//
+//   1. Re-acquiring the same instance                  -> abort (recursion)
+//   2. Holding two instances of the same lock class    -> abort (the order
+//      between same-class instances is undefined)
+//   3. Acquiring rank r while holding rank >= r        -> abort (static
+//      lock-order violation)
+//   4. Acquiring B while a previously recorded held-lock edge path
+//      B -> ... -> A exists for some held A            -> abort (dynamic
+//      lock-order inversion: the two orders together can deadlock)
+//
+// Edges are keyed by lock *class name*, not instance, and persist for the
+// process lifetime, so an inversion is caught even when the two orders
+// happen on different instances, different threads, or minutes apart —
+// and, because the check runs before blocking, it fires even on the
+// interleaving that would have actually deadlocked.
+//
+// The abort message names both lock classes on its first line and prints
+// the current thread's held stack plus the held stack recorded when the
+// conflicting edge was first seen.
+//
+// Everything here is compiled out under NDEBUG: release Mutex stores no
+// name and makes no calls, so hot paths are untouched.
+#ifndef SQE_COMMON_DEADLOCK_DETECTOR_H_
+#define SQE_COMMON_DEADLOCK_DETECTOR_H_
+
+#include <cstddef>
+
+namespace sqe::lockdep {
+
+/// Rank of a Mutex that opted out of the static order; such locks are only
+/// checked dynamically (rules 1, 2, 4 above).
+inline constexpr int kNoRank = -1;
+
+#ifndef NDEBUG
+
+/// Called by Mutex::Lock() before acquiring. Runs all four checks, records
+/// new held-lock edges, and pushes the lock onto the thread's held stack.
+/// Aborts (after printing both lock names and both held stacks) on the
+/// first violation.
+void OnAcquire(const void* mu, const char* name, int rank);
+
+/// Called by Mutex::TryLock() after a *successful* try_lock. Pushes the
+/// lock onto the held stack but records no ordering edges and runs no
+/// order checks: a failed try_lock is handled by the caller, so try-locks
+/// cannot contribute to a deadlock cycle.
+void OnTryAcquire(const void* mu, const char* name, int rank);
+
+/// Called by Mutex::Unlock() after releasing. Removes the lock from the
+/// thread's held stack (at any depth — out-of-order release is legal).
+void OnRelease(const void* mu);
+
+/// Number of locks the calling thread currently holds (test hook).
+size_t HeldLockCountForTest();
+
+/// Number of distinct held-lock edges recorded so far (test hook).
+size_t RecordedEdgeCountForTest();
+
+#endif  // !NDEBUG
+
+}  // namespace sqe::lockdep
+
+#endif  // SQE_COMMON_DEADLOCK_DETECTOR_H_

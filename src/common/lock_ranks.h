@@ -1,0 +1,56 @@
+// The project-wide static lock order (DESIGN.md "Correctness toolkit").
+//
+// A Mutex constructed with a rank may only be acquired while every lock the
+// thread already holds has a *strictly smaller* rank; the debug-build
+// deadlock detector (src/common/deadlock_detector.h) aborts on the first
+// violation. Ranks therefore encode the global outer-to-inner acquisition
+// order: low ranks are outermost (taken first), high ranks are leaves that
+// never hold anything else while locked.
+//
+// Policy for new locks:
+//  * Pick the smallest band that is strictly inside everything that may be
+//    held when the new lock is taken, and strictly outside everything the
+//    new lock's critical sections themselves acquire.
+//  * Leave gaps (ranks are spaced by 10) so future layers slot in without
+//    renumbering.
+//  * A Mutex whose nesting is genuinely unknowable (test-local locks,
+//    short-lived latches in leaf code) may stay unranked — the detector
+//    still learns its acquisition order dynamically and aborts on the
+//    first observed inversion.
+#ifndef SQE_COMMON_LOCK_RANKS_H_
+#define SQE_COMMON_LOCK_RANKS_H_
+
+namespace sqe {
+
+// Outermost: the serving front-end's admission/counter lock. Held briefly
+// around counter updates; never while executing a request.
+inline constexpr int kLockRankServingFrontend = 10;
+
+// The bounded admission queue. Its PushIf predicate may read the injected
+// clock (FakeClock locks kLockRankFakeClock), so it must rank below it.
+inline constexpr int kLockRankBoundedQueue = 20;
+
+// ThreadPool's task queue, and the per-ParallelFor completion latch. The
+// latch is only taken with no other pool lock held, but conceptually sits
+// inside the queue (workers pop, release, then signal completion).
+inline constexpr int kLockRankThreadPoolQueue = 30;
+inline constexpr int kLockRankParallelForLatch = 40;
+
+// A ServingCall's one-shot future lock. Resolved only after the front-end
+// and queue locks are released.
+inline constexpr int kLockRankServingCall = 50;
+
+// Leaf-ish telemetry and cache shards: held for a handful of loads/stores,
+// acquire nothing.
+inline constexpr int kLockRankLruCacheShard = 60;
+inline constexpr int kLockRankShardRouterStats = 70;
+inline constexpr int kLockRankWandStats = 72;
+
+// Innermost leaf: FakeClock's time. Read under the bounded queue's
+// admission predicate and inside arbitrary test phase hooks; its own
+// critical sections acquire nothing.
+inline constexpr int kLockRankFakeClock = 90;
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_LOCK_RANKS_H_

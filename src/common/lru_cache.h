@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 
@@ -162,7 +163,7 @@ class ShardedLruCache {
   };
 
   struct Shard {
-    Mutex mu;
+    Mutex mu{"lru_cache.shard", kLockRankLruCacheShard};
     std::list<Entry> lru SQE_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map
         SQE_GUARDED_BY(mu);

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/deadlock_detector.h"
 #include "common/macros.h"
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -63,23 +64,72 @@ class CondVar;
 
 /// std::mutex wrapped as an annotated capability so the analysis can track
 /// which locks protect which members.
+///
+/// Every Mutex carries a *lock class name* (shared by all instances of one
+/// member — "thread_pool.queue", "serving.frontend", ...) and an optional
+/// static rank from src/common/lock_ranks.h. In debug builds the deadlock
+/// detector (src/common/deadlock_detector.h) checks each acquisition
+/// against the thread's held stack — rank violations, same-class nesting,
+/// and dynamically observed lock-order inversions abort with both lock
+/// names before the acquisition can block. Under NDEBUG the name and rank
+/// are not even stored and no detector call is emitted, so release builds
+/// pay nothing.
 class SQE_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() : Mutex("(unnamed)") {}
+  explicit Mutex(const char* name, int rank = lockdep::kNoRank) {
+#ifndef NDEBUG
+    name_ = name;
+    rank_ = rank;
+#else
+    (void)name;
+    (void)rank;
+#endif
+  }
   SQE_DISALLOW_COPY_AND_ASSIGN(Mutex);
 
-  void Lock() SQE_ACQUIRE() { mu_.lock(); }
-  void Unlock() SQE_RELEASE() { mu_.unlock(); }
+  void Lock() SQE_ACQUIRE() {
+#ifndef NDEBUG
+    lockdep::OnAcquire(this, name_, rank_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() SQE_RELEASE() {
+    mu_.unlock();
+#ifndef NDEBUG
+    lockdep::OnRelease(this);
+#endif
+  }
   bool TryLock() SQE_THREAD_ANNOTATION_(try_acquire_capability(true)) {
-    return mu_.try_lock();
+    const bool acquired = mu_.try_lock();
+#ifndef NDEBUG
+    // A failed try_lock is handled by the caller, so try-acquisitions are
+    // tracked as held but never contribute ordering edges or checks.
+    if (acquired) lockdep::OnTryAcquire(this, name_, rank_);
+#endif
+    return acquired;
   }
   /// Tells the analysis (not the runtime) that the lock is held; use in
   /// private helpers reached only from locked contexts.
   void AssertHeld() SQE_ASSERT_CAPABILITY(this) {}
 
+  /// Lock class name ("(unnamed)" if defaulted); "" in release builds,
+  /// where names are compiled out.
+  const char* name() const {
+#ifndef NDEBUG
+    return name_;
+#else
+    return "";
+#endif
+  }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+#ifndef NDEBUG
+  const char* name_ = "(unnamed)";
+  int rank_ = lockdep::kNoRank;
+#endif
 };
 
 /// RAII lock guard over the annotated Mutex. Scoped acquire/release is

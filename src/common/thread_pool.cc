@@ -61,7 +61,7 @@ void ThreadPool::ParallelFor(size_t n,
   // with unrelated Submit() traffic.
   struct State {
     std::atomic<size_t> next{0};
-    Mutex done_mu;
+    Mutex done_mu{"thread_pool.parallel_for_latch", kLockRankParallelForLatch};
     CondVar done_cv;
     size_t active SQE_GUARDED_BY(done_mu) = 0;
   };

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 
@@ -61,7 +62,7 @@ class ThreadPool {
  private:
   void WorkerLoop() SQE_EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{"thread_pool.queue", kLockRankThreadPoolQueue};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ SQE_GUARDED_BY(mu_);
   bool shutting_down_ SQE_GUARDED_BY(mu_) = false;

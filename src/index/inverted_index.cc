@@ -7,16 +7,9 @@
 #include "common/string_util.h"
 #include "io/coding.h"
 #include "io/file.h"
+#include "io/snapshot_format.h"
 
 namespace sqe::index {
-
-namespace {
-constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
-// Version 2 added the "blockmax" block (per-term and per-block maximum
-// frequencies backing Block-Max WAND pruning). Version-1 images remain
-// loadable: their tables are recomputed from the decoded postings.
-constexpr uint32_t kIndexSnapshotVersion = 2;
-}  // namespace
 
 void InvertedIndex::BuildDocsByLength() {
   docs_by_length_.resize(doc_lengths_.size());
@@ -210,7 +203,7 @@ InvertedIndex IndexBuilder::Build() && {
 }
 
 std::string InvertedIndex::SerializeToString() const {
-  io::SnapshotWriter writer(kIndexSnapshotMagic, kIndexSnapshotVersion);
+  io::SnapshotWriter writer(io::kIndexSnapshotMagic, io::kIndexSnapshotVersion);
   std::string block;
 
   // Vocabulary.
@@ -278,7 +271,7 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
 
 Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
   auto reader_or =
-      io::SnapshotReader::Open(std::move(image), kIndexSnapshotMagic);
+      io::SnapshotReader::Open(std::move(image), io::kIndexSnapshotMagic);
   if (!reader_or.ok()) return reader_or.status();
   const io::SnapshotReader& reader = reader_or.value();
 

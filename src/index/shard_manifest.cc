@@ -5,11 +5,11 @@
 #include "common/string_util.h"
 #include "io/coding.h"
 #include "io/file.h"
+#include "io/snapshot_format.h"
 
 namespace sqe::index {
 
 namespace {
-constexpr uint32_t kManifestSnapshotMagic = 0x53514d46;  // "SQMF"
 }  // namespace
 
 ShardManifest ShardManifest::Balanced(size_t num_docs, size_t num_shards) {
@@ -54,7 +54,7 @@ Status ShardManifest::Validate(size_t expected_num_docs) const {
 }
 
 std::string ShardManifest::SerializeToString() const {
-  io::SnapshotWriter writer(kManifestSnapshotMagic);
+  io::SnapshotWriter writer(io::kShardManifestSnapshotMagic);
   std::string block;
   io::PutVarint64(&block, starts.size());
   DocId prev = 0;
@@ -68,7 +68,7 @@ std::string ShardManifest::SerializeToString() const {
 
 Result<ShardManifest> ShardManifest::FromSnapshotString(std::string image) {
   auto reader_or =
-      io::SnapshotReader::Open(std::move(image), kManifestSnapshotMagic);
+      io::SnapshotReader::Open(std::move(image), io::kShardManifestSnapshotMagic);
   if (!reader_or.ok()) return reader_or.status();
   SQE_ASSIGN_OR_RETURN(std::string_view block,
                        reader_or.value().GetBlock("shards"));

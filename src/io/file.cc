@@ -6,11 +6,11 @@
 #include "common/hash.h"
 #include "common/string_util.h"
 #include "io/coding.h"
+#include "io/snapshot_format.h"
 
 namespace sqe::io {
 
 namespace {
-constexpr uint32_t kFooterMagic = 0x53514546;  // "SQEF"
 }  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
@@ -60,7 +60,7 @@ std::string SnapshotWriter::Serialize() const {
     PutLengthPrefixed(&out, b.payload);
     PutFixed32(&out, sqe::Crc32(b.payload));
   }
-  PutFixed32(&out, kFooterMagic);
+  PutFixed32(&out, kSnapshotFooterMagic);
   return out;
 }
 
@@ -122,7 +122,7 @@ Result<SnapshotReader> SnapshotReader::Open(std::string image,
         payload.size()});
   }
   uint32_t footer;
-  if (!GetFixed32(&in, &footer) || footer != kFooterMagic) {
+  if (!GetFixed32(&in, &footer) || footer != kSnapshotFooterMagic) {
     return Status::Corruption("snapshot footer missing or invalid");
   }
   return reader;

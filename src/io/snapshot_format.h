@@ -1,0 +1,33 @@
+// The single definition point for every snapshot kind's magic number and
+// format version.
+//
+// tools/sqe_lint.py (rule `single-magic-def`) rejects snapshot magic or
+// version constants — and raw 0x5351xxxx literals — defined anywhere else
+// in the tree, so a new snapshot kind or a version bump cannot silently
+// fork: writers, readers, validators, tests, and fuzz corpora all read the
+// same constants from here.
+#ifndef SQE_IO_SNAPSHOT_FORMAT_H_
+#define SQE_IO_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+
+namespace sqe::io {
+
+/// KB graph snapshots (kb::KnowledgeBase).
+inline constexpr uint32_t kKbSnapshotMagic = 0x53514B42;  // "SQKB"
+
+/// Inverted-index snapshots (index::InvertedIndex). Version 2 added the
+/// "blockmax" block (per-term max frequency + per-block maxima) that the
+/// Block-Max WAND pruned scorer trusts for skip decisions.
+inline constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
+inline constexpr uint32_t kIndexSnapshotVersion = 2;
+
+/// Shard-manifest snapshots (index::ShardManifest).
+inline constexpr uint32_t kShardManifestSnapshotMagic = 0x53514D46;  // "SQMF"
+
+/// Trailing sentinel every block file ends with (io::SnapshotWriter).
+inline constexpr uint32_t kSnapshotFooterMagic = 0x53514546;  // "SQEF"
+
+}  // namespace sqe::io
+
+#endif  // SQE_IO_SNAPSHOT_FORMAT_H_

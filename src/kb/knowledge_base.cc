@@ -5,11 +5,11 @@
 #include "common/string_util.h"
 #include "io/coding.h"
 #include "io/file.h"
+#include "io/snapshot_format.h"
 
 namespace sqe::kb {
 
 namespace {
-constexpr uint32_t kKbSnapshotMagic = 0x53514B42;  // "SQKB"
 
 template <typename T>
 bool SortedContains(std::span<const T> sorted, T value) {
@@ -345,7 +345,7 @@ void KnowledgeBase::RebuildTitleMaps() {
 }
 
 std::string KnowledgeBase::SerializeToString() const {
-  io::SnapshotWriter writer(kKbSnapshotMagic);
+  io::SnapshotWriter writer(io::kKbSnapshotMagic);
   std::string block;
 
   EncodeTitles(&block, article_titles_);
@@ -401,7 +401,7 @@ void BuildReverseCsr(size_t num_targets,
 }  // namespace
 
 Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
-  auto reader_or = io::SnapshotReader::Open(std::move(image), kKbSnapshotMagic);
+  auto reader_or = io::SnapshotReader::Open(std::move(image), io::kKbSnapshotMagic);
   if (!reader_or.ok()) return reader_or.status();
   const io::SnapshotReader& reader = reader_or.value();
 

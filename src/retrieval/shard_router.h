@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 #include "index/inverted_index.h"
@@ -85,7 +86,7 @@ class ShardRouter {
   std::vector<index::DocId> docs_by_length_;
   std::vector<size_t> bucket_offsets_;  // size num_shards+1
 
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{"shard_router.stats", kLockRankShardRouterStats};
   mutable ShardRouterStats stats_ SQE_GUARDED_BY(stats_mu_);
 };
 

@@ -47,6 +47,7 @@
 #include <span>
 #include <string>
 
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 #include "index/types.h"
@@ -127,7 +128,7 @@ class WandRetriever {
   void RecordFallback() const SQE_EXCLUDES(stats_mu_);
 
   const Retriever* base_;
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{"wand_retriever.stats", kLockRankWandStats};
   mutable WandStats stats_ SQE_GUARDED_BY(stats_mu_);
 };
 

@@ -37,6 +37,7 @@
 
 #include "common/bounded_queue.h"
 #include "common/clock.h"
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 #include "retrieval/retriever.h"
@@ -108,7 +109,7 @@ class ServingFrontend {
   const Clock* clock_;
   BoundedLaneQueue<std::shared_ptr<ServingCall>> queue_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"serving.frontend", kLockRankServingFrontend};
   bool shutting_down_ SQE_GUARDED_BY(mu_) = false;
   ServingStats counters_ SQE_GUARDED_BY(mu_);  // queue depths filled at snapshot
   /// EMA of measured service time, seconds; < 0 means "no estimate yet".

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/lock_ranks.h"
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -116,7 +117,7 @@ class ServingCall {
   const Clock::TimePoint submit_time_;
   std::atomic<bool> cancel_flag_{false};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"serving.call", kLockRankServingCall};
   CondVar cv_;
   bool done_ SQE_GUARDED_BY(mu_) = false;
   ServingResponse response_ SQE_GUARDED_BY(mu_);

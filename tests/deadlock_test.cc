@@ -1,0 +1,219 @@
+// The deadlock detector's contract (src/common/deadlock_detector.h): in
+// debug builds, the first lock-rank violation or dynamically observed
+// lock-order inversion aborts with both lock names on one line, before the
+// acquisition can block. Death tests run the offending order in a forked
+// child, so the parent's lock-class graph is never poisoned.
+//
+// Under NDEBUG the detector is compiled out entirely (release hot paths
+// pay nothing), so this whole file degrades to one skipped test.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/bounded_queue.h"
+#include "common/clock.h"
+#include "common/deadlock_detector.h"
+#include "common/lock_ranks.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+
+namespace sqe {
+namespace {
+
+#ifdef NDEBUG
+
+TEST(DeadlockTest, DetectorCompiledOutInRelease) {
+  GTEST_SKIP() << "deadlock detector is debug-only; nothing to test under "
+                  "NDEBUG";
+}
+
+#else  // !NDEBUG
+
+TEST(DeadlockTest, NamedMutexExposesName) {
+  Mutex named{"deadlock_test.named", 7};
+  EXPECT_STREQ(named.name(), "deadlock_test.named");
+  Mutex unnamed;
+  EXPECT_STREQ(unnamed.name(), "(unnamed)");
+}
+
+TEST(DeadlockTest, HeldStackTracksLockUnlock) {
+  Mutex a{"deadlock_test.track_a"};
+  Mutex b{"deadlock_test.track_b"};
+  EXPECT_EQ(lockdep::HeldLockCountForTest(), 0u);
+  a.Lock();
+  EXPECT_EQ(lockdep::HeldLockCountForTest(), 1u);
+  b.Lock();
+  EXPECT_EQ(lockdep::HeldLockCountForTest(), 2u);
+  // Out-of-order release is legal and tracked.
+  a.Unlock();
+  EXPECT_EQ(lockdep::HeldLockCountForTest(), 1u);
+  b.Unlock();
+  EXPECT_EQ(lockdep::HeldLockCountForTest(), 0u);
+}
+
+TEST(DeadlockTest, ConsistentOrderIsQuiet) {
+  Mutex outer{"deadlock_test.quiet_outer", 1};
+  Mutex inner{"deadlock_test.quiet_inner", 2};
+  for (int i = 0; i < 3; ++i) {
+    MutexLock a(&outer);
+    MutexLock b(&inner);
+  }
+  // Each alone, in any order, is also fine.
+  { MutexLock b(&inner); }
+  { MutexLock a(&outer); }
+}
+
+TEST(DeadlockTest, EdgesAccumulateInTheClassGraph) {
+  Mutex a{"deadlock_test.edge_a"};
+  Mutex b{"deadlock_test.edge_b"};
+  const size_t before = lockdep::RecordedEdgeCountForTest();
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  EXPECT_GE(lockdep::RecordedEdgeCountForTest(), before + 1);
+  {
+    // Same order again: no new edge.
+    const size_t mid = lockdep::RecordedEdgeCountForTest();
+    MutexLock la(&a);
+    MutexLock lb(&b);
+    EXPECT_EQ(lockdep::RecordedEdgeCountForTest(), mid);
+  }
+}
+
+TEST(DeadlockTest, TryLockRecordsNoEdges) {
+  Mutex a{"deadlock_test.try_a"};
+  Mutex b{"deadlock_test.try_b"};
+  const size_t before = lockdep::RecordedEdgeCountForTest();
+  ASSERT_TRUE(a.TryLock());
+  ASSERT_TRUE(b.TryLock());
+  b.Unlock();
+  a.Unlock();
+  EXPECT_EQ(lockdep::RecordedEdgeCountForTest(), before);
+}
+
+using DeadlockDeathTest = ::testing::Test;
+
+TEST(DeadlockDeathTest, RankViolationAbortsNamingBothMutexes) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex outer{"deadlock_test.rank_outer", 10};
+        Mutex inner{"deadlock_test.rank_inner", 20};
+        MutexLock hold_inner(&inner);
+        MutexLock hold_outer(&outer);  // rank 10 while holding rank 20
+      }()),
+      "lock-rank violation: acquiring \"deadlock_test.rank_outer\" \\(rank "
+      "10\\) while holding \"deadlock_test.rank_inner\" \\(rank 20\\)");
+}
+
+TEST(DeadlockDeathTest, EqualRankAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex a{"deadlock_test.eq_a", 33};
+        Mutex b{"deadlock_test.eq_b", 33};
+        MutexLock la(&a);
+        MutexLock lb(&b);  // equal rank: order undefined
+      }()),
+      "lock-rank violation");
+}
+
+TEST(DeadlockDeathTest, ObservedInversionAbortsNamingBothMutexes) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex a{"deadlock_test.inv_a"};
+        Mutex b{"deadlock_test.inv_b"};
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);  // records a -> b
+        }
+        {
+          MutexLock lb(&b);
+          MutexLock la(&a);  // inverted: aborts before blocking
+        }
+      }()),
+      "lock-order inversion: acquiring \"deadlock_test.inv_a\" while "
+      "holding \"deadlock_test.inv_b\"");
+}
+
+TEST(DeadlockDeathTest, TransitiveInversionAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex a{"deadlock_test.tri_a"};
+        Mutex b{"deadlock_test.tri_b"};
+        Mutex c{"deadlock_test.tri_c"};
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);  // a -> b
+        }
+        {
+          MutexLock lb(&b);
+          MutexLock lc(&c);  // b -> c
+        }
+        {
+          MutexLock lc(&c);
+          MutexLock la(&a);  // closes c -> a: cycle through b
+        }
+      }()),
+      "lock-order inversion: acquiring \"deadlock_test.tri_a\" while "
+      "holding \"deadlock_test.tri_c\"");
+}
+
+TEST(DeadlockDeathTest, InversionAcrossThreadsAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex a{"deadlock_test.xthread_a"};
+        Mutex b{"deadlock_test.xthread_b"};
+        std::thread first([&] {
+          MutexLock la(&a);
+          MutexLock lb(&b);  // a -> b, recorded from another thread
+        });
+        first.join();
+        MutexLock lb(&b);
+        MutexLock la(&a);  // inverted on this thread
+      }()),
+      "lock-order inversion");
+}
+
+TEST(DeadlockDeathTest, SameClassNestingAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex first{"deadlock_test.same_class"};
+        Mutex second{"deadlock_test.same_class"};
+        MutexLock l1(&first);
+        MutexLock l2(&second);  // two instances of one class
+      }()),
+      "two \"deadlock_test.same_class\" instances held together");
+}
+
+TEST(DeadlockDeathTest, RecursiveAcquisitionAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex a{"deadlock_test.recursive"};
+        a.Lock();
+        a.Lock();  // would self-deadlock; detector aborts first
+      }()),
+      "recursive acquisition of \"deadlock_test.recursive\"");
+}
+
+// The production rank assignments must permit the one nesting the serving
+// stack actually exercises: reading an injected FakeClock inside the
+// bounded queue's admission predicate.
+TEST(DeadlockTest, ProductionRanksPermitQueueThenClock) {
+  FakeClock clock;
+  BoundedLaneQueue<int> queue(4, 2);
+  auto outcome = queue.PushIf(0, 1, [&](size_t) {
+    clock.Advance(std::chrono::nanoseconds(1));
+    return clock.Now() >= Clock::TimePoint{};
+  });
+  EXPECT_EQ(outcome, QueuePushOutcome::kOk);
+  // And pool latch nesting: ParallelFor bodies may touch leaf locks.
+  ThreadPool pool(2);
+  pool.ParallelFor(8, [&](size_t, size_t) {
+    clock.Advance(std::chrono::nanoseconds(1));
+  });
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace sqe

@@ -6,7 +6,6 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -14,6 +13,7 @@
 #include "analysis/cycle_enumerator.h"
 #include "common/clock.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "serving/frontend.h"
 #include "eval/ttest.h"
 #include "index/inverted_index.h"
@@ -449,13 +449,13 @@ TEST_P(ServingProperty, CompletedMatchBareRunAndAccountingCloses) {
     }
 
     FakeClock clock;
-    std::mutex rng_mu;
+    Mutex rng_mu{"property_test.rng"};
     Rng rng(seed * 7919 + shards);
     serving::ServingFrontendConfig frontend_config;
     frontend_config.num_workers = 2;
     frontend_config.clock = &clock;
     frontend_config.phase_hook = [&](uint64_t, expansion::RunPhase) {
-      std::lock_guard<std::mutex> lock(rng_mu);
+      MutexLock lock(&rng_mu);
       clock.Advance(std::chrono::microseconds(rng.NextBounded(400)));
     };
     serving::ServingFrontend frontend(&engine, frontend_config);
@@ -469,7 +469,7 @@ TEST_P(ServingProperty, CompletedMatchBareRunAndAccountingCloses) {
       request.query_nodes = q.true_entities;
       request.k = 100;
       {
-        std::lock_guard<std::mutex> lock(rng_mu);
+        MutexLock lock(&rng_mu);
         // Thirds: infinite, tight (often expires mid-run), already expired.
         switch (rng.NextBounded(3)) {
           case 0:

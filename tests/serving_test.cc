@@ -8,15 +8,14 @@
 // Submit order), which is what lets hooks target "the first submitted
 // request" without any registration handshake.
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "serving/frontend.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
@@ -44,20 +43,20 @@ class Gate {
  public:
   void Open() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       open_ = true;
     }
-    cv_.notify_all();
+    cv_.SignalAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return open_; });
+    MutexLock lock(&mu_);
+    cv_.Wait(&mu_, [this] { return open_; });
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool open_ = false;
+  Mutex mu_{"serving_test.gate"};
+  CondVar cv_;
+  bool open_ SQE_GUARDED_BY(mu_) = false;
 };
 
 struct Env {
@@ -302,7 +301,7 @@ TEST(ServingTest, InteractiveLaneDequeuesBeforeBatch) {
   Env env(1);
   FakeClock clock;
   Gate gate;
-  std::mutex order_mu;
+  Mutex order_mu{"serving_test.order"};
   std::vector<uint64_t> execution_order;
   ServingFrontendConfig config;
   config.num_workers = 1;
@@ -310,7 +309,7 @@ TEST(ServingTest, InteractiveLaneDequeuesBeforeBatch) {
   config.phase_hook = [&](uint64_t id, RunPhase phase) {
     if (phase != RunPhase::kPreAnalysis) return;
     if (id == 1) gate.Wait();
-    std::lock_guard<std::mutex> lock(order_mu);
+    MutexLock lock(&order_mu);
     execution_order.push_back(id);
   };
   ServingFrontend frontend(env.engine.get(), config);

@@ -14,6 +14,7 @@
 #include "index/postings.h"
 #include "io/coding.h"
 #include "io/file.h"
+#include "io/snapshot_format.h"
 #include "kb/kb_builder.h"
 #include "kb/knowledge_base.h"
 
@@ -151,12 +152,12 @@ TEST(SnapshotFuzzTest, ResignedCorruptKbPayloadsAreRejectedByValidation) {
   int rejected = 0;
   for (int seed = 0; seed < kMutationsPerKind; ++seed) {
     Rng rng(0xABCD0000 + static_cast<uint64_t>(seed));
-    auto reader = io::SnapshotReader::Open(image, 0x53514B42);
+    auto reader = io::SnapshotReader::Open(image, io::kKbSnapshotMagic);
     ASSERT_TRUE(reader.ok());
     // Rebuild the snapshot with one block's payload mutated.
     std::vector<std::string> names = reader.value().BlockNames();
     size_t victim = rng.NextBounded(names.size());
-    io::SnapshotWriter writer(0x53514B42);
+    io::SnapshotWriter writer(io::kKbSnapshotMagic);
     for (size_t b = 0; b < names.size(); ++b) {
       auto block = reader.value().GetBlock(names[b]);
       ASSERT_TRUE(block.ok());
@@ -190,7 +191,6 @@ TEST(SnapshotFuzzTest, ResignedCorruptKbPayloadsAreRejectedByValidation) {
 // a buggy writer would — must come back Status::Corruption, never a crash
 // (these run under ASan+UBSan in CI) and never a loaded index.
 
-constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
 
 struct BlockMaxTable {
   uint32_t max_freq = 0;
@@ -234,9 +234,9 @@ std::string EncodeBlockMax(uint64_t num_terms_field,
 // An empty optional drops the block entirely.
 std::string ResignWithBlockMax(const std::string& image,
                                const std::string* new_payload) {
-  auto reader = io::SnapshotReader::Open(image, kIndexSnapshotMagic);
+  auto reader = io::SnapshotReader::Open(image, io::kIndexSnapshotMagic);
   EXPECT_TRUE(reader.ok());
-  io::SnapshotWriter writer(kIndexSnapshotMagic, reader.value().version());
+  io::SnapshotWriter writer(io::kIndexSnapshotMagic, reader.value().version());
   for (const std::string& name : reader.value().BlockNames()) {
     if (name == "blockmax") {
       if (new_payload != nullptr) writer.AddBlock(name, *new_payload);
@@ -263,7 +263,7 @@ TEST(SnapshotFuzzTest, BlockMaxTableCorruptionsAreRejected) {
   index::InvertedIndex original = MakeFuzzIndex();
   const std::string image = original.SerializeToString();
 
-  auto reader = io::SnapshotReader::Open(image, kIndexSnapshotMagic);
+  auto reader = io::SnapshotReader::Open(image, io::kIndexSnapshotMagic);
   ASSERT_TRUE(reader.ok());
   auto block = reader.value().GetBlock("blockmax");
   ASSERT_TRUE(block.ok());
@@ -353,7 +353,7 @@ TEST(SnapshotFuzzTest, ResignedRandomBlockMaxBytesAreRejected) {
   // "semantically harmless" direction for derived data.
   index::InvertedIndex original = MakeFuzzIndex();
   const std::string image = original.SerializeToString();
-  auto reader = io::SnapshotReader::Open(image, kIndexSnapshotMagic);
+  auto reader = io::SnapshotReader::Open(image, io::kIndexSnapshotMagic);
   ASSERT_TRUE(reader.ok());
   auto block = reader.value().GetBlock("blockmax");
   ASSERT_TRUE(block.ok());

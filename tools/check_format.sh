@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Format gate over CHANGED files only (the tree predates .clang-format, so a
+# whole-tree check would demand a reformat commit; instead the gate ratchets:
+# anything you touch must be clean).
+#
+# Usage: tools/check_format.sh [base_ref]
+#   base_ref defaults to origin/main (falling back to HEAD~1 when that ref
+#   does not exist, e.g. in a shallow or detached checkout). Changed .cc/.h
+#   files between the merge base and the working tree are checked with
+#   clang-format --dry-run --Werror.
+#
+# Prints a skip message and exits 0 when clang-format is not installed, so
+# local runs without LLVM don't fail spuriously — CI installs it and gates.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fmt_bin="${CLANG_FORMAT:-}"
+if [ -z "$fmt_bin" ]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      fmt_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$fmt_bin" ]; then
+  echo "check_format.sh: clang-format not found on PATH; skipping." >&2
+  echo "Install LLVM (or set CLANG_FORMAT=...) to run the format gate" >&2
+  echo "locally. CI runs it on every push." >&2
+  exit 0
+fi
+
+base_ref="${1:-origin/main}"
+if ! git rev-parse --verify --quiet "$base_ref" > /dev/null; then
+  base_ref="HEAD~1"
+fi
+if ! git rev-parse --verify --quiet "$base_ref" > /dev/null; then
+  echo "check_format.sh: no usable base ref; skipping." >&2
+  exit 0
+fi
+merge_base="$(git merge-base "$base_ref" HEAD)"
+
+mapfile -t changed < <(git diff --name-only --diff-filter=ACMR \
+  "$merge_base" -- '*.cc' '*.h' | sort)
+if [ "${#changed[@]}" -eq 0 ]; then
+  echo "check_format.sh: no changed C++ files against $base_ref" >&2
+  exit 0
+fi
+
+echo "check_format.sh: $fmt_bin over ${#changed[@]} changed file(s)" >&2
+failures=0
+for f in "${changed[@]}"; do
+  [ -f "$f" ] || continue
+  if ! "$fmt_bin" --dry-run --Werror "$f"; then
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_format.sh: $failures file(s) need clang-format" >&2
+  exit 1
+fi
+echo "check_format.sh: clean" >&2

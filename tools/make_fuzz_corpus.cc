@@ -1,0 +1,308 @@
+// Deterministic seed-corpus generator for the fuzz harnesses (fuzz/).
+//
+//   make_fuzz_corpus <corpus_root>          (re)write fuzz/corpus/<target>/*
+//   make_fuzz_corpus --check <corpus_root>  verify committed files match the
+//                                           generator byte-for-byte
+//
+// Every seed is built from fixed inputs (no clocks, no ambient randomness;
+// the one Rng use is fix-seeded), so regeneration is reproducible on any
+// machine — `--check` runs as a ctest gate to keep the committed corpus and
+// this generator from drifting apart. Files the generator does not know
+// about (e.g. minimized crash inputs committed as regressions) are left
+// alone and NOT flagged by --check: the generator owns only its own names.
+//
+// Seed design per target:
+//  - fuzz_kb_snapshot / fuzz_index_snapshot: a valid snapshot (so mutation
+//    starts from deep coverage), classic corruptions (truncation, bit flip),
+//    and CRC-RESIGNED payload corruptions that reach the decoders and
+//    Validate() instead of dying at the checksum — including the posting
+//    delta-gap wraparound class a real decode bug once lived in.
+//  - fuzz_coding: one input per opcode of fuzz_coding.cc's dispatch,
+//    including overlong varints and absurd length prefixes.
+//  - fuzz_text_pipeline: linkable phrases, NER-fallback bait, invalid
+//    UTF-8, and pathological token shapes.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "index/inverted_index.h"
+#include "index/shard_manifest.h"
+#include "io/coding.h"
+#include "io/file.h"
+#include "io/snapshot_format.h"
+#include "kb/kb_builder.h"
+#include "kb/knowledge_base.h"
+
+namespace sqe {
+namespace {
+
+struct Seed {
+  std::string target;  // fuzz target name == corpus subdirectory
+  std::string name;    // file name inside the subdirectory
+  std::string bytes;
+};
+
+kb::KnowledgeBase MakeCorpusKb() {
+  kb::KbBuilder builder;
+  std::vector<kb::ArticleId> articles;
+  for (int i = 0; i < 16; ++i) {
+    articles.push_back(builder.AddArticle("Seed Article " + std::to_string(i)));
+  }
+  std::vector<kb::CategoryId> cats;
+  for (int i = 0; i < 6; ++i) {
+    cats.push_back(builder.AddCategory("Category:Seed" + std::to_string(i)));
+  }
+  Rng rng(0xC0FFEE);
+  for (int e = 0; e < 48; ++e) {
+    auto a = articles[rng.NextBounded(articles.size())];
+    auto b = articles[rng.NextBounded(articles.size())];
+    if (a != b) builder.AddArticleLink(a, b);
+  }
+  builder.AddReciprocalLink(articles[0], articles[1]);
+  builder.AddReciprocalLink(articles[2], articles[3]);
+  builder.AddReciprocalLink(articles[1], articles[4]);
+  for (auto a : articles) {
+    builder.AddMembership(a, cats[rng.NextBounded(cats.size())]);
+    builder.AddMembership(a, cats[rng.NextBounded(cats.size())]);
+  }
+  builder.AddCategoryLink(cats[1], cats[0]);
+  builder.AddCategoryLink(cats[2], cats[0]);
+  builder.AddCategoryLink(cats[3], cats[1]);
+  return std::move(builder).Build();
+}
+
+index::InvertedIndex MakeCorpusIndex() {
+  index::IndexBuilder builder;
+  const std::vector<std::string> lexicon = {"motif", "graph",  "query",
+                                            "wiki",  "link",   "node",
+                                            "expand", "rank",  "score"};
+  Rng rng(0xD0C5);
+  // 150 documents all containing "common": the posting list spans multiple
+  // 128-posting blocks, so the blockmax tables have real structure.
+  for (int d = 0; d < 150; ++d) {
+    std::vector<std::string> terms = {"common"};
+    const size_t len = 2 + rng.NextBounded(6);
+    for (size_t i = 0; i < len; ++i) {
+      terms.push_back(lexicon[rng.NextBounded(lexicon.size())]);
+      if (rng.NextBounded(4) == 0) terms.push_back("common");
+    }
+    builder.AddDocument("doc-" + std::to_string(d), terms);
+  }
+  return std::move(builder).Build();
+}
+
+std::string FlipByte(std::string image, size_t offset, uint8_t mask) {
+  SQE_CHECK(offset < image.size());
+  image[offset] = static_cast<char>(image[offset] ^ static_cast<char>(mask));
+  return image;
+}
+
+// Rebuilds `image` with `block` replaced by mutate(payload) and all CRCs
+// valid — corruption that reaches the decoders, not the checksum.
+std::string ResignBlock(const std::string& image, uint32_t magic,
+                        std::string_view block,
+                        std::string (*mutate)(std::string)) {
+  auto reader = io::SnapshotReader::Open(image, magic);
+  SQE_CHECK(reader.ok());
+  io::SnapshotWriter writer(magic, reader->version());
+  for (const std::string& name : reader->BlockNames()) {
+    auto payload = reader->GetBlock(name);
+    SQE_CHECK(payload.ok());
+    std::string bytes(payload.value());
+    if (name == block) bytes = mutate(std::move(bytes));
+    writer.AddBlock(name, std::move(bytes));
+  }
+  return writer.Serialize();
+}
+
+std::string HeaderOnlySnapshot(uint32_t magic) {
+  std::string out;
+  io::PutFixed32(&out, magic);
+  io::PutVarint32(&out, 1);
+  io::PutFixed32(&out, io::kSnapshotFooterMagic);
+  return out;
+}
+
+std::vector<Seed> GenerateSeeds() {
+  std::vector<Seed> seeds;
+
+  // ---- fuzz_kb_snapshot ----------------------------------------------------
+  const std::string kb_image = MakeCorpusKb().SerializeToString();
+  seeds.push_back({"fuzz_kb_snapshot", "valid_kb", kb_image});
+  seeds.push_back({"fuzz_kb_snapshot", "truncated_kb",
+                   kb_image.substr(0, kb_image.size() * 2 / 3)});
+  seeds.push_back({"fuzz_kb_snapshot", "bitflip_kb",
+                   FlipByte(kb_image, kb_image.size() / 2, 0x10)});
+  seeds.push_back(
+      {"fuzz_kb_snapshot", "resigned_article_links",
+       ResignBlock(kb_image, io::kKbSnapshotMagic, "article_links",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 0, 0x01);
+                   })});
+  seeds.push_back({"fuzz_kb_snapshot", "empty", ""});
+  seeds.push_back({"fuzz_kb_snapshot", "header_only",
+                   HeaderOnlySnapshot(io::kKbSnapshotMagic)});
+  seeds.push_back({"fuzz_kb_snapshot", "wrong_magic",
+                   HeaderOnlySnapshot(io::kIndexSnapshotMagic)});
+
+  // ---- fuzz_index_snapshot -------------------------------------------------
+  const std::string index_image = MakeCorpusIndex().SerializeToString();
+  seeds.push_back({"fuzz_index_snapshot", "valid_index", index_image});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "valid_manifest",
+       index::ShardManifest::Balanced(97, 4).SerializeToString()});
+  seeds.push_back({"fuzz_index_snapshot", "truncated_index",
+                   index_image.substr(0, index_image.size() / 2)});
+  seeds.push_back({"fuzz_index_snapshot", "bitflip_index",
+                   FlipByte(index_image, index_image.size() / 3, 0x40)});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_blockmax",
+       ResignBlock(index_image, io::kIndexSnapshotMagic, "blockmax",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 1, 0x02);
+                   })});
+  // The delta-gap wraparound class: overwrite the head of the postings
+  // payload with maximal varint bytes so decoded doc-id gaps sum far past
+  // num_docs. CRC re-signed, so only the decoder's own overflow checks
+  // stand between this and a silently-wrong index.
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_postings_gap_wraparound",
+       ResignBlock(index_image, io::kIndexSnapshotMagic, "postings",
+                   [](std::string p) {
+                     for (size_t i = 0; i < p.size() && i < 12; ++i) {
+                       p[i] = static_cast<char>(0xFF);
+                     }
+                     return p;
+                   })});
+  seeds.push_back({"fuzz_index_snapshot", "header_only",
+                   HeaderOnlySnapshot(io::kIndexSnapshotMagic)});
+
+  // ---- fuzz_coding ---------------------------------------------------------
+  auto op = [](uint8_t opcode, std::string payload) {
+    std::string out(1, static_cast<char>(opcode));
+    out += payload;
+    return out;
+  };
+  std::string varint32;
+  io::PutVarint32(&varint32, 300);
+  io::PutVarint32(&varint32, 0xFFFFFFFFu);
+  seeds.push_back({"fuzz_coding", "varint32_roundtrip", op(0, varint32)});
+  seeds.push_back(
+      {"fuzz_coding", "varint32_overlong",
+       op(0, std::string(10, static_cast<char>(0xFF)))});
+  std::string varint64;
+  io::PutVarint64(&varint64, 0x0123456789ABCDEFull);
+  seeds.push_back({"fuzz_coding", "varint64_roundtrip", op(1, varint64)});
+  std::string fixed;
+  io::PutFixed32(&fixed, 0xDEADBEEF);
+  io::PutFixed64(&fixed, 0x0102030405060708ull);
+  seeds.push_back({"fuzz_coding", "fixed_roundtrip", op(2, fixed)});
+  std::string prefixed;
+  io::PutLengthPrefixed(&prefixed, "hello snapshot");
+  seeds.push_back({"fuzz_coding", "length_prefixed", op(3, prefixed)});
+  std::string absurd_len;
+  io::PutVarint64(&absurd_len, 1ull << 60);
+  absurd_len += "short";
+  seeds.push_back({"fuzz_coding", "length_prefix_absurd", op(3, absurd_len)});
+  std::string zigzag;
+  io::PutVarint64(&zigzag, io::ZigZagEncode64(-123456789));
+  seeds.push_back({"fuzz_coding", "zigzag_negative", op(4, zigzag)});
+  seeds.push_back({"fuzz_coding", "crc_chaining",
+                   op(5, "chain me across an arbitrary split point")});
+  seeds.push_back({"fuzz_coding", "snapshot_probe_kb", op(6, kb_image)});
+  seeds.push_back(
+      {"fuzz_coding", "snapshot_probe_truncated",
+       op(6, index_image.substr(0, index_image.size() / 4))});
+
+  // ---- fuzz_text_pipeline --------------------------------------------------
+  seeds.push_back({"fuzz_text_pipeline", "linkable_phrase",
+                   "new york city jazz clubs"});
+  seeds.push_back({"fuzz_text_pipeline", "ner_fallback_bait",
+                   "We toured the Museum of Modern Art yesterday"});
+  seeds.push_back({"fuzz_text_pipeline", "ambiguous_substring",
+                   "york versus new york city"});
+  seeds.push_back({"fuzz_text_pipeline", "invalid_utf8",
+                   std::string("caf\xC3") + '\x28' + "\xFF\xFE jazz \x80"});
+  seeds.push_back({"fuzz_text_pipeline", "punctuation_soup",
+                   "!!!...   ---((new)) york:::city??? [jazz]"});
+  seeds.push_back({"fuzz_text_pipeline", "long_token",
+                   std::string(512, 'a') + " jazz"});
+  seeds.push_back({"fuzz_text_pipeline", "empty", ""});
+
+  return seeds;
+}
+
+int Write(const std::filesystem::path& root, const std::vector<Seed>& seeds) {
+  for (const Seed& seed : seeds) {
+    const std::filesystem::path dir = root / seed.target;
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir / seed.name, std::ios::binary | std::ios::trunc);
+    out.write(seed.bytes.data(),
+              static_cast<std::streamsize>(seed.bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s/%s\n", seed.target.c_str(),
+                   seed.name.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu seeds under %s\n", seeds.size(), root.c_str());
+  return 0;
+}
+
+int Check(const std::filesystem::path& root, const std::vector<Seed>& seeds) {
+  int mismatches = 0;
+  for (const Seed& seed : seeds) {
+    const std::filesystem::path path = root / seed.target / seed.name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "MISSING   %s\n", path.c_str());
+      ++mismatches;
+      continue;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (bytes != seed.bytes) {
+      std::fprintf(stderr, "MISMATCH  %s (committed %zu bytes, generator "
+                   "%zu bytes)\n",
+                   path.c_str(), bytes.size(), seed.bytes.size());
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "%d corpus file(s) out of date; rerun "
+                 "make_fuzz_corpus %s\n",
+                 mismatches, root.c_str());
+    return 1;
+  }
+  std::printf("%zu seeds match the generator\n", seeds.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sqe
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string root;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      root = argv[i];
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "usage: %s [--check] <corpus_root>\n", argv[0]);
+    return 2;
+  }
+  const std::vector<sqe::Seed> seeds = sqe::GenerateSeeds();
+  return check ? sqe::Check(root, seeds) : sqe::Write(root, seeds);
+}

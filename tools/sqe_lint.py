@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Project lint gate: rules the compilers cannot express.
+
+Runs clean on the whole tree (a named CI gate and a ctest); each rule exists
+because the property it checks was either the site of a real bug or is a
+project-wide convention whose violations compile silently.
+
+Rules:
+  bare-sync-primitive   std::mutex / std::lock_guard / std::condition_variable
+                        (and friends) anywhere but common/thread_annotations.h.
+                        Bare primitives bypass the thread-safety annotations
+                        AND the debug deadlock detector.
+  raw-clock             sleep_for / sleep_until / system_clock outside
+                        common/clock.{h,cc}. All time flows through the Clock
+                        interface so tests can inject FakeClock; a raw sleep
+                        is a flaky test or an untestable timeout.
+  unguarded-mutex       every `Mutex` member declared under src/ must have at
+                        least one SQE_GUARDED_BY(that_mutex) user in the same
+                        file — a mutex protecting nothing (or protecting
+                        state only by convention) defeats the analysis.
+  check-in-hot-header   no SQE_CHECK/SQE_CHECK_MSG in the hot-path headers
+                        whose per-posting/per-term asserts were deliberately
+                        converted to debug-only SQE_DCHECK (seek/decode inner
+                        loops); reintroducing one silently costs release
+                        throughput.
+  single-magic-def      snapshot magic/version constants — and any 0x5351
+                        ("SQ..") literal — are defined only in
+                        src/io/snapshot_format.h. Tests may build their own
+                        non-SQ magics; production formats may not fork.
+
+Usage:
+  sqe_lint.py --root <repo-root>    lint the tree (exit 1 on findings)
+  sqe_lint.py --self-test           prove every rule fires on a synthetic
+                                    violation and stays quiet on clean code
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINT_DIRS = ["src", "tests", "fuzz", "tools", "bench", "examples"]
+EXTENSIONS = {".h", ".cc"}
+
+BARE_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable(?:_any)?)\b"
+)
+RAW_CLOCK_RE = re.compile(r"\b(?:sleep_for|sleep_until|system_clock)\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*(?:;|\{|=)", re.MULTILINE
+)
+SQE_CHECK_RE = re.compile(r"\bSQE_CHECK(?:_MSG)?\s*\(")
+MAGIC_LITERAL_RE = re.compile(r"0[xX]5351")
+MAGIC_DEF_RE = re.compile(
+    r"\bconstexpr\s+uint32_t\s+k\w*(?:Magic|SnapshotVersion)\b"
+)
+
+# Headers whose inner loops run per posting / per term during retrieval.
+HOT_HEADERS = [
+    "src/index/vocabulary.h",
+    "src/index/postings.h",
+    "src/index/inverted_index.h",
+    "src/index/shard_manifest.h",
+    "src/index/sharded_index.h",
+    "src/kb/knowledge_base.h",
+    "src/retrieval/shard_router.h",
+]
+
+MAGIC_HOME = "src/io/snapshot_format.h"
+SYNC_HOME = "src/common/thread_annotations.h"
+CLOCK_HOMES = {"src/common/clock.h", "src/common/clock.cc"}
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines and
+    column positions so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # str | chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def lint_file(rel_path, raw):
+    """Lints one file's contents; rel_path uses forward slashes."""
+    findings = []
+    code = strip_comments_and_strings(raw)
+
+    if rel_path != SYNC_HOME:
+        for m in BARE_SYNC_RE.finditer(code):
+            findings.append(Finding(
+                rel_path, line_of(code, m.start()), "bare-sync-primitive",
+                f"{m.group(0)} bypasses the annotated Mutex/CondVar wrappers "
+                f"(and the debug deadlock detector); use "
+                f"common/thread_annotations.h"))
+
+    if rel_path not in CLOCK_HOMES:
+        for m in RAW_CLOCK_RE.finditer(code):
+            findings.append(Finding(
+                rel_path, line_of(code, m.start()), "raw-clock",
+                f"{m.group(0)} outside common/clock: inject a Clock "
+                f"(FakeClock in tests) instead of touching real time"))
+
+    if rel_path.startswith("src/"):
+        for m in MUTEX_MEMBER_RE.finditer(code):
+            name = m.group(1)
+            if f"SQE_GUARDED_BY({name})" not in code:
+                findings.append(Finding(
+                    rel_path, line_of(code, m.start()), "unguarded-mutex",
+                    f"Mutex member '{name}' has no SQE_GUARDED_BY({name}) "
+                    f"user in this file; annotate what it protects"))
+
+    if rel_path in HOT_HEADERS:
+        for m in SQE_CHECK_RE.finditer(code):
+            findings.append(Finding(
+                rel_path, line_of(code, m.start()), "check-in-hot-header",
+                "SQE_CHECK in a hot-path header: use SQE_DCHECK (the "
+                "release-build cost of per-posting checks is why these "
+                "headers were converted)"))
+
+    if rel_path != MAGIC_HOME:
+        for m in MAGIC_LITERAL_RE.finditer(code):
+            findings.append(Finding(
+                rel_path, line_of(code, m.start()), "single-magic-def",
+                "raw 0x5351 snapshot-magic literal; use the named constant "
+                "from io/snapshot_format.h"))
+        if rel_path.startswith("src/"):
+            for m in MAGIC_DEF_RE.finditer(code):
+                findings.append(Finding(
+                    rel_path, line_of(code, m.start()), "single-magic-def",
+                    "snapshot magic/version constant defined outside "
+                    "io/snapshot_format.h"))
+
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    for top in LINT_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, _, filenames in os.walk(top_path):
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] not in EXTENSIONS:
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    findings.extend(lint_file(rel, f.read()))
+    return findings
+
+
+# ---- self-test --------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    ("bare-sync-primitive", "src/foo/bar.cc",
+     "#include <mutex>\nstd::mutex mu;\nstd::lock_guard<std::mutex> l(mu);\n"),
+    ("bare-sync-primitive", "tests/t.cc",
+     "void f() { std::condition_variable cv; }\n"),
+    ("raw-clock", "src/foo/bar.cc",
+     "void f() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n"),
+    ("raw-clock", "tests/t.cc",
+     "auto t = std::chrono::system_clock::now();\n"),
+    ("unguarded-mutex", "src/foo/bar.h",
+     "class C {\n  mutable Mutex mu_{\"c\"};\n  int x_ = 0;\n};\n"),
+    ("check-in-hot-header", "src/index/postings.h",
+     "inline void f(int n) { SQE_CHECK(n > 0); }\n"),
+    ("check-in-hot-header", "src/kb/knowledge_base.h",
+     "inline void f(int n) { SQE_CHECK_MSG(n > 0, \"n\"); }\n"),
+    ("single-magic-def", "src/foo/bar.cc",
+     "uint32_t magic = 0x53514B42;\n"),
+    ("single-magic-def", "src/foo/format.h",
+     "inline constexpr uint32_t kFooSnapshotMagic = 0x46464646;\n"),
+]
+
+CLEAN_SNIPPETS = [
+    # Comment and string mentions must not fire.
+    ("src/foo/ok.cc",
+     "// std::mutex is banned; 0x5351 too\n"
+     "/* sleep_for(1s) would be flaky */\n"
+     "const char* s = \"std::mutex 0x5351 sleep_for\";\n"),
+    # Annotated mutex with a guarded member is the blessed pattern.
+    ("src/foo/ok.h",
+     "class C {\n  mutable Mutex mu_{\"c\"};\n"
+     "  int x_ SQE_GUARDED_BY(mu_) = 0;\n};\n"),
+    # SQE_DCHECK in a hot header is exactly what the rule asks for.
+    ("src/index/postings.h",
+     "inline void f(int n) { SQE_DCHECK(n > 0); }\n"),
+    # Tests may define their own (non-SQ) magics.
+    ("tests/io_test.cc",
+     "constexpr uint32_t kTestMagic = 0x54534E50;\n"),
+]
+
+
+def self_test():
+    failures = 0
+    for rule, path, snippet in SELF_TEST_CASES:
+        found = [f for f in lint_file(path, snippet) if f.rule == rule]
+        if not found:
+            print(f"SELF-TEST FAIL: rule '{rule}' did not fire on {path!r}:"
+                  f"\n{snippet}", file=sys.stderr)
+            failures += 1
+    for path, snippet in CLEAN_SNIPPETS:
+        found = lint_file(path, snippet)
+        if found:
+            print(f"SELF-TEST FAIL: clean snippet {path!r} raised: "
+                  + "; ".join(map(str, found)), file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(f"self-test OK: {len(SELF_TEST_CASES)} violations caught, "
+          f"{len(CLEAN_SNIPPETS)} clean snippets quiet")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on synthetic violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(f"sqe_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("sqe_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
