@@ -29,8 +29,19 @@
 // the fraction of in-range postings the pruned scorer never decoded, and a
 // digest-equality assert — pruning is exact, so a mismatch is a correctness
 // bug and fails the binary.
+// A fifth section measures cold start at scale: a million-document corpus is
+// streamed (synth::StreamCollection — constant memory) straight into the
+// index builder, saved as a v3 snapshot, and reloaded by two child processes
+// — one heap, one mapped — each reporting its load time and VmRSS/VmHWM from
+// /proc/self/status plus a probe-query digest. Child processes keep the RSS
+// accounting honest: the two load modes never share an address space, so the
+// mapped row's memory figure cannot inherit the heap row's high-water mark.
+// The digests must match; the mapped load time and RSS must come in below
+// heap for the zero-copy path to be paying its way.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -40,6 +51,7 @@
 #include "retrieval/wand_retriever.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
+#include "text/analyzer.h"
 #include "wide_queries.h"
 
 namespace {
@@ -262,9 +274,107 @@ PruneStat TimePruning(const retrieval::Retriever& retriever,
   return stat;
 }
 
+// ---- cold start ------------------------------------------------------------
+
+// "VmRSS" / "VmHWM" in kB from /proc/self/status (0 if unavailable).
+size_t ReadProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      kb = std::strtoull(line + key_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// Deterministic ranking digest over a handful of wide probe queries: the
+// heap and mapped children must agree bit for bit.
+uint64_t ColdStartProbeDigest(const index::InvertedIndex& index) {
+  retrieval::Retriever retriever(&index, {.mu = 300.0});
+  retrieval::RetrieverScratch scratch;
+  uint64_t digest = 1469598103934665603ull;
+  for (const retrieval::Query& q :
+       bench::MakeWideTermQueries(index, 8, 4)) {
+    for (const retrieval::ScoredDoc& sd :
+         retriever.Retrieve(q, 10, &scratch)) {
+      digest = (digest ^ sd.doc) * 1099511628211ull;
+    }
+  }
+  return digest;
+}
+
+// Child-process entry: load the snapshot in the requested mode, probe it,
+// report one machine-parseable line.
+int ColdStartChild(const char* mode_name, const char* path) {
+  const io::LoadMode mode = std::strcmp(mode_name, "mapped") == 0
+                                ? io::LoadMode::kZeroCopy
+                                : io::LoadMode::kHeap;
+  Timer timer;
+  auto index_or = index::InvertedIndex::FromSnapshotFile(path, mode);
+  if (!index_or.ok()) {
+    std::fprintf(stderr, "coldstart child: %s\n",
+                 index_or.status().ToString().c_str());
+    return 2;
+  }
+  const double load_seconds = timer.ElapsedSeconds();
+  const uint64_t digest = ColdStartProbeDigest(index_or.value());
+  std::printf("coldstart mode=%s load_seconds=%.6f rss_kb=%zu hwm_kb=%zu "
+              "num_docs=%zu digest=%016llx\n",
+              mode_name, load_seconds, ReadProcStatusKb("VmRSS"),
+              ReadProcStatusKb("VmHWM"), index_or->NumDocuments(),
+              static_cast<unsigned long long>(digest));
+  return 0;
+}
+
+struct ColdStartStat {
+  bool ok = false;
+  double load_seconds = 0.0;
+  size_t rss_kb = 0;
+  size_t hwm_kb = 0;
+  uint64_t digest = 0;
+};
+
+ColdStartStat RunColdStartChild(const char* self, const char* mode,
+                                const std::string& path) {
+  ColdStartStat stat;
+  const std::string command =
+      std::string(self) + " --coldstart-child " + mode + " " + path;
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return stat;
+  char line[512];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    char parsed_mode[16];
+    double load_seconds = 0.0;
+    size_t rss_kb = 0, hwm_kb = 0, num_docs = 0;
+    unsigned long long digest = 0;
+    if (std::sscanf(line,
+                    "coldstart mode=%15s load_seconds=%lf rss_kb=%zu "
+                    "hwm_kb=%zu num_docs=%zu digest=%llx",
+                    parsed_mode, &load_seconds, &rss_kb, &hwm_kb, &num_docs,
+                    &digest) == 6) {
+      stat.ok = true;
+      stat.load_seconds = load_seconds;
+      stat.rss_kb = rss_kb;
+      stat.hwm_kb = hwm_kb;
+      stat.digest = digest;
+    }
+  }
+  if (::pclose(pipe) != 0) stat.ok = false;
+  return stat;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "--coldstart-child") == 0) {
+    return ColdStartChild(argv[2], argv[3]);
+  }
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
@@ -380,6 +490,71 @@ int main() {
                                   : "MISMATCH — pruning is not exact");
   if (!prune_digests_match) return 1;
 
+  // ---- cold start: 1M-doc streamed corpus, heap vs mapped v3 load ----------
+  const size_t kColdStartDocs = 1'000'000;
+  const std::string cold_path = "/tmp/sqe_coldstart_index.snap";
+  double cold_build_seconds = 0.0;
+  uint64_t cold_total_tokens = 0;
+  size_t cold_snapshot_bytes = 0;
+  {
+    // Scoped so the builder's index is destroyed before the children run —
+    // their RSS should measure the load path, not compete with the parent's
+    // copy for memory.
+    synth::CollectionOptions cs_options;
+    cs_options.num_docs = kColdStartDocs;
+    cs_options.min_doc_tokens = 10;
+    cs_options.max_doc_tokens = 24;
+    text::Analyzer analyzer;
+    index::IndexBuilder builder;
+    Timer build_timer;
+    synth::StreamCollection(
+        world, cs_options, [&](synth::GeneratedDoc doc, size_t /*d*/) {
+          builder.AddDocument(std::move(doc.external_id),
+                              analyzer.Analyze(doc.text));
+        });
+    index::InvertedIndex cold_index = std::move(builder).Build();
+    cold_build_seconds = build_timer.ElapsedSeconds();
+    cold_total_tokens = cold_index.TotalTokens();
+    Status saved = cold_index.SaveToFile(cold_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "coldstart save: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::error_code ec;
+    cold_snapshot_bytes =
+        static_cast<size_t>(std::filesystem::file_size(cold_path, ec));
+  }
+  std::printf("cold start (%zu docs, %llu tokens, streamed build %.1f s, "
+              "snapshot %zu MB):\n",
+              kColdStartDocs,
+              static_cast<unsigned long long>(cold_total_tokens),
+              cold_build_seconds, cold_snapshot_bytes >> 20);
+  const ColdStartStat cold_heap =
+      RunColdStartChild(argv[0], "heap", cold_path);
+  const ColdStartStat cold_mapped =
+      RunColdStartChild(argv[0], "mapped", cold_path);
+  std::remove(cold_path.c_str());
+  if (!cold_heap.ok || !cold_mapped.ok) {
+    std::fprintf(stderr, "coldstart child failed\n");
+    return 1;
+  }
+  const bool cold_digests_match = cold_heap.digest == cold_mapped.digest;
+  for (const auto* row : {&cold_heap, &cold_mapped}) {
+    std::printf("  %-6s  load %8.3f s  rss %7zu MB  peak %7zu MB  "
+                "digest %016llx\n",
+                row == &cold_heap ? "heap" : "mapped", row->load_seconds,
+                row->rss_kb >> 10, row->hwm_kb >> 10,
+                static_cast<unsigned long long>(row->digest));
+  }
+  std::printf("  mapped vs heap: %.2fx load time, %.2fx peak RSS, "
+              "digests %s\n",
+              cold_mapped.load_seconds / cold_heap.load_seconds,
+              static_cast<double>(cold_mapped.hwm_kb) /
+                  static_cast<double>(cold_heap.hwm_kb),
+              cold_digests_match ? "MATCH" : "MISMATCH — zero-copy load "
+                                            "changed the rankings");
+  if (!cold_digests_match) return 1;
+
   std::string json = "{\n  \"benchmark\": \"batch_throughput\",\n";
   json += "  \"num_queries\": " + std::to_string(batch.size()) + ",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
@@ -441,7 +616,25 @@ int main() {
                   i + 1 < prune_stats.size() ? "," : "");
     json += line;
   }
-  json += "    ]\n  }\n";
+  json += "    ]\n  },\n";
+  {
+    char block[768];
+    std::snprintf(
+        block, sizeof(block),
+        "  \"cold_start\": {\"num_docs\": %zu, \"total_tokens\": %llu, "
+        "\"build_seconds\": %.3f, \"snapshot_bytes\": %zu, "
+        "\"digests_match\": %s,\n"
+        "    \"heap\":   {\"load_seconds\": %.6f, \"rss_kb\": %zu, "
+        "\"hwm_kb\": %zu},\n"
+        "    \"mapped\": {\"load_seconds\": %.6f, \"rss_kb\": %zu, "
+        "\"hwm_kb\": %zu}}\n",
+        kColdStartDocs, static_cast<unsigned long long>(cold_total_tokens),
+        cold_build_seconds, cold_snapshot_bytes,
+        cold_digests_match ? "true" : "false", cold_heap.load_seconds,
+        cold_heap.rss_kb, cold_heap.hwm_kb, cold_mapped.load_seconds,
+        cold_mapped.rss_kb, cold_mapped.hwm_kb);
+    json += block;
+  }
   json += "}\n";
 
   const char* out_path = "BENCH_batch.json";

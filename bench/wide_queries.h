@@ -145,7 +145,8 @@ inline std::vector<retrieval::Query> MakeWideTermQueries(
     for (size_t i = 0; i + num_anchors < num_atoms; ++i) {
       const text::TermId t = pool[(q * 17 + i * stride) % pool.size()];
       clause.atoms.push_back(retrieval::Atom::Term(
-          index.vocabulary().TermOf(t), 0.25 / (1.0 + static_cast<double>(i))));
+          std::string(index.vocabulary().TermOf(t)),
+          0.25 / (1.0 + static_cast<double>(i))));
     }
     queries.push_back(std::move(query));
   }

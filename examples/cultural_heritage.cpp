@@ -57,13 +57,13 @@ int main(int argc, char** argv) {
     if (qi < show) {
       std::printf("\nquery #%zu: \"%s\"\n", qi, query.text.c_str());
       std::printf("  true entity:  [%s]\n",
-                  world.kb.ArticleTitle(query.true_entities[0]).c_str());
+                  std::string(world.kb.ArticleTitle(query.true_entities[0])).c_str());
       std::printf("  auto linked: ");
       if (automatic.empty()) {
         std::printf(" (nothing linked -> falls back to the raw query)");
       }
       for (kb::ArticleId a : automatic) {
-        std::printf(" [%s]%s", world.kb.ArticleTitle(a).c_str(),
+        std::printf(" [%s]%s", std::string(world.kb.ArticleTitle(a)).c_str(),
                     a == query.true_entities[0] ? "*" : "");
       }
       std::printf("\n  SQE_C (M) P@10=%.2f   SQE_C (A) P@10=%.2f\n", p10_m,

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const synth::GeneratedQuery& query = dataset.query_set.queries[query_index];
   std::printf("\nquery #%zu: \"%s\"\n", query_index, query.text.c_str());
   std::printf("intent: [%s], %zu relevant documents\n",
-              world.kb.ArticleTitle(query.true_entities[0]).c_str(),
+              std::string(world.kb.ArticleTitle(query.true_entities[0])).c_str(),
               dataset.query_set.qrels.NumRelevant(query_index));
 
   std::printf("\nbaselines (manual query nodes):\n");
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
       for (size_t i = 0; i < run.graph.expansion_nodes.size() && i < 4; ++i) {
         const auto& node = run.graph.expansion_nodes[i];
         std::printf("      |m_a|=%-3u %s\n", node.motif_count,
-                    world.kb.ArticleTitle(node.article).c_str());
+                    std::string(world.kb.ArticleTitle(node.article)).c_str());
       }
     }
   }

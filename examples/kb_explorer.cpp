@@ -19,11 +19,11 @@ namespace {
 using namespace sqe;
 
 void ExploreArticle(const kb::KnowledgeBase& kb, kb::ArticleId article) {
-  std::printf("\n[%s] (article %u)\n", kb.ArticleTitle(article).c_str(),
+  std::printf("\n[%s] (article %u)\n", std::string(kb.ArticleTitle(article)).c_str(),
               article);
   std::printf("  categories:");
   for (kb::CategoryId c : kb.CategoriesOf(article)) {
-    std::printf(" {%s}", kb.CategoryTitle(c).c_str());
+    std::printf(" {%s}", std::string(kb.CategoryTitle(c)).c_str());
   }
   std::printf("\n  out-links: %zu, in-links: %zu\n",
               kb.OutLinks(article).size(), kb.InLinks(article).size());
@@ -33,18 +33,18 @@ void ExploreArticle(const kb::KnowledgeBase& kb, kb::ArticleId article) {
   std::printf("  triangular motifs (%zu):\n", triangles.size());
   for (size_t i = 0; i < triangles.size() && i < 6; ++i) {
     std::printf("    %s --- %s --- {%s}\n",
-                kb.ArticleTitle(article).c_str(),
-                kb.ArticleTitle(triangles[i].expansion_node).c_str(),
-                kb.CategoryTitle(triangles[i].shared_category).c_str());
+                std::string(kb.ArticleTitle(article)).c_str(),
+                std::string(kb.ArticleTitle(triangles[i].expansion_node)).c_str(),
+                std::string(kb.CategoryTitle(triangles[i].shared_category)).c_str());
   }
   auto squares = finder.FindSquare(article);
   std::printf("  square motifs (%zu):\n", squares.size());
   for (size_t i = 0; i < squares.size() && i < 6; ++i) {
     std::printf("    %s --- %s --- {%s} --- {%s}\n",
-                kb.ArticleTitle(article).c_str(),
-                kb.ArticleTitle(squares[i].expansion_node).c_str(),
-                kb.CategoryTitle(squares[i].expansion_category).c_str(),
-                kb.CategoryTitle(squares[i].query_category).c_str());
+                std::string(kb.ArticleTitle(article)).c_str(),
+                std::string(kb.ArticleTitle(squares[i].expansion_node)).c_str(),
+                std::string(kb.CategoryTitle(squares[i].expansion_category)).c_str(),
+                std::string(kb.CategoryTitle(squares[i].query_category)).c_str());
   }
 
   std::vector<kb::ArticleId> nodes = {article};
@@ -57,7 +57,7 @@ void ExploreArticle(const kb::KnowledgeBase& kb, kb::ArticleId article) {
     const auto& node = graph.expansion_nodes[i];
     std::printf("    |m_a|=%-3u (T=%u S=%u)  %s\n", node.motif_count,
                 node.triangular_count, node.square_count,
-                kb.ArticleTitle(node.article).c_str());
+                std::string(kb.ArticleTitle(node.article)).c_str());
   }
 }
 

@@ -24,7 +24,7 @@ void PrintResults(const char* label, const sqe::retrieval::ResultList& results,
   for (size_t i = 0; i < show && i < results.size(); ++i) {
     bool relevant = dataset.query_set.qrels.IsRelevant(query_index,
                                                        results[i].doc);
-    std::printf(" %s%s", dataset.index.ExternalId(results[i].doc).c_str(),
+    std::printf(" %s%s", std::string(dataset.index.ExternalId(results[i].doc)).c_str(),
                 relevant ? "*" : "");
   }
   std::printf("\n");
@@ -61,14 +61,14 @@ int main(int argc, char** argv) {
       dataset.query_set.queries[query_index];
   std::printf("\nquery #%zu: \"%s\"\n", query_index, query.text.c_str());
   std::printf("intent article: %s\n",
-              world.kb.ArticleTitle(query.true_entities[0]).c_str());
+              std::string(world.kb.ArticleTitle(query.true_entities[0])).c_str());
 
   // 3. Entity linking (automatic) vs the manual ground truth.
   std::vector<sqe::kb::ArticleId> auto_nodes =
       engine.LinkQueryNodes(query.text);
   std::printf("auto-linked query nodes:");
   for (sqe::kb::ArticleId a : auto_nodes) {
-    std::printf(" [%s]", world.kb.ArticleTitle(a).c_str());
+    std::printf(" [%s]", std::string(world.kb.ArticleTitle(a)).c_str());
   }
   std::printf("\n\n");
 
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < run.graph.expansion_nodes.size() && i < 5; ++i) {
       const auto& node = run.graph.expansion_nodes[i];
       std::printf("   |m_a|=%u  %s\n", node.motif_count,
-                  world.kb.ArticleTitle(node.article).c_str());
+                  std::string(world.kb.ArticleTitle(node.article)).c_str());
     }
     PrintResults(motifs.ToString().c_str(), run.results, dataset, query_index,
                  5);

@@ -16,6 +16,14 @@
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string image(reinterpret_cast<const char*>(data), size);
 
+  // Zero-copy probe: the mapped loader must be exactly as strict as the
+  // heap loader, and its in-image spans must survive Validate's full walk.
+  auto mapped = sqe::index::InvertedIndex::FromSnapshotString(
+      image, sqe::io::LoadMode::kZeroCopy);
+  if (mapped.ok()) {
+    SQE_CHECK(mapped->Validate().ok());
+  }
+
   auto index = sqe::index::InvertedIndex::FromSnapshotString(image);
   if (index.ok()) {
     SQE_CHECK(index->Validate().ok());

@@ -12,6 +12,17 @@
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string image(reinterpret_cast<const char*>(data), size);
+
+  // Zero-copy probe first: the mapped loader must be exactly as strict as
+  // the heap loader (legacy images are rejected as InvalidArgument, aligned
+  // images hit the same validation), and its spans must stay in bounds for
+  // Validate's full walk.
+  auto mapped = sqe::kb::KnowledgeBase::FromSnapshotString(
+      image, sqe::io::LoadMode::kZeroCopy);
+  if (mapped.ok()) {
+    SQE_CHECK(mapped->Validate().ok());
+  }
+
   auto loaded = sqe::kb::KnowledgeBase::FromSnapshotString(std::move(image));
   if (loaded.ok()) {
     // Anything the loader accepts must also deep-validate: the load path

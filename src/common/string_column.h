@@ -1,0 +1,114 @@
+// A column of immutable strings with two storage modes, mirroring
+// VecOrView: owned (a plain vector<string>, for builders, legacy loads,
+// and heap loads) or mapped (an offsets array + contiguous blob pointing
+// into a zero-copy snapshot image, handed out as string_views with no
+// per-string allocation).
+//
+// The mapped layout is the on-disk v3 form: offsets[i] / offsets[i+1]
+// delimit string i inside the blob, offsets[0] == 0, offsets are
+// non-decreasing, offsets[N] == blob size. SetMapped validates exactly
+// that, so a corrupted offsets block can never produce an out-of-range
+// view.
+#ifndef SQE_COMMON_STRING_COLUMN_H_
+#define SQE_COMMON_STRING_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace sqe {
+
+class StringColumn {
+ public:
+  StringColumn() = default;
+
+  bool mapped() const { return mapped_; }
+
+  size_t size() const {
+    return mapped_ ? offsets_.size() - 1 : strings_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  std::string_view operator[](size_t i) const {
+    SQE_DCHECK(i < size());
+    if (!mapped_) return strings_[i];
+    return blob_.substr(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// Owned-mode storage, for builders and heap loads.
+  std::vector<std::string>& owned() {
+    SQE_DCHECK(!mapped_);
+    return strings_;
+  }
+  const std::vector<std::string>& owned() const {
+    SQE_DCHECK(!mapped_);
+    return strings_;
+  }
+
+  /// Validates the mapped layout described above. `what` names the column
+  /// in error messages.
+  static Status ValidateMappedLayout(std::span<const uint64_t> offsets,
+                                     std::string_view blob,
+                                     std::string_view what) {
+    if (offsets.empty()) {
+      return Status::Corruption(std::string(what) +
+                                ": empty offsets array (need N+1 entries)");
+    }
+    if (offsets[0] != 0) {
+      return Status::Corruption(std::string(what) +
+                                ": offsets do not start at 0");
+    }
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) {
+        return Status::Corruption(std::string(what) +
+                                  ": offsets not monotone");
+      }
+    }
+    if (offsets.back() != blob.size()) {
+      return Status::Corruption(std::string(what) +
+                                ": offsets do not cover the blob");
+    }
+    return Status::OK();
+  }
+
+  /// Switches to zero-copy mode. Both spans must outlive this column.
+  Status SetMapped(std::span<const uint64_t> offsets, std::string_view blob,
+                   std::string_view what) {
+    SQE_RETURN_IF_ERROR(ValidateMappedLayout(offsets, blob, what));
+    strings_.clear();
+    strings_.shrink_to_fit();
+    offsets_ = offsets;
+    blob_ = blob;
+    mapped_ = true;
+    return Status::OK();
+  }
+
+  /// Copies the mapped layout into owned strings (heap load of a v3
+  /// image).
+  Status AssignMapped(std::span<const uint64_t> offsets,
+                      std::string_view blob, std::string_view what) {
+    SQE_RETURN_IF_ERROR(ValidateMappedLayout(offsets, blob, what));
+    SQE_DCHECK(!mapped_);
+    strings_.clear();
+    strings_.reserve(offsets.size() - 1);
+    for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+      strings_.emplace_back(blob.substr(offsets[i], offsets[i + 1] - offsets[i]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::span<const uint64_t> offsets_;  // size N+1 in mapped mode
+  std::string_view blob_;
+  bool mapped_ = false;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_STRING_COLUMN_H_

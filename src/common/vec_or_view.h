@@ -1,0 +1,83 @@
+// A read-mostly array that either owns its elements or views memory
+// retained by someone else.
+//
+// This is the storage primitive behind the two snapshot load modes
+// (io::LoadMode): builders and heap loads mutate the owned vector through
+// vec(); a zero-copy load of an aligned (v3+) snapshot attaches a span
+// pointing into the mapped image via SetView, after which the container is
+// immutable and costs no heap memory for the elements. All read accessors
+// work identically in both modes.
+#ifndef SQE_COMMON_VEC_OR_VIEW_H_
+#define SQE_COMMON_VEC_OR_VIEW_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sqe {
+
+template <typename T>
+class VecOrView {
+ public:
+  using value_type = T;
+
+  VecOrView() = default;
+
+  /// True once SetView attached mapped memory; mutation is illegal then.
+  bool mapped() const { return mapped_; }
+
+  std::span<const T> span() const {
+    return mapped_ ? view_ : std::span<const T>(vec_);
+  }
+  size_t size() const { return mapped_ ? view_.size() : vec_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return mapped_ ? view_.data() : vec_.data(); }
+  const T& operator[](size_t i) const {
+    SQE_DCHECK(i < size());
+    return data()[i];
+  }
+  const T& back() const {
+    SQE_DCHECK(!empty());
+    return data()[size() - 1];
+  }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  /// Owned-mode storage, for builders and heap loads. The element span must
+  /// not be cached across mutations (vector reallocation moves it).
+  std::vector<T>& vec() {
+    SQE_DCHECK(!mapped_);
+    return vec_;
+  }
+  const std::vector<T>& vec() const {
+    SQE_DCHECK(!mapped_);
+    return vec_;
+  }
+
+  /// Switches to zero-copy mode. `view` must outlive this container (the
+  /// snapshot loaders retain the image via SnapshotReader::retainer()).
+  void SetView(std::span<const T> view) {
+    vec_.clear();
+    vec_.shrink_to_fit();
+    view_ = view;
+    mapped_ = true;
+  }
+
+  /// Copies mapped-layout data into owned storage (heap load of a v3
+  /// image).
+  void Assign(std::span<const T> view) {
+    SQE_DCHECK(!mapped_);
+    vec_.assign(view.begin(), view.end());
+  }
+
+ private:
+  std::vector<T> vec_;
+  std::span<const T> view_;
+  bool mapped_ = false;
+};
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_VEC_OR_VIEW_H_

@@ -2,25 +2,22 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/string_util.h"
 #include "io/coding.h"
-#include "io/file.h"
-#include "io/snapshot_format.h"
 
 namespace sqe::index {
 
 void InvertedIndex::BuildDocsByLength() {
-  docs_by_length_.resize(doc_lengths_.size());
-  std::iota(docs_by_length_.begin(), docs_by_length_.end(), 0);
-  std::sort(docs_by_length_.begin(), docs_by_length_.end(),
-            [this](DocId a, DocId b) {
-              if (doc_lengths_[a] != doc_lengths_[b]) {
-                return doc_lengths_[a] < doc_lengths_[b];
-              }
-              return a < b;
-            });
+  std::vector<DocId>& order = docs_by_length_.vec();
+  order.resize(doc_lengths_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](DocId a, DocId b) {
+    if (doc_lengths_[a] != doc_lengths_[b]) {
+      return doc_lengths_[a] < doc_lengths_[b];
+    }
+    return a < b;
+  });
 }
 
 Status InvertedIndex::Validate() const {
@@ -46,7 +43,7 @@ Status InvertedIndex::Validate() const {
     }
   } else {
     if (doc_term_offsets_.size() != num_docs + 1 ||
-        doc_term_offsets_.front() != 0 ||
+        doc_term_offsets_[0] != 0 ||
         doc_term_offsets_.back() != doc_terms_.size()) {
       return Status::Corruption(StrFormat(
           "index: forward offsets malformed (%zu entries for %zu docs, "
@@ -92,14 +89,14 @@ Status InvertedIndex::Validate() const {
     Status s = postings_[t].Validate(num_docs);
     if (!s.ok()) {
       return Status::Corruption(StrFormat(
-          "index: term %zu ('%s'): %s", t, vocab_.TermOf(t).c_str(),
-          s.message().c_str()));
+          "index: term %zu ('%s'): %s", t,
+          std::string(vocab_.TermOf(t)).c_str(), s.message().c_str()));
     }
     if (postings_[t].CollectionFrequency() != forward_counts[t]) {
       return Status::Corruption(StrFormat(
           "index: term %zu ('%s') collection frequency %llu != %llu forward "
           "occurrences",
-          t, vocab_.TermOf(t).c_str(),
+          t, std::string(vocab_.TermOf(t)).c_str(),
           (unsigned long long)postings_[t].CollectionFrequency(),
           (unsigned long long)forward_counts[t]));
     }
@@ -109,8 +106,8 @@ Status InvertedIndex::Validate() const {
       if (!pos.empty() && pos.back() >= doc_lengths_[postings_[t].doc(i)]) {
         return Status::Corruption(StrFormat(
             "index: term %zu ('%s') doc %u position %u beyond doc length %u",
-            t, vocab_.TermOf(t).c_str(), (unsigned)postings_[t].doc(i),
-            (unsigned)pos.back(),
+            t, std::string(vocab_.TermOf(t)).c_str(),
+            (unsigned)postings_[t].doc(i), (unsigned)pos.back(),
             (unsigned)doc_lengths_[postings_[t].doc(i)]));
       }
     }
@@ -167,23 +164,27 @@ double InvertedIndex::CollectionProbability(text::TermId t) const {
 DocId IndexBuilder::AddDocument(std::string external_id,
                                 const std::vector<std::string>& terms) {
   DocId doc = static_cast<DocId>(index_.doc_lengths_.size());
-  index_.external_ids_.push_back(std::move(external_id));
-  index_.doc_lengths_.push_back(static_cast<uint32_t>(terms.size()));
-  if (index_.doc_term_offsets_.empty()) index_.doc_term_offsets_.push_back(0);
+  index_.external_ids_.owned().push_back(std::move(external_id));
+  index_.doc_lengths_.vec().push_back(static_cast<uint32_t>(terms.size()));
+  if (index_.doc_term_offsets_.empty()) {
+    index_.doc_term_offsets_.vec().push_back(0);
+  }
   uint32_t position = 0;
   for (const std::string& term : terms) {
     text::TermId t = index_.vocab_.GetOrAdd(term);
     if (t >= posting_builders_.size()) posting_builders_.resize(t + 1);
     posting_builders_[t].AddOccurrence(doc, position++);
-    index_.doc_terms_.push_back(t);
+    index_.doc_terms_.vec().push_back(t);
   }
-  index_.doc_term_offsets_.push_back(index_.doc_terms_.size());
+  index_.doc_term_offsets_.vec().push_back(index_.doc_terms_.size());
   index_.total_tokens_ += terms.size();
   return doc;
 }
 
 InvertedIndex IndexBuilder::Build() && {
-  if (index_.doc_term_offsets_.empty()) index_.doc_term_offsets_.push_back(0);
+  if (index_.doc_term_offsets_.empty()) {
+    index_.doc_term_offsets_.vec().push_back(0);
+  }
   index_.postings_.reserve(posting_builders_.size());
   for (PostingListBuilder& b : posting_builders_) {
     index_.postings_.push_back(std::move(b).Build());
@@ -202,66 +203,211 @@ InvertedIndex IndexBuilder::Build() && {
   return std::move(index_);
 }
 
-std::string InvertedIndex::SerializeToString() const {
-  io::SnapshotWriter writer(io::kIndexSnapshotMagic, io::kIndexSnapshotVersion);
+namespace {
+// v3 block helpers: raw little-endian arrays at aligned offsets.
+template <typename T>
+void AddArrayBlock(io::SnapshotWriter* writer, std::string_view name,
+                   std::span<const T> values) {
   std::string block;
+  io::AppendArray(&block, values);
+  writer->AddBlock(name, std::move(block));
+}
 
-  // Vocabulary.
-  io::PutVarint64(&block, vocab_.size());
-  for (const std::string& term : vocab_.terms()) {
-    io::PutLengthPrefixed(&block, term);
+// A concatenation index table: entry t is where term t's slice begins in
+// the flattened array, entry V is the array's total length.
+Status CheckIndexTable(std::string_view name,
+                       std::span<const uint64_t> table, uint64_t total) {
+  if (table.empty() || table.front() != 0) {
+    return Status::Corruption(StrFormat("%s: index table must start at 0",
+                                        std::string(name).c_str()));
   }
-  writer.AddBlock("vocabulary", std::move(block));
-  block.clear();
-
-  // Documents: external ids + lengths.
-  io::PutVarint64(&block, doc_lengths_.size());
-  for (size_t i = 0; i < doc_lengths_.size(); ++i) {
-    io::PutLengthPrefixed(&block, external_ids_[i]);
-    io::PutVarint32(&block, doc_lengths_[i]);
-  }
-  writer.AddBlock("documents", std::move(block));
-  block.clear();
-
-  // Forward index (delta-free; term ids are small already).
-  io::PutVarint64(&block, doc_terms_.size());
-  for (text::TermId t : doc_terms_) io::PutVarint32(&block, t);
-  writer.AddBlock("forward", std::move(block));
-  block.clear();
-
-  // Postings: per term, [num_docs] then per doc [doc gap][freq][pos gaps].
-  io::PutVarint64(&block, postings_.size());
-  for (const PostingList& pl : postings_) {
-    io::PutVarint64(&block, pl.NumDocs());
-    DocId prev_doc = 0;
-    for (size_t i = 0; i < pl.NumDocs(); ++i) {
-      io::PutVarint32(&block, pl.doc(i) - prev_doc);
-      prev_doc = pl.doc(i);
-      io::PutVarint32(&block, pl.frequency(i));
-      uint32_t prev_pos = 0;
-      for (uint32_t p : pl.positions(i)) {
-        io::PutVarint32(&block, p - prev_pos);
-        prev_pos = p;
-      }
+  for (size_t i = 0; i + 1 < table.size(); ++i) {
+    if (table[i] > table[i + 1]) {
+      return Status::Corruption(
+          StrFormat("%s: index table not monotone at term %zu",
+                    std::string(name).c_str(), i));
     }
   }
-  writer.AddBlock("postings", std::move(block));
-  block.clear();
-
-  // Block-max tables (v2): per term, the list-wide max frequency and one
-  // max per kBlockSize-posting block. Derived data, persisted so the
-  // snapshot is self-describing for pruned scoring (a future mmap path
-  // reads them in place) — Validate() proves them equal to a recomputation
-  // on every load, so a tampered table is Corruption, never a wrong top-k.
-  io::PutVarint64(&block, postings_.size());
-  for (const PostingList& pl : postings_) {
-    io::PutVarint32(&block, pl.MaxFrequency());
-    std::span<const uint32_t> block_max = pl.BlockMaxFrequencies();
-    io::PutVarint64(&block, block_max.size());
-    for (uint32_t m : block_max) io::PutVarint32(&block, m);
+  if (table.back() != total) {
+    return Status::Corruption(StrFormat(
+        "%s: index table ends at %llu but array has %llu elements",
+        std::string(name).c_str(), (unsigned long long)table.back(),
+        (unsigned long long)total));
   }
-  writer.AddBlock("blockmax", std::move(block));
+  return Status::OK();
+}
+}  // namespace
 
+std::string InvertedIndex::SerializeToString(uint32_t version) const {
+  SQE_CHECK_MSG(version == 1 || version == 2 ||
+                    version >= io::kAlignedSnapshotVersion,
+                "unsupported index snapshot version");
+  io::SnapshotWriter writer(io::kIndexSnapshotMagic, version);
+
+  if (version < io::kAlignedSnapshotVersion) {
+    std::string block;
+
+    // Vocabulary.
+    io::PutVarint64(&block, vocab_.size());
+    for (size_t t = 0; t < vocab_.size(); ++t) {
+      io::PutLengthPrefixed(&block, vocab_.TermOf(static_cast<text::TermId>(t)));
+    }
+    writer.AddBlock("vocabulary", std::move(block));
+    block.clear();
+
+    // Documents: external ids + lengths.
+    io::PutVarint64(&block, doc_lengths_.size());
+    for (size_t i = 0; i < doc_lengths_.size(); ++i) {
+      io::PutLengthPrefixed(&block, external_ids_[i]);
+      io::PutVarint32(&block, doc_lengths_[i]);
+    }
+    writer.AddBlock("documents", std::move(block));
+    block.clear();
+
+    // Forward index (delta-free; term ids are small already).
+    io::PutVarint64(&block, doc_terms_.size());
+    for (text::TermId t : doc_terms_) io::PutVarint32(&block, t);
+    writer.AddBlock("forward", std::move(block));
+    block.clear();
+
+    // Postings: per term, [num_docs] then per doc [doc gap][freq][pos gaps].
+    io::PutVarint64(&block, postings_.size());
+    for (const PostingList& pl : postings_) {
+      io::PutVarint64(&block, pl.NumDocs());
+      DocId prev_doc = 0;
+      for (size_t i = 0; i < pl.NumDocs(); ++i) {
+        io::PutVarint32(&block, pl.doc(i) - prev_doc);
+        prev_doc = pl.doc(i);
+        io::PutVarint32(&block, pl.frequency(i));
+        uint32_t prev_pos = 0;
+        for (uint32_t p : pl.positions(i)) {
+          io::PutVarint32(&block, p - prev_pos);
+          prev_pos = p;
+        }
+      }
+    }
+    writer.AddBlock("postings", std::move(block));
+    block.clear();
+
+    if (version >= 2) {
+      // Block-max tables (v2): per term, the list-wide max frequency and
+      // one max per kBlockSize-posting block. Derived data, persisted so
+      // the snapshot is self-describing for pruned scoring — Validate()
+      // proves them equal to a recomputation on every load, so a tampered
+      // table is Corruption, never a wrong top-k.
+      io::PutVarint64(&block, postings_.size());
+      for (const PostingList& pl : postings_) {
+        io::PutVarint32(&block, pl.MaxFrequency());
+        std::span<const uint32_t> block_max = pl.BlockMaxFrequencies();
+        io::PutVarint64(&block, block_max.size());
+        for (uint32_t m : block_max) io::PutVarint32(&block, m);
+      }
+      writer.AddBlock("blockmax", std::move(block));
+    }
+    return writer.Serialize();
+  }
+
+  // Aligned (v3) layout: every array raw at an aligned offset, every
+  // derived structure persisted so a load decodes and rebuilds nothing.
+  // Per-term variable-length data is flattened into one array per kind
+  // plus a u64 concatenation index table sized V+1.
+  const uint64_t meta[3] = {doc_lengths_.size(), vocab_.size(),
+                            total_tokens_};
+  AddArrayBlock<uint64_t>(&writer, "meta", meta);
+
+  // Document store.
+  {
+    std::vector<uint64_t> offsets;
+    offsets.reserve(external_ids_.size() + 1);
+    offsets.push_back(0);
+    std::string blob;
+    for (size_t i = 0; i < external_ids_.size(); ++i) {
+      blob.append(external_ids_[i]);
+      offsets.push_back(blob.size());
+    }
+    AddArrayBlock<uint64_t>(&writer, "docs.extid_offsets", offsets);
+    writer.AddBlock("docs.extid_blob", std::move(blob));
+  }
+  AddArrayBlock(&writer, "docs.lengths", doc_lengths_.span());
+  AddArrayBlock(&writer, "docs.by_length", docs_by_length_.span());
+
+  // Forward index.
+  AddArrayBlock(&writer, "fwd.offsets", doc_term_offsets_.span());
+  AddArrayBlock(&writer, "fwd.terms", doc_terms_.span());
+
+  // Vocabulary: string column plus the term-sorted id permutation the
+  // mapped lookup binary-searches (the persistable form of the hash map).
+  {
+    std::vector<uint64_t> offsets;
+    offsets.reserve(vocab_.size() + 1);
+    offsets.push_back(0);
+    std::string blob;
+    for (size_t t = 0; t < vocab_.size(); ++t) {
+      blob.append(vocab_.TermOf(static_cast<text::TermId>(t)));
+      offsets.push_back(blob.size());
+    }
+    AddArrayBlock<uint64_t>(&writer, "vocab.offsets", offsets);
+    writer.AddBlock("vocab.blob", std::move(blob));
+    AddArrayBlock<text::TermId>(&writer, "vocab.order", vocab_.SortedOrder());
+  }
+
+  // Postings, flattened. Position offsets stay relative per term (each
+  // slice starts at 0), so a loaded slice works with positions() unchanged.
+  {
+    const size_t num_terms = postings_.size();
+    std::vector<uint64_t> doc_index, posidx_index, positions_index,
+        block_index;
+    doc_index.reserve(num_terms + 1);
+    posidx_index.reserve(num_terms + 1);
+    positions_index.reserve(num_terms + 1);
+    block_index.reserve(num_terms + 1);
+    doc_index.push_back(0);
+    posidx_index.push_back(0);
+    positions_index.push_back(0);
+    block_index.push_back(0);
+    std::vector<DocId> docs;
+    std::vector<uint32_t> freqs;
+    std::vector<uint64_t> pos_offsets;
+    std::vector<uint32_t> positions;
+    std::vector<uint32_t> block_max;
+    std::vector<DocId> block_last;
+    std::vector<uint64_t> ctf;
+    std::vector<uint32_t> maxfreq;
+    ctf.reserve(num_terms);
+    maxfreq.reserve(num_terms);
+    for (const PostingList& pl : postings_) {
+      std::span<const DocId> d = pl.docs();
+      docs.insert(docs.end(), d.begin(), d.end());
+      std::span<const uint32_t> f = pl.frequencies();
+      freqs.insert(freqs.end(), f.begin(), f.end());
+      std::span<const uint64_t> po = pl.pos_offsets_.span();
+      pos_offsets.insert(pos_offsets.end(), po.begin(), po.end());
+      std::span<const uint32_t> p = pl.positions_.span();
+      positions.insert(positions.end(), p.begin(), p.end());
+      std::span<const uint32_t> bm = pl.BlockMaxFrequencies();
+      block_max.insert(block_max.end(), bm.begin(), bm.end());
+      std::span<const DocId> bl = pl.BlockLastDocs();
+      block_last.insert(block_last.end(), bl.begin(), bl.end());
+      doc_index.push_back(docs.size());
+      posidx_index.push_back(pos_offsets.size());
+      positions_index.push_back(positions.size());
+      block_index.push_back(block_max.size());
+      ctf.push_back(pl.CollectionFrequency());
+      maxfreq.push_back(pl.MaxFrequency());
+    }
+    AddArrayBlock<uint64_t>(&writer, "post.doc_index", doc_index);
+    AddArrayBlock<DocId>(&writer, "post.docs", docs);
+    AddArrayBlock<uint32_t>(&writer, "post.freqs", freqs);
+    AddArrayBlock<uint64_t>(&writer, "post.posidx_index", posidx_index);
+    AddArrayBlock<uint64_t>(&writer, "post.pos_offsets", pos_offsets);
+    AddArrayBlock<uint64_t>(&writer, "post.positions_index", positions_index);
+    AddArrayBlock<uint32_t>(&writer, "post.positions", positions);
+    AddArrayBlock<uint64_t>(&writer, "post.block_index", block_index);
+    AddArrayBlock<uint32_t>(&writer, "post.block_max", block_max);
+    AddArrayBlock<DocId>(&writer, "post.block_last", block_last);
+    AddArrayBlock<uint64_t>(&writer, "post.ctf", ctf);
+    AddArrayBlock<uint32_t>(&writer, "post.maxfreq", maxfreq);
+  }
   return writer.Serialize();
 }
 
@@ -269,12 +415,8 @@ Status InvertedIndex::SaveToFile(const std::string& path) const {
   return io::WriteStringToFile(path, SerializeToString());
 }
 
-Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
-  auto reader_or =
-      io::SnapshotReader::Open(std::move(image), io::kIndexSnapshotMagic);
-  if (!reader_or.ok()) return reader_or.status();
-  const io::SnapshotReader& reader = reader_or.value();
-
+Result<InvertedIndex> InvertedIndex::LoadLegacy(
+    const io::SnapshotReader& reader) {
   InvertedIndex index;
 
   // Vocabulary.
@@ -297,16 +439,16 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
   if (!io::GetVarint64(&db, &num_docs)) {
     return Status::Corruption("index documents truncated");
   }
-  index.doc_lengths_.reserve(num_docs);
-  index.external_ids_.reserve(num_docs);
+  index.doc_lengths_.vec().reserve(num_docs);
+  index.external_ids_.owned().reserve(num_docs);
   for (uint64_t i = 0; i < num_docs; ++i) {
     std::string_view ext;
     uint32_t len;
     if (!io::GetLengthPrefixed(&db, &ext) || !io::GetVarint32(&db, &len)) {
       return Status::Corruption("index document entry truncated");
     }
-    index.external_ids_.emplace_back(ext);
-    index.doc_lengths_.push_back(len);
+    index.external_ids_.owned().emplace_back(ext);
+    index.doc_lengths_.vec().push_back(len);
     index.total_tokens_ += len;
   }
 
@@ -316,7 +458,7 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
   if (!io::GetVarint64(&fb, &num_fwd)) {
     return Status::Corruption("index forward block truncated");
   }
-  index.doc_terms_.reserve(num_fwd);
+  index.doc_terms_.vec().reserve(num_fwd);
   for (uint64_t i = 0; i < num_fwd; ++i) {
     uint32_t t;
     if (!io::GetVarint32(&fb, &t)) {
@@ -325,14 +467,14 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
     if (t >= vocab_size) {
       return Status::Corruption("forward term id out of range");
     }
-    index.doc_terms_.push_back(t);
+    index.doc_terms_.vec().push_back(t);
   }
-  index.doc_term_offsets_.assign(1, 0);
+  index.doc_term_offsets_.vec().assign(1, 0);
   {
     uint64_t acc = 0;
     for (uint64_t i = 0; i < num_docs; ++i) {
       acc += index.doc_lengths_[i];
-      index.doc_term_offsets_.push_back(acc);
+      index.doc_term_offsets_.vec().push_back(acc);
     }
     if (acc != num_fwd) {
       return Status::Corruption("forward index size != sum of doc lengths");
@@ -387,8 +529,8 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
   }
 
   // Block-max tables. v2 images carry them and must adopt the stored bytes
-  // (Validate below recomputes the true maxima and rejects any mismatch);
-  // v1 images predate the block and keep the builder-computed tables.
+  // (Validate recomputes the true maxima and rejects any mismatch); v1
+  // images predate the block and keep the builder-computed tables.
   if (reader.version() >= 2) {
     SQE_ASSIGN_OR_RETURN(std::string_view bb, reader.GetBlock("blockmax"));
     uint64_t bm_terms;
@@ -413,14 +555,15 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
         return Status::Corruption("block-max table size mismatch");
       }
       pl.max_frequency_ = max_freq;
-      pl.block_max_frequencies_.clear();
-      pl.block_max_frequencies_.reserve(want_blocks);
+      std::vector<uint32_t>& stored = pl.block_max_frequencies_.vec();
+      stored.clear();
+      stored.reserve(want_blocks);
       for (uint64_t b = 0; b < num_blocks; ++b) {
         uint32_t m;
         if (!io::GetVarint32(&bb, &m)) {
           return Status::Corruption("block-max entry truncated");
         }
-        pl.block_max_frequencies_.push_back(m);
+        stored.push_back(m);
       }
     }
     if (!bb.empty()) {
@@ -429,20 +572,228 @@ Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image) {
   }
 
   index.BuildDocsByLength();
-
-  // Deep structural validation of the final object: catches payloads that
-  // pass CRC and decode (e.g. a re-signed snapshot whose postings disagree
-  // with the forward index) before they can skew scores or index out of
-  // bounds under the release-mode SQE_DCHECKs.
-  SQE_RETURN_IF_ERROR(index.Validate());
   return index;
 }
 
-Result<InvertedIndex> InvertedIndex::FromSnapshotFile(
-    const std::string& path) {
+Result<InvertedIndex> InvertedIndex::LoadAligned(
+    const io::SnapshotReader& reader, io::LoadMode mode) {
+  InvertedIndex index;
+  auto require = [&](std::string_view name) -> Result<std::string_view> {
+    auto block = reader.GetBlock(name);
+    if (!block.ok()) {
+      return Status::Corruption("index snapshot missing block: " +
+                                std::string(name));
+    }
+    return block;
+  };
+  auto array_of = [&]<typename T>(std::string_view name,
+                                  std::in_place_type_t<T>)
+      -> Result<std::span<const T>> {
+    SQE_ASSIGN_OR_RETURN(std::string_view block, require(name));
+    return io::BlockAsArray<T>(block, name);
+  };
+  // Loads one array block into a VecOrView member: a view in zero-copy
+  // mode, an owned copy in heap mode. `want` pins the element count.
+  auto load = [&](std::string_view name, auto& dst, size_t want) -> Status {
+    using T = typename std::remove_reference_t<decltype(dst)>::value_type;
+    SQE_ASSIGN_OR_RETURN(std::span<const T> arr,
+                         array_of(name, std::in_place_type<T>));
+    if (want != SIZE_MAX && arr.size() != want) {
+      return Status::Corruption(StrFormat("%s: %zu elements, want %zu",
+                                          std::string(name).c_str(),
+                                          arr.size(), want));
+    }
+    if (mode == io::LoadMode::kZeroCopy) {
+      dst.SetView(arr);
+    } else {
+      dst.Assign(arr);
+    }
+    return Status::OK();
+  };
+
+  SQE_ASSIGN_OR_RETURN(std::span<const uint64_t> meta,
+                       array_of("meta", std::in_place_type<uint64_t>));
+  if (meta.size() != 3) {
+    return Status::Corruption("index snapshot meta block malformed");
+  }
+  const uint64_t num_docs = meta[0], num_terms = meta[1];
+  if (num_docs >= UINT32_MAX || num_terms >= UINT32_MAX) {
+    return Status::Corruption("index snapshot count exceeds id space");
+  }
+  index.total_tokens_ = meta[2];
+
+  // Vocabulary: string column + sorted-order permutation.
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> voff,
+      array_of("vocab.offsets", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(std::string_view vblob, require("vocab.blob"));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const text::TermId> vorder,
+      array_of("vocab.order", std::in_place_type<text::TermId>));
+  if (voff.size() != num_terms + 1 || vorder.size() != num_terms) {
+    return Status::Corruption("index snapshot vocabulary/meta mismatch");
+  }
+  if (mode == io::LoadMode::kZeroCopy) {
+    SQE_RETURN_IF_ERROR(index.vocab_.AttachMapped(voff, vblob, vorder));
+  } else {
+    SQE_RETURN_IF_ERROR(index.vocab_.AssignMapped(voff, vblob, vorder));
+  }
+
+  // Document store.
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> eoff,
+      array_of("docs.extid_offsets", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(std::string_view eblob, require("docs.extid_blob"));
+  if (eoff.size() != num_docs + 1) {
+    return Status::Corruption("index snapshot external ids/meta mismatch");
+  }
+  if (mode == io::LoadMode::kZeroCopy) {
+    SQE_RETURN_IF_ERROR(
+        index.external_ids_.SetMapped(eoff, eblob, "external ids"));
+  } else {
+    SQE_RETURN_IF_ERROR(
+        index.external_ids_.AssignMapped(eoff, eblob, "external ids"));
+  }
+  SQE_RETURN_IF_ERROR(load("docs.lengths", index.doc_lengths_, num_docs));
+  SQE_RETURN_IF_ERROR(
+      load("docs.by_length", index.docs_by_length_, num_docs));
+
+  // Forward index.
+  SQE_RETURN_IF_ERROR(
+      load("fwd.offsets", index.doc_term_offsets_, num_docs + 1));
+  SQE_RETURN_IF_ERROR(load("fwd.terms", index.doc_terms_, meta[2]));
+
+  // Postings: flattened arrays + concatenation index tables. Each table is
+  // proved monotone-and-bounded here so per-term slicing is safe; the
+  // per-list and cross-structure invariants are left to Validate().
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> doc_index,
+      array_of("post.doc_index", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(std::span<const DocId> docs,
+                       array_of("post.docs", std::in_place_type<DocId>));
+  SQE_ASSIGN_OR_RETURN(std::span<const uint32_t> freqs,
+                       array_of("post.freqs", std::in_place_type<uint32_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> posidx_index,
+      array_of("post.posidx_index", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> pos_offsets,
+      array_of("post.pos_offsets", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> positions_index,
+      array_of("post.positions_index", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint32_t> positions,
+      array_of("post.positions", std::in_place_type<uint32_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> block_index,
+      array_of("post.block_index", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint32_t> block_max,
+      array_of("post.block_max", std::in_place_type<uint32_t>));
+  SQE_ASSIGN_OR_RETURN(std::span<const DocId> block_last,
+                       array_of("post.block_last", std::in_place_type<DocId>));
+  SQE_ASSIGN_OR_RETURN(std::span<const uint64_t> ctf,
+                       array_of("post.ctf", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint32_t> maxfreq,
+      array_of("post.maxfreq", std::in_place_type<uint32_t>));
+
+  if (doc_index.size() != num_terms + 1 ||
+      posidx_index.size() != num_terms + 1 ||
+      positions_index.size() != num_terms + 1 ||
+      block_index.size() != num_terms + 1 || ctf.size() != num_terms ||
+      maxfreq.size() != num_terms) {
+    return Status::Corruption("index snapshot postings tables/meta mismatch");
+  }
+  if (freqs.size() != docs.size()) {
+    return Status::Corruption(
+        "index snapshot postings docs/frequencies size mismatch");
+  }
+  if (block_last.size() != block_max.size()) {
+    return Status::Corruption(
+        "index snapshot block-max/block-boundary size mismatch");
+  }
+  SQE_RETURN_IF_ERROR(
+      CheckIndexTable("post.doc_index", doc_index, docs.size()));
+  SQE_RETURN_IF_ERROR(CheckIndexTable("post.posidx_index", posidx_index,
+                                      pos_offsets.size()));
+  SQE_RETURN_IF_ERROR(CheckIndexTable("post.positions_index", positions_index,
+                                      positions.size()));
+  SQE_RETURN_IF_ERROR(
+      CheckIndexTable("post.block_index", block_index, block_max.size()));
+
+  index.postings_.resize(num_terms);
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    PostingList& pl = index.postings_[t];
+    auto slice = [&]<typename T>(std::span<const T> arr,
+                                 std::span<const uint64_t> table) {
+      return arr.subspan(table[t], table[t + 1] - table[t]);
+    };
+    if (mode == io::LoadMode::kZeroCopy) {
+      pl.docs_.SetView(slice(docs, doc_index));
+      pl.freqs_.SetView(slice(freqs, doc_index));
+      pl.pos_offsets_.SetView(slice(pos_offsets, posidx_index));
+      pl.positions_.SetView(slice(positions, positions_index));
+      pl.block_max_frequencies_.SetView(slice(block_max, block_index));
+      pl.block_last_docs_.SetView(slice(block_last, block_index));
+    } else {
+      pl.docs_.Assign(slice(docs, doc_index));
+      pl.freqs_.Assign(slice(freqs, doc_index));
+      pl.pos_offsets_.Assign(slice(pos_offsets, posidx_index));
+      pl.positions_.Assign(slice(positions, positions_index));
+      pl.block_max_frequencies_.Assign(slice(block_max, block_index));
+      pl.block_last_docs_.Assign(slice(block_last, block_index));
+    }
+    pl.total_occurrences_ = ctf[t];
+    pl.max_frequency_ = maxfreq[t];
+  }
+
+  if (mode == io::LoadMode::kZeroCopy) index.retainer_ = reader.retainer();
+  return index;
+}
+
+Result<InvertedIndex> InvertedIndex::FromReader(
+    const io::SnapshotReader& reader, io::LoadMode mode) {
+  if (reader.version() < io::kAlignedSnapshotVersion &&
+      mode == io::LoadMode::kZeroCopy) {
+    return Status::InvalidArgument(
+        "zero-copy load requires an aligned (v3+) index snapshot");
+  }
+  Result<InvertedIndex> index =
+      reader.version() >= io::kAlignedSnapshotVersion
+          ? LoadAligned(reader, mode)
+          : LoadLegacy(reader);
+  if (!index.ok()) return index.status();
+
+  // Deep structural validation of the final object: catches payloads that
+  // pass CRC and decode (e.g. a re-signed snapshot whose postings disagree
+  // with the forward index, or a stale persisted derived structure) before
+  // they can skew scores or index out of bounds under the release-mode
+  // SQE_DCHECKs.
+  SQE_RETURN_IF_ERROR(index.value().Validate());
+  return index;
+}
+
+Result<InvertedIndex> InvertedIndex::FromSnapshotString(std::string image,
+                                                        io::LoadMode mode) {
+  auto reader =
+      io::SnapshotReader::Open(std::move(image), io::kIndexSnapshotMagic);
+  if (!reader.ok()) return reader.status();
+  return FromReader(reader.value(), mode);
+}
+
+Result<InvertedIndex> InvertedIndex::FromSnapshotFile(const std::string& path,
+                                                      io::LoadMode mode) {
+  if (mode == io::LoadMode::kZeroCopy) {
+    auto reader =
+        io::SnapshotReader::OpenMapped(path, io::kIndexSnapshotMagic);
+    if (!reader.ok()) return reader.status();
+    return FromReader(reader.value(), mode);
+  }
   auto image = io::ReadFileToString(path);
   if (!image.ok()) return image.status();
-  return FromSnapshotString(std::move(image).value());
+  return FromSnapshotString(std::move(image).value(), mode);
 }
 
 }  // namespace sqe::index

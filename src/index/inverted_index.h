@@ -3,9 +3,19 @@
 //
 // The index plays the role Indri plays in the paper: it is the substrate the
 // query-likelihood engine scores against.
+//
+// Two load modes (io::LoadMode): a heap load decodes or copies every array
+// into owned vectors; a zero-copy load of an aligned (v3) snapshot points
+// the document store, forward index, vocabulary and flattened postings
+// regions straight into the snapshot image, which the index retains. v3
+// images persist every derived structure (docs-by-length order, block-max
+// tables, block boundaries, per-term stats, the vocabulary sort order), so
+// a v3 load rebuilds nothing; Validate() proves the stored derivations
+// equal a recomputation instead.
 #ifndef SQE_INDEX_INVERTED_INDEX_H_
 #define SQE_INDEX_INVERTED_INDEX_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -13,8 +23,12 @@
 
 #include "common/macros.h"
 #include "common/result.h"
+#include "common/string_column.h"
+#include "common/vec_or_view.h"
 #include "index/postings.h"
 #include "index/types.h"
+#include "io/file.h"
+#include "io/snapshot_format.h"
 #include "text/vocabulary.h"
 
 namespace sqe::index {
@@ -38,7 +52,9 @@ class InvertedIndex {
     SQE_DCHECK(d < doc_lengths_.size());
     return doc_lengths_[d];
   }
-  const std::string& ExternalId(DocId d) const {
+  /// External (collection) id of a document. The view stays valid as long
+  /// as the index (and, in zero-copy mode, the image it retains) does.
+  std::string_view ExternalId(DocId d) const {
     SQE_DCHECK(d < external_ids_.size());
     return external_ids_[d];
   }
@@ -51,7 +67,9 @@ class InvertedIndex {
   /// monotone in |D| — so this order lets the retriever's sparse top-k fill
   /// its tail from a prefix of this list instead of scoring the whole
   /// collection.
-  std::span<const DocId> DocsByLength() const { return docs_by_length_; }
+  std::span<const DocId> DocsByLength() const {
+    return docs_by_length_.span();
+  }
 
   /// Forward index: the analyzed token stream of a document, in order.
   /// Used by the PRF relevance model.
@@ -97,11 +115,16 @@ class InvertedIndex {
   double CollectionProbability(text::TermId t) const;
   double UnseenTermProbability() const;
 
+  /// True when the bulk arrays view a retained snapshot image rather than
+  /// owned heap vectors.
+  bool zero_copy() const { return doc_terms_.mapped(); }
+
   // ---- integrity ----------------------------------------------------------
 
   /// Deep structural validation: vocabulary bijection, per-term posting-list
-  /// invariants (strictly increasing doc ids, sorted positions), forward
-  /// index consistent with doc lengths and vocabulary range, postings
+  /// invariants (strictly increasing doc ids, sorted positions, block-max
+  /// and block-boundary tables equal to recomputation), forward index
+  /// consistent with doc lengths and vocabulary range, postings
   /// cross-checked against the forward index term counts, collection stats
   /// (total tokens) consistent, and the docs-by-length order a valid
   /// permutation. Returns Status::Corruption pinpointing the violation.
@@ -110,25 +133,46 @@ class InvertedIndex {
 
   // ---- persistence ---------------------------------------------------------
 
+  /// `version` selects the container: 1 and 2 write the legacy
+  /// varint-framed layout (2 adds the block-max block),
+  /// kIndexSnapshotVersion (3) the aligned zero-copy layout with every
+  /// derived structure persisted.
   Status SaveToFile(const std::string& path) const;
-  std::string SerializeToString() const;
-  static Result<InvertedIndex> FromSnapshotFile(const std::string& path);
-  static Result<InvertedIndex> FromSnapshotString(std::string image);
+  std::string SerializeToString(
+      uint32_t version = io::kIndexSnapshotVersion) const;
+
+  /// Loads a snapshot produced by SaveToFile/SerializeToString. LoadMode
+  /// kZeroCopy requires an aligned (v3+) image and keeps it alive for the
+  /// index's lifetime; kHeap copies and works for every version.
+  static Result<InvertedIndex> FromSnapshotFile(
+      const std::string& path, io::LoadMode mode = io::LoadMode::kHeap);
+  static Result<InvertedIndex> FromSnapshotString(
+      std::string image, io::LoadMode mode = io::LoadMode::kHeap);
 
  private:
   friend class IndexBuilder;
   friend struct InvertedIndexTestPeer;  // validator tests build broken indexes
 
+  static Result<InvertedIndex> FromReader(const io::SnapshotReader& reader,
+                                          io::LoadMode mode);
+  static Result<InvertedIndex> LoadLegacy(const io::SnapshotReader& reader);
+  static Result<InvertedIndex> LoadAligned(const io::SnapshotReader& reader,
+                                           io::LoadMode mode);
+
   void BuildDocsByLength();
 
   text::Vocabulary vocab_;
   std::vector<PostingList> postings_;  // indexed by TermId
-  std::vector<uint32_t> doc_lengths_;
-  std::vector<std::string> external_ids_;
-  std::vector<uint64_t> doc_term_offsets_;  // size N+1
-  std::vector<text::TermId> doc_terms_;
-  std::vector<DocId> docs_by_length_;  // derived; see DocsByLength()
+  VecOrView<uint32_t> doc_lengths_;
+  StringColumn external_ids_;
+  VecOrView<uint64_t> doc_term_offsets_;  // size N+1
+  VecOrView<text::TermId> doc_terms_;
+  VecOrView<DocId> docs_by_length_;  // derived; see DocsByLength()
   uint64_t total_tokens_ = 0;
+
+  // Keeps the snapshot image (mmap region or heap string) alive while any
+  // of the views above — or the per-term posting views — point into it.
+  std::shared_ptr<const void> retainer_;
 };
 
 /// Builds an InvertedIndex from analyzed documents.

@@ -17,13 +17,14 @@ Status PostingList::Validate(size_t num_docs) const {
       return Status::Corruption(
           "posting list: empty doc list with positions or occurrences");
     }
-    if (!block_max_frequencies_.empty() || max_frequency_ != 0) {
+    if (!block_max_frequencies_.empty() || !block_last_docs_.empty() ||
+        max_frequency_ != 0) {
       return Status::Corruption(
           "posting list: empty doc list with block-max entries");
     }
     return Status::OK();
   }
-  if (pos_offsets_.size() != docs_.size() + 1 || pos_offsets_.front() != 0) {
+  if (pos_offsets_.size() != docs_.size() + 1 || pos_offsets_[0] != 0) {
     return Status::Corruption(
         StrFormat("posting list: position offsets malformed (%zu entries for "
                   "%zu docs)",
@@ -50,6 +51,15 @@ Status PostingList::Validate(size_t num_docs) const {
         "posting list: %zu block-max entries for %zu postings (want %zu)",
         block_max_frequencies_.size(), docs_.size(), want_blocks));
   }
+  // Block boundaries are equally load-bearing: a pruned scorer's shallow
+  // advance binary-searches them, so a stale boundary would skip or rescan
+  // the wrong doc-id span.
+  if (block_last_docs_.size() != want_blocks) {
+    return Status::Corruption(StrFormat(
+        "posting list: %zu block-boundary entries for %zu postings "
+        "(want %zu)",
+        block_last_docs_.size(), docs_.size(), want_blocks));
+  }
   uint32_t true_max = 0;
   for (size_t b = 0; b < want_blocks; ++b) {
     uint32_t block_max = 0;
@@ -62,6 +72,11 @@ Status PostingList::Validate(size_t num_docs) const {
       return Status::Corruption(StrFormat(
           "posting list: block %zu max frequency %u != %u contained maximum",
           b, (unsigned)block_max_frequencies_[b], (unsigned)block_max));
+    }
+    if (block_last_docs_[b] != docs_[end - 1]) {
+      return Status::Corruption(StrFormat(
+          "posting list: block %zu last doc %u != %u actual boundary", b,
+          (unsigned)block_last_docs_[b], (unsigned)docs_[end - 1]));
     }
     true_max = std::max(true_max, block_max);
   }
@@ -106,9 +121,10 @@ Status PostingList::Validate(size_t num_docs) const {
 }
 
 size_t PostingList::Find(DocId doc) const {
-  auto it = std::lower_bound(docs_.begin(), docs_.end(), doc);
-  if (it == docs_.end() || *it != doc) return kNpos;
-  return static_cast<size_t>(it - docs_.begin());
+  std::span<const DocId> docs = docs_.span();
+  auto it = std::lower_bound(docs.begin(), docs.end(), doc);
+  if (it == docs.end() || *it != doc) return kNpos;
+  return static_cast<size_t>(it - docs.begin());
 }
 
 void PostingList::Cursor::SeekTo(DocId target) {
@@ -140,26 +156,30 @@ void PostingList::Cursor::SeekTo(DocId target) {
 }
 
 void PostingListBuilder::AddOccurrence(DocId doc, uint32_t position) {
-  if (list_.docs_.empty() || list_.docs_.back() != doc) {
-    SQE_CHECK_MSG(list_.docs_.empty() || list_.docs_.back() < doc,
+  std::vector<DocId>& docs = list_.docs_.vec();
+  std::vector<uint32_t>& freqs = list_.freqs_.vec();
+  std::vector<uint64_t>& pos_offsets = list_.pos_offsets_.vec();
+  std::vector<uint32_t>& positions = list_.positions_.vec();
+  if (docs.empty() || docs.back() != doc) {
+    SQE_CHECK_MSG(docs.empty() || docs.back() < doc,
                   "documents must be indexed in ascending id order");
-    if (list_.pos_offsets_.empty()) list_.pos_offsets_.push_back(0);
-    list_.docs_.push_back(doc);
-    list_.freqs_.push_back(0);
-    list_.pos_offsets_.push_back(list_.positions_.size());
+    if (pos_offsets.empty()) pos_offsets.push_back(0);
+    docs.push_back(doc);
+    freqs.push_back(0);
+    pos_offsets.push_back(positions.size());
   }
-  list_.freqs_.back()++;
-  list_.positions_.push_back(position);
-  list_.pos_offsets_.back() = list_.positions_.size();
+  freqs.back()++;
+  positions.push_back(position);
+  pos_offsets.back() = positions.size();
   list_.total_occurrences_++;
 }
 
 void PostingList::ComputeBlockMax() {
   max_frequency_ = 0;
-  block_max_frequencies_.assign((docs_.size() + kBlockSize - 1) / kBlockSize,
-                                0);
+  block_max_frequencies_.vec().assign(
+      (docs_.size() + kBlockSize - 1) / kBlockSize, 0);
   for (size_t i = 0; i < freqs_.size(); ++i) {
-    uint32_t& block_max = block_max_frequencies_[i / kBlockSize];
+    uint32_t& block_max = block_max_frequencies_.vec()[i / kBlockSize];
     block_max = std::max(block_max, freqs_[i]);
     max_frequency_ = std::max(max_frequency_, freqs_[i]);
   }
@@ -167,9 +187,10 @@ void PostingList::ComputeBlockMax() {
 
 void PostingList::ComputeBlockBoundaries() {
   const size_t num_blocks = (docs_.size() + kBlockSize - 1) / kBlockSize;
-  block_last_docs_.resize(num_blocks);
+  std::vector<DocId>& boundaries = block_last_docs_.vec();
+  boundaries.resize(num_blocks);
   for (size_t b = 0; b < num_blocks; ++b) {
-    block_last_docs_[b] = docs_[std::min((b + 1) * kBlockSize, docs_.size()) - 1];
+    boundaries[b] = docs_[std::min((b + 1) * kBlockSize, docs_.size()) - 1];
   }
 }
 

@@ -2,6 +2,11 @@
 //
 // Doc-sorted parallel arrays. Positions are needed by the ordered-window
 // (n-gram phrase) operator used for article-title expansion features.
+//
+// The arrays either own their storage (builders, legacy/heap loads) or
+// view slices of an aligned (v3) snapshot's flattened postings regions —
+// the zero-copy load mode, where the index keeps the snapshot image alive
+// and each PostingList costs only its fixed-size header.
 #ifndef SQE_INDEX_POSTINGS_H_
 #define SQE_INDEX_POSTINGS_H_
 
@@ -11,6 +16,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/vec_or_view.h"
 #include "index/types.h"
 
 namespace sqe::index {
@@ -43,16 +49,19 @@ class PostingList {
   /// at doc(min((b+1)*kBlockSize, NumDocs()) - 1) — so only the frequency
   /// maxima need storing.
   std::span<const uint32_t> BlockMaxFrequencies() const {
-    return block_max_frequencies_;
+    return block_max_frequencies_.span();
   }
   /// Last doc id covered by each block, as one contiguous array: entry b is
-  /// doc(min((b+1)*kBlockSize, NumDocs()) - 1). Pure derived data — reading
+  /// doc(min((b+1)*kBlockSize, NumDocs()) - 1). Derived data — reading
   /// these off docs() directly costs one scattered cache line per block
   /// crossed, which is exactly the access pattern a pruned scorer's shallow
-  /// block pointer makes, so the boundaries are gathered once at build/load
-  /// time and shallow advances become a binary search over a dense array.
-  /// Not serialized; recomputed alongside the block-max table.
-  std::span<const DocId> BlockLastDocs() const { return block_last_docs_; }
+  /// block pointer makes, so the boundaries are gathered once at build time
+  /// (and persisted in v3 snapshots, where Validate proves them equal to a
+  /// recomputation) and shallow advances become a binary search over a
+  /// dense array.
+  std::span<const DocId> BlockLastDocs() const {
+    return block_last_docs_.span();
+  }
   size_t NumBlocks() const { return block_max_frequencies_.size(); }
 
   DocId doc(size_t i) const {
@@ -62,8 +71,8 @@ class PostingList {
   /// The full doc-id / frequency parallel arrays, ascending by doc. The
   /// retriever scores straight off these views instead of copying the list
   /// per query; they remain valid as long as the PostingList does.
-  std::span<const DocId> docs() const { return docs_; }
-  std::span<const uint32_t> frequencies() const { return freqs_; }
+  std::span<const DocId> docs() const { return docs_.span(); }
+  std::span<const uint32_t> frequencies() const { return freqs_.span(); }
   uint32_t frequency(size_t i) const {
     SQE_DCHECK(i < freqs_.size());
     return freqs_[i];
@@ -84,7 +93,8 @@ class PostingList {
   /// Deep structural validation: parallel arrays the same length, doc ids
   /// strictly increasing and < num_docs, frequencies positive and matching
   /// the position-offset deltas, positions strictly ascending per document,
-  /// and the collection frequency equal to the stored positions. Returns
+  /// the collection frequency equal to the stored positions, and the
+  /// block-max / block-boundary tables equal to a recomputation. Returns
   /// Status::Corruption pinpointing the first violating entry.
   Status Validate(size_t num_docs) const;
 
@@ -111,24 +121,24 @@ class PostingList {
 
  private:
   friend class PostingListBuilder;
-  friend class InvertedIndex;  // snapshot load adopts stored block-max tables
+  friend class InvertedIndex;  // snapshot load adopts stored tables/views
 
   /// Recomputes max_frequency_ and block_max_frequencies_ from freqs_.
   /// Called by the builder; the snapshot loader instead adopts the stored
   /// tables and lets Validate() prove them equal to this recomputation.
   void ComputeBlockMax();
-  /// Recomputes block_last_docs_ from docs_. Called by both the builder and
-  /// the snapshot loader (boundaries are derived, never stored).
+  /// Recomputes block_last_docs_ from docs_. Called by the builder and the
+  /// legacy snapshot loader (v3 images persist the boundaries instead).
   void ComputeBlockBoundaries();
 
-  std::vector<DocId> docs_;
-  std::vector<uint32_t> freqs_;
-  std::vector<uint64_t> pos_offsets_;  // size docs_.size()+1 when non-empty
-  std::vector<uint32_t> positions_;
+  VecOrView<DocId> docs_;
+  VecOrView<uint32_t> freqs_;
+  VecOrView<uint64_t> pos_offsets_;  // size docs_.size()+1 when non-empty
+  VecOrView<uint32_t> positions_;
   uint64_t total_occurrences_ = 0;
   uint32_t max_frequency_ = 0;
-  std::vector<uint32_t> block_max_frequencies_;
-  std::vector<DocId> block_last_docs_;  // derived; see BlockLastDocs()
+  VecOrView<uint32_t> block_max_frequencies_;
+  VecOrView<DocId> block_last_docs_;  // derived; see BlockLastDocs()
 };
 
 /// Accumulates postings for one term during indexing. Documents must be

@@ -19,9 +19,9 @@ ShardedIndex ShardedIndex::Split(const InvertedIndex& full,
          d < sharded.manifest_.shard_end(s); ++d) {
       terms.clear();
       for (text::TermId t : full.DocTerms(d)) {
-        terms.push_back(full.vocabulary().TermOf(t));
+        terms.emplace_back(full.vocabulary().TermOf(t));
       }
-      builder.AddDocument(full.ExternalId(d), terms);
+      builder.AddDocument(std::string(full.ExternalId(d)), terms);
     }
     sharded.shards_.push_back(std::move(builder).Build());
   }

@@ -1,17 +1,48 @@
 #include "io/file.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "common/hash.h"
+#include "common/macros.h"
 #include "common/string_util.h"
 #include "io/coding.h"
+#include "io/mmap_file.h"
 #include "io/snapshot_format.h"
 
 namespace sqe::io {
 
 namespace {
+
+constexpr size_t kAlign = kSnapshotAlignment;
+constexpr size_t kAlignedHeaderCrcOffset = 32;
+
+size_t AlignUp(size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+testing::WriteFailurePoint g_write_failure_point =
+    testing::WriteFailurePoint::kNone;
+
+// True exactly once per armed point; disarms on fire.
+bool InjectedFailureAt(testing::WriteFailurePoint point) {
+  if (g_write_failure_point != point) return false;
+  g_write_failure_point = testing::WriteFailurePoint::kNone;
+  return true;
+}
+
 }  // namespace
+
+namespace testing {
+void SetWriteFailurePoint(WriteFailurePoint point) {
+  g_write_failure_point = point;
+}
+}  // namespace testing
 
 Result<std::string> ReadFileToString(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -19,6 +50,15 @@ Result<std::string> ReadFileToString(const std::string& path) {
     return Status::IOError("cannot open for read: " + path);
   }
   std::string out;
+  // Reserve the full file size up front: the append loop below would
+  // otherwise reallocate-and-copy logarithmically many times, which on
+  // multi-GB snapshots is both slow and a 2x transient memory spike. The
+  // loop stays as the source of truth for the actual size (the file may
+  // change between fstat and the reads).
+  struct ::stat st;
+  if (::fstat(::fileno(f), &st) == 0 && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
   char buf[1 << 16];
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
@@ -31,14 +71,41 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-to-temp + fsync + rename: a crash (or ENOSPC, or an injected
+  // failure) at ANY point leaves either the old file or the new file under
+  // `path`, never a torn mixture. The temp file lives in the destination
+  // directory so the final rename(2) stays on one filesystem and is atomic.
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = StrFormat(
+      "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
+      static_cast<unsigned long long>(counter.fetch_add(1) + 1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IOError("cannot open for write: " + path);
+    return Status::IOError("cannot open for write: " + tmp);
   }
+  auto fail = [&](const std::string& message) {
+    if (f != nullptr) std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError(message);
+  };
+
   size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  bool flush_failed = std::fclose(f) != 0;
-  if (written != data.size() || flush_failed) {
-    return Status::IOError("short write: " + path);
+  if (written != data.size()) return fail("short write: " + tmp);
+  if (InjectedFailureAt(testing::WriteFailurePoint::kAfterWrite)) {
+    return fail("injected failure after write: " + tmp);
+  }
+  if (std::fflush(f) != 0) return fail("flush failed: " + tmp);
+  if (::fsync(::fileno(f)) != 0) return fail("fsync failed: " + tmp);
+  if (std::fclose(f) != 0) {
+    f = nullptr;
+    return fail("close failed: " + tmp);
+  }
+  f = nullptr;
+  if (InjectedFailureAt(testing::WriteFailurePoint::kBeforeRename)) {
+    return fail("injected failure before rename: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }
@@ -50,7 +117,7 @@ void SnapshotWriter::AddBlock(std::string_view name, std::string payload) {
   blocks_.push_back(Block{std::string(name), std::move(payload)});
 }
 
-std::string SnapshotWriter::Serialize() const {
+std::string SnapshotWriter::SerializeLegacy() const {
   std::string out;
   PutFixed32(&out, magic_);
   PutVarint32(&out, version_);
@@ -64,6 +131,60 @@ std::string SnapshotWriter::Serialize() const {
   return out;
 }
 
+std::string SnapshotWriter::SerializeAligned() const {
+  // The legacy parser must read the version byte as the same varint value,
+  // which caps aligned versions at 0x7f.
+  SQE_CHECK_MSG(version_ >= kAlignedSnapshotVersion && version_ < 0x80,
+                "aligned snapshot version out of range");
+
+  // Lay out the payload region.
+  std::vector<uint64_t> offsets;
+  offsets.reserve(blocks_.size());
+  uint64_t cursor = kAlign;  // header occupies the first alignment unit
+  for (const Block& b : blocks_) {
+    offsets.push_back(cursor);
+    cursor = AlignUp(cursor + b.payload.size());
+  }
+  const uint64_t directory_offset = cursor;
+
+  std::string directory;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    PutLengthPrefixed(&directory, blocks_[i].name);
+    PutVarint64(&directory, offsets[i]);
+    PutVarint64(&directory, blocks_[i].payload.size());
+    PutFixed32(&directory, sqe::Crc32(blocks_[i].payload));
+  }
+  const uint64_t total_size =
+      directory_offset + directory.size() + /*dir crc*/ 4 + /*footer*/ 4;
+
+  std::string out;
+  out.reserve(total_size);
+  PutFixed32(&out, magic_);
+  out.push_back(static_cast<char>(version_));
+  out.append(3, '\0');
+  PutFixed64(&out, blocks_.size());
+  PutFixed64(&out, directory_offset);
+  PutFixed64(&out, total_size);
+  PutFixed32(&out, sqe::Crc32(std::string_view(out.data(), out.size())));
+  out.resize(kAlign, '\0');
+
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    out.resize(offsets[i], '\0');
+    out.append(blocks_[i].payload);
+  }
+  out.resize(directory_offset, '\0');
+  out.append(directory);
+  PutFixed32(&out, sqe::Crc32(directory));
+  PutFixed32(&out, kSnapshotFooterMagic);
+  SQE_CHECK(out.size() == total_size);
+  return out;
+}
+
+std::string SnapshotWriter::Serialize() const {
+  return version_ >= kAlignedSnapshotVersion ? SerializeAligned()
+                                             : SerializeLegacy();
+}
+
 Status SnapshotWriter::WriteToFile(const std::string& path) const {
   std::set<std::string> names;
   for (const Block& b : blocks_) {
@@ -74,28 +195,12 @@ Status SnapshotWriter::WriteToFile(const std::string& path) const {
   return WriteStringToFile(path, Serialize());
 }
 
-Result<SnapshotReader> SnapshotReader::Open(std::string image,
-                                            uint32_t expected_magic) {
-  SnapshotReader reader;
-  reader.image_ = std::move(image);
-  std::string_view in(reader.image_);
-
-  uint32_t magic;
-  if (!GetFixed32(&in, &magic)) {
-    return Status::Corruption("snapshot too short for magic");
-  }
-  if (magic != expected_magic) {
-    return Status::Corruption(
-        StrFormat("bad snapshot magic: got %#x want %#x", magic,
-                  expected_magic));
-  }
-  if (!GetVarint32(&in, &reader.version_)) {
-    return Status::Corruption("snapshot missing version");
-  }
+Status SnapshotReader::ParseLegacy(std::string_view in) {
   uint64_t num_blocks;
   if (!GetVarint64(&in, &num_blocks)) {
     return Status::Corruption("snapshot missing block count");
   }
+  std::set<std::string, std::less<>> names;
   for (uint64_t i = 0; i < num_blocks; ++i) {
     std::string_view name, payload;
     if (!GetLengthPrefixed(&in, &name)) {
@@ -116,16 +221,146 @@ Result<SnapshotReader> SnapshotReader::Open(std::string image,
           StrFormat("snapshot block '%s' crc mismatch: stored %#x actual %#x",
                     std::string(name).c_str(), stored_crc, actual_crc));
     }
-    reader.blocks_.push_back(BlockRef{
+    // A duplicated name would let one CRC-valid block silently shadow the
+    // other at GetBlock time; reject it here, where the reader still sees
+    // both.
+    if (!names.insert(std::string(name)).second) {
+      return Status::Corruption("duplicate snapshot block: " +
+                                std::string(name));
+    }
+    blocks_.push_back(BlockRef{
         std::string(name),
-        static_cast<size_t>(payload.data() - reader.image_.data()),
-        payload.size()});
+        static_cast<size_t>(payload.data() - image_.data()), payload.size()});
   }
   uint32_t footer;
   if (!GetFixed32(&in, &footer) || footer != kSnapshotFooterMagic) {
     return Status::Corruption("snapshot footer missing or invalid");
   }
+  return Status::OK();
+}
+
+Status SnapshotReader::ParseAligned(std::string_view image) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        "aligned snapshots are little-endian only; big-endian hosts must "
+        "use the heap loader on legacy snapshots");
+  }
+  // Arrays inside blocks are read in place; the base must carry at least
+  // u64 alignment (mmap regions are page-aligned, heap strings this large
+  // are allocator-aligned).
+  if (reinterpret_cast<uintptr_t>(image.data()) % alignof(uint64_t) != 0) {
+    return Status::InvalidArgument("snapshot image base is not 8-byte aligned");
+  }
+  if (image.size() < kAlign) {
+    return Status::Corruption("aligned snapshot shorter than its header");
+  }
+  std::string_view header = image.substr(0, kAlignedHeaderCrcOffset);
+  std::string_view in = image.substr(8);  // past magic + version + padding
+  if (image[5] != '\0' || image[6] != '\0' || image[7] != '\0') {
+    return Status::Corruption("aligned snapshot header padding not zero");
+  }
+  uint64_t num_blocks, directory_offset, total_size;
+  uint32_t stored_header_crc;
+  if (!GetFixed64(&in, &num_blocks) || !GetFixed64(&in, &directory_offset) ||
+      !GetFixed64(&in, &total_size) || !GetFixed32(&in, &stored_header_crc)) {
+    return Status::Corruption("aligned snapshot header truncated");
+  }
+  if (stored_header_crc != sqe::Crc32(header)) {
+    return Status::Corruption("aligned snapshot header crc mismatch");
+  }
+  if (total_size != image.size()) {
+    return Status::Corruption(
+        StrFormat("aligned snapshot size mismatch: header says %llu, image "
+                  "has %zu bytes",
+                  static_cast<unsigned long long>(total_size), image.size()));
+  }
+  if (directory_offset < kAlign || directory_offset > image.size() ||
+      directory_offset % kAlign != 0) {
+    return Status::Corruption("aligned snapshot directory offset invalid");
+  }
+  if (num_blocks > image.size()) {
+    return Status::Corruption("aligned snapshot block count implausible");
+  }
+
+  std::string_view directory_region = image.substr(directory_offset);
+  std::string_view dir = directory_region;
+  std::set<std::string, std::less<>> names;
+  blocks_.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    std::string_view name;
+    uint64_t offset, size;
+    uint32_t stored_crc;
+    if (!GetLengthPrefixed(&dir, &name) || !GetVarint64(&dir, &offset) ||
+        !GetVarint64(&dir, &size) || !GetFixed32(&dir, &stored_crc)) {
+      return Status::Corruption("aligned snapshot directory truncated");
+    }
+    if (offset < kAlign || offset % kAlign != 0 ||
+        offset > directory_offset || size > directory_offset - offset) {
+      return Status::Corruption("aligned snapshot block '" +
+                                std::string(name) + "' range invalid");
+    }
+    std::string_view payload = image.substr(offset, size);
+    uint32_t actual_crc = sqe::Crc32(payload);
+    if (stored_crc != actual_crc) {
+      return Status::Corruption(
+          StrFormat("snapshot block '%s' crc mismatch: stored %#x actual %#x",
+                    std::string(name).c_str(), stored_crc, actual_crc));
+    }
+    if (!names.insert(std::string(name)).second) {
+      return Status::Corruption("duplicate snapshot block: " +
+                                std::string(name));
+    }
+    blocks_.push_back(
+        BlockRef{std::string(name), static_cast<size_t>(offset),
+                 static_cast<size_t>(size)});
+  }
+  const size_t directory_size = directory_region.size() - dir.size();
+  uint32_t stored_dir_crc, footer;
+  if (!GetFixed32(&dir, &stored_dir_crc) || !GetFixed32(&dir, &footer)) {
+    return Status::Corruption("aligned snapshot directory tail truncated");
+  }
+  if (stored_dir_crc !=
+      sqe::Crc32(directory_region.substr(0, directory_size))) {
+    return Status::Corruption("aligned snapshot directory crc mismatch");
+  }
+  if (footer != kSnapshotFooterMagic) {
+    return Status::Corruption("snapshot footer missing or invalid");
+  }
+  if (!dir.empty()) {
+    return Status::Corruption("aligned snapshot has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(SnapshotReader reader,
+                                             uint32_t expected_magic) {
+  std::string_view in = reader.image_;
+  uint32_t magic;
+  if (!GetFixed32(&in, &magic)) {
+    return Status::Corruption("snapshot too short for magic");
+  }
+  if (magic != expected_magic) {
+    return Status::Corruption(StrFormat("bad snapshot magic: got %#x want %#x",
+                                        magic, expected_magic));
+  }
+  // In the aligned layout the version is a single byte below 0x80, so this
+  // varint read yields the right value for both layouts.
+  if (!GetVarint32(&in, &reader.version_)) {
+    return Status::Corruption("snapshot missing version");
+  }
+  Status status = reader.version_ >= kAlignedSnapshotVersion
+                      ? reader.ParseAligned(reader.image_)
+                      : reader.ParseLegacy(in);
+  if (!status.ok()) return status;
   return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::Open(std::string image,
+                                            uint32_t expected_magic) {
+  SnapshotReader reader;
+  reader.owned_ = std::make_shared<const std::string>(std::move(image));
+  reader.image_ = *reader.owned_;
+  return Parse(std::move(reader), expected_magic);
 }
 
 Result<SnapshotReader> SnapshotReader::OpenFile(const std::string& path,
@@ -135,11 +370,22 @@ Result<SnapshotReader> SnapshotReader::OpenFile(const std::string& path,
   return Open(std::move(image).value(), expected_magic);
 }
 
+Result<SnapshotReader> SnapshotReader::OpenMapped(const std::string& path,
+                                                  uint32_t expected_magic) {
+  auto mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  SnapshotReader reader;
+  reader.mapped_file_ =
+      std::make_shared<const MappedFile>(std::move(mapped).value());
+  reader.image_ = reader.mapped_file_->view();
+  return Parse(std::move(reader), expected_magic);
+}
+
 Result<std::string_view> SnapshotReader::GetBlock(
     std::string_view name) const {
   for (const BlockRef& b : blocks_) {
     if (b.name == name) {
-      return std::string_view(image_).substr(b.offset, b.size);
+      return image_.substr(b.offset, b.size);
     }
   }
   return Status::NotFound("snapshot block not found: " + std::string(name));
@@ -150,6 +396,13 @@ std::vector<std::string> SnapshotReader::BlockNames() const {
   names.reserve(blocks_.size());
   for (const BlockRef& b : blocks_) names.push_back(b.name);
   return names;
+}
+
+std::shared_ptr<const void> SnapshotReader::retainer() const {
+  if (mapped_file_ != nullptr) {
+    return std::shared_ptr<const void>(mapped_file_);
+  }
+  return std::shared_ptr<const void>(owned_);
 }
 
 }  // namespace sqe::io

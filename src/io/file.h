@@ -1,18 +1,47 @@
 // Whole-file helpers plus a checksummed block-file format for snapshots.
 //
-// Snapshot layout:
+// Two container layouts share one reader, dispatched on the version field
+// (io/snapshot_format.h):
+//
+// Legacy layout (versions < kAlignedSnapshotVersion):
 //   [magic: fixed32][format_version: varint]
 //   repeated blocks: [name: length-prefixed][payload: length-prefixed]
 //                    [crc32(payload): fixed32]
 //   [footer magic: fixed32]
 //
-// Readers verify every CRC; a mismatch or truncation yields
-// Status::Corruption, never a partial in-memory object.
+// Aligned layout (versions >= kAlignedSnapshotVersion, little-endian only):
+//   header (one kSnapshotAlignment unit):
+//     [magic: fixed32][version: u8, < 0x80][3 zero bytes]
+//     [num_blocks: fixed64][directory_offset: fixed64][total_size: fixed64]
+//     [crc32(header bytes 0..31): fixed32][zero padding to 64]
+//   payload region: each block's raw payload at a kSnapshotAlignment-aligned
+//     offset, zero padding in the gaps
+//   directory (at directory_offset, aligned): per block
+//     [name: length-prefixed][offset: varint64][size: varint64]
+//     [crc32(payload): fixed32]
+//   [crc32(directory bytes): fixed32][footer magic: fixed32]
+//
+// The version byte stays below 0x80 so the legacy varint parse reads the
+// same value and Open can dispatch. Because payload offsets are aligned
+// multiples, raw little-endian u32/u64 arrays inside blocks are readable in
+// place (BlockAsArray) both from mmap regions (page-aligned) and from
+// heap-allocated image strings.
+//
+// Readers verify every CRC and reject duplicate block names; a mismatch,
+// duplicate, or truncation yields Status::Corruption, never a partial
+// in-memory object. WriteStringToFile is atomic: data lands in a temp file
+// in the destination directory, is fsync'ed, and is renamed over the
+// destination, so a crash mid-write can never leave a torn snapshot under
+// the final name.
 #ifndef SQE_IO_FILE_H_
 #define SQE_IO_FILE_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
@@ -20,28 +49,92 @@
 
 namespace sqe::io {
 
-/// Reads an entire file into a string.
+class MappedFile;
+
+/// How a snapshot-backed structure materializes its arrays.
+enum class LoadMode {
+  /// Decode/copy into owned heap vectors. Works for every snapshot version.
+  kHeap,
+  /// Point spans into the snapshot image; the image is retained (mmap or
+  /// heap string) for the object's lifetime. Aligned (v3+) snapshots only.
+  kZeroCopy,
+};
+
+/// Reads an entire file into a string (size reserved up front via fstat).
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Writes `data` to `path`, replacing any existing file.
+/// Atomically writes `data` to `path`, replacing any existing file: the
+/// bytes are written to a temp file in the same directory, flushed and
+/// fsync'ed, then renamed into place. On any failure the destination is
+/// untouched and the temp file is removed.
 Status WriteStringToFile(const std::string& path, std::string_view data);
 
-/// Serializes named, CRC-protected blocks into the snapshot format.
+namespace testing {
+/// Failure injection for the torn-write regression tests: the next
+/// WriteStringToFile call fails with IOError at the given point, leaving
+/// on disk exactly what a crash at that instant would leave. Auto-disarms
+/// after firing.
+enum class WriteFailurePoint {
+  kNone,
+  /// After the payload bytes reach the temp file, before fsync.
+  kAfterWrite,
+  /// After fsync+close of the temp file, before the atomic rename.
+  kBeforeRename,
+};
+void SetWriteFailurePoint(WriteFailurePoint point);
+}  // namespace testing
+
+/// Reinterprets an aligned-snapshot block payload as an array of trivially
+/// copyable little-endian elements, in place. Fails (Corruption) on size or
+/// alignment mismatch; `what` names the block in error messages.
+template <typename T>
+Result<std::span<const T>> BlockAsArray(std::string_view payload,
+                                        std::string_view what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (payload.size() % sizeof(T) != 0) {
+    return Status::Corruption(std::string(what) +
+                              ": block size is not a multiple of the "
+                              "element size");
+  }
+  if (reinterpret_cast<uintptr_t>(payload.data()) % alignof(T) != 0) {
+    return Status::Corruption(std::string(what) + ": block misaligned");
+  }
+  return std::span<const T>(reinterpret_cast<const T*>(payload.data()),
+                            payload.size() / sizeof(T));
+}
+
+/// Appends the raw little-endian bytes of `values` to an aligned-snapshot
+/// block payload under construction.
+template <typename T>
+void AppendArray(std::string* dst, std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  dst->append(reinterpret_cast<const char*>(values.data()),
+              values.size_bytes());
+}
+
+/// Serializes named, CRC-protected blocks into the snapshot format. The
+/// version selects the container layout: versions below
+/// kAlignedSnapshotVersion produce the legacy varint-framed layout,
+/// versions at or above it the aligned zero-copy layout.
 class SnapshotWriter {
  public:
   /// `magic` distinguishes snapshot kinds (index vs KB graph).
   explicit SnapshotWriter(uint32_t magic, uint32_t version = 1);
 
-  /// Adds a named block. Names must be unique; enforced at Finish().
+  /// Adds a named block. Names must be unique; enforced at WriteToFile()
+  /// and by every reader at Open.
   void AddBlock(std::string_view name, std::string payload);
 
-  /// Assembles the file image and writes it to `path`.
+  /// Assembles the file image and writes it atomically to `path`.
   Status WriteToFile(const std::string& path) const;
 
   /// Returns the assembled in-memory image (for tests).
   std::string Serialize() const;
 
  private:
+  std::string SerializeLegacy() const;
+  std::string SerializeAligned() const;
+
   struct Block {
     std::string name;
     std::string payload;
@@ -51,26 +144,51 @@ class SnapshotWriter {
   std::vector<Block> blocks_;
 };
 
-/// Parses and CRC-verifies a snapshot image.
+/// Parses and CRC-verifies a snapshot image. The image bytes live either
+/// in a shared heap string (Open/OpenFile) or a shared mmap region
+/// (OpenMapped); GetBlock views point into that storage, and retainer()
+/// hands out an owning reference so zero-copy loaders can keep the bytes
+/// alive after the reader itself is gone.
 class SnapshotReader {
  public:
-  /// Parses the image; returns Corruption on bad magic/CRC/truncation.
-  static Result<SnapshotReader> Open(std::string image, uint32_t expected_magic);
+  /// Parses the image; returns Corruption on bad magic/CRC/truncation or
+  /// duplicate block names.
+  static Result<SnapshotReader> Open(std::string image,
+                                     uint32_t expected_magic);
   static Result<SnapshotReader> OpenFile(const std::string& path,
                                          uint32_t expected_magic);
+  /// Memory-maps `path` instead of reading it onto the heap. Same
+  /// verification as Open; block views point into the mapping.
+  static Result<SnapshotReader> OpenMapped(const std::string& path,
+                                           uint32_t expected_magic);
 
   uint32_t version() const { return version_; }
 
-  /// Returns the payload of the named block, or NotFound.
+  /// True when the image is an mmap region rather than a heap string.
+  bool is_mapped() const { return mapped_file_ != nullptr; }
+
+  /// Returns the payload of the named block, or NotFound. The view is valid
+  /// while the image storage lives (this reader or any retainer()).
   Result<std::string_view> GetBlock(std::string_view name) const;
 
   /// Names in file order.
   std::vector<std::string> BlockNames() const;
 
+  /// An owning handle on the image storage; zero-copy loaders store this so
+  /// their spans outlive the reader.
+  std::shared_ptr<const void> retainer() const;
+
  private:
   SnapshotReader() = default;
 
-  std::string image_;  // owns all block bytes
+  Status ParseLegacy(std::string_view in);
+  Status ParseAligned(std::string_view image);
+  static Result<SnapshotReader> Parse(SnapshotReader reader,
+                                      uint32_t expected_magic);
+
+  std::shared_ptr<const std::string> owned_;      // heap-backed images
+  std::shared_ptr<const MappedFile> mapped_file_;  // mmap-backed images
+  std::string_view image_;  // whole image, pointing into the storage above
   uint32_t version_ = 0;
   struct BlockRef {
     std::string name;

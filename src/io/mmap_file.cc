@@ -1,0 +1,65 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sqe::io {
+
+namespace {
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("cannot open for mmap:", path);
+
+  struct ::stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = ErrnoError("cannot stat:", path);
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("not a regular file: " + path);
+  }
+
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* data =
+        ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      Status status = ErrnoError("cannot mmap:", path);
+      ::close(fd);
+      return status;
+    }
+    mapped.data_ = data;
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+  return mapped;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace sqe::io

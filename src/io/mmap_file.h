@@ -1,0 +1,48 @@
+// Read-only memory-mapped file, the zero-copy substrate for aligned (v3+)
+// snapshots: SnapshotReader::OpenMapped keeps one of these alive and hands
+// out block payload views that point straight into the mapping, so loading
+// a multi-gigabyte snapshot touches pages on demand instead of copying the
+// whole image through the heap.
+#ifndef SQE_IO_MMAP_FILE_H_
+#define SQE_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sqe::io {
+
+/// An immutable byte range backed by mmap(PROT_READ). Movable, not
+/// copyable; the mapping lives until destruction, independent of the file
+/// descriptor (closed immediately after mapping) and of later unlinks of
+/// the underlying path.
+class MappedFile {
+ public:
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// The whole mapped image. Empty files map to an empty view.
+  std::string_view view() const {
+    if (data_ == nullptr) return {};
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile() = default;
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sqe::io
+
+#endif  // SQE_IO_MMAP_FILE_H_

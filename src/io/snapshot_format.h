@@ -13,14 +13,33 @@
 
 namespace sqe::io {
 
-/// KB graph snapshots (kb::KnowledgeBase).
+/// First container version using the 64-byte-aligned zero-copy block layout
+/// (see io/file.h). Versions below this use the legacy varint-framed layout;
+/// versions at or above it can be opened with SnapshotReader::OpenMapped and
+/// consumed directly from the mapped image.
+inline constexpr uint32_t kAlignedSnapshotVersion = 3;
+
+/// Alignment of every block payload (and the directory) in an aligned
+/// snapshot: one cache line, and a multiple of alignof(uint64_t), so raw
+/// little-endian u32/u64 arrays are readable in place from page-aligned
+/// mmap regions and malloc-aligned strings alike.
+inline constexpr uint32_t kSnapshotAlignment = 64;
+
+/// KB graph snapshots (kb::KnowledgeBase). Version 3 moved to the aligned
+/// zero-copy layout and persists the derived structures (reverse CSRs,
+/// reciprocal-link CSR, sorted title orders) that versions 1-2 rebuilt on
+/// every load; versions 1-2 remain loadable on the heap path.
 inline constexpr uint32_t kKbSnapshotMagic = 0x53514B42;  // "SQKB"
+inline constexpr uint32_t kKbSnapshotVersion = 3;
 
 /// Inverted-index snapshots (index::InvertedIndex). Version 2 added the
 /// "blockmax" block (per-term max frequency + per-block maxima) that the
-/// Block-Max WAND pruned scorer trusts for skip decisions.
+/// Block-Max WAND pruned scorer trusts for skip decisions. Version 3 moved
+/// to the aligned zero-copy layout and persists the derived docs-by-length
+/// order, block-last-doc boundaries, and the sorted vocabulary order;
+/// versions 1-2 remain loadable on the heap path.
 inline constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
-inline constexpr uint32_t kIndexSnapshotVersion = 2;
+inline constexpr uint32_t kIndexSnapshotVersion = 3;
 
 /// Shard-manifest snapshots (index::ShardManifest).
 inline constexpr uint32_t kShardManifestSnapshotMagic = 0x53514D46;  // "SQMF"

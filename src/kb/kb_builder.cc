@@ -88,25 +88,27 @@ void PackReverseCsr(const std::vector<std::pair<Src, Dst>>& fwd_edges,
 
 KnowledgeBase KbBuilder::Build() && {
   KnowledgeBase kb;
-  kb.article_titles_ = std::move(article_titles_);
-  kb.category_titles_ = std::move(category_titles_);
+  kb.article_titles_.owned() = std::move(article_titles_);
+  kb.category_titles_.owned() = std::move(category_titles_);
 
   PackCsr(article_links_, kb.article_titles_.size(),
-          &kb.article_link_offsets_, &kb.article_link_targets_);
-  PackCsr(memberships_, kb.article_titles_.size(), &kb.membership_offsets_,
-          &kb.membership_targets_);
+          &kb.article_link_offsets_.vec(), &kb.article_link_targets_.vec());
+  PackCsr(memberships_, kb.article_titles_.size(),
+          &kb.membership_offsets_.vec(), &kb.membership_targets_.vec());
   PackCsr(category_links_, kb.category_titles_.size(),
-          &kb.cat_parent_offsets_, &kb.cat_parent_targets_);
+          &kb.cat_parent_offsets_.vec(), &kb.cat_parent_targets_.vec());
 
   PackReverseCsr(article_links_, kb.article_titles_.size(),
-                 &kb.article_inlink_offsets_, &kb.article_inlink_sources_);
+                 &kb.article_inlink_offsets_.vec(),
+                 &kb.article_inlink_sources_.vec());
   PackReverseCsr(memberships_, kb.category_titles_.size(),
-                 &kb.cat_article_offsets_, &kb.cat_article_targets_);
+                 &kb.cat_article_offsets_.vec(),
+                 &kb.cat_article_targets_.vec());
   PackReverseCsr(category_links_, kb.category_titles_.size(),
-                 &kb.cat_child_offsets_, &kb.cat_child_targets_);
+                 &kb.cat_child_offsets_.vec(), &kb.cat_child_targets_.vec());
 
   kb.BuildReciprocalLinks();
-  kb.RebuildTitleMaps();
+  kb.BuildTitleOrder();
 #ifndef NDEBUG
   // Debug builds re-prove the construction invariants the query path relies
   // on; release builds trust the builder (Validate guards untrusted

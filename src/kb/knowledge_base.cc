@@ -1,11 +1,10 @@
 #include "kb/knowledge_base.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/string_util.h"
 #include "io/coding.h"
-#include "io/file.h"
-#include "io/snapshot_format.h"
 
 namespace sqe::kb {
 
@@ -16,9 +15,11 @@ bool SortedContains(std::span<const T> sorted, T value) {
   return std::binary_search(sorted.begin(), sorted.end(), value);
 }
 
-void EncodeTitles(std::string* out, const std::vector<std::string>& titles) {
+void EncodeTitles(std::string* out, const StringColumn& titles) {
   io::PutVarint64(out, titles.size());
-  for (const std::string& t : titles) io::PutLengthPrefixed(out, t);
+  for (size_t i = 0; i < titles.size(); ++i) {
+    io::PutLengthPrefixed(out, titles[i]);
+  }
 }
 
 bool DecodeTitles(std::string_view in, std::vector<std::string>* titles) {
@@ -35,10 +36,11 @@ bool DecodeTitles(std::string_view in, std::vector<std::string>* titles) {
 }
 
 // CSR encoding: varint node count, then per node the delta-coded sorted
-// adjacency list (varint degree, varint gaps).
+// adjacency list (varint degree, varint gaps). Legacy (v1) payloads only;
+// v3 stores the offset/target arrays raw for in-place use.
 template <typename T>
-void EncodeCsr(std::string* out, const std::vector<uint64_t>& offsets,
-               const std::vector<T>& targets) {
+void EncodeCsr(std::string* out, const VecOrView<uint64_t>& offsets,
+               const VecOrView<T>& targets) {
   const size_t n = offsets.empty() ? 0 : offsets.size() - 1;
   io::PutVarint64(out, n);
   for (size_t i = 0; i < n; ++i) {
@@ -78,13 +80,23 @@ bool DecodeCsr(std::string_view in, std::vector<uint64_t>* offsets,
 }  // namespace
 
 ArticleId KnowledgeBase::FindArticle(std::string_view title) const {
-  auto it = article_by_title_.find(title);
-  return it == article_by_title_.end() ? kInvalidArticle : it->second;
+  std::span<const ArticleId> order = article_title_order_.span();
+  auto it = std::lower_bound(order.begin(), order.end(), title,
+                             [this](ArticleId id, std::string_view t) {
+                               return article_titles_[id] < t;
+                             });
+  if (it != order.end() && article_titles_[*it] == title) return *it;
+  return kInvalidArticle;
 }
 
 CategoryId KnowledgeBase::FindCategory(std::string_view title) const {
-  auto it = category_by_title_.find(title);
-  return it == category_by_title_.end() ? kInvalidCategory : it->second;
+  std::span<const CategoryId> order = category_title_order_.span();
+  auto it = std::lower_bound(order.begin(), order.end(), title,
+                             [this](CategoryId id, std::string_view t) {
+                               return category_titles_[id] < t;
+                             });
+  if (it != order.end() && category_titles_[*it] == title) return *it;
+  return kInvalidCategory;
 }
 
 bool KnowledgeBase::HasLink(ArticleId from, ArticleId to) const {
@@ -97,8 +109,10 @@ bool KnowledgeBase::ReciprocallyLinked(ArticleId a, ArticleId b) const {
 
 void KnowledgeBase::BuildReciprocalLinks() {
   const size_t n = article_titles_.size();
-  reciprocal_offsets_.assign(n + 1, 0);
-  reciprocal_targets_.clear();
+  std::vector<uint64_t>& offsets = reciprocal_offsets_.vec();
+  std::vector<ArticleId>& targets = reciprocal_targets_.vec();
+  offsets.assign(n + 1, 0);
+  targets.clear();
   for (size_t a = 0; a < n; ++a) {
     std::span<const ArticleId> out = OutLinks(static_cast<ArticleId>(a));
     std::span<const ArticleId> in = InLinks(static_cast<ArticleId>(a));
@@ -110,13 +124,28 @@ void KnowledgeBase::BuildReciprocalLinks() {
       } else if (in[j] < out[i]) {
         ++j;
       } else {
-        reciprocal_targets_.push_back(out[i]);
+        targets.push_back(out[i]);
         ++i;
         ++j;
       }
     }
-    reciprocal_offsets_[a + 1] = reciprocal_targets_.size();
+    offsets[a + 1] = targets.size();
   }
+}
+
+void KnowledgeBase::BuildTitleOrder() {
+  std::vector<ArticleId>& aorder = article_title_order_.vec();
+  aorder.resize(article_titles_.size());
+  std::iota(aorder.begin(), aorder.end(), 0);
+  std::sort(aorder.begin(), aorder.end(), [this](ArticleId a, ArticleId b) {
+    return article_titles_[a] < article_titles_[b];
+  });
+  std::vector<CategoryId>& corder = category_title_order_.vec();
+  corder.resize(category_titles_.size());
+  std::iota(corder.begin(), corder.end(), 0);
+  std::sort(corder.begin(), corder.end(), [this](CategoryId a, CategoryId b) {
+    return category_titles_[a] < category_titles_[b];
+  });
 }
 
 namespace {
@@ -125,9 +154,8 @@ namespace {
 // list strictly ascending (sorted, no duplicates — binary-search lookups
 // and two-pointer intersections both rely on this).
 template <typename T>
-Status ValidateCsr(std::string_view name,
-                   const std::vector<uint64_t>& offsets,
-                   const std::vector<T>& targets, size_t num_nodes,
+Status ValidateCsr(std::string_view name, std::span<const uint64_t> offsets,
+                   std::span<const T> targets, size_t num_nodes,
                    size_t target_space) {
   if (offsets.empty()) {
     if (num_nodes == 0 && targets.empty()) return Status::OK();
@@ -183,10 +211,10 @@ Status ValidateCsr(std::string_view name,
 // source (e.g. a stale or tampered derived structure).
 template <typename Src, typename Dst>
 Status ValidateReverseCsr(std::string_view name,
-                          const std::vector<uint64_t>& fwd_offsets,
-                          const std::vector<Dst>& fwd_targets,
-                          const std::vector<uint64_t>& rev_offsets,
-                          const std::vector<Src>& rev_sources,
+                          std::span<const uint64_t> fwd_offsets,
+                          std::span<const Dst> fwd_targets,
+                          std::span<const uint64_t> rev_offsets,
+                          std::span<const Src> rev_sources,
                           size_t num_targets) {
   std::vector<uint64_t> expect_deg(num_targets, 0);
   for (Dst t : fwd_targets) expect_deg[t]++;
@@ -224,37 +252,75 @@ Status ValidateReverseCsr(std::string_view name,
   }
   return Status::OK();
 }
+
+// The title-order permutation behind the binary-search title map: size N,
+// ids in range, titles strictly ascending along the order (which also
+// proves it is a permutation and the titles are duplicate-free).
+template <typename Id>
+Status ValidateTitleOrder(std::string_view what, const StringColumn& titles,
+                          std::span<const Id> order) {
+  const size_t n = titles.size();
+  if (order.size() != n) {
+    return Status::Corruption(
+        StrFormat("%s title map has %zu entries for %zu nodes "
+                  "(duplicate or missing titles)",
+                  std::string(what).c_str(), order.size(), n));
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (order[k] >= n) {
+      return Status::Corruption(
+          StrFormat("%s title map entry %zu out of range",
+                    std::string(what).c_str(), k));
+    }
+    if (k > 0 && !(titles[order[k - 1]] < titles[order[k]])) {
+      return Status::Corruption(StrFormat(
+          "%s title map not strictly ascending at rank %zu (duplicate or "
+          "unsorted titles)",
+          std::string(what).c_str(), k));
+    }
+  }
+  return Status::OK();
+}
 }  // namespace
 
 Status KnowledgeBase::Validate() const {
   const size_t na = article_titles_.size();
   const size_t nc = category_titles_.size();
 
-  SQE_RETURN_IF_ERROR(ValidateCsr("article_links", article_link_offsets_,
-                                  article_link_targets_, na, na));
-  SQE_RETURN_IF_ERROR(ValidateCsr("article_inlinks", article_inlink_offsets_,
-                                  article_inlink_sources_, na, na));
-  SQE_RETURN_IF_ERROR(ValidateCsr("memberships", membership_offsets_,
-                                  membership_targets_, na, nc));
-  SQE_RETURN_IF_ERROR(ValidateCsr("category_articles", cat_article_offsets_,
-                                  cat_article_targets_, nc, na));
-  SQE_RETURN_IF_ERROR(ValidateCsr("category_parents", cat_parent_offsets_,
-                                  cat_parent_targets_, nc, nc));
-  SQE_RETURN_IF_ERROR(ValidateCsr("category_children", cat_child_offsets_,
-                                  cat_child_targets_, nc, nc));
-  SQE_RETURN_IF_ERROR(ValidateCsr("reciprocal_links", reciprocal_offsets_,
-                                  reciprocal_targets_, na, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("article_links",
+                                  article_link_offsets_.span(),
+                                  article_link_targets_.span(), na, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("article_inlinks",
+                                  article_inlink_offsets_.span(),
+                                  article_inlink_sources_.span(), na, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("memberships", membership_offsets_.span(),
+                                  membership_targets_.span(), na, nc));
+  SQE_RETURN_IF_ERROR(ValidateCsr("category_articles",
+                                  cat_article_offsets_.span(),
+                                  cat_article_targets_.span(), nc, na));
+  SQE_RETURN_IF_ERROR(ValidateCsr("category_parents",
+                                  cat_parent_offsets_.span(),
+                                  cat_parent_targets_.span(), nc, nc));
+  SQE_RETURN_IF_ERROR(ValidateCsr("category_children",
+                                  cat_child_offsets_.span(),
+                                  cat_child_targets_.span(), nc, nc));
+  SQE_RETURN_IF_ERROR(ValidateCsr("reciprocal_links",
+                                  reciprocal_offsets_.span(),
+                                  reciprocal_targets_.span(), na, na));
 
   // Reverse relations must mirror their forward CSRs edge for edge.
   SQE_RETURN_IF_ERROR((ValidateReverseCsr<ArticleId, ArticleId>(
-      "article_inlinks", article_link_offsets_, article_link_targets_,
-      article_inlink_offsets_, article_inlink_sources_, na)));
+      "article_inlinks", article_link_offsets_.span(),
+      article_link_targets_.span(), article_inlink_offsets_.span(),
+      article_inlink_sources_.span(), na)));
   SQE_RETURN_IF_ERROR((ValidateReverseCsr<ArticleId, CategoryId>(
-      "category_articles", membership_offsets_, membership_targets_,
-      cat_article_offsets_, cat_article_targets_, nc)));
+      "category_articles", membership_offsets_.span(),
+      membership_targets_.span(), cat_article_offsets_.span(),
+      cat_article_targets_.span(), nc)));
   SQE_RETURN_IF_ERROR((ValidateReverseCsr<CategoryId, CategoryId>(
-      "category_children", cat_parent_offsets_, cat_parent_targets_,
-      cat_child_offsets_, cat_child_targets_, nc)));
+      "category_children", cat_parent_offsets_.span(),
+      cat_parent_targets_.span(), cat_child_offsets_.span(),
+      cat_child_targets_.span(), nc)));
 
   // Reciprocal CSR symmetry: each article's list must equal the sorted
   // intersection of its out- and in-links (the "doubly linked" pairs the
@@ -290,20 +356,12 @@ Status KnowledgeBase::Validate() const {
     }
   }
 
-  // Title maps must be a bijection onto the id space (duplicate titles
-  // collapse map entries; stale maps point at the wrong ids).
-  if (article_by_title_.size() != na) {
-    return Status::Corruption(
-        StrFormat("article title map has %zu entries for %zu articles "
-                  "(duplicate or missing titles)",
-                  article_by_title_.size(), na));
-  }
-  if (category_by_title_.size() != nc) {
-    return Status::Corruption(
-        StrFormat("category title map has %zu entries for %zu categories "
-                  "(duplicate or missing titles)",
-                  category_by_title_.size(), nc));
-  }
+  // Title orders must be strictly ascending permutations of the id space
+  // (duplicate titles or a stale order break the binary-search lookups).
+  SQE_RETURN_IF_ERROR(ValidateTitleOrder<ArticleId>(
+      "article", article_titles_, article_title_order_.span()));
+  SQE_RETURN_IF_ERROR(ValidateTitleOrder<CategoryId>(
+      "category", category_titles_, category_title_order_.span()));
   for (size_t i = 0; i < na; ++i) {
     if (FindArticle(article_titles_[i]) != static_cast<ArticleId>(i)) {
       return Status::Corruption(
@@ -329,44 +387,100 @@ bool KnowledgeBase::HasCategoryLink(CategoryId child,
   return SortedContains(ParentCategories(child), parent);
 }
 
-void KnowledgeBase::RebuildTitleMaps() {
-  article_by_title_.clear();
-  article_by_title_.reserve(article_titles_.size());
-  for (size_t i = 0; i < article_titles_.size(); ++i) {
-    article_by_title_.emplace(article_titles_[i],
-                              static_cast<ArticleId>(i));
-  }
-  category_by_title_.clear();
-  category_by_title_.reserve(category_titles_.size());
-  for (size_t i = 0; i < category_titles_.size(); ++i) {
-    category_by_title_.emplace(category_titles_[i],
-                               static_cast<CategoryId>(i));
-  }
+namespace {
+// v3 block helpers: raw little-endian arrays at aligned offsets.
+template <typename T>
+void AddArrayBlock(io::SnapshotWriter* writer, std::string_view name,
+                   std::span<const T> values) {
+  std::string block;
+  io::AppendArray(&block, values);
+  writer->AddBlock(name, std::move(block));
 }
 
-std::string KnowledgeBase::SerializeToString() const {
-  io::SnapshotWriter writer(io::kKbSnapshotMagic);
-  std::string block;
+// Title column as two blocks: u64 offsets (N+1) and the contiguous blob.
+void AddTitleBlocks(io::SnapshotWriter* writer, std::string_view offsets_name,
+                    std::string_view blob_name, const StringColumn& titles) {
+  std::vector<uint64_t> offsets;
+  offsets.reserve(titles.size() + 1);
+  offsets.push_back(0);
+  std::string blob;
+  for (size_t i = 0; i < titles.size(); ++i) {
+    blob.append(titles[i]);
+    offsets.push_back(blob.size());
+  }
+  AddArrayBlock<uint64_t>(writer, offsets_name, offsets);
+  writer->AddBlock(blob_name, std::move(blob));
+}
+}  // namespace
 
-  EncodeTitles(&block, article_titles_);
-  writer.AddBlock("article_titles", std::move(block));
-  block.clear();
+std::string KnowledgeBase::SerializeToString(uint32_t version) const {
+  SQE_CHECK_MSG(version == 1 || version >= io::kAlignedSnapshotVersion,
+                "unsupported KB snapshot version");
+  io::SnapshotWriter writer(io::kKbSnapshotMagic, version);
 
-  EncodeTitles(&block, category_titles_);
-  writer.AddBlock("category_titles", std::move(block));
-  block.clear();
+  if (version < io::kAlignedSnapshotVersion) {
+    std::string block;
+    EncodeTitles(&block, article_titles_);
+    writer.AddBlock("article_titles", std::move(block));
+    block.clear();
 
-  EncodeCsr(&block, article_link_offsets_, article_link_targets_);
-  writer.AddBlock("article_links", std::move(block));
-  block.clear();
+    EncodeTitles(&block, category_titles_);
+    writer.AddBlock("category_titles", std::move(block));
+    block.clear();
 
-  EncodeCsr(&block, membership_offsets_, membership_targets_);
-  writer.AddBlock("memberships", std::move(block));
-  block.clear();
+    EncodeCsr(&block, article_link_offsets_, article_link_targets_);
+    writer.AddBlock("article_links", std::move(block));
+    block.clear();
 
-  EncodeCsr(&block, cat_parent_offsets_, cat_parent_targets_);
-  writer.AddBlock("category_links", std::move(block));
+    EncodeCsr(&block, membership_offsets_, membership_targets_);
+    writer.AddBlock("memberships", std::move(block));
+    block.clear();
 
+    EncodeCsr(&block, cat_parent_offsets_, cat_parent_targets_);
+    writer.AddBlock("category_links", std::move(block));
+    return writer.Serialize();
+  }
+
+  // Aligned (v3) layout: every array raw, every derived structure persisted
+  // so a load decodes and rebuilds nothing.
+  const uint64_t meta[2] = {article_titles_.size(), category_titles_.size()};
+  AddArrayBlock<uint64_t>(&writer, "meta", meta);
+  AddTitleBlocks(&writer, "titles.article_offsets", "titles.article_blob",
+                 article_titles_);
+  AddTitleBlocks(&writer, "titles.category_offsets", "titles.category_blob",
+                 category_titles_);
+  AddArrayBlock(&writer, "titles.article_order", article_title_order_.span());
+  AddArrayBlock(&writer, "titles.category_order",
+                category_title_order_.span());
+
+  AddArrayBlock(&writer, "csr.article_links.offsets",
+                article_link_offsets_.span());
+  AddArrayBlock(&writer, "csr.article_links.targets",
+                article_link_targets_.span());
+  AddArrayBlock(&writer, "csr.article_inlinks.offsets",
+                article_inlink_offsets_.span());
+  AddArrayBlock(&writer, "csr.article_inlinks.targets",
+                article_inlink_sources_.span());
+  AddArrayBlock(&writer, "csr.memberships.offsets",
+                membership_offsets_.span());
+  AddArrayBlock(&writer, "csr.memberships.targets",
+                membership_targets_.span());
+  AddArrayBlock(&writer, "csr.category_articles.offsets",
+                cat_article_offsets_.span());
+  AddArrayBlock(&writer, "csr.category_articles.targets",
+                cat_article_targets_.span());
+  AddArrayBlock(&writer, "csr.category_parents.offsets",
+                cat_parent_offsets_.span());
+  AddArrayBlock(&writer, "csr.category_parents.targets",
+                cat_parent_targets_.span());
+  AddArrayBlock(&writer, "csr.category_children.offsets",
+                cat_child_offsets_.span());
+  AddArrayBlock(&writer, "csr.category_children.targets",
+                cat_child_targets_.span());
+  AddArrayBlock(&writer, "csr.reciprocal.offsets",
+                reciprocal_offsets_.span());
+  AddArrayBlock(&writer, "csr.reciprocal.targets",
+                reciprocal_targets_.span());
   return writer.Serialize();
 }
 
@@ -400,11 +514,8 @@ void BuildReverseCsr(size_t num_targets,
 }
 }  // namespace
 
-Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
-  auto reader_or = io::SnapshotReader::Open(std::move(image), io::kKbSnapshotMagic);
-  if (!reader_or.ok()) return reader_or.status();
-  const io::SnapshotReader& reader = reader_or.value();
-
+Result<KnowledgeBase> KnowledgeBase::LoadLegacy(
+    const io::SnapshotReader& reader) {
   KnowledgeBase kb;
   auto require = [&](std::string_view name) -> Result<std::string_view> {
     auto block = reader.GetBlock(name);
@@ -417,27 +528,27 @@ Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
 
   SQE_ASSIGN_OR_RETURN(std::string_view titles_block,
                        require("article_titles"));
-  if (!DecodeTitles(titles_block, &kb.article_titles_)) {
+  if (!DecodeTitles(titles_block, &kb.article_titles_.owned())) {
     return Status::Corruption("bad article_titles block");
   }
   SQE_ASSIGN_OR_RETURN(std::string_view cat_titles_block,
                        require("category_titles"));
-  if (!DecodeTitles(cat_titles_block, &kb.category_titles_)) {
+  if (!DecodeTitles(cat_titles_block, &kb.category_titles_.owned())) {
     return Status::Corruption("bad category_titles block");
   }
   SQE_ASSIGN_OR_RETURN(std::string_view links_block, require("article_links"));
-  if (!DecodeCsr(links_block, &kb.article_link_offsets_,
-                 &kb.article_link_targets_)) {
+  if (!DecodeCsr(links_block, &kb.article_link_offsets_.vec(),
+                 &kb.article_link_targets_.vec())) {
     return Status::Corruption("bad article_links block");
   }
   SQE_ASSIGN_OR_RETURN(std::string_view memb_block, require("memberships"));
-  if (!DecodeCsr(memb_block, &kb.membership_offsets_,
-                 &kb.membership_targets_)) {
+  if (!DecodeCsr(memb_block, &kb.membership_offsets_.vec(),
+                 &kb.membership_targets_.vec())) {
     return Status::Corruption("bad memberships block");
   }
   SQE_ASSIGN_OR_RETURN(std::string_view cat_block, require("category_links"));
-  if (!DecodeCsr(cat_block, &kb.cat_parent_offsets_,
-                 &kb.cat_parent_targets_)) {
+  if (!DecodeCsr(cat_block, &kb.cat_parent_offsets_.vec(),
+                 &kb.cat_parent_targets_.vec())) {
     return Status::Corruption("bad category_links block");
   }
 
@@ -463,35 +574,176 @@ Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image) {
     }
   }
 
-  // Derived (reverse) adjacency is rebuilt rather than stored.
+  // Legacy snapshots carry the forward relations only; every derived
+  // structure is rebuilt here (v3 images persist them instead).
   BuildReverseCsr<ArticleId, ArticleId>(
-      kb.article_titles_.size(), kb.article_link_offsets_,
-      kb.article_link_targets_, &kb.article_inlink_offsets_,
-      &kb.article_inlink_sources_);
+      kb.article_titles_.size(), kb.article_link_offsets_.vec(),
+      kb.article_link_targets_.vec(), &kb.article_inlink_offsets_.vec(),
+      &kb.article_inlink_sources_.vec());
   BuildReverseCsr<ArticleId, CategoryId>(
-      kb.category_titles_.size(), kb.membership_offsets_,
-      kb.membership_targets_, &kb.cat_article_offsets_,
-      &kb.cat_article_targets_);
+      kb.category_titles_.size(), kb.membership_offsets_.vec(),
+      kb.membership_targets_.vec(), &kb.cat_article_offsets_.vec(),
+      &kb.cat_article_targets_.vec());
   BuildReverseCsr<CategoryId, CategoryId>(
-      kb.category_titles_.size(), kb.cat_parent_offsets_,
-      kb.cat_parent_targets_, &kb.cat_child_offsets_, &kb.cat_child_targets_);
+      kb.category_titles_.size(), kb.cat_parent_offsets_.vec(),
+      kb.cat_parent_targets_.vec(), &kb.cat_child_offsets_.vec(),
+      &kb.cat_child_targets_.vec());
 
   kb.BuildReciprocalLinks();
-  kb.RebuildTitleMaps();
-
-  // Deep structural validation of the final object: catches payloads that
-  // pass CRC and decode (e.g. a re-signed snapshot with unsorted adjacency
-  // or duplicate titles) before they can corrupt query results or walk the
-  // binary searches into UB.
-  SQE_RETURN_IF_ERROR(kb.Validate());
+  kb.BuildTitleOrder();
   return kb;
 }
 
-Result<KnowledgeBase> KnowledgeBase::FromSnapshotFile(
-    const std::string& path) {
+Result<KnowledgeBase> KnowledgeBase::LoadAligned(
+    const io::SnapshotReader& reader, io::LoadMode mode) {
+  KnowledgeBase kb;
+  auto require = [&](std::string_view name) -> Result<std::string_view> {
+    auto block = reader.GetBlock(name);
+    if (!block.ok()) {
+      return Status::Corruption("KB snapshot missing block: " +
+                                std::string(name));
+    }
+    return block;
+  };
+  // A v3 block is the raw array itself; this fetches and reinterprets one.
+  auto array_of = [&]<typename T>(std::string_view name,
+                                  std::in_place_type_t<T>)
+      -> Result<std::span<const T>> {
+    SQE_ASSIGN_OR_RETURN(std::string_view block, require(name));
+    return io::BlockAsArray<T>(block, name);
+  };
+  // Loads one array block into a VecOrView member: a view in zero-copy
+  // mode, an owned copy in heap mode. `want` pins the element count
+  // (SIZE_MAX leaves it to Validate, which cross-checks every CSR shape).
+  auto load = [&](std::string_view name, auto& dst, size_t want) -> Status {
+    using T = typename std::remove_reference_t<decltype(dst)>::value_type;
+    SQE_ASSIGN_OR_RETURN(std::span<const T> arr,
+                         array_of(name, std::in_place_type<T>));
+    if (want != SIZE_MAX && arr.size() != want) {
+      return Status::Corruption(StrFormat("%s: %zu elements, want %zu",
+                                          std::string(name).c_str(),
+                                          arr.size(), want));
+    }
+    if (mode == io::LoadMode::kZeroCopy) {
+      dst.SetView(arr);
+    } else {
+      dst.Assign(arr);
+    }
+    return Status::OK();
+  };
+
+  SQE_ASSIGN_OR_RETURN(std::span<const uint64_t> meta,
+                       array_of("meta", std::in_place_type<uint64_t>));
+  if (meta.size() != 2) {
+    return Status::Corruption("KB snapshot meta block malformed");
+  }
+  const uint64_t na = meta[0], nc = meta[1];
+  if (na >= UINT32_MAX || nc >= UINT32_MAX) {
+    return Status::Corruption("KB snapshot node count exceeds id space");
+  }
+
+  // Titles: offsets + blob per column, layout-validated by StringColumn.
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> aoff,
+      array_of("titles.article_offsets", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(std::string_view ablob, require("titles.article_blob"));
+  SQE_ASSIGN_OR_RETURN(
+      std::span<const uint64_t> coff,
+      array_of("titles.category_offsets", std::in_place_type<uint64_t>));
+  SQE_ASSIGN_OR_RETURN(std::string_view cblob,
+                       require("titles.category_blob"));
+  if (aoff.size() != na + 1 || coff.size() != nc + 1) {
+    return Status::Corruption("KB snapshot title offsets/meta mismatch");
+  }
+  if (mode == io::LoadMode::kZeroCopy) {
+    SQE_RETURN_IF_ERROR(
+        kb.article_titles_.SetMapped(aoff, ablob, "article titles"));
+    SQE_RETURN_IF_ERROR(
+        kb.category_titles_.SetMapped(coff, cblob, "category titles"));
+  } else {
+    SQE_RETURN_IF_ERROR(
+        kb.article_titles_.AssignMapped(aoff, ablob, "article titles"));
+    SQE_RETURN_IF_ERROR(
+        kb.category_titles_.AssignMapped(coff, cblob, "category titles"));
+  }
+
+  SQE_RETURN_IF_ERROR(load("titles.article_order", kb.article_title_order_,
+                           na));
+  SQE_RETURN_IF_ERROR(load("titles.category_order", kb.category_title_order_,
+                           nc));
+
+  SQE_RETURN_IF_ERROR(load("csr.article_links.offsets",
+                           kb.article_link_offsets_, na + 1));
+  SQE_RETURN_IF_ERROR(load("csr.article_links.targets",
+                           kb.article_link_targets_, SIZE_MAX));
+  SQE_RETURN_IF_ERROR(load("csr.article_inlinks.offsets",
+                           kb.article_inlink_offsets_, na + 1));
+  SQE_RETURN_IF_ERROR(load("csr.article_inlinks.targets",
+                           kb.article_inlink_sources_, SIZE_MAX));
+  SQE_RETURN_IF_ERROR(load("csr.memberships.offsets", kb.membership_offsets_,
+                           na + 1));
+  SQE_RETURN_IF_ERROR(load("csr.memberships.targets", kb.membership_targets_,
+                           SIZE_MAX));
+  SQE_RETURN_IF_ERROR(load("csr.category_articles.offsets",
+                           kb.cat_article_offsets_, nc + 1));
+  SQE_RETURN_IF_ERROR(load("csr.category_articles.targets",
+                           kb.cat_article_targets_, SIZE_MAX));
+  SQE_RETURN_IF_ERROR(load("csr.category_parents.offsets",
+                           kb.cat_parent_offsets_, nc + 1));
+  SQE_RETURN_IF_ERROR(load("csr.category_parents.targets",
+                           kb.cat_parent_targets_, SIZE_MAX));
+  SQE_RETURN_IF_ERROR(load("csr.category_children.offsets",
+                           kb.cat_child_offsets_, nc + 1));
+  SQE_RETURN_IF_ERROR(load("csr.category_children.targets",
+                           kb.cat_child_targets_, SIZE_MAX));
+  SQE_RETURN_IF_ERROR(load("csr.reciprocal.offsets", kb.reciprocal_offsets_,
+                           na + 1));
+  SQE_RETURN_IF_ERROR(load("csr.reciprocal.targets", kb.reciprocal_targets_,
+                           SIZE_MAX));
+
+  if (mode == io::LoadMode::kZeroCopy) kb.retainer_ = reader.retainer();
+  return kb;
+}
+
+Result<KnowledgeBase> KnowledgeBase::FromReader(
+    const io::SnapshotReader& reader, io::LoadMode mode) {
+  if (reader.version() < io::kAlignedSnapshotVersion &&
+      mode == io::LoadMode::kZeroCopy) {
+    return Status::InvalidArgument(
+        "zero-copy load requires an aligned (v3+) KB snapshot");
+  }
+  Result<KnowledgeBase> kb =
+      reader.version() >= io::kAlignedSnapshotVersion
+          ? LoadAligned(reader, mode)
+          : LoadLegacy(reader);
+  if (!kb.ok()) return kb.status();
+
+  // Deep structural validation of the final object: catches payloads that
+  // pass CRC and decode (e.g. a re-signed snapshot with unsorted adjacency,
+  // duplicate titles, or a stale persisted derived structure) before they
+  // can corrupt query results or walk the binary searches into UB.
+  SQE_RETURN_IF_ERROR(kb.value().Validate());
+  return kb;
+}
+
+Result<KnowledgeBase> KnowledgeBase::FromSnapshotString(std::string image,
+                                                        io::LoadMode mode) {
+  auto reader =
+      io::SnapshotReader::Open(std::move(image), io::kKbSnapshotMagic);
+  if (!reader.ok()) return reader.status();
+  return FromReader(reader.value(), mode);
+}
+
+Result<KnowledgeBase> KnowledgeBase::FromSnapshotFile(const std::string& path,
+                                                      io::LoadMode mode) {
+  if (mode == io::LoadMode::kZeroCopy) {
+    auto reader = io::SnapshotReader::OpenMapped(path, io::kKbSnapshotMagic);
+    if (!reader.ok()) return reader.status();
+    return FromReader(reader.value(), mode);
+  }
   auto image = io::ReadFileToString(path);
   if (!image.ok()) return image.status();
-  return FromSnapshotString(std::move(image).value());
+  return FromSnapshotString(std::move(image).value(), mode);
 }
 
 }  // namespace sqe::kb

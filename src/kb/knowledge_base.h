@@ -7,17 +7,29 @@
 // construction. All adjacency lists are sorted, enabling O(log d)
 // edge-existence checks; the doubly-linked pairs that dominate motif
 // matching are additionally precomputed into a reciprocal-link CSR.
+//
+// Storage comes in two modes (io::LoadMode). A heap load decodes every
+// array into owned vectors; a zero-copy load of an aligned (v3) snapshot
+// points the same members straight into the snapshot image — mmap'ed or a
+// heap string — which the KB retains for its lifetime. v3 snapshots also
+// persist every derived structure (reverse CSRs, the reciprocal-link CSR,
+// the title orders), so a v3 load rebuilds nothing; Validate() instead
+// proves the stored derivations equal a recomputation.
 #ifndef SQE_KB_KNOWLEDGE_BASE_H_
 #define SQE_KB_KNOWLEDGE_BASE_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/result.h"
+#include "common/string_column.h"
+#include "common/vec_or_view.h"
+#include "io/file.h"
+#include "io/snapshot_format.h"
 #include "kb/types.h"
 
 namespace sqe::kb {
@@ -25,7 +37,7 @@ namespace sqe::kb {
 class KbBuilder;
 
 /// Immutable knowledge-base graph. Create through KbBuilder::Build() or
-/// KnowledgeBase::FromSnapshot().
+/// KnowledgeBase::FromSnapshot*().
 class KnowledgeBase {
  public:
   KnowledgeBase() = default;
@@ -39,18 +51,21 @@ class KnowledgeBase {
   size_t NumCategories() const { return category_titles_.size(); }
 
   // Per-lookup bounds checks on the read path are debug-only: ids come from
-  // the KB's own CSRs, whose ranges Validate() proves at load time.
-  const std::string& ArticleTitle(ArticleId a) const {
+  // the KB's own CSRs, whose ranges Validate() proves at load time. Views
+  // stay valid as long as the KB does (they point into owned storage or the
+  // retained snapshot image).
+  std::string_view ArticleTitle(ArticleId a) const {
     SQE_DCHECK(a < article_titles_.size());
     return article_titles_[a];
   }
-  const std::string& CategoryTitle(CategoryId c) const {
+  std::string_view CategoryTitle(CategoryId c) const {
     SQE_DCHECK(c < category_titles_.size());
     return category_titles_[c];
   }
 
   /// Title lookup; returns kInvalid* when absent. Titles are exact-match
-  /// (callers normalise case upstream if needed).
+  /// (callers normalise case upstream if needed). O(log N) binary search
+  /// over the title-sorted id permutation in both storage modes.
   ArticleId FindArticle(std::string_view title) const;
   CategoryId FindCategory(std::string_view title) const;
 
@@ -109,25 +124,39 @@ class KnowledgeBase {
   size_t NumMemberships() const { return membership_targets_.size(); }
   size_t NumCategoryLinks() const { return cat_parent_targets_.size(); }
 
+  /// True when the bulk arrays view a retained snapshot image rather than
+  /// owned heap vectors.
+  bool zero_copy() const { return article_link_offsets_.mapped(); }
+
   // ---- integrity ----------------------------------------------------------
 
   /// Deep structural validation: CSR offset monotonicity, in-range targets,
   /// strictly ascending adjacency, reverse CSRs consistent with the forward
-  /// relations, reciprocal CSR equal to the out∩in intersection, and
-  /// title-map bijection. Returns Status::Corruption pinpointing the first
-  /// violation (relation, node id, position). Runs after every snapshot
-  /// load; O(V + E), load-time only — never on the query path.
+  /// relations, reciprocal CSR equal to the out∩in intersection, and the
+  /// title orders strictly ascending permutations that round-trip every
+  /// lookup. Returns Status::Corruption pinpointing the first violation
+  /// (relation, node id, position). Runs after every snapshot load;
+  /// O(V + E), load-time only — never on the query path.
   Status Validate() const;
 
   // ---- persistence ---------------------------------------------------------
 
   /// Serializes to the SQE snapshot format (CRC-protected blocks).
+  /// `version` selects the container: 1 writes the legacy varint-framed
+  /// layout (forward relations only; derived structures are rebuilt on
+  /// load), kKbSnapshotVersion (3) the aligned zero-copy layout with every
+  /// derived structure persisted.
   Status SaveToFile(const std::string& path) const;
-  std::string SerializeToString() const;
+  std::string SerializeToString(
+      uint32_t version = io::kKbSnapshotVersion) const;
 
-  /// Loads a snapshot produced by SaveToFile/SerializeToString.
-  static Result<KnowledgeBase> FromSnapshotFile(const std::string& path);
-  static Result<KnowledgeBase> FromSnapshotString(std::string image);
+  /// Loads a snapshot produced by SaveToFile/SerializeToString. LoadMode
+  /// kZeroCopy requires an aligned (v3+) image and keeps `image` alive for
+  /// the KB's lifetime; kHeap copies and works for every version.
+  static Result<KnowledgeBase> FromSnapshotFile(
+      const std::string& path, io::LoadMode mode = io::LoadMode::kHeap);
+  static Result<KnowledgeBase> FromSnapshotString(
+      std::string image, io::LoadMode mode = io::LoadMode::kHeap);
 
  private:
   friend class KbBuilder;
@@ -135,39 +164,55 @@ class KnowledgeBase {
   friend struct KnowledgeBaseTestPeer;  // validator tests build broken KBs
 
   template <typename T>
-  static std::span<const T> Slice(const std::vector<uint64_t>& offsets,
-                                  const std::vector<T>& targets, uint32_t id) {
+  static std::span<const T> Slice(const VecOrView<uint64_t>& offsets,
+                                  const VecOrView<T>& targets, uint32_t id) {
     SQE_DCHECK(id + 1 < offsets.size());
     return std::span<const T>(targets.data() + offsets[id],
                               targets.data() + offsets[id + 1]);
   }
 
-  void RebuildTitleMaps();
+  static Result<KnowledgeBase> FromReader(const io::SnapshotReader& reader,
+                                          io::LoadMode mode);
+  static Result<KnowledgeBase> LoadLegacy(const io::SnapshotReader& reader);
+  static Result<KnowledgeBase> LoadAligned(const io::SnapshotReader& reader,
+                                           io::LoadMode mode);
+
+  /// Sorts the id permutations behind FindArticle/FindCategory. Owned mode
+  /// only; zero-copy loads adopt the stored orders instead.
+  void BuildTitleOrder();
   /// Intersects each article's sorted out- and in-lists into the
-  /// reciprocal-link CSR. Requires both link directions to be final.
+  /// reciprocal-link CSR. Requires both link directions to be final. Owned
+  /// mode only.
   void BuildReciprocalLinks();
 
-  std::vector<std::string> article_titles_;
-  std::vector<std::string> category_titles_;
-  std::unordered_map<std::string_view, ArticleId> article_by_title_;
-  std::unordered_map<std::string_view, CategoryId> category_by_title_;
+  StringColumn article_titles_;
+  StringColumn category_titles_;
+  // Id permutations ordering titles strictly ascending; FindArticle /
+  // FindCategory binary-search these (the persistable replacement for a
+  // rebuilt-on-load hash map).
+  VecOrView<ArticleId> article_title_order_;
+  VecOrView<CategoryId> category_title_order_;
 
   // CSR adjacency; offsets have size N+1.
-  std::vector<uint64_t> article_link_offsets_;
-  std::vector<ArticleId> article_link_targets_;
-  std::vector<uint64_t> article_inlink_offsets_;
-  std::vector<ArticleId> article_inlink_sources_;
-  std::vector<uint64_t> membership_offsets_;
-  std::vector<CategoryId> membership_targets_;
-  std::vector<uint64_t> cat_article_offsets_;
-  std::vector<ArticleId> cat_article_targets_;
-  std::vector<uint64_t> cat_parent_offsets_;
-  std::vector<CategoryId> cat_parent_targets_;
-  std::vector<uint64_t> cat_child_offsets_;
-  std::vector<CategoryId> cat_child_targets_;
+  VecOrView<uint64_t> article_link_offsets_;
+  VecOrView<ArticleId> article_link_targets_;
+  VecOrView<uint64_t> article_inlink_offsets_;
+  VecOrView<ArticleId> article_inlink_sources_;
+  VecOrView<uint64_t> membership_offsets_;
+  VecOrView<CategoryId> membership_targets_;
+  VecOrView<uint64_t> cat_article_offsets_;
+  VecOrView<ArticleId> cat_article_targets_;
+  VecOrView<uint64_t> cat_parent_offsets_;
+  VecOrView<CategoryId> cat_parent_targets_;
+  VecOrView<uint64_t> cat_child_offsets_;
+  VecOrView<CategoryId> cat_child_targets_;
   // Derived: mutual (doubly-linked) neighbors per article.
-  std::vector<uint64_t> reciprocal_offsets_;
-  std::vector<ArticleId> reciprocal_targets_;
+  VecOrView<uint64_t> reciprocal_offsets_;
+  VecOrView<ArticleId> reciprocal_targets_;
+
+  // Keeps the snapshot image (mmap region or heap string) alive while any
+  // of the views above point into it.
+  std::shared_ptr<const void> retainer_;
 };
 
 }  // namespace sqe::kb

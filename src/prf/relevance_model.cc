@@ -59,8 +59,9 @@ std::vector<WeightedTerm> PrfExpander::EstimateRelevanceModel(
   const size_t n = std::min(options_.expansion_terms, ranked.size());
   model.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    model.push_back(WeightedTerm{idx.vocabulary().TermOf(ranked[i].first),
-                                 ranked[i].second});
+    model.push_back(
+        WeightedTerm{std::string(idx.vocabulary().TermOf(ranked[i].first)),
+                     ranked[i].second});
   }
   return model;
 }

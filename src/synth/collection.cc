@@ -25,8 +25,8 @@ void EmitWord(const std::string& word, std::string* text) {
 
 }  // namespace
 
-Collection GenerateCollection(const World& world,
-                              const CollectionOptions& options) {
+void StreamCollection(const World& world, const CollectionOptions& options,
+                      const std::function<void(GeneratedDoc, size_t)>& emit) {
   SQE_CHECK(world.NumConcepts() > 0);
   SQE_CHECK(options.min_doc_tokens >= 4);
   SQE_CHECK(options.max_doc_tokens >= options.min_doc_tokens);
@@ -37,10 +37,6 @@ Collection GenerateCollection(const World& world,
       std::min<uint64_t>(options.concept_max, world.NumConcepts()));
   SQE_CHECK(lo < hi);
   ZipfSampler concept_sampler(hi - lo, options.concept_zipf_s);
-
-  Collection collection;
-  collection.docs.reserve(options.num_docs);
-  collection.docs_of_concept.resize(world.NumConcepts());
 
   const std::vector<double> weights = {
       options.w_primary_title, options.w_related_title, options.w_mention,
@@ -168,11 +164,20 @@ Collection GenerateCollection(const World& world,
       }
     }
 
-    collection.docs_of_concept[primary].push_back(
+    emit(std::move(doc), d);
+  }
+}
+
+Collection GenerateCollection(const World& world,
+                              const CollectionOptions& options) {
+  Collection collection;
+  collection.docs.reserve(options.num_docs);
+  collection.docs_of_concept.resize(world.NumConcepts());
+  StreamCollection(world, options, [&](GeneratedDoc doc, size_t /*d*/) {
+    collection.docs_of_concept[doc.primary_concept].push_back(
         static_cast<uint32_t>(collection.docs.size()));
     collection.docs.push_back(std::move(doc));
-  }
-
+  });
   return collection;
 }
 

@@ -11,6 +11,7 @@
 #define SQE_SYNTH_COLLECTION_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,16 @@ struct Collection {
 /// Deterministically generates a collection over `world`.
 Collection GenerateCollection(const World& world,
                               const CollectionOptions& options);
+
+/// Streaming form of GenerateCollection: `emit(doc, ordinal)` is invoked
+/// once per document, in generation order, and nothing is retained between
+/// calls — memory stays constant no matter how large `num_docs` is, which
+/// is what makes multi-million-document corpora practical to index. The
+/// Rng call sequence is identical to GenerateCollection's, so streamed
+/// documents are byte-for-byte the documents GenerateCollection would
+/// materialize (synth_test pins this equivalence).
+void StreamCollection(const World& world, const CollectionOptions& options,
+                      const std::function<void(GeneratedDoc, size_t)>& emit);
 
 }  // namespace sqe::synth
 

@@ -1,25 +1,109 @@
 #include "text/vocabulary.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/string_util.h"
 
 namespace sqe::text {
 
 TermId Vocabulary::GetOrAdd(std::string_view term) {
+  SQE_DCHECK(!terms_.mapped());
   auto it = index_.find(std::string(term));
   if (it != index_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
-  terms_.emplace_back(term);
-  index_.emplace(terms_.back(), id);
+  terms_.owned().emplace_back(term);
+  index_.emplace(terms_.owned().back(), id);
   return id;
 }
 
 TermId Vocabulary::Lookup(std::string_view term) const {
-  auto it = index_.find(std::string(term));
-  if (it == index_.end()) return kInvalidTermId;
-  return it->second;
+  if (!terms_.mapped()) {
+    auto it = index_.find(std::string(term));
+    if (it == index_.end()) return kInvalidTermId;
+    return it->second;
+  }
+  std::span<const TermId> order = order_.span();
+  auto it = std::lower_bound(order.begin(), order.end(), term,
+                             [this](TermId id, std::string_view t) {
+                               return terms_[id] < t;
+                             });
+  if (it != order.end() && terms_[*it] == term) return *it;
+  return kInvalidTermId;
+}
+
+std::vector<TermId> Vocabulary::SortedOrder() const {
+  std::vector<TermId> order(terms_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](TermId a, TermId b) {
+    return terms_[a] < terms_[b];
+  });
+  return order;
+}
+
+Status Vocabulary::ValidateOrder(std::span<const TermId> order) const {
+  if (order.size() != terms_.size()) {
+    return Status::Corruption(
+        StrFormat("vocabulary: sorted order has %zu entries for %zu terms",
+                  order.size(), terms_.size()));
+  }
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (order[k] >= terms_.size()) {
+      return Status::Corruption(
+          StrFormat("vocabulary: sorted order entry %zu out of range", k));
+    }
+    if (k > 0 && !(terms_[order[k - 1]] < terms_[order[k]])) {
+      return Status::Corruption(StrFormat(
+          "vocabulary: sorted order not strictly ascending at rank %zu "
+          "(duplicate term strings or unsorted order)",
+          k));
+    }
+  }
+  return Status::OK();
+}
+
+Status Vocabulary::AttachMapped(std::span<const uint64_t> offsets,
+                                std::string_view blob,
+                                std::span<const TermId> order) {
+  index_.clear();
+  SQE_RETURN_IF_ERROR(terms_.SetMapped(offsets, blob, "vocabulary terms"));
+  SQE_RETURN_IF_ERROR(ValidateOrder(order));
+  order_.SetView(order);
+  return Status::OK();
+}
+
+Status Vocabulary::AssignMapped(std::span<const uint64_t> offsets,
+                                std::string_view blob,
+                                std::span<const TermId> order) {
+  SQE_RETURN_IF_ERROR(terms_.AssignMapped(offsets, blob, "vocabulary terms"));
+  // The stored order is only consulted by mapped vocabularies, but a heap
+  // load still proves it correct so both load modes accept exactly the
+  // same set of snapshots.
+  SQE_RETURN_IF_ERROR(ValidateOrder(order));
+  index_.clear();
+  index_.reserve(terms_.size());
+  for (size_t id = 0; id < terms_.size(); ++id) {
+    index_.emplace(terms_.owned()[id], static_cast<TermId>(id));
+  }
+  if (index_.size() != terms_.size()) {
+    return Status::Corruption("vocabulary: duplicate term strings");
+  }
+  return Status::OK();
 }
 
 Status Vocabulary::Validate() const {
+  if (terms_.mapped()) {
+    SQE_RETURN_IF_ERROR(ValidateOrder(order_.span()));
+    for (size_t id = 0; id < terms_.size(); ++id) {
+      if (Lookup(terms_[id]) != static_cast<TermId>(id)) {
+        return Status::Corruption(StrFormat(
+            "vocabulary: term id %zu ('%s') does not round-trip through the "
+            "term map",
+            id, std::string(terms_[id]).c_str()));
+      }
+    }
+    return Status::OK();
+  }
   if (index_.size() != terms_.size()) {
     return Status::Corruption(
         StrFormat("vocabulary: %zu distinct terms in map but %zu ids "
@@ -27,12 +111,12 @@ Status Vocabulary::Validate() const {
                   index_.size(), terms_.size()));
   }
   for (size_t id = 0; id < terms_.size(); ++id) {
-    auto it = index_.find(terms_[id]);
+    auto it = index_.find(terms_.owned()[id]);
     if (it == index_.end() || it->second != static_cast<TermId>(id)) {
       return Status::Corruption(StrFormat(
           "vocabulary: term id %zu ('%s') does not round-trip through the "
           "term map",
-          id, terms_[id].c_str()));
+          id, terms_.owned()[id].c_str()));
     }
   }
   return Status::OK();

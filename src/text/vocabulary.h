@@ -3,10 +3,17 @@
 // Term ids are dense 32-bit integers assigned in insertion order, so they
 // can index postings arrays directly. The synthetic generators, the index
 // and the retrieval engine all share one Vocabulary instance per dataset.
+//
+// Two storage modes mirror the snapshot load modes: an owned vocabulary
+// (builders, legacy and heap loads) keeps a hash map for O(1) lookup; a
+// mapped vocabulary points at a string column plus a term-sorted id
+// permutation inside a retained zero-copy snapshot image and looks terms
+// up by binary search — nothing is decoded or allocated per term.
 #ifndef SQE_TEXT_VOCABULARY_H_
 #define SQE_TEXT_VOCABULARY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -14,6 +21,8 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/string_column.h"
+#include "common/vec_or_view.h"
 
 namespace sqe::text {
 
@@ -28,36 +37,59 @@ class Vocabulary {
   Vocabulary(Vocabulary&&) = default;
   Vocabulary& operator=(Vocabulary&&) = default;
 
-  /// Returns the id for `term`, inserting it if new.
+  /// Returns the id for `term`, inserting it if new. Owned mode only.
   TermId GetOrAdd(std::string_view term);
 
   /// Returns the id for `term` or kInvalidTermId if absent.
   TermId Lookup(std::string_view term) const;
 
   /// Term string for an id. Id must be valid (debug-checked; ids on the
-  /// read path come from validated postings/forward indexes).
-  const std::string& TermOf(TermId id) const {
+  /// read path come from validated postings/forward indexes). The view
+  /// stays valid as long as the vocabulary (and, in mapped mode, the
+  /// snapshot image retaining it) does.
+  std::string_view TermOf(TermId id) const {
     SQE_DCHECK(id < terms_.size());
     return terms_[id];
   }
 
   /// Verifies the id↔term bijection: every id maps to exactly one term and
   /// looking that term up returns the same id (duplicate terms collapse the
-  /// map and break the round trip). Returns Status::Corruption naming the
-  /// offending id. O(size).
+  /// map — or break the sorted order's strict ascent — and either way the
+  /// round trip fails). Returns Status::Corruption naming the offending
+  /// id. O(size) owned, O(size log size) mapped.
   Status Validate() const;
 
   size_t size() const { return terms_.size(); }
   bool empty() const { return terms_.empty(); }
 
-  /// All terms, id order (for serialization).
-  const std::vector<std::string>& terms() const { return terms_; }
+  /// True when the terms view a retained snapshot image.
+  bool zero_copy() const { return terms_.mapped(); }
+
+  /// Id permutation ordering terms ascending — the persistable replacement
+  /// for the hash map (v3 snapshots store it; a mapped vocabulary binary-
+  /// searches it). Computed on demand in owned mode.
+  std::vector<TermId> SortedOrder() const;
+
+  /// Zero-copy attach: term column and order point into a snapshot image
+  /// the caller retains. Rejects a malformed column or an order that is
+  /// not a strictly ascending permutation.
+  Status AttachMapped(std::span<const uint64_t> offsets,
+                      std::string_view blob, std::span<const TermId> order);
+  /// Heap load of the same layout: copies the strings, rebuilds the hash
+  /// map, and verifies the stored order. The image may be discarded after.
+  Status AssignMapped(std::span<const uint64_t> offsets,
+                      std::string_view blob, std::span<const TermId> order);
 
  private:
   friend struct VocabularyTestPeer;  // validator tests build broken vocabs
 
-  std::unordered_map<std::string, TermId> index_;
-  std::vector<std::string> terms_;
+  /// Order must be a size()-long, in-range permutation along which terms
+  /// strictly ascend.
+  Status ValidateOrder(std::span<const TermId> order) const;
+
+  std::unordered_map<std::string, TermId> index_;  // owned mode only
+  StringColumn terms_;
+  VecOrView<TermId> order_;  // mapped mode only
 };
 
 }  // namespace sqe::text

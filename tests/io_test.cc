@@ -1,10 +1,12 @@
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "io/coding.h"
 #include "io/file.h"
+#include "io/snapshot_format.h"
 
 namespace sqe::io {
 namespace {
@@ -180,6 +182,24 @@ TEST(SnapshotTest, DuplicateBlockNamesRejectedOnWrite) {
   EXPECT_TRUE(status.IsInvalidArgument());
 }
 
+TEST(SnapshotTest, DuplicateBlockNamesRejectedAtOpen) {
+  // Writer-side checks can be bypassed (Serialize has no file to refuse, a
+  // hostile image never saw the writer), so Open must reject duplicates
+  // itself — in both container layouts — before one CRC-valid block can
+  // shadow the other at GetBlock time.
+  for (uint32_t version : {1u, kAlignedSnapshotVersion}) {
+    SnapshotWriter writer(kTestMagic, version);
+    writer.AddBlock("same", "a");
+    writer.AddBlock("same", "b");
+    auto reader = SnapshotReader::Open(writer.Serialize(), kTestMagic);
+    ASSERT_FALSE(reader.ok()) << "version " << version;
+    EXPECT_TRUE(reader.status().IsCorruption()) << "version " << version;
+    EXPECT_NE(reader.status().message().find("duplicate snapshot block"),
+              std::string::npos)
+        << reader.status().ToString();
+  }
+}
+
 // ---- file helpers -----------------------------------------------------------
 
 TEST(FileTest, WriteReadRoundTrip) {
@@ -206,6 +226,68 @@ TEST(FileTest, SnapshotFileRoundTrip) {
   auto reader = SnapshotReader::OpenFile(path, kTestMagic);
   ASSERT_TRUE(reader.ok());
   EXPECT_EQ(reader.value().GetBlock("block").value(), "contents");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MappedSnapshotFileRoundTrip) {
+  const std::string path = "/tmp/sqe_io_test_mapped_snapshot.bin";
+  SnapshotWriter writer(kTestMagic, kAlignedSnapshotVersion);
+  writer.AddBlock("block", "mapped-contents");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  // The retainer must keep the mapping alive past the reader itself.
+  std::string_view payload;
+  std::shared_ptr<const void> keepalive;
+  {
+    auto reader = SnapshotReader::OpenMapped(path, kTestMagic);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_TRUE(reader.value().is_mapped());
+    EXPECT_EQ(reader.value().version(), kAlignedSnapshotVersion);
+    payload = reader.value().GetBlock("block").value();
+    keepalive = reader.value().retainer();
+  }
+  EXPECT_EQ(payload, "mapped-contents");
+  std::remove(path.c_str());
+}
+
+// ---- torn-write regression --------------------------------------------------
+//
+// WriteStringToFile used to truncate the destination in place, so a crash
+// mid-write left a torn file under the final name. These tests inject a
+// failure at each stage of the temp+fsync+rename sequence and assert the
+// destination still holds its previous bytes and no temp litter survives.
+
+size_t CountTempLitter(const std::string& final_path) {
+  const std::filesystem::path p(final_path);
+  const std::string prefix = p.filename().string() + ".tmp.";
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           p.parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(FileTest, TornWriteLeavesDestinationIntact) {
+  const std::string path = "/tmp/sqe_io_test_torn.bin";
+  const std::string old_data = "the previous, fully-written snapshot";
+  ASSERT_TRUE(WriteStringToFile(path, old_data).ok());
+
+  for (auto point : {testing::WriteFailurePoint::kAfterWrite,
+                     testing::WriteFailurePoint::kBeforeRename}) {
+    testing::SetWriteFailurePoint(point);
+    Status status = WriteStringToFile(path, "torn replacement bytes");
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.IsIOError()) << status.ToString();
+    auto read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), old_data)
+        << "destination mutated by a failed write";
+    EXPECT_EQ(CountTempLitter(path), 0u) << "temp file left behind";
+  }
+
+  // Disarmed after firing: the next write goes through and replaces.
+  ASSERT_TRUE(WriteStringToFile(path, "clean replacement").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "clean replacement");
   std::remove(path.c_str());
 }
 

@@ -261,7 +261,10 @@ void ExpectBlockMaxRejected(const std::string& image,
 
 TEST(SnapshotFuzzTest, BlockMaxTableCorruptionsAreRejected) {
   index::InvertedIndex original = MakeFuzzIndex();
-  const std::string image = original.SerializeToString();
+  // The varint "blockmax" block only exists in the legacy v2 container;
+  // v3 persists the tables as flat arrays covered by the aligned-layout
+  // fuzz paths.
+  const std::string image = original.SerializeToString(2);
 
   auto reader = io::SnapshotReader::Open(image, io::kIndexSnapshotMagic);
   ASSERT_TRUE(reader.ok());
@@ -352,7 +355,7 @@ TEST(SnapshotFuzzTest, ResignedRandomBlockMaxBytesAreRejected) {
   // that survives varint decoding must still be rejected — there is no
   // "semantically harmless" direction for derived data.
   index::InvertedIndex original = MakeFuzzIndex();
-  const std::string image = original.SerializeToString();
+  const std::string image = original.SerializeToString(2);  // legacy layout
   auto reader = io::SnapshotReader::Open(image, io::kIndexSnapshotMagic);
   ASSERT_TRUE(reader.ok());
   auto block = reader.value().GetBlock("blockmax");

@@ -1,0 +1,234 @@
+// Cross-version snapshot load matrix: every supported (format version ×
+// load mode × transport) combination must load, deep-validate, and rank
+// bit-identically to the in-memory structures it was serialized from.
+//
+// This is the acceptance gate for the v3 zero-copy layout: a mapped load
+// is only correct if it is indistinguishable from a heap load under the
+// PR 2 validators AND under actual query traffic. The corruption half of
+// the matrix pins the other direction — the persisted derived structures
+// (docs-by-length order, sorted title/vocab orders, block-max boundaries,
+// reciprocal CSR) are cross-checked on load, so a resigned snapshot with a
+// stale derived block must be rejected even though every CRC is valid.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/file.h"
+#include "io/snapshot_format.h"
+#include "kb/knowledge_base.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+// ---- shared pipeline (built once; serialization is cheap, building isn't) --
+
+struct Pipeline {
+  synth::World world;
+  synth::Dataset dataset;
+
+  Pipeline()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())) {}
+};
+
+Pipeline& SharedPipeline() {
+  static Pipeline& pipeline = *new Pipeline();
+  return pipeline;
+}
+
+constexpr size_t kDepth = 50;
+
+// Order- and score-sensitive digest of the full ranking for every query in
+// the shared dataset, run against the given KB + index pair. Two loads are
+// "bit-identical" iff these digests match.
+uint64_t RankingDigest(const kb::KnowledgeBase& kb,
+                       const index::InvertedIndex& index) {
+  Pipeline& p = SharedPipeline();
+  expansion::SqeEngineConfig config;
+  config.retriever.mu = p.dataset.retrieval_mu;
+  expansion::SqeEngine engine(&kb, &index, p.dataset.linker.get(),
+                              &p.dataset.analyzer(), config);
+  uint64_t digest = 1469598103934665603ull;  // FNV-1a
+  for (const synth::GeneratedQuery& q : p.dataset.query_set.queries) {
+    auto run = engine.RunSqe(q.text, q.true_entities,
+                             expansion::MotifConfig::Both(), kDepth);
+    for (const retrieval::ScoredDoc& sd : run.results) {
+      digest = (digest ^ sd.doc) * 1099511628211ull;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(sd.score));
+      std::memcpy(&bits, &sd.score, sizeof(bits));
+      digest = (digest ^ bits) * 1099511628211ull;
+    }
+  }
+  return digest;
+}
+
+uint64_t BaselineDigest() {
+  Pipeline& p = SharedPipeline();
+  static const uint64_t digest = RankingDigest(p.world.kb, p.dataset.index);
+  return digest;
+}
+
+// Rebuilds `image` with `block` replaced by mutate(payload) and all CRCs
+// re-signed: corruption that reaches the decoders, not the checksums.
+std::string ResignBlock(const std::string& image, uint32_t magic,
+                        std::string_view block,
+                        const std::function<std::string(std::string)>& mutate) {
+  auto reader = io::SnapshotReader::Open(image, magic);
+  SQE_CHECK(reader.ok());
+  io::SnapshotWriter writer(magic, reader->version());
+  bool found = false;
+  for (const std::string& name : reader->BlockNames()) {
+    auto payload = reader->GetBlock(name);
+    SQE_CHECK(payload.ok());
+    std::string bytes(payload.value());
+    if (name == block) {
+      bytes = mutate(std::move(bytes));
+      found = true;
+    }
+    writer.AddBlock(name, std::move(bytes));
+  }
+  SQE_CHECK_MSG(found, "ResignBlock: no such block");
+  return writer.Serialize();
+}
+
+std::string FlipFirstByte(std::string payload) {
+  SQE_CHECK(!payload.empty());
+  payload[0] ^= 0x01;
+  return payload;
+}
+
+// ---- load matrix: every version × mode × transport ranks identically ------
+
+TEST(SnapshotMatrixTest, KbAllVersionsAndModesRankIdentically) {
+  Pipeline& p = SharedPipeline();
+  for (uint32_t version : {1u, io::kKbSnapshotVersion}) {
+    SCOPED_TRACE("kb version " + std::to_string(version));
+    const std::string image = p.world.kb.SerializeToString(version);
+    auto heap = kb::KnowledgeBase::FromSnapshotString(image);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    EXPECT_FALSE(heap->zero_copy());
+    ASSERT_TRUE(heap->Validate().ok());
+    EXPECT_EQ(RankingDigest(*heap, p.dataset.index), BaselineDigest());
+
+    if (version < io::kAlignedSnapshotVersion) continue;
+    auto mapped = kb::KnowledgeBase::FromSnapshotString(
+        image, io::LoadMode::kZeroCopy);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_TRUE(mapped->zero_copy());
+    ASSERT_TRUE(mapped->Validate().ok());
+    EXPECT_EQ(RankingDigest(*mapped, p.dataset.index), BaselineDigest());
+  }
+}
+
+TEST(SnapshotMatrixTest, IndexAllVersionsAndModesRankIdentically) {
+  Pipeline& p = SharedPipeline();
+  for (uint32_t version : {1u, 2u, io::kIndexSnapshotVersion}) {
+    SCOPED_TRACE("index version " + std::to_string(version));
+    const std::string image = p.dataset.index.SerializeToString(version);
+    auto heap = index::InvertedIndex::FromSnapshotString(image);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    EXPECT_FALSE(heap->zero_copy());
+    ASSERT_TRUE(heap->Validate().ok());
+    EXPECT_EQ(RankingDigest(p.world.kb, *heap), BaselineDigest());
+
+    if (version < io::kAlignedSnapshotVersion) continue;
+    auto mapped = index::InvertedIndex::FromSnapshotString(
+        image, io::LoadMode::kZeroCopy);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_TRUE(mapped->zero_copy());
+    ASSERT_TRUE(mapped->Validate().ok());
+    EXPECT_EQ(RankingDigest(p.world.kb, *mapped), BaselineDigest());
+  }
+}
+
+TEST(SnapshotMatrixTest, MappedFileLoadRanksIdentically) {
+  Pipeline& p = SharedPipeline();
+  const std::string kb_path = "/tmp/sqe_snapshot_v3_test_kb.snap";
+  const std::string idx_path = "/tmp/sqe_snapshot_v3_test_index.snap";
+  ASSERT_TRUE(p.world.kb.SaveToFile(kb_path).ok());
+  ASSERT_TRUE(p.dataset.index.SaveToFile(idx_path).ok());
+  auto kb = kb::KnowledgeBase::FromSnapshotFile(kb_path,
+                                                io::LoadMode::kZeroCopy);
+  auto index = index::InvertedIndex::FromSnapshotFile(idx_path,
+                                                      io::LoadMode::kZeroCopy);
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_TRUE(kb->zero_copy());
+  EXPECT_TRUE(index->zero_copy());
+  EXPECT_EQ(RankingDigest(*kb, *index), BaselineDigest());
+  std::remove(kb_path.c_str());
+  std::remove(idx_path.c_str());
+}
+
+// ---- mode/version mismatches ----------------------------------------------
+
+TEST(SnapshotMatrixTest, ZeroCopyRejectsLegacyImages) {
+  Pipeline& p = SharedPipeline();
+  auto kb = kb::KnowledgeBase::FromSnapshotString(
+      p.world.kb.SerializeToString(1), io::LoadMode::kZeroCopy);
+  EXPECT_TRUE(kb.status().IsInvalidArgument()) << kb.status().ToString();
+  for (uint32_t version : {1u, 2u}) {
+    auto index = index::InvertedIndex::FromSnapshotString(
+        p.dataset.index.SerializeToString(version), io::LoadMode::kZeroCopy);
+    EXPECT_TRUE(index.status().IsInvalidArgument())
+        << index.status().ToString();
+  }
+}
+
+// ---- resigned stale-derived-block corruption -------------------------------
+//
+// Every mutated image below carries valid header, block, and directory
+// CRCs; only cross-validation of the persisted derived structure against
+// the primary data can catch it. Both load modes must reject it.
+
+void ExpectKbRejected(const std::string& image, std::string_view what) {
+  SCOPED_TRACE(std::string(what));
+  for (io::LoadMode mode : {io::LoadMode::kHeap, io::LoadMode::kZeroCopy}) {
+    auto kb = kb::KnowledgeBase::FromSnapshotString(image, mode);
+    EXPECT_FALSE(kb.ok()) << "mode " << static_cast<int>(mode)
+                          << " accepted a corrupt image";
+  }
+}
+
+void ExpectIndexRejected(const std::string& image, std::string_view what) {
+  SCOPED_TRACE(std::string(what));
+  for (io::LoadMode mode : {io::LoadMode::kHeap, io::LoadMode::kZeroCopy}) {
+    auto index = index::InvertedIndex::FromSnapshotString(image, mode);
+    EXPECT_FALSE(index.ok()) << "mode " << static_cast<int>(mode)
+                             << " accepted a corrupt image";
+  }
+}
+
+TEST(SnapshotMatrixTest, ResignedStaleDerivedKbBlocksAreRejected) {
+  Pipeline& p = SharedPipeline();
+  const std::string image = p.world.kb.SerializeToString();
+  for (std::string_view block :
+       {"titles.article_order", "titles.category_order",
+        "csr.reciprocal.targets", "csr.article_inlinks.offsets"}) {
+    ExpectKbRejected(ResignBlock(image, io::kKbSnapshotMagic, block,
+                                 FlipFirstByte),
+                     block);
+  }
+}
+
+TEST(SnapshotMatrixTest, ResignedStaleDerivedIndexBlocksAreRejected) {
+  Pipeline& p = SharedPipeline();
+  const std::string image = p.dataset.index.SerializeToString();
+  for (std::string_view block :
+       {"docs.by_length", "vocab.order", "post.block_last",
+        "post.doc_index"}) {
+    ExpectIndexRejected(ResignBlock(image, io::kIndexSnapshotMagic, block,
+                                    FlipFirstByte),
+                        block);
+  }
+}
+
+}  // namespace
+}  // namespace sqe

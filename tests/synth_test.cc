@@ -185,6 +185,24 @@ TEST(CollectionTest, DeterministicForSameSeed) {
   }
 }
 
+TEST(CollectionTest, StreamingMatchesMaterializedExactly) {
+  const World& world = TestWorld();
+  CollectionOptions options;
+  options.num_docs = 120;
+  Collection materialized = GenerateCollection(world, options);
+  size_t streamed = 0;
+  StreamCollection(world, options, [&](GeneratedDoc doc, size_t d) {
+    ASSERT_EQ(d, streamed);
+    ASSERT_LT(d, materialized.docs.size());
+    EXPECT_EQ(doc.external_id, materialized.docs[d].external_id);
+    EXPECT_EQ(doc.primary_concept, materialized.docs[d].primary_concept);
+    EXPECT_EQ(doc.english, materialized.docs[d].english);
+    EXPECT_EQ(doc.text, materialized.docs[d].text);
+    ++streamed;
+  });
+  EXPECT_EQ(streamed, materialized.docs.size());
+}
+
 TEST(CollectionTest, ExclusionLeavesConceptsUncovered) {
   const World& world = TestWorld();
   CollectionOptions options;

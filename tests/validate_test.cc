@@ -18,22 +18,22 @@ namespace sqe::kb {
 // Grants the validator tests raw access to the CSR internals.
 struct KnowledgeBaseTestPeer {
   static std::vector<ArticleId>& link_targets(KnowledgeBase& kb) {
-    return kb.article_link_targets_;
+    return kb.article_link_targets_.vec();
   }
   static std::vector<uint64_t>& link_offsets(KnowledgeBase& kb) {
-    return kb.article_link_offsets_;
+    return kb.article_link_offsets_.vec();
   }
   static std::vector<ArticleId>& reciprocal_targets(KnowledgeBase& kb) {
-    return kb.reciprocal_targets_;
+    return kb.reciprocal_targets_.vec();
   }
   static std::vector<uint64_t>& reciprocal_offsets(KnowledgeBase& kb) {
-    return kb.reciprocal_offsets_;
+    return kb.reciprocal_offsets_.vec();
   }
   static std::vector<ArticleId>& inlink_sources(KnowledgeBase& kb) {
-    return kb.article_inlink_sources_;
+    return kb.article_inlink_sources_.vec();
   }
   static std::vector<std::string>& article_titles(KnowledgeBase& kb) {
-    return kb.article_titles_;
+    return kb.article_titles_.owned();
   }
 };
 
@@ -160,16 +160,16 @@ struct InvertedIndexTestPeer {
     return idx.postings_;
   }
   static std::vector<uint32_t>& doc_lengths(InvertedIndex& idx) {
-    return idx.doc_lengths_;
+    return idx.doc_lengths_.vec();
   }
   static std::vector<DocId>& docs_by_length(InvertedIndex& idx) {
-    return idx.docs_by_length_;
+    return idx.docs_by_length_.vec();
   }
   static uint64_t& total_tokens(InvertedIndex& idx) {
     return idx.total_tokens_;
   }
   static std::vector<text::TermId>& doc_terms(InvertedIndex& idx) {
-    return idx.doc_terms_;
+    return idx.doc_terms_.vec();
   }
 };
 
@@ -288,7 +288,9 @@ TEST(PostingListValidateTest, DocBeyondCollectionRejected) {
 namespace sqe::text {
 
 struct VocabularyTestPeer {
-  static std::vector<std::string>& terms(Vocabulary& v) { return v.terms_; }
+  static std::vector<std::string>& terms(Vocabulary& v) {
+    return v.terms_.owned();
+  }
   static std::unordered_map<std::string, TermId>& index(Vocabulary& v) {
     return v.index_;
   }

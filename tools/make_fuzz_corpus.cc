@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "index/inverted_index.h"
@@ -130,11 +131,29 @@ std::string HeaderOnlySnapshot(uint32_t magic) {
   return out;
 }
 
+// A legacy container naming the same block twice, every CRC valid: only
+// SnapshotReader::Open's duplicate-name rejection stands between this and
+// two blocks shadowing each other.
+std::string DuplicateBlockSnapshot(uint32_t magic) {
+  std::string out;
+  io::PutFixed32(&out, magic);
+  io::PutVarint32(&out, 1);
+  for (int i = 0; i < 2; ++i) {
+    io::PutLengthPrefixed(&out, "dup");
+    io::PutLengthPrefixed(&out, "payload");
+    io::PutFixed32(&out, Crc32("payload"));
+  }
+  io::PutFixed32(&out, io::kSnapshotFooterMagic);
+  return out;
+}
+
 std::vector<Seed> GenerateSeeds() {
   std::vector<Seed> seeds;
 
   // ---- fuzz_kb_snapshot ----------------------------------------------------
-  const std::string kb_image = MakeCorpusKb().SerializeToString();
+  kb::KnowledgeBase corpus_kb = MakeCorpusKb();
+  const std::string kb_image = corpus_kb.SerializeToString(1);  // legacy
+  const std::string kb_v3 = corpus_kb.SerializeToString();      // aligned
   seeds.push_back({"fuzz_kb_snapshot", "valid_kb", kb_image});
   seeds.push_back({"fuzz_kb_snapshot", "truncated_kb",
                    kb_image.substr(0, kb_image.size() * 2 / 3)});
@@ -151,9 +170,32 @@ std::vector<Seed> GenerateSeeds() {
                    HeaderOnlySnapshot(io::kKbSnapshotMagic)});
   seeds.push_back({"fuzz_kb_snapshot", "wrong_magic",
                    HeaderOnlySnapshot(io::kIndexSnapshotMagic)});
+  seeds.push_back({"fuzz_kb_snapshot", "duplicate_block",
+                   DuplicateBlockSnapshot(io::kKbSnapshotMagic)});
+  // Aligned (v3) seeds: the raw-array layout plus corruptions of persisted
+  // derived structures, which only load-time validation can reject.
+  seeds.push_back({"fuzz_kb_snapshot", "valid_kb_v3", kb_v3});
+  seeds.push_back({"fuzz_kb_snapshot", "truncated_kb_v3",
+                   kb_v3.substr(0, kb_v3.size() * 2 / 3)});
+  seeds.push_back({"fuzz_kb_snapshot", "bitflip_kb_v3",
+                   FlipByte(kb_v3, kb_v3.size() / 2, 0x10)});
+  seeds.push_back(
+      {"fuzz_kb_snapshot", "resigned_v3_title_order",
+       ResignBlock(kb_v3, io::kKbSnapshotMagic, "titles.article_order",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 0, 0x01);
+                   })});
+  seeds.push_back(
+      {"fuzz_kb_snapshot", "resigned_v3_reciprocal",
+       ResignBlock(kb_v3, io::kKbSnapshotMagic, "csr.reciprocal.targets",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 0, 0x01);
+                   })});
 
   // ---- fuzz_index_snapshot -------------------------------------------------
-  const std::string index_image = MakeCorpusIndex().SerializeToString();
+  index::InvertedIndex corpus_index = MakeCorpusIndex();
+  const std::string index_image = corpus_index.SerializeToString(2);  // legacy
+  const std::string index_v3 = corpus_index.SerializeToString();      // aligned
   seeds.push_back({"fuzz_index_snapshot", "valid_index", index_image});
   seeds.push_back(
       {"fuzz_index_snapshot", "valid_manifest",
@@ -183,6 +225,27 @@ std::vector<Seed> GenerateSeeds() {
                    })});
   seeds.push_back({"fuzz_index_snapshot", "header_only",
                    HeaderOnlySnapshot(io::kIndexSnapshotMagic)});
+  seeds.push_back({"fuzz_index_snapshot", "valid_index_v3", index_v3});
+  seeds.push_back({"fuzz_index_snapshot", "truncated_index_v3",
+                   index_v3.substr(0, index_v3.size() / 2)});
+  seeds.push_back({"fuzz_index_snapshot", "bitflip_index_v3",
+                   FlipByte(index_v3, index_v3.size() / 3, 0x40)});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_v3_block_last",
+       ResignBlock(index_v3, io::kIndexSnapshotMagic, "post.block_last",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 0, 0x01);
+                   })});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_v3_doc_index",
+       ResignBlock(index_v3, io::kIndexSnapshotMagic, "post.doc_index",
+                   [](std::string p) {
+                     // Wreck a concatenation index table entry: slicing
+                     // bounds are the aligned loader's first line of
+                     // defense.
+                     return p.size() < 9 ? p
+                                         : FlipByte(std::move(p), 8, 0xFF);
+                   })});
 
   // ---- fuzz_coding ---------------------------------------------------------
   auto op = [](uint8_t opcode, std::string payload) {
@@ -220,6 +283,9 @@ std::vector<Seed> GenerateSeeds() {
   seeds.push_back(
       {"fuzz_coding", "snapshot_probe_truncated",
        op(6, index_image.substr(0, index_image.size() / 4))});
+  seeds.push_back({"fuzz_coding", "snapshot_probe_kb_v3", op(6, kb_v3)});
+  seeds.push_back({"fuzz_coding", "snapshot_probe_dup_block",
+                   op(6, DuplicateBlockSnapshot(io::kKbSnapshotMagic))});
 
   // ---- fuzz_text_pipeline --------------------------------------------------
   seeds.push_back({"fuzz_text_pipeline", "linkable_phrase",

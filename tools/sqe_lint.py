@@ -23,10 +23,14 @@ Rules:
                         converted to debug-only SQE_DCHECK (seek/decode inner
                         loops); reintroducing one silently costs release
                         throughput.
-  single-magic-def      snapshot magic/version constants — and any 0x5351
-                        ("SQ..") literal — are defined only in
-                        src/io/snapshot_format.h. Tests may build their own
-                        non-SQ magics; production formats may not fork.
+  single-magic-def      snapshot magic/version/alignment constants — and
+                        any 0x5351 ("SQ..") literal — are defined only in
+                        src/io/snapshot_format.h. That includes the v3
+                        aligned-layout constants (kAlignedSnapshotVersion,
+                        kSnapshotAlignment): a forked alignment or version
+                        threshold would silently split the format. Tests may
+                        build their own non-SQ magics; production formats may
+                        not fork.
 
 Usage:
   sqe_lint.py --root <repo-root>    lint the tree (exit 1 on findings)
@@ -53,7 +57,8 @@ MUTEX_MEMBER_RE = re.compile(
 SQE_CHECK_RE = re.compile(r"\bSQE_CHECK(?:_MSG)?\s*\(")
 MAGIC_LITERAL_RE = re.compile(r"0[xX]5351")
 MAGIC_DEF_RE = re.compile(
-    r"\bconstexpr\s+uint32_t\s+k\w*(?:Magic|SnapshotVersion)\b"
+    r"\bconstexpr\s+uint32_t\s+"
+    r"k\w*(?:Magic|SnapshotVersion|SnapshotAlignment)\b"
 )
 
 # Headers whose inner loops run per posting / per term during retrieval.
@@ -237,6 +242,11 @@ SELF_TEST_CASES = [
      "uint32_t magic = 0x53514B42;\n"),
     ("single-magic-def", "src/foo/format.h",
      "inline constexpr uint32_t kFooSnapshotMagic = 0x46464646;\n"),
+    # The v3 aligned-layout constants may not fork either.
+    ("single-magic-def", "src/foo/format.h",
+     "inline constexpr uint32_t kMySnapshotAlignment = 32;\n"),
+    ("single-magic-def", "src/foo/format.h",
+     "inline constexpr uint32_t kMyAlignedSnapshotVersion = 4;\n"),
 ]
 
 CLEAN_SNIPPETS = [
@@ -255,6 +265,9 @@ CLEAN_SNIPPETS = [
     # Tests may define their own (non-SQ) magics.
     ("tests/io_test.cc",
      "constexpr uint32_t kTestMagic = 0x54534E50;\n"),
+    # Using (not defining) the aligned-layout constants is fine anywhere.
+    ("src/foo/ok2.cc",
+     "size_t pad = io::kSnapshotAlignment - (size % io::kSnapshotAlignment);\n"),
 ]
 
 

@@ -19,7 +19,12 @@
 //                                             --shards N, score each query
 //                                             across N index shards — the
 //                                             digest must equal the
-//                                             unsharded run's
+//                                             unsharded run's; with --load
+//                                             heap|mapped, round-trip KB +
+//                                             index through v3 snapshot
+//                                             files and run against the
+//                                             reloaded structures — the
+//                                             digest must not change
 //   sqe_tool index shard-info <S> [index.snap]
 //                                             split the index (a snapshot
 //                                             file, or the synthetic
@@ -49,6 +54,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -131,7 +138,7 @@ int Motifs(const std::string& path, const std::string& title) {
   for (const expansion::ExpansionNode& node : graph.expansion_nodes) {
     std::printf("  |m_a|=%-3u (T=%u S=%u)  %s\n", node.motif_count,
                 node.triangular_count, node.square_count,
-                kb.ArticleTitle(node.article).c_str());
+                std::string(kb.ArticleTitle(node.article)).c_str());
   }
   return 0;
 }
@@ -152,17 +159,51 @@ uint64_t RankingDigest(const std::vector<expansion::SqeRunResult>& results,
   return digest;
 }
 
+// How `batch` obtains its KB + index: straight from the builder, or round-
+// tripped through a v3 snapshot file and loaded back in the given mode. CI
+// diffs the digests across all three — the load path must be invisible to
+// ranking.
+enum class BatchLoad { kDirect, kHeap, kMapped };
+
 int Batch(size_t num_threads, bool with_cache, size_t num_shards,
-          bool with_prune) {
+          bool with_prune, BatchLoad load) {
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
+
+  const kb::KnowledgeBase* kb = &world.kb;
+  const index::InvertedIndex* index = &dataset.index;
+  kb::KnowledgeBase loaded_kb;
+  index::InvertedIndex loaded_index;
+  if (load != BatchLoad::kDirect) {
+    const io::LoadMode mode = load == BatchLoad::kMapped
+                                  ? io::LoadMode::kZeroCopy
+                                  : io::LoadMode::kHeap;
+    const std::string kb_path = StrFormat("/tmp/sqe_tool_batch_%d_kb.snap",
+                                          static_cast<int>(::getpid()));
+    const std::string index_path = StrFormat(
+        "/tmp/sqe_tool_batch_%d_index.snap", static_cast<int>(::getpid()));
+    Status saved = world.kb.SaveToFile(kb_path);
+    if (saved.ok()) saved = dataset.index.SaveToFile(index_path);
+    if (!saved.ok()) return Fail(saved);
+    auto kb_or = kb::KnowledgeBase::FromSnapshotFile(kb_path, mode);
+    auto index_or = index::InvertedIndex::FromSnapshotFile(index_path, mode);
+    std::remove(kb_path.c_str());
+    std::remove(index_path.c_str());
+    if (!kb_or.ok()) return Fail(kb_or.status());
+    if (!index_or.ok()) return Fail(index_or.status());
+    loaded_kb = std::move(kb_or).value();
+    loaded_index = std::move(index_or).value();
+    kb = &loaded_kb;
+    index = &loaded_index;
+  }
+
   expansion::SqeEngineConfig config;
   config.retriever.mu = dataset.retrieval_mu;
   config.cache.enabled = with_cache;
   config.sharding.num_shards = num_shards;
   config.pruning.enabled = with_prune;
-  expansion::SqeEngine engine(&world.kb, &dataset.index, dataset.linker.get(),
+  expansion::SqeEngine engine(kb, index, dataset.linker.get(),
                               &dataset.analyzer(), config);
 
   std::vector<expansion::BatchQueryInput> batch;
@@ -182,8 +223,13 @@ int Batch(size_t num_threads, bool with_cache, size_t num_shards,
     double seconds = timer.ElapsedSeconds();
     size_t total_results = 0;
     uint64_t digest = RankingDigest(results, &total_results);
-    std::printf("batch%s: %zu queries, %zu threads, %zu shards, %.3f s "
+    const char* load_tag = load == BatchLoad::kDirect
+                               ? ""
+                               : (load == BatchLoad::kMapped ? " [mapped]"
+                                                             : " [heap]");
+    std::printf("batch%s%s: %zu queries, %zu threads, %zu shards, %.3f s "
                 "(%.1f q/s), %zu results, digest %016llx\n",
+                load_tag,
                 with_cache ? (pass == 0 ? " [cold]" : " [warm]") : "",
                 results.size(), num_threads, engine.num_shards(), seconds,
                 static_cast<double>(results.size()) / seconds, total_results,
@@ -346,6 +392,7 @@ int Usage() {
                "  sqe_tool motifs <in.dump|in.snap> <article title>\n"
                "  sqe_tool batch [num_threads] [--cache] [--shards N] "
                "[--prune]\n"
+               "                 [--load heap|mapped]\n"
                "  sqe_tool serve-sim [--workers N] [--capacity C] "
                "[--deadline-ms D]\n"
                "                     [--batch-every K] [--repeat R] "
@@ -364,6 +411,7 @@ int main(int argc, char** argv) {
     bool with_cache = false;
     bool with_prune = false;
     size_t shards = 1;
+    BatchLoad load = BatchLoad::kDirect;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--cache") == 0) {
         with_cache = true;
@@ -371,6 +419,19 @@ int main(int argc, char** argv) {
       }
       if (std::strcmp(argv[i], "--prune") == 0) {
         with_prune = true;
+        continue;
+      }
+      if (std::strcmp(argv[i], "--load") == 0) {
+        const char* value = (i + 1 < argc) ? argv[i + 1] : "";
+        if (std::strcmp(value, "heap") == 0) {
+          load = BatchLoad::kHeap;
+        } else if (std::strcmp(value, "mapped") == 0) {
+          load = BatchLoad::kMapped;
+        } else {
+          std::fprintf(stderr, "error: --load needs 'heap' or 'mapped'\n");
+          return 1;
+        }
+        ++i;
         continue;
       }
       if (std::strcmp(argv[i], "--shards") == 0) {
@@ -398,7 +459,7 @@ int main(int argc, char** argv) {
       }
       threads = static_cast<size_t>(parsed);
     }
-    return Batch(threads, with_cache, shards, with_prune);
+    return Batch(threads, with_cache, shards, with_prune, load);
   }
   if (command == "serve-sim") {
     size_t workers = 2;
