@@ -29,15 +29,23 @@
 // the fraction of in-range postings the pruned scorer never decoded, and a
 // digest-equality assert — pruning is exact, so a mismatch is a correctness
 // bug and fails the binary.
-// A fifth section measures cold start at scale: a million-document corpus is
+// A fifth section measures the posting codec: the pruning corpus is
+// round-tripped through a v3 (raw arrays) and a v4 (bit-packed blocks)
+// snapshot, and both loaded indexes run the wide-query workload under the
+// exhaustive and the pruned scorer. All four paths are digest-compared —
+// the codec contract is bit-identical rankings — and the section reports
+// the packed-vs-raw per-query cost next to the compression ratio
+// (ComputePostingsStats), so "smaller region, same speed" is one table.
+// A sixth section measures cold start at scale: a million-document corpus is
 // streamed (synth::StreamCollection — constant memory) straight into the
-// index builder, saved as a v3 snapshot, and reloaded by two child processes
-// — one heap, one mapped — each reporting its load time and VmRSS/VmHWM from
-// /proc/self/status plus a probe-query digest. Child processes keep the RSS
-// accounting honest: the two load modes never share an address space, so the
-// mapped row's memory figure cannot inherit the heap row's high-water mark.
-// The digests must match; the mapped load time and RSS must come in below
-// heap for the zero-copy path to be paying its way.
+// index builder, saved as BOTH a v3 (raw) and a v4 (packed) snapshot, and
+// reloaded by four child processes — {heap, mapped} × {raw, packed} — each
+// reporting its load time and VmRSS/VmHWM from /proc/self/status plus a
+// probe-query digest. Child processes keep the RSS accounting honest: the
+// load modes never share an address space, so one row's memory figure
+// cannot inherit another's high-water mark. All digests must match; the
+// mapped loads must come in below heap, and the packed snapshot (and its
+// mapped cold RSS) below raw, for the v4 region to be paying its way.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +55,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "io/snapshot_format.h"
 #include "retrieval/retriever.h"
 #include "retrieval/wand_retriever.h"
 #include "sqe/sqe_engine.h"
@@ -274,6 +283,62 @@ PruneStat TimePruning(const retrieval::Retriever& retriever,
   return stat;
 }
 
+// ---- codec: raw vs packed postings ------------------------------------------
+
+struct CodecStat {
+  size_t atoms = 0;
+  double raw_exhaustive_ns = 0.0;
+  double packed_exhaustive_ns = 0.0;
+  double raw_wand_ns = 0.0;
+  double packed_wand_ns = 0.0;
+  bool digests_match = false;
+};
+
+// The same wide-query workload against the v3-raw and v4-packed loads of
+// one index, all four (codec × scorer) paths digest-compared per query.
+CodecStat TimeCodec(const retrieval::Retriever& raw,
+                    const retrieval::WandRetriever& raw_wand,
+                    const retrieval::Retriever& packed,
+                    const retrieval::WandRetriever& packed_wand,
+                    size_t num_atoms) {
+  const size_t kNumQueries = 16;
+  const size_t kRepeats = 40;
+  const size_t kTopK = 10;
+  const auto queries =
+      bench::MakeWideTermQueries(raw.index(), num_atoms, kNumQueries);
+  retrieval::RetrieverScratch scratch;
+
+  CodecStat stat;
+  stat.atoms = num_atoms;
+  stat.digests_match = true;
+  // Correctness + warm-up pass: every path must rank identically.
+  for (const retrieval::Query& q : queries) {
+    const uint64_t want = ResultDigest(raw.Retrieve(q, kTopK, &scratch));
+    stat.digests_match &=
+        want == ResultDigest(raw_wand.Retrieve(q, kTopK, &scratch));
+    stat.digests_match &=
+        want == ResultDigest(packed.Retrieve(q, kTopK, &scratch));
+    stat.digests_match &=
+        want == ResultDigest(packed_wand.Retrieve(q, kTopK, &scratch));
+  }
+
+  const auto time_path = [&](const auto& retriever) {
+    Timer timer;
+    for (size_t r = 0; r < kRepeats; ++r) {
+      for (const retrieval::Query& q : queries) {
+        retriever.Retrieve(q, kTopK, &scratch);
+      }
+    }
+    return timer.ElapsedSeconds() * 1e9 /
+           static_cast<double>(kRepeats * kNumQueries);
+  };
+  stat.raw_exhaustive_ns = time_path(raw);
+  stat.packed_exhaustive_ns = time_path(packed);
+  stat.raw_wand_ns = time_path(raw_wand);
+  stat.packed_wand_ns = time_path(packed_wand);
+  return stat;
+}
+
 // ---- cold start ------------------------------------------------------------
 
 // "VmRSS" / "VmHWM" in kB from /proc/self/status (0 if unavailable).
@@ -490,12 +555,80 @@ int main(int argc, char** argv) {
                                   : "MISMATCH — pruning is not exact");
   if (!prune_digests_match) return 1;
 
-  // ---- cold start: 1M-doc streamed corpus, heap vs mapped v3 load ----------
+  // ---- codec: v3 raw vs v4 packed postings at memory-bound scale -----------
+  // 200k docs puts the raw postings region (~70 MB) well past the LLC while
+  // the packed one (~5 MB) largely fits inside it — the regime the codec
+  // exists for. At cache-resident corpus sizes raw array probes are
+  // near-free and the comparison only measures decode overhead, which is
+  // not the production trade. Scoped so the ~400 MB of corpus + images +
+  // loaded indexes is gone before the cold-start children measure RSS.
+  const size_t kCodecDocs = 200000;
+  index::InvertedIndex::PostingsStats codec_stats;
+  double codec_ratio = 0.0;
+  size_t codec_v3_bytes = 0;
+  size_t codec_v4_bytes = 0;
+  std::vector<CodecStat> codec_stats_runs;
+  bool codec_digests_match = true;
+  {
+    const index::InvertedIndex codec_index =
+        bench::MakePruningIndex(kCodecDocs);
+    std::string codec_v3_image =
+        codec_index.SerializeToString(io::kAlignedSnapshotVersion);
+    std::string codec_v4_image = codec_index.SerializeToString();
+    codec_v3_bytes = codec_v3_image.size();
+    codec_v4_bytes = codec_v4_image.size();
+    auto codec_raw_or =
+        index::InvertedIndex::FromSnapshotString(std::move(codec_v3_image));
+    auto codec_packed_or =
+        index::InvertedIndex::FromSnapshotString(std::move(codec_v4_image));
+    if (!codec_raw_or.ok() || !codec_packed_or.ok()) {
+      std::fprintf(stderr, "codec round trip failed\n");
+      return 1;
+    }
+    codec_stats = codec_index.ComputePostingsStats();
+    codec_ratio = static_cast<double>(codec_stats.packed_bytes) /
+                  static_cast<double>(codec_stats.raw_bytes);
+    retrieval::Retriever codec_raw_retriever(&codec_raw_or.value(),
+                                             {.mu = 300.0});
+    retrieval::WandRetriever codec_raw_wand(&codec_raw_retriever);
+    retrieval::Retriever codec_packed_retriever(&codec_packed_or.value(),
+                                                {.mu = 300.0});
+    retrieval::WandRetriever codec_packed_wand(&codec_packed_retriever);
+    std::printf(
+        "codec (raw v3 vs packed v4, %zu docs, k=10; digests asserted): "
+        "postings region %llu -> %llu bytes (%.3fx), snapshot %zu -> %zu "
+        "bytes\n",
+        kCodecDocs, static_cast<unsigned long long>(codec_stats.raw_bytes),
+        static_cast<unsigned long long>(codec_stats.packed_bytes), codec_ratio,
+        codec_v3_bytes, codec_v4_bytes);
+    for (size_t atoms : {16, 48}) {
+      CodecStat stat =
+          TimeCodec(codec_raw_retriever, codec_raw_wand,
+                    codec_packed_retriever, codec_packed_wand, atoms);
+      codec_stats_runs.push_back(stat);
+      codec_digests_match &= stat.digests_match;
+      std::printf("  atoms=%-2zu  exhaustive raw %9.0f ns  packed %9.0f ns "
+                  "(%.2fx)  |  wand raw %9.0f ns  packed %9.0f ns (%.2fx)\n",
+                  stat.atoms, stat.raw_exhaustive_ns, stat.packed_exhaustive_ns,
+                  stat.packed_exhaustive_ns / stat.raw_exhaustive_ns,
+                  stat.raw_wand_ns, stat.packed_wand_ns,
+                  stat.packed_wand_ns / stat.raw_wand_ns);
+    }
+    std::printf("  codec digests %s\n",
+                codec_digests_match ? "MATCH (bit-identical rankings)"
+                                    : "MISMATCH — packed decode changed "
+                                      "rankings");
+    if (!codec_digests_match) return 1;
+  }
+
+  // ---- cold start: 1M-doc streamed corpus, {heap, mapped} x {raw, packed} --
   const size_t kColdStartDocs = 1'000'000;
-  const std::string cold_path = "/tmp/sqe_coldstart_index.snap";
+  const std::string cold_path_raw = "/tmp/sqe_coldstart_index_v3.snap";
+  const std::string cold_path_packed = "/tmp/sqe_coldstart_index_v4.snap";
   double cold_build_seconds = 0.0;
   uint64_t cold_total_tokens = 0;
-  size_t cold_snapshot_bytes = 0;
+  size_t cold_raw_bytes = 0;
+  size_t cold_packed_bytes = 0;
   {
     // Scoped so the builder's index is destroyed before the children run —
     // their RSS should measure the load path, not compete with the parent's
@@ -515,43 +648,65 @@ int main(int argc, char** argv) {
     index::InvertedIndex cold_index = std::move(builder).Build();
     cold_build_seconds = build_timer.ElapsedSeconds();
     cold_total_tokens = cold_index.TotalTokens();
-    Status saved = cold_index.SaveToFile(cold_path);
+    Status saved =
+        cold_index.SaveToFile(cold_path_raw, io::kAlignedSnapshotVersion);
+    if (saved.ok()) saved = cold_index.SaveToFile(cold_path_packed);
     if (!saved.ok()) {
       std::fprintf(stderr, "coldstart save: %s\n", saved.ToString().c_str());
       return 1;
     }
     std::error_code ec;
-    cold_snapshot_bytes =
-        static_cast<size_t>(std::filesystem::file_size(cold_path, ec));
+    cold_raw_bytes =
+        static_cast<size_t>(std::filesystem::file_size(cold_path_raw, ec));
+    cold_packed_bytes = static_cast<size_t>(
+        std::filesystem::file_size(cold_path_packed, ec));
   }
   std::printf("cold start (%zu docs, %llu tokens, streamed build %.1f s, "
-              "snapshot %zu MB):\n",
+              "snapshot raw %zu MB / packed %zu MB = %.3fx):\n",
               kColdStartDocs,
               static_cast<unsigned long long>(cold_total_tokens),
-              cold_build_seconds, cold_snapshot_bytes >> 20);
-  const ColdStartStat cold_heap =
-      RunColdStartChild(argv[0], "heap", cold_path);
-  const ColdStartStat cold_mapped =
-      RunColdStartChild(argv[0], "mapped", cold_path);
-  std::remove(cold_path.c_str());
-  if (!cold_heap.ok || !cold_mapped.ok) {
+              cold_build_seconds, cold_raw_bytes >> 20,
+              cold_packed_bytes >> 20,
+              static_cast<double>(cold_packed_bytes) /
+                  static_cast<double>(cold_raw_bytes));
+  struct ColdRow {
+    const char* label;
+    const char* mode;
+    const std::string* path;
+    ColdStartStat stat;
+  };
+  ColdRow cold_rows[] = {
+      {"heap/raw", "heap", &cold_path_raw, {}},
+      {"mapped/raw", "mapped", &cold_path_raw, {}},
+      {"heap/packed", "heap", &cold_path_packed, {}},
+      {"mapped/packed", "mapped", &cold_path_packed, {}},
+  };
+  bool cold_ok = true;
+  for (ColdRow& row : cold_rows) {
+    row.stat = RunColdStartChild(argv[0], row.mode, *row.path);
+    cold_ok &= row.stat.ok;
+  }
+  std::remove(cold_path_raw.c_str());
+  std::remove(cold_path_packed.c_str());
+  if (!cold_ok) {
     std::fprintf(stderr, "coldstart child failed\n");
     return 1;
   }
-  const bool cold_digests_match = cold_heap.digest == cold_mapped.digest;
-  for (const auto* row : {&cold_heap, &cold_mapped}) {
-    std::printf("  %-6s  load %8.3f s  rss %7zu MB  peak %7zu MB  "
+  bool cold_digests_match = true;
+  for (const ColdRow& row : cold_rows) {
+    cold_digests_match &= row.stat.digest == cold_rows[0].stat.digest;
+    std::printf("  %-13s  load %8.3f s  rss %7zu MB  peak %7zu MB  "
                 "digest %016llx\n",
-                row == &cold_heap ? "heap" : "mapped", row->load_seconds,
-                row->rss_kb >> 10, row->hwm_kb >> 10,
-                static_cast<unsigned long long>(row->digest));
+                row.label, row.stat.load_seconds, row.stat.rss_kb >> 10,
+                row.stat.hwm_kb >> 10,
+                static_cast<unsigned long long>(row.stat.digest));
   }
-  std::printf("  mapped vs heap: %.2fx load time, %.2fx peak RSS, "
-              "digests %s\n",
-              cold_mapped.load_seconds / cold_heap.load_seconds,
-              static_cast<double>(cold_mapped.hwm_kb) /
-                  static_cast<double>(cold_heap.hwm_kb),
-              cold_digests_match ? "MATCH" : "MISMATCH — zero-copy load "
+  std::printf("  mapped/packed vs mapped/raw: %.2fx load time, %.2fx cold "
+              "RSS; digests %s\n",
+              cold_rows[3].stat.load_seconds / cold_rows[1].stat.load_seconds,
+              static_cast<double>(cold_rows[3].stat.rss_kb) /
+                  static_cast<double>(cold_rows[1].stat.rss_kb),
+              cold_digests_match ? "MATCH" : "MISMATCH — codec or load mode "
                                             "changed the rankings");
   if (!cold_digests_match) return 1;
 
@@ -618,22 +773,52 @@ int main(int argc, char** argv) {
   }
   json += "    ]\n  },\n";
   {
-    char block[768];
+    char block[512];
+    std::snprintf(
+        block, sizeof(block),
+        "  \"codec\": {\"num_docs\": %zu, \"raw_region_bytes\": %zu, "
+        "\"packed_region_bytes\": %zu, \"compression_ratio\": %.4f, "
+        "\"v3_snapshot_bytes\": %zu, \"v4_snapshot_bytes\": %zu, "
+        "\"digests_match\": %s,\n    \"runs\": [\n",
+        kCodecDocs, codec_stats.raw_bytes, codec_stats.packed_bytes,
+        codec_ratio, codec_v3_bytes, codec_v4_bytes,
+        codec_digests_match ? "true" : "false");
+    json += block;
+  }
+  for (size_t i = 0; i < codec_stats_runs.size(); ++i) {
+    const CodecStat& cs = codec_stats_runs[i];
+    char line[384];
+    std::snprintf(line, sizeof(line),
+                  "      {\"atoms\": %zu, \"raw_exhaustive_ns\": %.0f, "
+                  "\"packed_exhaustive_ns\": %.0f, \"raw_wand_ns\": %.0f, "
+                  "\"packed_wand_ns\": %.0f}%s\n",
+                  cs.atoms, cs.raw_exhaustive_ns, cs.packed_exhaustive_ns,
+                  cs.raw_wand_ns, cs.packed_wand_ns,
+                  i + 1 < codec_stats_runs.size() ? "," : "");
+    json += line;
+  }
+  json += "    ]\n  },\n";
+  {
+    char block[1024];
     std::snprintf(
         block, sizeof(block),
         "  \"cold_start\": {\"num_docs\": %zu, \"total_tokens\": %llu, "
-        "\"build_seconds\": %.3f, \"snapshot_bytes\": %zu, "
-        "\"digests_match\": %s,\n"
-        "    \"heap\":   {\"load_seconds\": %.6f, \"rss_kb\": %zu, "
-        "\"hwm_kb\": %zu},\n"
-        "    \"mapped\": {\"load_seconds\": %.6f, \"rss_kb\": %zu, "
-        "\"hwm_kb\": %zu}}\n",
+        "\"build_seconds\": %.3f, \"raw_snapshot_bytes\": %zu, "
+        "\"packed_snapshot_bytes\": %zu, \"digests_match\": %s,\n",
         kColdStartDocs, static_cast<unsigned long long>(cold_total_tokens),
-        cold_build_seconds, cold_snapshot_bytes,
-        cold_digests_match ? "true" : "false", cold_heap.load_seconds,
-        cold_heap.rss_kb, cold_heap.hwm_kb, cold_mapped.load_seconds,
-        cold_mapped.rss_kb, cold_mapped.hwm_kb);
+        cold_build_seconds, cold_raw_bytes, cold_packed_bytes,
+        cold_digests_match ? "true" : "false");
     json += block;
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    const ColdRow& row = cold_rows[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    \"%s\": {\"load_seconds\": %.6f, \"rss_kb\": %zu, "
+                  "\"hwm_kb\": %zu}%s\n",
+                  row.label, row.stat.load_seconds, row.stat.rss_kb,
+                  row.stat.hwm_kb, i + 1 < 4 ? "," : "}");
+    json += line;
   }
   json += "}\n";
 

@@ -8,6 +8,8 @@
 #include <map>
 #include <vector>
 
+#include "common/cpu_dispatch.h"
+#include "index/postings_codec.h"
 #include "kb/kb_builder.h"
 #include "retrieval/phrase_matcher.h"
 #include "retrieval/retriever.h"
@@ -210,6 +212,74 @@ void BM_KbSnapshotRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KbSnapshotRoundTrip);
+
+// Packed posting-block decode: scalar kernel vs the runtime-dispatched one
+// (SSE2/AVX2 on x86). The block is built so every doc gap needs exactly
+// `doc_bits` bits — the per-width cost is what the WAND cursor pays when it
+// crosses a block boundary.
+std::string PackedBlockAtWidth(uint32_t doc_bits) {
+  uint32_t docs[index::codec::kBlockLen];
+  uint32_t freqs[index::codec::kBlockLen];
+  const uint32_t widest = doc_bits == 1 ? 1u : 1u << (doc_bits - 1);
+  uint32_t next = 0;
+  for (size_t i = 0; i < index::codec::kBlockLen; ++i) {
+    docs[i] = next + (i == 0 ? widest : (i * 37) % widest);
+    next = docs[i] + 1;
+    freqs[i] = 1 + i % 3;
+  }
+  std::string enc;
+  index::codec::EncodeBlock(docs, freqs, index::codec::kBlockLen,
+                            /*prev_plus1=*/0, &enc);
+  SQE_CHECK(static_cast<uint32_t>(enc[0]) == doc_bits);
+  return enc;
+}
+
+void BM_UnpackBlockScalar(benchmark::State& state) {
+  const std::string enc = PackedBlockAtWidth(
+      static_cast<uint32_t>(state.range(0)));
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(enc.data());
+  uint32_t out[index::codec::kBlockLen];
+  for (auto _ : state) {
+    index::codec::internal::UnpackVerticalScalar(
+        payload + index::codec::kBlockHeaderBytes,
+        static_cast<uint32_t>(payload[0]), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_UnpackBlockScalar)->Arg(4)->Arg(8)->Arg(13)->Arg(20);
+
+void BM_UnpackBlockSimd(benchmark::State& state) {
+  const std::string enc = PackedBlockAtWidth(
+      static_cast<uint32_t>(state.range(0)));
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(enc.data());
+  const index::codec::internal::UnpackFn unpack =
+      index::codec::internal::ActiveUnpackFn();
+  uint32_t out[index::codec::kBlockLen];
+  for (auto _ : state) {
+    unpack(payload + index::codec::kBlockHeaderBytes,
+           static_cast<uint32_t>(payload[0]), out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(SimdLevelName(DetectSimdLevel()));
+}
+BENCHMARK(BM_UnpackBlockSimd)->Arg(4)->Arg(8)->Arg(13)->Arg(20);
+
+// Full block decode (header parse + doc unpack + prefix-sum + freq unpack)
+// — the unit of work a cursor does on each block crossing.
+void BM_DecodeBlock(benchmark::State& state) {
+  const std::string enc = PackedBlockAtWidth(
+      static_cast<uint32_t>(state.range(0)));
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(enc.data());
+  uint32_t docs[index::codec::kBlockLen];
+  uint32_t freqs[index::codec::kBlockLen];
+  for (auto _ : state) {
+    index::codec::DecodeBlock(payload, index::codec::kBlockLen,
+                              /*prev_plus1=*/0, docs, freqs);
+    benchmark::DoNotOptimize(docs);
+    benchmark::DoNotOptimize(freqs);
+  }
+}
+BENCHMARK(BM_DecodeBlock)->Arg(4)->Arg(8)->Arg(13)->Arg(20);
 
 }  // namespace
 

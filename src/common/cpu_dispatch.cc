@@ -1,0 +1,60 @@
+#include "common/cpu_dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sqe {
+namespace {
+
+SimdLevel ProbeHardware() {
+#if defined(__x86_64__) || defined(__i386__)
+  // SSE2 is architectural on x86-64; __builtin_cpu_supports still answers
+  // correctly for 32-bit builds. AVX2 support implies the OS saves the ymm
+  // state (the builtin checks OSXSAVE + XCR0 as of GCC 8 / Clang 9).
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ParseLevel(const char* name, SimdLevel fallback) {
+  if (name == nullptr) return fallback;
+  if (std::strcmp(name, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(name, "sse2") == 0) return SimdLevel::kSse2;
+  if (std::strcmp(name, "avx2") == 0) return SimdLevel::kAvx2;
+  return fallback;  // unknown value: ignore rather than crash at startup
+}
+
+SimdLevel Detect() {
+  const SimdLevel hw = ProbeHardware();
+  const SimdLevel wanted = ParseLevel(std::getenv("SQE_SIMD"), hw);
+  return wanted < hw ? wanted : hw;  // the override can only lower
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectSimdLevel() {
+  static const SimdLevel level = Detect();
+  return level;
+}
+
+SimdLevel HardwareSimdLevel() {
+  static const SimdLevel level = ProbeHardware();
+  return level;
+}
+
+}  // namespace sqe

@@ -1,0 +1,43 @@
+// Runtime CPU feature dispatch for the SIMD kernels.
+//
+// The scoring kernels in retrieval/score_batch.h are selected at *compile*
+// time (SQE_SCORING_SIMD) because their contract is bit-identical floating
+// point, which only holds when every build runs the same instruction mix.
+// Integer kernels — the bit-packed posting codec in index/postings_codec.h
+// — have no such constraint: every unpack width produces the same exact
+// integers on every ISA, so the widest available kernel can be picked once
+// at startup from CPUID and swapped per machine without changing results.
+//
+// DetectSimdLevel() probes the host once (thread-safe via static init) and
+// honors an SQE_SIMD=scalar|sse2|avx2 environment override so tests and
+// benchmarks can pin or cross-check a specific kernel on any machine. The
+// override can only lower the level: requesting avx2 on a non-avx2 host
+// falls back to what the hardware supports.
+#ifndef SQE_COMMON_CPU_DISPATCH_H_
+#define SQE_COMMON_CPU_DISPATCH_H_
+
+namespace sqe {
+
+/// Instruction-set tiers the integer kernels are compiled for, in strictly
+/// increasing order of capability (comparisons rely on the ordering).
+enum class SimdLevel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable tier name ("scalar" / "sse2" / "avx2") for logs, bench
+/// labels, and `sqe_tool index stats`.
+const char* SimdLevelName(SimdLevel level);
+
+/// The tier this process dispatches to: min(hardware capability, SQE_SIMD
+/// env override). Probed once; subsequent calls return the cached value.
+SimdLevel DetectSimdLevel();
+
+/// Hardware capability alone, ignoring the environment override (so stats
+/// output can report both what the host has and what is in use).
+SimdLevel HardwareSimdLevel();
+
+}  // namespace sqe
+
+#endif  // SQE_COMMON_CPU_DISPATCH_H_

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/string_util.h"
+#include "index/postings_codec.h"
 #include "io/coding.h"
 
 namespace sqe::index {
@@ -100,15 +101,43 @@ Status InvertedIndex::Validate() const {
           (unsigned long long)postings_[t].CollectionFrequency(),
           (unsigned long long)forward_counts[t]));
     }
-    // Positions must stay inside their document.
-    for (size_t i = 0; i < postings_[t].NumDocs(); ++i) {
-      std::span<const uint32_t> pos = postings_[t].positions(i);
-      if (!pos.empty() && pos.back() >= doc_lengths_[postings_[t].doc(i)]) {
-        return Status::Corruption(StrFormat(
-            "index: term %zu ('%s') doc %u position %u beyond doc length %u",
-            t, std::string(vocab_.TermOf(t)).c_str(),
-            (unsigned)postings_[t].doc(i), (unsigned)pos.back(),
-            (unsigned)doc_lengths_[postings_[t].doc(i)]));
+    // Positions must stay inside their document. Packed lists expose docs
+    // and frequencies only block-wise, so walk them block by block with a
+    // running cursor into the shared positions array (the per-list
+    // Validate above already proved the position bases and counts line
+    // up, so the cursor arithmetic here is in bounds).
+    if (!postings_[t].packed()) {
+      for (size_t i = 0; i < postings_[t].NumDocs(); ++i) {
+        std::span<const uint32_t> pos = postings_[t].positions(i);
+        if (!pos.empty() && pos.back() >= doc_lengths_[postings_[t].doc(i)]) {
+          return Status::Corruption(StrFormat(
+              "index: term %zu ('%s') doc %u position %u beyond doc length "
+              "%u",
+              t, std::string(vocab_.TermOf(t)).c_str(),
+              (unsigned)postings_[t].doc(i), (unsigned)pos.back(),
+              (unsigned)doc_lengths_[postings_[t].doc(i)]));
+        }
+      }
+    } else {
+      const PostingList& pl = postings_[t];
+      std::span<const uint32_t> allpos = pl.all_positions();
+      uint32_t dbuf[PostingList::kBlockSize];
+      uint32_t fbuf[PostingList::kBlockSize];
+      uint64_t pcur = 0;
+      for (size_t b = 0; b < pl.NumBlocks(); ++b) {
+        pl.DecodeBlockInto(b, dbuf, fbuf);
+        const size_t len = pl.BlockLength(b);
+        for (size_t i = 0; i < len; ++i) {
+          const uint32_t last_pos = allpos[pcur + fbuf[i] - 1];
+          pcur += fbuf[i];
+          if (last_pos >= doc_lengths_[dbuf[i]]) {
+            return Status::Corruption(StrFormat(
+                "index: term %zu ('%s') doc %u position %u beyond doc "
+                "length %u",
+                t, std::string(vocab_.TermOf(t)).c_str(), (unsigned)dbuf[i],
+                (unsigned)last_pos, (unsigned)doc_lengths_[dbuf[i]]));
+          }
+        }
       }
     }
   }
@@ -240,7 +269,8 @@ Status CheckIndexTable(std::string_view name,
 
 std::string InvertedIndex::SerializeToString(uint32_t version) const {
   SQE_CHECK_MSG(version == 1 || version == 2 ||
-                    version >= io::kAlignedSnapshotVersion,
+                    (version >= io::kAlignedSnapshotVersion &&
+                     version <= io::kIndexSnapshotVersion),
                 "unsupported index snapshot version");
   io::SnapshotWriter writer(io::kIndexSnapshotMagic, version);
 
@@ -271,16 +301,25 @@ std::string InvertedIndex::SerializeToString(uint32_t version) const {
     block.clear();
 
     // Postings: per term, [num_docs] then per doc [doc gap][freq][pos gaps].
+    // Materialize() works in both storage modes, and in either one the
+    // positions array is exactly the frequency-sized slices concatenated in
+    // posting order, so one running cursor replaces per-entry offsets.
     io::PutVarint64(&block, postings_.size());
+    std::vector<DocId> mdocs;
+    std::vector<uint32_t> mfreqs;
     for (const PostingList& pl : postings_) {
       io::PutVarint64(&block, pl.NumDocs());
+      pl.Materialize(&mdocs, &mfreqs);
+      std::span<const uint32_t> allpos = pl.all_positions();
+      uint64_t pcur = 0;
       DocId prev_doc = 0;
-      for (size_t i = 0; i < pl.NumDocs(); ++i) {
-        io::PutVarint32(&block, pl.doc(i) - prev_doc);
-        prev_doc = pl.doc(i);
-        io::PutVarint32(&block, pl.frequency(i));
+      for (size_t i = 0; i < mdocs.size(); ++i) {
+        io::PutVarint32(&block, mdocs[i] - prev_doc);
+        prev_doc = mdocs[i];
+        io::PutVarint32(&block, mfreqs[i]);
         uint32_t prev_pos = 0;
-        for (uint32_t p : pl.positions(i)) {
+        for (uint32_t j = 0; j < mfreqs[i]; ++j) {
+          const uint32_t p = allpos[pcur++];
           io::PutVarint32(&block, p - prev_pos);
           prev_pos = p;
         }
@@ -351,23 +390,20 @@ std::string InvertedIndex::SerializeToString(uint32_t version) const {
     AddArrayBlock<text::TermId>(&writer, "vocab.order", vocab_.SortedOrder());
   }
 
-  // Postings, flattened. Position offsets stay relative per term (each
-  // slice starts at 0), so a loaded slice works with positions() unchanged.
+  // Postings, flattened. Shared between v3 and v4: the positions array,
+  // the block-max/block-last tables, per-term stats, and the u64
+  // concatenation index tables. v3 stores raw docs/freqs/pos_offsets
+  // arrays; v4 stores the bit-packed block blob plus two tiny per-block
+  // tables instead (DESIGN.md §6d).
   {
     const size_t num_terms = postings_.size();
-    std::vector<uint64_t> doc_index, posidx_index, positions_index,
-        block_index;
+    std::vector<uint64_t> doc_index, positions_index, block_index;
     doc_index.reserve(num_terms + 1);
-    posidx_index.reserve(num_terms + 1);
     positions_index.reserve(num_terms + 1);
     block_index.reserve(num_terms + 1);
     doc_index.push_back(0);
-    posidx_index.push_back(0);
     positions_index.push_back(0);
     block_index.push_back(0);
-    std::vector<DocId> docs;
-    std::vector<uint32_t> freqs;
-    std::vector<uint64_t> pos_offsets;
     std::vector<uint32_t> positions;
     std::vector<uint32_t> block_max;
     std::vector<DocId> block_last;
@@ -375,14 +411,105 @@ std::string InvertedIndex::SerializeToString(uint32_t version) const {
     std::vector<uint32_t> maxfreq;
     ctf.reserve(num_terms);
     maxfreq.reserve(num_terms);
+    uint64_t num_postings = 0;
+    std::vector<DocId> mdocs;
+    std::vector<uint32_t> mfreqs;
+
+    if (version >= io::kPackedPostingsSnapshotVersion) {
+      // v4: per term either pass the already-packed blocks through
+      // verbatim or encode the raw arrays block by block. Per-block byte
+      // offsets stay relative to the term's slice; position bases stay
+      // relative to the term's positions slice — both survive slicing at
+      // load unchanged.
+      std::string packed_blob;
+      std::vector<uint64_t> packed_index;
+      packed_index.reserve(num_terms + 1);
+      packed_index.push_back(0);
+      std::vector<uint32_t> blockoffs;
+      std::vector<uint64_t> posbase;
+      for (const PostingList& pl : postings_) {
+        if (pl.packed()) {
+          std::span<const uint8_t> bytes = pl.packed_bytes();
+          packed_blob.append(reinterpret_cast<const char*>(bytes.data()),
+                             bytes.size());
+          std::span<const uint32_t> bo = pl.PackedBlockOffsets();
+          blockoffs.insert(blockoffs.end(), bo.begin(), bo.end());
+          std::span<const uint64_t> pb = pl.BlockPositionBases();
+          posbase.insert(posbase.end(), pb.begin(), pb.end());
+        } else if (pl.NumDocs() > 0) {
+          const size_t term_start = packed_blob.size();
+          std::span<const DocId> d = pl.docs();
+          std::span<const uint32_t> f = pl.frequencies();
+          for (size_t b = 0; b < pl.NumBlocks(); ++b) {
+            const size_t begin = b * PostingList::kBlockSize;
+            blockoffs.push_back(
+                static_cast<uint32_t>(packed_blob.size() - term_start));
+            posbase.push_back(pl.pos_offsets_[begin]);
+            codec::EncodeBlock(d.data() + begin, f.data() + begin,
+                               pl.BlockLength(b),
+                               b == 0 ? 0 : d[begin - 1] + 1, &packed_blob);
+          }
+        }
+        std::span<const uint32_t> p = pl.all_positions();
+        positions.insert(positions.end(), p.begin(), p.end());
+        std::span<const uint32_t> bm = pl.BlockMaxFrequencies();
+        block_max.insert(block_max.end(), bm.begin(), bm.end());
+        std::span<const DocId> bl = pl.BlockLastDocs();
+        block_last.insert(block_last.end(), bl.begin(), bl.end());
+        num_postings += pl.NumDocs();
+        doc_index.push_back(num_postings);
+        packed_index.push_back(packed_blob.size());
+        positions_index.push_back(positions.size());
+        block_index.push_back(block_max.size());
+        ctf.push_back(pl.CollectionFrequency());
+        maxfreq.push_back(pl.MaxFrequency());
+      }
+      AddArrayBlock<uint64_t>(&writer, "post.doc_index", doc_index);
+      writer.AddBlock("post.packed", std::move(packed_blob));
+      AddArrayBlock<uint64_t>(&writer, "post.packed_index", packed_index);
+      AddArrayBlock<uint32_t>(&writer, "post.blockoffs", blockoffs);
+      AddArrayBlock<uint64_t>(&writer, "post.block_posbase", posbase);
+      AddArrayBlock<uint64_t>(&writer, "post.positions_index",
+                              positions_index);
+      AddArrayBlock<uint32_t>(&writer, "post.positions", positions);
+      AddArrayBlock<uint64_t>(&writer, "post.block_index", block_index);
+      AddArrayBlock<uint32_t>(&writer, "post.block_max", block_max);
+      AddArrayBlock<DocId>(&writer, "post.block_last", block_last);
+      AddArrayBlock<uint64_t>(&writer, "post.ctf", ctf);
+      AddArrayBlock<uint32_t>(&writer, "post.maxfreq", maxfreq);
+      return writer.Serialize();
+    }
+
+    // v3: raw arrays. Position offsets stay relative per term (each slice
+    // starts at 0), so a loaded slice works with positions() unchanged.
+    // Packed sources are materialized and their offsets rebuilt as the
+    // frequency prefix sums they encode.
+    std::vector<uint64_t> posidx_index;
+    posidx_index.reserve(num_terms + 1);
+    posidx_index.push_back(0);
+    std::vector<DocId> docs;
+    std::vector<uint32_t> freqs;
+    std::vector<uint64_t> pos_offsets;
     for (const PostingList& pl : postings_) {
-      std::span<const DocId> d = pl.docs();
-      docs.insert(docs.end(), d.begin(), d.end());
-      std::span<const uint32_t> f = pl.frequencies();
-      freqs.insert(freqs.end(), f.begin(), f.end());
-      std::span<const uint64_t> po = pl.pos_offsets_.span();
-      pos_offsets.insert(pos_offsets.end(), po.begin(), po.end());
-      std::span<const uint32_t> p = pl.positions_.span();
+      if (!pl.packed()) {
+        std::span<const DocId> d = pl.docs();
+        docs.insert(docs.end(), d.begin(), d.end());
+        std::span<const uint32_t> f = pl.frequencies();
+        freqs.insert(freqs.end(), f.begin(), f.end());
+        std::span<const uint64_t> po = pl.pos_offsets_.span();
+        pos_offsets.insert(pos_offsets.end(), po.begin(), po.end());
+      } else {
+        pl.Materialize(&mdocs, &mfreqs);
+        docs.insert(docs.end(), mdocs.begin(), mdocs.end());
+        freqs.insert(freqs.end(), mfreqs.begin(), mfreqs.end());
+        pos_offsets.push_back(0);
+        uint64_t acc = 0;
+        for (uint32_t f : mfreqs) {
+          acc += f;
+          pos_offsets.push_back(acc);
+        }
+      }
+      std::span<const uint32_t> p = pl.all_positions();
       positions.insert(positions.end(), p.begin(), p.end());
       std::span<const uint32_t> bm = pl.BlockMaxFrequencies();
       block_max.insert(block_max.end(), bm.begin(), bm.end());
@@ -411,8 +538,51 @@ std::string InvertedIndex::SerializeToString(uint32_t version) const {
   return writer.Serialize();
 }
 
-Status InvertedIndex::SaveToFile(const std::string& path) const {
-  return io::WriteStringToFile(path, SerializeToString());
+Status InvertedIndex::SaveToFile(const std::string& path,
+                                 uint32_t version) const {
+  return io::WriteStringToFile(path, SerializeToString(version));
+}
+
+InvertedIndex::PostingsStats InvertedIndex::ComputePostingsStats() const {
+  PostingsStats stats;
+  std::vector<DocId> mdocs;
+  std::vector<uint32_t> mfreqs;
+  std::string scratch;
+  for (const PostingList& pl : postings_) {
+    const size_t n = pl.NumDocs();
+    if (n == 0) continue;
+    const size_t nb = pl.NumBlocks();
+    stats.num_postings += n;
+    stats.num_blocks += nb;
+    // v3 region: docs (u32) + freqs (u32) + pos_offsets (u64, n+1).
+    stats.raw_bytes += uint64_t{n} * (sizeof(DocId) + sizeof(uint32_t)) +
+                       uint64_t{n + 1} * sizeof(uint64_t);
+    // v4 region: packed blob + per-block byte offset (u32) and position
+    // base (u64) tables. Index tables sized per term exist in both layouts
+    // and are excluded from both sides.
+    stats.packed_bytes += nb * (sizeof(uint32_t) + sizeof(uint64_t));
+    if (pl.packed()) {
+      stats.packed_bytes += pl.packed_bytes().size();
+      for (size_t b = 0; b < nb; ++b) {
+        std::span<const uint8_t> blk = pl.PackedBlock(b);
+        stats.doc_bits_blocks[blk[0]]++;
+        stats.freq_bits_blocks[blk[1]]++;
+      }
+    } else {
+      pl.Materialize(&mdocs, &mfreqs);
+      for (size_t b = 0; b < nb; ++b) {
+        const size_t begin = b * PostingList::kBlockSize;
+        scratch.clear();
+        codec::EncodeBlock(mdocs.data() + begin, mfreqs.data() + begin,
+                           pl.BlockLength(b),
+                           b == 0 ? 0 : mdocs[begin - 1] + 1, &scratch);
+        stats.packed_bytes += scratch.size();
+        stats.doc_bits_blocks[static_cast<uint8_t>(scratch[0])]++;
+        stats.freq_bits_blocks[static_cast<uint8_t>(scratch[1])]++;
+      }
+    }
+  }
+  return stats;
 }
 
 Result<InvertedIndex> InvertedIndex::LoadLegacy(
@@ -669,6 +839,107 @@ Result<InvertedIndex> InvertedIndex::LoadAligned(
   SQE_ASSIGN_OR_RETURN(
       std::span<const uint64_t> doc_index,
       array_of("post.doc_index", std::in_place_type<uint64_t>));
+
+  if (reader.version() >= io::kPackedPostingsSnapshotVersion) {
+    // v4: the packed block blob replaces the raw docs/freqs/pos_offsets
+    // arrays. The blob itself is byte-granular, so the heap path copies it
+    // per term just like any other slice; the checked per-block decode
+    // (widths, lengths, overflow) happens once in Validate() after load.
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint8_t> packed,
+        array_of("post.packed", std::in_place_type<uint8_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint64_t> packed_index,
+        array_of("post.packed_index", std::in_place_type<uint64_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint32_t> blockoffs,
+        array_of("post.blockoffs", std::in_place_type<uint32_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint64_t> posbase,
+        array_of("post.block_posbase", std::in_place_type<uint64_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint64_t> positions_index,
+        array_of("post.positions_index", std::in_place_type<uint64_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint32_t> positions,
+        array_of("post.positions", std::in_place_type<uint32_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint64_t> block_index,
+        array_of("post.block_index", std::in_place_type<uint64_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint32_t> block_max,
+        array_of("post.block_max", std::in_place_type<uint32_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const DocId> block_last,
+        array_of("post.block_last", std::in_place_type<DocId>));
+    SQE_ASSIGN_OR_RETURN(std::span<const uint64_t> ctf,
+                         array_of("post.ctf", std::in_place_type<uint64_t>));
+    SQE_ASSIGN_OR_RETURN(
+        std::span<const uint32_t> maxfreq,
+        array_of("post.maxfreq", std::in_place_type<uint32_t>));
+
+    if (doc_index.size() != num_terms + 1 ||
+        packed_index.size() != num_terms + 1 ||
+        positions_index.size() != num_terms + 1 ||
+        block_index.size() != num_terms + 1 || ctf.size() != num_terms ||
+        maxfreq.size() != num_terms) {
+      return Status::Corruption(
+          "index snapshot postings tables/meta mismatch");
+    }
+    if (block_last.size() != block_max.size() ||
+        blockoffs.size() != block_max.size() ||
+        posbase.size() != block_max.size()) {
+      return Status::Corruption(
+          "index snapshot per-block table size mismatch");
+    }
+    // doc_index counts postings rather than indexing a stored array, so it
+    // is checked against its own total (start-at-0 + monotone).
+    SQE_RETURN_IF_ERROR(CheckIndexTable("post.doc_index", doc_index,
+                                        doc_index.back()));
+    SQE_RETURN_IF_ERROR(
+        CheckIndexTable("post.packed_index", packed_index, packed.size()));
+    SQE_RETURN_IF_ERROR(CheckIndexTable("post.positions_index",
+                                        positions_index, positions.size()));
+    SQE_RETURN_IF_ERROR(
+        CheckIndexTable("post.block_index", block_index, block_max.size()));
+
+    index.postings_.resize(num_terms);
+    for (uint64_t t = 0; t < num_terms; ++t) {
+      PostingList& pl = index.postings_[t];
+      const uint64_t n = doc_index[t + 1] - doc_index[t];
+      if (n > num_docs) {
+        return Status::Corruption(StrFormat(
+            "index snapshot term %llu posting count exceeds documents",
+            (unsigned long long)t));
+      }
+      auto slice = [&]<typename T>(std::span<const T> arr,
+                                   std::span<const uint64_t> table) {
+        return arr.subspan(table[t], table[t + 1] - table[t]);
+      };
+      if (mode == io::LoadMode::kZeroCopy) {
+        pl.packed_.SetView(slice(packed, packed_index));
+        pl.packed_block_offsets_.SetView(slice(blockoffs, block_index));
+        pl.block_pos_base_.SetView(slice(posbase, block_index));
+        pl.positions_.SetView(slice(positions, positions_index));
+        pl.block_max_frequencies_.SetView(slice(block_max, block_index));
+        pl.block_last_docs_.SetView(slice(block_last, block_index));
+      } else {
+        pl.packed_.Assign(slice(packed, packed_index));
+        pl.packed_block_offsets_.Assign(slice(blockoffs, block_index));
+        pl.block_pos_base_.Assign(slice(posbase, block_index));
+        pl.positions_.Assign(slice(positions, positions_index));
+        pl.block_max_frequencies_.Assign(slice(block_max, block_index));
+        pl.block_last_docs_.Assign(slice(block_last, block_index));
+      }
+      pl.packed_num_docs_ = static_cast<uint32_t>(n);
+      pl.total_occurrences_ = ctf[t];
+      pl.max_frequency_ = maxfreq[t];
+    }
+
+    if (mode == io::LoadMode::kZeroCopy) index.retainer_ = reader.retainer();
+    return index;
+  }
+
   SQE_ASSIGN_OR_RETURN(std::span<const DocId> docs,
                        array_of("post.docs", std::in_place_type<DocId>));
   SQE_ASSIGN_OR_RETURN(std::span<const uint32_t> freqs,
@@ -755,6 +1026,11 @@ Result<InvertedIndex> InvertedIndex::LoadAligned(
 
 Result<InvertedIndex> InvertedIndex::FromReader(
     const io::SnapshotReader& reader, io::LoadMode mode) {
+  if (reader.version() > io::kIndexSnapshotVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported index snapshot version %u",
+                  (unsigned)reader.version()));
+  }
   if (reader.version() < io::kAlignedSnapshotVersion &&
       mode == io::LoadMode::kZeroCopy) {
     return Status::InvalidArgument(

@@ -133,11 +133,33 @@ class InvertedIndex {
 
   // ---- persistence ---------------------------------------------------------
 
+  /// Postings-region accounting for `sqe_tool index stats` and the codec
+  /// bench section: per-posting/per-block bytes a raw (v3) snapshot region
+  /// stores vs the packed (v4) region — computed by encoding raw lists
+  /// block by block (or reading the headers of already-packed ones), so a
+  /// ratio regression is observable without serializing anything.
+  struct PostingsStats {
+    uint64_t num_postings = 0;
+    uint64_t num_blocks = 0;
+    /// docs + freqs + pos_offsets arrays, as the v3 region lays them out.
+    uint64_t raw_bytes = 0;
+    /// packed blob + per-block offset/position-base tables (v4 layout).
+    uint64_t packed_bytes = 0;
+    /// Blocks per doc-gap / freq bit width (index = header byte, 0..32).
+    uint64_t doc_bits_blocks[33] = {};
+    uint64_t freq_bits_blocks[33] = {};
+  };
+  PostingsStats ComputePostingsStats() const;
+
   /// `version` selects the container: 1 and 2 write the legacy
-  /// varint-framed layout (2 adds the block-max block),
-  /// kIndexSnapshotVersion (3) the aligned zero-copy layout with every
-  /// derived structure persisted.
-  Status SaveToFile(const std::string& path) const;
+  /// varint-framed layout (2 adds the block-max block), 3 the aligned
+  /// zero-copy layout with raw posting arrays, kIndexSnapshotVersion (4)
+  /// the aligned layout with the bit-packed postings region
+  /// (index/postings_codec.h). Any source mode serializes to any version —
+  /// packed lists are materialized when writing raw layouts and raw lists
+  /// are block-encoded when writing v4.
+  Status SaveToFile(const std::string& path,
+                    uint32_t version = io::kIndexSnapshotVersion) const;
   std::string SerializeToString(
       uint32_t version = io::kIndexSnapshotVersion) const;
 

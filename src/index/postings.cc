@@ -3,10 +3,18 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "index/postings_codec.h"
 
 namespace sqe::index {
 
+// One packed block answers exactly one block-max / block-last entry; the
+// codec and the skip tables must agree on the block size forever.
+static_assert(PostingList::kBlockSize == codec::kBlockLen,
+              "packed codec block length must equal the block-max "
+              "table granularity");
+
 Status PostingList::Validate(size_t num_docs) const {
+  if (packed()) return ValidatePacked(num_docs);
   if (freqs_.size() != docs_.size()) {
     return Status::Corruption(
         StrFormat("posting list: %zu docs but %zu frequencies", docs_.size(),
@@ -120,18 +128,288 @@ Status PostingList::Validate(size_t num_docs) const {
   return Status::OK();
 }
 
+// The packed twin of the raw validator. Every encoded block goes through
+// the *checked* codec decoder exactly once here, at load time — width,
+// length, and overflow rejection — which is what licenses every later
+// decode (cursors, scoring, Find) to use the unchecked fast path over the
+// same immutable bytes. The block chain is self-anchoring: block b decodes
+// relative to the stored block-last of b-1, and its own decoded last doc
+// must equal the stored block-last of b, so the chain is fully determined
+// by block 0's fixed anchor and any tampered table entry breaks an
+// equality somewhere.
+Status PostingList::ValidatePacked(size_t num_docs) const {
+  if (!docs_.empty() || !freqs_.empty() || !pos_offsets_.empty()) {
+    return Status::Corruption(
+        "posting list: packed list carries raw arrays too");
+  }
+  const size_t n = packed_num_docs_;
+  if (n == 0) {
+    return Status::Corruption(
+        "posting list: packed bytes but zero postings");
+  }
+  const size_t want_blocks = (n + kBlockSize - 1) / kBlockSize;
+  if (block_max_frequencies_.size() != want_blocks ||
+      block_last_docs_.size() != want_blocks) {
+    return Status::Corruption(StrFormat(
+        "posting list: packed block tables %zu/%zu for %zu postings "
+        "(want %zu)",
+        block_max_frequencies_.size(), block_last_docs_.size(), n,
+        want_blocks));
+  }
+  if (packed_block_offsets_.size() != want_blocks ||
+      block_pos_base_.size() != want_blocks) {
+    return Status::Corruption(StrFormat(
+        "posting list: packed offset tables %zu/%zu (want %zu)",
+        packed_block_offsets_.size(), block_pos_base_.size(), want_blocks));
+  }
+  if (packed_block_offsets_[0] != 0) {
+    return Status::Corruption(
+        "posting list: packed blocks do not start at offset 0");
+  }
+  if (total_occurrences_ != positions_.size()) {
+    return Status::Corruption(StrFormat(
+        "posting list: collection frequency %llu != %zu stored positions",
+        (unsigned long long)total_occurrences_, positions_.size()));
+  }
+  uint32_t dbuf[kBlockSize];
+  uint32_t fbuf[kBlockSize];
+  uint32_t true_max = 0;
+  uint64_t pos_cursor = 0;
+  for (size_t b = 0; b < want_blocks; ++b) {
+    const size_t begin = packed_block_offsets_[b];
+    const size_t end = b + 1 < want_blocks ? packed_block_offsets_[b + 1]
+                                           : packed_.size();
+    if (begin >= end || end > packed_.size()) {
+      return Status::Corruption(StrFormat(
+          "posting list: packed block %zu offsets not monotone "
+          "(%zu..%zu of %zu)",
+          b, begin, end, packed_.size()));
+    }
+    const size_t block_len = BlockLength(b);
+    const uint32_t anchor = b == 0 ? 0 : block_last_docs_[b - 1] + 1;
+    Status decoded = codec::DecodeBlockChecked(
+        packed_.data() + begin, end - begin, block_len, anchor, dbuf, fbuf);
+    if (!decoded.ok()) {
+      return Status::Corruption(StrFormat(
+          "posting list: packed block %zu: %s", b,
+          decoded.ToString().c_str()));
+    }
+    if (dbuf[block_len - 1] != block_last_docs_[b]) {
+      return Status::Corruption(StrFormat(
+          "posting list: packed block %zu last doc %u != %u stored boundary",
+          b, (unsigned)dbuf[block_len - 1], (unsigned)block_last_docs_[b]));
+    }
+    uint32_t block_max = 0;
+    for (size_t i = 0; i < block_len; ++i) {
+      block_max = std::max(block_max, fbuf[i]);
+    }
+    if (block_max_frequencies_[b] != block_max) {
+      return Status::Corruption(StrFormat(
+          "posting list: packed block %zu max frequency %u != %u contained "
+          "maximum",
+          b, (unsigned)block_max_frequencies_[b], (unsigned)block_max));
+    }
+    true_max = std::max(true_max, block_max);
+    if (block_pos_base_[b] != pos_cursor) {
+      return Status::Corruption(StrFormat(
+          "posting list: packed block %zu position base %llu != %llu "
+          "running total",
+          b, (unsigned long long)block_pos_base_[b],
+          (unsigned long long)pos_cursor));
+    }
+    for (size_t i = 0; i < block_len; ++i) {
+      if (pos_cursor + fbuf[i] > positions_.size()) {
+        return Status::Corruption(StrFormat(
+            "posting list: packed block %zu positions overrun (%llu + %u > "
+            "%zu)",
+            b, (unsigned long long)pos_cursor, (unsigned)fbuf[i],
+            positions_.size()));
+      }
+      for (uint64_t j = pos_cursor + 1; j < pos_cursor + fbuf[i]; ++j) {
+        if (positions_[j - 1] >= positions_[j]) {
+          return Status::Corruption(StrFormat(
+              "posting list: packed block %zu positions not strictly "
+              "ascending (%u >= %u)",
+              b, (unsigned)positions_[j - 1], (unsigned)positions_[j]));
+        }
+      }
+      pos_cursor += fbuf[i];
+    }
+  }
+  // Within-block order and cross-block order are structural (the gap
+  // transform adds at least 1 per step and each block anchors past the
+  // previous boundary), so checking the final boundary bounds every doc.
+  if (block_last_docs_[want_blocks - 1] >= num_docs) {
+    return Status::Corruption(StrFormat(
+        "posting list: packed last doc id %u out of range (%zu documents)",
+        (unsigned)block_last_docs_[want_blocks - 1], num_docs));
+  }
+  if (max_frequency_ != true_max) {
+    return Status::Corruption(StrFormat(
+        "posting list: term max frequency %u != %u actual maximum",
+        (unsigned)max_frequency_, (unsigned)true_max));
+  }
+  if (pos_cursor != positions_.size()) {
+    return Status::Corruption(StrFormat(
+        "posting list: packed frequencies sum to %llu but %zu positions",
+        (unsigned long long)pos_cursor, positions_.size()));
+  }
+  return Status::OK();
+}
+
+void PostingList::DecodeBlockInto(size_t b, uint32_t* docs,
+                                  uint32_t* freqs) const {
+  SQE_DCHECK(packed());
+  const std::span<const uint8_t> block = PackedBlock(b);
+  codec::DecodeBlock(block.data(), BlockLength(b), BlockAnchor(b), docs,
+                     freqs);
+}
+
+void PostingList::DecodeBlockDocsInto(size_t b, uint32_t* docs) const {
+  SQE_DCHECK(packed());
+  codec::DecodeBlockDocs(PackedBlock(b).data(), BlockLength(b),
+                         BlockAnchor(b), docs);
+}
+
+void PostingList::DecodeBlockFreqsInto(size_t b, uint32_t* freqs) const {
+  SQE_DCHECK(packed());
+  codec::DecodeBlockFreqs(PackedBlock(b).data(), BlockLength(b), freqs);
+}
+
+uint32_t PostingList::BlockFreqAt(size_t b, size_t off) const {
+  SQE_DCHECK(packed());
+  return codec::ExtractFreqAt(PackedBlock(b).data(), BlockLength(b), off);
+}
+
+DocId PostingList::BlockFirstDoc(size_t b) const {
+  SQE_DCHECK(packed());
+  return codec::ExtractFirstDoc(PackedBlock(b).data(), BlockLength(b),
+                                BlockAnchor(b));
+}
+
+size_t PostingList::LowerBound(DocId target) const {
+  if (!packed()) {
+    std::span<const DocId> docs = docs_.span();
+    return static_cast<size_t>(
+        std::lower_bound(docs.begin(), docs.end(), target) - docs.begin());
+  }
+  const std::span<const DocId> last = block_last_docs_.span();
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(last.begin(), last.end(), target) - last.begin());
+  if (b == last.size()) return NumDocs();
+  // Every doc in block b is >= its anchor, so a target at or below the
+  // anchor resolves to the block's first posting with no decode at all.
+  // This is the common case for cursor setup (target 0 lands here).
+  if (target <= BlockAnchor(b)) return b * kBlockSize;
+  uint32_t dbuf[kBlockSize];
+  DecodeBlockDocsInto(b, dbuf);
+  const size_t n = BlockLength(b);
+  const size_t off =
+      static_cast<size_t>(std::lower_bound(dbuf, dbuf + n, target) - dbuf);
+  return b * kBlockSize + off;
+}
+
+void PostingList::Materialize(std::vector<DocId>* docs,
+                              std::vector<uint32_t>* freqs) const {
+  const size_t n = NumDocs();
+  docs->resize(n);
+  freqs->resize(n);
+  if (!packed()) {
+    std::copy(docs_.begin(), docs_.end(), docs->begin());
+    std::copy(freqs_.begin(), freqs_.end(), freqs->begin());
+    return;
+  }
+  for (size_t b = 0; b < NumBlocks(); ++b) {
+    DecodeBlockInto(b, docs->data() + b * kBlockSize,
+                    freqs->data() + b * kBlockSize);
+  }
+}
+
 size_t PostingList::Find(DocId doc) const {
-  std::span<const DocId> docs = docs_.span();
-  auto it = std::lower_bound(docs.begin(), docs.end(), doc);
-  if (it == docs.end() || *it != doc) return kNpos;
-  return static_cast<size_t>(it - docs.begin());
+  if (!packed()) {
+    std::span<const DocId> docs = docs_.span();
+    auto it = std::lower_bound(docs.begin(), docs.end(), doc);
+    if (it == docs.end() || *it != doc) return kNpos;
+    return static_cast<size_t>(it - docs.begin());
+  }
+  const std::span<const DocId> last = block_last_docs_.span();
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(last.begin(), last.end(), doc) - last.begin());
+  if (b == last.size()) return kNpos;
+  uint32_t dbuf[kBlockSize];
+  DecodeBlockDocsInto(b, dbuf);
+  const size_t n = BlockLength(b);
+  const size_t off =
+      static_cast<size_t>(std::lower_bound(dbuf, dbuf + n, doc) - dbuf);
+  if (off == n || dbuf[off] != doc) return kNpos;
+  return b * kBlockSize + off;
+}
+
+void PostingList::Cursor::LoadBlock(size_t b) {
+  cur_block_ = b;
+  block_begin_ = b * kBlockSize;
+  block_len_ = list_->BlockLength(b);
+  list_->DecodeBlockDocsInto(b, dbuf_);
+  // The very next bytes this cursor is likely to touch are the following
+  // block's header; warm them while the decoded values are consumed.
+  if (b + 1 < list_->NumBlocks()) {
+    __builtin_prefetch(list_->PackedBlock(b + 1).data());
+  }
+}
+
+void PostingList::Cursor::EnsureFreqs() const {
+  if (freqs_block_ != cur_block_) {
+    list_->DecodeBlockFreqsInto(cur_block_, fbuf_);
+    freqs_block_ = cur_block_;
+  }
+}
+
+void PostingList::Cursor::AdvanceBlock() {
+  if (pos_ < list_->NumDocs()) LoadBlock(cur_block_ + 1);
+}
+
+std::span<const uint32_t> PostingList::Cursor::Positions() const {
+  SQE_DCHECK(!AtEnd());
+  if (!packed_) return list_->positions(pos_);
+  EnsureFreqs();
+  const size_t off = pos_ - block_begin_;
+  uint64_t base = list_->block_pos_base_[cur_block_];
+  for (size_t j = 0; j < off; ++j) base += fbuf_[j];
+  const uint32_t* p = list_->positions_.data() + base;
+  return std::span<const uint32_t>(p, p + fbuf_[off]);
 }
 
 void PostingList::Cursor::SeekTo(DocId target) {
+  const size_t n = list_->NumDocs();
+  if (pos_ >= n || Doc() >= target) return;
+  if (packed_) {
+    const std::span<const DocId> last = list_->BlockLastDocs();
+    if (target > last[cur_block_]) {
+      // Resume the block search from the current block, not from block 0:
+      // a cursor that already decoded block b never re-scans the boundary
+      // prefix it has passed (and never re-decodes blocks behind it).
+      const size_t b = static_cast<size_t>(
+          std::lower_bound(last.begin() + cur_block_ + 1, last.end(),
+                           target) -
+          last.begin());
+      if (b == last.size()) {
+        pos_ = n;
+        return;
+      }
+      LoadBlock(b);
+      pos_ = block_begin_;
+    }
+    // The target lands inside the current (possibly just decoded) block;
+    // blocks between the old and new position were skipped undecoded.
+    const size_t off = static_cast<size_t>(
+        std::lower_bound(dbuf_ + (pos_ - block_begin_), dbuf_ + block_len_,
+                         target) -
+        dbuf_);
+    pos_ = block_begin_ + off;
+    return;
+  }
   // Galloping search from the current position: doubling probe then binary
   // search within the bracketed range. O(log gap) per seek.
-  size_t n = list_->NumDocs();
-  if (pos_ >= n || list_->doc(pos_) >= target) return;
   size_t step = 1;
   size_t lo = pos_;
   size_t hi = pos_ + step;

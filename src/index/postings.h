@@ -3,10 +3,23 @@
 // Doc-sorted parallel arrays. Positions are needed by the ordered-window
 // (n-gram phrase) operator used for article-title expansion features.
 //
-// The arrays either own their storage (builders, legacy/heap loads) or
-// view slices of an aligned (v3) snapshot's flattened postings regions —
-// the zero-copy load mode, where the index keeps the snapshot image alive
-// and each PostingList costs only its fixed-size header.
+// Two storage modes share the class:
+//
+//   raw    — docs/freqs/pos_offsets as plain arrays. Builders, legacy
+//            (v1-v2) and v3 snapshot loads. Arrays either own their storage
+//            or view slices of an aligned snapshot image (zero-copy).
+//   packed — the v4 block bit-packed form (index/postings_codec.h): the
+//            per-term byte blob of compressed 128-entry blocks plus two
+//            tiny per-block tables (byte offsets and position bases). Docs
+//            and freqs are decoded on access into 128-entry scratch
+//            buffers; positions stay raw, but the 8-bytes-per-posting
+//            pos_offsets array is gone — a posting's position slice is
+//            reconstructed from its block's position base plus an in-block
+//            frequency prefix sum.
+//
+// The block-max / block-last tables are identical in both modes and always
+// raw: WAND skip decisions read only them, so a pruned scorer can jump
+// whole compressed blocks without ever unpacking their payload bytes.
 #ifndef SQE_INDEX_POSTINGS_H_
 #define SQE_INDEX_POSTINGS_H_
 
@@ -26,16 +39,23 @@ class PostingList {
  public:
   PostingList() = default;
 
-  /// Postings per block-max table entry. Each block of kBlockSize
-  /// consecutive postings records the maximum within-document frequency it
-  /// contains, so a pruned scorer (Block-Max WAND, see
-  /// retrieval/wand_retriever.h) can upper-bound a term's contribution over
-  /// a doc-id span and skip whole blocks without decoding them. 128 keeps
-  /// the table at <1% of the posting arrays while making a skipped block
-  /// worth ~128 saved log() evaluations.
+  /// Postings per block-max table entry — and, in packed mode, per
+  /// compressed block (codec::kBlockLen mirrors this; equality is
+  /// static-asserted in postings.cc). Each block of kBlockSize consecutive
+  /// postings records the maximum within-document frequency it contains,
+  /// so a pruned scorer (Block-Max WAND, see retrieval/wand_retriever.h)
+  /// can upper-bound a term's contribution over a doc-id span and skip
+  /// whole blocks without decoding them. 128 keeps the table at <1% of the
+  /// posting arrays while making a skipped block worth ~128 saved log()
+  /// evaluations.
   static constexpr size_t kBlockSize = 128;
 
-  size_t NumDocs() const { return docs_.size(); }
+  /// True when this list stores bit-packed blocks instead of raw arrays.
+  bool packed() const { return !packed_.empty(); }
+
+  size_t NumDocs() const {
+    return packed() ? packed_num_docs_ : docs_.size();
+  }
   /// Total occurrences across the collection (collection term frequency).
   uint64_t CollectionFrequency() const { return total_occurrences_; }
 
@@ -44,41 +64,42 @@ class PostingList {
   /// contribution for WAND pivot selection.
   uint32_t MaxFrequency() const { return max_frequency_; }
   /// ceil(NumDocs / kBlockSize) entries; entry b is the maximum frequency
-  /// among postings [b*kBlockSize, min((b+1)*kBlockSize, NumDocs())). The
-  /// doc-id range a block covers is read straight off docs() — block b ends
-  /// at doc(min((b+1)*kBlockSize, NumDocs()) - 1) — so only the frequency
-  /// maxima need storing.
+  /// among postings [b*kBlockSize, min((b+1)*kBlockSize, NumDocs())).
   std::span<const uint32_t> BlockMaxFrequencies() const {
     return block_max_frequencies_.span();
   }
   /// Last doc id covered by each block, as one contiguous array: entry b is
-  /// doc(min((b+1)*kBlockSize, NumDocs()) - 1). Derived data — reading
-  /// these off docs() directly costs one scattered cache line per block
-  /// crossed, which is exactly the access pattern a pruned scorer's shallow
-  /// block pointer makes, so the boundaries are gathered once at build time
-  /// (and persisted in v3 snapshots, where Validate proves them equal to a
-  /// recomputation) and shallow advances become a binary search over a
-  /// dense array.
+  /// doc(min((b+1)*kBlockSize, NumDocs()) - 1). Derived data, gathered at
+  /// build time (and persisted in v3+ snapshots, where Validate proves
+  /// them equal to a recomputation) so shallow advances are a binary
+  /// search over a dense array. In packed mode this table doubles as the
+  /// codec's gap anchor: block b decodes relative to entry b-1.
   std::span<const DocId> BlockLastDocs() const {
     return block_last_docs_.span();
   }
   size_t NumBlocks() const { return block_max_frequencies_.size(); }
 
+  /// Raw-mode accessors. The retriever scores straight off these views
+  /// instead of copying the list per query; they remain valid as long as
+  /// the PostingList does. Empty in packed mode — callers branch on
+  /// packed() and use the block decode interface below instead.
   DocId doc(size_t i) const {
+    SQE_DCHECK(!packed());
     SQE_DCHECK(i < docs_.size());
     return docs_[i];
   }
-  /// The full doc-id / frequency parallel arrays, ascending by doc. The
-  /// retriever scores straight off these views instead of copying the list
-  /// per query; they remain valid as long as the PostingList does.
   std::span<const DocId> docs() const { return docs_.span(); }
   std::span<const uint32_t> frequencies() const { return freqs_.span(); }
   uint32_t frequency(size_t i) const {
+    SQE_DCHECK(!packed());
     SQE_DCHECK(i < freqs_.size());
     return freqs_[i];
   }
-  /// Token positions of the i-th entry, ascending.
+  /// Token positions of the i-th entry, ascending. Raw mode only (packed
+  /// callers go through Cursor::Positions, which amortizes the in-block
+  /// frequency prefix sum).
   std::span<const uint32_t> positions(size_t i) const {
+    SQE_DCHECK(!packed());
     SQE_DCHECK(i + 1 < pos_offsets_.size());
     uint64_t begin = pos_offsets_[i];
     uint64_t end = pos_offsets_[i + 1];
@@ -86,7 +107,72 @@ class PostingList {
                                      positions_.data() + end);
   }
 
-  /// Index of `doc` in this list, or npos. O(log n).
+  // ---- packed-mode block interface ----------------------------------------
+
+  /// Number of postings in block b.
+  size_t BlockLength(size_t b) const {
+    SQE_DCHECK(b < NumBlocks());
+    const size_t begin = b * kBlockSize;
+    const size_t n = NumDocs();
+    return n - begin < kBlockSize ? n - begin : kBlockSize;
+  }
+  /// The encoded bytes of block b (header + payloads). Packed mode only.
+  /// The data() pointer is what __builtin_prefetch wants.
+  std::span<const uint8_t> PackedBlock(size_t b) const {
+    SQE_DCHECK(packed());
+    SQE_DCHECK(b < NumBlocks());
+    const size_t begin = packed_block_offsets_[b];
+    const size_t end = b + 1 < packed_block_offsets_.size()
+                           ? packed_block_offsets_[b + 1]
+                           : packed_.size();
+    return packed_.span().subspan(begin, end - begin);
+  }
+  /// The whole packed blob (stats / serializer pass-through).
+  std::span<const uint8_t> packed_bytes() const { return packed_.span(); }
+  /// Per-block byte offsets into packed_bytes() (stats / serializer).
+  std::span<const uint32_t> PackedBlockOffsets() const {
+    return packed_block_offsets_.span();
+  }
+  /// Offset into the positions array of block b's first posting.
+  std::span<const uint64_t> BlockPositionBases() const {
+    return block_pos_base_.span();
+  }
+  /// The term's full positions array (shared by raw and packed modes).
+  std::span<const uint32_t> all_positions() const {
+    return positions_.span();
+  }
+  /// The gap anchor for decoding block b: 0 for the first block, else one
+  /// past the previous block's last doc id.
+  uint32_t BlockAnchor(size_t b) const {
+    SQE_DCHECK(b < NumBlocks());
+    return b == 0 ? 0 : block_last_docs_[b - 1] + 1;
+  }
+  /// Decodes block b into docs[0..BlockLength(b)) / freqs[...]. Packed
+  /// mode only; the blocks were checked-decoded once by Validate at load,
+  /// so this is the unchecked hot path.
+  void DecodeBlockInto(size_t b, uint32_t* docs, uint32_t* freqs) const;
+  /// The halves of DecodeBlockInto, for callers (the WAND cursors) that
+  /// navigate by doc id and read frequencies only on scored blocks.
+  void DecodeBlockDocsInto(size_t b, uint32_t* docs) const;
+  void DecodeBlockFreqsInto(size_t b, uint32_t* freqs) const;
+  /// Frequency of the posting at offset `off` within block b, extracted
+  /// from the packed payload without decoding the block (codec::
+  /// ExtractFreqAt). Packed mode only.
+  uint32_t BlockFreqAt(size_t b, size_t off) const;
+  /// First doc id of block b, extracted without decoding the block
+  /// (codec::ExtractFirstDoc). Packed mode only.
+  DocId BlockFirstDoc(size_t b) const;
+  /// First posting index whose doc id is >= target (NumDocs() when none).
+  /// Works in both modes; in packed mode decodes at most one block.
+  size_t LowerBound(DocId target) const;
+  /// Decodes the entire list into raw vectors (both modes; raw copies).
+  /// Serializing a packed index back to a v1-v3 snapshot goes through
+  /// this, as does the packed branch of the index-level validator.
+  void Materialize(std::vector<DocId>* docs,
+                   std::vector<uint32_t>* freqs) const;
+
+  /// Index of `doc` in this list, or npos. O(log n); in packed mode
+  /// decodes at most one block.
   static constexpr size_t kNpos = static_cast<size_t>(-1);
   size_t Find(DocId doc) const;
 
@@ -94,28 +180,67 @@ class PostingList {
   /// strictly increasing and < num_docs, frequencies positive and matching
   /// the position-offset deltas, positions strictly ascending per document,
   /// the collection frequency equal to the stored positions, and the
-  /// block-max / block-boundary tables equal to a recomputation. Returns
-  /// Status::Corruption pinpointing the first violating entry.
+  /// block-max / block-boundary tables equal to a recomputation. In packed
+  /// mode every block additionally round-trips through the checked decoder
+  /// (width/length/overflow validation), so the unchecked hot-path decode
+  /// never sees unvetted bytes. Returns Status::Corruption pinpointing the
+  /// first violating entry.
   Status Validate(size_t num_docs) const;
 
-  /// Cursor for doc-at-a-time traversal.
+  /// Cursor for doc-at-a-time traversal. Block-aware: over a packed list
+  /// it decodes one block at a time into its own scratch buffers and
+  /// prefetches the next block's packed bytes at each boundary crossing;
+  /// over a raw list it reads the arrays in place, scratch untouched.
   class Cursor {
    public:
-    explicit Cursor(const PostingList* list) : list_(list) {}
+    explicit Cursor(const PostingList* list)
+        : list_(list), packed_(list->packed()) {
+      if (packed_ && list_->NumDocs() > 0) LoadBlock(0);
+    }
 
     bool AtEnd() const { return pos_ >= list_->NumDocs(); }
-    DocId Doc() const { return list_->doc(pos_); }
-    uint32_t Frequency() const { return list_->frequency(pos_); }
-    std::span<const uint32_t> Positions() const {
-      return list_->positions(pos_);
+    DocId Doc() const {
+      SQE_DCHECK(!AtEnd());
+      return packed_ ? dbuf_[pos_ - block_begin_] : list_->doc(pos_);
     }
-    void Next() { ++pos_; }
-    /// Advances to the first entry with doc >= target (galloping).
+    uint32_t Frequency() const {
+      SQE_DCHECK(!AtEnd());
+      if (!packed_) return list_->frequency(pos_);
+      EnsureFreqs();
+      return fbuf_[pos_ - block_begin_];
+    }
+    std::span<const uint32_t> Positions() const;
+    void Next() {
+      ++pos_;
+      if (packed_ && pos_ - block_begin_ >= block_len_) AdvanceBlock();
+    }
+    /// Advances to the first entry with doc >= target. Never moves
+    /// backward. Raw mode gallops from the current position; packed mode
+    /// searches the block-last table *from the current block* (not from
+    /// block 0 — see the backward-then-forward regression test) and
+    /// decodes at most the landing block.
     void SeekTo(DocId target);
 
    private:
+    void LoadBlock(size_t b);
+    void AdvanceBlock();
+    // Decodes the current block's frequency half into fbuf_ on first use;
+    // LoadBlock decodes only doc ids, so a cursor that is navigated but
+    // never scored never unpacks a freq payload.
+    void EnsureFreqs() const;
+
     const PostingList* list_;
+    bool packed_;
     size_t pos_ = 0;
+    // Packed-mode state: the decoded window [block_begin_, block_begin_ +
+    // block_len_) of posting indexes, from block cur_block_. fbuf_ holds
+    // block freqs_block_ (lazily; kNpos = none decoded yet).
+    size_t cur_block_ = 0;
+    size_t block_begin_ = 0;
+    size_t block_len_ = 0;
+    mutable size_t freqs_block_ = kNpos;
+    uint32_t dbuf_[kBlockSize];
+    mutable uint32_t fbuf_[kBlockSize];
   };
   Cursor MakeCursor() const { return Cursor(this); }
 
@@ -128,8 +253,10 @@ class PostingList {
   /// tables and lets Validate() prove them equal to this recomputation.
   void ComputeBlockMax();
   /// Recomputes block_last_docs_ from docs_. Called by the builder and the
-  /// legacy snapshot loader (v3 images persist the boundaries instead).
+  /// legacy snapshot loader (v3+ images persist the boundaries instead).
   void ComputeBlockBoundaries();
+  /// The packed branch of Validate().
+  Status ValidatePacked(size_t num_docs) const;
 
   VecOrView<DocId> docs_;
   VecOrView<uint32_t> freqs_;
@@ -139,6 +266,14 @@ class PostingList {
   uint32_t max_frequency_ = 0;
   VecOrView<uint32_t> block_max_frequencies_;
   VecOrView<DocId> block_last_docs_;  // derived; see BlockLastDocs()
+
+  // Packed mode (v4): the encoded block blob, per-block byte offsets into
+  // it, per-block position bases, and the posting count the raw arrays
+  // would have had. docs_/freqs_/pos_offsets_ stay empty in this mode.
+  VecOrView<uint8_t> packed_;
+  VecOrView<uint32_t> packed_block_offsets_;
+  VecOrView<uint64_t> block_pos_base_;
+  uint32_t packed_num_docs_ = 0;
 };
 
 /// Accumulates postings for one term during indexing. Documents must be

@@ -1,0 +1,337 @@
+#include "index/postings_codec.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/cpu_dispatch.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace sqe::index::codec {
+namespace {
+
+inline uint32_t MaskFor(uint32_t bits) {
+  return bits >= 32 ? 0xFFFFFFFFu : (1u << bits) - 1u;
+}
+
+// Block payloads sit at arbitrary byte offsets inside the packed blob (the
+// 2-byte header shifts everything), so every word access is an unaligned
+// load. memcpy compiles to a single mov on x86.
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Horizontal LSB-first packing for the ragged final block: value i occupies
+// bits [i*bits, (i+1)*bits) of the payload bit stream.
+void PackHorizontal(const uint32_t* vals, size_t n, uint32_t bits,
+                    std::string* out) {
+  uint64_t buf = 0;
+  uint32_t avail = 0;
+  for (size_t i = 0; i < n; ++i) {
+    buf |= static_cast<uint64_t>(vals[i]) << avail;
+    avail += bits;
+    while (avail >= 8) {
+      out->push_back(static_cast<char>(buf & 0xFF));
+      buf >>= 8;
+      avail -= 8;
+    }
+  }
+  if (avail > 0) out->push_back(static_cast<char>(buf & 0xFF));
+}
+
+void UnpackHorizontal(const uint8_t* p, size_t n, uint32_t bits,
+                      uint32_t* out) {
+  const uint32_t mask = MaskFor(bits);
+  uint64_t buf = 0;
+  uint32_t avail = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (avail < bits) {
+      buf |= static_cast<uint64_t>(*p++) << avail;
+      avail += 8;
+    }
+    out[i] = static_cast<uint32_t>(buf) & mask;
+    buf >>= bits;
+    avail -= bits;
+  }
+}
+
+// Vertical layout pack: storage word w (16 bytes) holds packed word w of
+// all four lanes; lane l owns values at logical indexes l, l+4, l+8, ...
+void PackVertical(const uint32_t* vals, uint32_t bits, std::string* out) {
+  uint32_t words[32 * 4];
+  std::memset(words, 0, sizeof(uint32_t) * bits * 4);
+  for (size_t i = 0; i < kBlockLen; ++i) {
+    const uint32_t l = static_cast<uint32_t>(i) & 3u;
+    const uint32_t r = static_cast<uint32_t>(i) >> 2;
+    const uint32_t o = r * bits;
+    const uint32_t w = o >> 5, s = o & 31;
+    words[w * 4 + l] |= vals[i] << s;
+    if (s + bits > 32) words[(w + 1) * 4 + l] |= vals[i] >> (32 - s);
+  }
+  out->append(reinterpret_cast<const char*>(words), size_t{16} * bits);
+}
+
+void UnpackArray(const uint8_t* payload, size_t n, uint32_t bits,
+                 uint32_t* out) {
+  if (bits == 0) {
+    std::memset(out, 0, n * sizeof(uint32_t));
+    return;
+  }
+  if (n == kBlockLen) {
+    internal::ActiveUnpackFn()(payload, bits, out);
+  } else {
+    UnpackHorizontal(payload, n, bits, out);
+  }
+}
+
+}  // namespace
+
+uint32_t BitsNeeded(uint32_t max_value) {
+  return static_cast<uint32_t>(std::bit_width(max_value));
+}
+
+size_t PackedPayloadBytes(size_t n, uint32_t bits) {
+  if (bits == 0) return 0;
+  if (n == kBlockLen) return size_t{16} * bits;
+  return (n * bits + 7) / 8;
+}
+
+size_t EncodedBlockBytes(size_t n, uint32_t doc_bits, uint32_t freq_bits) {
+  return kBlockHeaderBytes + PackedPayloadBytes(n, doc_bits) +
+         PackedPayloadBytes(n, freq_bits);
+}
+
+size_t EncodeBlock(const uint32_t* docs, const uint32_t* freqs, size_t n,
+                   uint32_t prev_plus1, std::string* out) {
+  SQE_DCHECK(n >= 1 && n <= kBlockLen);
+  uint32_t gaps[kBlockLen];
+  uint32_t fm1[kBlockLen];
+  // bit_width(OR of all values) == bit_width(max value): same top bit.
+  uint32_t gap_or = 0;
+  uint32_t freq_or = 0;
+  uint32_t prev = prev_plus1;
+  for (size_t i = 0; i < n; ++i) {
+    SQE_DCHECK(docs[i] >= prev);
+    SQE_DCHECK(freqs[i] >= 1);
+    gaps[i] = docs[i] - prev;
+    prev = docs[i] + 1;
+    gap_or |= gaps[i];
+    fm1[i] = freqs[i] - 1;
+    freq_or |= fm1[i];
+  }
+  const uint32_t doc_bits = BitsNeeded(gap_or);
+  const uint32_t freq_bits = BitsNeeded(freq_or);
+  out->push_back(static_cast<char>(doc_bits));
+  out->push_back(static_cast<char>(freq_bits));
+  if (doc_bits != 0) {
+    if (n == kBlockLen) {
+      PackVertical(gaps, doc_bits, out);
+    } else {
+      PackHorizontal(gaps, n, doc_bits, out);
+    }
+  }
+  if (freq_bits != 0) {
+    if (n == kBlockLen) {
+      PackVertical(fm1, freq_bits, out);
+    } else {
+      PackHorizontal(fm1, n, freq_bits, out);
+    }
+  }
+  return EncodedBlockBytes(n, doc_bits, freq_bits);
+}
+
+void DecodeBlock(const uint8_t* packed, size_t n, uint32_t prev_plus1,
+                 uint32_t* docs, uint32_t* freqs) {
+  DecodeBlockDocs(packed, n, prev_plus1, docs);
+  DecodeBlockFreqs(packed, n, freqs);
+}
+
+void DecodeBlockDocs(const uint8_t* packed, size_t n, uint32_t prev_plus1,
+                     uint32_t* docs) {
+  const uint32_t doc_bits = packed[0];
+  UnpackArray(packed + kBlockHeaderBytes, n, doc_bits, docs);
+  uint32_t acc = prev_plus1;
+  for (size_t i = 0; i < n; ++i) {
+    acc += docs[i];
+    docs[i] = acc;
+    ++acc;
+  }
+}
+
+void DecodeBlockFreqs(const uint8_t* packed, size_t n, uint32_t* freqs) {
+  const uint32_t doc_bits = packed[0];
+  const uint32_t freq_bits = packed[1];
+  const uint8_t* freq_payload =
+      packed + kBlockHeaderBytes + PackedPayloadBytes(n, doc_bits);
+  UnpackArray(freq_payload, n, freq_bits, freqs);
+  for (size_t i = 0; i < n; ++i) freqs[i] += 1;
+}
+
+namespace {
+
+// Single-value extraction from one packed payload, both layouts. One or
+// two unaligned word reads (full block) or a short byte loop (ragged);
+// never reads past the payload's own bytes.
+uint32_t ExtractPackedValue(const uint8_t* payload, size_t n, uint32_t bits,
+                            size_t i) {
+  if (bits == 0) return 0;
+  if (n == kBlockLen) {
+    // Vertical layout: value i sits in lane i & 3 at row i >> 2; its bits
+    // start at row * bits within the lane's word stream, and storage word
+    // w interleaves word w of all four lanes.
+    const uint32_t l = static_cast<uint32_t>(i) & 3u;
+    const uint32_t o = (static_cast<uint32_t>(i) >> 2) * bits;
+    const uint32_t w = o >> 5, s = o & 31;
+    uint32_t v = LoadU32(payload + (size_t{w} * 4 + l) * 4) >> s;
+    if (s + bits > 32) {
+      v |= LoadU32(payload + (size_t{w + 1} * 4 + l) * 4) << (32 - s);
+    }
+    return v & MaskFor(bits);
+  }
+  // Ragged block, horizontal LSB-first: value i occupies payload bits
+  // [i * bits, (i + 1) * bits). Byte-wise loads never reach past the
+  // ceil(n * bits / 8) payload bytes that exist.
+  const size_t bit = i * bits;
+  const uint32_t drop = static_cast<uint32_t>(bit & 7);
+  const uint8_t* p = payload + (bit >> 3);
+  uint64_t buf = 0;
+  uint32_t avail = 0;
+  while (avail < drop + bits) {
+    buf |= static_cast<uint64_t>(*p++) << avail;
+    avail += 8;
+  }
+  return static_cast<uint32_t>(buf >> drop) & MaskFor(bits);
+}
+
+}  // namespace
+
+uint32_t ExtractFreqAt(const uint8_t* packed, size_t n, size_t i) {
+  SQE_DCHECK(i < n);
+  const uint8_t* freq_payload =
+      packed + kBlockHeaderBytes + PackedPayloadBytes(n, packed[0]);
+  return ExtractPackedValue(freq_payload, n, packed[1], i) + 1;
+}
+
+uint32_t ExtractFirstDoc(const uint8_t* packed, size_t n,
+                         uint32_t prev_plus1) {
+  SQE_DCHECK(n >= 1);
+  return prev_plus1 + ExtractPackedValue(packed + kBlockHeaderBytes, n,
+                                         packed[0], 0);
+}
+
+Status DecodeBlockChecked(const uint8_t* packed, size_t packed_len, size_t n,
+                          uint32_t prev_plus1, uint32_t* docs,
+                          uint32_t* freqs) {
+  if (n == 0 || n > kBlockLen) {
+    return Status::Corruption(
+        StrFormat("packed block: %zu entries out of range", n));
+  }
+  if (packed_len < kBlockHeaderBytes) {
+    return Status::Corruption("packed block: truncated header");
+  }
+  const uint32_t doc_bits = packed[0];
+  const uint32_t freq_bits = packed[1];
+  if (doc_bits > 32 || freq_bits > 32) {
+    return Status::Corruption(
+        StrFormat("packed block: bit width %u/%u out of range",
+                  (unsigned)doc_bits, (unsigned)freq_bits));
+  }
+  const size_t want = EncodedBlockBytes(n, doc_bits, freq_bits);
+  if (packed_len != want) {
+    return Status::Corruption(
+        StrFormat("packed block: %zu bytes, header implies %zu", packed_len,
+                  want));
+  }
+  const uint8_t* doc_payload = packed + kBlockHeaderBytes;
+  const uint8_t* freq_payload =
+      doc_payload + PackedPayloadBytes(n, doc_bits);
+  UnpackArray(doc_payload, n, doc_bits, docs);
+  UnpackArray(freq_payload, n, freq_bits, freqs);
+  uint64_t acc = prev_plus1;
+  for (size_t i = 0; i < n; ++i) {
+    acc += docs[i];
+    if (acc > 0xFFFFFFFFull) {
+      return Status::Corruption(
+          StrFormat("packed block: doc id overflows u32 at entry %zu", i));
+    }
+    docs[i] = static_cast<uint32_t>(acc);
+    ++acc;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] == 0xFFFFFFFFu) {
+      return Status::Corruption(
+          StrFormat("packed block: frequency overflows u32 at entry %zu", i));
+    }
+    freqs[i] += 1;
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+void UnpackVerticalScalar(const uint8_t* payload, uint32_t bits,
+                          uint32_t* out) {
+  const uint32_t mask = MaskFor(bits);
+  for (uint32_t l = 0; l < 4; ++l) {
+    uint32_t o = 0;
+    for (uint32_t r = 0; r < 32; ++r, o += bits) {
+      const uint32_t w = o >> 5, s = o & 31;
+      uint32_t v = LoadU32(payload + (size_t{w} * 4 + l) * 4) >> s;
+      if (s + bits > 32) {
+        v |= LoadU32(payload + (size_t{w + 1} * 4 + l) * 4) << (32 - s);
+      }
+      out[r * 4 + l] = v & mask;
+    }
+  }
+}
+
+#if defined(__SSE2__)
+void UnpackVerticalSse2(const uint8_t* payload, uint32_t bits,
+                        uint32_t* out) {
+  const __m128i mask =
+      _mm_set1_epi32(static_cast<int>(MaskFor(bits)));
+  uint32_t o = 0;
+  for (uint32_t r = 0; r < 32; ++r, o += bits) {
+    const uint32_t w = o >> 5, s = o & 31;
+    // The carry word: w+1 when the value spans words, else w itself — the
+    // shifted-in bits then land at or above `bits` and are masked away,
+    // and a left shift by 32 (s == 0) produces zero in SIMD, so the
+    // or/mask sequence is branch-free over every width.
+    const uint32_t wc = (s + bits > 32) ? w + 1 : w;
+    const __m128i lo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(payload + size_t{w} * 16));
+    const __m128i hi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(payload + size_t{wc} * 16));
+    __m128i v = _mm_srl_epi32(lo, _mm_cvtsi32_si128(static_cast<int>(s)));
+    v = _mm_or_si128(
+        v, _mm_sll_epi32(hi, _mm_cvtsi32_si128(static_cast<int>(32 - s))));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + size_t{r} * 4),
+                     _mm_and_si128(v, mask));
+  }
+}
+#endif  // __SSE2__
+
+UnpackFn ActiveUnpackFn() {
+  static const UnpackFn fn = [] {
+    const SimdLevel level = DetectSimdLevel();
+#if defined(__x86_64__) || defined(__i386__)
+    if (level >= SimdLevel::kAvx2) return &UnpackVerticalAvx2;
+#endif
+#if defined(__SSE2__)
+    if (level >= SimdLevel::kSse2) return &UnpackVerticalSse2;
+#endif
+    (void)level;
+    return &UnpackVerticalScalar;
+  }();
+  return fn;
+}
+
+}  // namespace internal
+
+}  // namespace sqe::index::codec

@@ -1,0 +1,136 @@
+// Block bit-packed posting codec (v4 snapshots): SIMD-BP128-style fixed
+// 128-lane packing with per-block widths.
+//
+// A posting list is cut into blocks of PostingList::kBlockSize (= 128)
+// entries; each block is encoded independently as
+//
+//   [doc_bits: u8][freq_bits: u8][doc payload][freq payload]
+//
+// Doc ids are delta-gap transformed before packing: the first gap is
+// relative to `prev_plus1` (0 for a term's first block, otherwise the
+// previous block's last doc id + 1) and every later gap is
+// doc[i] - doc[i-1] - 1, so strictly increasing ids always produce
+// representable gaps and decoding re-establishes strict order by
+// construction. Frequencies are stored as freq - 1 (freq >= 1 always), so
+// the very common all-ones frequency block packs to zero payload bytes.
+// Each payload is packed at the block's own minimal width (0..32 bits).
+//
+// Full blocks (exactly 128 values) use the vertical 4-lane layout SIMD
+// kernels want: value i lives in lane i % 4 at row i / 4; each lane's 32
+// values are packed LSB-first at `bits` per value into `bits` u32 words,
+// and the four lanes' word streams are interleaved so that 16-byte storage
+// word w holds word w of all four lanes. One unaligned 128-bit load plus a
+// shift/or/mask then yields four decoded values per row — the scalar, SSE2
+// and AVX2 kernels in postings_codec.cc all walk this identical layout and
+// produce identical integers, which is what lets runtime CPU dispatch
+// (common/cpu_dispatch.h) pick a kernel per host without breaking the
+// bit-identical ranking contract.
+//
+// A ragged final block (n < 128) uses plain horizontal LSB-first packing
+// into ceil(n * bits / 8) bytes and a scalar decode; it is at most one
+// block per term, so it never matters for throughput.
+//
+// Decoders never read past the payload they are given (the vertical layout
+// reads whole 16-byte storage words that all lie inside the payload), so
+// views straight into an mmap'ed snapshot are safe. DecodeBlock assumes a
+// block that already passed DecodeBlockChecked at load time (the
+// PostingList validator runs the checked decoder over every block once);
+// DecodeBlockChecked trusts nothing and is the fuzzer entry point.
+#ifndef SQE_INDEX_POSTINGS_CODEC_H_
+#define SQE_INDEX_POSTINGS_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sqe::index::codec {
+
+/// Values per full block. Kept equal to PostingList::kBlockSize (asserted
+/// in postings_codec.cc) so one packed block answers one block-max entry.
+inline constexpr size_t kBlockLen = 128;
+
+/// `[doc_bits: u8][freq_bits: u8]` prefix on every block.
+inline constexpr size_t kBlockHeaderBytes = 2;
+
+/// Minimal width (0..32) that represents `max_value`.
+uint32_t BitsNeeded(uint32_t max_value);
+
+/// Payload bytes for one packed array of `n` values at `bits` per value:
+/// 16 * bits for a full block (vertical layout), ceil(n * bits / 8) for a
+/// ragged one.
+size_t PackedPayloadBytes(size_t n, uint32_t bits);
+
+/// Total encoded size of one block (header + both payloads).
+size_t EncodedBlockBytes(size_t n, uint32_t doc_bits, uint32_t freq_bits);
+
+/// Encodes one block of `n` (1..kBlockLen) postings — ascending absolute
+/// doc ids and raw frequencies (>= 1) — and appends the encoded bytes to
+/// `*out`. `prev_plus1` anchors the gap transform as described above.
+/// Returns the number of bytes appended.
+size_t EncodeBlock(const uint32_t* docs, const uint32_t* freqs, size_t n,
+                   uint32_t prev_plus1, std::string* out);
+
+/// Decodes one trusted block (see file comment) of `n` postings into
+/// `docs[0..n)` / `freqs[0..n)`, undoing the gap and freq-1 transforms.
+/// Uses the kernel tier selected by DetectSimdLevel().
+void DecodeBlock(const uint8_t* packed, size_t n, uint32_t prev_plus1,
+                 uint32_t* docs, uint32_t* freqs);
+
+/// The two halves of DecodeBlock, independently callable: a WAND cursor
+/// navigating by doc id decodes only the doc half of the blocks it lands
+/// in and pays for the frequency half only on the (much rarer) blocks
+/// whose postings it actually scores.
+void DecodeBlockDocs(const uint8_t* packed, size_t n, uint32_t prev_plus1,
+                     uint32_t* docs);
+void DecodeBlockFreqs(const uint8_t* packed, size_t n, uint32_t* freqs);
+
+/// Extracts the frequency of entry `i` (< n) of a trusted block without
+/// unpacking anything else: one or two word reads from the freq payload
+/// (frequencies, unlike gap-coded doc ids, are randomly addressable). The
+/// WAND cursor reads at most a couple of frequencies from a block whose
+/// docs it decoded for navigation, so materializing all 128 is waste.
+uint32_t ExtractFreqAt(const uint8_t* packed, size_t n, size_t i);
+
+/// Extracts the first doc id of a trusted block (anchor + first gap)
+/// without decoding it. Skip-heavy traversal lands cursors on block
+/// starts constantly, and re-sorting them needs exactly this one value.
+uint32_t ExtractFirstDoc(const uint8_t* packed, size_t n,
+                         uint32_t prev_plus1);
+
+/// Untrusted-input decode: additionally verifies the widths are <= 32,
+/// `packed_len` is exactly the encoded size the header implies, and the
+/// reconstructed doc ids never overflow uint32. On success the outputs
+/// match DecodeBlock exactly.
+Status DecodeBlockChecked(const uint8_t* packed, size_t packed_len, size_t n,
+                          uint32_t prev_plus1, uint32_t* docs,
+                          uint32_t* freqs);
+
+namespace internal {
+
+/// Unpacks one full vertical-layout array (kBlockLen values at `bits` per
+/// value, bits in 1..32) from `payload` into `out`. Exposed so the decode
+/// micro-benchmarks and the codec tests can compare tiers directly; the
+/// AVX2 variant lives in postings_codec_avx2.cc behind a target attribute
+/// and must only be called when the host supports AVX2.
+void UnpackVerticalScalar(const uint8_t* payload, uint32_t bits,
+                          uint32_t* out);
+#if defined(__SSE2__)
+void UnpackVerticalSse2(const uint8_t* payload, uint32_t bits, uint32_t* out);
+#endif
+#if defined(__x86_64__) || defined(__i386__)
+void UnpackVerticalAvx2(const uint8_t* payload, uint32_t bits, uint32_t* out);
+#endif
+
+using UnpackFn = void (*)(const uint8_t* payload, uint32_t bits,
+                          uint32_t* out);
+
+/// The vertical unpack kernel for the process's SimdLevel, resolved once.
+UnpackFn ActiveUnpackFn();
+
+}  // namespace internal
+
+}  // namespace sqe::index::codec
+
+#endif  // SQE_INDEX_POSTINGS_CODEC_H_

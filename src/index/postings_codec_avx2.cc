@@ -1,0 +1,56 @@
+// AVX2 vertical unpack kernel, isolated in its own translation unit so it
+// can be compiled with the `avx2` target attribute while the rest of the
+// build stays at the baseline ISA. Only ever called after runtime dispatch
+// (common/cpu_dispatch.h) confirms the host supports AVX2.
+#include "index/postings_codec.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace sqe::index::codec::internal {
+
+__attribute__((target("avx2"))) void UnpackVerticalAvx2(
+    const uint8_t* payload, uint32_t bits, uint32_t* out) {
+  const uint32_t m = bits >= 32 ? 0xFFFFFFFFu : (1u << bits) - 1u;
+  const __m256i mask = _mm256_set1_epi32(static_cast<int>(m));
+  // Two rows per iteration: the low 128-bit half decodes row r, the high
+  // half row r + 1, with per-half shift counts via srlv/sllv. The carry
+  // trick matches the SSE2 kernel: when a value does not span two storage
+  // words the "high" load re-reads the same word and its contribution is
+  // either shifted to zero (count 32) or masked away.
+  for (uint32_t r = 0; r < 32; r += 2) {
+    const uint32_t o0 = r * bits, o1 = o0 + bits;
+    const uint32_t w0 = o0 >> 5, s0 = o0 & 31;
+    const uint32_t w1 = o1 >> 5, s1 = o1 & 31;
+    const uint32_t w0c = (s0 + bits > 32) ? w0 + 1 : w0;
+    const uint32_t w1c = (s1 + bits > 32) ? w1 + 1 : w1;
+    const __m256i lo = _mm256_set_m128i(
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(payload + size_t{w1} * 16)),
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(payload + size_t{w0} * 16)));
+    const __m256i hi = _mm256_set_m128i(
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(payload + size_t{w1c} * 16)),
+        _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(payload + size_t{w0c} * 16)));
+    const __m256i srl = _mm256_setr_epi32(
+        static_cast<int>(s0), static_cast<int>(s0), static_cast<int>(s0),
+        static_cast<int>(s0), static_cast<int>(s1), static_cast<int>(s1),
+        static_cast<int>(s1), static_cast<int>(s1));
+    const __m256i sll = _mm256_setr_epi32(
+        static_cast<int>(32 - s0), static_cast<int>(32 - s0),
+        static_cast<int>(32 - s0), static_cast<int>(32 - s0),
+        static_cast<int>(32 - s1), static_cast<int>(32 - s1),
+        static_cast<int>(32 - s1), static_cast<int>(32 - s1));
+    const __m256i v = _mm256_or_si256(_mm256_srlv_epi32(lo, srl),
+                                      _mm256_sllv_epi32(hi, sll));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + size_t{r} * 4),
+                        _mm256_and_si256(v, mask));
+  }
+}
+
+}  // namespace sqe::index::codec::internal
+
+#endif  // x86

@@ -36,10 +36,18 @@ inline constexpr uint32_t kKbSnapshotVersion = 3;
 /// "blockmax" block (per-term max frequency + per-block maxima) that the
 /// Block-Max WAND pruned scorer trusts for skip decisions. Version 3 moved
 /// to the aligned zero-copy layout and persists the derived docs-by-length
-/// order, block-last-doc boundaries, and the sorted vocabulary order;
-/// versions 1-2 remain loadable on the heap path.
+/// order, block-last-doc boundaries, and the sorted vocabulary order.
+/// Version 4 replaces the raw doc/freq/position-offset posting arrays with
+/// the block bit-packed codec (index/postings_codec.h, DESIGN.md §6d);
+/// versions 1-3 remain loadable on their existing paths.
 inline constexpr uint32_t kIndexSnapshotMagic = 0x53514958;  // "SQIX"
-inline constexpr uint32_t kIndexSnapshotVersion = 3;
+inline constexpr uint32_t kIndexSnapshotVersion = 4;
+
+/// First index snapshot version whose postings region is bit-packed
+/// (per-block delta-gap doc ids + freq-1 values at per-block widths). The
+/// container layout is unchanged from v3 — packed bytes live in ordinary
+/// aligned blocks — so v4 stays zero-copy mappable.
+inline constexpr uint32_t kPackedPostingsSnapshotVersion = 4;
 
 /// Shard-manifest snapshots (index::ShardManifest).
 inline constexpr uint32_t kShardManifestSnapshotMagic = 0x53514D46;  // "SQMF"

@@ -35,6 +35,7 @@ ResolvedQuery Retriever::Resolve(const Query& query) const {
         text::TermId t = idx.LookupTerm(a.terms[0]);
         if (t != text::kInvalidTermId) {
           const index::PostingList& pl = idx.Postings(t);
+          r.list = &pl;
           r.docs = pl.docs();
           r.freqs = pl.frequencies();
           r.max_freq = pl.MaxFrequency();
@@ -118,6 +119,18 @@ ResultList Retriever::RetrieveRange(
   touched.clear();
   scratch->contrib_.resize(kScoreBatchSize);
   double* const contrib = scratch->contrib_.data();
+  auto scatter = [&](const index::DocId* d_arr, const double* c_arr,
+                     size_t n) {
+    for (size_t j = 0; j < n; ++j) {
+      const index::DocId d = d_arr[j];
+      if (scratch->epoch_[d] != epoch) {
+        scratch->epoch_[d] = epoch;
+        scratch->delta_[d] = 0.0;
+        touched.push_back(d);
+      }
+      scratch->delta_[d] += c_arr[j];
+    }
+  };
   for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
     const double mu_cp = mu * a.collection_prob;
     const double bg = std::log(mu_cp);
@@ -127,7 +140,45 @@ ResultList Retriever::RetrieveRange(
     // slice is scored in SoA batches — a contiguous frequency lane through
     // the contribution kernel, then a scatter into the sparse accumulator —
     // so the transcendental work runs over dense arrays instead of being
-    // interleaved with the epoch bookkeeping.
+    // interleaved with the epoch bookkeeping. The contribution kernel is
+    // elementwise and the per-document atom/doc accumulation order is
+    // unchanged, so how the slice is chunked (256-posting batches below,
+    // 128-posting decoded blocks in the packed branch) cannot move a bit.
+    if (a.list != nullptr && a.list->packed()) {
+      // Packed postings: walk whole decoded blocks, prefetching the next
+      // block's packed bytes while the current one is scored.
+      const index::PostingList& pl = *a.list;
+      const size_t lo = pl.LowerBound(begin);
+      if (lo >= pl.NumDocs()) continue;
+      uint32_t dbuf[index::PostingList::kBlockSize];
+      uint32_t fbuf[index::PostingList::kBlockSize];
+      size_t pos = lo;
+      for (size_t b = lo / index::PostingList::kBlockSize;
+           b < pl.NumBlocks(); ++b) {
+        if (b + 1 < pl.NumBlocks()) {
+          __builtin_prefetch(pl.PackedBlock(b + 1).data());
+        }
+        pl.DecodeBlockInto(b, dbuf, fbuf);
+        const size_t block_begin = b * index::PostingList::kBlockSize;
+        const size_t len = pl.BlockLength(b);
+        size_t off = pos - block_begin;
+        size_t stop = len;
+        const bool last = dbuf[len - 1] >= end;
+        if (last) {
+          stop = static_cast<size_t>(
+              std::lower_bound(dbuf + off, dbuf + len, end) - dbuf);
+        }
+        if (stop > off) {
+          TermContributionBatch(fbuf + off, stop - off, a.weight, mu_cp, bg,
+                                contrib);
+          static_assert(sizeof(index::DocId) == sizeof(uint32_t));
+          scatter(dbuf + off, contrib, stop - off);
+        }
+        if (last) break;
+        pos = block_begin + len;
+      }
+      continue;
+    }
     const size_t lo = static_cast<size_t>(
         std::lower_bound(a.docs.begin(), a.docs.end(), begin) -
         a.docs.begin());
@@ -138,15 +189,7 @@ ResultList Retriever::RetrieveRange(
       const size_t n = std::min(kScoreBatchSize, hi - base);
       TermContributionBatch(a.freqs.data() + base, n, a.weight, mu_cp, bg,
                             contrib);
-      for (size_t j = 0; j < n; ++j) {
-        const index::DocId d = a.docs[base + j];
-        if (scratch->epoch_[d] != epoch) {
-          scratch->epoch_[d] = epoch;
-          scratch->delta_[d] = 0.0;
-          touched.push_back(d);
-        }
-        scratch->delta_[d] += contrib[j];
-      }
+      scatter(a.docs.data() + base, contrib, n);
     }
   }
 
@@ -208,11 +251,23 @@ double Retriever::ScoreDocument(const Query& query, index::DocId doc) const {
   const double mu = options_.mu;
   double score = -std::log(static_cast<double>(idx.DocLength(doc)) + mu);
   for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
-    auto it = std::lower_bound(a.docs.begin(), a.docs.end(), doc);
-    double tf = (it != a.docs.end() && *it == doc)
-                    ? static_cast<double>(
-                          a.freqs[static_cast<size_t>(it - a.docs.begin())])
-                    : 0.0;
+    double tf = 0.0;
+    if (a.list != nullptr && a.list->packed()) {
+      const size_t i = a.list->Find(doc);
+      if (i != index::PostingList::kNpos) {
+        uint32_t dbuf[index::PostingList::kBlockSize];
+        uint32_t fbuf[index::PostingList::kBlockSize];
+        a.list->DecodeBlockInto(i / index::PostingList::kBlockSize, dbuf,
+                                fbuf);
+        tf = static_cast<double>(fbuf[i % index::PostingList::kBlockSize]);
+      }
+    } else {
+      auto it = std::lower_bound(a.docs.begin(), a.docs.end(), doc);
+      if (it != a.docs.end() && *it == doc) {
+        tf = static_cast<double>(
+            a.freqs[static_cast<size_t>(it - a.docs.begin())]);
+      }
+    }
     score += a.weight * std::log(tf + mu * a.collection_prob);
   }
   return score;

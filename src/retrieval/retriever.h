@@ -61,8 +61,11 @@ class ResolvedQuery {
   // smoothed collection probability. `docs`/`freqs` alias the index's
   // posting arrays for plain terms and `owned_*` for phrases (vector moves
   // keep heap buffers, so moving the ResolvedQuery preserves the views).
+  // When the index stores packed (v4) postings, a term atom's spans stay
+  // empty and scorers decode blocks through `list` instead.
   struct ResolvedAtom {
     double weight = 0.0;  // normalized ω_a
+    const index::PostingList* list = nullptr;  // term atoms only
     std::span<const index::DocId> docs;
     std::span<const uint32_t> freqs;
     std::vector<index::DocId> owned_docs;

@@ -41,9 +41,63 @@ struct Cursor {
   const index::DocId* block_last = nullptr;
   size_t num_blocks = 0;
   size_t list_size = 0;
+  // Packed (v4) lists: docs/freqs above stay null and reads decode one
+  // 128-posting block at a time into the scratch buffers below, on demand —
+  // a block a skip decision jumps over is never unpacked, because the skip
+  // machinery (ShallowAdvance/BlockUb/BlockLastDoc) reads only the raw
+  // block tables.
+  const index::PostingList* plist = nullptr;
+  size_t blk_loaded = static_cast<size_t>(-1);  // block in blk_docs
+  // First-doc memo: skip rounds park cursors on block starts, and
+  // re-sorting the merge order then needs exactly one doc id — extracted
+  // (anchor + first gap) for a couple of loads instead of a block decode.
+  size_t first_blk = static_cast<size_t>(-1);
+  index::DocId first_doc = 0;
+  uint32_t blk_docs[index::PostingList::kBlockSize];
 
   bool AtEnd() const { return pos >= limit; }
-  index::DocId Doc() const { return docs[pos]; }
+  // Decodes pos's block's doc ids if they are not the ones in the buffer,
+  // prefetching the next block's packed bytes at every crossing (the
+  // decode loop ahead is predictable; the byte fetch is the stall). The
+  // frequency half stays packed entirely: Freq() extracts single values
+  // straight from the payload.
+  void EnsureLoaded() {
+    const size_t b = pos / index::PostingList::kBlockSize;
+    if (b == blk_loaded) return;
+    plist->DecodeBlockDocsInto(b, blk_docs);
+    blk_loaded = b;
+    if (b + 1 < plist->NumBlocks()) {
+      __builtin_prefetch(plist->PackedBlock(b + 1).data());
+    }
+  }
+  index::DocId FirstDocOf(size_t b) {
+    if (first_blk != b) {
+      first_doc = plist->BlockFirstDoc(b);
+      first_blk = b;
+    }
+    return first_doc;
+  }
+  index::DocId Doc() {
+    if (plist != nullptr) {
+      const size_t b = pos / index::PostingList::kBlockSize;
+      const size_t off = pos % index::PostingList::kBlockSize;
+      if (b == blk_loaded) return blk_docs[off];
+      if (off == 0) return FirstDocOf(b);
+      EnsureLoaded();
+      return blk_docs[off];
+    }
+    return docs[pos];
+  }
+  // A WAND walk reads one or two frequencies from a scored block, so a
+  // single-value extraction from the packed payload beats materializing
+  // all 128 (and drops a 512-byte scratch buffer from every cursor).
+  uint32_t Freq() {
+    if (plist != nullptr) {
+      return plist->BlockFreqAt(pos / index::PostingList::kBlockSize,
+                                pos % index::PostingList::kBlockSize);
+    }
+    return freqs[pos];
+  }
 
   // Contribution memo keyed by frequency: ω·(log(f+μp) − bg) depends on the
   // posting only through its (small-integer) tf, and block maxima draw from
@@ -79,6 +133,11 @@ struct Cursor {
                            target) -
           block_last);
     }
+    // If the landing block survives the bound it will be decoded next;
+    // start its packed bytes toward the cache while the bound is summed.
+    if (plist != nullptr && block < num_blocks && block != blk_loaded) {
+      __builtin_prefetch(plist->PackedBlock(block).data());
+    }
     return block < num_blocks;
   }
 
@@ -89,8 +148,66 @@ struct Cursor {
 
   // First posting with doc >= target within [pos, limit): galloping probe
   // then binary search, O(log gap) — same scheme as PostingList::Cursor.
+  // Packed lists instead binary-search the raw block-last table FROM THE
+  // CURRENT BLOCK and decode at most the landing block.
   void SeekTo(index::DocId target) {
-    if (pos >= limit || docs[pos] >= target) return;
+    if (pos >= limit) return;
+    if (plist != nullptr) {
+      size_t b = pos / index::PostingList::kBlockSize;
+      if (block_last[b] < target) {
+        b = static_cast<size_t>(
+            std::lower_bound(block_last + b + 1, block_last + num_blocks,
+                             target) -
+            block_last);
+        if (b == num_blocks) {
+          pos = limit;
+          return;
+        }
+        pos = b * index::PostingList::kBlockSize;
+        if (pos >= limit) {
+          pos = limit;
+          return;
+        }
+        // First-doc fast-path: a target at or below the landing block's
+        // first doc id resolves to the block's first posting, and that one
+        // value is extracted without decoding the block. Skip rounds land
+        // here constantly (the skip target is usually one past a block
+        // boundary).
+        if (target <= FirstDocOf(b)) return;
+        EnsureLoaded();
+      } else {
+        // Target lies within the current block. If the doc at pos already
+        // clears the target, nothing moves — provable without a decode
+        // from the block's extracted first doc (offset 0) or from the
+        // anchor + offset floor (strict ascent means the doc at offset
+        // `off` is at least anchor + off).
+        const size_t base = b * index::PostingList::kBlockSize;
+        if (b != blk_loaded) {
+          const size_t off = pos - base;
+          if (off == 0) {
+            if (target <= FirstDocOf(b)) return;
+          } else {
+            const uint64_t floor =
+                static_cast<uint64_t>(b == 0 ? 0 : block_last[b - 1] + 1) +
+                off;
+            if (target <= floor) return;
+          }
+        }
+        EnsureLoaded();
+        if (blk_docs[pos - base] >= target) return;
+      }
+      // The landing block's last doc is >= target, so the in-block search
+      // always resolves inside it.
+      const size_t base = blk_loaded * index::PostingList::kBlockSize;
+      const size_t off = static_cast<size_t>(
+          std::lower_bound(blk_docs + (pos - base),
+                           blk_docs + plist->BlockLength(blk_loaded),
+                           target) -
+          blk_docs);
+      pos = std::min(base + off, limit);
+      return;
+    }
+    if (docs[pos] >= target) return;
     size_t step = 1;
     size_t lo = pos;
     size_t hi = pos + step;
@@ -174,29 +291,35 @@ ResultList WandRetriever::PrunedRange(
   std::vector<Cursor> cursors;
   cursors.reserve(num_atoms);
   for (const ResolvedQuery::ResolvedAtom& a : resolved.atoms_) {
-    const size_t lo = static_cast<size_t>(
-        std::lower_bound(a.docs.begin(), a.docs.end(), begin) -
-        a.docs.begin());
-    const size_t hi = static_cast<size_t>(
-        std::lower_bound(a.docs.begin() + lo, a.docs.end(), end) -
-        a.docs.begin());
-    Cursor c;
-    c.pos = lo;
-    c.limit = hi;
+    // Built in place: copying a Cursor would drag its (deliberately
+    // uninitialized) decode scratch buffers along.
+    Cursor& c = cursors.emplace_back();
+    if (a.list != nullptr && a.list->packed()) {
+      c.plist = a.list;
+      c.pos = a.list->LowerBound(begin);
+      c.limit = a.list->LowerBound(end);
+      c.list_size = a.list->NumDocs();
+    } else {
+      c.pos = static_cast<size_t>(
+          std::lower_bound(a.docs.begin(), a.docs.end(), begin) -
+          a.docs.begin());
+      c.limit = static_cast<size_t>(
+          std::lower_bound(a.docs.begin() + c.pos, a.docs.end(), end) -
+          a.docs.begin());
+      c.docs = a.docs.data();
+      c.freqs = a.freqs.data();
+      c.list_size = a.docs.size();
+    }
     c.mu_cp = mu * a.collection_prob;
     c.bg = std::log(c.mu_cp);
     c.weight = a.weight;
-    c.docs = a.docs.data();
-    c.freqs = a.freqs.data();
     c.block_max = a.block_max_freqs.data();
     c.block_last = a.block_last_docs.data();
     c.num_blocks = a.block_max_freqs.size();
-    c.list_size = a.docs.size();
     c.ub = a.weight *
            (std::log(static_cast<double>(a.max_freq) + c.mu_cp) - c.bg);
     c.freq_ub.assign(a.max_freq + 1, -1.0);
-    counters->postings_total += hi - lo;
-    cursors.push_back(c);
+    counters->postings_total += c.limit - c.pos;
   }
   // Doc-sorted view of the not-yet-exhausted cursors as packed keys,
   // (doc << 16) | atom index. One flat word per cursor keeps the order
@@ -455,7 +578,7 @@ ResultList WandRetriever::PrunedRange(
     if (!pruned) {
       for (size_t i = 0; i < n; ++i) {
         Cursor& c = cursors[lane_atom[i]];
-        exact += c.ContribFor(c.freqs[c.pos]);
+        exact += c.ContribFor(c.Freq());
       }
       pruned = background_const - len_part + exact + nonessential_sum <
                theta_s;
@@ -481,7 +604,7 @@ ResultList WandRetriever::PrunedRange(
           exhausted[ci] = 1;
           ne_dirty = true;
         } else if (c.Doc() == d) {
-          exact += c.ContribFor(c.freqs[c.pos]);
+          exact += c.ContribFor(c.Freq());
           lane_atom[n++] = ci;
         }
         if (background_const - len_part + exact + ne_prefix[j] < theta_s) {
@@ -517,8 +640,8 @@ ResultList WandRetriever::PrunedRange(
     // accumulation bit for bit.
     std::sort(lane_atom.begin(), lane_atom.begin() + n);
     for (size_t i = 0; i < n; ++i) {
-      const Cursor& c = cursors[lane_atom[i]];
-      lane_freq[i] = c.freqs[c.pos];
+      Cursor& c = cursors[lane_atom[i]];
+      lane_freq[i] = c.Freq();
       lane_mu_cp[i] = c.mu_cp;
       lane_bg[i] = c.bg;
       lane_w[i] = c.weight;
@@ -547,6 +670,11 @@ ResultList WandRetriever::PrunedRange(
       // Entries past `limit` are outside [begin, end) and entries before
       // the original slice start are < begin, so searching [0, limit) finds
       // exactly the in-range occurrences.
+      if (c.plist != nullptr) {
+        const size_t i = c.plist->Find(doc);
+        if (i != index::PostingList::kNpos && i < c.limit) return true;
+        continue;
+      }
       const index::DocId* last = c.docs + c.limit;
       auto it = std::lower_bound(c.docs, last, doc);
       if (it != last && *it == doc) return true;

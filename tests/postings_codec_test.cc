@@ -1,0 +1,564 @@
+// Property and regression tests for the bit-packed posting-block codec
+// (index/postings_codec.h) and the packed-mode PostingList it feeds.
+//
+// Three layers, one contract — identical integers everywhere:
+//   codec     encode/decode round trips over randomized widths, ragged
+//             final blocks, and u32-boundary gap edges; the checked
+//             decoder rejects every malformed shape the fuzzer probes.
+//   kernels   the scalar, SSE2, and AVX2 vertical unpack tiers (and
+//             whatever ActiveUnpackFn resolved to) produce the same words
+//             at every width 1..32, so runtime dispatch can never change
+//             a ranking bit.
+//   list      a packed list loaded from a v4 snapshot answers Cursor /
+//             LowerBound / Find / Materialize queries exactly like the
+//             raw-mode list it was serialized from, including the
+//             SeekTo backward-then-forward-across-blocks regression.
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_dispatch.h"
+#include "common/random.h"
+#include "index/inverted_index.h"
+#include "index/postings.h"
+#include "index/postings_codec.h"
+#include "io/file.h"
+#include "retrieval/query.h"
+#include "retrieval/result.h"
+#include "retrieval/retriever.h"
+#include "retrieval/wand_retriever.h"
+
+namespace sqe::index {
+namespace {
+
+// ---- codec round trips ------------------------------------------------------
+
+struct Block {
+  std::vector<uint32_t> docs;
+  std::vector<uint32_t> freqs;
+  uint32_t anchor = 0;
+};
+
+Block RandomBlock(Rng& rng, size_t n, uint32_t max_gap, uint32_t max_freq,
+                  uint32_t anchor) {
+  Block b;
+  b.anchor = anchor;
+  uint32_t next = anchor;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t doc =
+        next + static_cast<uint32_t>(rng.NextBounded(max_gap + 1ull));
+    b.docs.push_back(doc);
+    next = doc + 1;
+    b.freqs.push_back(1 + static_cast<uint32_t>(rng.NextBounded(max_freq)));
+  }
+  return b;
+}
+
+// Encodes the block, decodes it back through both the trusted and the
+// checked decoder, and requires exact equality plus a size that matches
+// the header's own arithmetic.
+void ExpectRoundTrip(const Block& b) {
+  const size_t n = b.docs.size();
+  std::string enc;
+  const size_t appended =
+      codec::EncodeBlock(b.docs.data(), b.freqs.data(), n, b.anchor, &enc);
+  ASSERT_EQ(appended, enc.size());
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(enc.data());
+  EXPECT_EQ(enc.size(), codec::EncodedBlockBytes(n, p[0], p[1]));
+
+  uint32_t docs[codec::kBlockLen];
+  uint32_t freqs[codec::kBlockLen];
+  codec::DecodeBlock(p, n, b.anchor, docs, freqs);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(docs[i], b.docs[i]) << "doc " << i << " (n=" << n << ")";
+    ASSERT_EQ(freqs[i], b.freqs[i]) << "freq " << i << " (n=" << n << ")";
+  }
+
+  uint32_t cdocs[codec::kBlockLen];
+  uint32_t cfreqs[codec::kBlockLen];
+  Status s = codec::DecodeBlockChecked(p, enc.size(), n, b.anchor, cdocs,
+                                       cfreqs);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(std::memcmp(docs, cdocs, n * sizeof(uint32_t)), 0);
+  EXPECT_EQ(std::memcmp(freqs, cfreqs, n * sizeof(uint32_t)), 0);
+
+  // Single-value extraction must agree with the bulk decoder at every
+  // offset (both layouts: vertical full block, horizontal ragged).
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(codec::ExtractFreqAt(p, n, i), b.freqs[i])
+        << "extract " << i << " (n=" << n << ")";
+  }
+  ASSERT_EQ(codec::ExtractFirstDoc(p, n, b.anchor), b.docs[0]);
+}
+
+TEST(PostingsCodecTest, RoundTripRandomizedWidths) {
+  Rng rng(0xC0DEC);
+  const uint32_t gap_caps[] = {0,      1,       7,         255,
+                               4000,   1u << 16, 1u << 20, 0x00FFFFFFu};
+  // The last cap forces 32-bit freq-1 widths (mask and straddle edges).
+  const uint32_t freq_caps[] = {1, 2, 9, 300, 70000, 1u << 24, 0xF0000000u};
+  for (uint32_t max_gap : gap_caps) {
+    for (uint32_t max_freq : freq_caps) {
+      const uint32_t anchor =
+          static_cast<uint32_t>(rng.NextBounded(1u << 20));
+      ExpectRoundTrip(
+          RandomBlock(rng, codec::kBlockLen, max_gap, max_freq, anchor));
+    }
+  }
+}
+
+TEST(PostingsCodecTest, RoundTripRaggedFinalBlocks) {
+  Rng rng(0xBEEF);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{17}, size_t{63},
+                   size_t{100}, size_t{127}}) {
+    ExpectRoundTrip(RandomBlock(rng, n, /*max_gap=*/900, /*max_freq=*/9,
+                                /*anchor=*/42));
+  }
+}
+
+TEST(PostingsCodecTest, DenseAllOnesBlockIsHeaderOnly) {
+  // Consecutive doc ids (every gap 0) with frequency 1 everywhere: both
+  // payloads pack at width 0, so the block is exactly its 2-byte header.
+  Block b;
+  b.anchor = 1000;
+  for (size_t i = 0; i < codec::kBlockLen; ++i) {
+    b.docs.push_back(1000 + static_cast<uint32_t>(i));
+    b.freqs.push_back(1);
+  }
+  std::string enc;
+  codec::EncodeBlock(b.docs.data(), b.freqs.data(), b.docs.size(), b.anchor,
+                     &enc);
+  EXPECT_EQ(enc.size(), codec::kBlockHeaderBytes);
+  ExpectRoundTrip(b);
+}
+
+TEST(PostingsCodecTest, RoundTripU32BoundaryGaps) {
+  // A single posting whose gap is the full 32-bit range...
+  ExpectRoundTrip({{0xFFFFFFFFu}, {1}, 0});
+  // ...and a ragged pair hugging the top of the doc-id space.
+  ExpectRoundTrip({{0xFFFFFFF0u, 0xFFFFFFFEu}, {2, 1}, 0});
+  // Anchored high: gap arithmetic must not wrap when the anchor itself is
+  // close to the ceiling.
+  ExpectRoundTrip({{0xFFFFFFFEu, 0xFFFFFFFFu}, {7, 1}, 0xFFFFFFF0u});
+}
+
+TEST(PostingsCodecTest, BitsNeededAndPayloadSizing) {
+  EXPECT_EQ(codec::BitsNeeded(0), 0u);
+  EXPECT_EQ(codec::BitsNeeded(1), 1u);
+  EXPECT_EQ(codec::BitsNeeded(2), 2u);
+  EXPECT_EQ(codec::BitsNeeded(255), 8u);
+  EXPECT_EQ(codec::BitsNeeded(256), 9u);
+  EXPECT_EQ(codec::BitsNeeded(0xFFFFFFFFu), 32u);
+  // Full block: 16 bytes per bit of width (vertical layout).
+  EXPECT_EQ(codec::PackedPayloadBytes(codec::kBlockLen, 13), 16u * 13);
+  // Ragged: ceil(n * bits / 8).
+  EXPECT_EQ(codec::PackedPayloadBytes(37, 5), (37u * 5 + 7) / 8);
+  EXPECT_EQ(codec::PackedPayloadBytes(10, 0), 0u);
+}
+
+// ---- checked-decoder rejection surface --------------------------------------
+
+TEST(PostingsCodecCheckedTest, RejectsTruncatedPayloads) {
+  Rng rng(0x50DA);
+  Block b = RandomBlock(rng, codec::kBlockLen, 900, 9, 3);
+  std::string enc;
+  codec::EncodeBlock(b.docs.data(), b.freqs.data(), b.docs.size(), b.anchor,
+                     &enc);
+  uint32_t docs[codec::kBlockLen];
+  uint32_t freqs[codec::kBlockLen];
+  for (size_t len = 0; len < enc.size(); ++len) {
+    EXPECT_FALSE(codec::DecodeBlockChecked(
+                     reinterpret_cast<const uint8_t*>(enc.data()), len,
+                     b.docs.size(), b.anchor, docs, freqs)
+                     .ok())
+        << "accepted truncation to " << len << " bytes";
+  }
+  // One extra trailing byte is a length mismatch, not slack.
+  std::string padded = enc + '\0';
+  EXPECT_FALSE(codec::DecodeBlockChecked(
+                   reinterpret_cast<const uint8_t*>(padded.data()),
+                   padded.size(), b.docs.size(), b.anchor, docs, freqs)
+                   .ok());
+}
+
+TEST(PostingsCodecCheckedTest, RejectsOverwideHeaders) {
+  Rng rng(0x51DE);
+  Block b = RandomBlock(rng, codec::kBlockLen, 900, 9, 0);
+  std::string enc;
+  codec::EncodeBlock(b.docs.data(), b.freqs.data(), b.docs.size(), b.anchor,
+                     &enc);
+  uint32_t docs[codec::kBlockLen];
+  uint32_t freqs[codec::kBlockLen];
+  for (size_t byte : {size_t{0}, size_t{1}}) {
+    std::string bad = enc;
+    bad[byte] = static_cast<char>(33);
+    EXPECT_FALSE(codec::DecodeBlockChecked(
+                     reinterpret_cast<const uint8_t*>(bad.data()), bad.size(),
+                     b.docs.size(), b.anchor, docs, freqs)
+                     .ok())
+        << "accepted width 33 in header byte " << byte;
+  }
+}
+
+TEST(PostingsCodecCheckedTest, RejectsDocIdOverflow) {
+  // A block that is valid at anchor 0 must be rejected when re-anchored
+  // high enough that the reconstructed ids wrap past UINT32_MAX — exactly
+  // the stale-block_last shape a resigned snapshot can produce.
+  Block b{{0xFFFFFFF0u}, {1}, 0};
+  std::string enc;
+  codec::EncodeBlock(b.docs.data(), b.freqs.data(), 1, b.anchor, &enc);
+  uint32_t docs[codec::kBlockLen];
+  uint32_t freqs[codec::kBlockLen];
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(enc.data());
+  ASSERT_TRUE(codec::DecodeBlockChecked(p, enc.size(), 1, 0, docs, freqs)
+                  .ok());
+  EXPECT_FALSE(codec::DecodeBlockChecked(p, enc.size(), 1, 0x100u, docs,
+                                         freqs)
+                   .ok());
+}
+
+TEST(PostingsCodecCheckedTest, StaleWidthZeroPayloadDecodes) {
+  // Headers wider than the values require are wasteful but well-formed:
+  // a hand-built {5,1} header over all-zero payloads must decode to
+  // consecutive doc ids from the anchor with frequency 1 — the invariant
+  // the fuzzer's stale_widths seed pins.
+  constexpr size_t kN = 16;
+  std::string enc;
+  enc.push_back(static_cast<char>(5));
+  enc.push_back(static_cast<char>(1));
+  enc.append(codec::PackedPayloadBytes(kN, 5) +
+                 codec::PackedPayloadBytes(kN, 1),
+             '\0');
+  uint32_t docs[codec::kBlockLen];
+  uint32_t freqs[codec::kBlockLen];
+  Status s = codec::DecodeBlockChecked(
+      reinterpret_cast<const uint8_t*>(enc.data()), enc.size(), kN, 42, docs,
+      freqs);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(docs[i], 42u + i);
+    EXPECT_EQ(freqs[i], 1u);
+  }
+}
+
+// ---- kernel-tier equivalence ------------------------------------------------
+
+TEST(PostingsCodecKernelTest, AllCompiledTiersUnpackIdentically) {
+  Rng rng(0x51AD);
+  for (uint32_t bits = 1; bits <= 32; ++bits) {
+    // Force doc_bits == bits by making the first gap need exactly that
+    // width; keep the block's doc span under 2^32.
+    const uint32_t widest =
+        bits == 32 ? 0xFFFFFF00u : (bits == 1 ? 1u : (1u << (bits - 1)));
+    Block b;
+    b.anchor = 0;
+    uint32_t next = 0;
+    for (size_t i = 0; i < codec::kBlockLen; ++i) {
+      // Later gaps stay tiny so the block's doc span (widest + 127 gaps
+      // + 127 implicit +1 steps) cannot wrap past UINT32_MAX at width 32.
+      const uint32_t gap =
+          i == 0 ? widest
+                 : static_cast<uint32_t>(rng.NextBounded(
+                       std::min<uint64_t>(widest, bits == 32 ? 1 : 512)));
+      const uint32_t doc = next + gap;
+      b.docs.push_back(doc);
+      next = doc + 1;
+      b.freqs.push_back(1);
+    }
+    std::string enc;
+    codec::EncodeBlock(b.docs.data(), b.freqs.data(), codec::kBlockLen,
+                       b.anchor, &enc);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(enc.data());
+    ASSERT_EQ(p[0], bits);
+    const uint8_t* payload = p + codec::kBlockHeaderBytes;
+
+    uint32_t scalar[codec::kBlockLen];
+    codec::internal::UnpackVerticalScalar(payload, bits, scalar);
+
+    uint32_t active[codec::kBlockLen];
+    codec::internal::ActiveUnpackFn()(payload, bits, active);
+    EXPECT_EQ(std::memcmp(scalar, active, sizeof(scalar)), 0)
+        << "active tier diverges at bits=" << bits;
+
+#if defined(__SSE2__)
+    uint32_t sse2[codec::kBlockLen];
+    codec::internal::UnpackVerticalSse2(payload, bits, sse2);
+    EXPECT_EQ(std::memcmp(scalar, sse2, sizeof(scalar)), 0)
+        << "sse2 diverges at bits=" << bits;
+#endif
+#if defined(__x86_64__) || defined(__i386__)
+    if (HardwareSimdLevel() >= SimdLevel::kAvx2) {
+      uint32_t avx2[codec::kBlockLen];
+      codec::internal::UnpackVerticalAvx2(payload, bits, avx2);
+      EXPECT_EQ(std::memcmp(scalar, avx2, sizeof(scalar)), 0)
+          << "avx2 diverges at bits=" << bits;
+    }
+#endif
+    ExpectRoundTrip(b);
+  }
+}
+
+TEST(PostingsCodecDispatchTest, DetectedLevelNeverExceedsHardware) {
+  EXPECT_LE(static_cast<int>(DetectSimdLevel()),
+            static_cast<int>(HardwareSimdLevel()));
+  for (SimdLevel l :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    const char* name = SimdLevelName(l);
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+  }
+}
+
+// ---- packed PostingList vs its raw source -----------------------------------
+
+// 700 docs, every one containing "hot" (frequency cycling 1..3) plus a
+// filler term, so the "hot" posting list spans 6 blocks with a ragged tail
+// of 700 - 5*128 = 60 postings.
+constexpr size_t kManyDocs = 700;
+
+const InvertedIndex& RawMultiBlockIndex() {
+  static const InvertedIndex& index = *new InvertedIndex([] {
+    IndexBuilder builder;
+    for (size_t d = 0; d < kManyDocs; ++d) {
+      std::vector<std::string> tokens;
+      for (size_t r = 0; r < 1 + d % 3; ++r) tokens.push_back("hot");
+      tokens.push_back("filler" + std::to_string(d % 5));
+      builder.AddDocument("doc-" + std::to_string(d), tokens);
+    }
+    return std::move(builder).Build();
+  }());
+  return index;
+}
+
+const InvertedIndex& PackedMultiBlockIndex() {
+  static const InvertedIndex& index = *new InvertedIndex([] {
+    auto loaded =
+        InvertedIndex::FromSnapshotString(RawMultiBlockIndex()
+                                              .SerializeToString());
+    SQE_CHECK_MSG(loaded.ok(), "v4 round trip failed");
+    return std::move(loaded).value();
+  }());
+  return index;
+}
+
+struct ListPair {
+  const PostingList* raw;
+  const PostingList* packed;
+};
+
+ListPair HotLists() {
+  const InvertedIndex& raw = RawMultiBlockIndex();
+  const InvertedIndex& packed = PackedMultiBlockIndex();
+  const text::TermId t = raw.LookupTerm("hot");
+  SQE_CHECK(t != text::kInvalidTermId);
+  SQE_CHECK(packed.LookupTerm("hot") == t);
+  return {&raw.Postings(t), &packed.Postings(t)};
+}
+
+TEST(PostingsCodecListTest, PackedListMirrorsRawSource) {
+  auto [raw, packed] = HotLists();
+  ASSERT_FALSE(raw->packed());
+  ASSERT_TRUE(packed->packed());
+  ASSERT_EQ(packed->NumDocs(), raw->NumDocs());
+  ASSERT_EQ(packed->NumDocs(), kManyDocs);
+  EXPECT_EQ(packed->NumBlocks(), (kManyDocs + 127) / 128);
+  EXPECT_EQ(packed->CollectionFrequency(), raw->CollectionFrequency());
+  EXPECT_EQ(packed->MaxFrequency(), raw->MaxFrequency());
+
+  std::vector<DocId> docs;
+  std::vector<uint32_t> freqs;
+  packed->Materialize(&docs, &freqs);
+  ASSERT_EQ(docs.size(), raw->NumDocs());
+  for (size_t i = 0; i < raw->NumDocs(); ++i) {
+    ASSERT_EQ(docs[i], raw->doc(i)) << i;
+    ASSERT_EQ(freqs[i], raw->frequency(i)) << i;
+  }
+
+  // Positions survive the pos_offsets-free layout.
+  PostingList::Cursor c = packed->MakeCursor();
+  for (size_t i = 0; i < raw->NumDocs(); ++i, c.Next()) {
+    ASSERT_FALSE(c.AtEnd());
+    auto pr = raw->positions(i);
+    auto pp = c.Positions();
+    ASSERT_TRUE(std::equal(pr.begin(), pr.end(), pp.begin(), pp.end())) << i;
+  }
+  EXPECT_TRUE(c.AtEnd());
+}
+
+TEST(PostingsCodecListTest, PackedLowerBoundAndFindMatchRaw) {
+  auto [raw, packed] = HotLists();
+  auto raw_docs = raw->docs();
+  for (DocId target = 0; target < kManyDocs + 5; target += 3) {
+    const size_t expect =
+        std::lower_bound(raw_docs.begin(), raw_docs.end(), target) -
+        raw_docs.begin();
+    EXPECT_EQ(packed->LowerBound(target), expect) << "target " << target;
+  }
+  EXPECT_EQ(packed->Find(0), raw->Find(0));
+  EXPECT_EQ(packed->Find(389), raw->Find(389));
+  EXPECT_EQ(packed->Find(kManyDocs - 1), raw->Find(kManyDocs - 1));
+  EXPECT_EQ(packed->Find(kManyDocs + 10), PostingList::kNpos);
+}
+
+// The satellite regression: a cursor parked in a later block must resolve
+// a *smaller* target as a no-op (never re-searching — or worse, landing —
+// before its current position) and must still cross block boundaries
+// correctly on the next forward seek.
+TEST(PostingsCodecCursorTest, SeekBackwardThenForwardAcrossBlocks) {
+  auto [raw, packed] = HotLists();
+  (void)raw;
+  PostingList::Cursor c = packed->MakeCursor();
+
+  c.SeekTo(400);  // into block 3
+  ASSERT_FALSE(c.AtEnd());
+  EXPECT_EQ(c.Doc(), 400u);
+  EXPECT_EQ(c.Frequency(), 1u + 400 % 3);
+
+  c.SeekTo(100);  // backward target: cursor must not move
+  ASSERT_FALSE(c.AtEnd());
+  EXPECT_EQ(c.Doc(), 400u);
+
+  c.SeekTo(650);  // forward again, two blocks later
+  ASSERT_FALSE(c.AtEnd());
+  EXPECT_EQ(c.Doc(), 650u);
+  EXPECT_EQ(c.Frequency(), 1u + 650 % 3);
+
+  // Walk over the 640-boundary... already past; walk the 650..699 tail
+  // across no further boundary, then seek past the end.
+  c.SeekTo(kManyDocs - 1);
+  ASSERT_FALSE(c.AtEnd());
+  EXPECT_EQ(c.Doc(), kManyDocs - 1);
+  c.SeekTo(kManyDocs + 1);
+  EXPECT_TRUE(c.AtEnd());
+}
+
+TEST(PostingsCodecCursorTest, SeeksLandExactlyOnBlockBoundaries) {
+  auto [raw, packed] = HotLists();
+  (void)raw;
+  for (DocId target : {127u, 128u, 129u, 255u, 256u, 511u, 512u, 639u,
+                       640u}) {
+    PostingList::Cursor c = packed->MakeCursor();
+    c.SeekTo(target);
+    ASSERT_FALSE(c.AtEnd()) << target;
+    EXPECT_EQ(c.Doc(), target);
+    // Next() across the boundary if we sit on a block's last posting.
+    c.Next();
+    if (target + 1 < kManyDocs) {
+      ASSERT_FALSE(c.AtEnd());
+      EXPECT_EQ(c.Doc(), target + 1);
+    }
+  }
+}
+
+// ---- packed retrieval bit-identity ------------------------------------------
+//
+// The synthetic query set always carries phrase atoms, which route WAND to
+// the exhaustive fallback — so the packed WAND cursor (block-decoding
+// Doc()/Freq(), block-last SeekTo, shallow advances) needs its own pure
+// term-query oracle check: raw-direct, v4-heap, and v4-mapped indexes must
+// produce byte-identical rankings under both the exhaustive and the pruned
+// scorer.
+TEST(PostingsCodecWandTest, PackedPrunedMatchesRawExhaustive) {
+  Rng rng(0x9A7D);
+  std::vector<std::string> vocab;
+  for (int t = 0; t < 20; ++t) vocab.push_back("term" + std::to_string(t));
+  IndexBuilder builder;
+  for (int d = 0; d < 600; ++d) {
+    std::vector<std::string> tokens;
+    const size_t len = 3 + rng.NextBounded(12);
+    for (size_t i = 0; i < len; ++i) {
+      tokens.push_back(vocab[rng.NextBounded(vocab.size())]);
+    }
+    builder.AddDocument("doc" + std::to_string(d), tokens);
+  }
+  const InvertedIndex raw = std::move(builder).Build();
+  const std::string image = raw.SerializeToString();
+  auto heap_or = InvertedIndex::FromSnapshotString(image);
+  auto mapped_or =
+      InvertedIndex::FromSnapshotString(image, io::LoadMode::kZeroCopy);
+  ASSERT_TRUE(heap_or.ok()) << heap_or.status().ToString();
+  ASSERT_TRUE(mapped_or.ok()) << mapped_or.status().ToString();
+  ASSERT_TRUE(heap_or->Postings(raw.LookupTerm("term0")).packed());
+
+  const retrieval::Retriever r_raw(&raw);
+  const retrieval::Retriever r_heap(&heap_or.value());
+  const retrieval::Retriever r_mapped(&mapped_or.value());
+  const retrieval::WandRetriever w_raw(&r_raw);
+  const retrieval::WandRetriever w_heap(&r_heap);
+  const retrieval::WandRetriever w_mapped(&r_mapped);
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"term0"},
+      {"term1", "term7", "term13"},
+      {"term2", "term3", "term4", "term5", "term6", "term8", "term9",
+       "term10", "term11", "term12"},
+      vocab,
+  };
+  for (const std::vector<std::string>& terms : queries) {
+    const retrieval::Query q = retrieval::Query::FromTerms(terms);
+    for (size_t k : {1u, 5u, 40u, 600u}) {
+      SCOPED_TRACE(terms.front() + "... k=" + std::to_string(k));
+      retrieval::RetrieverScratch scratch;
+      const retrieval::ResultList want = r_raw.Retrieve(q, k, &scratch);
+      for (const retrieval::Retriever* r : {&r_heap, &r_mapped}) {
+        const retrieval::ResultList got = r->Retrieve(q, k, &scratch);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(got[i].doc, want[i].doc) << i;
+          ASSERT_EQ(got[i].score, want[i].score) << i;
+        }
+      }
+      for (const retrieval::WandRetriever* w :
+           {&w_raw, &w_heap, &w_mapped}) {
+        const retrieval::ResultList got = w->Retrieve(q, k, &scratch);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(got[i].doc, want[i].doc) << i;
+          ASSERT_EQ(got[i].score, want[i].score) << i;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(w_heap.Stats().fallbacks, 0u);
+  EXPECT_EQ(w_mapped.Stats().fallbacks, 0u);
+  EXPECT_GT(w_heap.Stats().block_skips + w_heap.Stats().postings_scored, 0u);
+}
+
+// ---- index-level stats ------------------------------------------------------
+
+TEST(PostingsCodecStatsTest, StatsAgreeAcrossModesAndShowCompression) {
+  const InvertedIndex::PostingsStats raw_stats =
+      RawMultiBlockIndex().ComputePostingsStats();
+  const InvertedIndex::PostingsStats packed_stats =
+      PackedMultiBlockIndex().ComputePostingsStats();
+
+  EXPECT_EQ(raw_stats.num_postings, packed_stats.num_postings);
+  EXPECT_EQ(raw_stats.num_blocks, packed_stats.num_blocks);
+  EXPECT_EQ(raw_stats.raw_bytes, packed_stats.raw_bytes);
+  EXPECT_EQ(raw_stats.packed_bytes, packed_stats.packed_bytes);
+  for (int w = 0; w <= 32; ++w) {
+    EXPECT_EQ(raw_stats.doc_bits_blocks[w], packed_stats.doc_bits_blocks[w])
+        << "doc width " << w;
+    EXPECT_EQ(raw_stats.freq_bits_blocks[w],
+              packed_stats.freq_bits_blocks[w])
+        << "freq width " << w;
+  }
+
+  uint64_t doc_hist_total = 0, freq_hist_total = 0;
+  for (int w = 0; w <= 32; ++w) {
+    doc_hist_total += packed_stats.doc_bits_blocks[w];
+    freq_hist_total += packed_stats.freq_bits_blocks[w];
+  }
+  EXPECT_EQ(doc_hist_total, packed_stats.num_blocks);
+  EXPECT_EQ(freq_hist_total, packed_stats.num_blocks);
+
+  // Dense synthetic postings compress hard; anything under 0.5x raw is the
+  // acceptance target, this corpus sits far below it.
+  EXPECT_LT(packed_stats.packed_bytes, raw_stats.raw_bytes / 2);
+}
+
+}  // namespace
+}  // namespace sqe::index

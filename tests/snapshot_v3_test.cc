@@ -129,7 +129,8 @@ TEST(SnapshotMatrixTest, KbAllVersionsAndModesRankIdentically) {
 
 TEST(SnapshotMatrixTest, IndexAllVersionsAndModesRankIdentically) {
   Pipeline& p = SharedPipeline();
-  for (uint32_t version : {1u, 2u, io::kIndexSnapshotVersion}) {
+  for (uint32_t version :
+       {1u, 2u, io::kAlignedSnapshotVersion, io::kIndexSnapshotVersion}) {
     SCOPED_TRACE("index version " + std::to_string(version));
     const std::string image = p.dataset.index.SerializeToString(version);
     auto heap = index::InvertedIndex::FromSnapshotString(image);

@@ -19,6 +19,9 @@
 //    delta-gap wraparound class a real decode bug once lived in.
 //  - fuzz_coding: one input per opcode of fuzz_coding.cc's dispatch,
 //    including overlong varints and absurd length prefixes.
+//  - fuzz_postings_codec: valid packed blocks (full, ragged, max-gap),
+//    truncations, over-width headers, and a stale-width block the encoder
+//    would never emit but the decoder must accept.
 //  - fuzz_text_pipeline: linkable phrases, NER-fallback bait, invalid
 //    UTF-8, and pathological token shapes.
 #include <cstdint>
@@ -26,6 +29,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +38,7 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "index/inverted_index.h"
+#include "index/postings_codec.h"
 #include "index/shard_manifest.h"
 #include "io/coding.h"
 #include "io/file.h"
@@ -195,7 +200,9 @@ std::vector<Seed> GenerateSeeds() {
   // ---- fuzz_index_snapshot -------------------------------------------------
   index::InvertedIndex corpus_index = MakeCorpusIndex();
   const std::string index_image = corpus_index.SerializeToString(2);  // legacy
-  const std::string index_v3 = corpus_index.SerializeToString();      // aligned
+  const std::string index_v3 =
+      corpus_index.SerializeToString(io::kAlignedSnapshotVersion);
+  const std::string index_v4 = corpus_index.SerializeToString();  // packed
   seeds.push_back({"fuzz_index_snapshot", "valid_index", index_image});
   seeds.push_back(
       {"fuzz_index_snapshot", "valid_manifest",
@@ -246,6 +253,119 @@ std::vector<Seed> GenerateSeeds() {
                      return p.size() < 9 ? p
                                          : FlipByte(std::move(p), 8, 0xFF);
                    })});
+  // Packed-postings (v4) seeds. The resigned ones all pass every CRC and
+  // reach the packed validator: a width header claiming different lane
+  // sizes (the term's byte budget no longer matches), a payload byte deep
+  // in a block (decoded docs diverge from the stored block-last anchors),
+  // a block offset table no longer starting at 0, and a stale position
+  // base.
+  seeds.push_back({"fuzz_index_snapshot", "valid_index_v4", index_v4});
+  seeds.push_back({"fuzz_index_snapshot", "truncated_index_v4",
+                   index_v4.substr(0, index_v4.size() / 2)});
+  seeds.push_back({"fuzz_index_snapshot", "bitflip_index_v4",
+                   FlipByte(index_v4, index_v4.size() / 3, 0x40)});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_v4_packed_width",
+       ResignBlock(index_v4, io::kIndexSnapshotMagic, "post.packed",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 0, 0x04);
+                   })});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_v4_packed_payload",
+       ResignBlock(index_v4, io::kIndexSnapshotMagic, "post.packed",
+                   [](std::string p) {
+                     return p.size() < 40
+                                ? p
+                                : FlipByte(std::move(p), 37, 0x20);
+                   })});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_v4_blockoffs",
+       ResignBlock(index_v4, io::kIndexSnapshotMagic, "post.blockoffs",
+                   [](std::string p) {
+                     return p.empty() ? p : FlipByte(std::move(p), 0, 0x01);
+                   })});
+  seeds.push_back(
+      {"fuzz_index_snapshot", "resigned_v4_posbase",
+       ResignBlock(index_v4, io::kIndexSnapshotMagic, "post.block_posbase",
+                   [](std::string p) {
+                     return p.size() < 9 ? p
+                                         : FlipByte(std::move(p), 8, 0x01);
+                   })});
+
+  // ---- fuzz_postings_codec -------------------------------------------------
+  // Harness framing: [n-1 byte][4-byte LE anchor][encoded block].
+  auto codec_input = [](size_t n, uint32_t prev_plus1, std::string block) {
+    std::string out(1, static_cast<char>(n - 1));
+    io::PutFixed32(&out, prev_plus1);
+    out += block;
+    return out;
+  };
+  auto encode_block = [](std::span<const uint32_t> docs,
+                         std::span<const uint32_t> freqs,
+                         uint32_t prev_plus1) {
+    std::string out;
+    index::codec::EncodeBlock(docs.data(), freqs.data(), docs.size(),
+                              prev_plus1, &out);
+    return out;
+  };
+  {
+    // A full 128-posting block with mixed gaps and frequencies.
+    std::vector<uint32_t> docs, freqs;
+    uint32_t d = 7;
+    Rng crng(0xB175);
+    for (int i = 0; i < 128; ++i) {
+      docs.push_back(d);
+      d += 1 + static_cast<uint32_t>(crng.NextBounded(900));
+      freqs.push_back(1 + static_cast<uint32_t>(crng.NextBounded(9)));
+    }
+    const std::string full = encode_block(docs, freqs, 3);
+    seeds.push_back(
+        {"fuzz_postings_codec", "valid_full_block", codec_input(128, 3, full)});
+    seeds.push_back({"fuzz_postings_codec", "truncated_full_block",
+                     codec_input(128, 3, full.substr(0, full.size() - 3))});
+    // Width header claiming an impossible 33-bit lane.
+    std::string overwidth = full;
+    overwidth[0] = static_cast<char>(33);
+    seeds.push_back({"fuzz_postings_codec", "overwidth_header",
+                     codec_input(128, 3, overwidth)});
+    // Length byte disagreeing with the payload (ragged n over a full-block
+    // payload).
+    seeds.push_back(
+        {"fuzz_postings_codec", "length_mismatch", codec_input(100, 3, full)});
+  }
+  {
+    // Ragged final block with all-ones frequencies (zero-byte freq lane).
+    std::vector<uint32_t> docs, freqs;
+    for (uint32_t i = 0; i < 37; ++i) {
+      docs.push_back(1000 + 3 * i);
+      freqs.push_back(1);
+    }
+    seeds.push_back({"fuzz_postings_codec", "valid_ragged_allones",
+                     codec_input(37, 1000, encode_block(docs, freqs, 1000))});
+  }
+  {
+    // Doc ids at the top of the id space: 32-bit gap lanes, and one step
+    // from the checked decoder's u64 overflow rejection.
+    const std::vector<uint32_t> docs = {0xFFFFFFF0u, 0xFFFFFFFEu};
+    const std::vector<uint32_t> freqs = {2, 1};
+    seeds.push_back({"fuzz_postings_codec", "max_doc_gap",
+                     codec_input(2, 0, encode_block(docs, freqs, 0))});
+  }
+  {
+    // Hand-built stale-width block: 5-bit doc and 1-bit freq lanes over
+    // all-zero payload bytes decode to consecutive doc ids and frequency 1
+    // — wider than the values need, which the encoder would never emit but
+    // the decoder must accept and round-trip smaller.
+    const size_t n = 16;
+    std::string stale;
+    stale.push_back(static_cast<char>(5));
+    stale.push_back(static_cast<char>(1));
+    stale.append(index::codec::PackedPayloadBytes(n, 5) +
+                     index::codec::PackedPayloadBytes(n, 1),
+                 '\0');
+    seeds.push_back(
+        {"fuzz_postings_codec", "stale_widths", codec_input(n, 42, stale)});
+  }
 
   // ---- fuzz_coding ---------------------------------------------------------
   auto op = [](uint8_t opcode, std::string payload) {

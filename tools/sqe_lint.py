@@ -27,10 +27,15 @@ Rules:
                         any 0x5351 ("SQ..") literal — are defined only in
                         src/io/snapshot_format.h. That includes the v3
                         aligned-layout constants (kAlignedSnapshotVersion,
-                        kSnapshotAlignment): a forked alignment or version
-                        threshold would silently split the format. Tests may
-                        build their own non-SQ magics; production formats may
-                        not fork.
+                        kSnapshotAlignment) and the v4 packed-postings
+                        version threshold (kPackedPostingsSnapshotVersion):
+                        a forked alignment or version threshold would
+                        silently split the format. Likewise the v4 codec
+                        geometry (kBlockLen, kBlockHeaderBytes) lives only
+                        in src/index/postings_codec.h — a second block
+                        length or header width would desynchronize encoder
+                        and decoder. Tests may build their own non-SQ
+                        magics; production formats may not fork.
 
 Usage:
   sqe_lint.py --root <repo-root>    lint the tree (exit 1 on findings)
@@ -60,6 +65,10 @@ MAGIC_DEF_RE = re.compile(
     r"\bconstexpr\s+uint32_t\s+"
     r"k\w*(?:Magic|SnapshotVersion|SnapshotAlignment)\b"
 )
+CODEC_DEF_RE = re.compile(
+    r"\bconstexpr\s+(?:uint32_t|size_t)\s+"
+    r"k\w*(?:BlockLen|BlockHeaderBytes)\b"
+)
 
 # Headers whose inner loops run per posting / per term during retrieval.
 HOT_HEADERS = [
@@ -73,6 +82,7 @@ HOT_HEADERS = [
 ]
 
 MAGIC_HOME = "src/io/snapshot_format.h"
+CODEC_HOME = "src/index/postings_codec.h"
 SYNC_HOME = "src/common/thread_annotations.h"
 CLOCK_HOMES = {"src/common/clock.h", "src/common/clock.cc"}
 
@@ -201,6 +211,14 @@ def lint_file(rel_path, raw):
                     "snapshot magic/version constant defined outside "
                     "io/snapshot_format.h"))
 
+    if rel_path.startswith("src/") and rel_path != CODEC_HOME:
+        for m in CODEC_DEF_RE.finditer(code):
+            findings.append(Finding(
+                rel_path, line_of(code, m.start()), "single-magic-def",
+                "posting-codec geometry constant defined outside "
+                "index/postings_codec.h; a second block length or header "
+                "width would desynchronize encoder and decoder"))
+
     return findings
 
 
@@ -247,6 +265,14 @@ SELF_TEST_CASES = [
      "inline constexpr uint32_t kMySnapshotAlignment = 32;\n"),
     ("single-magic-def", "src/foo/format.h",
      "inline constexpr uint32_t kMyAlignedSnapshotVersion = 4;\n"),
+    # The v4 packed-postings version threshold may not fork either.
+    ("single-magic-def", "src/foo/format.h",
+     "inline constexpr uint32_t kPackedPostingsSnapshotVersion = 5;\n"),
+    # Codec geometry is pinned to index/postings_codec.h.
+    ("single-magic-def", "src/foo/codec.h",
+     "inline constexpr size_t kMyBlockLen = 64;\n"),
+    ("single-magic-def", "src/foo/codec.h",
+     "inline constexpr size_t kFooBlockHeaderBytes = 4;\n"),
 ]
 
 CLEAN_SNIPPETS = [
@@ -268,6 +294,10 @@ CLEAN_SNIPPETS = [
     # Using (not defining) the aligned-layout constants is fine anywhere.
     ("src/foo/ok2.cc",
      "size_t pad = io::kSnapshotAlignment - (size % io::kSnapshotAlignment);\n"),
+    # Using the codec geometry constants is fine anywhere too.
+    ("src/foo/ok3.cc",
+     "uint32_t buf[codec::kBlockLen];\n"
+     "const uint8_t* p = packed + codec::kBlockHeaderBytes;\n"),
 ]
 
 

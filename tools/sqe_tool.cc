@@ -21,10 +21,15 @@
 //                                             digest must equal the
 //                                             unsharded run's; with --load
 //                                             heap|mapped, round-trip KB +
-//                                             index through v3 snapshot
-//                                             files and run against the
-//                                             reloaded structures — the
-//                                             digest must not change
+//                                             index through snapshot files
+//                                             and run against the reloaded
+//                                             structures — the digest must
+//                                             not change; --codec raw|packed
+//                                             picks the index snapshot
+//                                             version for that round trip
+//                                             (v3 raw arrays vs v4
+//                                             bit-packed blocks) — the
+//                                             digest must not change either
 //   sqe_tool index shard-info <S> [index.snap]
 //                                             split the index (a snapshot
 //                                             file, or the synthetic
@@ -33,6 +38,13 @@
 //                                             partition: doc ranges,
 //                                             per-shard docs/tokens/terms
 //                                             and serialized sizes
+//   sqe_tool index stats [index.snap]         posting-compression report:
+//                                             aggregate raw vs packed
+//                                             region bytes, per-block
+//                                             doc/freq bit-width
+//                                             histograms, the heaviest
+//                                             terms' per-term ratios, and
+//                                             the SIMD unpack tier in use
 //
 //   sqe_tool serve-sim [--workers N] [--capacity C] [--deadline-ms D]
 //                      [--batch-every K] [--repeat R] [--shards S]
@@ -57,11 +69,14 @@
 
 #include <unistd.h>
 
+#include "common/cpu_dispatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "index/postings_codec.h"
 #include "index/sharded_index.h"
 #include "io/file.h"
+#include "io/snapshot_format.h"
 #include "kb/dump_loader.h"
 #include "kb/kb_stats.h"
 #include "kb/knowledge_base.h"
@@ -166,7 +181,7 @@ uint64_t RankingDigest(const std::vector<expansion::SqeRunResult>& results,
 enum class BatchLoad { kDirect, kHeap, kMapped };
 
 int Batch(size_t num_threads, bool with_cache, size_t num_shards,
-          bool with_prune, BatchLoad load) {
+          bool with_prune, BatchLoad load, uint32_t index_version) {
   synth::World world = synth::World::Generate(synth::TinyWorldOptions());
   synth::Dataset dataset =
       synth::BuildDataset(world, synth::TinyDatasetSpec());
@@ -184,7 +199,7 @@ int Batch(size_t num_threads, bool with_cache, size_t num_shards,
     const std::string index_path = StrFormat(
         "/tmp/sqe_tool_batch_%d_index.snap", static_cast<int>(::getpid()));
     Status saved = world.kb.SaveToFile(kb_path);
-    if (saved.ok()) saved = dataset.index.SaveToFile(index_path);
+    if (saved.ok()) saved = dataset.index.SaveToFile(index_path, index_version);
     if (!saved.ok()) return Fail(saved);
     auto kb_or = kb::KnowledgeBase::FromSnapshotFile(kb_path, mode);
     auto index_or = index::InvertedIndex::FromSnapshotFile(index_path, mode);
@@ -227,9 +242,15 @@ int Batch(size_t num_threads, bool with_cache, size_t num_shards,
                                ? ""
                                : (load == BatchLoad::kMapped ? " [mapped]"
                                                              : " [heap]");
-    std::printf("batch%s%s: %zu queries, %zu threads, %zu shards, %.3f s "
+    const char* codec_tag =
+        load == BatchLoad::kDirect
+            ? ""
+            : (index_version >= io::kPackedPostingsSnapshotVersion
+                   ? " [packed]"
+                   : " [raw]");
+    std::printf("batch%s%s%s: %zu queries, %zu threads, %zu shards, %.3f s "
                 "(%.1f q/s), %zu results, digest %016llx\n",
-                load_tag,
+                load_tag, codec_tag,
                 with_cache ? (pass == 0 ? " [cold]" : " [warm]") : "",
                 results.size(), num_threads, engine.num_shards(), seconds,
                 static_cast<double>(results.size()) / seconds, total_results,
@@ -383,6 +404,109 @@ int IndexShardInfo(size_t num_shards, const char* snapshot_path) {
   return 0;
 }
 
+// Bytes one term's postings occupy in the v4 packed region (blob + the
+// per-block offset and position-base tables). Raw-mode lists are encoded
+// block by block into scratch, mirroring what serialization would emit.
+uint64_t TermPackedBytes(const index::PostingList& pl) {
+  const uint64_t tables =
+      static_cast<uint64_t>(pl.NumBlocks()) * (sizeof(uint32_t) +
+                                               sizeof(uint64_t));
+  if (pl.packed()) return pl.packed_bytes().size() + tables;
+  std::vector<index::DocId> docs;
+  std::vector<uint32_t> freqs;
+  pl.Materialize(&docs, &freqs);
+  std::string scratch;
+  for (size_t b = 0; b < pl.NumBlocks(); ++b) {
+    const size_t begin = b * index::PostingList::kBlockSize;
+    index::codec::EncodeBlock(docs.data() + begin, freqs.data() + begin,
+                              pl.BlockLength(b),
+                              b == 0 ? 0 : docs[begin - 1] + 1, &scratch);
+  }
+  return scratch.size() + tables;
+}
+
+// Bytes the same term occupies in the v3 raw region (docs + freqs +
+// pos_offsets arrays).
+uint64_t TermRawBytes(const index::PostingList& pl) {
+  const uint64_t n = pl.NumDocs();
+  return n * (sizeof(uint32_t) + sizeof(uint32_t)) +
+         (n + 1) * sizeof(uint64_t);
+}
+
+int IndexStats(const char* snapshot_path) {
+  index::InvertedIndex loaded;
+  const index::InvertedIndex* full = nullptr;
+  synth::World world;
+  synth::Dataset dataset;
+  if (snapshot_path != nullptr) {
+    auto index_or = index::InvertedIndex::FromSnapshotFile(snapshot_path);
+    if (!index_or.ok()) return Fail(index_or.status());
+    loaded = std::move(index_or).value();
+    full = &loaded;
+  } else {
+    world = synth::World::Generate(synth::TinyWorldOptions());
+    dataset = synth::BuildDataset(world, synth::TinyDatasetSpec());
+    full = &dataset.index;
+  }
+
+  const index::InvertedIndex::PostingsStats stats =
+      full->ComputePostingsStats();
+  std::printf("index stats: %zu documents, %zu terms, %llu postings, "
+              "%llu blocks, simd %s (hardware %s)\n",
+              full->NumDocuments(), full->vocabulary().size(),
+              static_cast<unsigned long long>(stats.num_postings),
+              static_cast<unsigned long long>(stats.num_blocks),
+              SimdLevelName(DetectSimdLevel()),
+              SimdLevelName(HardwareSimdLevel()));
+  const double ratio =
+      stats.raw_bytes > 0 ? static_cast<double>(stats.packed_bytes) /
+                                static_cast<double>(stats.raw_bytes)
+                          : 0.0;
+  std::printf("postings region: raw %llu bytes, packed %llu bytes "
+              "(ratio %.3f, %.2f bits/posting packed)\n",
+              static_cast<unsigned long long>(stats.raw_bytes),
+              static_cast<unsigned long long>(stats.packed_bytes), ratio,
+              stats.num_postings > 0
+                  ? 8.0 * static_cast<double>(stats.packed_bytes) /
+                        static_cast<double>(stats.num_postings)
+                  : 0.0);
+  for (const auto& [label, hist] :
+       {std::pair<const char*, const uint64_t*>{"doc bits ",
+                                                stats.doc_bits_blocks},
+        {"freq bits", stats.freq_bits_blocks}}) {
+    std::printf("%s:", label);
+    for (int w = 0; w <= 32; ++w) {
+      if (hist[w] == 0) continue;
+      std::printf("  %d:%llu", w, static_cast<unsigned long long>(hist[w]));
+    }
+    std::printf("  (width:blocks)\n");
+  }
+
+  // The heaviest posting lists, with their individual ratios: where the
+  // bytes actually live.
+  std::vector<text::TermId> terms(full->vocabulary().size());
+  for (size_t t = 0; t < terms.size(); ++t) {
+    terms[t] = static_cast<text::TermId>(t);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [&](text::TermId a, text::TermId b) {
+              return full->Postings(a).NumDocs() > full->Postings(b).NumDocs();
+            });
+  const size_t top = std::min<size_t>(terms.size(), 8);
+  for (size_t i = 0; i < top; ++i) {
+    const index::PostingList& pl = full->Postings(terms[i]);
+    if (pl.NumDocs() == 0) break;
+    const uint64_t raw = TermRawBytes(pl);
+    const uint64_t packed = TermPackedBytes(pl);
+    std::printf("  %-24s %7zu postings  %9llu raw  %9llu packed  (%.3f)\n",
+                std::string(full->vocabulary().TermOf(terms[i])).c_str(),
+                pl.NumDocs(), static_cast<unsigned long long>(raw),
+                static_cast<unsigned long long>(packed),
+                static_cast<double>(packed) / static_cast<double>(raw));
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -392,12 +516,13 @@ int Usage() {
                "  sqe_tool motifs <in.dump|in.snap> <article title>\n"
                "  sqe_tool batch [num_threads] [--cache] [--shards N] "
                "[--prune]\n"
-               "                 [--load heap|mapped]\n"
+               "                 [--load heap|mapped] [--codec raw|packed]\n"
                "  sqe_tool serve-sim [--workers N] [--capacity C] "
                "[--deadline-ms D]\n"
                "                     [--batch-every K] [--repeat R] "
                "[--shards S] [--prune]\n"
-               "  sqe_tool index shard-info <num_shards> [index.snap]\n");
+               "  sqe_tool index shard-info <num_shards> [index.snap]\n"
+               "  sqe_tool index stats [index.snap]\n");
   return 1;
 }
 
@@ -412,6 +537,7 @@ int main(int argc, char** argv) {
     bool with_prune = false;
     size_t shards = 1;
     BatchLoad load = BatchLoad::kDirect;
+    uint32_t index_version = io::kIndexSnapshotVersion;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--cache") == 0) {
         with_cache = true;
@@ -419,6 +545,19 @@ int main(int argc, char** argv) {
       }
       if (std::strcmp(argv[i], "--prune") == 0) {
         with_prune = true;
+        continue;
+      }
+      if (std::strcmp(argv[i], "--codec") == 0) {
+        const char* value = (i + 1 < argc) ? argv[i + 1] : "";
+        if (std::strcmp(value, "raw") == 0) {
+          index_version = io::kAlignedSnapshotVersion;
+        } else if (std::strcmp(value, "packed") == 0) {
+          index_version = io::kIndexSnapshotVersion;
+        } else {
+          std::fprintf(stderr, "error: --codec needs 'raw' or 'packed'\n");
+          return 1;
+        }
+        ++i;
         continue;
       }
       if (std::strcmp(argv[i], "--load") == 0) {
@@ -459,7 +598,8 @@ int main(int argc, char** argv) {
       }
       threads = static_cast<size_t>(parsed);
     }
-    return Batch(threads, with_cache, shards, with_prune, load);
+    return Batch(threads, with_cache, shards, with_prune, load,
+                 index_version);
   }
   if (command == "serve-sim") {
     size_t workers = 2;
@@ -531,6 +671,10 @@ int main(int argc, char** argv) {
     }
     return IndexShardInfo(static_cast<size_t>(parsed),
                           argc >= 5 ? argv[4] : nullptr);
+  }
+  if (command == "index" && argc >= 3 &&
+      std::strcmp(argv[2], "stats") == 0) {
+    return IndexStats(argc >= 4 ? argv[3] : nullptr);
   }
   if (argc < 3) return Usage();
   if (command == "gen-dump") return GenDump(argv[2]);
