@@ -12,6 +12,13 @@
 //                  completed/rejected/expired split and the completed-side
 //                  percentiles. Rejections must be ResourceExhausted and the
 //                  counters must sum back to submitted (exit 1 otherwise).
+//   4. hot swap  — the same front-end behind a SnapshotRegistry: reports the
+//                  Publish() latency (validate + engine build + swap) and
+//                  the completed-request p95 while three publishes land
+//                  mid-burst vs the registry-backed steady state. Responses
+//                  during the swap must all complete on a published epoch
+//                  and the superseded generations must retire (exit 1
+//                  otherwise).
 //
 // Emits BENCH_serving.json and the same figures on stdout.
 #include <algorithm>
@@ -21,7 +28,10 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "index/inverted_index.h"
+#include "kb/knowledge_base.h"
 #include "serving/frontend.h"
+#include "serving/snapshot_registry.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
 
@@ -150,6 +160,108 @@ int main() {
     }
   }
 
+  // ---- 4. hot swap: publishes landing mid-burst ----------------------------
+  const std::string kb_image = world.kb.SerializeToString();
+  const std::string index_image = dataset.index.SerializeToString();
+  auto make_parts = [&](uint64_t epoch) {
+    serving::SnapshotParts parts;
+    auto kb = kb::KnowledgeBase::FromSnapshotString(kb_image);
+    auto index = index::InvertedIndex::FromSnapshotString(index_image);
+    if (!kb.ok() || !index.ok()) {
+      std::fprintf(stderr, "snapshot round-trip failed\n");
+      std::exit(1);
+    }
+    parts.kb = std::make_unique<kb::KnowledgeBase>(std::move(kb).value());
+    parts.index =
+        std::make_unique<index::InvertedIndex>(std::move(index).value());
+    parts.engine_config = config;
+    // Perturb the smoothing per generation so each publish builds a
+    // genuinely distinct engine, as a re-ingest would.
+    parts.engine_config.retriever.mu =
+        dataset.retrieval_mu * (1.0 + 0.01 * static_cast<double>(epoch));
+    return parts;
+  };
+
+  const size_t kSwapPublishes = 3;
+  std::vector<double> publish_ms;
+  LatencyStat swap_steady;
+  LatencyStat during_swap;
+  serving::SnapshotRegistryStats registry_stats;
+  {
+    serving::SnapshotRegistryOptions registry_options;
+    registry_options.shared_cache.enabled = true;
+    serving::SnapshotRegistry registry(registry_options);
+    {
+      Timer timer;
+      if (!registry.Publish(make_parts(1)).ok()) {
+        std::fprintf(stderr, "initial publish failed\n");
+        return 1;
+      }
+      publish_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+    serving::ServingFrontendConfig frontend_config;
+    frontend_config.num_workers = 2;
+    frontend_config.queue_capacity = 2 * requests.size();
+    serving::ServingFrontend frontend(&registry, frontend_config);
+
+    // Registry-backed steady state: the lease acquire/release overhead.
+    frontend.Submit(requests[0])->Wait();  // warm-up
+    std::vector<double> steady_ms;
+    steady_ms.reserve(requests.size());
+    for (const serving::ServingRequest& r : requests) {
+      const serving::ServingResponse& response = frontend.Submit(r)->Wait();
+      if (!response.status.ok() || response.epoch != 1) {
+        std::fprintf(stderr, "steady-state request failed\n");
+        return 1;
+      }
+      steady_ms.push_back(response.total_ms);
+    }
+    swap_steady = Summarize(std::move(steady_ms));
+
+    // Open-loop burst with kSwapPublishes publishes landing mid-flight.
+    std::vector<std::shared_ptr<serving::ServingCall>> calls;
+    calls.reserve(requests.size());
+    const size_t chunk = requests.size() / (kSwapPublishes + 1);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (i > 0 && i % chunk == 0 &&
+          publish_ms.size() < kSwapPublishes + 1) {
+        Timer timer;
+        if (!registry.Publish(make_parts(publish_ms.size() + 1)).ok()) {
+          std::fprintf(stderr, "mid-burst publish failed\n");
+          return 1;
+        }
+        publish_ms.push_back(timer.ElapsedSeconds() * 1e3);
+      }
+      calls.push_back(frontend.Submit(requests[i]));
+    }
+    std::vector<double> swap_ms_samples;
+    swap_ms_samples.reserve(calls.size());
+    for (const auto& call : calls) {
+      const serving::ServingResponse& response = call->Wait();
+      if (!response.status.ok() || response.epoch < 1 ||
+          response.epoch > kSwapPublishes + 1) {
+        std::fprintf(stderr, "swap-burst request failed: %s\n",
+                     response.status.ToString().c_str());
+        return 1;
+      }
+      swap_ms_samples.push_back(response.total_ms);
+    }
+    frontend.Shutdown();
+    during_swap = Summarize(std::move(swap_ms_samples));
+    registry_stats = registry.Stats();
+    if (registry_stats.published != kSwapPublishes + 1 ||
+        registry_stats.live_epochs() != 1) {
+      std::fprintf(stderr,
+                   "registry lifecycle mismatch: published=%llu retired=%llu\n",
+                   static_cast<unsigned long long>(registry_stats.published),
+                   static_cast<unsigned long long>(registry_stats.retired));
+      return 1;
+    }
+  }
+  LatencyStat publish_stat = Summarize(publish_ms);
+  double publish_max_ms = 0.0;
+  for (double ms : publish_ms) publish_max_ms = std::max(publish_max_ms, ms);
+
   std::printf("serving_latency: %zu queries\n", kWorkload);
   std::printf("  bare      p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms\n",
               bare.p50_ms, bare.p95_ms, bare.p99_ms);
@@ -164,8 +276,15 @@ int main() {
               static_cast<unsigned long long>(overload_stats.expired),
               overload.p50_ms, overload.p95_ms);
   std::printf("  %s\n", overload_stats.ToString().c_str());
+  std::printf("  hot-swap  publish p50 %7.3f ms  max %7.3f ms  (%zu publishes)\n",
+              publish_stat.p50_ms, publish_max_ms, publish_ms.size());
+  std::printf("  hot-swap  steady p95 %7.3f ms  during-swap p95 %7.3f ms  "
+              "(published=%llu retired=%llu)\n",
+              swap_steady.p95_ms, during_swap.p95_ms,
+              static_cast<unsigned long long>(registry_stats.published),
+              static_cast<unsigned long long>(registry_stats.retired));
 
-  char json[1024];
+  char json[2048];
   std::snprintf(
       json, sizeof(json),
       "{\n  \"benchmark\": \"serving_latency\",\n"
@@ -175,14 +294,21 @@ int main() {
       "\"p99_ms\": %.4f},\n"
       "  \"overload\": {\"capacity\": %zu, \"submitted\": %llu, "
       "\"completed\": %llu, \"rejected\": %llu, \"expired\": %llu, "
-      "\"completed_p50_ms\": %.4f, \"completed_p95_ms\": %.4f}\n}\n",
+      "\"completed_p50_ms\": %.4f, \"completed_p95_ms\": %.4f},\n"
+      "  \"hot_swap\": {\"publishes\": %zu, \"publish_p50_ms\": %.4f, "
+      "\"publish_max_ms\": %.4f, \"steady_p95_ms\": %.4f, "
+      "\"during_swap_p95_ms\": %.4f, \"published\": %llu, "
+      "\"retired\": %llu}\n}\n",
       kWorkload, bare.p50_ms, bare.p95_ms, bare.p99_ms, closed.p50_ms,
       closed.p95_ms, closed.p99_ms, kCapacity,
       static_cast<unsigned long long>(overload_stats.submitted),
       static_cast<unsigned long long>(overload_stats.completed),
       static_cast<unsigned long long>(overload_stats.rejected()),
       static_cast<unsigned long long>(overload_stats.expired), overload.p50_ms,
-      overload.p95_ms);
+      overload.p95_ms, publish_ms.size(), publish_stat.p50_ms, publish_max_ms,
+      swap_steady.p95_ms, during_swap.p95_ms,
+      static_cast<unsigned long long>(registry_stats.published),
+      static_cast<unsigned long long>(registry_stats.retired));
 
   const char* out_path = "BENCH_serving.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {

@@ -26,6 +26,20 @@ namespace sqe {
 // around counter updates; never while executing a request.
 inline constexpr int kLockRankServingFrontend = 10;
 
+// SnapshotRegistry's publish serialization lock. Held for the whole
+// validate + engine-build + swap of one Publish call (publishing is rare and
+// must not block Acquire, which only takes the registry lock below). Taken
+// with nothing held, and its critical section acquires the registry lock,
+// so it sits between the front-end and the registry.
+inline constexpr int kLockRankSnapshotPublish = 12;
+
+// SnapshotRegistry's epoch pointer + counters. Acquire() may be called from
+// the front-end's Submit while the front-end lock is held, and Publish swaps
+// the pointer under the publish lock, so it ranks inside both. Swapping the
+// pointer can run the retiring snapshot's deleter inline, which takes the
+// retire-log lock — hence it must rank below that leaf.
+inline constexpr int kLockRankSnapshotRegistry = 15;
+
 // The bounded admission queue. Its PushIf predicate may read the injected
 // clock (FakeClock locks kLockRankFakeClock), so it must rank below it.
 inline constexpr int kLockRankBoundedQueue = 20;
@@ -45,6 +59,12 @@ inline constexpr int kLockRankServingCall = 50;
 inline constexpr int kLockRankLruCacheShard = 60;
 inline constexpr int kLockRankShardRouterStats = 70;
 inline constexpr int kLockRankWandStats = 72;
+
+// The registry's retirement log (retired-epoch counter). A snapshot's
+// deleter may fire while the registry lock (and transitively the publish
+// lock) is held — when Publish drops the last reference to the previous
+// epoch — so this is a near-leaf: its critical sections acquire nothing.
+inline constexpr int kLockRankRegistryRetire = 80;
 
 // Innermost leaf: FakeClock's time. Read under the bounded queue's
 // admission predicate and inside arbitrary test phase hooks; its own

@@ -22,11 +22,21 @@ double ToSeconds(Clock::Duration d) {
 
 ServingFrontend::ServingFrontend(const expansion::SqeEngine* engine,
                                  ServingFrontendConfig config)
+    : ServingFrontend(engine, nullptr, std::move(config)) {}
+
+ServingFrontend::ServingFrontend(const SnapshotRegistry* registry,
+                                 ServingFrontendConfig config)
+    : ServingFrontend(nullptr, registry, std::move(config)) {}
+
+ServingFrontend::ServingFrontend(const expansion::SqeEngine* engine,
+                                 const SnapshotRegistry* registry,
+                                 ServingFrontendConfig config)
     : engine_(engine),
+      registry_(registry),
       config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock : Clock::System()),
       queue_(std::max<size_t>(1, config_.queue_capacity), /*num_lanes=*/2) {
-  SQE_CHECK(engine != nullptr);
+  SQE_CHECK(engine != nullptr || registry != nullptr);
   SQE_CHECK_MSG(config_.num_workers >= 1,
                 "serving front-end needs at least one worker");
   if (config_.initial_service_estimate > Clock::Duration::zero()) {
@@ -47,7 +57,13 @@ void ServingFrontend::ResolveRejected(
   response.status = std::move(status);
   response.phase_reached = expansion::RunPhase::kPreAnalysis;
   response.total_ms = ToMillis(clock_->Now() - call->submit_time_);
+  if (call->snapshot_ != nullptr) {
+    response.epoch = call->snapshot_->epoch();
+  }
   call->Resolve(std::move(response));
+  // Unpin after resolution so a drained request cannot delay retirement of
+  // the epoch it was admitted under.
+  call->snapshot_.reset();
 }
 
 std::shared_ptr<ServingCall> ServingFrontend::Submit(ServingRequest request) {
@@ -60,6 +76,7 @@ std::shared_ptr<ServingCall> ServingFrontend::Submit(ServingRequest request) {
 
   double estimate_seconds;
   bool reject_shutdown = false;
+  bool reject_no_snapshot = false;
   {
     MutexLock lock(&mu_);
     ++counters_.submitted;
@@ -68,6 +85,16 @@ std::shared_ptr<ServingCall> ServingFrontend::Submit(ServingRequest request) {
       reject_shutdown = true;
       estimate_seconds = -1.0;  // unused
     } else {
+      if (registry_ != nullptr) {
+        // Pin the current epoch for this request's whole lifetime. Taken
+        // under mu_ so the admission decision and the pinned epoch are one
+        // atomic step (the registry lock ranks inside the front-end's).
+        call->snapshot_ = registry_->Acquire();
+        if (call->snapshot_ == nullptr) {
+          ++counters_.rejected_no_snapshot;
+          reject_no_snapshot = true;
+        }
+      }
       estimate_seconds = service_estimate_seconds_;
     }
   }
@@ -76,6 +103,11 @@ std::shared_ptr<ServingCall> ServingFrontend::Submit(ServingRequest request) {
     // may wake a waiter immediately.
     ResolveRejected(call, Status::FailedPrecondition(
                               "serving front-end is shutting down"));
+    return call;
+  }
+  if (reject_no_snapshot) {
+    ResolveRejected(call, Status::FailedPrecondition(
+                              "no snapshot published to the registry yet"));
     return call;
   }
   // A shutdown that begins after the check above closes the queue before
@@ -170,13 +202,21 @@ void ServingFrontend::Execute(const std::shared_ptr<ServingCall>& call,
     if (config_.phase_hook) config_.phase_hook(id, phase);
   };
 
-  Result<expansion::SqeRunResult> result = engine_->RunSqe(
+  // Registry mode: run against the epoch pinned at admission, not whatever
+  // is current now — a publish that landed while this request was queued
+  // must not change what it observes.
+  const expansion::SqeEngine* engine =
+      call->snapshot_ != nullptr ? &call->snapshot_->engine() : engine_;
+  Result<expansion::SqeRunResult> result = engine->RunSqe(
       req.text, req.query_nodes, req.motifs, req.k, control, scratch);
 
   const Clock::TimePoint end = clock_->Now();
   ServingResponse response;
   response.queue_ms = queue_ms;
   response.total_ms = ToMillis(end - call->submit_time_);
+  if (call->snapshot_ != nullptr) {
+    response.epoch = call->snapshot_->epoch();
+  }
   if (result.ok()) {
     response.status = Status::OK();
     response.result = std::move(result).value();
@@ -210,6 +250,10 @@ void ServingFrontend::Execute(const std::shared_ptr<ServingCall>& call,
   // Stats first, Resolve second: a submitter woken by Wait() observes the
   // counters already updated for its own request.
   call->Resolve(std::move(response));
+  // Unpin the epoch only after the response (all value types, nothing
+  // borrowed from the snapshot) is sealed into the call. If this was the
+  // epoch's last lease, retirement runs right here on the worker thread.
+  call->snapshot_.reset();
 }
 
 void ServingFrontend::Shutdown() {

@@ -11,8 +11,9 @@
 //
 // Admission control, evaluated atomically with the push:
 //   1. shutting down                       -> FailedPrecondition
-//   2. queue full (depth == capacity)      -> ResourceExhausted
-//   3. estimated wait exceeds the deadline -> ResourceExhausted, where
+//   2. registry mode, nothing published    -> FailedPrecondition
+//   3. queue full (depth == capacity)      -> ResourceExhausted
+//   4. estimated wait exceeds the deadline -> ResourceExhausted, where
 //      estimated_wait = service_estimate * ceil(depth / num_workers)
 //      with service_estimate an EMA of measured service times seeded by
 //      config.initial_service_estimate (0 disables the test until the
@@ -42,6 +43,7 @@
 #include "common/thread_annotations.h"
 #include "retrieval/retriever.h"
 #include "serving/request.h"
+#include "serving/snapshot_registry.h"
 #include "serving/stats.h"
 #include "sqe/sqe_engine.h"
 
@@ -74,6 +76,15 @@ class ServingFrontend {
   /// `engine` must outlive the front-end. Workers start immediately.
   ServingFrontend(const expansion::SqeEngine* engine,
                   ServingFrontendConfig config = {});
+  /// Registry-backed mode: every request pins the registry's current
+  /// snapshot at admission and executes against that epoch's engine, so
+  /// Publish() can land new generations mid-flight without a response ever
+  /// mixing epochs. Requests submitted before the first publish are
+  /// rejected (FailedPrecondition, counted in rejected_no_snapshot).
+  /// `registry` must outlive the front-end; destroy the front-end (or call
+  /// Shutdown()) before the registry so workers drop their leases first.
+  ServingFrontend(const SnapshotRegistry* registry,
+                  ServingFrontendConfig config = {});
   /// Implies Shutdown().
   ~ServingFrontend();
   SQE_DISALLOW_COPY_AND_ASSIGN(ServingFrontend);
@@ -97,6 +108,10 @@ class ServingFrontend {
   size_t queue_capacity() const { return queue_.capacity(); }
 
  private:
+  ServingFrontend(const expansion::SqeEngine* engine,
+                  const SnapshotRegistry* registry,
+                  ServingFrontendConfig config);
+
   void WorkerLoop();
   void Execute(const std::shared_ptr<ServingCall>& call,
                retrieval::RetrieverScratch* scratch) SQE_EXCLUDES(mu_);
@@ -104,7 +119,10 @@ class ServingFrontend {
   void ResolveRejected(const std::shared_ptr<ServingCall>& call,
                        Status status) const;
 
+  // Exactly one of the two is set: a fixed engine, or a registry whose
+  // current snapshot is pinned per request.
   const expansion::SqeEngine* engine_;
+  const SnapshotRegistry* registry_;
   ServingFrontendConfig config_;
   const Clock* clock_;
   BoundedLaneQueue<std::shared_ptr<ServingCall>> queue_;

@@ -32,6 +32,8 @@
 
 namespace sqe::serving {
 
+class Snapshot;  // serving/snapshot_registry.h
+
 /// Two lanes: interactive requests are always dequeued before batch ones
 /// (FIFO within a lane). Queue capacity is shared.
 enum class RequestPriority : int {
@@ -60,6 +62,10 @@ struct ServingResponse {
   double queue_ms = 0.0;
   /// Admission → resolution, per the front-end's clock.
   double total_ms = 0.0;
+  /// The snapshot epoch this request was pinned to at admission (and served
+  /// from, when it executed). 0 on an engine-backed front-end with no
+  /// registry, and for registry-backed rejections that never held a lease.
+  uint64_t epoch = 0;
 };
 
 /// One-shot future for a submitted request. Created and resolved only by
@@ -116,6 +122,12 @@ class ServingCall {
   const ServingRequest request_;
   const Clock::TimePoint submit_time_;
   std::atomic<bool> cancel_flag_{false};
+  /// The epoch lease pinned at admission on a registry-backed front-end
+  /// (null otherwise). Written by Submit before the call is shared, read
+  /// and released by exactly one resolver (the queue hand-off orders both),
+  /// so it needs no lock. Released at resolution — not destruction — so a
+  /// submitter sitting on a resolved call cannot delay epoch retirement.
+  std::shared_ptr<const Snapshot> snapshot_;
 
   mutable Mutex mu_{"serving.call", kLockRankServingCall};
   CondVar cv_;

@@ -1,0 +1,139 @@
+#include "serving/snapshot_registry.h"
+
+#include <string>
+#include <utility>
+
+namespace sqe::serving {
+
+Snapshot::Snapshot(uint64_t epoch, SnapshotParts parts,
+                   std::shared_ptr<expansion::SqeCache> shared_cache)
+    : epoch_(epoch),
+      parts_(std::move(parts)),
+      shared_cache_(std::move(shared_cache)) {
+  if (parts_.analyzer == nullptr) {
+    parts_.analyzer = std::make_unique<text::Analyzer>();
+  }
+  expansion::SqeEngineConfig config = parts_.engine_config;
+  config.shared_cache = shared_cache_.get();
+  config.cache_epoch = epoch_;
+  engine_ = std::make_unique<expansion::SqeEngine>(
+      parts_.kb.get(), parts_.index.get(), parts_.linker.get(),
+      parts_.analyzer.get(), config);
+}
+
+SnapshotRegistry::SnapshotRegistry(SnapshotRegistryOptions options)
+    : options_(std::move(options)),
+      retire_log_(std::make_shared<RetireLog>()) {
+  if (options_.shared_cache.enabled) {
+    shared_cache_ =
+        std::make_shared<expansion::SqeCache>(options_.shared_cache);
+  }
+}
+
+Result<uint64_t> SnapshotRegistry::Publish(SnapshotParts parts) {
+  if (parts.kb == nullptr || parts.index == nullptr) {
+    return Status::InvalidArgument("snapshot publish requires a KB and index");
+  }
+  MutexLock publish_lock(&publish_mu_);
+  if (options_.validate_on_publish) {
+    Status st = parts.kb->Validate();
+    if (st.ok()) st = parts.index->Validate();
+    if (!st.ok()) {
+      MutexLock lock(&mu_);
+      ++validation_failures_;
+      return st;
+    }
+  }
+  const uint64_t epoch = next_epoch_++;
+  // Engine construction (shard manifest, pruning setup) happens here, with
+  // only the publish lock held: in-flight readers never wait on it.
+  std::shared_ptr<const Snapshot> snapshot(
+      new Snapshot(epoch, std::move(parts), shared_cache_),
+      // Deferred retirement: runs wherever the last lease drops — a worker
+      // finishing the final pinned request, or right below when no lease is
+      // out. Free first, count second, so an observed `retired` count
+      // proves the generation's memory is already released.
+      [log = retire_log_](const Snapshot* s) {
+        delete s;
+        MutexLock lock(&log->mu);
+        ++log->retired;
+      });
+  {
+    MutexLock lock(&mu_);
+    ++published_;
+    // May run the previous generation's deleter inline if no lease pins
+    // it; the retire log ranks above us so that nesting is legal.
+    current_ = std::move(snapshot);
+  }
+  return epoch;
+}
+
+SnapshotLease SnapshotRegistry::Acquire() const {
+  MutexLock lock(&mu_);
+  ++acquires_;
+  return current_;
+}
+
+SnapshotRegistryStats SnapshotRegistry::Stats() const {
+  SnapshotRegistryStats stats;
+  {
+    MutexLock lock(&mu_);
+    stats.published = published_;
+    stats.validation_failures = validation_failures_;
+    stats.acquires = acquires_;
+    stats.current_epoch = current_ != nullptr ? current_->epoch() : 0;
+  }
+  {
+    MutexLock lock(&retire_log_->mu);
+    stats.retired = retire_log_->retired;
+  }
+  return stats;
+}
+
+SnapshotLoader::~SnapshotLoader() {
+  if (worker_.joinable()) worker_.join();
+}
+
+Result<uint64_t> SnapshotLoader::LoadAndPublish(const Job& job) {
+  Result<kb::KnowledgeBase> kb =
+      kb::KnowledgeBase::FromSnapshotFile(job.kb_path, job.load_mode);
+  if (!kb.ok()) return std::move(kb).status();
+  Result<index::InvertedIndex> index =
+      index::InvertedIndex::FromSnapshotFile(job.index_path, job.load_mode);
+  if (!index.ok()) return std::move(index).status();
+
+  SnapshotParts parts;
+  parts.kb = std::make_unique<kb::KnowledgeBase>(std::move(kb).value());
+  parts.index =
+      std::make_unique<index::InvertedIndex>(std::move(index).value());
+  parts.analyzer = std::make_unique<text::Analyzer>();
+  if (job.build_linker) {
+    parts.surface_forms = std::make_unique<entity::SurfaceFormDictionary>(
+        entity::SurfaceFormDictionary::FromKbTitles(*parts.kb,
+                                                    *parts.analyzer));
+    parts.linker = std::make_unique<entity::EntityLinker>(
+        parts.surface_forms.get(), parts.analyzer.get());
+  }
+  parts.engine_config = job.engine_config;
+  return registry_->Publish(std::move(parts));
+}
+
+void SnapshotLoader::Start(Job job) {
+  SQE_CHECK_MSG(!worker_.joinable(),
+                "SnapshotLoader already has a job in flight");
+  result_.reset();
+  worker_ = std::thread(
+      [this, job = std::move(job)] { result_.emplace(LoadAndPublish(job)); });
+}
+
+Result<uint64_t> SnapshotLoader::Wait() {
+  SQE_CHECK_MSG(worker_.joinable(), "SnapshotLoader::Wait without a job");
+  worker_.join();
+  worker_ = std::thread();
+  SQE_CHECK(result_.has_value());
+  Result<uint64_t> outcome = std::move(*result_);
+  result_.reset();
+  return outcome;
+}
+
+}  // namespace sqe::serving

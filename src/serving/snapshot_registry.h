@@ -1,0 +1,227 @@
+// SnapshotRegistry: RCU/epoch-based hot-swap of the serving data plane.
+//
+// A production service re-ingests Wikipedia dumps while serving traffic;
+// everything below the front-end assumes an immutable KB + index. The
+// registry reconciles the two with classic read-copy-update epochs:
+//
+//   * A Snapshot is one immutable serving generation — KB, index, linking
+//     machinery, and the SqeEngine built over them (which carries the shard
+//     manifest and derived caches). Nothing in a published Snapshot ever
+//     mutates.
+//   * Publish() validates the parts (reusing the snapshot Validate()
+//     machinery), builds the engine, and atomically swaps the "current"
+//     pointer. Publishing never blocks readers: the expensive work happens
+//     under a dedicated publish lock that Acquire() does not take.
+//   * Acquire() hands out a SnapshotLease — a shared_ptr that pins the
+//     epoch for as long as the caller holds it. ServingFrontend acquires
+//     one lease per request at admission and drops it at resolution, so a
+//     request observes exactly one epoch for its whole lifetime no matter
+//     how many publishes land while it is queued or executing.
+//   * Retirement is deferred and automatic: when the last lease on an old
+//     epoch drains, the shared_ptr deleter frees the whole generation and
+//     bumps the retired counter. With the front-end's accounting identity
+//     (submitted == resolved once drained), `published - retired` is
+//     exactly the number of epochs still referenced — the PR 5 identity
+//     extended across swaps.
+//
+// Cross-epoch cache story: the registry can own one shared SqeCache that
+// every epoch's engine borrows. Cache keys carry the epoch (see
+// sqe/sqe_cache.h), so entries from a retired epoch are simply never looked
+// up again and die by LRU eviction — no flush, no invalidation pass.
+#ifndef SQE_SERVING_SNAPSHOT_REGISTRY_H_
+#define SQE_SERVING_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/lock_ranks.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "entity/entity_linker.h"
+#include "entity/surface_forms.h"
+#include "index/inverted_index.h"
+#include "io/file.h"
+#include "kb/knowledge_base.h"
+#include "sqe/sqe_cache.h"
+#include "sqe/sqe_engine.h"
+#include "text/analyzer.h"
+
+namespace sqe::serving {
+
+/// The ingredients of one serving generation, transferred into the
+/// registry by Publish(). `kb` and `index` are required; `analyzer` is
+/// default-constructed when null; `surface_forms`/`linker` are optional
+/// (manual entity selection only when absent). A supplied linker must point
+/// at the supplied kb/analyzer/surface_forms — the Snapshot keeps them all
+/// alive together.
+struct SnapshotParts {
+  std::unique_ptr<kb::KnowledgeBase> kb;
+  std::unique_ptr<index::InvertedIndex> index;
+  std::unique_ptr<text::Analyzer> analyzer;
+  std::unique_ptr<entity::SurfaceFormDictionary> surface_forms;
+  std::unique_ptr<entity::EntityLinker> linker;
+  /// Engine knobs for this generation (retriever smoothing, sharding,
+  /// pruning, private cache). `shared_cache`/`cache_epoch` are overwritten
+  /// by the registry; set the registry-level shared cache instead.
+  expansion::SqeEngineConfig engine_config;
+};
+
+/// One immutable serving generation. Published exactly once, then shared
+/// read-only via SnapshotLease until the last lease drops.
+class Snapshot {
+ public:
+  SQE_DISALLOW_COPY_AND_ASSIGN(Snapshot);
+
+  /// Monotone generation number, 1-based in publish order.
+  uint64_t epoch() const { return epoch_; }
+  const expansion::SqeEngine& engine() const { return *engine_; }
+  const kb::KnowledgeBase& kb() const { return *parts_.kb; }
+  const index::InvertedIndex& index() const { return *parts_.index; }
+  /// Null when the generation was published without a linker.
+  const entity::EntityLinker* linker() const { return parts_.linker.get(); }
+  size_t num_shards() const { return engine_->num_shards(); }
+
+ private:
+  friend class SnapshotRegistry;
+
+  Snapshot(uint64_t epoch, SnapshotParts parts,
+           std::shared_ptr<expansion::SqeCache> shared_cache);
+
+  const uint64_t epoch_;
+  SnapshotParts parts_;
+  // Keeps the registry's shared cache alive even if a lease outlives the
+  // registry itself; null when the registry has no shared cache.
+  std::shared_ptr<expansion::SqeCache> shared_cache_;
+  std::unique_ptr<expansion::SqeEngine> engine_;
+};
+
+/// A pinned epoch. Holding one guarantees the Snapshot (KB, index, engine,
+/// cache) stays alive; dropping the last one retires the generation.
+using SnapshotLease = std::shared_ptr<const Snapshot>;
+
+struct SnapshotRegistryOptions {
+  /// Run kb->Validate() + index->Validate() before accepting a publish.
+  /// The registry is the last line of defense between a corrupt re-ingest
+  /// and live traffic, so this defaults on; loaders that already validated
+  /// (FromSnapshotFile does) may turn it off to skip the second pass.
+  bool validate_on_publish = true;
+  /// When `enabled`, the registry owns one epoch-keyed SqeCache shared by
+  /// every generation's engine (see file comment). Otherwise each
+  /// generation uses whatever its own engine_config.cache says.
+  expansion::SqeCacheOptions shared_cache;
+};
+
+/// Counter snapshot of the registry's lifecycle telemetry.
+struct SnapshotRegistryStats {
+  uint64_t published = 0;
+  uint64_t retired = 0;
+  uint64_t validation_failures = 0;
+  uint64_t acquires = 0;
+  /// Epoch of the current generation; 0 before the first publish.
+  uint64_t current_epoch = 0;
+  /// Generations still pinned by at least one lease (or current).
+  uint64_t live_epochs() const { return published - retired; }
+};
+
+class SnapshotRegistry {
+ public:
+  explicit SnapshotRegistry(SnapshotRegistryOptions options = {});
+  SQE_DISALLOW_COPY_AND_ASSIGN(SnapshotRegistry);
+
+  /// Validates (unless configured off), builds the generation's engine,
+  /// and atomically makes it current. Returns the new epoch. In-flight
+  /// leases on older epochs are untouched; the previous generation retires
+  /// when its last lease drops (possibly inside this call, when no lease
+  /// is out). Concurrent publishes serialize; Acquire() never waits on a
+  /// publish's validation or engine build.
+  Result<uint64_t> Publish(SnapshotParts parts) SQE_EXCLUDES(publish_mu_);
+
+  /// Pins and returns the current generation; null before the first
+  /// publish. Wait-free apart from one leaf lock. Safe to call while
+  /// holding the serving front-end's lock (the ranks encode this).
+  SnapshotLease Acquire() const SQE_EXCLUDES(mu_);
+
+  SnapshotRegistryStats Stats() const SQE_EXCLUDES(mu_);
+
+  /// The shared epoch-keyed cache, or null when not configured. Stats-only
+  /// surface for tools and benches.
+  const expansion::SqeCache* shared_cache() const {
+    return shared_cache_.get();
+  }
+
+ private:
+  // Retirement accounting shared with every published Snapshot's deleter,
+  // so it survives the registry if leases outlive it.
+  struct RetireLog {
+    mutable Mutex mu{"serving.registry.retire", kLockRankRegistryRetire};
+    uint64_t retired SQE_GUARDED_BY(mu) = 0;
+  };
+
+  SnapshotRegistryOptions options_;
+  std::shared_ptr<expansion::SqeCache> shared_cache_;  // null when disabled
+  std::shared_ptr<RetireLog> retire_log_;
+
+  // Serializes publishes; held across validate + engine build + swap so
+  // epochs become current in strictly increasing order.
+  mutable Mutex publish_mu_{"serving.registry.publish",
+                            kLockRankSnapshotPublish};
+  uint64_t next_epoch_ SQE_GUARDED_BY(publish_mu_) = 1;
+
+  // Guards the current pointer and counters — the only lock Acquire takes.
+  mutable Mutex mu_{"serving.registry", kLockRankSnapshotRegistry};
+  SnapshotLease current_ SQE_GUARDED_BY(mu_);
+  uint64_t published_ SQE_GUARDED_BY(mu_) = 0;
+  uint64_t validation_failures_ SQE_GUARDED_BY(mu_) = 0;
+  mutable uint64_t acquires_ SQE_GUARDED_BY(mu_) = 0;
+};
+
+/// Background snapshot ingestion: loads KB + index snapshot files (any
+/// container version v1–v4, either LoadMode), optionally rebuilds the
+/// entity-linking stack from the loaded KB's titles, and publishes the
+/// result. One job at a time; the load and publish run on a background
+/// thread so the serving path never blocks on dump-sized I/O.
+class SnapshotLoader {
+ public:
+  struct Job {
+    std::string kb_path;
+    std::string index_path;
+    io::LoadMode load_mode = io::LoadMode::kHeap;
+    /// Mine surface forms from the loaded KB's titles and build a linker
+    /// (the synthetic datasets' linking setup, minus alias noise).
+    bool build_linker = false;
+    expansion::SqeEngineConfig engine_config;
+  };
+
+  /// `registry` must outlive the loader.
+  explicit SnapshotLoader(SnapshotRegistry* registry) : registry_(registry) {
+    SQE_CHECK(registry != nullptr);
+  }
+  /// Joins an unfinished background job (discarding its outcome).
+  ~SnapshotLoader();
+  SQE_DISALLOW_COPY_AND_ASSIGN(SnapshotLoader);
+
+  /// Synchronous load + publish on the calling thread.
+  Result<uint64_t> LoadAndPublish(const Job& job);
+
+  /// Starts the job on a background thread. At most one in flight; call
+  /// Wait() before starting the next.
+  void Start(Job job);
+  /// Joins the background job and returns its outcome (the thread join is
+  /// the synchronization — no lock needed on the result slot).
+  Result<uint64_t> Wait();
+
+ private:
+  SnapshotRegistry* registry_;
+  std::thread worker_;
+  std::optional<Result<uint64_t>> result_;
+};
+
+}  // namespace sqe::serving
+
+#endif  // SQE_SERVING_SNAPSHOT_REGISTRY_H_

@@ -10,7 +10,8 @@ std::string ServingStats::ToString() const {
   std::snprintf(
       buf, sizeof(buf),
       "serving: submitted=%llu admitted=%llu completed=%llu expired=%llu "
-      "cancelled=%llu rejected=%llu (full=%llu wait=%llu shutdown=%llu) "
+      "cancelled=%llu rejected=%llu (full=%llu wait=%llu shutdown=%llu "
+      "nosnap=%llu) "
       "queue depth=%llu peak=%llu avg queue %.3f ms avg service %.3f ms",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(admitted),
@@ -21,6 +22,7 @@ std::string ServingStats::ToString() const {
       static_cast<unsigned long long>(rejected_queue_full),
       static_cast<unsigned long long>(rejected_estimated_wait),
       static_cast<unsigned long long>(rejected_shutdown),
+      static_cast<unsigned long long>(rejected_no_snapshot),
       static_cast<unsigned long long>(queue_depth),
       static_cast<unsigned long long>(peak_queue_depth),
       dequeued > 0 ? total_queue_ms / static_cast<double>(dequeued) : 0.0,

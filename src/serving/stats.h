@@ -24,6 +24,8 @@ struct ServingStats {
   uint64_t rejected_queue_full = 0;      // ResourceExhausted
   uint64_t rejected_estimated_wait = 0;  // ResourceExhausted
   uint64_t rejected_shutdown = 0;        // FailedPrecondition
+  /// Registry-backed front-end with no snapshot published yet.
+  uint64_t rejected_no_snapshot = 0;     // FailedPrecondition
 
   uint64_t queue_depth = 0;       // at snapshot time
   uint64_t peak_queue_depth = 0;  // monotone high-water mark
@@ -33,7 +35,8 @@ struct ServingStats {
   double total_service_ms = 0.0;  // over executed requests
 
   uint64_t rejected() const {
-    return rejected_queue_full + rejected_estimated_wait + rejected_shutdown;
+    return rejected_queue_full + rejected_estimated_wait + rejected_shutdown +
+           rejected_no_snapshot;
   }
   uint64_t resolved() const {
     return completed + expired + cancelled + rejected();

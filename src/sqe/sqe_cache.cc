@@ -81,12 +81,13 @@ SqeCache::SqeCache(const SqeCacheOptions& options)
     : graphs_(GraphCacheOptions(options)), runs_(RunCacheOptions(options)) {}
 
 std::string SqeCache::GraphKey(std::span<const kb::ArticleId> query_nodes,
-                               const MotifConfig& motifs) {
+                               const MotifConfig& motifs, uint64_t epoch) {
   std::vector<kb::ArticleId> sorted(query_nodes.begin(), query_nodes.end());
   std::sort(sorted.begin(), sorted.end());
   std::string key;
-  key.reserve(2 + sorted.size() * sizeof(kb::ArticleId));
+  key.reserve(2 + sizeof(epoch) + sorted.size() * sizeof(kb::ArticleId));
   key.push_back('G');
+  AppendU64(&key, epoch);
   key.push_back(static_cast<char>((motifs.use_triangular ? 1 : 0) |
                                   (motifs.use_square ? 2 : 0)));
   for (kb::ArticleId a : sorted) AppendU32(&key, a);
@@ -96,9 +97,13 @@ std::string SqeCache::GraphKey(std::span<const kb::ArticleId> query_nodes,
 std::string SqeCache::RunKey(std::span<const std::string> analyzed_terms,
                              const std::string& graph_key,
                              std::span<const kb::ArticleId> query_nodes,
-                             size_t k, uint64_t options_digest) {
+                             size_t k, uint64_t options_digest,
+                             uint64_t epoch) {
   std::string key;
   key.push_back('R');
+  // The epoch is already inside graph_key; repeating it here keeps the run
+  // key self-describing even if a caller ever mixes keys across caches.
+  AppendU64(&key, epoch);
   AppendU64(&key, static_cast<uint64_t>(k));
   AppendU64(&key, options_digest);
   key += graph_key;

@@ -1,11 +1,20 @@
 // SqeCache: query-graph and query-result caching for SqeEngine.
 //
-// The KB and index are immutable after load, so both levels of the paper's
-// pipeline are pure functions and never need invalidation:
+// The KB and index are immutable *within a snapshot epoch*, so both levels
+// of the paper's pipeline are pure functions of their key and never need
+// invalidation:
 //
-//   graph cache   (sorted query_nodes, MotifConfig)  -> expansion subgraph
-//   result cache  (analyzed query terms, graph key, query-node order, k,
-//                  engine-options digest)            -> built query + top-k
+//   graph cache   (epoch, sorted query_nodes, MotifConfig) -> expansion
+//                                                             subgraph
+//   result cache  (epoch, analyzed query terms, graph key, query-node
+//                  order, k, engine-options digest) -> built query + top-k
+//
+// The epoch component is how hot-swap (serving::SnapshotRegistry) reuses one
+// shared cache across snapshot generations: a new epoch's keys never collide
+// with an old epoch's, so stale graph/result entries are simply never looked
+// up again and die by LRU eviction — no flush, no invalidation pass, no
+// coordination with in-flight readers of the old epoch. Engines that own a
+// private cache use epoch 0 throughout; nothing changes for them.
 //
 // The graph key sorts the query nodes because motif aggregation is
 // order-independent — only the `query_nodes` field of QueryGraph reflects
@@ -79,12 +88,17 @@ class SqeCache {
 
   // ---- keys -----------------------------------------------------------------
 
+  /// `epoch` is the snapshot generation the keyed data was derived from
+  /// (0 for engines whose KB/index never change). It prefixes both keys, so
+  /// entries from different epochs can share one cache without ever serving
+  /// each other's lookups.
   static std::string GraphKey(std::span<const kb::ArticleId> query_nodes,
-                              const MotifConfig& motifs);
+                              const MotifConfig& motifs, uint64_t epoch);
   static std::string RunKey(std::span<const std::string> analyzed_terms,
                             const std::string& graph_key,
                             std::span<const kb::ArticleId> query_nodes,
-                            size_t k, uint64_t options_digest);
+                            size_t k, uint64_t options_digest,
+                            uint64_t epoch);
   /// Digest of everything outside the per-call arguments that shapes a
   /// result: query-builder weights/limits and retriever smoothing.
   static uint64_t OptionsDigest(const QueryBuilderOptions& builder,

@@ -20,8 +20,13 @@ SqeEngine::SqeEngine(const kb::KnowledgeBase* kb,
   if (config_.pruning.enabled) {
     wand_ = std::make_unique<retrieval::WandRetriever>(&retriever_);
   }
-  if (config_.cache.enabled) {
-    cache_ = std::make_unique<SqeCache>(config_.cache);
+  if (config_.shared_cache != nullptr) {
+    cache_ = config_.shared_cache;
+  } else if (config_.cache.enabled) {
+    owned_cache_ = std::make_unique<SqeCache>(config_.cache);
+    cache_ = owned_cache_.get();
+  }
+  if (cache_ != nullptr) {
     // Deliberately NOT part of the digest: pruning is bit-identical to
     // exhaustive scoring, so pruned and unpruned engines may share entries.
     cache_options_digest_ =
@@ -63,7 +68,8 @@ SqeEngine::PreparedRun SqeEngine::PrepareRun(
   // motif traversal; either way the caller's node order is re-attached so
   // the assembled QueryGraph matches the uncached build exactly.
   Timer graph_timer;
-  const std::string graph_key = SqeCache::GraphKey(query_nodes, motifs);
+  const std::string graph_key =
+      SqeCache::GraphKey(query_nodes, motifs, config_.cache_epoch);
   std::shared_ptr<const SqeCache::GraphEntry> graph_entry =
       cache_->LookupGraph(graph_key);
   if (graph_entry == nullptr) {
@@ -81,7 +87,7 @@ SqeEngine::PreparedRun SqeEngine::PrepareRun(
   // entry (sharded or not) — and skips query building and retrieval.
   prep.run_key =
       SqeCache::RunKey(analyzer_->Analyze(user_query), graph_key, query_nodes,
-                       k, cache_options_digest_);
+                       k, cache_options_digest_, config_.cache_epoch);
   if (std::shared_ptr<const SqeCache::RunEntry> run =
           cache_->LookupRun(prep.run_key)) {
     out->query = run->query;

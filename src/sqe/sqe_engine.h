@@ -89,6 +89,16 @@ struct SqeEngineConfig {
   /// Opt-in intra-query sharded scoring. Composes with the cache: entries
   /// written by a sharded engine are byte-identical to unsharded ones.
   ShardingOptions sharding;
+  /// Borrowed, internally-synchronized cache shared across engines — how the
+  /// snapshot registry keeps one warm cache alive across epochs. Must
+  /// outlive the engine. When set it wins over `cache` (the engine owns
+  /// nothing) and `cache_epoch` MUST differ between engines built over
+  /// different KB/index snapshots: the epoch prefixes every key, which is
+  /// the entire cross-epoch isolation story.
+  SqeCache* shared_cache = nullptr;
+  /// Epoch component mixed into every cache key (owned or shared cache
+  /// alike). 0 for engines whose KB/index never change.
+  uint64_t cache_epoch = 0;
 };
 
 /// One query of a batch run: the raw text plus its (manually selected or
@@ -266,8 +276,11 @@ class SqeEngine {
   // synchronized); null when config_.pruning.enabled is false.
   std::unique_ptr<retrieval::WandRetriever> wand_;
   // Internally synchronized (sharded mutexes), so const engine methods may
-  // use it concurrently; null when config_.cache.enabled is false.
-  std::unique_ptr<SqeCache> cache_;
+  // use it concurrently. Owned when config_.cache.enabled and no shared
+  // cache was supplied; otherwise owned_cache_ stays null and cache_ borrows
+  // config_.shared_cache. Null cache_ means caching is off.
+  std::unique_ptr<SqeCache> owned_cache_;
+  SqeCache* cache_ = nullptr;
   uint64_t cache_options_digest_ = 0;
   // Immutable after construction (stats counters are internally
   // synchronized); null when config_.sharding.num_shards <= 1.

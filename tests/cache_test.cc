@@ -151,14 +151,31 @@ TEST(ShardedLruCacheTest, ConcurrentMixedWorkloadIsRaceFree) {
 TEST(SqeCacheKeyTest, GraphKeyIsOrderInvariant) {
   std::vector<kb::ArticleId> ab = {1, 2}, ba = {2, 1}, abc = {1, 2, 3};
   const auto both = expansion::MotifConfig::Both();
-  EXPECT_EQ(expansion::SqeCache::GraphKey(ab, both),
-            expansion::SqeCache::GraphKey(ba, both));
-  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both),
-            expansion::SqeCache::GraphKey(abc, both));
-  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both),
-            expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Triangular()));
-  EXPECT_NE(expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Square()),
-            expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Triangular()));
+  EXPECT_EQ(expansion::SqeCache::GraphKey(ab, both, 0),
+            expansion::SqeCache::GraphKey(ba, both, 0));
+  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both, 0),
+            expansion::SqeCache::GraphKey(abc, both, 0));
+  EXPECT_NE(
+      expansion::SqeCache::GraphKey(ab, both, 0),
+      expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Triangular(),
+                                    0));
+  EXPECT_NE(
+      expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Square(), 0),
+      expansion::SqeCache::GraphKey(ab, expansion::MotifConfig::Triangular(),
+                                    0));
+}
+
+TEST(SqeCacheKeyTest, GraphKeySeparatesEpochs) {
+  std::vector<kb::ArticleId> ab = {1, 2};
+  const auto both = expansion::MotifConfig::Both();
+  EXPECT_EQ(expansion::SqeCache::GraphKey(ab, both, 1),
+            expansion::SqeCache::GraphKey(ab, both, 1));
+  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both, 1),
+            expansion::SqeCache::GraphKey(ab, both, 2));
+  // The epoch is fixed-width binary, so adjacent epochs can never alias a
+  // node-list byte pattern the way a textual prefix could.
+  EXPECT_NE(expansion::SqeCache::GraphKey(ab, both, 0x0102030405060708ull),
+            expansion::SqeCache::GraphKey(ab, both, 0x0102030405060709ull));
 }
 
 TEST(SqeCacheKeyTest, RunKeySeparatesEveryComponent) {
@@ -167,13 +184,16 @@ TEST(SqeCacheKeyTest, RunKeySeparatesEveryComponent) {
   std::vector<std::string> other_terms = {"cabl"};
   std::vector<kb::ArticleId> ab = {1, 2}, ba = {2, 1};
   const std::string graph_key =
-      SqeCache::GraphKey(ab, expansion::MotifConfig::Both());
-  const std::string base = SqeCache::RunKey(terms, graph_key, ab, 100, 7);
-  EXPECT_EQ(SqeCache::RunKey(terms, graph_key, ab, 100, 7), base);
-  EXPECT_NE(SqeCache::RunKey(other_terms, graph_key, ab, 100, 7), base);
-  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ba, 100, 7), base);  // order!
-  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 50, 7), base);
-  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 100, 8), base);
+      SqeCache::GraphKey(ab, expansion::MotifConfig::Both(), 0);
+  const std::string base = SqeCache::RunKey(terms, graph_key, ab, 100, 7, 0);
+  EXPECT_EQ(SqeCache::RunKey(terms, graph_key, ab, 100, 7, 0), base);
+  EXPECT_NE(SqeCache::RunKey(other_terms, graph_key, ab, 100, 7, 0), base);
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ba, 100, 7, 0), base);  // order!
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 50, 7, 0), base);
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 100, 8, 0), base);
+  // Epoch separation holds even when the caller (incorrectly) reuses a
+  // stale graph key: the run key repeats the epoch itself.
+  EXPECT_NE(SqeCache::RunKey(terms, graph_key, ab, 100, 7, 1), base);
 }
 
 // ---- engine determinism -----------------------------------------------------
@@ -338,6 +358,94 @@ TEST(SqeEngineCacheTest, GraphCacheSharedAcrossNodeOrderings) {
   expansion::SqeRunResult rev = f.cached.RunSqe(text, reversed, motifs, 100);
   ExpectIdenticalRun(fwd, fwd_want, 0);
   ExpectIdenticalRun(rev, rev_want, 1);
+}
+
+// ---- one shared cache across snapshot epochs --------------------------------
+
+// Two engines with different configurations (distinct retriever smoothing,
+// standing in for two ingested snapshot generations) borrow ONE cache under
+// different epochs. Entries written by epoch 1 must never be served to
+// epoch 2 — the first epoch-2 run is a full miss even though epoch 1 just
+// cached the identical query — while within each epoch the warm hit is
+// bit-identical to that epoch's own uncached reference.
+TEST(SqeEngineCacheTest, SharedCacheNeverServesAcrossEpochs) {
+  CacheEngineFixture& f = SharedFixture();
+  const auto batch = f.MakeBatch();
+  ASSERT_GE(batch.size(), 2u);
+
+  expansion::SqeCache shared(expansion::SqeCacheOptions{});
+  auto epoch_config = [&](uint64_t epoch) {
+    expansion::SqeEngineConfig config;
+    // Epoch 2 sees a different smoothing: if it ever served an epoch-1
+    // entry, the score bits would not survive the oracle comparison below.
+    config.retriever.mu = f.dataset.retrieval_mu * (1.0 + 0.5 * (epoch - 1));
+    config.shared_cache = &shared;
+    config.cache_epoch = epoch;
+    return config;
+  };
+  expansion::SqeEngine engine1(&f.world.kb, &f.dataset.index,
+                               f.dataset.linker.get(), &f.dataset.analyzer(),
+                               epoch_config(1));
+  expansion::SqeEngine engine2(&f.world.kb, &f.dataset.index,
+                               f.dataset.linker.get(), &f.dataset.analyzer(),
+                               epoch_config(2));
+  expansion::SqeEngine uncached2(&f.world.kb, &f.dataset.index,
+                                 f.dataset.linker.get(),
+                                 &f.dataset.analyzer(),
+                                 [&] {
+                                   auto config = epoch_config(2);
+                                   config.shared_cache = nullptr;
+                                   return config;
+                                 }());
+
+  const auto motifs = expansion::MotifConfig::Both();
+  const auto& q = batch[0];
+
+  // Epoch 1 populates the shared cache for this query.
+  expansion::SqeRunResult first =
+      engine1.RunSqe(q.text, q.query_nodes, motifs, 100);
+  const expansion::SqeCacheStats after_epoch1 = shared.Stats();
+  EXPECT_EQ(after_epoch1.result.hits, 0u);
+  EXPECT_EQ(after_epoch1.result.insertions, 1u);
+
+  // Epoch 2, same query: misses both levels (epoch-prefixed keys), computes
+  // fresh, and matches its own uncached reference bit for bit — and differs
+  // from epoch 1's scores, proving the miss mattered.
+  expansion::SqeRunResult cold2 =
+      engine2.RunSqe(q.text, q.query_nodes, motifs, 100);
+  const expansion::SqeCacheStats after_cold2 = shared.Stats();
+  EXPECT_EQ(after_cold2.result.hits, 0u);
+  EXPECT_EQ(after_cold2.graph.hits, after_epoch1.graph.hits)
+      << "epoch 2 must not hit epoch 1's graph entry";
+  EXPECT_EQ(after_cold2.result.insertions, 2u);
+  expansion::SqeRunResult want2 =
+      uncached2.RunSqe(q.text, q.query_nodes, motifs, 100);
+  ExpectIdenticalRun(cold2, want2, 0);
+  ASSERT_FALSE(first.results.empty());
+  ASSERT_FALSE(cold2.results.empty());
+  bool any_score_differs = false;
+  for (size_t r = 0; r < std::min(first.results.size(), cold2.results.size());
+       ++r) {
+    if (first.results[r].score != cold2.results[r].score) {
+      any_score_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_score_differs);
+
+  // Warm within-epoch repeats hit and stay bit-identical to the same
+  // uncached reference.
+  expansion::SqeRunResult warm2 =
+      engine2.RunSqe(q.text, q.query_nodes, motifs, 100);
+  ExpectIdenticalRun(warm2, want2, 0);
+  const expansion::SqeCacheStats after_warm2 = shared.Stats();
+  EXPECT_EQ(after_warm2.result.hits, after_cold2.result.hits + 1);
+
+  // And epoch 1's own entry is still there, untouched by epoch 2's traffic.
+  expansion::SqeRunResult warm1 =
+      engine1.RunSqe(q.text, q.query_nodes, motifs, 100);
+  ExpectIdenticalRun(warm1, first, 0);
+  EXPECT_EQ(shared.Stats().result.hits, after_warm2.result.hits + 1);
 }
 
 }  // namespace

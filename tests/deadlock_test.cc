@@ -195,6 +195,68 @@ TEST(DeadlockDeathTest, RecursiveAcquisitionAborts) {
       "recursive acquisition of \"deadlock_test.recursive\"");
 }
 
+// ---- registry <-> front-end rank discipline --------------------------------
+
+// Submit pins a snapshot lease while holding the front-end's stats lock, so
+// the registry's current-pointer lock MUST rank above the front-end's. The
+// inverse order — touching the front-end's lock from under the registry's —
+// is the classic publish/admission deadlock, and the ranks must kill it.
+TEST(DeadlockDeathTest, FrontendUnderRegistryLockAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex registry{"deadlock_test.registry", kLockRankSnapshotRegistry};
+        Mutex frontend{"deadlock_test.frontend", kLockRankServingFrontend};
+        MutexLock hold_registry(&registry);
+        MutexLock hold_frontend(&frontend);  // 10 while holding 15
+      }()),
+      "lock-rank violation: acquiring \"deadlock_test.frontend\" \\(rank "
+      "10\\) while holding \"deadlock_test.registry\" \\(rank 15\\)");
+}
+
+// Publish serializes on its own lock and then takes the current-pointer
+// lock for the swap (12 -> 15). A path that starts a publish while already
+// holding the current-pointer lock would invert that and must abort.
+TEST(DeadlockDeathTest, PublishUnderRegistryLockAborts) {
+  EXPECT_DEATH(
+      ([&] {
+        Mutex registry{"deadlock_test.pub_registry",
+                       kLockRankSnapshotRegistry};
+        Mutex publish{"deadlock_test.pub_publish", kLockRankSnapshotPublish};
+        MutexLock hold_registry(&registry);
+        MutexLock hold_publish(&publish);  // 12 while holding 15
+      }()),
+      "lock-rank violation: acquiring \"deadlock_test.pub_publish\" \\(rank "
+      "12\\) while holding \"deadlock_test.pub_registry\" \\(rank 15\\)");
+}
+
+// The production nestings the hot-swap path actually exercises, in rank
+// order, must stay quiet: admission pins a lease under the front-end lock
+// (10 -> 15), a publish swaps the current pointer (12 -> 15), and dropping
+// the last lease while swapping runs the retirement deleter (12 -> 15 ->
+// 80).
+TEST(DeadlockTest, ProductionRanksPermitAdmissionSwapAndRetirement) {
+  Mutex frontend{"deadlock_test.prod_frontend", kLockRankServingFrontend};
+  Mutex publish{"deadlock_test.prod_publish", kLockRankSnapshotPublish};
+  Mutex registry{"deadlock_test.prod_registry", kLockRankSnapshotRegistry};
+  Mutex retire{"deadlock_test.prod_retire", kLockRankRegistryRetire};
+  {
+    // Submit: lease acquisition under the front-end's stats lock.
+    MutexLock hold_frontend(&frontend);
+    MutexLock hold_registry(&registry);
+  }
+  {
+    // Publish with no lease out: swap runs the previous generation's
+    // deleter inline, bumping the retire log under both publish locks.
+    MutexLock hold_publish(&publish);
+    MutexLock hold_registry(&registry);
+    MutexLock hold_retire(&retire);
+  }
+  {
+    // A worker dropping the last lease at resolution: retire log only.
+    MutexLock hold_retire(&retire);
+  }
+}
+
 // The production rank assignments must permit the one nesting the serving
 // stack actually exercises: reading an injected FakeClock inside the
 // bounded queue's admission predicate.

@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "common/thread_annotations.h"
 #include "serving/frontend.h"
+#include "serving/snapshot_registry.h"
 #include "eval/ttest.h"
 #include "index/inverted_index.h"
 #include "io/coding.h"
@@ -519,6 +520,179 @@ TEST_P(ServingProperty, CompletedMatchBareRunAndAccountingCloses) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServingProperty,
                          ::testing::Values(101u, 202u, 303u));
+
+// ---- registry: random publish schedules under live traffic ------------------------
+
+// The hot-swap analogue of ServingProperty: random corpora × shard counts ×
+// the same deadline thirds, plus a random *publish schedule* — snapshot
+// generations are published from the main thread at rng-chosen points
+// between Submits. Because leases pin at admission and publishes happen
+// only between Submits, the epoch every request must serve is exactly the
+// number of generations published before its Submit — deterministic per
+// call, whatever the workers and deadlines do. Invariants:
+//   1. every response (completed OR rejected-after-admission) reports its
+//      expected epoch — no request ever observes a swap;
+//   2. every completed request's ranking equals the bare-engine run for its
+//      pinned epoch's configuration, docs AND score bits (epochs differ in
+//      retriever smoothing, so a cross-epoch leak cannot pass);
+//   3. the accounting identity closes, and after the front-end drains the
+//      registry holds exactly one live generation — every superseded epoch
+//      provably retired.
+class RegistryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegistryProperty, PinnedEpochsMatchPublishScheduleAndOraclesExactly) {
+  const uint64_t seed = GetParam();
+  synth::WorldOptions world_options = synth::TinyWorldOptions();
+  world_options.seed = seed;
+  synth::World world = synth::World::Generate(world_options);
+  synth::Dataset dataset =
+      synth::BuildDataset(world, synth::TinyDatasetSpec());
+  const auto& queries = dataset.query_set.queries;
+  const std::string kb_image = world.kb.SerializeToString();
+  const std::string index_image = dataset.index.SerializeToString();
+  constexpr size_t kMaxEpochs = 4;
+
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    auto epoch_config = [&](uint64_t epoch) {
+      expansion::SqeEngineConfig config;
+      // Distinguishable generations: smoothing scales with the epoch, so
+      // every epoch's score bits differ.
+      config.retriever.mu =
+          dataset.retrieval_mu * (1.0 + 0.5 * static_cast<double>(epoch - 1));
+      config.sharding.num_shards = shards;
+      return config;
+    };
+
+    // Per-epoch bare-engine oracles over the original KB/index.
+    std::vector<std::vector<retrieval::ResultList>> oracle;
+    for (uint64_t e = 1; e <= kMaxEpochs; ++e) {
+      expansion::SqeEngine bare(&world.kb, &dataset.index,
+                                dataset.linker.get(), &dataset.analyzer(),
+                                epoch_config(e));
+      std::vector<retrieval::ResultList> rankings;
+      for (const auto& q : queries) {
+        rankings.push_back(bare.RunSqe(q.text, q.true_entities,
+                                       expansion::MotifConfig::Both(), 100)
+                               .results);
+      }
+      oracle.push_back(std::move(rankings));
+    }
+
+    serving::SnapshotRegistryOptions registry_options;
+    registry_options.shared_cache.enabled = true;
+    serving::SnapshotRegistry registry(registry_options);
+    uint64_t published = 0;
+    auto publish_next = [&] {
+      auto kb = kb::KnowledgeBase::FromSnapshotString(kb_image);
+      auto index = index::InvertedIndex::FromSnapshotString(index_image);
+      ASSERT_TRUE(kb.ok() && index.ok());
+      serving::SnapshotParts parts;
+      parts.kb =
+          std::make_unique<kb::KnowledgeBase>(std::move(kb).value());
+      parts.index =
+          std::make_unique<index::InvertedIndex>(std::move(index).value());
+      parts.engine_config = epoch_config(published + 1);
+      Result<uint64_t> outcome = registry.Publish(std::move(parts));
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ASSERT_EQ(outcome.value(), ++published);
+    };
+    publish_next();  // epoch 1 before any traffic
+
+    FakeClock clock;
+    Mutex rng_mu{"property_test.registry_rng"};
+    Rng rng(seed * 6271 + shards);
+    serving::ServingFrontendConfig frontend_config;
+    frontend_config.num_workers = 2;
+    frontend_config.clock = &clock;
+    frontend_config.phase_hook = [&](uint64_t, expansion::RunPhase) {
+      MutexLock lock(&rng_mu);
+      clock.Advance(std::chrono::microseconds(rng.NextBounded(400)));
+    };
+    serving::ServingFrontend frontend(&registry, frontend_config);
+
+    std::vector<std::shared_ptr<serving::ServingCall>> calls;
+    std::vector<uint64_t> expected_epoch;
+    const size_t num_requests = queries.size() * 3;
+    for (size_t i = 0; i < num_requests; ++i) {
+      // Roughly kMaxEpochs - 1 publishes sprinkled across the run, at
+      // rng-chosen Submit boundaries.
+      bool publish_now;
+      {
+        MutexLock lock(&rng_mu);
+        publish_now = published < kMaxEpochs &&
+                      rng.NextBounded(num_requests / kMaxEpochs) == 0;
+      }
+      if (publish_now) publish_next();
+      const auto& q = queries[i % queries.size()];
+      serving::ServingRequest request;
+      request.text = q.text;
+      request.query_nodes = q.true_entities;
+      request.k = 100;
+      {
+        MutexLock lock(&rng_mu);
+        // Same thirds as ServingProperty: infinite, tight, already expired.
+        switch (rng.NextBounded(3)) {
+          case 0:
+            request.deadline = serving::Deadline::Infinite();
+            break;
+          case 1:
+            request.deadline = serving::Deadline::After(
+                clock,
+                std::chrono::microseconds(1 + rng.NextBounded(1500)));
+            break;
+          default:
+            request.deadline = serving::Deadline::After(
+                clock, std::chrono::microseconds(0));
+            break;
+        }
+      }
+      expected_epoch.push_back(published);
+      calls.push_back(frontend.Submit(std::move(request)));
+    }
+    for (auto& call : calls) call->Wait();
+    frontend.Shutdown();
+
+    size_t completed = 0;
+    for (size_t i = 0; i < calls.size(); ++i) {
+      const serving::ServingResponse& response = calls[i]->Wait();
+      // Every admission acquired its lease before any outcome was decided,
+      // so even rejections report the pinned epoch.
+      EXPECT_EQ(response.epoch, expected_epoch[i]) << "request " << i;
+      if (response.status.ok()) {
+        ++completed;
+        const auto& expected =
+            oracle[expected_epoch[i] - 1][i % queries.size()];
+        ASSERT_EQ(response.result.results.size(), expected.size());
+        for (size_t j = 0; j < expected.size(); ++j) {
+          EXPECT_EQ(response.result.results[j].doc, expected[j].doc);
+          EXPECT_EQ(response.result.results[j].score, expected[j].score);
+        }
+      } else {
+        EXPECT_TRUE(response.status.IsDeadlineExceeded() ||
+                    response.status.IsResourceExhausted())
+            << response.status.ToString();
+      }
+    }
+    serving::ServingStats stats = frontend.Stats();
+    EXPECT_EQ(stats.submitted, num_requests);
+    EXPECT_EQ(stats.completed, completed);
+    EXPECT_EQ(stats.completed + stats.expired + stats.rejected(),
+              stats.submitted);
+    EXPECT_EQ(stats.rejected_no_snapshot, 0u);
+
+    // The swap-extended accounting identity: with the front-end drained,
+    // only the current generation is still pinned.
+    serving::SnapshotRegistryStats registry_stats = registry.Stats();
+    EXPECT_EQ(registry_stats.published, published);
+    EXPECT_EQ(registry_stats.retired, published - 1);
+    EXPECT_EQ(registry_stats.live_epochs(), 1u);
+    EXPECT_EQ(registry_stats.current_epoch, published);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryProperty,
+                         ::testing::Values(11u, 22u, 33u));
 
 }  // namespace
 }  // namespace sqe

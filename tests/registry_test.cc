@@ -1,0 +1,553 @@
+// SnapshotRegistry lifecycle and the hot-swap determinism contract.
+//
+// The headline harness (SwapUnderFire*) publishes snapshot epochs while the
+// serving front-end is executing requests and proves the RCU story end to
+// end with zero real sleeps:
+//   * zero dropped responses — every submitted request resolves OK;
+//   * zero mixed-epoch responses — each response carries the epoch pinned
+//     at admission, and its ranking (doc ids AND score bits) equals a bare
+//     engine run over that exact epoch's configuration. Epochs deliberately
+//     differ in retriever smoothing, so any cross-epoch leak changes score
+//     bits and fails the oracle comparison;
+//   * deferred retirement closes — a superseded epoch is freed exactly when
+//     its last lease drops (ASan proves the memory goes with it), and after
+//     the front-end drains only the registry's current pointer is live.
+//
+// Epoch generations are real snapshot round-trips: each Publish gets a KB +
+// index deserialized from the original's snapshot image, so the registry is
+// exercised over the same load machinery production ingestion uses.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "index/inverted_index.h"
+#include "kb/knowledge_base.h"
+#include "retrieval/result.h"
+#include "serving/frontend.h"
+#include "serving/snapshot_registry.h"
+#include "sqe/sqe_engine.h"
+#include "synth/dataset.h"
+
+namespace sqe {
+namespace {
+
+using expansion::RunPhase;
+using serving::ServingCall;
+using serving::ServingFrontend;
+using serving::ServingFrontendConfig;
+using serving::ServingRequest;
+using serving::ServingResponse;
+using serving::ServingStats;
+using serving::Snapshot;
+using serving::SnapshotLease;
+using serving::SnapshotParts;
+using serving::SnapshotRegistry;
+using serving::SnapshotRegistryOptions;
+using serving::SnapshotRegistryStats;
+
+// Reusable one-shot gate for parking a worker inside a phase hook.
+class Gate {
+ public:
+  void Open() {
+    {
+      MutexLock lock(&mu_);
+      open_ = true;
+    }
+    cv_.SignalAll();
+  }
+  void Wait() {
+    MutexLock lock(&mu_);
+    cv_.Wait(&mu_, [this] { return open_; });
+  }
+
+ private:
+  Mutex mu_{"registry_test.gate"};
+  CondVar cv_;
+  bool open_ SQE_GUARDED_BY(mu_) = false;
+};
+
+// Shared world + serialized snapshot images every published generation is
+// deserialized from, plus per-epoch oracles. Epoch *index* here is 0-based;
+// the registry's epoch numbers are 1-based publish order, so epoch number E
+// serves EpochConfig(E - 1).
+struct Env {
+  Env()
+      : world(synth::World::Generate(synth::TinyWorldOptions())),
+        dataset(synth::BuildDataset(world, synth::TinyDatasetSpec())),
+        kb_image(world.kb.SerializeToString()),
+        index_image(dataset.index.SerializeToString()) {}
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  expansion::SqeEngineConfig EpochConfig(size_t epoch_index,
+                                         size_t num_shards = 1) const {
+    expansion::SqeEngineConfig config;
+    // Distinguishable generations over one corpus: scaling the Dirichlet
+    // smoothing moves every score's bits, so a response checked against
+    // the wrong epoch's oracle cannot pass.
+    config.retriever.mu = dataset.retrieval_mu * (1.0 + 0.5 * epoch_index);
+    config.sharding.num_shards = num_shards;
+    return config;
+  }
+
+  SnapshotParts Parts(size_t epoch_index, size_t num_shards = 1) const {
+    auto kb = kb::KnowledgeBase::FromSnapshotString(kb_image);
+    auto index = index::InvertedIndex::FromSnapshotString(index_image);
+    SQE_CHECK(kb.ok() && index.ok());
+    SnapshotParts parts;
+    parts.kb = std::make_unique<kb::KnowledgeBase>(std::move(kb).value());
+    parts.index =
+        std::make_unique<index::InvertedIndex>(std::move(index).value());
+    parts.engine_config = EpochConfig(epoch_index, num_shards);
+    return parts;
+  }
+
+  /// Bare-engine reference rankings for one epoch configuration, computed
+  /// over the original KB/index (the load-mode determinism gate proves a
+  /// snapshot round-trip is bit-invisible).
+  std::vector<retrieval::ResultList> Oracle(size_t epoch_index,
+                                            size_t num_shards = 1) const {
+    expansion::SqeEngine bare(&world.kb, &dataset.index, nullptr,
+                              &dataset.analyzer(),
+                              EpochConfig(epoch_index, num_shards));
+    std::vector<retrieval::ResultList> rankings;
+    for (const synth::GeneratedQuery& q : dataset.query_set.queries) {
+      rankings.push_back(bare.RunSqe(q.text, q.true_entities,
+                                     expansion::MotifConfig::Both(), 100)
+                             .results);
+    }
+    return rankings;
+  }
+
+  ServingRequest Request(size_t i) const {
+    const auto& queries = dataset.query_set.queries;
+    const synth::GeneratedQuery& q = queries[i % queries.size()];
+    ServingRequest request;
+    request.text = q.text;
+    request.query_nodes = q.true_entities;
+    request.k = 100;
+    return request;
+  }
+  size_t num_queries() const { return dataset.query_set.queries.size(); }
+
+  synth::World world;
+  synth::Dataset dataset;
+  std::string kb_image;
+  std::string index_image;
+};
+
+void ExpectSameRanking(const retrieval::ResultList& want,
+                       const retrieval::ResultList& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(want[r].doc, got[r].doc) << "rank " << r;
+    EXPECT_EQ(want[r].score, got[r].score) << "rank " << r;  // exact bits
+  }
+}
+
+// ---- lifecycle basics ------------------------------------------------------
+
+TEST(RegistryTest, AcquireBeforeFirstPublishIsNull) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Acquire(), nullptr);
+  SnapshotRegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.published, 0u);
+  EXPECT_EQ(stats.retired, 0u);
+  EXPECT_EQ(stats.current_epoch, 0u);
+  EXPECT_EQ(stats.live_epochs(), 0u);
+  EXPECT_EQ(stats.acquires, 1u);
+}
+
+TEST(RegistryTest, PublishRequiresKbAndIndex) {
+  SnapshotRegistry registry;
+  Result<uint64_t> outcome = registry.Publish(SnapshotParts{});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsInvalidArgument());
+  EXPECT_EQ(registry.Stats().published, 0u);
+}
+
+TEST(RegistryTest, EpochsAreMonotoneAndPinnedLeasesSurvivePublish) {
+  Env env;
+  SnapshotRegistry registry;
+
+  Result<uint64_t> first = registry.Publish(env.Parts(0));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value(), 1u);
+  SnapshotLease lease1 = registry.Acquire();
+  ASSERT_NE(lease1, nullptr);
+  EXPECT_EQ(lease1->epoch(), 1u);
+
+  Result<uint64_t> second = registry.Publish(env.Parts(1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 2u);
+  SnapshotLease lease2 = registry.Acquire();
+  ASSERT_NE(lease2, nullptr);
+  EXPECT_EQ(lease2->epoch(), 2u);
+
+  // The old lease still serves its own generation, bit for bit, after the
+  // swap — and the two generations' rankings provably differ.
+  const std::vector<retrieval::ResultList> oracle1 = env.Oracle(0);
+  const std::vector<retrieval::ResultList> oracle2 = env.Oracle(1);
+  for (size_t i = 0; i < env.num_queries(); ++i) {
+    ServingRequest r = env.Request(i);
+    ExpectSameRanking(
+        oracle1[i], lease1->engine()
+                        .RunSqe(r.text, r.query_nodes, r.motifs, r.k)
+                        .results);
+    ExpectSameRanking(
+        oracle2[i], lease2->engine()
+                        .RunSqe(r.text, r.query_nodes, r.motifs, r.k)
+                        .results);
+  }
+  bool any_score_differs = false;
+  for (size_t i = 0; i < env.num_queries() && !any_score_differs; ++i) {
+    for (size_t r = 0; r < oracle1[i].size() && r < oracle2[i].size(); ++r) {
+      if (oracle1[i][r].score != oracle2[i][r].score) {
+        any_score_differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_score_differs)
+      << "epoch configurations must be distinguishable for mixed-epoch "
+         "detection to mean anything";
+
+  SnapshotRegistryStats stats = registry.Stats();
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.current_epoch, 2u);
+  EXPECT_EQ(stats.retired, 0u);  // lease1 still pins epoch 1
+  EXPECT_EQ(stats.live_epochs(), 2u);
+}
+
+TEST(RegistryTest, RetirementFiresExactlyWhenLastLeaseDrops) {
+  Env env;
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Publish(env.Parts(0)).ok());
+
+  SnapshotLease a = registry.Acquire();
+  SnapshotLease b = registry.Acquire();
+  ASSERT_TRUE(registry.Publish(env.Parts(1)).ok());
+  EXPECT_EQ(registry.Stats().retired, 0u);  // two leases pin epoch 1
+
+  a.reset();
+  EXPECT_EQ(registry.Stats().retired, 0u);  // one lease still pins it
+  b.reset();
+  EXPECT_EQ(registry.Stats().retired, 1u);  // last lease: freed right here
+  EXPECT_EQ(registry.Stats().live_epochs(), 1u);
+
+  // With no lease out, the swap itself runs the old generation's deleter
+  // inline in Publish.
+  ASSERT_TRUE(registry.Publish(env.Parts(2)).ok());
+  EXPECT_EQ(registry.Stats().retired, 2u);
+  EXPECT_EQ(registry.Stats().live_epochs(), 1u);
+}
+
+TEST(RegistryTest, LeasesKeepAGenerationUsableAfterRegistryDestruction) {
+  Env env;
+  SnapshotLease survivor;
+  {
+    SnapshotRegistryOptions options;
+    options.shared_cache.enabled = true;  // the lease must keep it alive too
+    SnapshotRegistry registry(options);
+    ASSERT_TRUE(registry.Publish(env.Parts(0)).ok());
+    survivor = registry.Acquire();
+  }
+  ASSERT_NE(survivor, nullptr);
+  ServingRequest r = env.Request(0);
+  ExpectSameRanking(env.Oracle(0)[0],
+                    survivor->engine()
+                        .RunSqe(r.text, r.query_nodes, r.motifs, r.k)
+                        .results);
+}
+
+// ---- lease pinning at every cooperative checkpoint -------------------------
+
+// A publish landing at any RunControl checkpoint must not change what the
+// in-flight request observes: it completes on the epoch pinned at
+// admission, bit for bit. Shards = 3 so the kShardSlice checkpoint fires.
+TEST(RegistryTest, LeasePinsAcrossEveryPhaseCheckpoint) {
+  Env env;
+  const std::vector<retrieval::ResultList> oracle1 = env.Oracle(0, 3);
+  const std::vector<retrieval::ResultList> oracle2 = env.Oracle(1, 3);
+  for (RunPhase phase :
+       {RunPhase::kPreAnalysis, RunPhase::kPreMotifTraversal,
+        RunPhase::kPreRetrieval, RunPhase::kShardSlice}) {
+    SCOPED_TRACE(testing::Message()
+                 << "publish at " << expansion::RunPhaseName(phase));
+    SnapshotRegistry registry;
+    ASSERT_TRUE(registry.Publish(env.Parts(0, 3)).ok());
+
+    FakeClock clock;
+    std::atomic<bool> published{false};
+    ServingFrontendConfig config;
+    config.num_workers = 1;
+    config.clock = &clock;
+    config.phase_hook = [&](uint64_t id, RunPhase at) {
+      // Publish the next generation from inside request 1's checkpoint —
+      // strictly mid-flight, on the worker's own thread.
+      if (id == 1 && at == phase &&
+          !published.exchange(true, std::memory_order_acq_rel)) {
+        ASSERT_TRUE(registry.Publish(env.Parts(1, 3)).ok());
+      }
+    };
+    ServingFrontend frontend(&registry, config);
+
+    std::shared_ptr<ServingCall> during = frontend.Submit(env.Request(0));
+    const ServingResponse& mid = during->Wait();
+    ASSERT_TRUE(mid.status.ok()) << mid.status.ToString();
+    EXPECT_TRUE(published.load());
+    EXPECT_EQ(mid.epoch, 1u) << "in-flight request must keep its pinned "
+                                "epoch across the swap";
+    ExpectSameRanking(oracle1[0], mid.result.results);
+
+    // The next admission pins the new generation.
+    std::shared_ptr<ServingCall> after = frontend.Submit(env.Request(1));
+    const ServingResponse& next = after->Wait();
+    ASSERT_TRUE(next.status.ok()) << next.status.ToString();
+    EXPECT_EQ(next.epoch, 2u);
+    ExpectSameRanking(oracle2[1], next.result.results);
+
+    frontend.Shutdown();
+    EXPECT_EQ(registry.Stats().live_epochs(), 1u);  // epoch 1 retired
+  }
+}
+
+TEST(RegistryTest, SubmitBeforeFirstPublishIsRejectedAndCounted) {
+  SnapshotRegistry registry;
+  FakeClock clock;
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.clock = &clock;
+  ServingFrontend frontend(&registry, config);
+  std::shared_ptr<ServingCall> call = frontend.Submit(ServingRequest{});
+  const ServingResponse& response = call->Wait();
+  EXPECT_TRUE(response.status.IsFailedPrecondition());
+  EXPECT_EQ(response.epoch, 0u);
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.rejected_no_snapshot, 1u);
+  EXPECT_EQ(stats.rejected(), 1u);
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+}
+
+// ---- the headline harness: swap under fire ---------------------------------
+
+// Deterministic swap-under-fire: one worker, FakeClock, CV gates — no real
+// sleeps, no timing assumptions. Three publishes land mid-flight at known
+// points:
+//   * epoch 2 while request 1 is parked at its kPreMotifTraversal hook
+//     (and 12 more epoch-1 requests sit in the queue behind it);
+//   * epoch 3 from inside request 20's kPreRetrieval checkpoint;
+//   * epoch 4 from inside request 22's kShardSlice checkpoint.
+// The two trigger ids (20 and 22) are chosen so their queries are each
+// first-seen within epoch 2: a repeated query would be served warm out of
+// the epoch-keyed shared cache and skip the retrieval checkpoints entirely
+// (ids 14..25 cover the 12 distinct queries exactly once).
+// Because leases pin at admission, the expected epoch of every request is
+// exactly determined: ids 1..13 were admitted before the second publish and
+// must serve epoch 1; ids 14..48 were admitted after it and must serve
+// epoch 2 (epochs 3 and 4 land after all admissions). Every response is
+// compared to its epoch's bare-engine oracle, doc ids and score bits.
+TEST(RegistryTest, SwapUnderFireIsLosslessMixFreeAndBitIdentical) {
+  Env env;
+  constexpr size_t kShards = 3;
+  constexpr size_t kTotal = 48;
+  constexpr size_t kEpoch1Boundary = 13;  // ids 1..13 pinned to epoch 1
+  const std::vector<std::vector<retrieval::ResultList>> oracle = {
+      env.Oracle(0, kShards), env.Oracle(1, kShards)};
+
+  SnapshotRegistryOptions registry_options;
+  registry_options.shared_cache.enabled = true;  // epoch-keyed shared cache
+  SnapshotRegistry registry(registry_options);
+  ASSERT_TRUE(registry.Publish(env.Parts(0, kShards)).ok());
+
+  FakeClock clock;
+  Gate blocker_entered;
+  Gate release_blocker;
+  std::atomic<bool> blocker_parked{false};
+  std::atomic<int> publishes{0};
+  ServingFrontendConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = kTotal + 8;
+  config.clock = &clock;
+  config.phase_hook = [&](uint64_t id, RunPhase phase) {
+    clock.Advance(std::chrono::microseconds(100));  // virtual time only
+    if (id == 1 && phase == RunPhase::kPreMotifTraversal &&
+        !blocker_parked.exchange(true, std::memory_order_acq_rel)) {
+      blocker_entered.Open();
+      release_blocker.Wait();  // parked mid-flight while epoch 2 lands
+    }
+    if (id == 20 && phase == RunPhase::kPreRetrieval) {
+      ASSERT_TRUE(registry.Publish(env.Parts(2, kShards)).ok());
+      publishes.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (id == 22 && phase == RunPhase::kShardSlice &&
+        publishes.load(std::memory_order_acquire) == 1) {
+      ASSERT_TRUE(registry.Publish(env.Parts(3, kShards)).ok());
+      publishes.fetch_add(1, std::memory_order_acq_rel);
+    }
+  };
+  ServingFrontend frontend(&registry, config);
+
+  std::vector<std::shared_ptr<ServingCall>> calls;
+  // Request 1 starts executing and parks; 2..13 queue up behind it, all
+  // pinned to epoch 1.
+  for (size_t i = 0; i < kEpoch1Boundary; ++i) {
+    calls.push_back(frontend.Submit(env.Request(i)));
+  }
+  blocker_entered.Wait();  // the worker is provably mid-flight now
+  ASSERT_TRUE(registry.Publish(env.Parts(1, kShards)).ok());
+  // 14..48 are admitted after the swap: pinned to epoch 2.
+  for (size_t i = kEpoch1Boundary; i < kTotal; ++i) {
+    calls.push_back(frontend.Submit(env.Request(i)));
+  }
+  release_blocker.Open();
+
+  size_t served_epoch1 = 0, served_epoch2 = 0;
+  for (size_t i = 0; i < calls.size(); ++i) {
+    const ServingResponse& response = calls[i]->Wait();
+    ASSERT_TRUE(response.status.ok())
+        << "dropped response " << i << ": " << response.status.ToString();
+    EXPECT_EQ(response.phase_reached, RunPhase::kDone);
+    const uint64_t expected_epoch = i < kEpoch1Boundary ? 1u : 2u;
+    ASSERT_EQ(response.epoch, expected_epoch) << "mixed-epoch response " << i;
+    (response.epoch == 1u ? served_epoch1 : served_epoch2) += 1;
+    ExpectSameRanking(oracle[response.epoch - 1][i % env.num_queries()],
+                      response.result.results);
+  }
+  EXPECT_EQ(served_epoch1, kEpoch1Boundary);
+  EXPECT_EQ(served_epoch2, kTotal - kEpoch1Boundary);
+  EXPECT_EQ(publishes.load(), 2);  // + the gate-covered one = 3 mid-flight
+
+  frontend.Shutdown();
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+
+  // Deferred retirement closed: every lease came back when its request
+  // resolved, so only the current generation (epoch 4) is still alive —
+  // under ASan this also proves the retired generations' memory is gone.
+  SnapshotRegistryStats registry_stats = registry.Stats();
+  EXPECT_EQ(registry_stats.published, 4u);
+  EXPECT_EQ(registry_stats.retired, 3u);
+  EXPECT_EQ(registry_stats.live_epochs(), 1u);
+  EXPECT_EQ(registry_stats.current_epoch, 4u);
+}
+
+// ---- concurrency hammer (run under TSan in CI) -----------------------------
+
+// Non-deterministic interleavings: a publisher thread swaps generations as
+// fast as it can while four workers serve and the main thread submits.
+// Whatever the schedule, every OK response must match the oracle of the
+// epoch it reports — the mixed-epoch check does not depend on knowing which
+// epoch a request happened to pin.
+TEST(RegistryTest, ConcurrentPublishAcquireHammerStaysMixFree) {
+  Env env;
+  constexpr size_t kEpochs = 6;
+  constexpr size_t kRequests = 96;
+  std::vector<std::vector<retrieval::ResultList>> oracle;
+  for (size_t e = 0; e < kEpochs; ++e) oracle.push_back(env.Oracle(e));
+
+  SnapshotRegistryOptions registry_options;
+  registry_options.shared_cache.enabled = true;
+  SnapshotRegistry registry(registry_options);
+  ASSERT_TRUE(registry.Publish(env.Parts(0)).ok());
+
+  ServingFrontendConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = kRequests + 8;
+  ServingFrontend frontend(&registry, config);
+
+  std::thread publisher([&] {
+    for (size_t e = 1; e < kEpochs; ++e) {
+      Result<uint64_t> published = registry.Publish(env.Parts(e));
+      SQE_CHECK(published.ok());
+    }
+  });
+
+  std::vector<std::shared_ptr<ServingCall>> calls;
+  for (size_t i = 0; i < kRequests; ++i) {
+    calls.push_back(frontend.Submit(env.Request(i)));
+  }
+  publisher.join();
+
+  for (size_t i = 0; i < calls.size(); ++i) {
+    const ServingResponse& response = calls[i]->Wait();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_GE(response.epoch, 1u);
+    ASSERT_LE(response.epoch, kEpochs);
+    ExpectSameRanking(oracle[response.epoch - 1][i % env.num_queries()],
+                      response.result.results);
+  }
+  frontend.Shutdown();
+
+  ServingStats stats = frontend.Stats();
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  SnapshotRegistryStats registry_stats = registry.Stats();
+  EXPECT_EQ(registry_stats.published, kEpochs);
+  EXPECT_EQ(registry_stats.live_epochs(), 1u);
+  EXPECT_EQ(registry_stats.current_epoch, kEpochs);
+}
+
+// ---- the background loader --------------------------------------------------
+
+TEST(RegistryTest, LoaderRoundTripsSnapshotFilesAndPublishes) {
+  Env env;
+  const std::string kb_path =
+      testing::TempDir() + "/registry_test_kb.snap";
+  const std::string index_path =
+      testing::TempDir() + "/registry_test_index.snap";
+  ASSERT_TRUE(env.world.kb.SaveToFile(kb_path).ok());
+  ASSERT_TRUE(env.dataset.index.SaveToFile(index_path).ok());
+
+  SnapshotRegistry registry;
+  serving::SnapshotLoader loader(&registry);
+
+  // Background job: Start/Wait through a real thread.
+  serving::SnapshotLoader::Job job;
+  job.kb_path = kb_path;
+  job.index_path = index_path;
+  job.build_linker = true;
+  job.engine_config = env.EpochConfig(0);
+  loader.Start(job);
+  Result<uint64_t> published = loader.Wait();
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(published.value(), 1u);
+
+  SnapshotLease lease = registry.Acquire();
+  ASSERT_NE(lease, nullptr);
+  EXPECT_EQ(lease->kb().NumArticles(), env.world.kb.NumArticles());
+  EXPECT_NE(lease->linker(), nullptr);
+  ServingRequest r = env.Request(0);
+  ExpectSameRanking(env.Oracle(0)[0],
+                    lease->engine()
+                        .RunSqe(r.text, r.query_nodes, r.motifs, r.k)
+                        .results);
+
+  // A second, synchronous job over the same files: next epoch.
+  Result<uint64_t> again = loader.LoadAndPublish(job);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 2u);
+
+  // Missing file: the error surfaces, nothing publishes.
+  serving::SnapshotLoader::Job broken = job;
+  broken.kb_path = kb_path + ".does-not-exist";
+  loader.Start(broken);
+  Result<uint64_t> failed = loader.Wait();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(registry.Stats().published, 2u);
+
+  std::remove(kb_path.c_str());
+  std::remove(index_path.c_str());
+}
+
+}  // namespace
+}  // namespace sqe

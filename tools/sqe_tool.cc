@@ -48,6 +48,7 @@
 //
 //   sqe_tool serve-sim [--workers N] [--capacity C] [--deadline-ms D]
 //                      [--batch-every K] [--repeat R] [--shards S]
+//                      [--swap E]
 //                                             replay the synthetic query set
 //                                             through the async serving
 //                                             front-end and report latency
@@ -55,7 +56,17 @@
 //                                             admission/expiry accounting
 //                                             (completed + expired +
 //                                             cancelled + rejected must sum
-//                                             to submitted, exit 2 if not)
+//                                             to submitted, exit 2 if not);
+//                                             with --swap E, serve through a
+//                                             SnapshotRegistry and publish E
+//                                             additional snapshot epochs
+//                                             mid-flight — every response
+//                                             must match its pinned epoch's
+//                                             bare-engine oracle bit for
+//                                             bit, and superseded epochs
+//                                             must retire once the
+//                                             front-end drains (exit 2 on
+//                                             any violation)
 //
 // Exit codes: 0 success, 1 usage, 2 data error (message on stderr).
 #include <algorithm>
@@ -80,7 +91,9 @@
 #include "kb/dump_loader.h"
 #include "kb/kb_stats.h"
 #include "kb/knowledge_base.h"
+#include "retrieval/result.h"
 #include "serving/frontend.h"
+#include "serving/snapshot_registry.h"
 #include "sqe/motif_finder.h"
 #include "sqe/sqe_engine.h"
 #include "synth/dataset.h"
@@ -361,6 +374,200 @@ int ServeSim(size_t workers, size_t capacity, double deadline_ms,
   return 0;
 }
 
+// serve-sim --swap: replay the query set through a registry-backed
+// front-end while publishing `swaps` new snapshot epochs mid-flight, then
+// verify the hot-swap contract end to end:
+//   * every OK response carries the epoch pinned at admission, and its
+//     ranking (doc ids AND score bits) equals a bare engine run over that
+//     epoch's configuration — zero mixed-epoch responses;
+//   * the serving accounting identity closes across the swaps;
+//   * once the front-end drains, every superseded epoch has retired
+//     (live_epochs == 1: only the registry's current pointer remains).
+// Each epoch round-trips KB + index through real snapshot files via
+// SnapshotLoader (validate + load path included) and scales the retriever's
+// smoothing so different epochs produce provably different score bits —
+// any cross-epoch mixup fails the oracle comparison. Exit 2 on violation.
+int ServeSimSwap(size_t workers, size_t capacity, double deadline_ms,
+                 size_t batch_every, size_t repeat, size_t num_shards,
+                 bool with_prune, size_t swaps) {
+  synth::World world = synth::World::Generate(synth::TinyWorldOptions());
+  synth::Dataset dataset =
+      synth::BuildDataset(world, synth::TinyDatasetSpec());
+  const size_t num_epochs = swaps + 1;
+
+  const std::string kb_path = StrFormat("/tmp/sqe_tool_swap_%d_kb.snap",
+                                        static_cast<int>(::getpid()));
+  const std::string index_path = StrFormat(
+      "/tmp/sqe_tool_swap_%d_index.snap", static_cast<int>(::getpid()));
+  Status saved = world.kb.SaveToFile(kb_path);
+  if (saved.ok()) saved = dataset.index.SaveToFile(index_path);
+  if (!saved.ok()) return Fail(saved);
+
+  auto epoch_config = [&](size_t epoch_index) {
+    expansion::SqeEngineConfig config;
+    // Distinguishable epochs over the same corpus: scale the Dirichlet
+    // smoothing so every epoch's score bits differ. A response matched
+    // against the wrong epoch's oracle cannot pass.
+    config.retriever.mu = dataset.retrieval_mu * (1.0 + 0.25 * epoch_index);
+    config.sharding.num_shards = num_shards;
+    config.pruning.enabled = with_prune;
+    return config;
+  };
+
+  // Per-(epoch, query) oracle from bare engines over the same corpus. The
+  // load-mode determinism gate proves snapshot round-trips don't move a
+  // bit, so direct KB/index here equals the loader's reloaded copies.
+  std::vector<std::vector<retrieval::ResultList>> oracle(num_epochs);
+  for (size_t e = 0; e < num_epochs; ++e) {
+    expansion::SqeEngine bare(&world.kb, &dataset.index, dataset.linker.get(),
+                              &dataset.analyzer(), epoch_config(e));
+    for (const synth::GeneratedQuery& q : dataset.query_set.queries) {
+      oracle[e].push_back(
+          bare.RunSqe(q.text, q.true_entities, expansion::MotifConfig::Both(),
+                      100)
+              .results);
+    }
+  }
+
+  serving::SnapshotRegistryOptions registry_options;
+  registry_options.shared_cache.enabled = true;  // epoch-keyed, spans swaps
+  serving::SnapshotRegistry registry(registry_options);
+  serving::SnapshotLoader loader(&registry);
+
+  serving::ServingFrontendConfig frontend_config;
+  frontend_config.num_workers = workers;
+  frontend_config.queue_capacity = capacity;
+  serving::ServingFrontend frontend(&registry, frontend_config);
+  const Clock& clock = *Clock::System();
+
+  // Interleave publishes with submission chunks: epoch e+1 is published,
+  // then chunk e is submitted while earlier chunks may still be queued or
+  // executing — the swap lands under fire.
+  const size_t num_queries = dataset.query_set.queries.size();
+  const size_t total = repeat * num_queries;
+  const size_t chunk = (total + num_epochs - 1) / num_epochs;
+  std::vector<std::shared_ptr<serving::ServingCall>> calls;
+  std::vector<uint64_t> expected_epoch;  // pinned epoch by submission order
+  std::vector<double> swap_ms;
+  size_t submitted = 0;
+  for (size_t e = 0; e < num_epochs; ++e) {
+    serving::SnapshotLoader::Job job;
+    job.kb_path = kb_path;
+    job.index_path = index_path;
+    job.engine_config = epoch_config(e);
+    Timer swap_timer;
+    Result<uint64_t> published = loader.LoadAndPublish(job);
+    swap_ms.push_back(swap_timer.ElapsedMillis());
+    if (!published.ok()) return Fail(published.status());
+    const uint64_t epoch = published.value();
+    for (size_t j = 0; j < chunk && submitted < total; ++j, ++submitted) {
+      const size_t qi = submitted % num_queries;
+      const synth::GeneratedQuery& q = dataset.query_set.queries[qi];
+      serving::ServingRequest request;
+      request.text = q.text;
+      request.query_nodes = q.true_entities;
+      request.k = 100;
+      request.priority = (batch_every > 0 && (submitted % batch_every) == 0)
+                             ? serving::RequestPriority::kBatch
+                             : serving::RequestPriority::kInteractive;
+      if (deadline_ms > 0.0) {
+        request.deadline = serving::Deadline::After(
+            clock, std::chrono::duration_cast<Clock::Duration>(
+                       std::chrono::duration<double, std::milli>(deadline_ms)));
+      }
+      calls.push_back(frontend.Submit(std::move(request)));
+      expected_epoch.push_back(epoch);
+    }
+  }
+
+  size_t mixed = 0, mismatched = 0;
+  std::vector<size_t> per_epoch_ok(num_epochs + 1, 0);
+  std::vector<double> completed_ms;
+  for (size_t i = 0; i < calls.size(); ++i) {
+    const serving::ServingResponse& response = calls[i]->Wait();
+    if (!response.status.ok()) continue;
+    completed_ms.push_back(response.total_ms);
+    if (response.epoch != expected_epoch[i]) {
+      ++mixed;
+      continue;
+    }
+    per_epoch_ok[response.epoch] += 1;
+    const retrieval::ResultList& want =
+        oracle[response.epoch - 1][i % num_queries];
+    const retrieval::ResultList& got = response.result.results;
+    bool equal = want.size() == got.size();
+    for (size_t r = 0; equal && r < want.size(); ++r) {
+      equal = want[r].doc == got[r].doc && want[r].score == got[r].score;
+    }
+    if (!equal) ++mismatched;
+  }
+  frontend.Shutdown();
+  std::remove(kb_path.c_str());
+  std::remove(index_path.c_str());
+  std::sort(completed_ms.begin(), completed_ms.end());
+
+  serving::ServingStats stats = frontend.Stats();
+  serving::SnapshotRegistryStats registry_stats = registry.Stats();
+  std::printf("serve-sim --swap: %zu workers, capacity %zu, %zu shards, "
+              "%zu epochs over %zu requests\n",
+              frontend.num_workers(), frontend.queue_capacity(), num_shards,
+              num_epochs, calls.size());
+  std::printf("%s\n", stats.ToString().c_str());
+  std::printf("registry: published=%llu retired=%llu live=%llu acquires=%llu "
+              "current epoch %llu\n",
+              static_cast<unsigned long long>(registry_stats.published),
+              static_cast<unsigned long long>(registry_stats.retired),
+              static_cast<unsigned long long>(registry_stats.live_epochs()),
+              static_cast<unsigned long long>(registry_stats.acquires),
+              static_cast<unsigned long long>(registry_stats.current_epoch));
+  for (size_t e = 1; e <= num_epochs; ++e) {
+    std::printf("  epoch %zu: %zu ok responses, publish %.3f ms\n", e,
+                per_epoch_ok[e], swap_ms[e - 1]);
+  }
+  std::printf("completed latency: p50 %.3f ms  p95 %.3f ms  (n=%zu)\n",
+              Percentile(completed_ms, 0.50), Percentile(completed_ms, 0.95),
+              completed_ms.size());
+  if (const expansion::SqeCache* cache = registry.shared_cache()) {
+    std::printf("shared cache %s\n", cache->Stats().ToString().c_str());
+  }
+
+  if (mixed > 0 || mismatched > 0) {
+    std::fprintf(stderr,
+                 "error: %zu mixed-epoch and %zu oracle-mismatched "
+                 "responses\n",
+                 mixed, mismatched);
+    return 2;
+  }
+  if (stats.submitted != calls.size() ||
+      stats.resolved() != stats.submitted) {
+    std::fprintf(stderr,
+                 "error: accounting mismatch: submitted=%llu resolved=%llu "
+                 "calls=%zu\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(stats.resolved()),
+                 calls.size());
+    return 2;
+  }
+  for (const std::shared_ptr<serving::ServingCall>& call : calls) {
+    if (!call->resolved()) {
+      std::fprintf(stderr, "error: call %llu never resolved\n",
+                   static_cast<unsigned long long>(call->id()));
+      return 2;
+    }
+  }
+  // Deferred retirement closed: the front-end drained, so every lease is
+  // back and only the registry's current pointer keeps an epoch alive.
+  if (registry_stats.published != num_epochs ||
+      registry_stats.live_epochs() != 1) {
+    std::fprintf(stderr,
+                 "error: retirement mismatch: published=%llu retired=%llu\n",
+                 static_cast<unsigned long long>(registry_stats.published),
+                 static_cast<unsigned long long>(registry_stats.retired));
+    return 2;
+  }
+  return 0;
+}
+
 // Splits an index into S shards and dumps the partition: the manifest's doc
 // ranges plus per-shard document/token/term counts and serialized snapshot
 // sizes — the debugging view for "who owns which document".
@@ -521,6 +728,7 @@ int Usage() {
                "[--deadline-ms D]\n"
                "                     [--batch-every K] [--repeat R] "
                "[--shards S] [--prune]\n"
+               "                     [--swap E]\n"
                "  sqe_tool index shard-info <num_shards> [index.snap]\n"
                "  sqe_tool index stats [index.snap]\n");
   return 1;
@@ -609,6 +817,7 @@ int main(int argc, char** argv) {
     size_t repeat = 1;
     size_t shards = 1;
     bool with_prune = false;
+    size_t swaps = 0;
     auto parse_size = [&](const char* flag, int* i, size_t lo, size_t hi,
                           size_t* out) {
       char* end = nullptr;
@@ -637,6 +846,8 @@ int main(int argc, char** argv) {
         if (!parse_size("--repeat", &i, 1, 4096, &repeat)) return 1;
       } else if (std::strcmp(argv[i], "--shards") == 0) {
         if (!parse_size("--shards", &i, 1, 4096, &shards)) return 1;
+      } else if (std::strcmp(argv[i], "--swap") == 0) {
+        if (!parse_size("--swap", &i, 1, 64, &swaps)) return 1;
       } else if (std::strcmp(argv[i], "--prune") == 0) {
         with_prune = true;
       } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
@@ -654,6 +865,10 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    }
+    if (swaps > 0) {
+      return ServeSimSwap(workers, capacity, deadline_ms, batch_every,
+                          repeat, shards, with_prune, swaps);
     }
     return ServeSim(workers, capacity, deadline_ms, batch_every, repeat,
                     shards, with_prune);
